@@ -1,0 +1,99 @@
+//===- bench/BenchHarness.h - Shared figure-bench plumbing -----*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the benches that regenerate the paper's figures
+/// and tables: run one benchmark under one RunMode and report cycles plus
+/// the collected statistics.  "% overhead" follows the paper's Figures
+/// 11/12: normalized to the execution time of the original unoptimized
+/// program; positive values indicate performance degradation and negative
+/// values indicate speedup.
+///
+/// All benches accept an optional scale factor as argv[1] (default 1.0)
+/// multiplying each benchmark's iteration count — useful for quick local
+/// runs (e.g. `fig12_prefetching 0.25`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_BENCH_BENCHHARNESS_H
+#define HDS_BENCH_BENCHHARNESS_H
+
+#include "core/Runtime.h"
+#include "workloads/Workload.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace hds {
+namespace bench {
+
+/// Outcome of one benchmark run.
+struct RunResult {
+  uint64_t Cycles = 0;
+  core::RunStats Stats;
+  memsim::HierarchyStats Memory;
+  memsim::CacheStats L1;
+  memsim::CacheStats L2;
+};
+
+/// Runs \p WorkloadName under \p Mode for its default iteration count
+/// scaled by \p Scale.  \p Tweak (optional) may adjust the configuration
+/// before the runtime is constructed.
+inline RunResult
+runWorkload(const std::string &WorkloadName, core::RunMode Mode,
+            double Scale = 1.0,
+            void (*Tweak)(core::OptimizerConfig &) = nullptr) {
+  std::unique_ptr<workloads::Workload> Bench =
+      workloads::createWorkload(WorkloadName);
+  assert(Bench && "unknown workload");
+
+  core::OptimizerConfig Config;
+  Config.Mode = Mode;
+  if (Tweak)
+    Tweak(Config);
+
+  core::Runtime Rt(Config);
+  Bench->setup(Rt);
+  const uint64_t Iterations = static_cast<uint64_t>(
+      static_cast<double>(Bench->defaultIterations()) * Scale);
+  Bench->run(Rt, Iterations > 0 ? Iterations : 1);
+
+  RunResult Result;
+  Result.Cycles = Rt.cycles();
+  Result.Stats = Rt.stats();
+  Result.Memory = Rt.memory().stats();
+  Result.L1 = Rt.memory().l1().stats();
+  Result.L2 = Rt.memory().l2().stats();
+  return Result;
+}
+
+/// % overhead of \p Cycles relative to \p BaselineCycles (negative =
+/// speedup), as plotted in Figures 11 and 12.
+inline double overheadPercent(uint64_t Cycles, uint64_t BaselineCycles) {
+  return 100.0 * (static_cast<double>(Cycles) -
+                  static_cast<double>(BaselineCycles)) /
+         static_cast<double>(BaselineCycles);
+}
+
+/// Parses the optional argv[1] scale factor.
+inline double parseScale(int Argc, char **Argv) {
+  if (Argc < 2)
+    return 1.0;
+  const double Scale = std::atof(Argv[1]);
+  if (Scale <= 0.0) {
+    std::fprintf(stderr, "usage: %s [scale > 0]\n", Argv[0]);
+    std::exit(1);
+  }
+  return Scale;
+}
+
+} // namespace bench
+} // namespace hds
+
+#endif // HDS_BENCH_BENCHHARNESS_H

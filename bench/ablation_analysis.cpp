@@ -1,0 +1,141 @@
+//===- bench/ablation_analysis.cpp - Fast vs precise stream detection ------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+// Section 2.3: "Larus describes an algorithm for finding a set of hot
+// data streams from a Sequitur grammar [21]; we use a faster, less
+// precise algorithm that relies more heavily on the ability of Sequitur
+// to infer hierarchical structure.  ...  The running time of the
+// algorithm is linear in the size of the grammar."
+//
+// This bench quantifies the trade: on synthetic temporal profiles with
+// planted hot streams it measures wall-clock analysis time (including
+// grammar construction for the fast path, since that happens online
+// anyway), the number of streams found, and the fraction of the trace the
+// reported streams cover.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Coverage.h"
+#include "analysis/FastAnalyzer.h"
+#include "analysis/PreciseAnalyzer.h"
+#include "analysis/SubpathAnalyzer.h"
+#include "sequitur/Grammar.h"
+#include "support/Rng.h"
+#include "support/Table.h"
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+using namespace hds;
+using namespace hds::analysis;
+
+namespace {
+
+/// A synthetic temporal profile: M distinct hot motifs of length L,
+/// interleaved with unique cold references — the structure bursty tracing
+/// produces for chain-walking programs.
+std::vector<uint32_t> makeTrace(Rng &Rand, size_t Length, uint32_t Motifs,
+                                uint32_t MotifLen) {
+  std::vector<uint32_t> Trace;
+  Trace.reserve(Length);
+  uint32_t NextCold = 1'000'000;
+  while (Trace.size() < Length) {
+    if (Rand.nextBool(0.7)) {
+      const uint32_t M = static_cast<uint32_t>(Rand.nextBelow(Motifs));
+      for (uint32_t J = 0; J < MotifLen; ++J)
+        Trace.push_back(1000 + M * 100 + J);
+    } else {
+      // Cold refs never repeat (fresh ids).
+      for (int J = 0; J < 6; ++J)
+        Trace.push_back(NextCold++);
+    }
+  }
+  Trace.resize(Length);
+  return Trace;
+}
+
+double seconds(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Ablation: fast grammar analysis vs precise detection "
+              "(§2.3) ==\n\n");
+
+  Table Out;
+  Out.row()
+      .cell("trace len")
+      .cell("fast ms")
+      .cell("subpath ms")
+      .cell("precise ms")
+      .cell("fast streams")
+      .cell("subpath streams")
+      .cell("precise streams")
+      .cell("fast cov")
+      .cell("subpath cov")
+      .cell("precise cov");
+
+  Rng Rand(2026);
+  for (size_t Length : {5'000ull, 20'000ull, 50'000ull, 100'000ull}) {
+    const std::vector<uint32_t> Trace = makeTrace(Rand, Length, 24, 14);
+
+    AnalysisConfig Config;
+    Config.MinLength = 8;
+    Config.MaxLength = 60;
+    Config.HeatThreshold = Length / 100; // streams covering >= 1%
+
+    // Fast path: build the grammar (as the online profiler would) and run
+    // the linear Figure 5 pass.
+    const auto FastStart = std::chrono::steady_clock::now();
+    sequitur::Grammar Grammar;
+    for (uint32_t T : Trace)
+      Grammar.append(T);
+    const FastAnalysisResult Fast =
+        analyzeHotStreams(Grammar.snapshot(), Config);
+    const double FastSeconds = seconds(FastStart);
+
+    // Larus-style subpath analysis on the grammar (finds streams that
+    // cross rule boundaries; §2.3's precise-but-grammar-based middle
+    // ground).
+    const auto SubpathStart = std::chrono::steady_clock::now();
+    const SubpathAnalysisResult Subpath =
+        analyzeHotSubpaths(Grammar.snapshot(), Config);
+    const double SubpathSeconds = seconds(SubpathStart);
+
+    // Precise path: exact enumeration over the raw trace.
+    const auto PreciseStart = std::chrono::steady_clock::now();
+    const PreciseAnalysisResult Precise =
+        analyzeHotStreamsPrecisely(Trace, Config);
+    const double PreciseSeconds = seconds(PreciseStart);
+
+    Out.row()
+        .cell(uint64_t{Length})
+        .cell(FastSeconds * 1e3, "%.1f")
+        .cell(SubpathSeconds * 1e3, "%.1f")
+        .cell(PreciseSeconds * 1e3, "%.1f")
+        .cell(uint64_t{Fast.Streams.size()})
+        .cell(uint64_t{Subpath.Streams.size()})
+        .cell(uint64_t{Precise.Streams.size()})
+        .cell(traceCoverage(Trace, Fast.Streams), "%.2f")
+        .cell(traceCoverage(Trace, Subpath.Streams), "%.2f")
+        .cell(traceCoverage(Trace, Precise.Streams), "%.2f");
+  }
+  Out.print();
+  std::printf("\npaper: the fast analysis trades some precision for a "
+              "running time linear in the (compressed) grammar size — "
+              "it must find most of what the exact detector finds at a "
+              "fraction of the cost.  The Larus-style grammar subpath "
+              "analysis [21] additionally finds streams that cross rule "
+              "boundaries, with exact occurrence counts; note this "
+              "simplified reconstruction omits Larus' candidate pruning, "
+              "so unlike his it is not faster than trace-based "
+              "enumeration — only the Figure-5 pass is cheap enough to "
+              "run online\n");
+  return 0;
+}

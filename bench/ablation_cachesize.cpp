@@ -1,0 +1,78 @@
+//===- bench/ablation_cachesize.cpp - L2 size sensitivity ------------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+// A sensitivity study the paper does not run but its setup invites: how
+// does the Dyn-pref win depend on the L2 size?  With the paper's 256 KB
+// L2, hot data streams stay L2-resident between re-walks, so prefetching
+// hides L2-hit latency (~13 cycles/reference).  A smaller L2 pushes
+// stream blocks out to memory — each prefetch then hides much more
+// (~99 cycles), but timeliness gets harder; a larger L2 changes little
+// (the streams already fit).  This bench sweeps the L2 over
+// {16 KB, 32 KB, 64 KB, 256 KB, 1 MB} at fixed associativity/block
+// size (the hot working sets are a few tens of KB, so the interesting
+// transitions happen below the paper's point) and reports the Dyn-pref
+// net impact plus the original program's L2 miss rate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchHarness.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace hds;
+using namespace hds::bench;
+
+namespace {
+
+uint64_t GL2Bytes = 256 * 1024;
+
+void setL2(core::OptimizerConfig &Config) {
+  Config.L2.SizeBytes = GL2Bytes;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const double Scale = parseScale(Argc, Argv);
+  std::printf("== Sensitivity: L2 capacity vs Dyn-pref win ==\n");
+  std::printf("cells: Dyn-pref %% vs original at that L2 | original L2 "
+              "miss rate\n\n");
+
+  // The hot working sets are ~30-40 KB, so the interesting transitions
+  // happen well below the paper's 256 KB point.
+  const uint64_t Sizes[] = {16 * 1024, 32 * 1024, 64 * 1024, 256 * 1024,
+                            1024 * 1024};
+
+  Table Out;
+  {
+    auto Header = Out.row();
+    Header.cell("benchmark");
+    for (uint64_t Bytes : Sizes)
+      Header.cell(formatString("%lluKB", (unsigned long long)(Bytes / 1024)));
+  }
+
+  for (const std::string &Name : {std::string("vpr"), std::string("mcf"),
+                                  std::string("vortex")}) {
+    auto Row = Out.row();
+    Row.cell(Name);
+    for (uint64_t Bytes : Sizes) {
+      GL2Bytes = Bytes;
+      const RunResult Original =
+          runWorkload(Name, core::RunMode::Original, Scale, setL2);
+      const RunResult Dyn = runWorkload(
+          Name, core::RunMode::DynamicPrefetch, Scale, setL2);
+      Row.cell(formatString(
+          "%+.1f%% | %.0f%%",
+          overheadPercent(Dyn.Cycles, Original.Cycles),
+          100.0 * Original.L2.missRate()));
+    }
+  }
+  Out.print();
+  std::printf("\nreading: at the paper's 256KB point the win comes from "
+              "hiding L2-hit latency; shrinking the L2 turns stream "
+              "misses into memory misses, raising both the stakes and "
+              "the (partial) win per prefetch\n");
+  return 0;
+}

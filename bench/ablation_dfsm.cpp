@@ -1,0 +1,132 @@
+//===- bench/ablation_dfsm.cpp - Combined DFSM vs per-stream matching ------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+// Section 3.1: "Instead of driving one DFSM per hot data stream, we would
+// like to drive just one DFSM that keeps track of matching for all hot
+// data streams simultaneously.  By incurring the one-time cost of
+// constructing the DFSM, we make the frequent detection and prefetching
+// of hot data streams faster."  The paper also claims the state count
+// stays near headLen*n + 1 rather than the theoretical 2^(headLen*n).
+//
+// This bench quantifies both claims: for growing stream sets it reports
+// the combined machine's size (states, injected clauses) against the
+// naive scheme's clause count, and the dynamic work (clause evaluations)
+// of both matchers over the same reference sequence.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DataRef.h"
+#include "dfsm/CheckCodeGen.h"
+#include "dfsm/Matchers.h"
+#include "dfsm/PrefixDfsm.h"
+#include "support/Rng.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace hds;
+using namespace hds::dfsm;
+
+namespace {
+
+struct StreamSet {
+  std::vector<std::vector<uint32_t>> Streams;
+  analysis::DataRefTable Refs;
+  std::vector<uint64_t> SymbolPcs;
+};
+
+/// Builds \p N streams of length \p Len.  Streams share walker pcs (as
+/// real traversal code does) but have distinct addresses; every fourth
+/// stream shares its first symbol with a neighbour so restart ambiguity
+/// exists.
+StreamSet makeStreams(uint32_t N, uint32_t Len) {
+  StreamSet Set;
+  for (uint32_t I = 0; I < N; ++I) {
+    std::vector<uint32_t> Stream;
+    for (uint32_t J = 0; J < Len; ++J) {
+      const uint64_t Pc = J < 2 ? J : 2;       // head pcs 0/1, body pc 2
+      const uint64_t Addr = 0x1000 + I * 0x1000 + J * 0x40;
+      const analysis::RefId Id = Set.Refs.intern({Pc + (I % 4) * 3, Addr});
+      Stream.push_back(Id);
+    }
+    Set.Streams.push_back(std::move(Stream));
+  }
+  Set.SymbolPcs.resize(Set.Refs.size());
+  for (uint32_t K = 0; K < Set.Refs.size(); ++K)
+    Set.SymbolPcs[K] = Set.Refs.refOf(K).Pc;
+  return Set;
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Ablation: one combined DFSM vs per-stream matchers "
+              "(§3.1) ==\n\n");
+
+  Table Out;
+  Out.row()
+      .cell("streams")
+      .cell("DFSM states")
+      .cell("headLen*n+1")
+      .cell("DFSM clauses")
+      .cell("naive clauses")
+      .cell("DFSM evals/ref")
+      .cell("naive evals/ref")
+      .cell("completions agree");
+
+  Rng Rand(1234);
+  for (uint32_t N : {4u, 8u, 16u, 24u, 32u, 48u, 64u}) {
+    StreamSet Set = makeStreams(N, 12);
+    DfsmConfig Config;
+    PrefixDfsm Machine(Set.Streams, Config);
+    const CheckCode Code = generateCheckCode(Machine, Set.Refs);
+    const NaiveCheckStats Naive =
+        computeNaiveCheckStats(Set.Streams, Config.HeadLength, Set.Refs);
+
+    // Drive both matchers over a synthetic access sequence: stream walks
+    // in round-robin order with noise between them.
+    ScalarMatcherBank Bank(Set.Streams, Config.HeadLength, Set.SymbolPcs);
+    StateId State = 0;
+    uint64_t DfsmEvals = 0, DfsmCompletions = 0, NaiveCompletions = 0;
+    uint64_t TotalRefs = 0;
+    for (int Round = 0; Round < 50; ++Round) {
+      for (uint32_t S = 0; S < N; ++S) {
+        for (uint32_t J = 0; J < Set.Streams[S].size(); ++J) {
+          const uint32_t Symbol = Set.Streams[S][J];
+          ++TotalRefs;
+          // The DFSM pays roughly one evaluation per instrumented access
+          // (address-group scan); count a faithful clause-walk cost.
+          const analysis::DataRef &Ref = Set.Refs.refOf(Symbol);
+          for (const SiteCheckCode &Site : Code.Sites)
+            if (Site.Pc == Ref.Pc)
+              for (const AddrGroupCode &Group : Site.Groups) {
+                ++DfsmEvals;
+                if (Group.Addr == Ref.Addr)
+                  break;
+              }
+          State = Machine.step(State, Symbol);
+          DfsmCompletions += Machine.completionsAt(State).size();
+          NaiveCompletions += Bank.step(Symbol, Ref.Pc).size();
+        }
+      }
+    }
+
+    Out.row()
+        .cell(uint64_t{N})
+        .cell(uint64_t{Machine.stateCount()})
+        .cell(uint64_t{Config.HeadLength * N + 1})
+        .cell(uint64_t{Code.totalClauses()})
+        .cell(uint64_t{Naive.Clauses})
+        .cell(static_cast<double>(DfsmEvals) / TotalRefs, "%.2f")
+        .cell(static_cast<double>(Bank.clauseEvaluations()) / TotalRefs,
+              "%.2f")
+        .cell(DfsmCompletions == NaiveCompletions ? "yes" : "NO");
+  }
+  Out.print();
+  std::printf("\npaper: states stay near headLen*n+1 (no exponential "
+              "blow-up); the combined machine avoids the per-stream "
+              "scheme's redundant work\n");
+  return 0;
+}

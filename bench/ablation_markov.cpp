@@ -1,0 +1,86 @@
+//===- bench/ablation_markov.cpp - vs correlation-based prefetching --------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+// Section 5.1 positions Markov (correlation-based) hardware prefetching
+// [16] as the technique "most similar" to hot data stream prefetching,
+// and claims the software scheme's advantages include "more global
+// access pattern analysis" and "using more context for its predictions
+// than digrams of data accesses".
+//
+// This bench compares: the Markov prefetcher alone (digram successor
+// prediction on miss addresses, 2 and 4 successor slots), hot data
+// stream prefetching alone, and both together.  The Markov predictor
+// prefetches only one miss ahead per step and mispredicts at stream
+// interleaving points; stream prefetching runs a whole tail ahead after
+// one two-reference match.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchHarness.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace hds;
+using namespace hds::bench;
+
+namespace {
+
+uint32_t GSuccessors = 2;
+
+void enableMarkov(core::OptimizerConfig &Config) {
+  Config.EnableMarkovPrefetcher = true;
+  Config.Markov.SuccessorsPerNode = GSuccessors;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const double Scale = parseScale(Argc, Argv);
+  std::printf("== Ablation: Markov correlation prefetching vs hot data "
+              "streams (§5.1) ==\n");
+  std::printf("%% vs original (negative = faster)\n\n");
+
+  Table Out;
+  Out.row()
+      .cell("benchmark")
+      .cell("markov(2)")
+      .cell("markov(4)")
+      .cell("Dyn-pref")
+      .cell("Dyn-pref+markov(2)");
+
+  for (const std::string &Name : workloads::allWorkloadNames()) {
+    const RunResult Original =
+        runWorkload(Name, core::RunMode::Original, Scale);
+    GSuccessors = 2;
+    const RunResult Markov2 =
+        runWorkload(Name, core::RunMode::Original, Scale, enableMarkov);
+    GSuccessors = 4;
+    const RunResult Markov4 =
+        runWorkload(Name, core::RunMode::Original, Scale, enableMarkov);
+    const RunResult Dyn =
+        runWorkload(Name, core::RunMode::DynamicPrefetch, Scale);
+    GSuccessors = 2;
+    const RunResult Both = runWorkload(
+        Name, core::RunMode::DynamicPrefetch, Scale, enableMarkov);
+
+    Out.row()
+        .cell(Name)
+        .cell(overheadPercent(Markov2.Cycles, Original.Cycles), "%+.1f%%")
+        .cell(overheadPercent(Markov4.Cycles, Original.Cycles), "%+.1f%%")
+        .cell(overheadPercent(Dyn.Cycles, Original.Cycles), "%+.1f%%")
+        .cell(overheadPercent(Both.Cycles, Original.Cycles), "%+.1f%%");
+  }
+  Out.print();
+  std::printf("\nreading: with generous table state and free (hardware) "
+              "issue, miss-correlation is very effective on these "
+              "stationary, deterministic benchmarks — more so than the "
+              "paper's prose suggests for real programs, where miss "
+              "streams are far less repeatable and table state costs "
+              "megabytes (Joseph & Grunwald dedicated 1-4 MB).  The "
+              "stream scheme achieves its wins with ~100 DFSM states of "
+              "software state, adapts across phases, and composes with "
+              "the hardware schemes (last column).\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+//===- examples/adaptive_phases.cpp - Adapting to program phases -----------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+// The paper's motivation for a *dynamic* scheme over a static one: "for
+// programs with distinct phase behavior, a dynamic prefetching scheme
+// that adapts to program phase transitions may perform better"
+// (Section 1), with the profile/analyze/optimize/hibernate cycle
+// repeating for long-running programs (Figure 1).
+//
+// This example builds a program with two phases that walk *disjoint* sets
+// of linked lists.  A static optimizer trained on phase A would prefetch
+// nothing useful in phase B; the dynamic optimizer re-profiles after
+// every hibernation and swaps its installed streams.  The per-cycle
+// report shows the detected streams tracking the phase change, and the
+// cycle counts show prefetching keeps winning in both phases.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Runtime.h"
+#include "workloads/ChainSet.h"
+#include "workloads/NoiseRegion.h"
+
+#include <cstdio>
+
+using namespace hds;
+using namespace hds::workloads;
+
+namespace {
+
+struct TwoPhaseProgram {
+  ChainSet PhaseA;
+  ChainSet PhaseB;
+  NoiseRegion Noise;
+
+  void setup(core::Runtime &Rt) {
+    ChainSetConfig Chains;
+    Chains.NumChains = 24;
+    Chains.NodesPerChain = 16;
+    Chains.WalkerProcs = 6;
+    Chains.ScatterPadBytes = 96;
+    Chains.ComputePerHop = 2;
+    PhaseA.setup(Rt, Chains, "phaseA");
+    PhaseB.setup(Rt, Chains, "phaseB");
+
+    NoiseRegionConfig NoiseConfig;
+    NoiseConfig.Bytes = 12 * 1024;
+    NoiseConfig.StrideBytes = 32;
+    Noise.setup(Rt, NoiseConfig, "shared");
+  }
+
+  void sweep(core::Runtime &Rt, bool InPhaseA) {
+    ChainSet &Active = InPhaseA ? PhaseA : PhaseB;
+    for (uint32_t C = 0; C < Active.chainCount(); ++C) {
+      Active.walk(Rt, C);
+      Noise.step(Rt, 10);
+    }
+    Noise.step(Rt, 40);
+  }
+
+  void run(core::Runtime &Rt, uint64_t SweepsPerPhase, int Phases) {
+    for (int Phase = 0; Phase < Phases; ++Phase)
+      for (uint64_t S = 0; S < SweepsPerPhase; ++S)
+        sweep(Rt, Phase % 2 == 0);
+  }
+};
+
+uint64_t runOnce(core::RunMode Mode, bool Verbose) {
+  core::OptimizerConfig Config;
+  Config.Mode = Mode;
+  Config.Tracing.NCheck0 = 1'481; // short prime burst-period
+  Config.Tracing.NInstr0 = 30;
+  Config.Tracing.NAwake = 30;
+  Config.Tracing.NHibernate = 120;
+
+  core::Runtime Rt(Config);
+  TwoPhaseProgram Program;
+  Program.setup(Rt);
+  Program.run(Rt, /*SweepsPerPhase=*/4000, /*Phases=*/4);
+
+  if (Verbose) {
+    std::printf("\nper-cycle view (phases switch every 4000 sweeps):\n");
+    const core::RunStats &Stats = Rt.stats();
+    for (size_t C = 0; C < Stats.Cycles.size(); ++C) {
+      const core::CycleStats &Cycle = Stats.Cycles[C];
+      std::printf("  cycle %2zu: %2zu streams installed, %zu procedures "
+                  "modified, %llu refs traced\n",
+                  C, Cycle.StreamsInstalled, Cycle.ProceduresModified,
+                  (unsigned long long)Cycle.TracedRefs);
+    }
+    std::printf("  complete matches: %llu, prefetches: %llu, useful: "
+                "%llu\n",
+                (unsigned long long)Stats.CompleteMatches,
+                (unsigned long long)Stats.PrefetchesRequested,
+                (unsigned long long)
+                    Rt.memory().l1().stats().UsefulPrefetches);
+  }
+  return Rt.cycles();
+}
+
+} // namespace
+
+int main() {
+  std::printf("adaptive phases: 4 phases x 4000 sweeps, phase A and B "
+              "walk disjoint list sets\n");
+
+  const uint64_t Original = runOnce(core::RunMode::Original, false);
+  const uint64_t Prefetched =
+      runOnce(core::RunMode::DynamicPrefetch, true);
+
+  std::printf("\noriginal:   %llu cycles\n", (unsigned long long)Original);
+  std::printf("prefetched: %llu cycles\n", (unsigned long long)Prefetched);
+  std::printf("improvement across phase changes: %.1f%%\n",
+              100.0 * (1.0 - static_cast<double>(Prefetched) /
+                                 static_cast<double>(Original)));
+  std::printf("\nthe dynamic scheme re-profiles every cycle, so the "
+              "installed streams follow the active phase — a static "
+              "scheme trained on one phase would idle for half the run\n");
+  return 0;
+}

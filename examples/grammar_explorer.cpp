@@ -1,0 +1,152 @@
+//===- examples/grammar_explorer.cpp - Explore the analysis pipeline -------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+// Feeds a string through the offline pieces of the pipeline and shows
+// every intermediate artifact: the incremental Sequitur grammar, the fast
+// hot data stream analysis values (the paper's Table 1 columns), the
+// prefix-matching DFSM, and the generated detection/prefetching code in
+// the shape of Figure 7.
+//
+// Usage: grammar_explorer [string] [heatThreshold] [minLen] [maxLen]
+//   defaults: the paper's worked example, H=8, minLen=2, maxLen=7.
+//
+// Try:
+//   grammar_explorer
+//   grammar_explorer mississippimississippi 6 3 11
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DataRef.h"
+#include "analysis/FastAnalyzer.h"
+#include "dfsm/CheckCodeGen.h"
+#include "dfsm/PrefixDfsm.h"
+#include "sequitur/Grammar.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace hds;
+
+int main(int Argc, char **Argv) {
+  const std::string Input = Argc > 1 ? Argv[1] : "abaabcabcabcabc";
+  analysis::AnalysisConfig Config;
+  Config.HeatThreshold = Argc > 2 ? std::strtoull(Argv[2], nullptr, 10) : 8;
+  Config.MinLength = Argc > 3 ? std::strtoull(Argv[3], nullptr, 10) : 2;
+  Config.MaxLength = Argc > 4 ? std::strtoull(Argv[4], nullptr, 10) : 7;
+
+  std::printf("input: %s  (H=%llu, minLen=%llu, maxLen=%llu)\n\n",
+              Input.c_str(), (unsigned long long)Config.HeatThreshold,
+              (unsigned long long)Config.MinLength,
+              (unsigned long long)Config.MaxLength);
+
+  // Treat each character as a data reference (pc = addr = the character):
+  // in the real system the profiler interns (pc, addr) pairs the same way.
+  analysis::DataRefTable Refs;
+  sequitur::Grammar Grammar;
+  for (char C : Input) {
+    const auto Ch = static_cast<uint64_t>(static_cast<unsigned char>(C));
+    Grammar.append(Refs.intern({Ch, Ch}));
+  }
+
+  auto SymbolName = [&Refs](uint32_t Symbol) {
+    return std::string(1, static_cast<char>(Refs.refOf(Symbol).Pc));
+  };
+
+  std::printf("-- Sequitur grammar (%zu rules, %zu RHS symbols for %zu "
+              "input symbols) --\n",
+              Grammar.ruleCount(), Grammar.totalRhsSymbols(),
+              Grammar.inputLength());
+  // Print with single-character terminals.
+  for (const sequitur::Rule *R : Grammar.rules()) {
+    std::printf("R%u ->", R->id());
+    for (sequitur::Symbol *S = R->first(); !S->isGuard(); S = S->next()) {
+      if (S->isTerminal())
+        std::printf(" %s",
+                    SymbolName(static_cast<uint32_t>(S->terminal())).c_str());
+      else
+        std::printf(" R%u", S->rule()->id());
+    }
+    std::printf("\n");
+  }
+
+  const sequitur::GrammarSnapshot Snapshot = Grammar.snapshot();
+  const analysis::FastAnalysisResult Result =
+      analysis::analyzeHotStreams(Snapshot, Config);
+
+  std::printf("\n-- fast hot data stream analysis (Figure 5 / Table 1) "
+              "--\n");
+  Table Out;
+  Out.row()
+      .cell("rule")
+      .cell("word")
+      .cell("length")
+      .cell("index")
+      .cell("uses")
+      .cell("coldUses")
+      .cell("heat")
+      .cell("hot?");
+  for (uint32_t R = 0; R < Snapshot.Rules.size(); ++R) {
+    const analysis::RuleAnalysis &A = Result.PerRule[R];
+    std::string Word;
+    for (uint64_t T : Snapshot.expand(R))
+      Word += SymbolName(static_cast<uint32_t>(T));
+    if (Word.size() > 24)
+      Word = Word.substr(0, 21) + "...";
+    Out.row()
+        .cell(formatString("R%u", R))
+        .cell(Word)
+        .cell(uint64_t{A.Length})
+        .cell(uint64_t{A.Index})
+        .cell(uint64_t{A.Uses})
+        .cell(uint64_t{A.ColdUses})
+        .cell(uint64_t{A.Heat})
+        .cell(R == 0 ? "start" : (A.Hot ? "HOT" : "cold"));
+  }
+  Out.print();
+
+  if (Result.Streams.empty()) {
+    std::printf("\nno hot data streams at these thresholds\n");
+    return 0;
+  }
+
+  std::printf("\n-- hot data streams (%.0f%% of the trace) --\n",
+              100.0 * Result.coverage());
+  std::vector<std::vector<uint32_t>> StreamSymbols;
+  for (const analysis::HotDataStream &Stream : Result.Streams) {
+    std::string Word;
+    for (uint32_t S : Stream.Symbols)
+      Word += SymbolName(S);
+    std::printf("  %-24s heat=%llu frequency=%llu\n", Word.c_str(),
+                (unsigned long long)Stream.Heat,
+                (unsigned long long)Stream.Frequency);
+    StreamSymbols.push_back(Stream.Symbols);
+  }
+
+  dfsm::DfsmConfig MachineConfig;
+  MachineConfig.HeadLength = 2;
+  dfsm::PrefixDfsm Machine(StreamSymbols, MachineConfig);
+  std::printf("\n-- prefix-matching DFSM (headLen=2) --\n");
+  std::printf("%zu states, %zu transitions (%zu streams too short to "
+              "prefetch)\n",
+              Machine.stateCount(), Machine.transitionCount(),
+              Machine.skippedStreamCount());
+  for (dfsm::StateId S = 0; S < Machine.stateCount(); ++S) {
+    std::printf("  state %u = {", S);
+    bool FirstElement = true;
+    for (const dfsm::StateElement &E : Machine.elementsOf(S)) {
+      std::printf("%s[v%u,%u]", FirstElement ? "" : ", ", E.Stream, E.Seen);
+      FirstElement = false;
+    }
+    std::printf("}%s\n",
+                Machine.completionsAt(S).empty() ? "" : "  <- prefetch!");
+  }
+
+  const dfsm::CheckCode Code = dfsm::generateCheckCode(Machine, Refs);
+  std::printf("\n-- generated detection/prefetching code (Figure 7 shape; "
+              "%zu clauses) --\n%s",
+              Code.totalClauses(), Code.dump().c_str());
+  return 0;
+}

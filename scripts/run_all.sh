@@ -1,0 +1,28 @@
+#!/bin/sh
+# Builds everything, runs the test suite, and regenerates every paper
+# table/figure and ablation, capturing outputs like the final artifacts
+# in the repository root.
+#
+# Usage: scripts/run_all.sh [bench-scale]   (default 1.0)
+set -e
+cd "$(dirname "$0")/.."
+SCALE="${1:-1.0}"
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    [ -x "$b" ] || continue
+    echo "==== $b $SCALE ===="
+    case "$(basename "$b")" in
+      table1_analysis_example|fig3_timeline|ablation_dfsm|ablation_analysis|micro_substrates)
+        "$b" ;;
+      *)
+        "$b" "$SCALE" ;;
+    esac
+    echo
+  done
+} 2>&1 | tee bench_output.txt

@@ -1,0 +1,42 @@
+//===- analysis/Coverage.cpp - Trace coverage of stream sets --------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Coverage.h"
+
+#include <algorithm>
+
+using namespace hds;
+using namespace hds::analysis;
+
+double hds::analysis::traceCoverage(const std::vector<uint32_t> &Trace,
+                                    const std::vector<HotDataStream> &Streams) {
+  if (Trace.empty())
+    return 0.0;
+
+  std::vector<uint8_t> Covered(Trace.size(), 0);
+  for (const HotDataStream &Stream : Streams) {
+    if (Stream.Symbols.empty() || Stream.Symbols.size() > Trace.size())
+      continue;
+    auto SearchBegin = Trace.begin();
+    while (true) {
+      auto It = std::search(SearchBegin, Trace.end(), Stream.Symbols.begin(),
+                            Stream.Symbols.end());
+      if (It == Trace.end())
+        break;
+      const size_t Start = static_cast<size_t>(It - Trace.begin());
+      std::fill(Covered.begin() + Start,
+                Covered.begin() + Start + Stream.Symbols.size(), uint8_t{1});
+      // Overlapping occurrences cover the same positions; advancing by one
+      // position finds them all.
+      SearchBegin = It + 1;
+    }
+  }
+
+  uint64_t Count = 0;
+  for (uint8_t Flag : Covered)
+    Count += Flag;
+  return static_cast<double>(Count) / Trace.size();
+}

@@ -1,0 +1,36 @@
+//===- analysis/Coverage.h - Trace coverage of stream sets -----*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures how much of a trace a set of hot data streams accounts for —
+/// the "hot data streams ... account for around 90% of program references"
+/// property ([8, 28], cited in Section 1) and the 80% figure of the
+/// worked example in Figure 6.  Used by the ablation bench to compare the
+/// fast and precise analyzers on equal footing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_ANALYSIS_COVERAGE_H
+#define HDS_ANALYSIS_COVERAGE_H
+
+#include "analysis/HotDataStream.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace hds {
+namespace analysis {
+
+/// Fraction of \p Trace positions covered by at least one occurrence of any
+/// stream in \p Streams.  Occurrences may overlap each other; every covered
+/// position counts once.  Returns 0 for an empty trace.
+double traceCoverage(const std::vector<uint32_t> &Trace,
+                     const std::vector<HotDataStream> &Streams);
+
+} // namespace analysis
+} // namespace hds
+
+#endif // HDS_ANALYSIS_COVERAGE_H

@@ -1,0 +1,92 @@
+//===- analysis/DataRef.h - Data references and interning ------*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A data reference is a load or store of a particular address, represented
+/// as a pair (r.pc, r.addr) — Section 2.1 of the paper.  The profiler
+/// interns references into dense ids so the Sequitur grammar and the DFSM
+/// construction operate on small integers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_ANALYSIS_DATAREF_H
+#define HDS_ANALYSIS_DATAREF_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace hds {
+namespace analysis {
+
+/// A load or store of address \p Addr issued by the instruction at \p Pc.
+struct DataRef {
+  uint64_t Pc = 0;
+  uint64_t Addr = 0;
+
+  friend bool operator==(const DataRef &A, const DataRef &B) {
+    return A.Pc == B.Pc && A.Addr == B.Addr;
+  }
+};
+
+struct DataRefHash {
+  size_t operator()(const DataRef &Ref) const {
+    uint64_t H = Ref.Addr * 0x100000001B3ULL;
+    H ^= Ref.Pc + 0x9E3779B97F4A7C15ULL + (H << 6) + (H >> 2);
+    return static_cast<size_t>(H);
+  }
+};
+
+/// Dense id assigned to an interned DataRef.
+using RefId = uint32_t;
+
+/// Sentinel for "no such reference".
+inline constexpr RefId InvalidRefId = ~RefId{0};
+
+/// Bidirectional interning table: (pc, addr) <-> dense RefId.
+///
+/// Sequitur terminals, hot data stream elements, and DFSM symbols are all
+/// RefIds; this table is the single place that maps them back to concrete
+/// program points and addresses when injecting checks and prefetches.
+class DataRefTable {
+public:
+  /// Returns the id for \p Ref, creating one on first sight.
+  RefId intern(const DataRef &Ref) {
+    auto [It, Inserted] = Index.try_emplace(Ref, RefId(Refs.size()));
+    if (Inserted)
+      Refs.push_back(Ref);
+    return It->second;
+  }
+
+  /// Returns the id for \p Ref if it was interned before, or InvalidRefId.
+  RefId lookup(const DataRef &Ref) const {
+    auto It = Index.find(Ref);
+    return It == Index.end() ? InvalidRefId : It->second;
+  }
+
+  const DataRef &refOf(RefId Id) const {
+    assert(Id < Refs.size() && "unknown RefId");
+    return Refs[Id];
+  }
+
+  size_t size() const { return Refs.size(); }
+
+  void clear() {
+    Index.clear();
+    Refs.clear();
+  }
+
+private:
+  std::unordered_map<DataRef, RefId, DataRefHash> Index;
+  std::vector<DataRef> Refs;
+};
+
+} // namespace analysis
+} // namespace hds
+
+#endif // HDS_ANALYSIS_DATAREF_H

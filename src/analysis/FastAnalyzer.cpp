@@ -1,0 +1,156 @@
+//===- analysis/FastAnalyzer.cpp - Fast hot data stream detection ---------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/FastAnalyzer.h"
+
+#include <cassert>
+
+using namespace hds;
+using namespace hds::analysis;
+using hds::sequitur::GrammarSnapshot;
+
+namespace {
+
+/// Iterative DFS computing the reverse post-order numbering of Figure 5:
+/// whenever B is a child of A, A.Index < B.Index, so later passes can walk
+/// rules in ascending index order and see every predecessor first.
+void numberRules(const GrammarSnapshot &Snapshot,
+                 std::vector<RuleAnalysis> &PerRule,
+                 std::vector<uint32_t> &ByIndex) {
+  const size_t N = Snapshot.Rules.size();
+  std::vector<uint8_t> Visited(N, 0);
+  uint32_t Next = static_cast<uint32_t>(N);
+
+  struct Frame {
+    uint32_t Rule;
+    size_t ChildPos; // next RHS position to explore
+  };
+  std::vector<Frame> Stack;
+  Stack.push_back({0, 0});
+  Visited[0] = 1;
+
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    const auto &Rhs = Snapshot.Rules[Top.Rule].Rhs;
+    bool Descended = false;
+    while (Top.ChildPos < Rhs.size()) {
+      const auto &Item = Rhs[Top.ChildPos++];
+      if (!Item.IsRule || Visited[Item.RuleIndex])
+        continue;
+      Visited[Item.RuleIndex] = 1;
+      Stack.push_back({Item.RuleIndex, 0});
+      Descended = true;
+      break;
+    }
+    if (Descended)
+      continue;
+    // All children numbered; number this rule.
+    assert(Next > 0 && "more numbered rules than rules");
+    --Next;
+    PerRule[Stack.back().Rule].Index = Next;
+    Stack.pop_back();
+  }
+
+  // Every snapshot rule is reachable from the start rule, so Next is 0.
+  assert(Next == 0 && "snapshot contained unreachable rules");
+
+  ByIndex.assign(N, 0);
+  for (uint32_t Rule = 0; Rule < N; ++Rule)
+    ByIndex[PerRule[Rule].Index] = Rule;
+}
+
+/// Computes |w_A| for every rule in ascending-index (parents-first) order
+/// reversed: children must be known before parents, so walk descending.
+void computeLengths(const GrammarSnapshot &Snapshot,
+                    const std::vector<uint32_t> &ByIndex,
+                    std::vector<RuleAnalysis> &PerRule) {
+  for (size_t I = ByIndex.size(); I-- > 0;) {
+    const uint32_t Rule = ByIndex[I];
+    uint64_t Length = 0;
+    for (const auto &Item : Snapshot.Rules[Rule].Rhs) {
+      if (Item.IsRule) {
+        assert(PerRule[Item.RuleIndex].Index > PerRule[Rule].Index &&
+               "child numbered before parent");
+        Length += PerRule[Item.RuleIndex].Length;
+      } else {
+        Length += 1;
+      }
+    }
+    PerRule[Rule].Length = Length;
+  }
+}
+
+} // namespace
+
+FastAnalysisResult
+hds::analysis::analyzeHotStreams(const GrammarSnapshot &Snapshot,
+                                 const AnalysisConfig &Config) {
+  FastAnalysisResult Result;
+  const size_t N = Snapshot.Rules.size();
+  Result.PerRule.assign(N, RuleAnalysis());
+  if (N == 0)
+    return Result;
+
+  std::vector<uint32_t> ByIndex;
+  numberRules(Snapshot, Result.PerRule, ByIndex);
+  computeLengths(Snapshot, ByIndex, Result.PerRule);
+  Result.TraceLength = Result.PerRule[0].Length;
+
+  // Find uses for non-terminals; initialize coldUses to uses (Figure 5).
+  // Visiting in ascending index order guarantees A.Uses is final before any
+  // child of A is updated.
+  Result.PerRule[0].Uses = Result.PerRule[0].ColdUses = 1;
+  for (uint32_t I = 0; I < N; ++I) {
+    const uint32_t Rule = ByIndex[I];
+    for (const auto &Item : Snapshot.Rules[Rule].Rhs) {
+      if (!Item.IsRule)
+        continue;
+      RuleAnalysis &Child = Result.PerRule[Item.RuleIndex];
+      Child.Uses += Result.PerRule[Rule].Uses;
+      Child.ColdUses = Child.Uses;
+    }
+  }
+
+  // Find hot non-terminals.  A non-terminal is only considered hot if it
+  // accounts for enough of the trace on its own, where it is not part of
+  // the expansion of other (already reported) hot non-terminals.
+  for (uint32_t I = 0; I < N; ++I) {
+    const uint32_t Rule = ByIndex[I];
+    RuleAnalysis &A = Result.PerRule[Rule];
+    A.Heat = A.Length * A.ColdUses;
+    const bool IsStart = Rule == 0;
+    const bool FHot = !IsStart && Config.MinLength <= A.Length &&
+                      A.Length <= Config.MaxLength &&
+                      Config.HeatThreshold <= A.Heat;
+    A.Hot = FHot;
+    if (FHot) {
+      HotDataStream Stream;
+      std::vector<uint64_t> Word = Snapshot.expand(Rule);
+      Stream.Symbols.reserve(Word.size());
+      for (uint64_t Terminal : Word)
+        Stream.Symbols.push_back(static_cast<uint32_t>(Terminal));
+      Stream.Frequency = A.ColdUses;
+      Stream.Heat = A.Heat;
+      Result.TotalHeat += A.Heat;
+      Result.Streams.push_back(std::move(Stream));
+    }
+
+    // Occurrences of children below a hot rule are no longer "cold"; for a
+    // cold rule only its own cold occurrences shadow the children.
+    const uint64_t Subtract = FHot ? A.Uses : (A.Uses - A.ColdUses);
+    if (Subtract == 0)
+      continue;
+    for (const auto &Item : Snapshot.Rules[Rule].Rhs) {
+      if (!Item.IsRule)
+        continue;
+      RuleAnalysis &Child = Result.PerRule[Item.RuleIndex];
+      assert(Child.ColdUses >= Subtract && "coldUses underflow");
+      Child.ColdUses -= Subtract;
+    }
+  }
+
+  return Result;
+}

@@ -1,0 +1,76 @@
+//===- analysis/FastAnalyzer.h - Fast hot data stream detection -*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fast, linear-time approximation of hot data streams from Section 2.3
+/// / Figure 5 of the paper.
+///
+/// Each non-terminal A of a Sequitur grammar generates exactly one word
+/// w_A.  Define A.heat = w_A.length * A.coldUses, where A.coldUses counts
+/// occurrences of A in the grammar's unique parse tree that are *not*
+/// inside the sub-trees of other hot non-terminals.  A is hot iff
+/// minLen <= A.length <= maxLen and H <= A.heat.  The analysis visits
+/// non-terminals in reverse post-order (parents before children), so it
+/// runs in time linear in the size of the grammar — the property the paper
+/// trades precision for, relying on Sequitur's ability to infer hierarchy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_ANALYSIS_FASTANALYZER_H
+#define HDS_ANALYSIS_FASTANALYZER_H
+
+#include "analysis/HotDataStream.h"
+#include "sequitur/Grammar.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace hds {
+namespace analysis {
+
+/// Per-rule values computed by the analysis — exactly the columns of the
+/// paper's Table 1, exposed so tests and the worked-example bench can lock
+/// them down.
+struct RuleAnalysis {
+  uint64_t Length = 0;    // |w_A|
+  uint32_t Index = 0;     // reverse post-order number
+  uint64_t Uses = 0;      // occurrences in the parse tree
+  uint64_t ColdUses = 0;  // occurrences outside other hot sub-trees
+  uint64_t Heat = 0;      // Length * ColdUses
+  bool Hot = false;       // reported as a hot data stream
+};
+
+/// Result of one analysis run.
+struct FastAnalysisResult {
+  std::vector<HotDataStream> Streams;
+  /// Per-snapshot-rule values, indexed like GrammarSnapshot::Rules.
+  std::vector<RuleAnalysis> PerRule;
+  /// Length of the full traced string (|w_S|).
+  uint64_t TraceLength = 0;
+  /// Sum of reported stream heats; Heat/TraceLength is the fraction of the
+  /// trace the hot streams account for (80% in the paper's Figure 6
+  /// example, ~90% for real programs per [8]).
+  uint64_t TotalHeat = 0;
+
+  double coverage() const {
+    return TraceLength == 0
+               ? 0.0
+               : static_cast<double>(TotalHeat) / TraceLength;
+  }
+};
+
+/// Runs the Figure 5 algorithm over \p Snapshot.
+///
+/// The start rule (index 0) is never reported hot — it is the whole trace
+/// (Table 1 marks it "no, start").  Streams are reported in ascending
+/// reverse-post-order index, i.e. outermost-hottest first.
+FastAnalysisResult analyzeHotStreams(const sequitur::GrammarSnapshot &Snapshot,
+                                     const AnalysisConfig &Config);
+
+} // namespace analysis
+} // namespace hds
+
+#endif // HDS_ANALYSIS_FASTANALYZER_H

@@ -1,0 +1,61 @@
+//===- analysis/HotDataStream.h - Hot data stream types --------*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A hot data stream is a data reference subsequence whose regularity
+/// magnitude v.heat = v.length * v.frequency exceeds a predetermined heat
+/// threshold H (Section 2.3).  These are the prefetch units of the whole
+/// system: their prefixes are matched at run time and their suffixes
+/// prefetched.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_ANALYSIS_HOTDATASTREAM_H
+#define HDS_ANALYSIS_HOTDATASTREAM_H
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace hds {
+namespace analysis {
+
+/// One detected hot data stream over interned reference ids.
+struct HotDataStream {
+  /// The stream's data references in temporal order (RefIds).
+  std::vector<uint32_t> Symbols;
+  /// Estimated non-overlapping occurrence count (coldUses for the fast
+  /// analyzer, exact count for the precise one).
+  uint64_t Frequency = 0;
+  /// Regularity magnitude: Symbols.size() * Frequency.
+  uint64_t Heat = 0;
+
+  uint64_t length() const { return Symbols.size(); }
+
+  /// Number of distinct references in the stream; the paper configures the
+  /// system to keep only streams with more than ten unique references
+  /// (Section 4.1 — enough to justify a prefix-match + prefetch pair).
+  uint64_t uniqueRefs() const {
+    std::unordered_set<uint32_t> Unique(Symbols.begin(), Symbols.end());
+    return Unique.size();
+  }
+};
+
+/// Knobs shared by both analyzers; the names follow Figure 5.
+struct AnalysisConfig {
+  /// Streams shorter than this are not worth a DFSM state (minLen).
+  uint64_t MinLength = 2;
+  /// Streams longer than this are truncated opportunities (maxLen).
+  uint64_t MaxLength = 100;
+  /// Heat threshold H.  The optimizer sets this to cover streams that
+  /// account for at least 1% of the traced references (Section 4.1).
+  uint64_t HeatThreshold = 8;
+};
+
+} // namespace analysis
+} // namespace hds
+
+#endif // HDS_ANALYSIS_HOTDATASTREAM_H

@@ -1,0 +1,45 @@
+//===- analysis/StreamFilter.cpp - Shared stream post-filters -------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StreamFilter.h"
+
+#include <algorithm>
+
+using namespace hds;
+using namespace hds::analysis;
+
+void hds::analysis::keepMaximalStreams(std::vector<HotDataStream> &Streams) {
+  // Longest first so containment only needs to look at earlier survivors.
+  std::sort(Streams.begin(), Streams.end(),
+            [](const HotDataStream &A, const HotDataStream &B) {
+              if (A.length() != B.length())
+                return A.length() > B.length();
+              return A.Heat > B.Heat;
+            });
+
+  std::vector<HotDataStream> Maximal;
+  for (HotDataStream &S : Streams) {
+    bool Contained = false;
+    for (const HotDataStream &Longer : Maximal) {
+      if (Longer.length() <= S.length() || Longer.Frequency < S.Frequency)
+        continue;
+      auto It = std::search(Longer.Symbols.begin(), Longer.Symbols.end(),
+                            S.Symbols.begin(), S.Symbols.end());
+      if (It != Longer.Symbols.end()) {
+        Contained = true;
+        break;
+      }
+    }
+    if (!Contained)
+      Maximal.push_back(std::move(S));
+  }
+  Streams = std::move(Maximal);
+
+  std::sort(Streams.begin(), Streams.end(),
+            [](const HotDataStream &A, const HotDataStream &B) {
+              return A.Heat > B.Heat;
+            });
+}

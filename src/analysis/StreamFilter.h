@@ -1,0 +1,32 @@
+//===- analysis/StreamFilter.h - Shared stream post-filters ----*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Post-processing shared by the exact analyzers: maximality filtering
+/// (a reported stream must not be a substring of another reported stream
+/// that recurs at least as often — such substreams add no prefetching
+/// opportunity) and hottest-first ordering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_ANALYSIS_STREAMFILTER_H
+#define HDS_ANALYSIS_STREAMFILTER_H
+
+#include "analysis/HotDataStream.h"
+
+#include <vector>
+
+namespace hds {
+namespace analysis {
+
+/// Drops every stream contained in a longer reported stream of at least
+/// equal frequency, then sorts the survivors hottest first.
+void keepMaximalStreams(std::vector<HotDataStream> &Streams);
+
+} // namespace analysis
+} // namespace hds
+
+#endif // HDS_ANALYSIS_STREAMFILTER_H

@@ -1,0 +1,125 @@
+//===- core/PrefetchEngine.cpp - Injected-code interpreter ----------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PrefetchEngine.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace hds;
+using namespace hds::core;
+
+void PrefetchEngine::install(dfsm::CheckCode NewCode,
+                             std::vector<InstalledStream> NewStreams,
+                             size_t ImageSiteCount) {
+  Code = std::move(NewCode);
+  Streams = std::move(NewStreams);
+  SiteToTable.assign(ImageSiteCount, -1);
+  for (size_t I = 0; I < Code.Sites.size(); ++I) {
+    assert(Code.Sites[I].Pc < ImageSiteCount && "pc outside the image");
+    SiteToTable[static_cast<size_t>(Code.Sites[I].Pc)] =
+        static_cast<int32_t>(I);
+  }
+  State = 0;
+  Installed = true;
+}
+
+void PrefetchEngine::uninstall() {
+  Code = dfsm::CheckCode();
+  Streams.clear();
+  SiteToTable.clear();
+  State = 0;
+  Installed = false;
+}
+
+void PrefetchEngine::firePrefetches(dfsm::StreamIndex StreamIdx,
+                                    memsim::Addr MatchAddr,
+                                    const OptimizerConfig &Config,
+                                    memsim::MemoryHierarchy &Hierarchy,
+                                    RunStats &Stats) {
+  ++Stats.CompleteMatches;
+  const InstalledStream &Stream = Streams.at(StreamIdx);
+  const uint64_t Count = std::min<uint64_t>(Stream.TailAddrs.size(),
+                                            Config.MaxPrefetchesPerMatch);
+  switch (Config.Mode) {
+  case RunMode::MatchNoPrefetch:
+    break; // measure matching cost only (Figure 12 "No-pref")
+  case RunMode::SequentialPrefetch: {
+    // Prefetch the blocks sequentially following the last matched
+    // reference; same prefetch count as the real scheme would issue.
+    const uint64_t Block = Hierarchy.l1().config().BlockBytes;
+    for (uint64_t I = 1; I <= Count; ++I) {
+      Hierarchy.prefetchT0(MatchAddr + I * Block);
+      ++Stats.PrefetchesRequested;
+    }
+    break;
+  }
+  case RunMode::DynamicPrefetch:
+    for (uint64_t I = 0; I < Count; ++I) {
+      Hierarchy.prefetchT0(Stream.TailAddrs[I]);
+      ++Stats.PrefetchesRequested;
+    }
+    break;
+  default:
+    assert(false && "prefetch engine installed in a non-matching mode");
+    break;
+  }
+}
+
+void PrefetchEngine::onAccess(vulcan::SiteId Site, memsim::Addr Addr,
+                              const OptimizerConfig &Config,
+                              memsim::MemoryHierarchy &Hierarchy,
+                              RunStats &Stats) {
+  assert(siteInstrumented(Site) && "access at an uninstrumented site");
+  const dfsm::SiteCheckCode &Table =
+      Code.Sites[static_cast<size_t>(SiteToTable[static_cast<size_t>(Site)])];
+
+  ++Stats.InstrumentedSiteHits;
+
+  // Execute the injected if-else structure (Figure 7): scan the outer
+  // address branches until one matches, then that branch's specific
+  // state compares; with no specific match the default arm restarts
+  // matching at d(start, a).  A non-matching address costs one compare
+  // per address group and resets the state.
+  uint64_t Scanned = 0;
+  const dfsm::AddrGroupCode *Group = nullptr;
+  for (const dfsm::AddrGroupCode &Candidate : Table.Groups) {
+    ++Scanned;
+    if (Candidate.Addr == Addr) {
+      Group = &Candidate;
+      break;
+    }
+  }
+
+  const std::vector<dfsm::StreamIndex> *Completions = nullptr;
+  if (!Group) {
+    State = 0;
+  } else {
+    const dfsm::CheckClause *Match = nullptr;
+    for (const dfsm::CheckClause &Clause : Group->Specific) {
+      ++Scanned;
+      if (Clause.FromState == State) {
+        Match = &Clause;
+        break;
+      }
+    }
+    if (Match) {
+      State = Match->ToState;
+      Completions = &Match->CompletedStreams;
+    } else {
+      State = Group->DefaultToState;
+      Completions = &Group->DefaultCompletions;
+    }
+  }
+
+  Stats.MatchClausesScanned += Scanned;
+  Hierarchy.tick(Config.Costs.MatchClauseCycles *
+                 std::max<uint64_t>(1, Scanned));
+
+  if (Completions)
+    for (dfsm::StreamIndex StreamIdx : *Completions)
+      firePrefetches(StreamIdx, Addr, Config, Hierarchy, Stats);
+}

@@ -1,0 +1,102 @@
+//===- core/PrefetchEngine.h - Injected-code interpreter -------*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes the injected detection and prefetching code (Section 3.1).
+///
+/// After each optimization step the engine holds the generated per-pc
+/// check tables (dfsm::CheckCode) and the prefetch targets of every
+/// installed hot data stream.  A data access at an instrumented pc scans
+/// that pc's clauses: a clause whose address and source state both match
+/// drives the DFSM state forward and, on a complete prefix match, issues
+/// prefetches — the stream's remaining addresses for Dyn-pref, or the
+/// sequentially following cache blocks for the Seq-pref straw man, or
+/// nothing for No-pref (Section 4.3).  A failed match resets the state to
+/// the start state, mirroring the "else v.seen = 0" arms of Figure 7.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_CORE_PREFETCHENGINE_H
+#define HDS_CORE_PREFETCHENGINE_H
+
+#include "core/OptimizerConfig.h"
+#include "core/RunStats.h"
+#include "dfsm/CheckCodeGen.h"
+#include "memsim/MemoryHierarchy.h"
+#include "vulcan/Image.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hds {
+namespace core {
+
+/// Interpreter for one optimization cycle's injected code.
+class PrefetchEngine {
+public:
+  /// Prefetch targets for one installed stream: the addresses of its tail
+  /// (v.tail = v_{headLen+1} ... v_{|v|}).
+  struct InstalledStream {
+    std::vector<memsim::Addr> TailAddrs;
+  };
+
+  /// Installs \p Code and \p Streams; \p ImageSiteCount sizes the fast
+  /// site lookup table.  StreamIndex values inside the code refer into
+  /// \p Streams.
+  void install(dfsm::CheckCode Code, std::vector<InstalledStream> Streams,
+               size_t ImageSiteCount);
+
+  /// Removes all injected code (deoptimization).
+  void uninstall();
+
+  bool installed() const { return Installed; }
+
+  /// O(1): whether \p Site carries injected checks.
+  bool siteInstrumented(vulcan::SiteId Site) const {
+    return Installed && Site < SiteToTable.size() &&
+           SiteToTable[static_cast<size_t>(Site)] >= 0;
+  }
+
+  /// Runs the injected code for an access of \p Addr at \p Site.
+  /// Advances the simulated clock by the scan cost and issues prefetches
+  /// according to \p Config.Mode.  Must only be called for instrumented
+  /// sites.
+  void onAccess(vulcan::SiteId Site, memsim::Addr Addr,
+                const OptimizerConfig &Config,
+                memsim::MemoryHierarchy &Hierarchy, RunStats &Stats);
+
+  /// Current DFSM state (tests).
+  dfsm::StateId currentState() const { return State; }
+
+  /// Number of installed streams.
+  size_t streamCount() const { return Streams.size(); }
+
+  /// The installed check tables (tests and cross-validation).
+  const dfsm::CheckCode &installedCode() const { return Code; }
+
+  /// The installed streams' tail addresses (tests).
+  const std::vector<InstalledStream> &installedStreams() const {
+    return Streams;
+  }
+
+private:
+  /// Issues the prefetches for one completed stream.
+  void firePrefetches(dfsm::StreamIndex StreamIdx, memsim::Addr MatchAddr,
+                      const OptimizerConfig &Config,
+                      memsim::MemoryHierarchy &Hierarchy, RunStats &Stats);
+
+  bool Installed = false;
+  dfsm::CheckCode Code;
+  std::vector<InstalledStream> Streams;
+  std::vector<int32_t> SiteToTable; // SiteId -> index into Code.Sites
+  dfsm::StateId State = 0;
+};
+
+} // namespace core
+} // namespace hds
+
+#endif // HDS_CORE_PREFETCHENGINE_H

@@ -1,0 +1,65 @@
+//===- core/RunStats.h - Per-run and per-cycle statistics ------*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counters collected while running a benchmark under the dynamic
+/// optimizer.  CycleStats holds exactly the quantities the paper's Table 2
+/// reports per optimization cycle; RunStats aggregates a whole run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_CORE_RUNSTATS_H
+#define HDS_CORE_RUNSTATS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hds {
+namespace core {
+
+/// One profile/analyze/optimize/hibernate cycle (Table 2 row material).
+struct CycleStats {
+  uint64_t TracedRefs = 0;
+  size_t HotStreamsDetected = 0;
+  size_t StreamsInstalled = 0; // after unique-refs / head-length filters
+  size_t DfsmStates = 0;
+  size_t DfsmTransitions = 0;
+  size_t CheckClausesInjected = 0;
+  size_t ProceduresModified = 0;
+  size_t SitesInstrumented = 0;
+  uint64_t GrammarRules = 0;
+  uint64_t GrammarSymbols = 0;
+  uint64_t AnalysisCostCycles = 0;
+  /// Hibernation length chosen for the phase following this cycle (only
+  /// differs from the configured base under adaptive hibernation).
+  uint64_t NextHibernationPeriods = 0;
+};
+
+/// Aggregate counters for one run of one benchmark configuration.
+struct RunStats {
+  /// Completed optimization cycles (Table 2 column 2).
+  std::vector<CycleStats> Cycles;
+
+  uint64_t TotalAccesses = 0;
+  uint64_t ChecksExecuted = 0;
+  uint64_t TracedRefs = 0;
+
+  /// Prefix matching activity during hibernation phases.
+  uint64_t InstrumentedSiteHits = 0; // accesses at pcs carrying checks
+  uint64_t MatchClausesScanned = 0;
+  uint64_t CompleteMatches = 0;
+  uint64_t PrefetchesRequested = 0;
+
+  /// Procedure-entry events that ran stale (pre-patch) code because their
+  /// activation record predates the binary modification (Section 3.2).
+  uint64_t StaleFrameAccesses = 0;
+};
+
+} // namespace core
+} // namespace hds
+
+#endif // HDS_CORE_RUNSTATS_H

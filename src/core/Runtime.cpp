@@ -1,0 +1,122 @@
+//===- core/Runtime.cpp - The mediated execution environment --------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Runtime.h"
+
+#include <cassert>
+
+using namespace hds;
+using namespace hds::core;
+
+profiling::BurstyTracingConfig
+Runtime::effectiveTracingConfig(const OptimizerConfig &Config) {
+  profiling::BurstyTracingConfig Tracing = Config.Tracing;
+  if (Config.Mode == RunMode::ChecksOnly) {
+    // Figure 11 "Base": "setting nCheck to an extremely large value and
+    // nInstr to 1" — checks run, (virtually) nothing is profiled.
+    Tracing.NCheck0 = uint64_t{1} << 62;
+    Tracing.NInstr0 = 1;
+    Tracing.HibernationEnabled = false;
+  }
+  return Tracing;
+}
+
+Runtime::Runtime(const OptimizerConfig &Config)
+    : Config(Config), Hierarchy(Config.L1, Config.L2, Config.Latency),
+      Tracer(effectiveTracingConfig(Config)),
+      Optimizer(this->Config, TheImage, Hierarchy, Engine, Tracer, Stats),
+      HeapBreak(1 << 20) {
+  TheImage.instrumentForBurstyTracing();
+  if (Config.EnableStridePrefetcher)
+    Stride = std::make_unique<StridePrefetcher>(Config.Stride);
+  if (Config.EnableMarkovPrefetcher)
+    Markov = std::make_unique<MarkovPrefetcher>(Config.Markov);
+}
+
+vulcan::ProcId Runtime::declareProcedure(std::string Name) {
+  return TheImage.createProcedure(std::move(Name));
+}
+
+vulcan::SiteId Runtime::declareSite(vulcan::ProcId Proc, std::string Label) {
+  return TheImage.createSite(Proc, std::move(Label));
+}
+
+memsim::Addr Runtime::allocate(uint64_t Bytes, uint64_t Align) {
+  assert(Align > 0 && (Align & (Align - 1)) == 0 && "non power-of-two align");
+  HeapBreak = (HeapBreak + Align - 1) & ~(Align - 1);
+  const memsim::Addr Result = HeapBreak;
+  HeapBreak += Bytes;
+  return Result;
+}
+
+void Runtime::padHeap(uint64_t Bytes) { HeapBreak += Bytes; }
+
+bool Runtime::currentFrameIsFresh() const {
+  if (CallStack.empty())
+    return true; // top-level code is never stale
+  const Frame &Top = CallStack.back();
+  return Top.CodeVersionAtEntry == TheImage.codeVersion(Top.Proc);
+}
+
+void Runtime::dynamicCheck() {
+  if (!checksEnabled(Config.Mode))
+    return;
+  if (Optimizer.pinned())
+    return; // static-scheme model: no bursty-tracing framework left
+  Hierarchy.tick(Config.Costs.CheckCycles);
+  ++Stats.ChecksExecuted;
+  const profiling::CheckEvent Event = Tracer.check();
+  if (Event != profiling::CheckEvent::None)
+    Optimizer.onCheckEvent(Event);
+}
+
+void Runtime::enterProcedure(vulcan::ProcId Proc) {
+  CallStack.push_back({Proc, TheImage.codeVersion(Proc)});
+  dynamicCheck();
+}
+
+void Runtime::leaveProcedure() {
+  assert(!CallStack.empty() && "leaveProcedure without enterProcedure");
+  CallStack.pop_back();
+}
+
+void Runtime::loopBackEdge() { dynamicCheck(); }
+
+void Runtime::access(vulcan::SiteId Site, memsim::Addr Addr) {
+  ++Stats.TotalAccesses;
+  const uint64_t Latency = Hierarchy.access(Addr);
+
+  // Hardware prefetchers observe every demand access regardless of mode.
+  if (Stride)
+    Stride->onAccess(Site, Addr, Hierarchy);
+  if (Markov && Latency > Config.Latency.L1HitCycles)
+    Markov->onMiss(Addr, Hierarchy);
+  if (AccessObserver)
+    AccessObserver(Site, Addr);
+
+  if (Config.Mode == RunMode::Original)
+    return;
+
+  // Instrumented-code version: every data reference pays the tracing cost
+  // (even the discarded hibernation-burst references, §2.2); only awake
+  // references reach Sequitur (§2.4: hibernation refs are ignored to
+  // avoid trace contamination).  Once a static-scheme run is pinned the
+  // profiling framework is gone entirely.
+  if (Tracer.inInstrumentedCode() && !Optimizer.pinned()) {
+    Hierarchy.tick(Config.Costs.TraceRefCycles);
+    if (tracingEnabled(Config.Mode) &&
+        Tracer.phase() == profiling::TracerPhase::Awake)
+      Optimizer.recordRef(analysis::DataRef{Site, Addr});
+  }
+
+  // Injected prefix-match / prefetch code.
+  if (Engine.siteInstrumented(Site)) {
+    if (currentFrameIsFresh())
+      Engine.onAccess(Site, Addr, Config, Hierarchy, Stats);
+    else
+      ++Stats.StaleFrameAccesses; // still running pre-patch code (§3.2)
+  }
+}

@@ -1,0 +1,197 @@
+//===- core/Runtime.h - The mediated execution environment ----*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution environment benchmarks run against — the public API of
+/// the whole system.
+///
+/// A workload declares its static structure once (procedures and data
+/// access sites, i.e. pc's) and then executes by calling enterProcedure /
+/// leaveProcedure / loopBackEdge (the dynamic check points of Figure 2),
+/// load / store (data references), compute (pure computation cycles), and
+/// allocate (heap objects).  The runtime drives, per the configured
+/// RunMode:
+///
+///   * the memory hierarchy simulator (every access, every mode),
+///   * the bursty tracing counters at every dynamic check,
+///   * the temporal profiler while in instrumented code during awake
+///     phases,
+///   * the dynamic optimizer at phase boundaries, and
+///   * the injected prefix-match/prefetch code at instrumented pc's
+///     during hibernation.
+///
+/// This mediation layer is the substitution for Vulcan's binary editing
+/// (DESIGN.md §1): the set of operations is exactly what the paper's
+/// edited binaries perform, with costs charged in simulated cycles.
+///
+/// Example (see examples/quickstart.cpp for a complete program):
+/// \code
+///   hds::core::OptimizerConfig Config;
+///   hds::core::Runtime Rt(Config);
+///   auto Proc = Rt.declareProcedure("walk");
+///   auto Site = Rt.declareSite(Proc, "node->next");
+///   auto Node = Rt.allocate(32);
+///   {
+///     hds::core::Runtime::ProcedureScope Scope(Rt, Proc);
+///     Rt.load(Site, Node);
+///     Rt.compute(4);
+///   }
+///   uint64_t Cycles = Rt.cycles();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_CORE_RUNTIME_H
+#define HDS_CORE_RUNTIME_H
+
+#include "core/DynamicOptimizer.h"
+#include "core/MarkovPrefetcher.h"
+#include "core/OptimizerConfig.h"
+#include "core/PrefetchEngine.h"
+#include "core/RunStats.h"
+#include "core/StridePrefetcher.h"
+#include "memsim/MemoryHierarchy.h"
+#include "profiling/BurstyTracer.h"
+#include "vulcan/Image.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hds {
+namespace core {
+
+/// The mediated execution environment.
+class Runtime {
+public:
+  explicit Runtime(const OptimizerConfig &Config);
+
+  Runtime(const Runtime &) = delete;
+  Runtime &operator=(const Runtime &) = delete;
+
+  /// \name Static program structure (done once, before execution).
+  /// @{
+  vulcan::ProcId declareProcedure(std::string Name);
+  vulcan::SiteId declareSite(vulcan::ProcId Proc,
+                             std::string Label = std::string());
+  /// @}
+
+  /// \name Simulated heap.
+  /// @{
+
+  /// Bump-allocates \p Bytes (aligned to \p Align) and returns the
+  /// address.  Allocation order controls data layout, which is how the
+  /// workloads model sequentially vs. non-sequentially allocated hot data
+  /// streams (Section 4.3's parser discussion).
+  memsim::Addr allocate(uint64_t Bytes, uint64_t Align = 8);
+
+  /// Skips \p Bytes of address space, scattering subsequent allocations
+  /// onto different cache blocks/sets.
+  void padHeap(uint64_t Bytes);
+  /// @}
+
+  /// \name Execution events.
+  /// @{
+
+  /// Procedure entry: pushes an activation record (snapshotting the
+  /// procedure's code version for stale-frame semantics, Section 3.2) and
+  /// executes a dynamic check.
+  void enterProcedure(vulcan::ProcId Proc);
+
+  /// Procedure exit: pops the activation record.
+  void leaveProcedure();
+
+  /// Loop back-edge: executes a dynamic check (Figure 2).
+  void loopBackEdge();
+
+  /// Data references.  Loads and stores are modelled alike (a data
+  /// reference is "a load or store of a particular address", §2.1).
+  void load(vulcan::SiteId Site, memsim::Addr Addr) { access(Site, Addr); }
+  void store(vulcan::SiteId Site, memsim::Addr Addr) { access(Site, Addr); }
+
+  /// Pure computation taking \p Cycles cycles.
+  void compute(uint64_t Cycles) { Hierarchy.tick(Cycles); }
+  /// @}
+
+  /// \name Results and component access.
+  /// @{
+  uint64_t cycles() const { return Hierarchy.now(); }
+  const RunStats &stats() const { return Stats; }
+  const OptimizerConfig &config() const { return Config; }
+  memsim::MemoryHierarchy &memory() { return Hierarchy; }
+  const memsim::MemoryHierarchy &memory() const { return Hierarchy; }
+  vulcan::Image &image() { return TheImage; }
+  const vulcan::Image &image() const { return TheImage; }
+  const profiling::BurstyTracer &tracer() const { return Tracer; }
+  const PrefetchEngine &engine() const { return Engine; }
+  DynamicOptimizer &optimizer() { return Optimizer; }
+  /// The stride prefetcher, or nullptr when not enabled.
+  const StridePrefetcher *stridePrefetcher() const { return Stride.get(); }
+  /// The Markov prefetcher, or nullptr when not enabled.
+  const MarkovPrefetcher *markovPrefetcher() const { return Markov.get(); }
+  /// @}
+
+  /// Installs an observer invoked for every demand access (after the
+  /// memory system has processed it).  Used by tooling (trace dumps);
+  /// costs one branch per access when unset.  Pass an empty function to
+  /// remove.  Observers see the *unfiltered* reference stream — the same
+  /// thing the paper's instrumented code version sees.
+  void setAccessObserver(
+      std::function<void(vulcan::SiteId, memsim::Addr)> Observer) {
+    AccessObserver = std::move(Observer);
+  }
+
+  /// RAII procedure activation.
+  class ProcedureScope {
+  public:
+    ProcedureScope(Runtime &Rt, vulcan::ProcId Proc) : Rt(Rt) {
+      Rt.enterProcedure(Proc);
+    }
+    ~ProcedureScope() { Rt.leaveProcedure(); }
+    ProcedureScope(const ProcedureScope &) = delete;
+    ProcedureScope &operator=(const ProcedureScope &) = delete;
+
+  private:
+    Runtime &Rt;
+  };
+
+private:
+  struct Frame {
+    vulcan::ProcId Proc;
+    uint32_t CodeVersionAtEntry;
+  };
+
+  /// Shared load/store path.
+  void access(vulcan::SiteId Site, memsim::Addr Addr);
+
+  /// One dynamic check (procedure entry or loop back-edge).
+  void dynamicCheck();
+
+  /// Whether the innermost activation record runs current (patched) code.
+  bool currentFrameIsFresh() const;
+
+  static profiling::BurstyTracingConfig
+  effectiveTracingConfig(const OptimizerConfig &Config);
+
+  OptimizerConfig Config;
+  vulcan::Image TheImage;
+  memsim::MemoryHierarchy Hierarchy;
+  profiling::BurstyTracer Tracer;
+  PrefetchEngine Engine;
+  RunStats Stats;
+  DynamicOptimizer Optimizer;
+  std::unique_ptr<StridePrefetcher> Stride;
+  std::unique_ptr<MarkovPrefetcher> Markov;
+  std::function<void(vulcan::SiteId, memsim::Addr)> AccessObserver;
+  std::vector<Frame> CallStack;
+  memsim::Addr HeapBreak;
+};
+
+} // namespace core
+} // namespace hds
+
+#endif // HDS_CORE_RUNTIME_H

@@ -1,0 +1,72 @@
+//===- core/StridePrefetcher.cpp - PC-indexed stride prefetcher -----------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/StridePrefetcher.h"
+
+#include <cstdlib>
+
+using namespace hds;
+using namespace hds::core;
+
+void StridePrefetcher::onAccess(vulcan::SiteId Site, memsim::Addr Addr,
+                                memsim::MemoryHierarchy &Hierarchy) {
+  ++Stats.Updates;
+  Entry &E = Table[static_cast<size_t>(Site) % Table.size()];
+
+  if (E.Pc != Site) {
+    // Direct-mapped replacement: a new pc takes over the entry.
+    E.Pc = Site;
+    E.LastAddr = Addr;
+    E.Stride = 0;
+    E.Confidence = 0;
+    return;
+  }
+
+  const int64_t NewStride =
+      static_cast<int64_t>(Addr) - static_cast<int64_t>(E.LastAddr);
+  E.LastAddr = Addr;
+
+  if (NewStride == 0)
+    return; // same address: neither trains nor breaks the pattern
+
+  if (static_cast<uint64_t>(std::llabs(NewStride)) > Config.MaxStrideBytes) {
+    // A jump: pointer chases and data-structure hops look like huge
+    // pseudo-strides; drop the training state.
+    E.Stride = 0;
+    E.Confidence = 0;
+    return;
+  }
+
+  if (NewStride == E.Stride) {
+    if (E.Confidence < 2)
+      ++E.Confidence;
+  } else {
+    E.Stride = NewStride;
+    E.Confidence = 1;
+    return;
+  }
+
+  if (E.Confidence < 2)
+    return;
+
+  ++Stats.StridesConfirmed;
+  // Confirmed: run ahead.  Hardware prefetches spend no issue slots.
+  for (uint32_t I = 1; I <= Config.Degree; ++I) {
+    const int64_t Target =
+        static_cast<int64_t>(Addr) + NewStride * static_cast<int64_t>(I);
+    if (Target < 0)
+      break;
+    Hierarchy.prefetchT0(static_cast<memsim::Addr>(Target),
+                         /*ChargeIssueSlot=*/false);
+    ++Stats.PrefetchesIssued;
+  }
+}
+
+void StridePrefetcher::reset() {
+  for (Entry &E : Table)
+    E = Entry();
+  Stats = StrideStats();
+}

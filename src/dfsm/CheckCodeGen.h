@@ -1,0 +1,113 @@
+//===- dfsm/CheckCodeGen.h - Detection/prefetch code generation -*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers the prefix-matching DFSM into per-pc check tables — the shape of
+/// the instrumentation the paper's optimizer injects with dynamic Vulcan
+/// (Section 3.1, Figure 7):
+///
+///   a.pc:  if (accessing a.addr) {
+///            if (state == s1) state = t1;        // specific transitions
+///            else if (state == s2) state = t2;
+///            else state = d(start, a);           // "initial match works
+///          } else {                              //  regardless of v.seen"
+///            state = 0;                          // failed match
+///          }
+///
+/// Restart transitions — d(s, a) that equals d(start, a) — are folded
+/// into the per-address *default* arm instead of one clause per state;
+/// only transitions that advance beyond the restart behaviour need a
+/// specific state compare.  This is what keeps the paper's injected check
+/// counts near 2n for n streams (Table 2) even though the DFSM's full
+/// transition function has an edge per (state, symbol) pair.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_DFSM_CHECKCODEGEN_H
+#define HDS_DFSM_CHECKCODEGEN_H
+
+#include "analysis/DataRef.h"
+#include "dfsm/PrefixDfsm.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hds {
+namespace dfsm {
+
+/// One specific "(state == From)" clause inside an address group.
+struct CheckClause {
+  StateId FromState = 0;
+  StateId ToState = 0;
+  /// Streams completed by taking this transition (prefetch their tails).
+  std::vector<StreamIndex> CompletedStreams;
+};
+
+/// One "(accessing addr)" outer branch: its specific state clauses plus
+/// the default (restart) behaviour when none of them matches.
+struct AddrGroupCode {
+  uint64_t Addr = 0;
+  std::vector<CheckClause> Specific; // ordered by FromState
+  /// Where the default arm sends the state: d(start, a).
+  StateId DefaultToState = 0;
+  /// Completions fired by the default arm (non-empty only for streams
+  /// whose whole head is this single symbol, i.e. headLen == 1).
+  std::vector<StreamIndex> DefaultCompletions;
+};
+
+/// All code injected at one program point.
+struct SiteCheckCode {
+  uint64_t Pc = 0;
+  std::vector<AddrGroupCode> Groups; // ordered by Addr
+
+  /// Injected clause count: one default arm per address group plus the
+  /// specific state compares.
+  size_t clauseCount() const {
+    size_t Count = Groups.size();
+    for (const AddrGroupCode &Group : Groups)
+      Count += Group.Specific.size();
+    return Count;
+  }
+};
+
+/// The complete injectable artifact for one optimization cycle.
+struct CheckCode {
+  std::vector<SiteCheckCode> Sites; // ascending pc
+
+  size_t totalClauses() const {
+    size_t Total = 0;
+    for (const SiteCheckCode &Site : Sites)
+      Total += Site.clauseCount();
+    return Total;
+  }
+
+  /// Pretty-prints the generated checks in the style of Figure 7 (used by
+  /// the grammar-explorer example and tests).
+  std::string dump() const;
+};
+
+/// Generates the per-pc check tables for \p Dfsm; \p Refs maps the DFSM's
+/// symbol ids back to concrete (pc, addr) pairs.
+CheckCode generateCheckCode(const PrefixDfsm &Dfsm,
+                            const analysis::DataRefTable &Refs);
+
+/// Size of the code the *naive* per-stream scheme (one v.seen variable and
+/// independent checks per stream, Section 3.1's straw man) would inject:
+/// one clause per (stream, head position).  Used by the DFSM ablation.
+struct NaiveCheckStats {
+  size_t Sites = 0;   // distinct pcs instrumented
+  size_t Clauses = 0; // total injected clauses
+};
+NaiveCheckStats
+computeNaiveCheckStats(const std::vector<std::vector<uint32_t>> &Streams,
+                       uint32_t HeadLength, const analysis::DataRefTable &Refs);
+
+} // namespace dfsm
+} // namespace hds
+
+#endif // HDS_DFSM_CHECKCODEGEN_H

@@ -1,0 +1,105 @@
+//===- dfsm/Matchers.cpp - Reference and scalar prefix matchers -----------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dfsm/Matchers.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace hds;
+using namespace hds::dfsm;
+
+//===----------------------------------------------------------------------===//
+// ReferenceMatcher
+//===----------------------------------------------------------------------===//
+
+ReferenceMatcher::ReferenceMatcher(
+    const std::vector<std::vector<uint32_t>> &Streams, uint32_t HeadLength)
+    : Streams(Streams), HeadLength(HeadLength) {
+  assert(HeadLength >= 1 && "heads must have at least one symbol");
+  for (StreamIndex I = 0; I < Streams.size(); ++I)
+    if (Streams[I].size() > HeadLength)
+      Eligible.push_back(I);
+}
+
+std::vector<StreamIndex> ReferenceMatcher::step(uint32_t Symbol) {
+  std::vector<StateElement> Next;
+  // Advance elements whose next head symbol is Symbol; drop the rest.
+  for (const StateElement &E : Current)
+    if (E.Seen < HeadLength && Streams[E.Stream][E.Seen] == Symbol)
+      Next.push_back({E.Stream, E.Seen + 1});
+  // Restart every stream whose head begins with Symbol.
+  for (StreamIndex S : Eligible)
+    if (Streams[S][0] == Symbol)
+      Next.push_back({S, 1});
+  std::sort(Next.begin(), Next.end());
+  Next.erase(std::unique(Next.begin(), Next.end()), Next.end());
+  Current = std::move(Next);
+
+  std::vector<StreamIndex> Completed;
+  for (const StateElement &E : Current)
+    if (E.Seen == HeadLength)
+      Completed.push_back(E.Stream);
+  return Completed;
+}
+
+//===----------------------------------------------------------------------===//
+// ScalarMatcherBank
+//===----------------------------------------------------------------------===//
+
+ScalarMatcherBank::ScalarMatcherBank(
+    const std::vector<std::vector<uint32_t>> &Streams, uint32_t HeadLength,
+    const std::vector<uint64_t> &SymbolPcs)
+    : Streams(Streams), HeadLength(HeadLength), SymbolPcs(SymbolPcs),
+      SeenCounters(Streams.size()) {
+  for (StreamIndex I = 0; I < Streams.size(); ++I) {
+    if (Streams[I].size() <= HeadLength)
+      continue;
+    for (uint32_t Pos = 0; Pos < HeadLength; ++Pos) {
+      const uint64_t Pc = SymbolPcs.at(Streams[I][Pos]);
+      auto &List = PcToStreams[Pc];
+      if (std::find(List.begin(), List.end(), I) == List.end())
+        List.push_back(I);
+    }
+  }
+}
+
+std::vector<StreamIndex> ScalarMatcherBank::step(uint32_t Symbol,
+                                                 uint64_t Pc) {
+  std::vector<StreamIndex> Completed;
+  auto It = PcToStreams.find(Pc);
+  if (It == PcToStreams.end())
+    return Completed;
+
+  for (StreamIndex S : It->second) {
+    ++ClauseEvaluations;
+    StreamState &State = SeenCounters[S];
+    const auto &Head = Streams[S];
+    if (State.Seen < HeadLength && Head[State.Seen] == Symbol) {
+      ++State.Seen;
+      if (State.Seen == HeadLength) {
+        Completed.push_back(S);
+        State.Seen = 0; // re-arm after a complete match (Figure 7)
+      }
+    } else if (Head[0] == Symbol) {
+      // Failed to extend, but this reference restarts the head.
+      State.Seen = 1;
+      if (State.Seen == HeadLength) {
+        Completed.push_back(S);
+        State.Seen = 0;
+      }
+    } else {
+      State.Seen = 0;
+    }
+  }
+  return Completed;
+}
+
+void ScalarMatcherBank::reset() {
+  for (StreamState &State : SeenCounters)
+    State.Seen = 0;
+  ClauseEvaluations = 0;
+}

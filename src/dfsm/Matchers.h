@@ -1,0 +1,93 @@
+//===- dfsm/Matchers.h - Reference and scalar prefix matchers --*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two non-DFSM prefix matchers:
+///
+///  * ReferenceMatcher — computes the transition function d(s, a) directly
+///    from the stream definitions on every step.  It is the executable
+///    specification the PrefixDfsm property tests compare against.
+///
+///  * ScalarMatcherBank — the paper's "straight-forward way": one v.seen
+///    counter per hot data stream driven independently (Section 3.1,
+///    Figure 7).  It is cheaper to build but does redundant work per
+///    access; the DFSM ablation bench quantifies the difference.  Note the
+///    scalar matcher tracks only one candidate occurrence per stream, so
+///    it can miss matches the set-based DFSM finds (e.g. re-entrant heads
+///    like "aab") — another reason the paper builds the combined machine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_DFSM_MATCHERS_H
+#define HDS_DFSM_MATCHERS_H
+
+#include "dfsm/PrefixDfsm.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace hds {
+namespace dfsm {
+
+/// Executable specification of the combined DFSM's behaviour.
+class ReferenceMatcher {
+public:
+  ReferenceMatcher(const std::vector<std::vector<uint32_t>> &Streams,
+                   uint32_t HeadLength);
+
+  /// Feeds one symbol; returns the streams completed by this step.  The
+  /// current element set is updated to d(current, Symbol).
+  std::vector<StreamIndex> step(uint32_t Symbol);
+
+  const std::vector<StateElement> &elements() const { return Current; }
+  void reset() { Current.clear(); }
+
+private:
+  const std::vector<std::vector<uint32_t>> &Streams;
+  uint32_t HeadLength;
+  std::vector<StreamIndex> Eligible;
+  std::vector<StateElement> Current; // sorted
+};
+
+/// Bank of independent per-stream v.seen counters (Figure 7 semantics).
+class ScalarMatcherBank {
+public:
+  ScalarMatcherBank(const std::vector<std::vector<uint32_t>> &Streams,
+                    uint32_t HeadLength,
+                    const std::vector<uint64_t> &SymbolPcs);
+
+  /// Feeds one data reference (symbol \p Symbol at pc \p Pc); returns the
+  /// streams whose heads completed.  Only streams with \p Pc among their
+  /// head pcs are consulted — uninstrumented pcs leave counters untouched,
+  /// exactly like the injected code of Figure 7.
+  std::vector<StreamIndex> step(uint32_t Symbol, uint64_t Pc);
+
+  /// Number of per-stream clause evaluations so far (the redundant-work
+  /// metric of the ablation).
+  uint64_t clauseEvaluations() const { return ClauseEvaluations; }
+
+  void reset();
+
+private:
+  struct StreamState {
+    uint32_t Seen = 0;
+  };
+
+  const std::vector<std::vector<uint32_t>> &Streams;
+  uint32_t HeadLength;
+  const std::vector<uint64_t> &SymbolPcs;
+  std::vector<StreamState> SeenCounters;
+  /// pc -> streams whose head references that pc.
+  std::unordered_map<uint64_t, std::vector<StreamIndex>> PcToStreams;
+  uint64_t ClauseEvaluations = 0;
+};
+
+} // namespace dfsm
+} // namespace hds
+
+#endif // HDS_DFSM_MATCHERS_H

@@ -1,0 +1,125 @@
+//===- dfsm/PrefixDfsm.cpp - Combined stream prefix matcher ---------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dfsm/PrefixDfsm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <unordered_set>
+
+using namespace hds;
+using namespace hds::dfsm;
+
+PrefixDfsm::PrefixDfsm(const std::vector<std::vector<uint32_t>> &Streams,
+                       const DfsmConfig &Config)
+    : Config(Config) {
+  assert(Config.HeadLength >= 1 && "heads must have at least one symbol");
+
+  // Streams that are all head and no tail cannot be prefetched.
+  std::vector<StreamIndex> Eligible;
+  for (StreamIndex I = 0; I < Streams.size(); ++I) {
+    if (Streams[I].size() > Config.HeadLength)
+      Eligible.push_back(I);
+    else
+      ++SkippedStreams;
+  }
+
+  // The prefix alphabet and the per-symbol list of streams starting with
+  // that symbol (the "union { [w,1] | a == w_1 }" part of d).
+  std::unordered_set<uint32_t> AlphabetSet;
+  std::unordered_map<uint32_t, std::vector<StreamIndex>> StartsWith;
+  for (StreamIndex I : Eligible) {
+    StartsWith[Streams[I][0]].push_back(I);
+    for (uint32_t Pos = 0; Pos < Config.HeadLength; ++Pos)
+      AlphabetSet.insert(Streams[I][Pos]);
+  }
+  PrefixAlphabet.assign(AlphabetSet.begin(), AlphabetSet.end());
+  std::sort(PrefixAlphabet.begin(), PrefixAlphabet.end());
+
+  // Canonical state interning.  std::map over the sorted element vector
+  // keeps construction deterministic.
+  std::map<std::vector<StateElement>, StateId> Interned;
+  auto InternState = [&](std::vector<StateElement> Elements) -> StateId {
+    std::sort(Elements.begin(), Elements.end());
+    auto It = Interned.find(Elements);
+    if (It != Interned.end())
+      return It->second;
+    const StateId Id = static_cast<StateId>(States.size());
+    State NewState;
+    for (const StateElement &E : Elements)
+      if (E.Seen == Config.HeadLength)
+        NewState.Completions.push_back(E.Stream);
+    NewState.Elements = std::move(Elements);
+    Interned.emplace(NewState.Elements, Id);
+    States.push_back(std::move(NewState));
+    return Id;
+  };
+
+  const StateId StartId = InternState({});
+  (void)StartId;
+  assert(StartId == 0 && "start state must be state 0");
+
+  std::vector<StateId> WorkList;
+  WorkList.push_back(0);
+  std::vector<uint8_t> Expanded(1, 0);
+
+  while (!WorkList.empty()) {
+    const StateId Current = WorkList.back();
+    WorkList.pop_back();
+    if (Expanded[Current])
+      continue;
+    Expanded[Current] = 1;
+
+    // Candidate symbols: whatever advances an element of this state, plus
+    // every stream-initial symbol (Figure 9's two addTransition loops).
+    std::vector<uint32_t> Candidates;
+    for (const StateElement &E : States[Current].Elements)
+      if (E.Seen < Config.HeadLength)
+        Candidates.push_back(Streams[E.Stream][E.Seen]);
+    for (const auto &Entry : StartsWith)
+      Candidates.push_back(Entry.first);
+    std::sort(Candidates.begin(), Candidates.end());
+    Candidates.erase(std::unique(Candidates.begin(), Candidates.end()),
+                     Candidates.end());
+
+    for (uint32_t Symbol : Candidates) {
+      const uint64_t Key = transitionKey(Current, Symbol);
+      if (Transitions.count(Key))
+        continue;
+
+      std::vector<StateElement> Target;
+      for (const StateElement &E : States[Current].Elements)
+        if (E.Seen < Config.HeadLength &&
+            Streams[E.Stream][E.Seen] == Symbol)
+          Target.push_back({E.Stream, E.Seen + 1});
+      auto StartIt = StartsWith.find(Symbol);
+      if (StartIt != StartsWith.end())
+        for (StreamIndex S : StartIt->second)
+          Target.push_back({S, 1});
+      // Advancing from [v,1] on v's (repeated) first symbol would add
+      // [v,1] twice via advance + restart when v_1 == v_2 == a; dedup.
+      std::sort(Target.begin(), Target.end());
+      Target.erase(std::unique(Target.begin(), Target.end()), Target.end());
+
+      if (Target.empty())
+        continue; // implicit edge to the start state
+
+      if (States.size() >= Config.MaxStates &&
+          !Interned.count(Target)) {
+        HitStateLimit = true;
+        continue;
+      }
+
+      const StateId TargetId = InternState(std::move(Target));
+      if (TargetId >= Expanded.size())
+        Expanded.resize(TargetId + 1, 0);
+      if (!Expanded[TargetId])
+        WorkList.push_back(TargetId);
+      Transitions.emplace(Key, TargetId);
+    }
+  }
+}

@@ -1,0 +1,150 @@
+//===- dfsm/PrefixDfsm.h - Combined stream prefix matcher ------*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The deterministic finite state machine that simultaneously tracks
+/// matching prefixes for all hot data streams (Sections 3 and 3.1,
+/// Figures 8 and 9 of the paper).
+///
+/// A state is a set of state elements; a state element is a pair of a hot
+/// data stream v and an integer seen, meaning "the last seen data
+/// references ended with the first `seen` references of v.head".  The
+/// transition function is
+///
+///   d(s, a) = { [v, n+1] | n < headLen && [v, n] in s && a == v_{n+1} }
+///       union { [w, 1]   | a == w_1 }
+///
+/// Elements that reach seen == headLen are complete matches: entering such
+/// a state triggers prefetches for the tails of the completed streams.
+/// Transitions to the (empty) start state are implicit: stepping on a
+/// symbol with no recorded transition resets matching, exactly like the
+/// "else v.seen = 0" arms of Figure 7.
+///
+/// The machine is built with the lazy work-list algorithm of Figure 9.
+/// Although there are up to 2^(headLen*n) possible states, the paper (and
+/// this implementation's tests) observe close to headLen*n + 1 in
+/// practice.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_DFSM_PREFIXDFSM_H
+#define HDS_DFSM_PREFIXDFSM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace hds {
+namespace dfsm {
+
+/// Index of a hot data stream in the stream list the DFSM was built from.
+using StreamIndex = uint32_t;
+
+/// Dense state number; the start state (empty element set) is always 0.
+using StateId = uint32_t;
+
+/// One element [v, seen] of a DFSM state.
+struct StateElement {
+  StreamIndex Stream;
+  uint32_t Seen;
+
+  friend bool operator==(const StateElement &A, const StateElement &B) {
+    return A.Stream == B.Stream && A.Seen == B.Seen;
+  }
+  friend bool operator<(const StateElement &A, const StateElement &B) {
+    return A.Stream != B.Stream ? A.Stream < B.Stream : A.Seen < B.Seen;
+  }
+};
+
+/// Construction knobs.
+struct DfsmConfig {
+  /// Number of stream references to match before prefetching the rest —
+  /// the paper's evaluation uses 2 (Section 4.3).
+  uint32_t HeadLength = 2;
+  /// Safety valve against the theoretical exponential blow-up; if reached,
+  /// construction stops expanding and unexpanded states simply reset.
+  uint32_t MaxStates = 1 << 16;
+};
+
+/// The combined prefix-matching DFSM.
+class PrefixDfsm {
+public:
+  /// Builds the machine for \p Streams (each a reference-id sequence).
+  /// Streams with length <= HeadLength carry no prefetchable tail and are
+  /// ignored (their count is available via skippedStreamCount()).
+  PrefixDfsm(const std::vector<std::vector<uint32_t>> &Streams,
+             const DfsmConfig &Config);
+
+  StateId startState() const { return 0; }
+  uint32_t headLength() const { return Config.HeadLength; }
+
+  size_t stateCount() const { return States.size(); }
+  size_t transitionCount() const { return Transitions.size(); }
+  size_t skippedStreamCount() const { return SkippedStreams; }
+  bool hitStateLimit() const { return HitStateLimit; }
+
+  /// Runtime step: observing symbol \p Symbol in state \p From.  Returns
+  /// the successor (the start state when no transition matches, modelling
+  /// a failed match).
+  StateId step(StateId From, uint32_t Symbol) const {
+    auto It = Transitions.find(transitionKey(From, Symbol));
+    return It == Transitions.end() ? 0 : It->second;
+  }
+
+  /// Streams whose heads complete upon *entering* \p State.  Every entry
+  /// into this state is a fresh complete match (the final head symbol is
+  /// the transition that led here), so callers prefetch each time.
+  const std::vector<StreamIndex> &completionsAt(StateId State) const {
+    return States.at(State).Completions;
+  }
+
+  /// Elements of \p State, sorted (tests and debugging).
+  const std::vector<StateElement> &elementsOf(StateId State) const {
+    return States.at(State).Elements;
+  }
+
+  /// All symbols appearing in any stream head, i.e. the program points
+  /// that need check instrumentation.
+  const std::vector<uint32_t> &prefixAlphabet() const {
+    return PrefixAlphabet;
+  }
+
+  /// The (From, Symbol) -> To transition map (used by code generation).
+  const std::unordered_map<uint64_t, StateId> &transitions() const {
+    return Transitions;
+  }
+
+  /// Decodes a transition key (inverse of the packing used by the map).
+  static StateId keyState(uint64_t Key) {
+    return static_cast<StateId>(Key >> 32);
+  }
+  static uint32_t keySymbol(uint64_t Key) {
+    return static_cast<uint32_t>(Key);
+  }
+
+private:
+  struct State {
+    std::vector<StateElement> Elements; // sorted, canonical
+    std::vector<StreamIndex> Completions;
+  };
+
+  static uint64_t transitionKey(StateId From, uint32_t Symbol) {
+    return (static_cast<uint64_t>(From) << 32) | Symbol;
+  }
+
+  DfsmConfig Config;
+  std::vector<State> States;
+  std::unordered_map<uint64_t, StateId> Transitions;
+  std::vector<uint32_t> PrefixAlphabet;
+  size_t SkippedStreams = 0;
+  bool HitStateLimit = false;
+};
+
+} // namespace dfsm
+} // namespace hds
+
+#endif // HDS_DFSM_PREFIXDFSM_H

@@ -1,0 +1,93 @@
+//===- memsim/Cache.cpp - Set-associative LRU cache model -----------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "memsim/Cache.h"
+
+using namespace hds;
+using namespace hds::memsim;
+
+Cache::Cache(const CacheConfig &Config)
+    : Config(Config), NumSets(Config.numSets()),
+      Lines(NumSets * Config.Associativity) {}
+
+Cache::Line *Cache::findLine(Addr Address) {
+  const Addr Tag = tagOf(Address);
+  Line *Set = &Lines[setIndex(Address) * Config.Associativity];
+  for (unsigned Way = 0; Way < Config.Associativity; ++Way)
+    if (Set[Way].Valid && Set[Way].Tag == Tag)
+      return &Set[Way];
+  return nullptr;
+}
+
+const Cache::Line *Cache::findLine(Addr Address) const {
+  return const_cast<Cache *>(this)->findLine(Address);
+}
+
+bool Cache::contains(Addr Address) const { return findLine(Address); }
+
+bool Cache::access(Addr Address) {
+  Line *Hit = findLine(Address);
+  if (!Hit) {
+    ++Stats.Misses;
+    return false;
+  }
+  ++Stats.Hits;
+  Hit->LastUse = ++UseClock;
+  if (Hit->PrefetchedUntouched) {
+    ++Stats.UsefulPrefetches;
+    Hit->PrefetchedUntouched = false;
+  }
+  return true;
+}
+
+void Cache::fill(Addr Address, bool IsPrefetch) {
+  if (Line *Existing = findLine(Address)) {
+    // Refilling a resident block just refreshes recency; it must not
+    // re-arm the prefetch bit on a demand-touched line.
+    Existing->LastUse = ++UseClock;
+    return;
+  }
+
+  Line *Set = &Lines[setIndex(Address) * Config.Associativity];
+  Line *Victim = &Set[0];
+  for (unsigned Way = 0; Way < Config.Associativity; ++Way) {
+    if (!Set[Way].Valid) {
+      Victim = &Set[Way];
+      break;
+    }
+    if (Set[Way].LastUse < Victim->LastUse)
+      Victim = &Set[Way];
+  }
+
+  if (Victim->Valid) {
+    ++Stats.Evictions;
+    if (Victim->PrefetchedUntouched)
+      ++Stats.WastedPrefetches;
+  }
+
+  Victim->Valid = true;
+  Victim->Tag = tagOf(Address);
+  Victim->LastUse = ++UseClock;
+  Victim->PrefetchedUntouched = IsPrefetch;
+  if (IsPrefetch)
+    ++Stats.PrefetchFills;
+  else
+    ++Stats.DemandFills;
+}
+
+void Cache::reset() {
+  for (Line &L : Lines)
+    L = Line();
+  UseClock = 0;
+}
+
+uint64_t Cache::validLineCount() const {
+  uint64_t Count = 0;
+  for (const Line &L : Lines)
+    if (L.Valid)
+      ++Count;
+  return Count;
+}

@@ -1,0 +1,129 @@
+//===- memsim/Cache.h - Set-associative LRU cache model --------*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tag-only set-associative cache with LRU replacement.
+///
+/// The paper's evaluation machine had a 16 KB 4-way L1 data cache and a
+/// 256 KB 8-way L2, both with 32-byte blocks (Section 4.1).  This class
+/// models one such level; MemoryHierarchy composes two of them with main
+/// memory and an in-flight prefetch queue.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_MEMSIM_CACHE_H
+#define HDS_MEMSIM_CACHE_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace hds {
+namespace memsim {
+
+/// A physical address in the simulated machine.
+using Addr = uint64_t;
+
+/// Geometry of one cache level.
+struct CacheConfig {
+  uint64_t SizeBytes = 16 * 1024;
+  unsigned Associativity = 4;
+  unsigned BlockBytes = 32;
+
+  uint64_t numSets() const {
+    assert(SizeBytes % (static_cast<uint64_t>(Associativity) * BlockBytes) ==
+               0 &&
+           "size must be a whole number of sets");
+    return SizeBytes / (static_cast<uint64_t>(Associativity) * BlockBytes);
+  }
+
+  /// The paper's L1 data cache: 16 KB, 4-way, 32 B blocks.
+  static CacheConfig pentiumIIIL1() { return CacheConfig{16 * 1024, 4, 32}; }
+  /// The paper's L2 cache: 256 KB, 8-way, 32 B blocks.
+  static CacheConfig pentiumIIIL2() { return CacheConfig{256 * 1024, 8, 32}; }
+};
+
+/// Hit/miss/fill counters for one cache level.
+struct CacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t DemandFills = 0;
+  uint64_t PrefetchFills = 0;
+  uint64_t Evictions = 0;
+  /// Demand hits on blocks that were brought in by a prefetch and had not
+  /// yet been touched by demand (each such hit is a prefetch that paid off).
+  uint64_t UsefulPrefetches = 0;
+  /// Prefetched blocks evicted before any demand touch (pure pollution).
+  uint64_t WastedPrefetches = 0;
+
+  uint64_t accesses() const { return Hits + Misses; }
+  double missRate() const {
+    return accesses() == 0 ? 0.0
+                           : static_cast<double>(Misses) / accesses();
+  }
+};
+
+/// One level of a set-associative, true-LRU, tag-only cache.
+///
+/// Lines carry a "prefetched, not yet demanded" bit so the statistics can
+/// separate useful prefetches from pollution — the effect that makes the
+/// paper's Seq-pref straw man lose on most benchmarks (Section 4.3).
+class Cache {
+public:
+  explicit Cache(const CacheConfig &Config);
+
+  /// Looks up \p Address without changing any state.
+  bool contains(Addr Address) const;
+
+  /// Demand access: returns true on hit (and updates LRU + prefetch
+  /// accounting).  On miss, no fill happens here — the hierarchy decides
+  /// where fills go.
+  bool access(Addr Address);
+
+  /// Fills the block containing \p Address, evicting LRU if needed.
+  /// \p IsPrefetch marks the line for useful/wasted prefetch accounting.
+  void fill(Addr Address, bool IsPrefetch);
+
+  /// Drops all lines (used between benchmark configurations).
+  void reset();
+
+  const CacheConfig &config() const { return Config; }
+  const CacheStats &stats() const { return Stats; }
+  void clearStats() { Stats = CacheStats(); }
+
+  /// Number of currently valid lines (for tests).
+  uint64_t validLineCount() const;
+
+private:
+  struct Line {
+    Addr Tag = 0;
+    uint64_t LastUse = 0;
+    bool Valid = false;
+    bool PrefetchedUntouched = false;
+  };
+
+  uint64_t blockNumber(Addr Address) const {
+    return Address / Config.BlockBytes;
+  }
+  uint64_t setIndex(Addr Address) const {
+    return blockNumber(Address) % NumSets;
+  }
+  Addr tagOf(Addr Address) const { return blockNumber(Address) / NumSets; }
+
+  Line *findLine(Addr Address);
+  const Line *findLine(Addr Address) const;
+
+  CacheConfig Config;
+  uint64_t NumSets;
+  uint64_t UseClock = 0;
+  std::vector<Line> Lines; // NumSets * Associativity, set-major.
+  CacheStats Stats;
+};
+
+} // namespace memsim
+} // namespace hds
+
+#endif // HDS_MEMSIM_CACHE_H

@@ -1,0 +1,131 @@
+//===- memsim/MemoryHierarchy.cpp - Two-level hierarchy + prefetch --------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "memsim/MemoryHierarchy.h"
+
+#include <algorithm>
+
+using namespace hds;
+using namespace hds::memsim;
+
+MemoryHierarchy::MemoryHierarchy(const CacheConfig &L1Config,
+                                 const CacheConfig &L2Config,
+                                 const LatencyConfig &Latency)
+    : L1(L1Config), L2(L2Config), Latency(Latency) {
+  assert(L1Config.BlockBytes == L2Config.BlockBytes &&
+         "levels must share a block size");
+  InFlight.reserve(Latency.MaxInFlightPrefetches);
+}
+
+void MemoryHierarchy::drainDuePrefetches() {
+  if (InFlight.empty())
+    return;
+  auto IsDue = [&](const InFlightPrefetch &P) { return P.ReadyCycle <= Now; };
+  for (const InFlightPrefetch &P : InFlight) {
+    if (!IsDue(P))
+      continue;
+    const Addr BlockAddr = P.BlockNumber * L1.config().BlockBytes;
+    L1.fill(BlockAddr, /*IsPrefetch=*/true);
+    if (P.FillL2)
+      L2.fill(BlockAddr, /*IsPrefetch=*/true);
+  }
+  InFlight.erase(std::remove_if(InFlight.begin(), InFlight.end(), IsDue),
+                 InFlight.end());
+}
+
+MemoryHierarchy::InFlightPrefetch *MemoryHierarchy::findInFlight(Addr Address) {
+  const uint64_t Block = blockNumber(Address);
+  for (InFlightPrefetch &P : InFlight)
+    if (P.BlockNumber == Block)
+      return &P;
+  return nullptr;
+}
+
+uint64_t MemoryHierarchy::access(Addr Address) {
+  drainDuePrefetches();
+  ++Stats.DemandAccesses;
+
+  // L1 hit: single-cycle, no stall.
+  if (L1.access(Address)) {
+    Now += Latency.L1HitCycles;
+    return Latency.L1HitCycles;
+  }
+
+  // The block may still be on its way in: wait out the remaining latency.
+  // This is how an early-but-not-early-enough prefetch still hides part of
+  // a miss.
+  if (InFlightPrefetch *P = findInFlight(Address)) {
+    const uint64_t Remaining = P->ReadyCycle - Now;
+    ++Stats.PartialHits;
+    Stats.PartialHitStallCycles += Remaining;
+    Stats.StallCycles += Remaining;
+    Now = P->ReadyCycle;
+    drainDuePrefetches(); // fills this block (and any other due ones)
+    // The arriving line counts as a useful prefetch the moment demand
+    // touches it.
+    L1.access(Address);
+    Now += Latency.L1HitCycles;
+    return Remaining + Latency.L1HitCycles;
+  }
+
+  // L2 hit: fill L1 and pay the L2 latency.
+  if (L2.access(Address)) {
+    L1.fill(Address, /*IsPrefetch=*/false);
+    Now += Latency.L2HitCycles;
+    Stats.StallCycles += Latency.L2HitCycles - Latency.L1HitCycles;
+    return Latency.L2HitCycles;
+  }
+
+  // Memory: fill both levels.
+  L2.fill(Address, /*IsPrefetch=*/false);
+  L1.fill(Address, /*IsPrefetch=*/false);
+  Now += Latency.MemoryCycles;
+  Stats.StallCycles += Latency.MemoryCycles - Latency.L1HitCycles;
+  return Latency.MemoryCycles;
+}
+
+void MemoryHierarchy::prefetchT0(Addr Address, bool ChargeIssueSlot) {
+  drainDuePrefetches();
+  if (ChargeIssueSlot)
+    Now += Latency.PrefetchIssueCycles;
+  ++Stats.PrefetchesIssued;
+
+  if (L1.contains(Address) || findInFlight(Address)) {
+    ++Stats.PrefetchesRedundant;
+    return;
+  }
+  if (InFlight.size() >= Latency.MaxInFlightPrefetches) {
+    ++Stats.PrefetchesDroppedQueueFull;
+    return;
+  }
+
+  InFlightPrefetch Entry;
+  Entry.BlockNumber = blockNumber(Address);
+  if (L2.contains(Address)) {
+    // L2-resident: only the L1 fill is outstanding.  Touch L2 recency so
+    // the line stays resident for the expected demand access.
+    L2.access(Address);
+    Entry.ReadyCycle = Now + Latency.L2HitCycles;
+    Entry.FillL2 = false;
+  } else {
+    Entry.ReadyCycle = Now + Latency.MemoryCycles;
+    Entry.FillL2 = true;
+  }
+  InFlight.push_back(Entry);
+}
+
+void MemoryHierarchy::reset() {
+  InFlight.clear();
+  L1.reset();
+  L2.reset();
+  Now = 0;
+}
+
+void MemoryHierarchy::clearStats() {
+  Stats = HierarchyStats();
+  L1.clearStats();
+  L2.clearStats();
+}

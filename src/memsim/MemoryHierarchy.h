@@ -1,0 +1,129 @@
+//===- memsim/MemoryHierarchy.h - Two-level hierarchy + prefetch -*- C++ -*-==//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cycle-accounting model of the paper's evaluation machine: L1D + L2 +
+/// main memory, with an in-flight prefetch queue so that prefetches overlap
+/// with subsequent computation instead of completing instantaneously.
+///
+/// This is the substitute for the paper's 550 MHz Pentium III (Section 4.1):
+/// reproduction of Figure 12 needs relative execution times, which are
+/// driven by hit/miss composition, prefetch timeliness, and pollution —
+/// exactly what this model captures.  The `prefetchT0` entry point mirrors
+/// the Pentium III `prefetcht0` instruction the paper uses: it fetches into
+/// both levels of the cache hierarchy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_MEMSIM_MEMORYHIERARCHY_H
+#define HDS_MEMSIM_MEMORYHIERARCHY_H
+
+#include "memsim/Cache.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace hds {
+namespace memsim {
+
+/// Access latencies in cycles.  Defaults approximate the paper's era:
+/// single-cycle L1, 14-cycle L2, 100-cycle memory.
+struct LatencyConfig {
+  unsigned L1HitCycles = 1;
+  unsigned L2HitCycles = 14;
+  unsigned MemoryCycles = 100;
+  /// Cost of issuing one prefetch instruction (pipeline slot, not stall).
+  unsigned PrefetchIssueCycles = 1;
+  /// Maximum outstanding prefetches; extra issues are dropped, matching
+  /// limited miss-status-holding-register style hardware.
+  unsigned MaxInFlightPrefetches = 24;
+};
+
+/// Aggregate cycle accounting for one simulation run.
+struct HierarchyStats {
+  uint64_t DemandAccesses = 0;
+  uint64_t StallCycles = 0;
+  uint64_t PrefetchesIssued = 0;
+  uint64_t PrefetchesDroppedQueueFull = 0;
+  uint64_t PrefetchesRedundant = 0; // target already cached or in flight
+  /// Demand accesses that found their block still in flight and waited for
+  /// the remainder of its latency (partially hidden misses).
+  uint64_t PartialHits = 0;
+  uint64_t PartialHitStallCycles = 0;
+};
+
+/// Two-level hierarchy with a global cycle clock.
+///
+/// The clock advances for (a) explicit compute via tick(), (b) access
+/// latency of every demand load/store, and (c) prefetch issue slots.
+/// Prefetched blocks become visible only once their latency has elapsed,
+/// so a prefetch issued immediately before its use hides almost nothing
+/// while one issued a stream ahead hides everything — the timeliness
+/// property the paper's stream-based scheme relies on (Section 1).
+class MemoryHierarchy {
+public:
+  MemoryHierarchy(const CacheConfig &L1Config = CacheConfig::pentiumIIIL1(),
+                  const CacheConfig &L2Config = CacheConfig::pentiumIIIL2(),
+                  const LatencyConfig &Latency = LatencyConfig());
+
+  /// Advances the clock by \p Cycles of computation.
+  void tick(uint64_t Cycles) { Now += Cycles; drainDuePrefetches(); }
+
+  /// Demand access (load or store — the model treats them alike, as the
+  /// paper's data reference definition does).  Returns the latency in
+  /// cycles charged for this access; the clock has already advanced.
+  uint64_t access(Addr Address);
+
+  /// Prefetch into both cache levels (`prefetcht0`).  Non-binding and
+  /// non-blocking: the fill completes after the block's latency.
+  /// Software prefetches charge one issue slot now; hardware-initiated
+  /// prefetches (stride/Markov engines) pass \p ChargeIssueSlot = false.
+  void prefetchT0(Addr Address, bool ChargeIssueSlot = true);
+
+  /// Completes every in-flight prefetch and clears both caches and the
+  /// clock (fresh machine for the next benchmark configuration).
+  void reset();
+
+  uint64_t now() const { return Now; }
+  const Cache &l1() const { return L1; }
+  const Cache &l2() const { return L2; }
+  const HierarchyStats &stats() const { return Stats; }
+  void clearStats();
+
+  /// Number of prefetches currently in flight (for tests).
+  unsigned inFlightCount() const {
+    return static_cast<unsigned>(InFlight.size());
+  }
+
+private:
+  struct InFlightPrefetch {
+    uint64_t BlockNumber;
+    uint64_t ReadyCycle;
+    bool FillL2; // memory-sourced prefetches fill both levels
+  };
+
+  uint64_t blockNumber(Addr Address) const {
+    return Address / L1.config().BlockBytes;
+  }
+
+  /// Moves completed prefetches into the caches.
+  void drainDuePrefetches();
+
+  /// Returns the in-flight entry covering \p Address, or nullptr.
+  InFlightPrefetch *findInFlight(Addr Address);
+
+  Cache L1;
+  Cache L2;
+  LatencyConfig Latency;
+  uint64_t Now = 0;
+  std::vector<InFlightPrefetch> InFlight;
+  HierarchyStats Stats;
+};
+
+} // namespace memsim
+} // namespace hds
+
+#endif // HDS_MEMSIM_MEMORYHIERARCHY_H

@@ -1,0 +1,73 @@
+//===- profiling/BurstyTracer.cpp - Low-overhead temporal profiling -------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profiling/BurstyTracer.h"
+
+using namespace hds;
+using namespace hds::profiling;
+
+BurstyTracer::BurstyTracer(const BurstyTracingConfig &Config)
+    : Config(Config) {
+  assert(Config.NCheck0 > 0 && Config.NInstr0 > 0 &&
+         "counters must be positive");
+  assert((!Config.HibernationEnabled ||
+          (Config.NAwake > 0 && Config.NHibernate > 0)) &&
+         "phase lengths must be positive when hibernating");
+  reset();
+}
+
+void BurstyTracer::reset() {
+  Phase = TracerPhase::Awake;
+  Instrumented = false;
+  NCheck = phaseNCheck();
+  NInstr = 0;
+  ChecksExecuted = 0;
+  InstrumentedChecks = 0;
+  BurstPeriods = 0;
+  PhaseBurstPeriods = 0;
+}
+
+CheckEvent BurstyTracer::check() {
+  ++ChecksExecuted;
+
+  if (!Instrumented) {
+    assert(NCheck > 0 && "checking counter exhausted");
+    if (--NCheck == 0) {
+      NInstr = phaseNInstr();
+      Instrumented = true;
+    }
+    return CheckEvent::None;
+  }
+
+  ++InstrumentedChecks;
+  assert(NInstr > 0 && "instrumented counter exhausted");
+  if (--NInstr > 0)
+    return CheckEvent::None;
+
+  // The burst ended: one burst-period (nCheck + nInstr checks) completed.
+  Instrumented = false;
+  ++BurstPeriods;
+  ++PhaseBurstPeriods;
+  NCheck = phaseNCheck();
+
+  if (!Config.HibernationEnabled)
+    return CheckEvent::None;
+
+  if (Phase == TracerPhase::Awake && PhaseBurstPeriods >= Config.NAwake) {
+    Phase = TracerPhase::Hibernating;
+    PhaseBurstPeriods = 0;
+    NCheck = phaseNCheck();
+    return CheckEvent::AwakeEnded;
+  }
+  if (Phase == TracerPhase::Hibernating &&
+      PhaseBurstPeriods >= Config.NHibernate) {
+    Phase = TracerPhase::Awake;
+    PhaseBurstPeriods = 0;
+    NCheck = phaseNCheck();
+    return CheckEvent::HibernationEnded;
+  }
+  return CheckEvent::None;
+}

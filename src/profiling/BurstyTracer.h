@@ -1,0 +1,149 @@
+//===- profiling/BurstyTracer.h - Low-overhead temporal profiling -*- C++ -*-=//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bursty tracing framework of Section 2.1/2.2 (Hirzel & Chilimbi's
+/// extension [15] of Arnold-Ryder low-overhead profiling [3]).
+///
+/// Every procedure exists in two versions: checking code and instrumented
+/// code (Figure 2).  Both periodically execute *dynamic checks* at
+/// procedure entries and loop back-edges.  A counter pair decides where
+/// execution continues:
+///
+///   * in checking code, nCheck is decremented at every check; at zero,
+///     nInstr is initialized with nInstr0 and control transfers to the
+///     instrumented code (a profiling burst begins);
+///   * in instrumented code, nInstr is decremented at every check; at
+///     zero, nCheck is re-initialized and control returns to checking
+///     code (the burst ends).
+///
+/// nCheck0 + nInstr0 dynamic checks form one burst-period (Figure 3).
+///
+/// For online optimization the framework alternates between an awake phase
+/// (nAwake burst-periods of real tracing) and a hibernating phase
+/// (nHibernate burst-periods during which the counters are rewritten to
+/// nCheck = nCheck0 + nInstr0 - 1 and nInstr = 1, so the profiler traces
+/// next to nothing while burst-periods keep corresponding to the same
+/// number of executed checks in either phase).  Everything is
+/// deterministic — executions of deterministic benchmarks are repeatable,
+/// which the paper calls out as a testing aid (and which our integration
+/// tests rely on).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_PROFILING_BURSTYTRACER_H
+#define HDS_PROFILING_BURSTYTRACER_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace hds {
+namespace profiling {
+
+/// Counter settings (Section 4.1 defaults: 0.5% sampling with bursts of 60
+/// checks, awake 50 of every 2,500 burst-periods).
+struct BurstyTracingConfig {
+  uint64_t NCheck0 = 11'940;
+  uint64_t NInstr0 = 60;
+  uint64_t NAwake = 50;
+  uint64_t NHibernate = 2'450;
+  /// When false the profiler never hibernates (pure Section 2.1 framework,
+  /// used by the overhead characterization in Figure 11).
+  bool HibernationEnabled = true;
+
+  uint64_t burstPeriodChecks() const { return NCheck0 + NInstr0; }
+
+  /// The awake-phase sampling rate nInstr0 / (nCheck0 + nInstr0).
+  double awakeSamplingRate() const {
+    return static_cast<double>(NInstr0) / burstPeriodChecks();
+  }
+
+  /// The overall sampling rate from Section 2.2:
+  /// (nAwake*nInstr0) / ((nAwake+nHibernate)*(nInstr0+nCheck0)).
+  double overallSamplingRate() const {
+    if (!HibernationEnabled)
+      return awakeSamplingRate();
+    return static_cast<double>(NAwake * NInstr0) /
+           (static_cast<double>(NAwake + NHibernate) * burstPeriodChecks());
+  }
+};
+
+/// Which phase of the online-optimization cycle the profiler is in.
+enum class TracerPhase : uint8_t { Awake, Hibernating };
+
+/// Events a dynamic check can report back to the runtime; the optimizer
+/// reacts to phase boundaries (Figure 1's control cycle).
+enum class CheckEvent : uint8_t {
+  None,
+  /// The awake phase just completed its nAwake-th burst-period: time to
+  /// analyze and optimize, then hibernate.
+  AwakeEnded,
+  /// The hibernating phase is over: time to de-optimize and resume
+  /// profiling.
+  HibernationEnded,
+};
+
+/// The counter machine at the heart of the framework.
+class BurstyTracer {
+public:
+  explicit BurstyTracer(const BurstyTracingConfig &Config);
+
+  /// Executes one dynamic check (procedure entry or loop back-edge).
+  /// Afterwards, inInstrumentedCode() says which code version runs until
+  /// the next check.  The returned event flags phase boundaries.
+  CheckEvent check();
+
+  /// True while execution is in the instrumented (tracing) code version.
+  bool inInstrumentedCode() const { return Instrumented; }
+
+  TracerPhase phase() const { return Phase; }
+  const BurstyTracingConfig &config() const { return Config; }
+
+  uint64_t checksExecuted() const { return ChecksExecuted; }
+  uint64_t instrumentedChecks() const { return InstrumentedChecks; }
+  uint64_t completedBurstPeriods() const { return BurstPeriods; }
+  uint64_t burstPeriodsInPhase() const { return PhaseBurstPeriods; }
+
+  /// Restarts the whole cycle (fresh awake phase with reset counters).
+  void reset();
+
+  /// Changes the hibernation length (the current hibernating phase, if
+  /// any, compares against the new value immediately).  Supports
+  /// Saavedra & Park's adaptive profiling idea, which the paper
+  /// calls "a useful extension to our simpler hibernation approach"
+  /// (§5.2): hibernate longer while the program's behaviour is stable,
+  /// re-profile sooner when it shifts.
+  void setHibernationLength(uint64_t NHibernate) {
+    assert(NHibernate > 0 && "phase lengths must be positive");
+    Config.NHibernate = NHibernate;
+  }
+
+private:
+  /// Loads nCheck/nInstr for the current phase (hibernation rewrites the
+  /// counters as described in Section 2.2).
+  uint64_t phaseNCheck() const {
+    return Phase == TracerPhase::Awake ? Config.NCheck0
+                                       : Config.NCheck0 + Config.NInstr0 - 1;
+  }
+  uint64_t phaseNInstr() const {
+    return Phase == TracerPhase::Awake ? Config.NInstr0 : 1;
+  }
+
+  BurstyTracingConfig Config;
+  TracerPhase Phase = TracerPhase::Awake;
+  bool Instrumented = false;
+  uint64_t NCheck = 0;
+  uint64_t NInstr = 0;
+  uint64_t ChecksExecuted = 0;
+  uint64_t InstrumentedChecks = 0;
+  uint64_t BurstPeriods = 0;
+  uint64_t PhaseBurstPeriods = 0;
+};
+
+} // namespace profiling
+} // namespace hds
+
+#endif // HDS_PROFILING_BURSTYTRACER_H

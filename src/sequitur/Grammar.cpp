@@ -1,0 +1,437 @@
+//===- sequitur/Grammar.cpp - Incremental Sequitur grammar ----------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+// The structure of append/check/match/substitute/expand follows the
+// canonical Sequitur implementation by Nevill-Manning & Witten, including
+// the digram-index "triple" fix in join() for runs of identical symbols.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sequitur/Grammar.h"
+
+#include "support/Table.h"
+
+#include <cassert>
+
+using namespace hds;
+using namespace hds::sequitur;
+
+//===----------------------------------------------------------------------===//
+// Symbol and Rule accessors
+//===----------------------------------------------------------------------===//
+
+uint64_t Symbol::terminal() const {
+  assert(isTerminal() && "terminal() on a non-terminal symbol");
+  return Value;
+}
+
+Rule *Symbol::rule() const {
+  assert(!isTerminal() && "rule() on a terminal symbol");
+  return R;
+}
+
+size_t Rule::rhsLength() const {
+  size_t Length = 0;
+  for (Symbol *S = first(); !S->isGuard(); S = S->next())
+    ++Length;
+  return Length;
+}
+
+//===----------------------------------------------------------------------===//
+// Symbol/Rule creation and destruction
+//===----------------------------------------------------------------------===//
+
+Symbol *Grammar::newTerminalSymbol(uint64_t Value) {
+  assert(Value <= MaxTerminal && "terminal value collides with rule codes");
+  Symbol *S = new Symbol();
+  S->Kind = Symbol::SymbolKind::Terminal;
+  S->Value = Value;
+  return S;
+}
+
+Symbol *Grammar::newNonTerminalSymbol(Rule *R) {
+  Symbol *S = new Symbol();
+  S->Kind = Symbol::SymbolKind::NonTerminal;
+  S->R = R;
+  ++R->RefCount;
+  return S;
+}
+
+Symbol *Grammar::copySymbol(const Symbol *S) {
+  assert(!S->isGuard() && "cannot copy a guard");
+  if (S->isTerminal())
+    return newTerminalSymbol(S->Value);
+  return newNonTerminalSymbol(S->R);
+}
+
+Rule *Grammar::newRule() {
+  Rule *R = new Rule();
+  R->Id = static_cast<uint32_t>(AllRules.size());
+  R->Guard = new Symbol();
+  R->Guard->Kind = Symbol::SymbolKind::Guard;
+  R->Guard->R = R;
+  R->Guard->Next = R->Guard;
+  R->Guard->Prev = R->Guard;
+  AllRules.push_back(R);
+  ++LiveRuleCount;
+  return R;
+}
+
+void Grammar::destroyRule(Rule *R) {
+  assert(AllRules[R->Id] == R && "rule already destroyed");
+  AllRules[R->Id] = nullptr;
+  --LiveRuleCount;
+  delete R->Guard;
+  delete R;
+}
+
+Grammar::Grammar() { Start = newRule(); }
+
+Grammar::~Grammar() {
+  for (Rule *R : AllRules) {
+    if (!R)
+      continue;
+    Symbol *S = R->first();
+    while (!S->isGuard()) {
+      Symbol *Next = S->next();
+      delete S;
+      S = Next;
+    }
+    delete R->Guard;
+    delete R;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Digram index
+//===----------------------------------------------------------------------===//
+
+uint64_t Grammar::codeOf(const Symbol *S) {
+  assert(!S->isGuard() && "guards have no digram code");
+  if (S->isTerminal())
+    return S->Value;
+  return (uint64_t{1} << 63) | S->R->Id;
+}
+
+bool Grammar::sameContent(const Symbol *A, const Symbol *B) {
+  if (A->isGuard() || B->isGuard())
+    return false;
+  return codeOf(A) == codeOf(B);
+}
+
+Grammar::DigramKey Grammar::keyOf(const Symbol *S) {
+  assert(!S->isGuard() && !S->Next->isGuard() && "digram touches a guard");
+  return DigramKey(codeOf(S), codeOf(S->Next));
+}
+
+void Grammar::deleteDigram(Symbol *S) {
+  if (S->isGuard() || !S->Next || S->Next->isGuard())
+    return;
+  auto It = DigramIndex.find(keyOf(S));
+  if (It != DigramIndex.end() && It->second == S)
+    DigramIndex.erase(It);
+}
+
+void Grammar::indexDigram(Symbol *S) {
+  if (S->isGuard() || !S->Next || S->Next->isGuard())
+    return;
+  DigramIndex[keyOf(S)] = S;
+}
+
+//===----------------------------------------------------------------------===//
+// Linking primitives
+//===----------------------------------------------------------------------===//
+
+void Grammar::join(Symbol *Left, Symbol *Right) {
+  if (Left->Next) {
+    deleteDigram(Left);
+
+    // "Triple" fix: breaking a run like bbb can leave a digram that must be
+    // re-pointed at its surviving occurrence; re-index around both ends.
+    if (Right->Prev && Right->Next && sameContent(Right, Right->Prev) &&
+        sameContent(Right, Right->Next))
+      indexDigram(Right);
+    if (Left->Prev && Left->Next && sameContent(Left, Left->Next) &&
+        sameContent(Left, Left->Prev))
+      indexDigram(Left->Prev);
+  }
+  Left->Next = Right;
+  Right->Prev = Left;
+}
+
+void Grammar::insertAfter(Symbol *Pos, Symbol *NewSym) {
+  join(NewSym, Pos->Next);
+  join(Pos, NewSym);
+}
+
+void Grammar::removeSymbol(Symbol *S) {
+  assert(!S->isGuard() && "removing a guard");
+  join(S->Prev, S->Next);
+  deleteDigram(S);
+  if (S->isNonTerminal()) {
+    assert(S->R->RefCount > 0 && "rule reference count underflow");
+    --S->R->RefCount;
+  }
+  delete S;
+}
+
+//===----------------------------------------------------------------------===//
+// The Sequitur algorithm
+//===----------------------------------------------------------------------===//
+
+void Grammar::append(uint64_t Terminal) {
+  ++InputLength;
+  Symbol *Sym = newTerminalSymbol(Terminal);
+  insertAfter(Start->last(), Sym);
+  // Check the digram formed with the previous final symbol (a no-op when
+  // this is the very first symbol: its predecessor is the guard).
+  check(Sym->Prev);
+}
+
+bool Grammar::check(Symbol *S) {
+  if (S->isGuard() || S->Next->isGuard())
+    return false;
+
+  auto Key = keyOf(S);
+  auto It = DigramIndex.find(Key);
+  if (It == DigramIndex.end()) {
+    DigramIndex.emplace(Key, S);
+    return false;
+  }
+
+  Symbol *Found = It->second;
+  // Overlapping occurrences (e.g. the middle of "aaa") are left alone; a
+  // digram can only be replaced when both occurrences are disjoint.
+  if (Found != S && Found->Next != S)
+    match(S, Found);
+  return true;
+}
+
+void Grammar::match(Symbol *S, Symbol *Match) {
+  Rule *R;
+  if (Match->Prev->isGuard() && Match->Next->Next->isGuard()) {
+    // The matched occurrence is exactly the right-hand side of an existing
+    // rule: reuse that rule.
+    R = Match->Prev->rule();
+    substitute(S, R);
+  } else {
+    // Create a new rule for the repeated digram and replace both
+    // occurrences with it.
+    R = newRule();
+    insertAfter(R->last(), copySymbol(S));
+    insertAfter(R->last(), copySymbol(S->Next));
+    substitute(Match, R);
+    substitute(S, R);
+    indexDigram(R->first());
+  }
+
+  // Rule utility: substitution may have dropped an inner rule to a single
+  // remaining use; inline it.
+  if (R->first()->isNonTerminal() && R->first()->rule()->RefCount == 1)
+    expandUse(R->first());
+}
+
+void Grammar::substitute(Symbol *S, Rule *R) {
+  Symbol *Q = S->Prev;
+  removeSymbol(S);
+  removeSymbol(Q->Next);
+  insertAfter(Q, newNonTerminalSymbol(R));
+  // Check the two digrams created around the new non-terminal.  When the
+  // first check triggers a match the list is restructured, so only fall
+  // through to the second when nothing happened.
+  if (!check(Q))
+    check(Q->Next);
+}
+
+void Grammar::expandUse(Symbol *Use) {
+  assert(Use->isNonTerminal() && "can only expand a non-terminal use");
+  Rule *R = Use->rule();
+  assert(R->RefCount == 1 && "expanding a rule that is still shared");
+
+  Symbol *Left = Use->Prev;
+  Symbol *Right = Use->Next;
+  Symbol *First = R->first();
+  Symbol *Last = R->last();
+  assert(!First->isGuard() && "expanding an empty rule");
+
+  deleteDigram(Use); // the (Use, Right) digram
+  join(Left, First); // also clears the (Left, Use) digram
+  join(Last, Right);
+  indexDigram(Last); // the newly created (Last, Right) digram
+
+  destroyRule(R);
+  delete Use;
+}
+
+//===----------------------------------------------------------------------===//
+// Read-only views
+//===----------------------------------------------------------------------===//
+
+size_t Grammar::totalRhsSymbols() const {
+  size_t Total = 0;
+  for (const Rule *R : AllRules)
+    if (R)
+      Total += R->rhsLength();
+  return Total;
+}
+
+std::vector<const Rule *> Grammar::rules() const {
+  std::vector<const Rule *> Result;
+  Result.reserve(LiveRuleCount);
+  for (const Rule *R : AllRules)
+    if (R)
+      Result.push_back(R);
+  return Result;
+}
+
+std::vector<uint64_t> Grammar::expandRule(const Rule &R) const {
+  std::vector<uint64_t> Result;
+  // Iterative DFS over the derivation: the stack holds the next symbol to
+  // visit at every nesting level.
+  std::vector<const Symbol *> Stack;
+  Stack.push_back(R.first());
+  while (!Stack.empty()) {
+    const Symbol *S = Stack.back();
+    if (S->isGuard()) {
+      Stack.pop_back();
+      continue;
+    }
+    Stack.back() = S->next();
+    if (S->isTerminal())
+      Result.push_back(S->terminal());
+    else
+      Stack.push_back(S->rule()->first());
+  }
+  return Result;
+}
+
+GrammarSnapshot Grammar::snapshot() const {
+  GrammarSnapshot Snap;
+  std::vector<const Rule *> Live = rules();
+  // Dense renumbering: live rules in id order; the start rule has id 0 and
+  // is never deleted, so it maps to index 0.
+  std::unordered_map<uint32_t, uint32_t> IdToIndex;
+  IdToIndex.reserve(Live.size());
+  for (size_t I = 0; I < Live.size(); ++I)
+    IdToIndex[Live[I]->id()] = static_cast<uint32_t>(I);
+  assert(!Live.empty() && Live[0] == Start && "start rule must be first");
+
+  Snap.Rules.resize(Live.size());
+  for (size_t I = 0; I < Live.size(); ++I) {
+    for (Symbol *S = Live[I]->first(); !S->isGuard(); S = S->next()) {
+      GrammarSnapshot::Item Item;
+      if (S->isTerminal()) {
+        Item.IsRule = false;
+        Item.RuleIndex = 0;
+        Item.Terminal = S->terminal();
+      } else {
+        Item.IsRule = true;
+        Item.RuleIndex = IdToIndex.at(S->rule()->id());
+        Item.Terminal = 0;
+      }
+      Snap.Rules[I].Rhs.push_back(Item);
+    }
+  }
+  return Snap;
+}
+
+std::vector<uint64_t> GrammarSnapshot::expand(uint32_t RuleIndex) const {
+  std::vector<uint64_t> Result;
+  struct Frame {
+    uint32_t Rule;
+    size_t Pos;
+  };
+  std::vector<Frame> Stack;
+  Stack.push_back({RuleIndex, 0});
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    const SnapshotRule &R = Rules.at(Top.Rule);
+    if (Top.Pos >= R.Rhs.size()) {
+      Stack.pop_back();
+      continue;
+    }
+    const Item &It = R.Rhs[Top.Pos++];
+    if (It.IsRule)
+      Stack.push_back({It.RuleIndex, 0});
+    else
+      Result.push_back(It.Terminal);
+  }
+  return Result;
+}
+
+std::string Grammar::dump(std::string (*TerminalName)(uint64_t)) const {
+  std::string Out;
+  for (const Rule *R : rules()) {
+    Out += formatString("R%u ->", R->id());
+    for (Symbol *S = R->first(); !S->isGuard(); S = S->next()) {
+      Out += ' ';
+      if (S->isTerminal()) {
+        if (TerminalName)
+          Out += TerminalName(S->terminal());
+        else
+          Out += formatString("%llu", (unsigned long long)S->terminal());
+      } else {
+        Out += formatString("R%u", S->rule()->id());
+      }
+    }
+    Out += '\n';
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Invariant checks
+//===----------------------------------------------------------------------===//
+
+bool Grammar::digramUniquenessHolds() const {
+  std::unordered_map<DigramKey, std::vector<const Symbol *>, DigramKeyHash>
+      Occurrences;
+  for (const Rule *R : AllRules) {
+    if (!R)
+      continue;
+    for (Symbol *S = R->first();
+         !S->isGuard() && !S->next()->isGuard(); S = S->next())
+      Occurrences[keyOf(S)].push_back(S);
+  }
+  for (const auto &Entry : Occurrences) {
+    const auto &List = Entry.second;
+    for (size_t I = 0; I < List.size(); ++I)
+      for (size_t J = I + 1; J < List.size(); ++J) {
+        const Symbol *A = List[I];
+        const Symbol *B = List[J];
+        const bool Overlap = A->next() == B || B->next() == A;
+        if (!Overlap)
+          return false;
+      }
+  }
+  return true;
+}
+
+bool Grammar::ruleUtilityHolds() const {
+  std::unordered_map<const Rule *, uint32_t> Uses;
+  for (const Rule *R : AllRules) {
+    if (!R)
+      continue;
+    for (Symbol *S = R->first(); !S->isGuard(); S = S->next())
+      if (S->isNonTerminal())
+        ++Uses[S->rule()];
+  }
+  for (const Rule *R : AllRules) {
+    if (!R)
+      continue;
+    const uint32_t ActualUses = Uses.count(R) ? Uses.at(R) : 0;
+    if (ActualUses != R->refCount())
+      return false;
+    if (R != Start && ActualUses < 2)
+      return false;
+  }
+  return true;
+}
+
+bool Grammar::rulesAreNonTrivialHolds() const {
+  for (const Rule *R : AllRules)
+    if (R && R != Start && R->rhsLength() < 2)
+      return false;
+  return true;
+}

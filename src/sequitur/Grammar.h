@@ -1,0 +1,247 @@
+//===- sequitur/Grammar.h - Incremental Sequitur grammar -------*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An incremental implementation of the Sequitur compression algorithm
+/// (Nevill-Manning & Witten, "Linear-time, incremental hierarchy inference
+/// for compression", DCC 1997 — reference [23] of the paper).
+///
+/// Sequitur builds a context-free grammar whose language is exactly the
+/// input string, maintaining two invariants after every appended symbol:
+///
+///   * digram uniqueness — no pair of adjacent symbols appears more than
+///     once in the grammar, and
+///   * rule utility — every rule other than the start rule is used at
+///     least twice.
+///
+/// The paper's online profiling framework appends each sampled data
+/// reference to this grammar as it is traced (Section 2.4); the grammar is
+/// then handed to the hot data stream analysis as a compressed, hierarchical
+/// representation of the temporal profile (Section 2.3, Figure 4).
+///
+/// Terminal symbols are opaque uint64_t values below 2^63 (the profiler
+/// interns (pc, addr) data references into dense ids).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_SEQUITUR_GRAMMAR_H
+#define HDS_SEQUITUR_GRAMMAR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hds {
+namespace sequitur {
+
+class Rule;
+class Grammar;
+
+/// One node in a rule's right-hand side (or a rule's guard node).
+/// Symbols form a circular doubly-linked list per rule, with the guard as
+/// the sentinel.
+class Symbol {
+public:
+  enum class SymbolKind : uint8_t { Terminal, NonTerminal, Guard };
+
+  bool isGuard() const { return Kind == SymbolKind::Guard; }
+  bool isNonTerminal() const { return Kind == SymbolKind::NonTerminal; }
+  bool isTerminal() const { return Kind == SymbolKind::Terminal; }
+
+  /// The terminal value; only valid for terminal symbols.
+  uint64_t terminal() const;
+
+  /// The referenced rule (non-terminals) or owning rule (guards).
+  Rule *rule() const;
+
+  Symbol *next() const { return Next; }
+  Symbol *prev() const { return Prev; }
+
+private:
+  friend class Grammar;
+  friend class Rule;
+
+  Symbol() = default;
+
+  Symbol *Next = nullptr;
+  Symbol *Prev = nullptr;
+  uint64_t Value = 0; // terminal value
+  Rule *R = nullptr;  // referenced rule (non-terminal) / owner (guard)
+  SymbolKind Kind = SymbolKind::Terminal;
+};
+
+/// A grammar rule: S -> <right-hand side>.  The right-hand side hangs off a
+/// guard sentinel in a circular list.
+class Rule {
+public:
+  /// Stable id; the start rule has id 0 and ids grow monotonically as rules
+  /// are created (deleted rule ids are never reused).
+  uint32_t id() const { return Id; }
+
+  /// Number of times this rule is referenced from other rules' right-hand
+  /// sides.  Always >= 2 for live non-start rules (rule utility).
+  uint32_t refCount() const { return RefCount; }
+
+  Symbol *guard() const { return Guard; }
+  Symbol *first() const { return Guard->next(); }
+  Symbol *last() const { return Guard->prev(); }
+
+  /// Walks the right-hand side and counts its symbols.
+  size_t rhsLength() const;
+
+private:
+  friend class Grammar;
+  friend class Symbol;
+
+  Rule() = default;
+
+  Symbol *Guard = nullptr;
+  uint32_t RefCount = 0;
+  uint32_t Id = 0;
+};
+
+/// A decoupled, index-based copy of the grammar used by the hot data stream
+/// analysis.  Rule 0 is the start rule; every other entry is reachable from
+/// it.  Taking a snapshot at the end of the awake phase lets the analysis
+/// run without touching live grammar internals.
+struct GrammarSnapshot {
+  struct Item {
+    bool IsRule;
+    uint32_t RuleIndex; // valid when IsRule
+    uint64_t Terminal;  // valid when !IsRule
+  };
+  struct SnapshotRule {
+    std::vector<Item> Rhs;
+  };
+
+  std::vector<SnapshotRule> Rules;
+
+  /// Expands rule \p RuleIndex into its terminal string.
+  std::vector<uint64_t> expand(uint32_t RuleIndex) const;
+};
+
+/// The incremental Sequitur grammar.
+class Grammar {
+public:
+  /// Terminal values must stay below this bound; the top bit namespace is
+  /// reserved for non-terminal digram codes.
+  static constexpr uint64_t MaxTerminal = (uint64_t{1} << 63) - 1;
+
+  Grammar();
+  ~Grammar();
+
+  Grammar(const Grammar &) = delete;
+  Grammar &operator=(const Grammar &) = delete;
+
+  /// Appends one terminal to the represented string.  Amortized O(1).
+  void append(uint64_t Terminal);
+
+  /// The start rule (S in the paper's Figure 4).
+  const Rule *start() const { return Start; }
+
+  /// Number of terminals appended so far.
+  size_t inputLength() const { return InputLength; }
+
+  /// Number of live rules, including the start rule.
+  size_t ruleCount() const { return LiveRuleCount; }
+
+  /// Total number of right-hand-side symbols over all live rules — the
+  /// "size of the grammar" in which the analysis runs linearly (§2.3).
+  size_t totalRhsSymbols() const;
+
+  /// Live rules in ascending id order; element 0 is the start rule.
+  std::vector<const Rule *> rules() const;
+
+  /// Expands \p R into the terminal string it derives.
+  std::vector<uint64_t> expandRule(const Rule &R) const;
+
+  /// Takes an index-based snapshot for the analyzer.
+  GrammarSnapshot snapshot() const;
+
+  /// Human-readable rendering, e.g. "R0 -> R1 a R2 R2\nR1 -> a b\n...".
+  /// Terminals print via \p TerminalName when provided, else as numbers.
+  std::string
+  dump(std::string (*TerminalName)(uint64_t) = nullptr) const;
+
+  /// \name Invariant checks (exercised by the property tests).
+  /// @{
+
+  /// True iff no digram (adjacent symbol pair) occurs twice across the
+  /// whole grammar, overlapping occurrences excepted.
+  bool digramUniquenessHolds() const;
+
+  /// True iff every non-start rule is referenced at least twice and the
+  /// stored reference counts match the actual use counts.
+  bool ruleUtilityHolds() const;
+
+  /// True iff every rule body has at least two symbols.
+  bool rulesAreNonTrivialHolds() const;
+  /// @}
+
+private:
+  using DigramKey = std::pair<uint64_t, uint64_t>;
+  struct DigramKeyHash {
+    size_t operator()(const DigramKey &Key) const {
+      // 64-bit mix of both halves.
+      uint64_t H = Key.first * 0x9E3779B97F4A7C15ULL;
+      H ^= Key.second + 0x9E3779B97F4A7C15ULL + (H << 6) + (H >> 2);
+      return static_cast<size_t>(H);
+    }
+  };
+
+  /// Digram content code of one symbol (terminal value or tagged rule id).
+  static uint64_t codeOf(const Symbol *S);
+  /// True iff \p A and \p B have identical digram content.
+  static bool sameContent(const Symbol *A, const Symbol *B);
+  /// Key of the digram starting at \p S (requires a non-guard next).
+  static DigramKey keyOf(const Symbol *S);
+
+  Symbol *newTerminalSymbol(uint64_t Value);
+  Symbol *newNonTerminalSymbol(Rule *R);
+  Symbol *copySymbol(const Symbol *S);
+  Rule *newRule();
+  void destroyRule(Rule *R);
+
+  /// Links \p Left and \p Right, maintaining digram index bookkeeping
+  /// (including the classic "triple" fix for runs like aaa).
+  void join(Symbol *Left, Symbol *Right);
+  /// Inserts \p NewSym immediately after \p Pos.
+  void insertAfter(Symbol *Pos, Symbol *NewSym);
+  /// Unlinks and frees \p S, removing its digrams and dropping a rule
+  /// reference when it is a non-terminal.
+  void removeSymbol(Symbol *S);
+
+  /// Removes the digram starting at \p S from the index if the index entry
+  /// points at \p S.
+  void deleteDigram(Symbol *S);
+  /// Points the index entry for \p S's digram at \p S.
+  void indexDigram(Symbol *S);
+
+  /// Checks the digram starting at \p S against the index, triggering a
+  /// match when a second occurrence is found.  Returns true iff the digram
+  /// was already present (matched or overlapping).
+  bool check(Symbol *S);
+  /// Handles a repeated digram: \p S is the new occurrence, \p Match the
+  /// indexed one.
+  void match(Symbol *S, Symbol *Match);
+  /// Replaces the digram starting at \p S with a reference to \p R.
+  void substitute(Symbol *S, Rule *R);
+  /// Inlines \p Use (a non-terminal whose rule is referenced exactly once).
+  void expandUse(Symbol *Use);
+
+  std::unordered_map<DigramKey, Symbol *, DigramKeyHash> DigramIndex;
+  std::vector<Rule *> AllRules; // index == id; null when deleted
+  Rule *Start = nullptr;
+  size_t InputLength = 0;
+  size_t LiveRuleCount = 0;
+};
+
+} // namespace sequitur
+} // namespace hds
+
+#endif // HDS_SEQUITUR_GRAMMAR_H

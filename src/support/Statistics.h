@@ -1,0 +1,88 @@
+//===- support/Statistics.h - Running statistics ---------------*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small accumulator types used by the evaluation harness: a running
+/// scalar statistic (count/mean/min/max) and a fixed-width histogram.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_SUPPORT_STATISTICS_H
+#define HDS_SUPPORT_STATISTICS_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace hds {
+
+/// Accumulates count, sum, min, and max of a stream of samples.
+///
+/// Table 2 of the paper reports several quantities "averaged on a per
+/// optimization cycle basis"; the characterization harness feeds one sample
+/// per cycle into instances of this class.
+class RunningStat {
+public:
+  void addSample(double Value) {
+    Count += 1;
+    Sum += Value;
+    Minimum = std::min(Minimum, Value);
+    Maximum = std::max(Maximum, Value);
+  }
+
+  uint64_t count() const { return Count; }
+  double sum() const { return Sum; }
+
+  /// Mean of all samples; 0 when empty so reports stay printable.
+  double mean() const { return Count == 0 ? 0.0 : Sum / Count; }
+
+  /// Smallest sample; +inf when empty.
+  double min() const { return Minimum; }
+  /// Largest sample; -inf when empty.
+  double max() const { return Maximum; }
+
+  bool empty() const { return Count == 0; }
+
+private:
+  uint64_t Count = 0;
+  double Sum = 0.0;
+  double Minimum = std::numeric_limits<double>::infinity();
+  double Maximum = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket histogram over [0, BucketCount * BucketWidth); samples at or
+/// beyond the top land in the final (overflow) bucket.
+class Histogram {
+public:
+  Histogram(uint64_t BucketCount, uint64_t BucketWidth)
+      : Width(BucketWidth), Buckets(BucketCount + 1, 0) {
+    assert(BucketCount > 0 && BucketWidth > 0 && "degenerate histogram");
+  }
+
+  void addSample(uint64_t Value) {
+    uint64_t Index = std::min<uint64_t>(Value / Width, Buckets.size() - 1);
+    ++Buckets[Index];
+    ++Total;
+  }
+
+  uint64_t bucketCount() const { return Buckets.size(); }
+  uint64_t bucket(uint64_t Index) const { return Buckets.at(Index); }
+  uint64_t total() const { return Total; }
+
+  /// Lower bound of bucket \p Index.
+  uint64_t bucketLowerBound(uint64_t Index) const { return Index * Width; }
+
+private:
+  uint64_t Width;
+  uint64_t Total = 0;
+  std::vector<uint64_t> Buckets;
+};
+
+} // namespace hds
+
+#endif // HDS_SUPPORT_STATISTICS_H

@@ -1,0 +1,85 @@
+//===- support/Table.cpp - Aligned text table printing --------------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <cstdarg>
+#include <cstdint>
+
+using namespace hds;
+
+std::string hds::formatString(const char *Format, ...) {
+  va_list Args;
+  va_start(Args, Format);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Size = std::vsnprintf(nullptr, 0, Format, Args);
+  va_end(Args);
+  std::string Result(Size > 0 ? static_cast<size_t>(Size) : 0, '\0');
+  if (Size > 0)
+    std::vsnprintf(Result.data(), Result.size() + 1, Format, ArgsCopy);
+  va_end(ArgsCopy);
+  return Result;
+}
+
+Table::RowBuilder &Table::RowBuilder::cell(double Value, const char *Format) {
+  Cells.push_back(formatString(Format, Value));
+  return *this;
+}
+
+Table::RowBuilder &Table::RowBuilder::cell(uint64_t Value) {
+  Cells.push_back(formatString("%llu", (unsigned long long)Value));
+  return *this;
+}
+
+Table::RowBuilder &Table::RowBuilder::cell(int64_t Value) {
+  Cells.push_back(formatString("%lld", (long long)Value));
+  return *this;
+}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+std::string Table::toString() const {
+  // Compute the width of every column.
+  std::vector<size_t> Widths;
+  for (const auto &Row : Rows) {
+    if (Row.size() > Widths.size())
+      Widths.resize(Row.size(), 0);
+    for (size_t I = 0; I < Row.size(); ++I)
+      if (Row[I].size() > Widths[I])
+        Widths[I] = Row[I].size();
+  }
+
+  auto AppendRow = [&](std::string &Out, const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Widths.size(); ++I) {
+      const std::string Cell = I < Row.size() ? Row[I] : std::string();
+      Out += Cell;
+      if (I + 1 < Widths.size())
+        Out += std::string(Widths[I] - Cell.size() + 2, ' ');
+    }
+    Out += '\n';
+  };
+
+  std::string Out;
+  for (size_t R = 0; R < Rows.size(); ++R) {
+    AppendRow(Out, Rows[R]);
+    if (R == 0 && Rows.size() > 1) {
+      size_t RuleWidth = 0;
+      for (size_t I = 0; I < Widths.size(); ++I)
+        RuleWidth += Widths[I] + (I + 1 < Widths.size() ? 2 : 0);
+      Out += std::string(RuleWidth, '-');
+      Out += '\n';
+    }
+  }
+  return Out;
+}
+
+void Table::print(std::FILE *Out) const {
+  std::string Text = toString();
+  std::fwrite(Text.data(), 1, Text.size(), Out);
+}

@@ -1,0 +1,67 @@
+//===- support/Table.h - Aligned text table printing -----------*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A column-aligned text table writer used by the benchmark harnesses to
+/// print the paper's tables and figure data series in a uniform format.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_SUPPORT_TABLE_H
+#define HDS_SUPPORT_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hds {
+
+/// Collects rows of string cells and prints them with columns padded to the
+/// widest cell.  The first row added is treated as the header and separated
+/// from the body by a rule.
+class Table {
+public:
+  /// Appends one row.  Rows may have differing cell counts; missing cells
+  /// print as empty.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Convenience for building a row cell-by-cell.
+  class RowBuilder {
+  public:
+    explicit RowBuilder(Table &Parent) : Parent(Parent) {}
+    RowBuilder &cell(std::string Text) {
+      Cells.push_back(std::move(Text));
+      return *this;
+    }
+    RowBuilder &cell(double Value, const char *Format = "%.2f");
+    RowBuilder &cell(uint64_t Value);
+    RowBuilder &cell(int64_t Value);
+    ~RowBuilder() { Parent.addRow(std::move(Cells)); }
+
+  private:
+    Table &Parent;
+    std::vector<std::string> Cells;
+  };
+
+  RowBuilder row() { return RowBuilder(*this); }
+
+  /// Renders the table to \p Out (defaults to stdout).
+  void print(std::FILE *Out = stdout) const;
+
+  /// Renders the table into a string (used by tests).
+  std::string toString() const;
+
+private:
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// printf-style std::string formatter shared by the report printers.
+std::string formatString(const char *Format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace hds
+
+#endif // HDS_SUPPORT_TABLE_H

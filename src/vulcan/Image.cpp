@@ -1,0 +1,71 @@
+//===- vulcan/Image.cpp - Simulated executable image ----------------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vulcan/Image.h"
+
+#include <unordered_set>
+
+using namespace hds;
+using namespace hds::vulcan;
+
+ProcId Image::createProcedure(std::string Name) {
+  const ProcId Id = static_cast<ProcId>(Procs.size());
+  Procedure P;
+  P.Name = std::move(Name);
+  Procs.push_back(std::move(P));
+  return Id;
+}
+
+SiteId Image::createSite(ProcId Proc, std::string Label) {
+  (void)Label; // labels exist for debuggability of workload definitions
+  assert(Proc < Procs.size() && "unknown procedure");
+  const SiteId Site = static_cast<SiteId>(SiteOwners.size());
+  SiteOwners.push_back(Proc);
+  Procs[Proc].Sites.push_back(Site);
+  return Site;
+}
+
+void Image::instrumentForBurstyTracing() {
+  for (Procedure &P : Procs)
+    P.DuplicatedForTracing = true;
+}
+
+PatchResult Image::applyPatch(const std::vector<SiteId> &Pcs) {
+  PatchResult Result;
+  Result.SitesInstrumented = Pcs.size();
+
+  std::unordered_set<ProcId> Touched;
+  for (SiteId Site : Pcs)
+    Touched.insert(procOf(Site));
+
+  for (ProcId Proc : Touched) {
+    Procedure &P = Procs[Proc];
+    // Copy the procedure, inject into the copy, overwrite the original's
+    // first instruction with a jump to the copy.  Frames already inside
+    // the procedure keep running the old version (their entry snapshot of
+    // CodeVersion no longer matches).
+    ++P.CodeVersion;
+    P.Patched = true;
+  }
+  Result.ProceduresModified = Touched.size();
+  ++PatchApplications;
+  return Result;
+}
+
+size_t Image::removePatches() {
+  size_t Restored = 0;
+  for (Procedure &P : Procs) {
+    if (!P.Patched)
+      continue;
+    // Removing the entry jump restores the original code.
+    ++P.CodeVersion;
+    P.Patched = false;
+    ++Restored;
+  }
+  if (Restored > 0)
+    ++Deoptimizations;
+  return Restored;
+}

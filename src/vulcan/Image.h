@@ -1,0 +1,121 @@
+//===- vulcan/Image.h - Simulated executable image -------------*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A model of the executable image that the paper edits with Vulcan [32]
+/// (a binary editing tool for x86, similar to ATOM).  See DESIGN.md §1 for
+/// the substitution rationale.
+///
+/// The image knows the program's procedures and their data access sites
+/// (pc's).  It models the two Vulcan uses in the paper:
+///
+///  * Static editing (Figure 2/10): every procedure is duplicated into a
+///    checking version and an instrumented version for bursty tracing.
+///
+///  * Dynamic editing (Section 3.2): to inject detection/prefetching code
+///    the optimizer copies each affected procedure, injects into the copy,
+///    and overwrites the original's first instruction with a jump.
+///    Deoptimization removes the jumps.  Return addresses on the stack
+///    keep referring to the original code, so a procedure with live
+///    activation records keeps executing unoptimized code until those
+///    frames unwind — modelled here with per-procedure code versions that
+///    the runtime snapshots at procedure entry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_VULCAN_IMAGE_H
+#define HDS_VULCAN_IMAGE_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hds {
+namespace vulcan {
+
+using ProcId = uint32_t;
+/// A program point (the paper's r.pc).  Site ids are globally unique
+/// across the image.
+using SiteId = uint64_t;
+
+/// One procedure of the simulated binary.
+struct Procedure {
+  std::string Name;
+  std::vector<SiteId> Sites;
+  /// Bumped on every binary modification affecting this procedure; frames
+  /// entered under an older version keep running the old code.
+  uint32_t CodeVersion = 0;
+  /// Whether the current code version carries injected prefix-match /
+  /// prefetch checks.
+  bool Patched = false;
+  /// Whether the bursty-tracing dual version exists (static editing).
+  bool DuplicatedForTracing = false;
+};
+
+/// Counters describing one dynamic patch application.
+struct PatchResult {
+  size_t ProceduresModified = 0;
+  size_t SitesInstrumented = 0;
+};
+
+/// The simulated executable image.
+class Image {
+public:
+  /// Registers a procedure; returns its id.
+  ProcId createProcedure(std::string Name);
+
+  /// Registers a load/store site inside \p Proc; returns its pc.
+  SiteId createSite(ProcId Proc, std::string Label = std::string());
+
+  size_t procedureCount() const { return Procs.size(); }
+  size_t siteCount() const { return SiteOwners.size(); }
+
+  const Procedure &proc(ProcId Id) const {
+    assert(Id < Procs.size() && "unknown procedure");
+    return Procs[Id];
+  }
+
+  ProcId procOf(SiteId Site) const {
+    assert(Site < SiteOwners.size() && "unknown site");
+    return SiteOwners[static_cast<size_t>(Site)];
+  }
+
+  /// Static Vulcan step (Figure 10): duplicates every procedure for the
+  /// bursty tracing framework.  Idempotent.
+  void instrumentForBurstyTracing();
+
+  /// Dynamic Vulcan step: injects detection and prefetching code at
+  /// \p Pcs.  Every procedure containing at least one of the pcs is
+  /// copied, patched, and redirected (its code version bumps).  Returns
+  /// how many procedures and sites were modified — the paper's Table 2
+  /// reports both per optimization cycle.
+  PatchResult applyPatch(const std::vector<SiteId> &Pcs);
+
+  /// Deoptimization: removes the entry jumps of all patched procedures
+  /// (end of the hibernation phase).  Returns the number of procedures
+  /// restored.
+  size_t removePatches();
+
+  uint32_t codeVersion(ProcId Id) const { return proc(Id).CodeVersion; }
+  bool isPatched(ProcId Id) const { return proc(Id).Patched; }
+
+  /// Lifetime counters (across all optimization cycles).
+  uint64_t patchApplications() const { return PatchApplications; }
+  uint64_t deoptimizations() const { return Deoptimizations; }
+
+private:
+  std::vector<Procedure> Procs;
+  std::vector<ProcId> SiteOwners; // indexed by SiteId
+  uint64_t PatchApplications = 0;
+  uint64_t Deoptimizations = 0;
+};
+
+} // namespace vulcan
+} // namespace hds
+
+#endif // HDS_VULCAN_IMAGE_H

@@ -1,0 +1,39 @@
+//===- workloads/Benchmarks.h - The six evaluation programs ----*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Factories for the six benchmarks of the paper's evaluation (Section
+/// 4.1): several memory-performance-limited SPECint2000 programs plus
+/// boxsim, a graphics application simulating spheres bouncing in a box.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_WORKLOADS_BENCHMARKS_H
+#define HDS_WORKLOADS_BENCHMARKS_H
+
+#include "workloads/Workload.h"
+
+#include <memory>
+
+namespace hds {
+namespace workloads {
+
+std::unique_ptr<Workload> createVpr();
+std::unique_ptr<Workload> createMcf();
+std::unique_ptr<Workload> createTwolf();
+std::unique_ptr<Workload> createParser();
+std::unique_ptr<Workload> createVortex();
+std::unique_ptr<Workload> createBoxsim();
+
+/// A phase-changing program (not part of the paper's suite; drives the
+/// static-vs-dynamic comparison the paper leaves as future work).  Also
+/// reachable through createWorkload("twophase").
+std::unique_ptr<Workload> createTwoPhase();
+
+} // namespace workloads
+} // namespace hds
+
+#endif // HDS_WORKLOADS_BENCHMARKS_H

@@ -1,0 +1,79 @@
+//===- workloads/Boxsim.cpp - Bouncing-spheres simulation ------------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+// boxsim simulates spheres bouncing in a box (the paper runs 1000 of
+// them).  Each timestep iterates the spatial cells, walking every cell's
+// sphere list to integrate positions and test collisions against the
+// neighbouring cell's first sphere.  The per-cell sphere lists are the
+// hot data streams; physics math gives moderate per-reference compute,
+// and the loop structure is check-sparse (boxsim has the suite's lowest
+// Base overhead, ~2.5%).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Benchmarks.h"
+#include "workloads/ChainNoiseWorkload.h"
+
+using namespace hds;
+using namespace hds::workloads;
+
+namespace {
+
+BenchParams boxsimParams() {
+  BenchParams P;
+  P.Name = "boxsim";
+  // 26 cells of ~15 spheres each -> 390 spheres in flight per sweep;
+  // spheres are fat structs allocated as they enter cells.
+  P.Chains.NumChains = 26;
+  P.Chains.NodesPerChain = 15;
+  P.Chains.WalkerProcs = 7;
+  P.Chains.NodeBytes = 64;
+  P.Chains.ScatterPadBytes = 520;
+  P.Chains.ComputePerHop = 4; // integration math
+  P.Chains.HopsPerCheck = 5;  // check-sparse loops
+  // Broad-phase grid: warm per-timestep working data.
+  P.WarmNoise.Bytes = 11 * 1024;
+  P.WarmNoise.StrideBytes = 32;
+  P.WarmNoise.RefsPerCheck = 8;
+  P.WarmNoise.ComputePerRef = 1;
+  P.WarmRefsPerChain = 10;
+  P.WarmRefsPerSweep = 10;
+  // Trajectory history buffer: cold streaming traffic.
+  P.ColdNoise.Bytes = 2 * 512 * 1024;
+  P.ColdNoise.StrideBytes = 32;
+  P.ColdNoise.RefsPerCheck = 12;
+  P.ColdNoise.ComputePerRef = 1;
+  P.ColdRefsPerChain = 0;
+  P.ColdRefsPerSweep = 120;
+  P.StoreCostPerChain = true; // per-cell bounding update
+  P.ComputePerSweep = 100;    // timestep bookkeeping
+  P.DefaultIterations = 43'000;
+  return P;
+}
+
+/// The timestep benchmark: after each cell's list walk, the collision
+/// test peeks at the first sphere of the next cell.
+class BoxsimWorkload : public ChainNoiseWorkload {
+public:
+  BoxsimWorkload() : ChainNoiseWorkload(boxsimParams()) {}
+
+  void setupExtra(core::Runtime &Rt) override {
+    NeighborSite = Rt.declareSite(MainProc, "nextCell->first");
+  }
+
+  void afterChain(core::Runtime &Rt, uint32_t Index) override {
+    const uint32_t Next = (Index + 1) % HotChains.chainCount();
+    Rt.load(NeighborSite, HotChains.nodeAddr(Next, 0));
+    Rt.compute(2);
+  }
+
+private:
+  vulcan::SiteId NeighborSite = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload> hds::workloads::createBoxsim() {
+  return std::make_unique<BoxsimWorkload>();
+}

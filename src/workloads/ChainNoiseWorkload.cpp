@@ -1,0 +1,69 @@
+//===- workloads/ChainNoiseWorkload.cpp - Common benchmark shape ----------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/ChainNoiseWorkload.h"
+
+using namespace hds;
+using namespace hds::workloads;
+
+Workload::~Workload() = default;
+
+void ChainNoiseWorkload::setup(core::Runtime &Rt) {
+  MainProc = Rt.declareProcedure(Params.Name + "_main");
+  CostSite = Rt.declareSite(MainProc, "cost[i]");
+
+  HotChains.setup(Rt, Params.Chains, Params.Name);
+  WarmRegion.setup(Rt, Params.WarmNoise, Params.Name + "_warm");
+  ColdRegion.setup(Rt, Params.ColdNoise, Params.Name + "_cold");
+
+  if (Params.StoreCostPerChain) {
+    CostSlots.resize(Params.Chains.NumChains);
+    for (uint32_t C = 0; C < Params.Chains.NumChains; ++C)
+      CostSlots[C] = Rt.allocate(8, 8);
+  }
+
+  setupExtra(Rt);
+}
+
+void ChainNoiseWorkload::noiseAfterChain(core::Runtime &Rt) {
+  WarmRegion.step(Rt, Params.WarmRefsPerChain);
+  ColdRegion.step(Rt, Params.ColdRefsPerChain);
+}
+
+void ChainNoiseWorkload::maybeTouch(core::Runtime &Rt, uint32_t Index) {
+  if (Params.TouchEveryNChains == 0 ||
+      Index % Params.TouchEveryNChains != 0)
+    return;
+  // Peek at a chain whose next walk is most of a sweep away: a false
+  // prefetch triggered by this touch fetches blocks that are evicted
+  // again before they are used.
+  const uint32_t Target =
+      (Index + (HotChains.chainCount() * 3) / 4) % HotChains.chainCount();
+  HotChains.touchHead(Rt, Target);
+}
+
+void ChainNoiseWorkload::noiseAfterSweep(core::Runtime &Rt) {
+  WarmRegion.step(Rt, Params.WarmRefsPerSweep);
+  ColdRegion.step(Rt, Params.ColdRefsPerSweep);
+}
+
+void ChainNoiseWorkload::run(core::Runtime &Rt, uint64_t Iterations) {
+  for (uint64_t It = 0; It < Iterations; ++It) {
+    core::Runtime::ProcedureScope Main(Rt, MainProc);
+    for (uint32_t C = 0; C < HotChains.chainCount(); ++C) {
+      beforeChain(Rt, C);
+      HotChains.walk(Rt, C);
+      if (Params.StoreCostPerChain)
+        Rt.store(CostSite, CostSlots[C]);
+      afterChain(Rt, C);
+      maybeTouch(Rt, C);
+      noiseAfterChain(Rt);
+    }
+    noiseAfterSweep(Rt);
+    Rt.compute(Params.ComputePerSweep);
+    sweepExtra(Rt, It);
+  }
+}

@@ -1,0 +1,122 @@
+//===- workloads/ChainNoiseWorkload.h - Common benchmark shape -*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The memory-behaviour skeleton all six benchmarks share: an outer sweep
+/// that walks a set of hot pointer chains in a fixed order (the hot data
+/// streams), interleaved with cold-region traffic (the cache-filling
+/// references that make the chains miss on re-walk).  Each benchmark
+/// instantiates the skeleton with its own shape parameters and hooks in
+/// its own extra structure — probe tables, descriptor indirections,
+/// result stores — so the six programs differ where their namesakes
+/// differ: stream count and length, allocation layout, compute density,
+/// check density, and cold-traffic volume (DESIGN.md §1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_WORKLOADS_CHAINNOISEWORKLOAD_H
+#define HDS_WORKLOADS_CHAINNOISEWORKLOAD_H
+
+#include "workloads/ChainSet.h"
+#include "workloads/NoiseRegion.h"
+#include "workloads/Workload.h"
+
+#include <string>
+#include <vector>
+
+namespace hds {
+namespace workloads {
+
+/// Shape parameters of one benchmark.
+struct BenchParams {
+  std::string Name;
+  ChainSetConfig Chains;
+
+  /// The *warm* working set: a small fixed region cycled every sweep so
+  /// that (chains + warm region) exceed L1 capacity and LRU-thrash — every
+  /// re-walk of a chain misses L1 but hits L2.  These are the stalls
+  /// stream prefetching hides.
+  NoiseRegionConfig WarmNoise;
+  uint64_t WarmRefsPerChain = 8;
+  uint64_t WarmRefsPerSweep = 0;
+
+  /// The *cold* streaming traffic: a multi-megabyte region walked with a
+  /// wrap-around cursor whose blocks always miss to memory.  It keeps the
+  /// benchmark memory-performance-limited and dilutes the achievable gain
+  /// — the knob that spreads the six benchmarks across the paper's 5–19%
+  /// range.
+  NoiseRegionConfig ColdNoise;
+  uint64_t ColdRefsPerChain = 0;
+  uint64_t ColdRefsPerSweep = 100;
+
+  /// Whether a per-chain result store is issued after each walk.
+  bool StoreCostPerChain = true;
+  /// Every N-th chain walk is followed by a head-only touch of another
+  /// chain (a pointer peek without traversal).  0 disables.  Touches make
+  /// a one-reference prefix ambiguous — the paper's reason for matching
+  /// two references before prefetching (Section 4.3).
+  uint32_t TouchEveryNChains = 2;
+  /// Computation at the end of every sweep.
+  uint64_t ComputePerSweep = 50;
+  uint64_t DefaultIterations = 30'000;
+};
+
+/// Base class implementing the sweep loop; benchmarks customize via the
+/// three hooks.
+class ChainNoiseWorkload : public Workload {
+public:
+  explicit ChainNoiseWorkload(BenchParams Params)
+      : Params(std::move(Params)) {}
+
+  const char *name() const override { return Params.Name.c_str(); }
+  void setup(core::Runtime &Rt) override;
+  void run(core::Runtime &Rt, uint64_t Iterations) override;
+  uint64_t defaultIterations() const override {
+    return Params.DefaultIterations;
+  }
+
+  const ChainSet &chains() const { return HotChains; }
+
+protected:
+  /// Benchmark-specific setup after the common structures exist.
+  virtual void setupExtra(core::Runtime &Rt) { (void)Rt; }
+  /// Runs (inside the main procedure) immediately before chain \p Index.
+  virtual void beforeChain(core::Runtime &Rt, uint32_t Index) {
+    (void)Rt;
+    (void)Index;
+  }
+  /// Runs (inside the main procedure) immediately after chain \p Index.
+  virtual void afterChain(core::Runtime &Rt, uint32_t Index) {
+    (void)Rt;
+    (void)Index;
+  }
+  /// Runs at the end of every sweep.
+  virtual void sweepExtra(core::Runtime &Rt, uint64_t Iteration) {
+    (void)Rt;
+    (void)Iteration;
+  }
+
+  /// Interleaved warm + cold traffic after chain \p Index (also used by
+  /// subclasses that override run()).
+  void noiseAfterChain(core::Runtime &Rt);
+  /// Warm + cold traffic at the end of a sweep.
+  void noiseAfterSweep(core::Runtime &Rt);
+  /// Head-only peek after every TouchEveryNChains-th walk.
+  void maybeTouch(core::Runtime &Rt, uint32_t Index);
+
+  BenchParams Params;
+  ChainSet HotChains;
+  NoiseRegion WarmRegion;
+  NoiseRegion ColdRegion;
+  vulcan::ProcId MainProc = 0;
+  vulcan::SiteId CostSite = 0;
+  std::vector<memsim::Addr> CostSlots;
+};
+
+} // namespace workloads
+} // namespace hds
+
+#endif // HDS_WORKLOADS_CHAINNOISEWORKLOAD_H

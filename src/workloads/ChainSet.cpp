@@ -1,0 +1,92 @@
+//===- workloads/ChainSet.cpp - Hot pointer-chain infrastructure ----------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/ChainSet.h"
+
+#include "support/Rng.h"
+#include "support/Table.h"
+
+#include <cassert>
+
+using namespace hds;
+using namespace hds::workloads;
+
+void ChainSet::setup(core::Runtime &Rt, const ChainSetConfig &NewConfig,
+                     const std::string &NamePrefix) {
+  Config = NewConfig;
+  assert(Config.NumChains > 0 && Config.NodesPerChain > 0 &&
+         Config.WalkerProcs > 0 && "degenerate chain set");
+
+  Walkers.resize(Config.WalkerProcs);
+  for (uint32_t W = 0; W < Config.WalkerProcs; ++W) {
+    Walker &Walk = Walkers[W];
+    Walk.Proc =
+        Rt.declareProcedure(formatString("%s_walk%u", NamePrefix.c_str(), W));
+    Walk.HeadSite = Rt.declareSite(Walk.Proc, "chainTable[i]");
+    Walk.FirstSite = Rt.declareSite(Walk.Proc, "head->first");
+    Walk.BodySite = Rt.declareSite(Walk.Proc, "node->next");
+  }
+
+  // The head table itself: one pointer slot per chain, densely packed (it
+  // stays cache resident, like any hot top-level table).
+  HeadTable.resize(Config.NumChains);
+  for (uint32_t C = 0; C < Config.NumChains; ++C)
+    HeadTable[C] = Rt.allocate(8, 8);
+
+  // The chain nodes.  Interleave allocation across chains when scattering
+  // so consecutive nodes of one chain land far apart — the layout real
+  // allocation order produces for structures built incrementally.  The
+  // inter-allocation padding is jittered (deterministically, seeded by
+  // the benchmark name) so a chain's nodes do not sit at one uniform
+  // stride: a power-of-two pitch would alias every node of a chain into
+  // the same cache set, which no real allocation pattern does.
+  Rng Jitter(0x9E1CC00DULL ^ NamePrefix.size() ^
+             (NamePrefix.empty() ? 0 : uint64_t(NamePrefix[0]) << 32));
+  Chains.assign(Config.NumChains, {});
+  for (auto &Chain : Chains)
+    Chain.reserve(Config.NodesPerChain);
+  for (uint32_t N = 0; N < Config.NodesPerChain; ++N) {
+    for (uint32_t C = 0; C < Config.NumChains; ++C) {
+      if (Config.ScatterPadBytes == 0) {
+        // Contiguous layout: all of chain C's nodes back to back.
+        continue;
+      }
+      Chains[C].push_back(Rt.allocate(Config.NodeBytes, 8));
+      Rt.padHeap(Config.ScatterPadBytes + 32 * Jitter.nextBelow(8));
+    }
+  }
+  if (Config.ScatterPadBytes == 0) {
+    for (uint32_t C = 0; C < Config.NumChains; ++C)
+      for (uint32_t N = 0; N < Config.NodesPerChain; ++N)
+        Chains[C].push_back(Rt.allocate(Config.NodeBytes, 8));
+  }
+}
+
+void ChainSet::touchHead(core::Runtime &Rt, uint32_t Index) const {
+  assert(Index < Config.NumChains && "chain index out of range");
+  const Walker &Walk = Walkers[Index % Config.WalkerProcs];
+  core::Runtime::ProcedureScope Scope(Rt, Walk.Proc);
+  Rt.load(Walk.HeadSite, HeadTable[Index]);
+  Rt.compute(1);
+}
+
+void ChainSet::walk(core::Runtime &Rt, uint32_t Index) const {
+  assert(Index < Config.NumChains && "chain index out of range");
+  const Walker &Walk = Walkers[Index % Config.WalkerProcs];
+  const std::vector<memsim::Addr> &Nodes = Chains[Index];
+
+  core::Runtime::ProcedureScope Scope(Rt, Walk.Proc);
+  // Fetch the chain head pointer, then chase the nodes.
+  Rt.load(Walk.HeadSite, HeadTable[Index]);
+  Rt.load(Walk.FirstSite, Nodes[0]);
+  Rt.compute(Config.ComputePerHop);
+  for (uint32_t N = 1; N < Nodes.size(); ++N) {
+    Rt.load(Walk.BodySite, Nodes[N]);
+    Rt.compute(Config.ComputePerHop);
+    if (N % Config.HopsPerCheck == 0)
+      Rt.loopBackEdge();
+  }
+}

@@ -1,0 +1,104 @@
+//===- workloads/ChainSet.h - Hot pointer-chain infrastructure -*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A set of linked pointer chains that are walked repeatedly in the same
+/// order — the data-structure shape that produces hot data streams in the
+/// paper's benchmarks (recurring (pc, addr) sequences over pointer-based
+/// structures).
+///
+/// Each walk issues the chain-head fetch and the first node access from
+/// dedicated "preheader" sites and the remaining hops from a shared loop
+/// body site, matching how real traversal code splits between loop setup
+/// and steady state.  The first two references of each chain's stream
+/// therefore come from low-traffic pcs, which keeps the injected
+/// prefix-match checks off the hot loop body — the property that makes
+/// the paper's No-pref overhead small (Section 4.3).
+///
+/// Chains are distributed over several walker procedures so one
+/// optimization cycle modifies a handful of procedures, as in Table 2.
+/// Node placement is controlled by ScatterPadBytes: 0 lays each chain out
+/// contiguously (the "sequentially allocated hot data streams" that make
+/// Seq-pref work on parser), larger values scatter nodes across cache
+/// blocks so sequential prefetching only pollutes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_WORKLOADS_CHAINSET_H
+#define HDS_WORKLOADS_CHAINSET_H
+
+#include "core/Runtime.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hds {
+namespace workloads {
+
+/// Shape of a chain set.
+struct ChainSetConfig {
+  uint32_t NumChains = 20;
+  uint32_t NodesPerChain = 16;
+  /// Chains are spread over this many walker procedures.
+  uint32_t WalkerProcs = 8;
+  uint64_t NodeBytes = 32;
+  /// Padding between consecutive node allocations; 0 = contiguous chain.
+  uint64_t ScatterPadBytes = 96;
+  /// Computation cycles after each hop (cost of "using" the node).
+  uint64_t ComputePerHop = 2;
+  /// Loop back-edge checks execute every this many hops, modelling the
+  /// check-reduction optimizations of [15] that Figure 11's Base bar
+  /// depends on.
+  uint32_t HopsPerCheck = 4;
+};
+
+/// The chain data structure plus its walker procedures.
+class ChainSet {
+public:
+  /// Allocates the chains and declares walker procedures/sites.
+  void setup(core::Runtime &Rt, const ChainSetConfig &Config,
+             const std::string &NamePrefix);
+
+  /// Walks chain \p Index front to back inside its walker procedure.
+  void walk(core::Runtime &Rt, uint32_t Index) const;
+
+  /// Touches chain \p Index's head pointer without traversing (a pointer
+  /// null-check, a length peek, ...).  Real programs do this constantly;
+  /// it is what makes a one-reference prefix ambiguous — the reason the
+  /// paper's prefix-match length of 1 "hurt prefetching accuracy" and 2
+  /// was the sweet spot (Section 4.3).
+  void touchHead(core::Runtime &Rt, uint32_t Index) const;
+
+  uint32_t chainCount() const { return Config.NumChains; }
+  uint32_t nodesPerChain() const { return Config.NodesPerChain; }
+
+  /// References issued by one walk (head fetch + all node hops).
+  uint64_t refsPerWalk() const { return 1 + Config.NodesPerChain; }
+
+  /// Address of node \p Node of chain \p Chain (tests).
+  memsim::Addr nodeAddr(uint32_t Chain, uint32_t Node) const {
+    return Chains.at(Chain).at(Node);
+  }
+
+private:
+  struct Walker {
+    vulcan::ProcId Proc = 0;
+    vulcan::SiteId HeadSite = 0;  // chainTable[i] fetch
+    vulcan::SiteId FirstSite = 0; // first node access (loop preheader)
+    vulcan::SiteId BodySite = 0;  // remaining hops (loop body)
+  };
+
+  ChainSetConfig Config;
+  std::vector<Walker> Walkers;
+  std::vector<std::vector<memsim::Addr>> Chains;
+  std::vector<memsim::Addr> HeadTable; // &chainTable[i]
+};
+
+} // namespace workloads
+} // namespace hds
+
+#endif // HDS_WORKLOADS_CHAINSET_H

@@ -1,0 +1,83 @@
+//===- workloads/Mcf.cpp - Network-simplex analogue ------------------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+// mcf solves a minimum-cost flow problem with the network simplex method:
+// it repeatedly walks basis paths in a spanning tree (parent-pointer
+// chases) and scans large arc arrays while pricing.  The basis-path walks
+// are the hot data streams; the arc pricing scans are the cold traffic
+// that keeps mcf memory bound.  mcf has the paper's lowest dynamic-check
+// overhead (few procedures, long loops) — modelled with sparser checks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Benchmarks.h"
+#include "workloads/ChainNoiseWorkload.h"
+
+using namespace hds;
+using namespace hds::workloads;
+
+namespace {
+
+BenchParams mcfParams() {
+  BenchParams P;
+  P.Name = "mcf";
+  // Basis paths: tree-node chains, cheap per-hop work.
+  P.Chains.NumChains = 36;
+  P.Chains.NodesPerChain = 14;
+  P.Chains.WalkerProcs = 6;
+  P.Chains.NodeBytes = 48; // mcf nodes are fat structs
+  P.Chains.ScatterPadBytes = 720;
+  P.Chains.ComputePerHop = 1;
+  P.Chains.HopsPerCheck = 5;
+  // Node potentials: warm per-sweep working data.
+  P.WarmNoise.Bytes = 10 * 1024;
+  P.WarmNoise.StrideBytes = 32;
+  P.WarmNoise.RefsPerCheck = 8;
+  P.WarmNoise.ComputePerRef = 1;
+  P.WarmRefsPerChain = 7;
+  P.WarmRefsPerSweep = 0;
+  // Arc pricing scans: heavy, genuinely cold streaming traffic (mcf's
+  // dominant miss source).
+  P.ColdNoise.Bytes = 5 * 512 * 1024;
+  P.ColdNoise.StrideBytes = 32;
+  P.ColdNoise.RefsPerCheck = 8;
+  P.ColdNoise.ComputePerRef = 1;
+  P.ColdRefsPerChain = 3;
+  P.ColdRefsPerSweep = 160;
+  P.StoreCostPerChain = true;
+  P.ComputePerSweep = 30;
+  P.DefaultIterations = 38'000;
+  return P;
+}
+
+/// The simplex-pivot benchmark.  Every pivot rotates which basis path is
+/// examined first — the stream set is unchanged but the inter-stream
+/// order varies, like real pivot selection.
+class McfWorkload : public ChainNoiseWorkload {
+public:
+  McfWorkload() : ChainNoiseWorkload(mcfParams()) {}
+
+  void run(core::Runtime &Rt, uint64_t Iterations) override {
+    const uint32_t Count = HotChains.chainCount();
+    for (uint64_t It = 0; It < Iterations; ++It) {
+      core::Runtime::ProcedureScope Main(Rt, MainProc);
+      const uint32_t First = static_cast<uint32_t>(It % Count);
+      for (uint32_t I = 0; I < Count; ++I) {
+        const uint32_t C = (First + I) % Count;
+        HotChains.walk(Rt, C);
+        Rt.store(CostSite, CostSlots[C]);
+        maybeTouch(Rt, C);
+        noiseAfterChain(Rt);
+      }
+      noiseAfterSweep(Rt);
+      Rt.compute(Params.ComputePerSweep);
+    }
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> hds::workloads::createMcf() {
+  return std::make_unique<McfWorkload>();
+}

@@ -1,0 +1,65 @@
+//===- workloads/NoiseRegion.cpp - Cold-data traffic generator ------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/NoiseRegion.h"
+
+#include "support/Rng.h"
+#include "support/Table.h"
+
+#include <cassert>
+
+using namespace hds;
+using namespace hds::workloads;
+
+void NoiseRegion::setup(core::Runtime &Rt, const NoiseRegionConfig &NewConfig,
+                        const std::string &NamePrefix) {
+  Config = NewConfig;
+  assert(Config.Bytes > 0 && Config.StrideBytes > 0 && "degenerate region");
+  Proc = Rt.declareProcedure(formatString("%s_scan", NamePrefix.c_str()));
+  Site = Rt.declareSite(Proc, "region[cursor]");
+  Base = Rt.allocate(Config.Bytes, 64);
+  Cursor = 0;
+
+  if (Config.ShuffleBlocks) {
+    // Deterministic Fisher-Yates permutation of the region's blocks,
+    // seeded by the region name so different regions interleave
+    // differently.
+    const uint64_t Blocks = Config.Bytes / 32;
+    BlockOrder.resize(Blocks);
+    for (uint64_t B = 0; B < Blocks; ++B)
+      BlockOrder[B] = static_cast<uint32_t>(B);
+    Rng Shuffler(0x5EEDC01D ^ NamePrefix.size() ^
+                 (NamePrefix.empty() ? 0 : uint64_t(NamePrefix[0]) << 40));
+    for (uint64_t B = Blocks; B > 1; --B) {
+      const uint64_t J = Shuffler.nextBelow(B);
+      std::swap(BlockOrder[B - 1], BlockOrder[J]);
+    }
+  }
+}
+
+void NoiseRegion::step(core::Runtime &Rt, uint64_t Refs) {
+  if (Refs == 0)
+    return;
+  core::Runtime::ProcedureScope Scope(Rt, Proc);
+  for (uint64_t I = 0; I < Refs; ++I) {
+    memsim::Addr Target = Base + Cursor;
+    if (Config.ShuffleBlocks) {
+      // The cursor still sweeps the region linearly (same coverage and
+      // wrap period); the permutation only scrambles which block each
+      // position maps to.
+      const uint64_t Block = Cursor / 32;
+      const uint64_t Offset = Cursor % 32;
+      Target = Base + uint64_t{BlockOrder[Block]} * 32 + Offset;
+    }
+    Rt.load(Site, Target);
+    Rt.compute(Config.ComputePerRef);
+    Cursor += Config.StrideBytes;
+    if (Cursor + 8 > Config.Bytes)
+      Cursor = 0;
+    if ((I + 1) % Config.RefsPerCheck == 0)
+      Rt.loopBackEdge();
+  }
+}

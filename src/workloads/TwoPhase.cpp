@@ -1,0 +1,69 @@
+//===- workloads/TwoPhase.cpp - Phase-changing benchmark -------------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+// A program with distinct phase behaviour: the first quarter of the run
+// walks one set of hot pointer chains (a build/initialization phase),
+// the rest walks a disjoint set (the steady state).  The paper's case
+// for a *dynamic* scheme rests on exactly this program class ("for
+// programs with distinct phase behavior, a dynamic prefetching scheme
+// that adapts to program phase transitions may perform better",
+// Section 1): anything trained once on the early phase prefetches
+// nothing useful for the rest of the run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Benchmarks.h"
+#include "workloads/ChainSet.h"
+#include "workloads/NoiseRegion.h"
+
+using namespace hds;
+using namespace hds::workloads;
+
+namespace {
+
+class TwoPhaseWorkload : public Workload {
+public:
+  const char *name() const override { return "twophase"; }
+
+  void setup(core::Runtime &Rt) override {
+    ChainSetConfig Chains;
+    Chains.NumChains = 24;
+    Chains.NodesPerChain = 16;
+    Chains.WalkerProcs = 6;
+    Chains.ScatterPadBytes = 96;
+    Chains.ComputePerHop = 2;
+    PhaseA.setup(Rt, Chains, "phaseA");
+    PhaseB.setup(Rt, Chains, "phaseB");
+
+    NoiseRegionConfig NoiseConfig;
+    NoiseConfig.Bytes = 12 * 1024;
+    NoiseConfig.StrideBytes = 32;
+    Noise.setup(Rt, NoiseConfig, "twophase");
+  }
+
+  void run(core::Runtime &Rt, uint64_t Iterations) override {
+    for (uint64_t It = 0; It < Iterations; ++It) {
+      const bool InPhaseA = It < Iterations / 4;
+      ChainSet &Active = InPhaseA ? PhaseA : PhaseB;
+      for (uint32_t C = 0; C < Active.chainCount(); ++C) {
+        Active.walk(Rt, C);
+        Noise.step(Rt, 10);
+      }
+      Noise.step(Rt, 40);
+    }
+  }
+
+  uint64_t defaultIterations() const override { return 48'000; }
+
+private:
+  ChainSet PhaseA;
+  ChainSet PhaseB;
+  NoiseRegion Noise;
+};
+
+} // namespace
+
+std::unique_ptr<Workload> hds::workloads::createTwoPhase() {
+  return std::make_unique<TwoPhaseWorkload>();
+}

@@ -1,0 +1,82 @@
+//===- workloads/Twolf.cpp - Standard-cell placement analogue --------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+// twolf places standard cells with simulated annealing; evaluating a move
+// walks the moved cell's net lists (pointer chains over pins and nets)
+// and recomputes wire-length costs, then writes the updated cost and
+// position back.  The net-list walks are the hot data streams; cost
+// computation makes twolf's per-reference work the heaviest of the suite,
+// and its hot procedures are many (Table 2: 11 procedures modified).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Benchmarks.h"
+#include "workloads/ChainNoiseWorkload.h"
+
+using namespace hds;
+using namespace hds::workloads;
+
+namespace {
+
+BenchParams twolfParams() {
+  BenchParams P;
+  P.Name = "twolf";
+  // Per-cell net lists: moderately many chains, heavy per-hop cost
+  // evaluation, strongly scattered (cells allocated as the netlist is
+  // read, nets discovered later).
+  P.Chains.NumChains = 28;
+  P.Chains.NodesPerChain = 16;
+  P.Chains.WalkerProcs = 10;
+  P.Chains.NodeBytes = 40;
+  P.Chains.ScatterPadBytes = 880;
+  P.Chains.ComputePerHop = 5;
+  P.Chains.HopsPerCheck = 4;
+  // Row-structure tables: warm per-move working data.
+  P.WarmNoise.Bytes = 12 * 1024;
+  P.WarmNoise.StrideBytes = 32;
+  P.WarmNoise.RefsPerCheck = 8;
+  P.WarmNoise.ComputePerRef = 2;
+  P.WarmRefsPerChain = 10;
+  P.WarmRefsPerSweep = 20;
+  // Cost-matrix scans: cold streaming traffic.
+  P.ColdNoise.Bytes = 2 * 512 * 1024;
+  P.ColdNoise.StrideBytes = 32;
+  P.ColdNoise.RefsPerCheck = 8;
+  P.ColdNoise.ComputePerRef = 1;
+  P.ColdRefsPerChain = 0;
+  P.ColdRefsPerSweep = 170;
+  P.StoreCostPerChain = true;
+  P.ComputePerSweep = 120; // accept/reject bookkeeping
+  P.DefaultIterations = 30'000;
+  return P;
+}
+
+/// The annealing-move benchmark: after each net walk the accepted move
+/// writes the cell's new position as well as its cost.
+class TwolfWorkload : public ChainNoiseWorkload {
+public:
+  TwolfWorkload() : ChainNoiseWorkload(twolfParams()) {}
+
+  void setupExtra(core::Runtime &Rt) override {
+    PositionSite = Rt.declareSite(MainProc, "cell->pos");
+    PositionSlots.resize(Params.Chains.NumChains);
+    for (auto &Slot : PositionSlots)
+      Slot = Rt.allocate(16, 8);
+  }
+
+  void afterChain(core::Runtime &Rt, uint32_t Index) override {
+    Rt.store(PositionSite, PositionSlots[Index]);
+    Rt.compute(3);
+  }
+
+private:
+  vulcan::SiteId PositionSite = 0;
+  std::vector<memsim::Addr> PositionSlots;
+};
+
+} // namespace
+
+std::unique_ptr<Workload> hds::workloads::createTwolf() {
+  return std::make_unique<TwolfWorkload>();
+}

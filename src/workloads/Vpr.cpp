@@ -1,0 +1,66 @@
+//===- workloads/Vpr.cpp - FPGA place-and-route analogue -------------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+// vpr routes nets through a routing-resource graph; its inner loop
+// repeatedly re-traces the routed path of each net to update congestion
+// costs.  Those per-net paths are the hot data streams: long, pointer
+// linked, revisited every routing pass in the same order, and scattered
+// across the heap (the routing graph is built breadth-first, not in path
+// order).  vpr shows the paper's largest dynamic-prefetching win (~19%).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Benchmarks.h"
+#include "workloads/ChainNoiseWorkload.h"
+
+using namespace hds;
+using namespace hds::workloads;
+
+namespace {
+
+BenchParams vprParams() {
+  BenchParams P;
+  P.Name = "vpr";
+  // Net paths through routing-resource nodes: many medium-length chains,
+  // scattered allocation, light per-hop cost computation.
+  P.Chains.NumChains = 32;
+  P.Chains.NodesPerChain = 18;
+  P.Chains.WalkerProcs = 8;
+  P.Chains.NodeBytes = 32;
+  P.Chains.ScatterPadBytes = 720;
+  P.Chains.ComputePerHop = 2;
+  P.Chains.HopsPerCheck = 4;
+  // Timing-graph scratch data: warm (L2-resident) traffic that thrashes
+  // L1 together with the net paths.
+  P.WarmNoise.Bytes = 12 * 1024;
+  P.WarmNoise.StrideBytes = 32;
+  P.WarmNoise.RefsPerCheck = 8;
+  P.WarmNoise.ComputePerRef = 1;
+  P.WarmRefsPerChain = 9;
+  P.WarmRefsPerSweep = 12;
+  // Congestion map sweeps: genuinely cold, streaming traffic.
+  P.ColdNoise.Bytes = 3 * 512 * 1024;
+  P.ColdNoise.StrideBytes = 32;
+  P.ColdNoise.RefsPerCheck = 8;
+  P.ColdNoise.ComputePerRef = 1;
+  P.ColdRefsPerChain = 0;
+  P.ColdRefsPerSweep = 40;
+  P.StoreCostPerChain = true;
+  P.ComputePerSweep = 40;
+  P.DefaultIterations = 25'000;
+  return P;
+}
+
+/// The routing-pass benchmark; the common sweep shape is exactly vpr's
+/// rip-up-and-reroute loop, so no extra hooks are needed.
+class VprWorkload : public ChainNoiseWorkload {
+public:
+  VprWorkload() : ChainNoiseWorkload(vprParams()) {}
+};
+
+} // namespace
+
+std::unique_ptr<Workload> hds::workloads::createVpr() {
+  return std::make_unique<VprWorkload>();
+}

@@ -1,0 +1,35 @@
+//===- workloads/Workload.cpp - Benchmark factory --------------------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "workloads/Benchmarks.h"
+
+using namespace hds;
+using namespace hds::workloads;
+
+std::unique_ptr<Workload>
+hds::workloads::createWorkload(const std::string &Name) {
+  if (Name == "vpr")
+    return createVpr();
+  if (Name == "mcf")
+    return createMcf();
+  if (Name == "twolf")
+    return createTwolf();
+  if (Name == "parser")
+    return createParser();
+  if (Name == "vortex")
+    return createVortex();
+  if (Name == "boxsim")
+    return createBoxsim();
+  if (Name == "twophase")
+    return createTwoPhase();
+  return nullptr;
+}
+
+std::vector<std::string> hds::workloads::allWorkloadNames() {
+  return {"vpr", "mcf", "twolf", "parser", "vortex", "boxsim"};
+}

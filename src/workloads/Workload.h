@@ -1,0 +1,61 @@
+//===- workloads/Workload.h - Benchmark interface and factory --*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark interface and factory for the six programs standing in
+/// for the paper's evaluation suite (memory-performance-limited
+/// SPECint2000 benchmarks plus boxsim, Section 4.1).  Each workload is a
+/// deterministic pointer-chasing program written against the core
+/// Runtime; DESIGN.md §1 explains the substitution and how each workload
+/// mirrors its namesake's memory behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_WORKLOADS_WORKLOAD_H
+#define HDS_WORKLOADS_WORKLOAD_H
+
+#include "core/Runtime.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hds {
+namespace workloads {
+
+/// A deterministic benchmark program.
+class Workload {
+public:
+  virtual ~Workload();
+
+  /// Short name matching the paper's figures ("vpr", "mcf", ...).
+  virtual const char *name() const = 0;
+
+  /// Declares procedures and data access sites and allocates the data
+  /// structures.  Must be called exactly once, before run().
+  virtual void setup(core::Runtime &Rt) = 0;
+
+  /// Executes \p Iterations outer iterations (routing passes, simplex
+  /// pivots, placement sweeps, ... depending on the benchmark).
+  virtual void run(core::Runtime &Rt, uint64_t Iterations) = 0;
+
+  /// Iteration count giving a run long enough for several optimization
+  /// cycles at the default tracing configuration.
+  virtual uint64_t defaultIterations() const = 0;
+};
+
+/// Creates a workload by name; returns nullptr for unknown names.
+std::unique_ptr<Workload> createWorkload(const std::string &Name);
+
+/// All benchmark names, in the paper's figure order:
+/// vpr, mcf, twolf, parser, vortex, boxsim.
+std::vector<std::string> allWorkloadNames();
+
+} // namespace workloads
+} // namespace hds
+
+#endif // HDS_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,428 @@
+//===- tests/core_test.cpp - Runtime / optimizer / engine tests ------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PrefetchEngine.h"
+#include "core/Runtime.h"
+
+#include <gtest/gtest.h>
+
+using namespace hds;
+using namespace hds::core;
+
+namespace {
+
+OptimizerConfig quietConfig(RunMode Mode) {
+  OptimizerConfig C;
+  C.Mode = Mode;
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime basics
+//===----------------------------------------------------------------------===//
+
+TEST(RuntimeTest, HeapAllocationIsBumpAndAligned) {
+  Runtime Rt(quietConfig(RunMode::Original));
+  const memsim::Addr A = Rt.allocate(10, 8);
+  const memsim::Addr B = Rt.allocate(10, 8);
+  EXPECT_EQ(A % 8, 0u);
+  EXPECT_EQ(B % 8, 0u);
+  EXPECT_GE(B, A + 10);
+  const memsim::Addr C = Rt.allocate(1, 64);
+  EXPECT_EQ(C % 64, 0u);
+}
+
+TEST(RuntimeTest, PadHeapSkipsAddressSpace) {
+  Runtime Rt(quietConfig(RunMode::Original));
+  const memsim::Addr A = Rt.allocate(8, 8);
+  Rt.padHeap(1000);
+  const memsim::Addr B = Rt.allocate(8, 8);
+  EXPECT_GE(B, A + 8 + 1000);
+}
+
+TEST(RuntimeTest, OriginalModeHasNoInstrumentationCost) {
+  Runtime Rt(quietConfig(RunMode::Original));
+  const auto P = Rt.declareProcedure("p");
+  const auto S = Rt.declareSite(P);
+  const memsim::Addr A = Rt.allocate(64);
+  {
+    Runtime::ProcedureScope Scope(Rt, P);
+    Rt.loopBackEdge();
+    Rt.load(S, A);
+  }
+  EXPECT_EQ(Rt.stats().ChecksExecuted, 0u);
+  EXPECT_EQ(Rt.stats().TracedRefs, 0u);
+  // Exactly the memory latency of one cold miss.
+  EXPECT_EQ(Rt.cycles(), uint64_t{Rt.config().Latency.MemoryCycles});
+}
+
+TEST(RuntimeTest, ChecksOnlyModeChargesChecks) {
+  OptimizerConfig Config = quietConfig(RunMode::ChecksOnly);
+  Runtime Rt(Config);
+  const auto P = Rt.declareProcedure("p");
+  {
+    Runtime::ProcedureScope Scope(Rt, P); // 1 check
+    Rt.loopBackEdge();                    // 1 check
+  }
+  EXPECT_EQ(Rt.stats().ChecksExecuted, 2u);
+  EXPECT_EQ(Rt.cycles(), 2 * Config.Costs.CheckCycles);
+  // ChecksOnly never enters instrumented code, so nothing is traced.
+  EXPECT_EQ(Rt.stats().TracedRefs, 0u);
+}
+
+TEST(RuntimeTest, ComputeAdvancesClock) {
+  Runtime Rt(quietConfig(RunMode::Original));
+  Rt.compute(123);
+  EXPECT_EQ(Rt.cycles(), 123u);
+}
+
+TEST(RuntimeTest, ProfileModeTracesOnlyAwakeBursts) {
+  OptimizerConfig Config = quietConfig(RunMode::Profile);
+  Config.Tracing = {/*NCheck0=*/9, /*NInstr0=*/3, /*NAwake=*/2,
+                    /*NHibernate=*/2, /*HibernationEnabled=*/true};
+  Runtime Rt(Config);
+  const auto P = Rt.declareProcedure("p");
+  const auto S = Rt.declareSite(P);
+  const memsim::Addr A = Rt.allocate(64);
+
+  // Drive several full phase cycles: one access per check.
+  for (int I = 0; I < 500; ++I) {
+    Runtime::ProcedureScope Scope(Rt, P);
+    Rt.load(S, A);
+  }
+  // ~2 awake periods of 3 instrumented checks per 4-period cycle; with
+  // one access per check roughly (2*3/48) of 500 accesses get traced.
+  EXPECT_GT(Rt.stats().TracedRefs, 10u);
+  EXPECT_LT(Rt.stats().TracedRefs, 120u);
+  EXPECT_GT(Rt.stats().Cycles.size(), 0u);
+  // Profile mode never injects.
+  for (const CycleStats &Cycle : Rt.stats().Cycles) {
+    EXPECT_EQ(Cycle.StreamsInstalled, 0u);
+    EXPECT_EQ(Cycle.HotStreamsDetected, 0u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// A miniature program the optimizer can actually optimize
+//===----------------------------------------------------------------------===//
+
+/// Fixture building a small deterministic pointer-chase program with 24
+/// linked lists whose walks are the hot data streams.  The lists plus the
+/// scanned buffer exceed L1 capacity, so every re-walk misses L1 and hits
+/// L2 — the stalls prefetching can hide.
+class MiniProgramTest : public ::testing::Test {
+protected:
+  static OptimizerConfig miniConfig(RunMode Mode) {
+    OptimizerConfig Config;
+    Config.Mode = Mode;
+    Config.Tracing = {/*NCheck0=*/293, /*NInstr0=*/10, /*NAwake=*/30,
+                      /*NHibernate=*/150, /*HibernationEnabled=*/true};
+    Config.Analysis.MinLength = 6;
+    Config.MinUniqueRefs = 5;
+    // The scaled-down phases above sample ~20x more densely than the
+    // production settings; scale the per-event software costs down so
+    // the overhead-to-benefit ratio stays representative.
+    Config.Costs.CheckCycles = 2;
+    Config.Costs.TraceRefCycles = 30;
+    Config.Costs.AnalysisCyclesPerTracedRef = 5;
+    Config.Costs.AnalysisCyclesPerGrammarSymbol = 10;
+    Config.Costs.DfsmCyclesPerTransition = 20;
+    Config.Costs.PatchCyclesPerProcedure = 1000;
+    return Config;
+  }
+
+  struct Program {
+    static constexpr size_t NumWalkers = 3;
+    vulcan::ProcId Walk[NumWalkers] = {};
+    vulcan::ProcId Scan = 0;
+    vulcan::SiteId Head[NumWalkers] = {};
+    vulcan::SiteId First[NumWalkers] = {};
+    vulcan::SiteId Node[NumWalkers] = {};
+    vulcan::SiteId Cold = 0;
+    std::vector<std::vector<memsim::Addr>> Lists;
+    std::vector<memsim::Addr> Heads;
+    memsim::Addr Region = 0;
+    uint64_t Cursor = 0;
+
+    void setup(Runtime &Rt) {
+      for (size_t W = 0; W < NumWalkers; ++W) {
+        Walk[W] = Rt.declareProcedure("walk");
+        Head[W] = Rt.declareSite(Walk[W], "heads[i]");
+        First[W] = Rt.declareSite(Walk[W], "first");
+        Node[W] = Rt.declareSite(Walk[W], "node");
+      }
+      Scan = Rt.declareProcedure("scan");
+      Cold = Rt.declareSite(Scan, "cold");
+      Lists.resize(24);
+      Heads.resize(24);
+      for (size_t L = 0; L < 24; ++L)
+        Heads[L] = Rt.allocate(8);
+      uint64_t Pad = 0;
+      for (size_t N = 0; N < 14; ++N)
+        for (size_t L = 0; L < 24; ++L) {
+          Lists[L].push_back(Rt.allocate(32));
+          Pad = (Pad + 53) % 128;
+          Rt.padHeap(64 + Pad);
+        }
+      Region = Rt.allocate(20 * 1024, 64);
+    }
+
+    void sweep(Runtime &Rt) {
+      for (size_t L = 0; L < 24; ++L) {
+        const size_t W = L % NumWalkers;
+        {
+          Runtime::ProcedureScope Scope(Rt, Walk[W]);
+          Rt.load(Head[W], Heads[L]);
+          Rt.load(First[W], Lists[L][0]);
+          Rt.compute(2);
+          for (size_t N = 1; N < 14; ++N) {
+            Rt.load(Node[W], Lists[L][N]);
+            Rt.compute(2);
+            if (N % 5 == 0)
+              Rt.loopBackEdge();
+          }
+        }
+        Runtime::ProcedureScope Scope(Rt, Scan);
+        for (int I = 0; I < 12; ++I) {
+          Rt.load(Cold, Region + Cursor);
+          Cursor = (Cursor + 32) % (20 * 1024 - 32);
+          if (I % 6 == 5)
+            Rt.loopBackEdge();
+        }
+      }
+    }
+  };
+
+  uint64_t runProgram(RunMode Mode, int Sweeps,
+                      RunStats *OutStats = nullptr) {
+    Runtime Rt(miniConfig(Mode));
+    Program Prog;
+    Prog.setup(Rt);
+    for (int I = 0; I < Sweeps; ++I)
+      Prog.sweep(Rt);
+    if (OutStats)
+      *OutStats = Rt.stats();
+    return Rt.cycles();
+  }
+};
+
+TEST_F(MiniProgramTest, OptimizationCyclesHappen) {
+  RunStats Stats;
+  runProgram(RunMode::DynamicPrefetch, 1500, &Stats);
+  ASSERT_GE(Stats.Cycles.size(), 2u);
+  // Streams are detected and installed in at least one cycle.
+  bool AnyInstalled = false;
+  for (const CycleStats &Cycle : Stats.Cycles)
+    AnyInstalled |= Cycle.StreamsInstalled > 0;
+  EXPECT_TRUE(AnyInstalled);
+  EXPECT_GT(Stats.CompleteMatches, 0u);
+  EXPECT_GT(Stats.PrefetchesRequested, 0u);
+}
+
+TEST_F(MiniProgramTest, PrefetchingBeatsMatchingOnly) {
+  const uint64_t Original = runProgram(RunMode::Original, 1500);
+  const uint64_t NoPref = runProgram(RunMode::MatchNoPrefetch, 1500);
+  const uint64_t DynPref = runProgram(RunMode::DynamicPrefetch, 1500);
+  // No-pref pays overhead; Dyn-pref must recover it and more.
+  EXPECT_GT(NoPref, Original);
+  EXPECT_LT(DynPref, NoPref);
+}
+
+TEST_F(MiniProgramTest, DynamicPrefetchingBeatsOriginal) {
+  const uint64_t Original = runProgram(RunMode::Original, 1500);
+  const uint64_t DynPref = runProgram(RunMode::DynamicPrefetch, 1500);
+  EXPECT_LT(DynPref, Original);
+}
+
+TEST_F(MiniProgramTest, ModeLadderIsMonotoneInMachinery) {
+  // Each mode executes strictly more machinery than the previous; the
+  // figures normalize against Original.
+  RunStats Checks, Prof, Hds;
+  runProgram(RunMode::ChecksOnly, 200, &Checks);
+  runProgram(RunMode::Profile, 200, &Prof);
+  runProgram(RunMode::ProfileAnalyze, 200, &Hds);
+  EXPECT_GT(Checks.ChecksExecuted, 0u);
+  EXPECT_EQ(Checks.TracedRefs, 0u);
+  EXPECT_GT(Prof.TracedRefs, 0u);
+  EXPECT_EQ(Prof.Cycles.empty(), false);
+  bool Detected = false;
+  for (const CycleStats &Cycle : Hds.Cycles)
+    Detected |= Cycle.HotStreamsDetected > 0;
+  EXPECT_TRUE(Detected);
+}
+
+TEST_F(MiniProgramTest, DeterministicRuns) {
+  // The paper stresses that bursty tracing and the optimizer are
+  // deterministic; identical runs must produce identical cycle counts.
+  RunStats A, B;
+  const uint64_t CyclesA = runProgram(RunMode::DynamicPrefetch, 300, &A);
+  const uint64_t CyclesB = runProgram(RunMode::DynamicPrefetch, 300, &B);
+  EXPECT_EQ(CyclesA, CyclesB);
+  EXPECT_EQ(A.TotalAccesses, B.TotalAccesses);
+  EXPECT_EQ(A.CompleteMatches, B.CompleteMatches);
+  EXPECT_EQ(A.PrefetchesRequested, B.PrefetchesRequested);
+  ASSERT_EQ(A.Cycles.size(), B.Cycles.size());
+  for (size_t I = 0; I < A.Cycles.size(); ++I) {
+    EXPECT_EQ(A.Cycles[I].TracedRefs, B.Cycles[I].TracedRefs);
+    EXPECT_EQ(A.Cycles[I].StreamsInstalled, B.Cycles[I].StreamsInstalled);
+  }
+}
+
+TEST_F(MiniProgramTest, SequentialPrefetchDiffersFromDynamic) {
+  const uint64_t Seq = runProgram(RunMode::SequentialPrefetch, 1500);
+  const uint64_t Dyn = runProgram(RunMode::DynamicPrefetch, 1500);
+  // Lists are scattered: sequential prefetching fetches the wrong blocks
+  // and must not beat stream-address prefetching.
+  EXPECT_GT(Seq, Dyn);
+}
+
+TEST_F(MiniProgramTest, DeoptimizationRemovesInjectedCode) {
+  Runtime Rt(miniConfig(RunMode::DynamicPrefetch));
+  Program Prog;
+  Prog.setup(Rt);
+  // Run until an optimization cycle installed something...
+  int Sweeps = 0;
+  while (Rt.stats().Cycles.empty() && Sweeps < 2000) {
+    Prog.sweep(Rt);
+    ++Sweeps;
+  }
+  ASSERT_FALSE(Rt.stats().Cycles.empty());
+  // ...then run to the end of hibernation: the image must be deoptimized
+  // whenever the tracer is back in a (later) awake phase.
+  for (int I = 0; I < 2000 && Rt.engine().installed(); ++I)
+    Prog.sweep(Rt);
+  EXPECT_FALSE(Rt.engine().installed());
+  for (vulcan::ProcId P = 0; P < Rt.image().procedureCount(); ++P)
+    EXPECT_FALSE(Rt.image().isPatched(P));
+  EXPECT_GT(Rt.image().deoptimizations(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Stale activation records (§3.2)
+//===----------------------------------------------------------------------===//
+
+TEST(StaleFrameTest, AccessInPrePatchFrameSkipsChecks) {
+  OptimizerConfig Config = quietConfig(RunMode::DynamicPrefetch);
+  Runtime Rt(Config);
+  const auto P = Rt.declareProcedure("p");
+  const auto S = Rt.declareSite(P);
+  const memsim::Addr A = Rt.allocate(64);
+
+  Rt.enterProcedure(P);
+  // Patch the procedure while its frame is live (as the optimizer would
+  // at an awake-phase boundary inside some other procedure).
+  Rt.image().applyPatch({S});
+  dfsm::PrefixDfsm Machine({{0, 1, 2, 3, 4, 5}}, dfsm::DfsmConfig());
+  // The engine is not installed here; the point is the frame version
+  // check alone: with a stale frame, the access must not reach the
+  // engine (it would assert on an uninstalled engine otherwise).
+  Rt.load(S, A);
+  EXPECT_EQ(Rt.stats().StaleFrameAccesses, 0u); // engine not installed
+  Rt.leaveProcedure();
+}
+
+//===----------------------------------------------------------------------===//
+// PrefetchEngine in isolation
+//===----------------------------------------------------------------------===//
+
+class EngineTest : public ::testing::Test {
+protected:
+  void install(RunMode Mode) {
+    Config.Mode = Mode;
+    // One stream: symbols 0..5 at pcs 0,0,1,1,1,1, addr 0x100*k.
+    for (uint32_t K = 0; K < 6; ++K)
+      Refs.intern({K / 2, 0x1000ull + 0x100 * K});
+    dfsm::PrefixDfsm Machine({{0, 1, 2, 3, 4, 5}}, dfsm::DfsmConfig());
+    dfsm::CheckCode Code = dfsm::generateCheckCode(Machine, Refs);
+    PrefetchEngine::InstalledStream Stream;
+    for (uint32_t K = 2; K < 6; ++K)
+      Stream.TailAddrs.push_back(Refs.refOf(K).Addr);
+    Engine.install(std::move(Code), {Stream}, /*ImageSiteCount=*/8);
+  }
+
+  OptimizerConfig Config;
+  analysis::DataRefTable Refs;
+  PrefetchEngine Engine;
+  memsim::MemoryHierarchy Memory;
+  RunStats Stats;
+};
+
+TEST_F(EngineTest, InstallAndUninstall) {
+  install(RunMode::DynamicPrefetch);
+  EXPECT_TRUE(Engine.installed());
+  EXPECT_TRUE(Engine.siteInstrumented(0));
+  EXPECT_FALSE(Engine.siteInstrumented(1)); // tail pc carries no checks
+  Engine.uninstall();
+  EXPECT_FALSE(Engine.installed());
+  EXPECT_FALSE(Engine.siteInstrumented(0));
+}
+
+TEST_F(EngineTest, HeadMatchIssuesTailPrefetches) {
+  install(RunMode::DynamicPrefetch);
+  Engine.onAccess(0, 0x1000, Config, Memory, Stats);
+  EXPECT_EQ(Stats.CompleteMatches, 0u);
+  Engine.onAccess(0, 0x1100, Config, Memory, Stats);
+  EXPECT_EQ(Stats.CompleteMatches, 1u);
+  EXPECT_EQ(Stats.PrefetchesRequested, 4u);
+  EXPECT_EQ(Memory.stats().PrefetchesIssued, 4u);
+}
+
+TEST_F(EngineTest, WrongAddressResets) {
+  install(RunMode::DynamicPrefetch);
+  Engine.onAccess(0, 0x1000, Config, Memory, Stats);
+  Engine.onAccess(0, 0x9999, Config, Memory, Stats); // unknown address
+  EXPECT_EQ(Engine.currentState(), 0u);
+  Engine.onAccess(0, 0x1100, Config, Memory, Stats); // second symbol alone
+  EXPECT_EQ(Stats.CompleteMatches, 0u);
+}
+
+TEST_F(EngineTest, RestartWithinMatch) {
+  install(RunMode::DynamicPrefetch);
+  Engine.onAccess(0, 0x1000, Config, Memory, Stats);
+  Engine.onAccess(0, 0x1000, Config, Memory, Stats); // restart on first
+  Engine.onAccess(0, 0x1100, Config, Memory, Stats);
+  EXPECT_EQ(Stats.CompleteMatches, 1u);
+}
+
+TEST_F(EngineTest, NoPrefFiresNoPrefetches) {
+  install(RunMode::MatchNoPrefetch);
+  Engine.onAccess(0, 0x1000, Config, Memory, Stats);
+  Engine.onAccess(0, 0x1100, Config, Memory, Stats);
+  EXPECT_EQ(Stats.CompleteMatches, 1u);
+  EXPECT_EQ(Stats.PrefetchesRequested, 0u);
+  EXPECT_EQ(Memory.stats().PrefetchesIssued, 0u);
+}
+
+TEST_F(EngineTest, SequentialPrefetchesFollowMatchAddress) {
+  install(RunMode::SequentialPrefetch);
+  Engine.onAccess(0, 0x1000, Config, Memory, Stats);
+  Engine.onAccess(0, 0x1100, Config, Memory, Stats);
+  EXPECT_EQ(Stats.PrefetchesRequested, 4u);
+  Memory.tick(1000);
+  // Blocks sequentially after 0x1100 are now resident.
+  EXPECT_TRUE(Memory.l1().contains(0x1100 + 32));
+  EXPECT_TRUE(Memory.l1().contains(0x1100 + 4 * 32));
+  // The stream's actual tail was not prefetched.
+  EXPECT_FALSE(Memory.l1().contains(0x1200));
+}
+
+TEST_F(EngineTest, MaxPrefetchesPerMatchCaps) {
+  Config.MaxPrefetchesPerMatch = 2;
+  install(RunMode::DynamicPrefetch);
+  Engine.onAccess(0, 0x1000, Config, Memory, Stats);
+  Engine.onAccess(0, 0x1100, Config, Memory, Stats);
+  EXPECT_EQ(Stats.PrefetchesRequested, 2u);
+}
+
+TEST_F(EngineTest, ScanCostChargedToClock) {
+  install(RunMode::DynamicPrefetch);
+  const uint64_t Before = Memory.now();
+  Engine.onAccess(0, 0x9999, Config, Memory, Stats);
+  EXPECT_GT(Memory.now(), Before);
+  EXPECT_GT(Stats.MatchClausesScanned, 0u);
+}
+
+} // namespace

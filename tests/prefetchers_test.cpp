@@ -1,0 +1,337 @@
+//===- tests/prefetchers_test.cpp - Hardware prefetcher baselines ----------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+// Tests for the stride and Markov prefetcher baselines and the
+// static-scheme pinning model.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/MarkovPrefetcher.h"
+#include "core/Runtime.h"
+#include "core/StridePrefetcher.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace hds;
+using namespace hds::core;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// StridePrefetcher
+//===----------------------------------------------------------------------===//
+
+class StrideTest : public ::testing::Test {
+protected:
+  StrideTest() : Prefetcher(StridePrefetcherConfig()) {}
+  memsim::MemoryHierarchy Memory;
+  StridePrefetcher Prefetcher{StridePrefetcherConfig()};
+};
+
+TEST_F(StrideTest, ConfirmedStrideIssuesPrefetches) {
+  // Three accesses with the same stride: the third confirms and issues.
+  Prefetcher.onAccess(1, 0x1000, Memory);
+  Prefetcher.onAccess(1, 0x1040, Memory);
+  EXPECT_EQ(Prefetcher.stats().PrefetchesIssued, 0u);
+  Prefetcher.onAccess(1, 0x1080, Memory);
+  EXPECT_EQ(Prefetcher.stats().StridesConfirmed, 1u);
+  EXPECT_EQ(Prefetcher.stats().PrefetchesIssued, 2u); // degree 2
+  Memory.tick(500);
+  EXPECT_TRUE(Memory.l1().contains(0x10C0));
+  EXPECT_TRUE(Memory.l1().contains(0x1100));
+}
+
+TEST_F(StrideTest, NegativeStrideWorks) {
+  Prefetcher.onAccess(1, 0x2000, Memory);
+  Prefetcher.onAccess(1, 0x1FC0, Memory);
+  Prefetcher.onAccess(1, 0x1F80, Memory);
+  Memory.tick(500);
+  EXPECT_TRUE(Memory.l1().contains(0x1F40));
+}
+
+TEST_F(StrideTest, IrregularAddressesNeverConfirm) {
+  // Pointer-chase-like deltas (huge, varying) never train the entry.
+  const memsim::Addr Addrs[] = {0x1000, 0x9000, 0x3000, 0xF000, 0x2000};
+  for (memsim::Addr A : Addrs)
+    Prefetcher.onAccess(1, A, Memory);
+  EXPECT_EQ(Prefetcher.stats().PrefetchesIssued, 0u);
+}
+
+TEST_F(StrideTest, SmallIrregularStridesDoNotConfirm) {
+  Prefetcher.onAccess(1, 0x1000, Memory);
+  Prefetcher.onAccess(1, 0x1040, Memory); // stride 0x40
+  Prefetcher.onAccess(1, 0x10C0, Memory); // stride 0x80: retrain
+  EXPECT_EQ(Prefetcher.stats().PrefetchesIssued, 0u);
+}
+
+TEST_F(StrideTest, DistinctPcsTrainIndependently) {
+  Prefetcher.onAccess(1, 0x1000, Memory);
+  Prefetcher.onAccess(2, 0x8000, Memory); // different pc, different entry
+  Prefetcher.onAccess(1, 0x1040, Memory);
+  Prefetcher.onAccess(2, 0x8100, Memory);
+  Prefetcher.onAccess(1, 0x1080, Memory);
+  Prefetcher.onAccess(2, 0x8200, Memory);
+  EXPECT_EQ(Prefetcher.stats().StridesConfirmed, 2u);
+}
+
+TEST_F(StrideTest, SameAddressIsNeutral) {
+  Prefetcher.onAccess(1, 0x1000, Memory);
+  Prefetcher.onAccess(1, 0x1040, Memory);
+  Prefetcher.onAccess(1, 0x1040, Memory); // repeat: neither trains nor breaks
+  Prefetcher.onAccess(1, 0x1080, Memory);
+  EXPECT_EQ(Prefetcher.stats().StridesConfirmed, 1u);
+}
+
+TEST_F(StrideTest, HardwarePrefetchesSpendNoIssueSlots) {
+  const uint64_t Before = Memory.now();
+  Prefetcher.onAccess(1, 0x1000, Memory);
+  Prefetcher.onAccess(1, 0x1040, Memory);
+  Prefetcher.onAccess(1, 0x1080, Memory);
+  EXPECT_EQ(Memory.now(), Before);
+}
+
+TEST_F(StrideTest, ResetClearsState) {
+  Prefetcher.onAccess(1, 0x1000, Memory);
+  Prefetcher.onAccess(1, 0x1040, Memory);
+  Prefetcher.reset();
+  Prefetcher.onAccess(1, 0x1080, Memory);
+  EXPECT_EQ(Prefetcher.stats().PrefetchesIssued, 0u);
+  EXPECT_EQ(Prefetcher.stats().Updates, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// MarkovPrefetcher
+//===----------------------------------------------------------------------===//
+
+class MarkovTest : public ::testing::Test {
+protected:
+  memsim::MemoryHierarchy Memory;
+  MarkovPrefetcher Prefetcher{MarkovPrefetcherConfig()};
+};
+
+TEST_F(MarkovTest, LearnsDigramAndPrefetches) {
+  // Miss sequence A, B teaches A -> B; the next miss on A prefetches B.
+  Prefetcher.onMiss(0x1000, Memory);
+  Prefetcher.onMiss(0x5000, Memory);
+  EXPECT_EQ(Prefetcher.stats().TransitionsRecorded, 1u);
+  EXPECT_EQ(Prefetcher.stats().PrefetchesIssued, 0u);
+  Prefetcher.onMiss(0x1000, Memory);
+  EXPECT_EQ(Prefetcher.stats().PrefetchesIssued, 1u);
+  Memory.tick(500);
+  EXPECT_TRUE(Memory.l1().contains(0x5000));
+}
+
+TEST_F(MarkovTest, SuccessorSlotsAreBounded) {
+  // A followed by three different blocks: only the most recent
+  // SuccessorsPerNode (2) survive.
+  for (memsim::Addr B : {0x5000, 0x6000, 0x7000}) {
+    Prefetcher.onMiss(0x1000, Memory);
+    Prefetcher.onMiss(B, Memory);
+  }
+  Prefetcher.onMiss(0x1000, Memory);
+  // Intermediate A-misses predicted {5}, then {6,5}; the final one
+  // predicts {7,6}: 1 + 2 + 2 prefetches, never more than 2 per miss.
+  EXPECT_EQ(Prefetcher.stats().PrefetchesIssued, 5u);
+  Memory.tick(500);
+  EXPECT_TRUE(Memory.l1().contains(0x7000)); // most recent always kept
+}
+
+TEST_F(MarkovTest, RepeatedMissOfSameBlockIsNotATransition) {
+  Prefetcher.onMiss(0x1000, Memory);
+  Prefetcher.onMiss(0x1000, Memory);
+  EXPECT_EQ(Prefetcher.stats().TransitionsRecorded, 0u);
+}
+
+TEST_F(MarkovTest, TableCapacityEvicts) {
+  MarkovPrefetcherConfig Config;
+  Config.MaxNodes = 4;
+  MarkovPrefetcher Small(Config);
+  // Create 8 nodes; only 4 survive.
+  for (memsim::Addr A = 0; A < 9; ++A)
+    Small.onMiss(0x1000 + A * 0x1000, Memory);
+  EXPECT_LE(Small.nodeCount(), 4u);
+}
+
+TEST_F(MarkovTest, PrioritizedByRecency) {
+  // A->B, then A->C: C is the more recent, listed first.
+  Prefetcher.onMiss(0x1000, Memory);
+  Prefetcher.onMiss(0x5000, Memory); // A->B
+  Prefetcher.onMiss(0x1000, Memory); // issues prefetch for B
+  Prefetcher.onMiss(0x6000, Memory); // A->C
+  const uint64_t Before = Prefetcher.stats().PrefetchesIssued;
+  Prefetcher.onMiss(0x1000, Memory); // issues B and C
+  EXPECT_EQ(Prefetcher.stats().PrefetchesIssued - Before, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime integration
+//===----------------------------------------------------------------------===//
+
+TEST(RuntimePrefetcherTest, StrideCoversSequentialScan) {
+  OptimizerConfig Config;
+  Config.Mode = RunMode::Original;
+  Config.EnableStridePrefetcher = true;
+  Runtime Rt(Config);
+  const auto P = Rt.declareProcedure("scan");
+  const auto S = Rt.declareSite(P);
+  const memsim::Addr Base = Rt.allocate(1 << 20, 64);
+
+  Runtime::ProcedureScope Scope(Rt, P);
+  for (uint64_t I = 0; I < 2000; ++I) {
+    Rt.load(S, Base + I * 32);
+    Rt.compute(4);
+  }
+  ASSERT_NE(Rt.stridePrefetcher(), nullptr);
+  EXPECT_GT(Rt.stridePrefetcher()->stats().PrefetchesIssued, 1000u);
+  // Most of the scan is covered: far fewer full-latency misses than refs.
+  EXPECT_GT(Rt.memory().l1().stats().UsefulPrefetches +
+                Rt.memory().stats().PartialHits,
+            1000u);
+}
+
+TEST(RuntimePrefetcherTest, DisabledPrefetchersAreNull) {
+  OptimizerConfig Config;
+  Runtime Rt(Config);
+  EXPECT_EQ(Rt.stridePrefetcher(), nullptr);
+  EXPECT_EQ(Rt.markovPrefetcher(), nullptr);
+}
+
+TEST(RuntimePrefetcherTest, MarkovObservesOnlyMisses) {
+  OptimizerConfig Config;
+  Config.Mode = RunMode::Original;
+  Config.EnableMarkovPrefetcher = true;
+  Runtime Rt(Config);
+  const auto P = Rt.declareProcedure("p");
+  const auto S = Rt.declareSite(P);
+  const memsim::Addr A = Rt.allocate(64);
+
+  Runtime::ProcedureScope Scope(Rt, P);
+  Rt.load(S, A); // miss
+  Rt.load(S, A); // hit: not observed
+  Rt.load(S, A); // hit
+  ASSERT_NE(Rt.markovPrefetcher(), nullptr);
+  EXPECT_EQ(Rt.markovPrefetcher()->stats().MissesObserved, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Static-scheme pinning
+//===----------------------------------------------------------------------===//
+
+TEST(PinTest, PinnedRunKeepsFirstOptimizationForever) {
+  OptimizerConfig Config;
+  Config.Mode = RunMode::DynamicPrefetch;
+  Config.PinFirstOptimization = true;
+  Config.Tracing = {1'481, 30, 30, 120, true};
+  Runtime Rt(Config);
+  auto W = workloads::createWorkload("vpr");
+  W->setup(Rt);
+  W->run(Rt, 6000);
+
+  // Exactly one optimization cycle was recorded; the engine stayed
+  // installed and the image patched.
+  EXPECT_EQ(Rt.stats().Cycles.size(), 1u);
+  EXPECT_TRUE(Rt.engine().installed());
+  EXPECT_TRUE(Rt.optimizer().pinned());
+  EXPECT_EQ(Rt.image().deoptimizations(), 0u);
+  EXPECT_GT(Rt.stats().CompleteMatches, 0u);
+}
+
+TEST(PinTest, PinnedRunStopsFrameworkCosts) {
+  // After pinning, checks stop costing and tracing stops: total checks
+  // executed must be far below an unpinned run's.
+  auto RunChecks = [](bool Pin) {
+    OptimizerConfig Config;
+    Config.Mode = RunMode::DynamicPrefetch;
+    Config.PinFirstOptimization = Pin;
+    Config.Tracing = {1'481, 30, 30, 120, true};
+    Runtime Rt(Config);
+    auto W = workloads::createWorkload("vpr");
+    W->setup(Rt);
+    W->run(Rt, 6000);
+    return Rt.stats().ChecksExecuted;
+  };
+  EXPECT_LT(RunChecks(true), RunChecks(false) / 2);
+}
+
+TEST(PinTest, TwophaseWorkloadChangesItsStreams) {
+  // The phase-change program: a pinned run matches only during the
+  // first phase; a dynamic run keeps matching.
+  auto RunMatches = [](bool Pin) {
+    OptimizerConfig Config;
+    Config.Mode = RunMode::DynamicPrefetch;
+    Config.PinFirstOptimization = Pin;
+    Config.Tracing = {1'481, 30, 30, 120, true};
+    Runtime Rt(Config);
+    auto W = workloads::createWorkload("twophase");
+    W->setup(Rt);
+    W->run(Rt, 12000);
+    return Rt.stats().CompleteMatches;
+  };
+  const uint64_t Static = RunMatches(true);
+  const uint64_t Dynamic = RunMatches(false);
+  EXPECT_GT(Dynamic, 2 * Static);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Adaptive hibernation (optimizer side)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+OptimizerConfig adaptiveConfig() {
+  OptimizerConfig Config;
+  Config.Mode = RunMode::DynamicPrefetch;
+  Config.Tracing = {1'481, 30, 30, 120, true};
+  Config.AdaptiveHibernation = true;
+  return Config;
+}
+
+TEST(AdaptiveHibernationTest, StableBehaviourStretchesHibernation) {
+  Runtime Rt(adaptiveConfig());
+  auto W = workloads::createWorkload("vpr");
+  W->setup(Rt);
+  W->run(Rt, 16000);
+  const RunStats &Stats = Rt.stats();
+  ASSERT_GE(Stats.Cycles.size(), 2u);
+  // Each stable cycle doubles the hibernation length (bounded).
+  EXPECT_GT(Stats.Cycles.back().NextHibernationPeriods,
+            Stats.Cycles.front().NextHibernationPeriods);
+}
+
+TEST(AdaptiveHibernationTest, BoundedByMaxFactor) {
+  OptimizerConfig Config = adaptiveConfig();
+  Config.AdaptiveHibernationMaxFactor = 2;
+  Runtime Rt(Config);
+  auto W = workloads::createWorkload("vpr");
+  W->setup(Rt);
+  W->run(Rt, 24000);
+  for (const CycleStats &Cycle : Rt.stats().Cycles)
+    EXPECT_LE(Cycle.NextHibernationPeriods, 2 * Config.Tracing.NHibernate);
+}
+
+TEST(AdaptiveHibernationTest, PhaseChangeResetsHibernation) {
+  Runtime Rt(adaptiveConfig());
+  auto W = workloads::createWorkload("twophase");
+  W->setup(Rt);
+  W->run(Rt, 24000);
+  const RunStats &Stats = Rt.stats();
+  ASSERT_GE(Stats.Cycles.size(), 3u);
+  // At least one later cycle falls back to the base length (the phase
+  // transition changed the detected stream set).
+  bool SawReset = false;
+  for (size_t C = 1; C < Stats.Cycles.size(); ++C)
+    SawReset |= Stats.Cycles[C].NextHibernationPeriods ==
+                Rt.config().Tracing.NHibernate;
+  EXPECT_TRUE(SawReset);
+}
+
+TEST(AdaptiveHibernationTest, OffByDefault) {
+  OptimizerConfig Config;
+  EXPECT_FALSE(Config.AdaptiveHibernation);
+}
+
+} // namespace

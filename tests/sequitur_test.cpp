@@ -1,0 +1,341 @@
+//===- tests/sequitur_test.cpp - Sequitur grammar tests --------------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sequitur/Grammar.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+using hds::Rng;
+using hds::sequitur::Grammar;
+using hds::sequitur::GrammarSnapshot;
+using hds::sequitur::Rule;
+using hds::sequitur::Symbol;
+
+namespace {
+
+/// Appends every character of \p Text as a terminal.
+void appendString(Grammar &G, const std::string &Text) {
+  for (char C : Text)
+    G.append(static_cast<uint64_t>(static_cast<unsigned char>(C)));
+}
+
+/// Expands the start rule back into a string.
+std::string expandToString(const Grammar &G) {
+  std::string Out;
+  for (uint64_t T : G.expandRule(*G.start()))
+    Out.push_back(static_cast<char>(T));
+  return Out;
+}
+
+TEST(SequiturTest, EmptyGrammar) {
+  Grammar G;
+  EXPECT_EQ(G.inputLength(), 0u);
+  EXPECT_EQ(G.ruleCount(), 1u); // just the start rule
+  EXPECT_TRUE(G.expandRule(*G.start()).empty());
+}
+
+TEST(SequiturTest, SingleSymbol) {
+  Grammar G;
+  G.append(42);
+  EXPECT_EQ(G.inputLength(), 1u);
+  EXPECT_EQ(expandToString(G), std::string(1, char(42)));
+}
+
+TEST(SequiturTest, NoRepetitionMakesNoRules) {
+  Grammar G;
+  appendString(G, "abcdefg");
+  EXPECT_EQ(G.ruleCount(), 1u);
+  EXPECT_EQ(expandToString(G), "abcdefg");
+}
+
+TEST(SequiturTest, SimpleRepeatFormsRule) {
+  Grammar G;
+  appendString(G, "abab");
+  // Classic sequitur result: S -> A A, A -> a b.
+  EXPECT_EQ(G.ruleCount(), 2u);
+  EXPECT_EQ(expandToString(G), "abab");
+  EXPECT_TRUE(G.digramUniquenessHolds());
+  EXPECT_TRUE(G.ruleUtilityHolds());
+}
+
+TEST(SequiturTest, PaperFigure4Example) {
+  // Figure 4: w = abaabcabcabcabc.
+  Grammar G;
+  appendString(G, "abaabcabcabcabc");
+  EXPECT_EQ(expandToString(G), "abaabcabcabcabc");
+  EXPECT_TRUE(G.digramUniquenessHolds());
+  EXPECT_TRUE(G.ruleUtilityHolds());
+  EXPECT_TRUE(G.rulesAreNonTrivialHolds());
+
+  // The paper's grammar has 4 rules: S -> A a B B, A -> a b, B -> C C,
+  // C -> A c.  Sequitur's exact rule set for this string is canonical.
+  EXPECT_EQ(G.ruleCount(), 4u);
+
+  // The start rule derives the whole string; some rule derives "abcabc"
+  // (the hot data stream of the worked example) and some rule derives
+  // "abc".
+  std::vector<std::string> Expansions;
+  for (const Rule *R : G.rules()) {
+    std::string Word;
+    for (uint64_t T : G.expandRule(*R))
+      Word.push_back(static_cast<char>(T));
+    Expansions.push_back(Word);
+  }
+  EXPECT_NE(std::find(Expansions.begin(), Expansions.end(), "abcabc"),
+            Expansions.end());
+  EXPECT_NE(std::find(Expansions.begin(), Expansions.end(), "abc"),
+            Expansions.end());
+  EXPECT_NE(std::find(Expansions.begin(), Expansions.end(), "ab"),
+            Expansions.end());
+}
+
+TEST(SequiturTest, TriplesAreHandled) {
+  // Runs of one symbol exercise the overlapping-digram special case.
+  for (size_t Len = 1; Len <= 40; ++Len) {
+    Grammar G;
+    appendString(G, std::string(Len, 'a'));
+    EXPECT_EQ(expandToString(G), std::string(Len, 'a')) << "length " << Len;
+    EXPECT_TRUE(G.digramUniquenessHolds()) << "length " << Len;
+    EXPECT_TRUE(G.ruleUtilityHolds()) << "length " << Len;
+  }
+}
+
+TEST(SequiturTest, RuleUtilityInlinesSingleUseRules) {
+  // "abcdbcabcd": rule for "bc" forms, then gets subsumed; whatever the
+  // final shape, no rule may be used fewer than two times.
+  Grammar G;
+  appendString(G, "abcdbcabcd");
+  EXPECT_EQ(expandToString(G), "abcdbcabcd");
+  EXPECT_TRUE(G.ruleUtilityHolds());
+}
+
+TEST(SequiturTest, SnapshotMatchesGrammar) {
+  Grammar G;
+  appendString(G, "xyxyzxyxyzw");
+  GrammarSnapshot Snap = G.snapshot();
+  ASSERT_EQ(Snap.Rules.size(), G.ruleCount());
+  std::vector<uint64_t> FromSnap = Snap.expand(0);
+  std::vector<uint64_t> FromGrammar = G.expandRule(*G.start());
+  EXPECT_EQ(FromSnap, FromGrammar);
+}
+
+TEST(SequiturTest, DumpShowsRules) {
+  Grammar G;
+  appendString(G, "abab");
+  const std::string Dump = G.dump();
+  EXPECT_NE(Dump.find("R0 ->"), std::string::npos);
+  EXPECT_NE(Dump.find("R1"), std::string::npos);
+}
+
+TEST(SequiturTest, TotalRhsSymbolsCountsGrammarSize) {
+  Grammar G;
+  appendString(G, "abab");
+  // S -> A A (2 symbols), A -> a b (2 symbols).
+  EXPECT_EQ(G.totalRhsSymbols(), 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// Property tests over random inputs
+//===----------------------------------------------------------------------===//
+
+struct RandomInputCase {
+  uint64_t Seed;
+  size_t Length;
+  uint64_t AlphabetSize;
+};
+
+class SequiturPropertyTest : public ::testing::TestWithParam<RandomInputCase> {
+};
+
+TEST_P(SequiturPropertyTest, ExpansionEqualsInputAndInvariantsHold) {
+  const RandomInputCase &Case = GetParam();
+  Rng Rand(Case.Seed);
+  Grammar G;
+  std::vector<uint64_t> Input;
+  Input.reserve(Case.Length);
+  for (size_t I = 0; I < Case.Length; ++I) {
+    const uint64_t T = Rand.nextBelow(Case.AlphabetSize);
+    Input.push_back(T);
+    G.append(T);
+  }
+  EXPECT_EQ(G.inputLength(), Case.Length);
+  EXPECT_EQ(G.expandRule(*G.start()), Input);
+  EXPECT_TRUE(G.digramUniquenessHolds());
+  EXPECT_TRUE(G.ruleUtilityHolds());
+  EXPECT_TRUE(G.rulesAreNonTrivialHolds());
+
+  // The snapshot agrees too.
+  EXPECT_EQ(G.snapshot().expand(0), Input);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInputs, SequiturPropertyTest,
+    ::testing::Values(
+        RandomInputCase{1, 10, 2}, RandomInputCase{2, 100, 2},
+        RandomInputCase{3, 1000, 2}, RandomInputCase{4, 100, 4},
+        RandomInputCase{5, 1000, 4}, RandomInputCase{6, 5000, 4},
+        RandomInputCase{7, 100, 16}, RandomInputCase{8, 1000, 16},
+        RandomInputCase{9, 10000, 16}, RandomInputCase{10, 1000, 256},
+        RandomInputCase{11, 10000, 256}, RandomInputCase{12, 2000, 3},
+        RandomInputCase{13, 3000, 5}, RandomInputCase{14, 20000, 8},
+        RandomInputCase{15, 500, 2}, RandomInputCase{16, 50000, 64}));
+
+/// Repetitive inputs (the interesting case for compression).
+TEST(SequiturTest, PeriodicInputCompressesWell) {
+  Grammar G;
+  std::vector<uint64_t> Input;
+  for (int Rep = 0; Rep < 200; ++Rep)
+    for (uint64_t T : {uint64_t{1}, uint64_t{2}, uint64_t{3}, uint64_t{4},
+                       uint64_t{5}, uint64_t{6}, uint64_t{7}, uint64_t{8}}) {
+      Input.push_back(T);
+      G.append(T);
+    }
+  EXPECT_EQ(G.expandRule(*G.start()), Input);
+  // 1600 symbols compress into a grammar far smaller than the input.
+  EXPECT_LT(G.totalRhsSymbols(), 100u);
+  EXPECT_TRUE(G.digramUniquenessHolds());
+  EXPECT_TRUE(G.ruleUtilityHolds());
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Adversarially structured inputs
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Thue-Morse words are overlap-free (no factor of the form xyxyx), the
+/// worst case for digram-based compression.
+std::string thueMorse(unsigned Order) {
+  std::string Word = "a";
+  for (unsigned I = 0; I < Order; ++I) {
+    std::string Next;
+    for (char C : Word) {
+      Next += C;
+      Next += (C == 'a') ? 'b' : 'a';
+    }
+    Word = Next;
+  }
+  return Word;
+}
+
+/// Fibonacci words are Sturmian: maximally repetitive without being
+/// periodic, the best case for hierarchical inference.
+std::string fibonacciWord(unsigned Order) {
+  std::string Previous = "b", Current = "a";
+  for (unsigned I = 0; I < Order; ++I) {
+    std::string Next = Current + Previous;
+    Previous = std::move(Current);
+    Current = std::move(Next);
+  }
+  return Current;
+}
+
+TEST(SequiturStructuredTest, ThueMorseInvariantsAndRoundTrip) {
+  for (unsigned Order : {4u, 8u, 12u}) {
+    const std::string Word = thueMorse(Order);
+    Grammar G;
+    appendString(G, Word);
+    EXPECT_EQ(expandToString(G), Word) << "order " << Order;
+    EXPECT_TRUE(G.digramUniquenessHolds()) << "order " << Order;
+    EXPECT_TRUE(G.ruleUtilityHolds()) << "order " << Order;
+  }
+}
+
+TEST(SequiturStructuredTest, FibonacciWordCompressesLogarithmically) {
+  const std::string Word = fibonacciWord(20); // 10946 symbols
+  Grammar G;
+  appendString(G, Word);
+  EXPECT_EQ(expandToString(G), Word);
+  EXPECT_TRUE(G.digramUniquenessHolds());
+  EXPECT_TRUE(G.ruleUtilityHolds());
+  // Sturmian structure compresses to a grammar logarithmic in the input.
+  EXPECT_LT(G.totalRhsSymbols(), 200u);
+}
+
+TEST(SequiturStructuredTest, NestedRepetition) {
+  // ((ab)^4 c)^8 d repeated: deeply nested structure.
+  std::string Unit;
+  for (int I = 0; I < 4; ++I)
+    Unit += "ab";
+  Unit += 'c';
+  std::string Big;
+  for (int I = 0; I < 8; ++I)
+    Big += Unit;
+  Big += 'd';
+  std::string Input;
+  for (int I = 0; I < 5; ++I)
+    Input += Big;
+
+  Grammar G;
+  appendString(G, Input);
+  EXPECT_EQ(expandToString(G), Input);
+  EXPECT_TRUE(G.digramUniquenessHolds());
+  EXPECT_TRUE(G.ruleUtilityHolds());
+  EXPECT_LT(G.totalRhsSymbols(), 60u);
+}
+
+TEST(SequiturStructuredTest, AlternatingPairsWithSeparators) {
+  // Burst-boundary-like input: motif fragments separated by unique ids.
+  Grammar G;
+  std::vector<uint64_t> Input;
+  uint64_t Unique = 1000;
+  for (int Burst = 0; Burst < 50; ++Burst) {
+    for (int Phase = Burst % 4; Phase < 12; ++Phase) {
+      Input.push_back(100 + static_cast<uint64_t>(Phase));
+      G.append(100 + static_cast<uint64_t>(Phase));
+    }
+    Input.push_back(Unique);
+    G.append(Unique++);
+  }
+  EXPECT_EQ(G.expandRule(*G.start()), Input);
+  EXPECT_TRUE(G.digramUniquenessHolds());
+  EXPECT_TRUE(G.ruleUtilityHolds());
+}
+
+TEST(SequiturStructuredTest, LargeAlphabetNoCrashNearTagBoundary) {
+  // Terminals close to (but below) the 2^63 tag boundary must work.
+  Grammar G;
+  const uint64_t Big = Grammar::MaxTerminal;
+  std::vector<uint64_t> Input = {Big, Big - 1, Big, Big - 1, Big, Big - 1};
+  for (uint64_t T : Input)
+    G.append(T);
+  EXPECT_EQ(G.expandRule(*G.start()), Input);
+  EXPECT_TRUE(G.digramUniquenessHolds());
+}
+
+} // namespace
+
+namespace {
+
+TEST(SequiturTest, DumpWithTerminalNames) {
+  Grammar G;
+  appendString(G, "abab");
+  const std::string Dump = G.dump(+[](uint64_t T) {
+    return std::string(1, static_cast<char>(T));
+  });
+  EXPECT_NE(Dump.find("a b"), std::string::npos);
+  EXPECT_EQ(Dump.find("97"), std::string::npos); // no raw codes
+}
+
+TEST(SequiturTest, RulesListStartsWithStartRule) {
+  Grammar G;
+  appendString(G, "xyxyxy");
+  const std::vector<const Rule *> Rules = G.rules();
+  ASSERT_FALSE(Rules.empty());
+  EXPECT_EQ(Rules.front(), G.start());
+  for (size_t I = 1; I < Rules.size(); ++I)
+    EXPECT_GT(Rules[I]->id(), Rules[I - 1]->id());
+}
+
+} // namespace

@@ -1,0 +1,161 @@
+//===- tests/support_test.cpp - Support utilities tests --------------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+#include "support/Statistics.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using hds::Histogram;
+using hds::Rng;
+using hds::RunningStat;
+using hds::Table;
+
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 100; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 5);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng A(7);
+  const uint64_t First = A.next();
+  A.next();
+  A.reseed(7);
+  EXPECT_EQ(A.next(), First);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng R(3);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(RngTest, NextBelowOneAlwaysZero) {
+  Rng R(4);
+  for (int I = 0; I < 50; ++I)
+    EXPECT_EQ(R.nextBelow(1), 0u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng R(5);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 2000; ++I) {
+    const uint64_t V = R.nextInRange(10, 13);
+    EXPECT_GE(V, 10u);
+    EXPECT_LE(V, 13u);
+    Seen.insert(V);
+  }
+  // All four values show up over 2000 draws.
+  EXPECT_EQ(Seen.size(), 4u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng R(6);
+  for (int I = 0; I < 1000; ++I) {
+    const double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolRoughlyMatchesProbability) {
+  Rng R(8);
+  int True = 0;
+  for (int I = 0; I < 10000; ++I)
+    True += R.nextBool(0.25);
+  EXPECT_NEAR(True / 10000.0, 0.25, 0.03);
+}
+
+TEST(RunningStatTest, EmptyIsSafe) {
+  RunningStat S;
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_EQ(S.mean(), 0.0);
+}
+
+TEST(RunningStatTest, AccumulatesCorrectly) {
+  RunningStat S;
+  S.addSample(2.0);
+  S.addSample(4.0);
+  S.addSample(9.0);
+  EXPECT_EQ(S.count(), 3u);
+  EXPECT_DOUBLE_EQ(S.sum(), 15.0);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(S.min(), 2.0);
+  EXPECT_DOUBLE_EQ(S.max(), 9.0);
+}
+
+TEST(RunningStatTest, NegativeSamples) {
+  RunningStat S;
+  S.addSample(-3.0);
+  S.addSample(1.0);
+  EXPECT_DOUBLE_EQ(S.min(), -3.0);
+  EXPECT_DOUBLE_EQ(S.max(), 1.0);
+  EXPECT_DOUBLE_EQ(S.mean(), -1.0);
+}
+
+TEST(HistogramTest, BucketsAndOverflow) {
+  Histogram H(4, 10); // buckets [0,10) [10,20) [20,30) [30,40) + overflow
+  H.addSample(0);
+  H.addSample(9);
+  H.addSample(10);
+  H.addSample(39);
+  H.addSample(40);
+  H.addSample(1000);
+  EXPECT_EQ(H.total(), 6u);
+  EXPECT_EQ(H.bucket(0), 2u);
+  EXPECT_EQ(H.bucket(1), 1u);
+  EXPECT_EQ(H.bucket(2), 0u);
+  EXPECT_EQ(H.bucket(3), 1u);
+  EXPECT_EQ(H.bucket(4), 2u); // overflow bucket
+  EXPECT_EQ(H.bucketLowerBound(2), 20u);
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table T;
+  T.row().cell("name").cell("value");
+  T.row().cell("x").cell(uint64_t{12345});
+  const std::string Out = T.toString();
+  // Header, rule, one body row.
+  EXPECT_NE(Out.find("name"), std::string::npos);
+  EXPECT_NE(Out.find("-----"), std::string::npos);
+  EXPECT_NE(Out.find("12345"), std::string::npos);
+  // Columns align: "value" and "12345" start at the same offset.
+  const size_t HeaderPos = Out.find("value");
+  const size_t BodyPos = Out.find("12345");
+  const size_t HeaderLine = Out.rfind('\n', HeaderPos);
+  const size_t BodyLine = Out.rfind('\n', BodyPos);
+  EXPECT_EQ(HeaderPos - HeaderLine, BodyPos - BodyLine);
+}
+
+TEST(TableTest, MissingCellsPrintEmpty) {
+  Table T;
+  T.row().cell("a").cell("b").cell("c");
+  T.row().cell("only");
+  EXPECT_NO_THROW(T.toString());
+}
+
+TEST(TableTest, FormatString) {
+  EXPECT_EQ(hds::formatString("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(hds::formatString("%.2f%%", 12.345), "12.35%");
+  EXPECT_EQ(hds::formatString("empty"), "empty");
+}
+
+} // namespace

@@ -1,0 +1,120 @@
+//===- tests/vulcan_test.cpp - Simulated executable image tests ------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vulcan/Image.h"
+
+#include <gtest/gtest.h>
+
+using namespace hds::vulcan;
+
+namespace {
+
+TEST(ImageTest, ProcedureAndSiteRegistration) {
+  Image Img;
+  const ProcId P0 = Img.createProcedure("alpha");
+  const ProcId P1 = Img.createProcedure("beta");
+  const SiteId S0 = Img.createSite(P0, "x");
+  const SiteId S1 = Img.createSite(P1, "y");
+  const SiteId S2 = Img.createSite(P0, "z");
+
+  EXPECT_EQ(Img.procedureCount(), 2u);
+  EXPECT_EQ(Img.siteCount(), 3u);
+  EXPECT_EQ(Img.procOf(S0), P0);
+  EXPECT_EQ(Img.procOf(S1), P1);
+  EXPECT_EQ(Img.procOf(S2), P0);
+  EXPECT_EQ(Img.proc(P0).Name, "alpha");
+  EXPECT_EQ(Img.proc(P0).Sites.size(), 2u);
+}
+
+TEST(ImageTest, SiteIdsAreGloballyUniquePcs) {
+  Image Img;
+  const ProcId P = Img.createProcedure("p");
+  for (SiteId Expected = 0; Expected < 10; ++Expected)
+    EXPECT_EQ(Img.createSite(P), Expected);
+}
+
+TEST(ImageTest, BurstyTracingInstrumentation) {
+  Image Img;
+  const ProcId P = Img.createProcedure("p");
+  EXPECT_FALSE(Img.proc(P).DuplicatedForTracing);
+  Img.instrumentForBurstyTracing();
+  EXPECT_TRUE(Img.proc(P).DuplicatedForTracing);
+  Img.instrumentForBurstyTracing(); // idempotent
+  EXPECT_TRUE(Img.proc(P).DuplicatedForTracing);
+}
+
+TEST(ImageTest, PatchMarksOwningProcedures) {
+  Image Img;
+  const ProcId P0 = Img.createProcedure("p0");
+  const ProcId P1 = Img.createProcedure("p1");
+  const ProcId P2 = Img.createProcedure("p2");
+  const SiteId A = Img.createSite(P0);
+  const SiteId B = Img.createSite(P1);
+  Img.createSite(P2);
+
+  const PatchResult Result = Img.applyPatch({A, B});
+  EXPECT_EQ(Result.ProceduresModified, 2u);
+  EXPECT_EQ(Result.SitesInstrumented, 2u);
+  EXPECT_TRUE(Img.isPatched(P0));
+  EXPECT_TRUE(Img.isPatched(P1));
+  EXPECT_FALSE(Img.isPatched(P2));
+}
+
+TEST(ImageTest, PatchBumpsCodeVersionOncePerProcedure) {
+  Image Img;
+  const ProcId P = Img.createProcedure("p");
+  const SiteId A = Img.createSite(P);
+  const SiteId B = Img.createSite(P);
+  const uint32_t Before = Img.codeVersion(P);
+  Img.applyPatch({A, B}); // two sites, one procedure
+  EXPECT_EQ(Img.codeVersion(P), Before + 1);
+}
+
+TEST(ImageTest, DeoptimizationRestoresAndBumps) {
+  Image Img;
+  const ProcId P = Img.createProcedure("p");
+  const SiteId A = Img.createSite(P);
+  Img.applyPatch({A});
+  const uint32_t Patched = Img.codeVersion(P);
+  EXPECT_EQ(Img.removePatches(), 1u);
+  EXPECT_FALSE(Img.isPatched(P));
+  // Deopt is a binary modification too: frames inside the optimized copy
+  // must be distinguishable.
+  EXPECT_EQ(Img.codeVersion(P), Patched + 1);
+}
+
+TEST(ImageTest, RemovePatchesOnCleanImageIsNoop) {
+  Image Img;
+  Img.createProcedure("p");
+  EXPECT_EQ(Img.removePatches(), 0u);
+  EXPECT_EQ(Img.deoptimizations(), 0u);
+}
+
+TEST(ImageTest, LifetimeCountersAccumulate) {
+  Image Img;
+  const ProcId P = Img.createProcedure("p");
+  const SiteId A = Img.createSite(P);
+  for (int Cycle = 0; Cycle < 3; ++Cycle) {
+    Img.applyPatch({A});
+    Img.removePatches();
+  }
+  EXPECT_EQ(Img.patchApplications(), 3u);
+  EXPECT_EQ(Img.deoptimizations(), 3u);
+  EXPECT_EQ(Img.codeVersion(P), 6u);
+}
+
+TEST(ImageTest, RepatchingKeepsProcedurePatched) {
+  Image Img;
+  const ProcId P = Img.createProcedure("p");
+  const SiteId A = Img.createSite(P);
+  const SiteId B = Img.createSite(P);
+  Img.applyPatch({A});
+  Img.applyPatch({B});
+  EXPECT_TRUE(Img.isPatched(P));
+  EXPECT_EQ(Img.patchApplications(), 2u);
+}
+
+} // namespace

@@ -1,0 +1,264 @@
+//===- tools/hds_run.cpp - Command-line benchmark driver -------------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+// Runs one benchmark under one configuration and prints a full report:
+// simulated cycles, cache behaviour, prefetching activity, and the
+// per-optimization-cycle characterization.  Everything the figure benches
+// measure, exposed as a single configurable command.
+//
+// Usage:
+//   hds_run [options]
+//     --workload <vpr|mcf|twolf|parser|vortex|boxsim|twophase>  (default vpr)
+//     --mode <original|base|prof|hds|nopref|seqpref|dynpref>    (default dynpref)
+//     --iterations <n>      override the workload's default
+//     --scale <f>           scale the default iteration count
+//     --headlen <n>         prefix match length (default 2)
+//     --stride              enable the hardware stride prefetcher
+//     --markov              enable the Markov correlation prefetcher
+//     --pin                 static-scheme model (pin first optimization)
+//     --verbose             per-cycle stream reports to stderr
+//     --compare             also run the original program and report %
+//     --dump-trace <file>   write every reference as "pc:addr" tokens
+//                           (feed the file to hds_analyze)
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Runtime.h"
+#include "support/Table.h"
+#include "workloads/Workload.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace hds;
+using namespace hds::core;
+
+namespace {
+
+struct Options {
+  std::string Workload = "vpr";
+  RunMode Mode = RunMode::DynamicPrefetch;
+  uint64_t Iterations = 0; // 0 = workload default * Scale
+  double Scale = 1.0;
+  uint32_t HeadLength = 2;
+  bool Stride = false;
+  bool Markov = false;
+  bool Pin = false;
+  bool Verbose = false;
+  bool Compare = false;
+  std::string DumpTrace;
+};
+
+[[noreturn]] void usage(const char *Binary) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--workload NAME] [--mode MODE] [--iterations N]\n"
+      "          [--scale F] [--headlen N] [--stride] [--markov]\n"
+      "          [--pin] [--verbose] [--compare]\n"
+      "modes: original base prof hds nopref seqpref dynpref\n"
+      "workloads: vpr mcf twolf parser vortex boxsim twophase\n",
+      Binary);
+  std::exit(1);
+}
+
+bool parseMode(const std::string &Name, RunMode &Mode) {
+  if (Name == "original")
+    Mode = RunMode::Original;
+  else if (Name == "base")
+    Mode = RunMode::ChecksOnly;
+  else if (Name == "prof")
+    Mode = RunMode::Profile;
+  else if (Name == "hds")
+    Mode = RunMode::ProfileAnalyze;
+  else if (Name == "nopref")
+    Mode = RunMode::MatchNoPrefetch;
+  else if (Name == "seqpref")
+    Mode = RunMode::SequentialPrefetch;
+  else if (Name == "dynpref")
+    Mode = RunMode::DynamicPrefetch;
+  else
+    return false;
+  return true;
+}
+
+Options parseOptions(int Argc, char **Argv) {
+  Options Opts;
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= Argc)
+        usage(Argv[0]);
+      return Argv[++I];
+    };
+    if (Arg == "--workload")
+      Opts.Workload = Next();
+    else if (Arg == "--mode") {
+      if (!parseMode(Next(), Opts.Mode))
+        usage(Argv[0]);
+    } else if (Arg == "--iterations")
+      Opts.Iterations = std::strtoull(Next(), nullptr, 10);
+    else if (Arg == "--scale")
+      Opts.Scale = std::atof(Next());
+    else if (Arg == "--headlen")
+      Opts.HeadLength = static_cast<uint32_t>(std::strtoul(Next(), nullptr,
+                                                           10));
+    else if (Arg == "--stride")
+      Opts.Stride = true;
+    else if (Arg == "--markov")
+      Opts.Markov = true;
+    else if (Arg == "--pin")
+      Opts.Pin = true;
+    else if (Arg == "--verbose")
+      Opts.Verbose = true;
+    else if (Arg == "--dump-trace")
+      Opts.DumpTrace = Next();
+    else if (Arg == "--compare")
+      Opts.Compare = true;
+    else
+      usage(Argv[0]);
+  }
+  return Opts;
+}
+
+uint64_t runConfigured(const Options &Opts, RunMode Mode, bool Report) {
+  OptimizerConfig Config;
+  Config.Mode = Mode;
+  Config.Dfsm.HeadLength = Opts.HeadLength;
+  Config.EnableStridePrefetcher = Opts.Stride;
+  Config.EnableMarkovPrefetcher = Opts.Markov;
+  Config.PinFirstOptimization = Opts.Pin;
+  Config.VerboseAnalysis = Opts.Verbose;
+
+  auto Bench = workloads::createWorkload(Opts.Workload);
+  if (!Bench) {
+    std::fprintf(stderr, "error: unknown workload '%s'\n",
+                 Opts.Workload.c_str());
+    std::exit(1);
+  }
+
+  Runtime Rt(Config);
+
+  std::FILE *TraceFile = nullptr;
+  if (Report && !Opts.DumpTrace.empty()) {
+    TraceFile = std::fopen(Opts.DumpTrace.c_str(), "w");
+    if (!TraceFile) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   Opts.DumpTrace.c_str());
+      std::exit(1);
+    }
+    Rt.setAccessObserver([TraceFile](vulcan::SiteId Site, memsim::Addr A) {
+      std::fprintf(TraceFile, "%llu:%llx\n", (unsigned long long)Site,
+                   (unsigned long long)A);
+    });
+  }
+
+  Bench->setup(Rt);
+  const uint64_t Iterations =
+      Opts.Iterations != 0
+          ? Opts.Iterations
+          : static_cast<uint64_t>(
+                static_cast<double>(Bench->defaultIterations()) * Opts.Scale);
+  Bench->run(Rt, Iterations);
+  if (TraceFile)
+    std::fclose(TraceFile);
+
+  if (!Report)
+    return Rt.cycles();
+
+  const RunStats &Stats = Rt.stats();
+  const memsim::CacheStats &L1 = Rt.memory().l1().stats();
+  const memsim::CacheStats &L2 = Rt.memory().l2().stats();
+  const memsim::HierarchyStats &Mem = Rt.memory().stats();
+
+  std::printf("workload:   %s (%llu iterations)\n", Opts.Workload.c_str(),
+              (unsigned long long)Iterations);
+  std::printf("mode:       %s%s%s%s\n", runModeName(Mode),
+              Opts.Stride ? " +stride" : "", Opts.Markov ? " +markov" : "",
+              Opts.Pin ? " +pinned" : "");
+  std::printf("cycles:     %llu\n", (unsigned long long)Rt.cycles());
+  std::printf("accesses:   %llu (%.2f cycles/access)\n",
+              (unsigned long long)Stats.TotalAccesses,
+              static_cast<double>(Rt.cycles()) /
+                  static_cast<double>(Stats.TotalAccesses));
+  std::printf("L1:         %.1f%% miss (%llu hits, %llu misses)\n",
+              100.0 * L1.missRate(), (unsigned long long)L1.Hits,
+              (unsigned long long)L1.Misses);
+  std::printf("L2:         %.1f%% miss (%llu hits, %llu misses)\n",
+              100.0 * L2.missRate(), (unsigned long long)L2.Hits,
+              (unsigned long long)L2.Misses);
+  std::printf("stalls:     %llu cycles (%.1f%% of run)\n",
+              (unsigned long long)Mem.StallCycles,
+              100.0 * static_cast<double>(Mem.StallCycles) /
+                  static_cast<double>(Rt.cycles()));
+  std::printf("checks:     %llu executed, %llu refs traced\n",
+              (unsigned long long)Stats.ChecksExecuted,
+              (unsigned long long)Stats.TracedRefs);
+  std::printf("matching:   %llu complete matches, %llu clauses scanned\n",
+              (unsigned long long)Stats.CompleteMatches,
+              (unsigned long long)Stats.MatchClausesScanned);
+  std::printf("prefetches: %llu issued, %llu useful, %llu wasted, "
+              "%llu redundant, %llu partial hits\n",
+              (unsigned long long)Mem.PrefetchesIssued,
+              (unsigned long long)(L1.UsefulPrefetches + L2.UsefulPrefetches),
+              (unsigned long long)(L1.WastedPrefetches + L2.WastedPrefetches),
+              (unsigned long long)Mem.PrefetchesRedundant,
+              (unsigned long long)Mem.PartialHits);
+  if (Rt.stridePrefetcher())
+    std::printf("stride:     %llu prefetches from %llu confirmed strides\n",
+                (unsigned long long)
+                    Rt.stridePrefetcher()->stats().PrefetchesIssued,
+                (unsigned long long)
+                    Rt.stridePrefetcher()->stats().StridesConfirmed);
+  if (Rt.markovPrefetcher())
+    std::printf("markov:     %llu prefetches, %zu nodes\n",
+                (unsigned long long)
+                    Rt.markovPrefetcher()->stats().PrefetchesIssued,
+                Rt.markovPrefetcher()->nodeCount());
+
+  if (!Stats.Cycles.empty()) {
+    std::printf("\noptimization cycles:\n");
+    Table Out;
+    Out.row()
+        .cell("cycle")
+        .cell("traced")
+        .cell("detected")
+        .cell("installed")
+        .cell("DFSM states")
+        .cell("clauses")
+        .cell("procs");
+    for (size_t C = 0; C < Stats.Cycles.size(); ++C) {
+      const CycleStats &Cycle = Stats.Cycles[C];
+      Out.row()
+          .cell(uint64_t{C})
+          .cell(uint64_t{Cycle.TracedRefs})
+          .cell(uint64_t{Cycle.HotStreamsDetected})
+          .cell(uint64_t{Cycle.StreamsInstalled})
+          .cell(uint64_t{Cycle.DfsmStates})
+          .cell(uint64_t{Cycle.CheckClausesInjected})
+          .cell(uint64_t{Cycle.ProceduresModified});
+    }
+    Out.print();
+  }
+  return Rt.cycles();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const Options Opts = parseOptions(Argc, Argv);
+  const uint64_t Cycles = runConfigured(Opts, Opts.Mode, /*Report=*/true);
+
+  if (Opts.Compare && Opts.Mode != RunMode::Original) {
+    const uint64_t Original =
+        runConfigured(Opts, RunMode::Original, /*Report=*/false);
+    std::printf("\nvs original: %+.2f%% (%llu -> %llu cycles)\n",
+                100.0 * (static_cast<double>(Cycles) -
+                         static_cast<double>(Original)) /
+                    static_cast<double>(Original),
+                (unsigned long long)Original, (unsigned long long)Cycles);
+  }
+  return 0;
+}
