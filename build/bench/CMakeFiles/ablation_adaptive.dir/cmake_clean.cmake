@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adaptive.dir/ablation_adaptive.cpp.o"
+  "CMakeFiles/ablation_adaptive.dir/ablation_adaptive.cpp.o.d"
+  "ablation_adaptive"
+  "ablation_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_analysis.dir/ablation_analysis.cpp.o"
+  "CMakeFiles/ablation_analysis.dir/ablation_analysis.cpp.o.d"
+  "ablation_analysis"
+  "ablation_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

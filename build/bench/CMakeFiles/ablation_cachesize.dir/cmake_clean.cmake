@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cachesize.dir/ablation_cachesize.cpp.o"
+  "CMakeFiles/ablation_cachesize.dir/ablation_cachesize.cpp.o.d"
+  "ablation_cachesize"
+  "ablation_cachesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cachesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

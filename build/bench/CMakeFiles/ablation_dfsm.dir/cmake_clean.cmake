@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dfsm.dir/ablation_dfsm.cpp.o"
+  "CMakeFiles/ablation_dfsm.dir/ablation_dfsm.cpp.o.d"
+  "ablation_dfsm"
+  "ablation_dfsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dfsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

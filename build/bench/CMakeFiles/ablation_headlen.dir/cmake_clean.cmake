@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_headlen.dir/ablation_headlen.cpp.o"
+  "CMakeFiles/ablation_headlen.dir/ablation_headlen.cpp.o.d"
+  "ablation_headlen"
+  "ablation_headlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_headlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

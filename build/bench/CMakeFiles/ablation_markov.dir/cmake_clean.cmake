@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_markov.dir/ablation_markov.cpp.o"
+  "CMakeFiles/ablation_markov.dir/ablation_markov.cpp.o.d"
+  "ablation_markov"
+  "ablation_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sampling_rate.dir/ablation_sampling_rate.cpp.o"
+  "CMakeFiles/ablation_sampling_rate.dir/ablation_sampling_rate.cpp.o.d"
+  "ablation_sampling_rate"
+  "ablation_sampling_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sampling_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

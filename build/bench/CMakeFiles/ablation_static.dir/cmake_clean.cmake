@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_static.dir/ablation_static.cpp.o"
+  "CMakeFiles/ablation_static.dir/ablation_static.cpp.o.d"
+  "ablation_static"
+  "ablation_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stride.dir/ablation_stride.cpp.o"
+  "CMakeFiles/ablation_stride.dir/ablation_stride.cpp.o.d"
+  "ablation_stride"
+  "ablation_stride.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stride.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

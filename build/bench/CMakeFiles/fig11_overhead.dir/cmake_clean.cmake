@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_overhead.dir/fig11_overhead.cpp.o"
+  "CMakeFiles/fig11_overhead.dir/fig11_overhead.cpp.o.d"
+  "fig11_overhead"
+  "fig11_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

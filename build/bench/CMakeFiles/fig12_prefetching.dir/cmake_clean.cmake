@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_prefetching.dir/fig12_prefetching.cpp.o"
+  "CMakeFiles/fig12_prefetching.dir/fig12_prefetching.cpp.o.d"
+  "fig12_prefetching"
+  "fig12_prefetching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_prefetching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_timeline.dir/fig3_timeline.cpp.o"
+  "CMakeFiles/fig3_timeline.dir/fig3_timeline.cpp.o.d"
+  "fig3_timeline"
+  "fig3_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_analysis_example.cpp" "bench/CMakeFiles/table1_analysis_example.dir/table1_analysis_example.cpp.o" "gcc" "bench/CMakeFiles/table1_analysis_example.dir/table1_analysis_example.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/hds_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfsm/CMakeFiles/hds_dfsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/hds_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/hds_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sequitur/CMakeFiles/hds_sequitur.dir/DependInfo.cmake"
+  "/root/repo/build/src/vulcan/CMakeFiles/hds_vulcan.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/hds_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hds_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_analysis_example.dir/table1_analysis_example.cpp.o"
+  "CMakeFiles/table1_analysis_example.dir/table1_analysis_example.cpp.o.d"
+  "table1_analysis_example"
+  "table1_analysis_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_analysis_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_characterization.dir/table2_characterization.cpp.o"
+  "CMakeFiles/table2_characterization.dir/table2_characterization.cpp.o.d"
+  "table2_characterization"
+  "table2_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

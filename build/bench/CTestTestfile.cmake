@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_fig11_overhead "/root/repo/build/bench/fig11_overhead" "0.02")
+set_tests_properties(bench_smoke_fig11_overhead PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig12_prefetching "/root/repo/build/bench/fig12_prefetching" "0.02")
+set_tests_properties(bench_smoke_fig12_prefetching PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_table2_characterization "/root/repo/build/bench/table2_characterization" "0.02")
+set_tests_properties(bench_smoke_table2_characterization PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation_headlen "/root/repo/build/bench/ablation_headlen" "0.02")
+set_tests_properties(bench_smoke_ablation_headlen PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation_sampling_rate "/root/repo/build/bench/ablation_sampling_rate" "0.02")
+set_tests_properties(bench_smoke_ablation_sampling_rate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation_stride "/root/repo/build/bench/ablation_stride" "0.02")
+set_tests_properties(bench_smoke_ablation_stride PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation_markov "/root/repo/build/bench/ablation_markov" "0.02")
+set_tests_properties(bench_smoke_ablation_markov PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation_static "/root/repo/build/bench/ablation_static" "0.02")
+set_tests_properties(bench_smoke_ablation_static PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation_adaptive "/root/repo/build/bench/ablation_adaptive" "0.02")
+set_tests_properties(bench_smoke_ablation_adaptive PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation_cachesize "/root/repo/build/bench/ablation_cachesize" "0.02")
+set_tests_properties(bench_smoke_ablation_cachesize PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_table1 "/root/repo/build/bench/table1_analysis_example")
+set_tests_properties(bench_smoke_table1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;40;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig3 "/root/repo/build/bench/fig3_timeline")
+set_tests_properties(bench_smoke_fig3 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;41;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_dfsm "/root/repo/build/bench/ablation_dfsm")
+set_tests_properties(bench_smoke_dfsm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;42;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_phases.dir/adaptive_phases.cpp.o"
+  "CMakeFiles/adaptive_phases.dir/adaptive_phases.cpp.o.d"
+  "adaptive_phases"
+  "adaptive_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grammar_explorer.dir/grammar_explorer.cpp.o"
+  "CMakeFiles/grammar_explorer.dir/grammar_explorer.cpp.o.d"
+  "grammar_explorer"
+  "grammar_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grammar_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

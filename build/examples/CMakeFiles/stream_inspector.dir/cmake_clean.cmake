@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_inspector.dir/stream_inspector.cpp.o"
+  "CMakeFiles/stream_inspector.dir/stream_inspector.cpp.o.d"
+  "stream_inspector"
+  "stream_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Coverage.cpp" "src/analysis/CMakeFiles/hds_analysis.dir/Coverage.cpp.o" "gcc" "src/analysis/CMakeFiles/hds_analysis.dir/Coverage.cpp.o.d"
+  "/root/repo/src/analysis/FastAnalyzer.cpp" "src/analysis/CMakeFiles/hds_analysis.dir/FastAnalyzer.cpp.o" "gcc" "src/analysis/CMakeFiles/hds_analysis.dir/FastAnalyzer.cpp.o.d"
+  "/root/repo/src/analysis/PreciseAnalyzer.cpp" "src/analysis/CMakeFiles/hds_analysis.dir/PreciseAnalyzer.cpp.o" "gcc" "src/analysis/CMakeFiles/hds_analysis.dir/PreciseAnalyzer.cpp.o.d"
+  "/root/repo/src/analysis/StreamFilter.cpp" "src/analysis/CMakeFiles/hds_analysis.dir/StreamFilter.cpp.o" "gcc" "src/analysis/CMakeFiles/hds_analysis.dir/StreamFilter.cpp.o.d"
+  "/root/repo/src/analysis/SubpathAnalyzer.cpp" "src/analysis/CMakeFiles/hds_analysis.dir/SubpathAnalyzer.cpp.o" "gcc" "src/analysis/CMakeFiles/hds_analysis.dir/SubpathAnalyzer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sequitur/CMakeFiles/hds_sequitur.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hds_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

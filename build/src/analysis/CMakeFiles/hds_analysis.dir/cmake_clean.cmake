@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hds_analysis.dir/Coverage.cpp.o"
+  "CMakeFiles/hds_analysis.dir/Coverage.cpp.o.d"
+  "CMakeFiles/hds_analysis.dir/FastAnalyzer.cpp.o"
+  "CMakeFiles/hds_analysis.dir/FastAnalyzer.cpp.o.d"
+  "CMakeFiles/hds_analysis.dir/PreciseAnalyzer.cpp.o"
+  "CMakeFiles/hds_analysis.dir/PreciseAnalyzer.cpp.o.d"
+  "CMakeFiles/hds_analysis.dir/StreamFilter.cpp.o"
+  "CMakeFiles/hds_analysis.dir/StreamFilter.cpp.o.d"
+  "CMakeFiles/hds_analysis.dir/SubpathAnalyzer.cpp.o"
+  "CMakeFiles/hds_analysis.dir/SubpathAnalyzer.cpp.o.d"
+  "libhds_analysis.a"
+  "libhds_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hds_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hds_core.dir/DynamicOptimizer.cpp.o"
+  "CMakeFiles/hds_core.dir/DynamicOptimizer.cpp.o.d"
+  "CMakeFiles/hds_core.dir/MarkovPrefetcher.cpp.o"
+  "CMakeFiles/hds_core.dir/MarkovPrefetcher.cpp.o.d"
+  "CMakeFiles/hds_core.dir/PrefetchEngine.cpp.o"
+  "CMakeFiles/hds_core.dir/PrefetchEngine.cpp.o.d"
+  "CMakeFiles/hds_core.dir/Runtime.cpp.o"
+  "CMakeFiles/hds_core.dir/Runtime.cpp.o.d"
+  "CMakeFiles/hds_core.dir/StridePrefetcher.cpp.o"
+  "CMakeFiles/hds_core.dir/StridePrefetcher.cpp.o.d"
+  "libhds_core.a"
+  "libhds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

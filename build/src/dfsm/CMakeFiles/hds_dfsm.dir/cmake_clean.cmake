@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hds_dfsm.dir/CheckCodeGen.cpp.o"
+  "CMakeFiles/hds_dfsm.dir/CheckCodeGen.cpp.o.d"
+  "CMakeFiles/hds_dfsm.dir/Matchers.cpp.o"
+  "CMakeFiles/hds_dfsm.dir/Matchers.cpp.o.d"
+  "CMakeFiles/hds_dfsm.dir/PrefixDfsm.cpp.o"
+  "CMakeFiles/hds_dfsm.dir/PrefixDfsm.cpp.o.d"
+  "libhds_dfsm.a"
+  "libhds_dfsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hds_dfsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

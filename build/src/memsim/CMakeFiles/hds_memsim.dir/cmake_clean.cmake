@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hds_memsim.dir/Cache.cpp.o"
+  "CMakeFiles/hds_memsim.dir/Cache.cpp.o.d"
+  "CMakeFiles/hds_memsim.dir/MemoryHierarchy.cpp.o"
+  "CMakeFiles/hds_memsim.dir/MemoryHierarchy.cpp.o.d"
+  "libhds_memsim.a"
+  "libhds_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hds_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiling/BurstyTracer.cpp" "src/profiling/CMakeFiles/hds_profiling.dir/BurstyTracer.cpp.o" "gcc" "src/profiling/CMakeFiles/hds_profiling.dir/BurstyTracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sequitur/CMakeFiles/hds_sequitur.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/hds_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hds_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hds_profiling.dir/BurstyTracer.cpp.o"
+  "CMakeFiles/hds_profiling.dir/BurstyTracer.cpp.o.d"
+  "libhds_profiling.a"
+  "libhds_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hds_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

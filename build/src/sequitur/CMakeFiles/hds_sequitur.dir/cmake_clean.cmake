@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hds_sequitur.dir/Grammar.cpp.o"
+  "CMakeFiles/hds_sequitur.dir/Grammar.cpp.o.d"
+  "libhds_sequitur.a"
+  "libhds_sequitur.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hds_sequitur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hds_sequitur.
+# This may be replaced when dependencies are built.

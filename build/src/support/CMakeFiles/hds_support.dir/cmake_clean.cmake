@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hds_support.dir/Table.cpp.o"
+  "CMakeFiles/hds_support.dir/Table.cpp.o.d"
+  "libhds_support.a"
+  "libhds_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hds_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

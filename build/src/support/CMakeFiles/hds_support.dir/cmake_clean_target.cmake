@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhds_support.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hds_vulcan.dir/Image.cpp.o"
+  "CMakeFiles/hds_vulcan.dir/Image.cpp.o.d"
+  "libhds_vulcan.a"
+  "libhds_vulcan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hds_vulcan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Boxsim.cpp" "src/workloads/CMakeFiles/hds_workloads.dir/Boxsim.cpp.o" "gcc" "src/workloads/CMakeFiles/hds_workloads.dir/Boxsim.cpp.o.d"
+  "/root/repo/src/workloads/ChainNoiseWorkload.cpp" "src/workloads/CMakeFiles/hds_workloads.dir/ChainNoiseWorkload.cpp.o" "gcc" "src/workloads/CMakeFiles/hds_workloads.dir/ChainNoiseWorkload.cpp.o.d"
+  "/root/repo/src/workloads/ChainSet.cpp" "src/workloads/CMakeFiles/hds_workloads.dir/ChainSet.cpp.o" "gcc" "src/workloads/CMakeFiles/hds_workloads.dir/ChainSet.cpp.o.d"
+  "/root/repo/src/workloads/Mcf.cpp" "src/workloads/CMakeFiles/hds_workloads.dir/Mcf.cpp.o" "gcc" "src/workloads/CMakeFiles/hds_workloads.dir/Mcf.cpp.o.d"
+  "/root/repo/src/workloads/NoiseRegion.cpp" "src/workloads/CMakeFiles/hds_workloads.dir/NoiseRegion.cpp.o" "gcc" "src/workloads/CMakeFiles/hds_workloads.dir/NoiseRegion.cpp.o.d"
+  "/root/repo/src/workloads/Parser.cpp" "src/workloads/CMakeFiles/hds_workloads.dir/Parser.cpp.o" "gcc" "src/workloads/CMakeFiles/hds_workloads.dir/Parser.cpp.o.d"
+  "/root/repo/src/workloads/TwoPhase.cpp" "src/workloads/CMakeFiles/hds_workloads.dir/TwoPhase.cpp.o" "gcc" "src/workloads/CMakeFiles/hds_workloads.dir/TwoPhase.cpp.o.d"
+  "/root/repo/src/workloads/Twolf.cpp" "src/workloads/CMakeFiles/hds_workloads.dir/Twolf.cpp.o" "gcc" "src/workloads/CMakeFiles/hds_workloads.dir/Twolf.cpp.o.d"
+  "/root/repo/src/workloads/Vortex.cpp" "src/workloads/CMakeFiles/hds_workloads.dir/Vortex.cpp.o" "gcc" "src/workloads/CMakeFiles/hds_workloads.dir/Vortex.cpp.o.d"
+  "/root/repo/src/workloads/Vpr.cpp" "src/workloads/CMakeFiles/hds_workloads.dir/Vpr.cpp.o" "gcc" "src/workloads/CMakeFiles/hds_workloads.dir/Vpr.cpp.o.d"
+  "/root/repo/src/workloads/Workload.cpp" "src/workloads/CMakeFiles/hds_workloads.dir/Workload.cpp.o" "gcc" "src/workloads/CMakeFiles/hds_workloads.dir/Workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfsm/CMakeFiles/hds_dfsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/hds_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/hds_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sequitur/CMakeFiles/hds_sequitur.dir/DependInfo.cmake"
+  "/root/repo/build/src/vulcan/CMakeFiles/hds_vulcan.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/hds_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hds_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

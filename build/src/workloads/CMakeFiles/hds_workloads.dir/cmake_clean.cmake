@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hds_workloads.dir/Boxsim.cpp.o"
+  "CMakeFiles/hds_workloads.dir/Boxsim.cpp.o.d"
+  "CMakeFiles/hds_workloads.dir/ChainNoiseWorkload.cpp.o"
+  "CMakeFiles/hds_workloads.dir/ChainNoiseWorkload.cpp.o.d"
+  "CMakeFiles/hds_workloads.dir/ChainSet.cpp.o"
+  "CMakeFiles/hds_workloads.dir/ChainSet.cpp.o.d"
+  "CMakeFiles/hds_workloads.dir/Mcf.cpp.o"
+  "CMakeFiles/hds_workloads.dir/Mcf.cpp.o.d"
+  "CMakeFiles/hds_workloads.dir/NoiseRegion.cpp.o"
+  "CMakeFiles/hds_workloads.dir/NoiseRegion.cpp.o.d"
+  "CMakeFiles/hds_workloads.dir/Parser.cpp.o"
+  "CMakeFiles/hds_workloads.dir/Parser.cpp.o.d"
+  "CMakeFiles/hds_workloads.dir/TwoPhase.cpp.o"
+  "CMakeFiles/hds_workloads.dir/TwoPhase.cpp.o.d"
+  "CMakeFiles/hds_workloads.dir/Twolf.cpp.o"
+  "CMakeFiles/hds_workloads.dir/Twolf.cpp.o.d"
+  "CMakeFiles/hds_workloads.dir/Vortex.cpp.o"
+  "CMakeFiles/hds_workloads.dir/Vortex.cpp.o.d"
+  "CMakeFiles/hds_workloads.dir/Vpr.cpp.o"
+  "CMakeFiles/hds_workloads.dir/Vpr.cpp.o.d"
+  "CMakeFiles/hds_workloads.dir/Workload.cpp.o"
+  "CMakeFiles/hds_workloads.dir/Workload.cpp.o.d"
+  "libhds_workloads.a"
+  "libhds_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hds_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfsm_test.dir/dfsm_test.cpp.o"
+  "CMakeFiles/dfsm_test.dir/dfsm_test.cpp.o.d"
+  "dfsm_test"
+  "dfsm_test.pdb"
+  "dfsm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetchers_test.dir/prefetchers_test.cpp.o"
+  "CMakeFiles/prefetchers_test.dir/prefetchers_test.cpp.o.d"
+  "prefetchers_test"
+  "prefetchers_test.pdb"
+  "prefetchers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetchers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiling_test.dir/profiling_test.cpp.o"
+  "CMakeFiles/profiling_test.dir/profiling_test.cpp.o.d"
+  "profiling_test"
+  "profiling_test.pdb"
+  "profiling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequitur_test.dir/sequitur_test.cpp.o"
+  "CMakeFiles/sequitur_test.dir/sequitur_test.cpp.o.d"
+  "sequitur_test"
+  "sequitur_test.pdb"
+  "sequitur_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequitur_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subpath_test.dir/subpath_test.cpp.o"
+  "CMakeFiles/subpath_test.dir/subpath_test.cpp.o.d"
+  "subpath_test"
+  "subpath_test.pdb"
+  "subpath_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subpath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vulcan_test.dir/vulcan_test.cpp.o"
+  "CMakeFiles/vulcan_test.dir/vulcan_test.cpp.o.d"
+  "vulcan_test"
+  "vulcan_test.pdb"
+  "vulcan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vulcan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

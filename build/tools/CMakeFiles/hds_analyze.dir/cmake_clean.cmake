@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hds_analyze.dir/hds_analyze.cpp.o"
+  "CMakeFiles/hds_analyze.dir/hds_analyze.cpp.o.d"
+  "hds_analyze"
+  "hds_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hds_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

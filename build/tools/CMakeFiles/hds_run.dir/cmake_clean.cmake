@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hds_run.dir/hds_run.cpp.o"
+  "CMakeFiles/hds_run.dir/hds_run.cpp.o.d"
+  "hds_run"
+  "hds_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hds_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_hds_run "/root/repo/build/tools/hds_run" "--workload" "parser" "--mode" "dynpref" "--iterations" "600" "--compare")
+set_tests_properties(tool_hds_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_hds_analyze "sh" "-c" "printf 'a b c a b c a b c x y a b c a b c\\n' | /root/repo/build/tools/hds_analyze --minlen 3 --heat 6 --precise --dfsm")
+set_tests_properties(tool_hds_analyze PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_trace_roundtrip "sh" "-c" "/root/repo/build/tools/hds_run --workload vpr --mode original --iterations 40 --dump-trace trace_roundtrip.txt >/dev/null && /root/repo/build/tools/hds_analyze --minlen 10 trace_roundtrip.txt && rm -f trace_roundtrip.txt")
+set_tests_properties(tool_trace_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
