@@ -1,0 +1,25 @@
+#!/bin/sh
+# Builds and runs the test suite.
+#
+# By default only tier1 runs: the fast unit/property/smoke tests that
+# gate every change (~1 minute).  --full adds tier2, the 50-seed
+# differential fuzzing sweep (hds_fuzz through the grammar, analyzer,
+# and DFSM oracles).  See docs/testing.md for the tier definitions.
+#
+# Usage: scripts/check.sh [--full]
+set -e
+cd "$(dirname "$0")/.."
+
+LABELS="tier1"
+if [ "$1" = "--full" ]; then
+  LABELS="tier1|tier2"
+elif [ -n "$1" ]; then
+  echo "usage: $0 [--full]" >&2
+  exit 1
+fi
+
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc 2>/dev/null || echo 4)"
+
+ctest --test-dir build --output-on-failure -j"$(nproc 2>/dev/null || echo 4)" \
+      -L "$LABELS"

@@ -11,6 +11,19 @@
 using namespace hds;
 using namespace hds::core;
 
+RuntimeObserver::~RuntimeObserver() = default;
+void RuntimeObserver::onDeclareProcedure(vulcan::ProcId, const std::string &) {
+}
+void RuntimeObserver::onDeclareSite(vulcan::SiteId, vulcan::ProcId,
+                                    const std::string &) {}
+void RuntimeObserver::onAllocate(memsim::Addr, uint64_t, uint64_t) {}
+void RuntimeObserver::onPadHeap(uint64_t) {}
+void RuntimeObserver::onEnterProcedure(vulcan::ProcId) {}
+void RuntimeObserver::onLeaveProcedure() {}
+void RuntimeObserver::onLoopBackEdge() {}
+void RuntimeObserver::onAccess(vulcan::SiteId, memsim::Addr, bool) {}
+void RuntimeObserver::onCompute(uint64_t) {}
+
 profiling::BurstyTracingConfig
 Runtime::effectiveTracingConfig(const OptimizerConfig &Config) {
   profiling::BurstyTracingConfig Tracing = Config.Tracing;
@@ -37,11 +50,17 @@ Runtime::Runtime(const OptimizerConfig &Config)
 }
 
 vulcan::ProcId Runtime::declareProcedure(std::string Name) {
-  return TheImage.createProcedure(std::move(Name));
+  const vulcan::ProcId Proc = TheImage.createProcedure(Name);
+  if (Observer)
+    Observer->onDeclareProcedure(Proc, Name);
+  return Proc;
 }
 
 vulcan::SiteId Runtime::declareSite(vulcan::ProcId Proc, std::string Label) {
-  return TheImage.createSite(Proc, std::move(Label));
+  const vulcan::SiteId Site = TheImage.createSite(Proc, Label);
+  if (Observer)
+    Observer->onDeclareSite(Site, Proc, Label);
+  return Site;
 }
 
 memsim::Addr Runtime::allocate(uint64_t Bytes, uint64_t Align) {
@@ -49,10 +68,16 @@ memsim::Addr Runtime::allocate(uint64_t Bytes, uint64_t Align) {
   HeapBreak = (HeapBreak + Align - 1) & ~(Align - 1);
   const memsim::Addr Result = HeapBreak;
   HeapBreak += Bytes;
+  if (Observer)
+    Observer->onAllocate(Result, Bytes, Align);
   return Result;
 }
 
-void Runtime::padHeap(uint64_t Bytes) { HeapBreak += Bytes; }
+void Runtime::padHeap(uint64_t Bytes) {
+  HeapBreak += Bytes;
+  if (Observer)
+    Observer->onPadHeap(Bytes);
+}
 
 bool Runtime::currentFrameIsFresh() const {
   if (CallStack.empty())
@@ -74,18 +99,28 @@ void Runtime::dynamicCheck() {
 }
 
 void Runtime::enterProcedure(vulcan::ProcId Proc) {
+  if (Observer)
+    Observer->onEnterProcedure(Proc);
   CallStack.push_back({Proc, TheImage.codeVersion(Proc)});
   dynamicCheck();
 }
 
 void Runtime::leaveProcedure() {
   assert(!CallStack.empty() && "leaveProcedure without enterProcedure");
+  if (Observer)
+    Observer->onLeaveProcedure();
   CallStack.pop_back();
 }
 
-void Runtime::loopBackEdge() { dynamicCheck(); }
+void Runtime::loopBackEdge() {
+  if (Observer)
+    Observer->onLoopBackEdge();
+  dynamicCheck();
+}
 
-void Runtime::access(vulcan::SiteId Site, memsim::Addr Addr) {
+void Runtime::access(vulcan::SiteId Site, memsim::Addr Addr, bool IsStore) {
+  if (Observer)
+    Observer->onAccess(Site, Addr, IsStore);
   ++Stats.TotalAccesses;
   const uint64_t Latency = Hierarchy.access(Addr);
 

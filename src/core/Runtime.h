@@ -65,6 +65,31 @@
 namespace hds {
 namespace core {
 
+/// Observer of every Runtime API event, in program order.  The trace
+/// record/replay subsystem (src/replay) implements this to capture a run
+/// as a re-executable event stream; the callbacks cover exactly the public
+/// Runtime surface, so replaying them through a fresh Runtime reproduces
+/// the original simulation state transition for transition.  Costs one
+/// branch per event when no observer is installed.
+class RuntimeObserver {
+public:
+  virtual ~RuntimeObserver();
+
+  virtual void onDeclareProcedure(vulcan::ProcId Proc,
+                                  const std::string &Name);
+  virtual void onDeclareSite(vulcan::SiteId Site, vulcan::ProcId Proc,
+                             const std::string &Label);
+  virtual void onAllocate(memsim::Addr Result, uint64_t Bytes,
+                          uint64_t Align);
+  virtual void onPadHeap(uint64_t Bytes);
+  virtual void onEnterProcedure(vulcan::ProcId Proc);
+  virtual void onLeaveProcedure();
+  virtual void onLoopBackEdge();
+  virtual void onAccess(vulcan::SiteId Site, memsim::Addr Addr,
+                        bool IsStore);
+  virtual void onCompute(uint64_t Cycles);
+};
+
 /// The mediated execution environment.
 class Runtime {
 public:
@@ -110,11 +135,19 @@ public:
 
   /// Data references.  Loads and stores are modelled alike (a data
   /// reference is "a load or store of a particular address", §2.1).
-  void load(vulcan::SiteId Site, memsim::Addr Addr) { access(Site, Addr); }
-  void store(vulcan::SiteId Site, memsim::Addr Addr) { access(Site, Addr); }
+  void load(vulcan::SiteId Site, memsim::Addr Addr) {
+    access(Site, Addr, /*IsStore=*/false);
+  }
+  void store(vulcan::SiteId Site, memsim::Addr Addr) {
+    access(Site, Addr, /*IsStore=*/true);
+  }
 
   /// Pure computation taking \p Cycles cycles.
-  void compute(uint64_t Cycles) { Hierarchy.tick(Cycles); }
+  void compute(uint64_t Cycles) {
+    Hierarchy.tick(Cycles);
+    if (Observer)
+      Observer->onCompute(Cycles);
+  }
   /// @}
 
   /// \name Results and component access.
@@ -145,6 +178,10 @@ public:
     AccessObserver = std::move(Observer);
   }
 
+  /// Installs (or, with nullptr, removes) the full-event observer.  Not
+  /// owned; must outlive its installation.
+  void setObserver(RuntimeObserver *NewObserver) { Observer = NewObserver; }
+
   /// RAII procedure activation.
   class ProcedureScope {
   public:
@@ -166,7 +203,7 @@ private:
   };
 
   /// Shared load/store path.
-  void access(vulcan::SiteId Site, memsim::Addr Addr);
+  void access(vulcan::SiteId Site, memsim::Addr Addr, bool IsStore);
 
   /// One dynamic check (procedure entry or loop back-edge).
   void dynamicCheck();
@@ -187,6 +224,7 @@ private:
   std::unique_ptr<StridePrefetcher> Stride;
   std::unique_ptr<MarkovPrefetcher> Markov;
   std::function<void(vulcan::SiteId, memsim::Addr)> AccessObserver;
+  RuntimeObserver *Observer = nullptr;
   std::vector<Frame> CallStack;
   memsim::Addr HeapBreak;
 };

@@ -1,0 +1,79 @@
+//===- replay/TraceRecorder.h - Runtime event capture ----------*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Captures a benchmark run as a replayable Trace via the Runtime's
+/// observer hook.  Usage mirrors the Workload protocol:
+///
+/// \code
+///   replay::TraceRecorder Recorder(
+///       replay::metaFromConfig(Config, "vpr", Iterations));
+///   Rt.setObserver(&Recorder);
+///   Bench->setup(Rt);
+///   Recorder.markSetupDone();
+///   Bench->run(Rt, Iterations);
+///   Rt.setObserver(nullptr);
+///   Recorder.finish(Rt);                 // snapshot the summary footer
+///   replay::writeTraceFile(Recorder.trace(), "run.hdstrace");
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_REPLAY_TRACERECORDER_H
+#define HDS_REPLAY_TRACERECORDER_H
+
+#include "core/Runtime.h"
+#include "replay/TraceFormat.h"
+
+namespace hds {
+namespace replay {
+
+/// Builds the trace meta block from the configuration knobs hds_run
+/// exposes; \p Workload and \p Iterations label the recorded run.
+TraceMeta metaFromConfig(const core::OptimizerConfig &Config,
+                         std::string Workload, uint64_t Iterations);
+
+/// Snapshots a run's observable outcome into a summary footer.
+TraceSummary summarizeRun(const core::Runtime &Rt);
+
+/// RuntimeObserver that appends every event to an in-memory Trace.
+class TraceRecorder : public core::RuntimeObserver {
+public:
+  explicit TraceRecorder(TraceMeta Meta);
+
+  /// Records the setup/run boundary so the replayer can honour the
+  /// Workload protocol exactly.
+  void markSetupDone();
+
+  /// Captures the summary footer; call after the run completes (and after
+  /// detaching the observer, though recording ignores its own reads).
+  void finish(const core::Runtime &Rt);
+
+  const Trace &trace() const { return T; }
+  Trace takeTrace() { return std::move(T); }
+
+  void onDeclareProcedure(vulcan::ProcId Proc,
+                          const std::string &Name) override;
+  void onDeclareSite(vulcan::SiteId Site, vulcan::ProcId Proc,
+                     const std::string &Label) override;
+  void onAllocate(memsim::Addr Result, uint64_t Bytes,
+                  uint64_t Align) override;
+  void onPadHeap(uint64_t Bytes) override;
+  void onEnterProcedure(vulcan::ProcId Proc) override;
+  void onLeaveProcedure() override;
+  void onLoopBackEdge() override;
+  void onAccess(vulcan::SiteId Site, memsim::Addr Addr,
+                bool IsStore) override;
+  void onCompute(uint64_t Cycles) override;
+
+private:
+  Trace T;
+};
+
+} // namespace replay
+} // namespace hds
+
+#endif // HDS_REPLAY_TRACERECORDER_H

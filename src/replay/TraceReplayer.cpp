@@ -1,0 +1,125 @@
+//===- replay/TraceReplayer.cpp - Deterministic trace replay --------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "replay/TraceReplayer.h"
+
+#include "replay/TraceRecorder.h"
+#include "support/Table.h"
+
+using namespace hds;
+using namespace hds::replay;
+
+core::OptimizerConfig hds::replay::configFromMeta(const TraceMeta &Meta) {
+  core::OptimizerConfig Config;
+  Config.Mode = Meta.Mode;
+  Config.Dfsm.HeadLength = Meta.HeadLength;
+  Config.EnableStridePrefetcher = Meta.Stride;
+  Config.EnableMarkovPrefetcher = Meta.Markov;
+  Config.PinFirstOptimization = Meta.Pin;
+  return Config;
+}
+
+void ReplayWorkload::noteMismatch(size_t Index, const std::string &Why) {
+  ++Mismatches;
+  if (FirstMismatch.empty())
+    FirstMismatch =
+        formatString("event %zu: ", Index) + Why;
+}
+
+void ReplayWorkload::replayRange(core::Runtime &Rt, size_t Begin,
+                                 size_t End) {
+  for (size_t I = Begin; I < End; ++I) {
+    const TraceEvent &E = T.Events[I];
+    switch (E.K) {
+    case TraceEvent::Kind::DeclareProcedure: {
+      const vulcan::ProcId Proc = Rt.declareProcedure(E.Text);
+      if (Proc != E.A)
+        noteMismatch(I, formatString("procedure '%s' got id %llu, "
+                                     "recorded %llu",
+                                     E.Text.c_str(), (unsigned long long)Proc,
+                                     (unsigned long long)E.A));
+      break;
+    }
+    case TraceEvent::Kind::DeclareSite: {
+      const vulcan::SiteId Site =
+          Rt.declareSite(static_cast<vulcan::ProcId>(E.B), E.Text);
+      if (Site != E.A)
+        noteMismatch(I, formatString("site '%s' got id %llu, recorded %llu",
+                                     E.Text.c_str(), (unsigned long long)Site,
+                                     (unsigned long long)E.A));
+      break;
+    }
+    case TraceEvent::Kind::Allocate: {
+      const memsim::Addr Addr = Rt.allocate(E.A, E.B);
+      if (Addr != E.C)
+        noteMismatch(I, formatString("allocation of %llu bytes landed at "
+                                     "%llx, recorded %llx",
+                                     (unsigned long long)E.A,
+                                     (unsigned long long)Addr,
+                                     (unsigned long long)E.C));
+      break;
+    }
+    case TraceEvent::Kind::PadHeap:
+      Rt.padHeap(E.A);
+      break;
+    case TraceEvent::Kind::EnterProcedure:
+      Rt.enterProcedure(static_cast<vulcan::ProcId>(E.A));
+      break;
+    case TraceEvent::Kind::LeaveProcedure:
+      Rt.leaveProcedure();
+      break;
+    case TraceEvent::Kind::LoopBackEdge:
+      Rt.loopBackEdge();
+      break;
+    case TraceEvent::Kind::Load:
+      Rt.load(E.A, E.B);
+      break;
+    case TraceEvent::Kind::Store:
+      Rt.store(E.A, E.B);
+      break;
+    case TraceEvent::Kind::Compute:
+      Rt.compute(E.A);
+      break;
+    case TraceEvent::Kind::SetupDone:
+      break; // boundary marker only; consumed by setup()/run() split
+    }
+  }
+}
+
+void ReplayWorkload::setup(core::Runtime &Rt) {
+  SetupEnd = T.Events.size();
+  for (size_t I = 0; I < T.Events.size(); ++I) {
+    if (T.Events[I].K == TraceEvent::Kind::SetupDone) {
+      SetupEnd = I;
+      break;
+    }
+  }
+  replayRange(Rt, 0, SetupEnd);
+}
+
+void ReplayWorkload::run(core::Runtime &Rt, uint64_t /*Iterations*/) {
+  const size_t Begin =
+      SetupEnd < T.Events.size() ? SetupEnd + 1 : T.Events.size();
+  replayRange(Rt, Begin, T.Events.size());
+}
+
+ReplayResult hds::replay::replayTrace(const Trace &T) {
+  core::Runtime Rt(configFromMeta(T.Meta));
+  ReplayWorkload Replay(T);
+  Replay.setup(Rt);
+  Replay.run(Rt, /*Iterations=*/1);
+
+  ReplayResult Result;
+  Result.Replayed = summarizeRun(Rt);
+  Result.EventMismatches = Replay.eventMismatches();
+  Result.SummaryMatches =
+      Result.Replayed == T.Summary && Result.EventMismatches == 0;
+  if (Result.EventMismatches != 0)
+    Result.Divergence = Replay.firstMismatch();
+  else if (!(Result.Replayed == T.Summary))
+    Result.Divergence = describeSummaryDivergence(T.Summary, Result.Replayed);
+  return Result;
+}

@@ -1,0 +1,84 @@
+//===- replay/TraceReplayer.h - Deterministic trace replay -----*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Re-executes a recorded Trace through a fresh Runtime.  The replayer is
+/// itself a Workload: setup() replays the events up to the SetupDone
+/// marker, run() replays the rest.  Because every simulator component is
+/// deterministic, a faithful replay lands on the exact cycle count, cache
+/// miss counts, and optimization behaviour of the recorded run — and
+/// replayTrace() checks that it did, field by field.
+///
+/// Replay also cross-checks the Runtime's own outputs against the
+/// recording as it goes: declared procedure/site ids and allocator
+/// addresses must come back identical, so any drift is caught at the
+/// first diverging event rather than only in the final summary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_REPLAY_TRACEREPLAYER_H
+#define HDS_REPLAY_TRACEREPLAYER_H
+
+#include "replay/TraceFormat.h"
+#include "workloads/Workload.h"
+
+namespace hds {
+namespace replay {
+
+/// Rebuilds the OptimizerConfig the recorded run used (the inverse of
+/// metaFromConfig).
+core::OptimizerConfig configFromMeta(const TraceMeta &Meta);
+
+/// A Workload that re-executes a recorded event stream.
+class ReplayWorkload : public workloads::Workload {
+public:
+  explicit ReplayWorkload(const Trace &T) : T(T) {}
+
+  const char *name() const override { return "replay"; }
+
+  /// Replays events up to (and consuming) the SetupDone marker.
+  void setup(core::Runtime &Rt) override;
+
+  /// Replays the remaining events.  \p Iterations is ignored: the trace
+  /// already contains the full recorded run.
+  void run(core::Runtime &Rt, uint64_t Iterations) override;
+
+  uint64_t defaultIterations() const override { return 1; }
+
+  /// Events whose Runtime-produced outputs (declared ids, allocation
+  /// addresses) disagreed with the recording.
+  uint64_t eventMismatches() const { return Mismatches; }
+
+  /// Description of the first diverging event; empty when faithful.
+  const std::string &firstMismatch() const { return FirstMismatch; }
+
+private:
+  void replayRange(core::Runtime &Rt, size_t Begin, size_t End);
+  void noteMismatch(size_t Index, const std::string &Why);
+
+  const Trace &T;
+  size_t SetupEnd = 0;
+  uint64_t Mismatches = 0;
+  std::string FirstMismatch;
+};
+
+/// Outcome of replaying a trace end to end.
+struct ReplayResult {
+  TraceSummary Replayed;
+  bool SummaryMatches = false;
+  uint64_t EventMismatches = 0;
+  /// Human-readable account of any divergence; empty on a perfect replay.
+  std::string Divergence;
+};
+
+/// Replays \p T through a fresh Runtime built from its meta block and
+/// compares the outcome against the recorded summary footer.
+ReplayResult replayTrace(const Trace &T);
+
+} // namespace replay
+} // namespace hds
+
+#endif // HDS_REPLAY_TRACEREPLAYER_H

@@ -435,3 +435,24 @@ bool Grammar::rulesAreNonTrivialHolds() const {
       return false;
   return true;
 }
+
+bool Grammar::checkInvariants(std::string *Error) const {
+  auto Fail = [&](const char *Why) {
+    if (Error)
+      *Error = Why;
+    return false;
+  };
+  if (!digramUniquenessHolds())
+    return Fail("digram uniqueness violated: some adjacent symbol pair "
+                "occurs twice");
+  if (!ruleUtilityHolds())
+    return Fail("rule utility violated: a non-start rule is used fewer "
+                "than twice or a refcount is stale");
+  if (!rulesAreNonTrivialHolds())
+    return Fail("non-trivial rules violated: a rule body has fewer than "
+                "two symbols");
+  if (expandRule(*Start).size() != InputLength)
+    return Fail("start rule expansion length differs from the number of "
+                "appended terminals");
+  return true;
+}

@@ -181,6 +181,14 @@ public:
 
   /// True iff every rule body has at least two symbols.
   bool rulesAreNonTrivialHolds() const;
+
+  /// Checks every grammar invariant at once: digram uniqueness, rule
+  /// utility, non-trivial rules, and that the start rule expands to
+  /// exactly inputLength() terminals.  On failure names the violated
+  /// invariant in \p Error (when non-null).  This is the hook the
+  /// differential-testing oracles and the trace fuzzer call after every
+  /// batch of appends.
+  bool checkInvariants(std::string *Error = nullptr) const;
   /// @}
 
 private:

@@ -1,0 +1,137 @@
+//===- testing/TraceGen.cpp - Seeded adversarial trace generator ----------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/TraceGen.h"
+
+#include "support/Rng.h"
+
+using namespace hds;
+using namespace hds::testing;
+
+namespace {
+
+/// Emits one randomly built motif of \p Length symbols drawn from
+/// [Base, Base + Vocab).
+std::vector<uint32_t> makeMotif(Rng &R, uint32_t Base,
+                                uint64_t Vocab, uint64_t Length) {
+  std::vector<uint32_t> Motif;
+  Motif.reserve(Length);
+  for (uint64_t I = 0; I < Length; ++I)
+    Motif.push_back(Base + static_cast<uint32_t>(R.nextBelow(Vocab)));
+  return Motif;
+}
+
+void appendMotif(std::vector<uint32_t> &Out,
+                 const std::vector<uint32_t> &Motif) {
+  Out.insert(Out.end(), Motif.begin(), Motif.end());
+}
+
+std::vector<uint32_t> hotLoops(Rng &R) {
+  // 2-4 motifs of length 3-12, interleaved with occasional noise symbols.
+  const uint64_t MotifCount = R.nextInRange(2, 4);
+  std::vector<std::vector<uint32_t>> Motifs;
+  for (uint64_t M = 0; M < MotifCount; ++M)
+    Motifs.push_back(makeMotif(R, 0, 24, R.nextInRange(3, 12)));
+
+  std::vector<uint32_t> Trace;
+  const uint64_t Bursts = R.nextInRange(120, 400);
+  for (uint64_t B = 0; B < Bursts; ++B) {
+    appendMotif(Trace, Motifs[R.nextBelow(MotifCount)]);
+    if (R.nextBool(0.15))
+      Trace.push_back(1000 + static_cast<uint32_t>(R.nextBelow(64)));
+  }
+  return Trace;
+}
+
+std::vector<uint32_t> phaseShifts(Rng &R) {
+  // Each phase has its own motif vocabulary; the analyzer must not blend
+  // heat across phases.
+  std::vector<uint32_t> Trace;
+  const uint64_t Phases = R.nextInRange(2, 5);
+  for (uint64_t P = 0; P < Phases; ++P) {
+    const uint32_t Base = static_cast<uint32_t>(P * 100);
+    std::vector<uint32_t> Motif =
+        makeMotif(R, Base, 16, R.nextInRange(4, 10));
+    const uint64_t Repeats = R.nextInRange(60, 200);
+    for (uint64_t I = 0; I < Repeats; ++I)
+      appendMotif(Trace, Motif);
+  }
+  return Trace;
+}
+
+std::vector<uint32_t> noiseFlood(Rng &R) {
+  // One genuinely hot motif drowned in mostly-unique references; unique
+  // ids count up so nothing outside the motif ever recurs.
+  std::vector<uint32_t> Motif = makeMotif(R, 0, 12, R.nextInRange(3, 8));
+  std::vector<uint32_t> Trace;
+  uint32_t NextUnique = 1u << 16;
+  const uint64_t Steps = R.nextInRange(400, 1200);
+  for (uint64_t I = 0; I < Steps; ++I) {
+    if (R.nextBool(0.3))
+      appendMotif(Trace, Motif);
+    else
+      Trace.push_back(NextUnique++);
+  }
+  return Trace;
+}
+
+std::vector<uint32_t> regexRecurrence(Rng &R) {
+  // Self-similar nested repetition (a^k b)^m interleaved with re-entrant
+  // heads like aab — worst cases for digram handling (aaa runs) and for
+  // single-candidate prefix matching.
+  std::vector<uint32_t> Trace;
+  const uint32_t A = static_cast<uint32_t>(R.nextBelow(4));
+  const uint32_t B = 8 + static_cast<uint32_t>(R.nextBelow(4));
+  const uint64_t Outer = R.nextInRange(40, 150);
+  for (uint64_t O = 0; O < Outer; ++O) {
+    const uint64_t RunLength = R.nextInRange(1, 6);
+    for (uint64_t I = 0; I < RunLength; ++I)
+      Trace.push_back(A);
+    Trace.push_back(B);
+    if (R.nextBool(0.25)) {
+      // aab-style re-entrant head.
+      Trace.push_back(A);
+      Trace.push_back(A);
+      Trace.push_back(B);
+    }
+  }
+  return Trace;
+}
+
+} // namespace
+
+TraceShape hds::testing::shapeForSeed(uint64_t Seed) {
+  return static_cast<TraceShape>(Seed % 4);
+}
+
+const char *hds::testing::shapeName(TraceShape Shape) {
+  switch (Shape) {
+  case TraceShape::HotLoops:
+    return "hot-loops";
+  case TraceShape::PhaseShifts:
+    return "phase-shifts";
+  case TraceShape::NoiseFlood:
+    return "noise-flood";
+  case TraceShape::RegexRecurrence:
+    return "regex-recurrence";
+  }
+  return "unknown";
+}
+
+std::vector<uint32_t> hds::testing::generateTrace(uint64_t Seed) {
+  Rng R(Seed * 0x9E3779B97F4A7C15ULL + 1);
+  switch (shapeForSeed(Seed)) {
+  case TraceShape::HotLoops:
+    return hotLoops(R);
+  case TraceShape::PhaseShifts:
+    return phaseShifts(R);
+  case TraceShape::NoiseFlood:
+    return noiseFlood(R);
+  case TraceShape::RegexRecurrence:
+    return regexRecurrence(R);
+  }
+  return {};
+}

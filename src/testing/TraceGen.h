@@ -1,0 +1,62 @@
+//===- testing/TraceGen.h - Seeded adversarial trace generator -*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic generator of adversarial reference traces for the
+/// differential-testing oracles (src/replay/Oracles.h).  Every trace is a
+/// pure function of its seed, so a failing fuzzer seed reproduces exactly
+/// (docs/testing.md explains the workflow).
+///
+/// The shapes target the pipeline's soft spots:
+///
+///  * HotLoops — a few short sequences repeated many times, the paper's
+///    bread and butter; stresses Sequitur rule formation and the heat
+///    accounting.
+///  * PhaseShifts — the hot vocabulary changes abruptly partway through,
+///    like a program changing phases; stresses cold-use attribution when
+///    several rule families coexist.
+///  * NoiseFlood — hot streams buried in a majority of unique one-off
+///    references; stresses thresholding and digram index churn.
+///  * RegexRecurrence — overlapping, self-similar patterns (aab-style
+///    re-entrant heads, nested repetitions a^k b a^k); stresses digram
+///    uniqueness corner cases and the DFSM's multi-candidate tracking,
+///    where the scalar matcher is known to lose matches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_TESTING_TRACEGEN_H
+#define HDS_TESTING_TRACEGEN_H
+
+#include <cstdint>
+#include <vector>
+
+namespace hds {
+namespace testing {
+
+/// The adversarial trace families.
+enum class TraceShape : uint8_t {
+  HotLoops = 0,
+  PhaseShifts = 1,
+  NoiseFlood = 2,
+  RegexRecurrence = 3,
+};
+
+/// Seeds cycle round-robin through the shapes so a contiguous seed sweep
+/// covers every family evenly.
+TraceShape shapeForSeed(uint64_t Seed);
+
+/// Human-readable shape name for failure messages.
+const char *shapeName(TraceShape Shape);
+
+/// Generates the trace for \p Seed: same seed, same trace, forever.
+/// Traces are a few thousand symbols — big enough to grow real grammar
+/// hierarchy, small enough for a 50-seed ctest sweep.
+std::vector<uint32_t> generateTrace(uint64_t Seed);
+
+} // namespace testing
+} // namespace hds
+
+#endif // HDS_TESTING_TRACEGEN_H

@@ -438,4 +438,65 @@ TEST(PreciseAnalyzerTest, SingleSymbolAlphabet) {
   EXPECT_EQ(Result.Streams[0].Frequency, 4u);
 }
 
+//===----------------------------------------------------------------------===//
+// Degenerate traces and exact threshold boundaries
+//===----------------------------------------------------------------------===//
+
+TEST(FastAnalyzerTest, SingleSymbolTrace) {
+  const GrammarSnapshot Snap = snapshotOf("a");
+  AnalysisConfig Config{1, 10, 1};
+  const FastAnalysisResult Result = analyzeHotStreams(Snap, Config);
+  // A one-symbol grammar is just the start rule, which is never reported.
+  EXPECT_TRUE(Result.Streams.empty());
+  EXPECT_EQ(Result.TraceLength, 1u);
+}
+
+TEST(FastAnalyzerTest, AllUniqueReferencesFindNothing) {
+  // Nothing repeats, so Sequitur forms no rules and there is nothing to
+  // report no matter how permissive the thresholds are.
+  Grammar G;
+  for (uint64_t T = 0; T < 256; ++T)
+    G.append(T);
+  AnalysisConfig Config{1, 256, 1};
+  const FastAnalysisResult Result = analyzeHotStreams(G.snapshot(), Config);
+  EXPECT_TRUE(Result.Streams.empty());
+  EXPECT_EQ(Result.TraceLength, 256u);
+  EXPECT_EQ(Result.TotalHeat, 0u);
+}
+
+TEST(PreciseAnalyzerTest, AllUniqueReferencesFindNothing) {
+  std::vector<uint32_t> Trace(256);
+  for (uint32_t I = 0; I < 256; ++I)
+    Trace[I] = I;
+  AnalysisConfig Config{1, 256, 1};
+  EXPECT_TRUE(analyzeHotStreamsPrecisely(Trace, Config).Streams.empty());
+}
+
+TEST(FastAnalyzerTest, HeatExactlyAtThresholdIsHot) {
+  // "abab": rule A -> a b has length 2, coldUses 2, heat 4.  The
+  // threshold test is inclusive (H <= heat, Figure 5), so heat == H
+  // must be reported...
+  const GrammarSnapshot Snap = snapshotOf("abab");
+  AnalysisConfig Config{2, 10, 4};
+  const FastAnalysisResult AtThreshold = analyzeHotStreams(Snap, Config);
+  ASSERT_EQ(AtThreshold.Streams.size(), 1u);
+  EXPECT_EQ(AtThreshold.Streams[0].Heat, 4u);
+
+  // ...and one notch above the heat must not be.
+  Config.HeatThreshold = 5;
+  EXPECT_TRUE(analyzeHotStreams(Snap, Config).Streams.empty());
+}
+
+TEST(PreciseAnalyzerTest, HeatExactlyAtThresholdIsHot) {
+  const std::vector<uint32_t> Trace = {1, 2, 1, 2}; // "ab" twice: heat 4
+  AnalysisConfig Config{2, 2, 4};
+  const PreciseAnalysisResult AtThreshold =
+      analyzeHotStreamsPrecisely(Trace, Config);
+  ASSERT_EQ(AtThreshold.Streams.size(), 1u);
+  EXPECT_EQ(AtThreshold.Streams[0].Heat, 4u);
+
+  Config.HeatThreshold = 5;
+  EXPECT_TRUE(analyzeHotStreamsPrecisely(Trace, Config).Streams.empty());
+}
+
 } // namespace

@@ -172,6 +172,8 @@ TEST_P(SequiturPropertyTest, ExpansionEqualsInputAndInvariantsHold) {
   EXPECT_TRUE(G.digramUniquenessHolds());
   EXPECT_TRUE(G.ruleUtilityHolds());
   EXPECT_TRUE(G.rulesAreNonTrivialHolds());
+  std::string Why;
+  EXPECT_TRUE(G.checkInvariants(&Why)) << Why;
 
   // The snapshot agrees too.
   EXPECT_EQ(G.snapshot().expand(0), Input);
@@ -336,6 +338,39 @@ TEST(SequiturTest, RulesListStartsWithStartRule) {
   EXPECT_EQ(Rules.front(), G.start());
   for (size_t I = 1; I < Rules.size(); ++I)
     EXPECT_GT(Rules[I]->id(), Rules[I - 1]->id());
+}
+
+//===----------------------------------------------------------------------===//
+// checkInvariants (the combined oracle entry point)
+//===----------------------------------------------------------------------===//
+
+TEST(SequiturTest, CheckInvariantsHoldsAfterEveryAppend) {
+  // The paper's Figure 4 input, checked exhaustively at every prefix —
+  // this is the contract the trace fuzzer's grammar oracle relies on.
+  Grammar G;
+  std::string Why;
+  for (char C : std::string("abcabcabcabcabc")) {
+    G.append(static_cast<uint64_t>(C));
+    EXPECT_TRUE(G.checkInvariants(&Why))
+        << "after " << G.inputLength() << " appends: " << Why;
+  }
+}
+
+TEST(SequiturTest, CheckInvariantsHoldsOnEmptyGrammar) {
+  Grammar G;
+  std::string Why;
+  EXPECT_TRUE(G.checkInvariants(&Why)) << Why;
+}
+
+TEST(SequiturTest, CheckInvariantsHoldsOnTripleRuns) {
+  // aaaa...: the classic overlapping-digram corner case.
+  Grammar G;
+  std::string Why;
+  for (int I = 0; I < 64; ++I) {
+    G.append(7);
+    EXPECT_TRUE(G.checkInvariants(&Why))
+        << "after " << G.inputLength() << " appends: " << Why;
+  }
 }
 
 } // namespace

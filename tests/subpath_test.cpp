@@ -224,4 +224,34 @@ TEST(SubpathAnalyzerTest, SubsumesFastAnalyzerTopStream) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Degenerate traces and exact threshold boundaries
+//===----------------------------------------------------------------------===//
+
+TEST(SubpathAnalyzerTest, AllUniqueReferencesFindNothing) {
+  // Nothing repeats, so no subpath can reach frequency 2.
+  std::string Text;
+  for (int C = 0; C < 96; ++C)
+    Text.push_back(static_cast<char>(' ' + C));
+  AnalysisConfig Config{2, 96, 1};
+  const SubpathAnalysisResult Result =
+      analyzeHotSubpaths(snapshotOf(Text), Config);
+  EXPECT_TRUE(Result.Streams.empty());
+  EXPECT_EQ(Result.TraceLength, Text.size());
+}
+
+TEST(SubpathAnalyzerTest, HeatExactlyAtThresholdIsHot) {
+  // "ab" occurs twice in "abab": heat 2 * 2 = 4.  The threshold is
+  // inclusive, so H == 4 reports it and H == 5 does not.
+  AnalysisConfig Config{2, 2, 4};
+  const SubpathAnalysisResult AtThreshold =
+      analyzeHotSubpaths(snapshotOf("abab"), Config);
+  ASSERT_FALSE(AtThreshold.Streams.empty());
+  EXPECT_EQ(AtThreshold.Streams[0].Heat, 4u);
+
+  Config.HeatThreshold = 5;
+  EXPECT_TRUE(
+      analyzeHotSubpaths(snapshotOf("abab"), Config).Streams.empty());
+}
+
 } // namespace

@@ -21,12 +21,21 @@
 //     --compare             also run the original program and report %
 //     --dump-trace <file>   write every reference as "pc:addr" tokens
 //                           (feed the file to hds_analyze)
+//     --record <file>       capture the run as a binary replay trace
+//     --replay <file>       re-execute a recorded trace and verify the
+//                           replay reproduces the recorded cycle/miss
+//                           counts exactly (exit 1 on divergence)
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/Runtime.h"
+#include "replay/TraceFormat.h"
+#include "replay/TraceRecorder.h"
+#include "replay/TraceReplayer.h"
 #include "support/Table.h"
 #include "workloads/Workload.h"
+
+#include <memory>
 
 #include <cstdio>
 #include <cstdlib>
@@ -50,6 +59,8 @@ struct Options {
   bool Verbose = false;
   bool Compare = false;
   std::string DumpTrace;
+  std::string RecordTo;
+  std::string ReplayFrom;
 };
 
 [[noreturn]] void usage(const char *Binary) {
@@ -58,6 +69,7 @@ struct Options {
       "usage: %s [--workload NAME] [--mode MODE] [--iterations N]\n"
       "          [--scale F] [--headlen N] [--stride] [--markov]\n"
       "          [--pin] [--verbose] [--compare]\n"
+      "          [--dump-trace FILE] [--record FILE] [--replay FILE]\n"
       "modes: original base prof hds nopref seqpref dynpref\n"
       "workloads: vpr mcf twolf parser vortex boxsim twophase\n",
       Binary);
@@ -115,6 +127,10 @@ Options parseOptions(int Argc, char **Argv) {
       Opts.Verbose = true;
     else if (Arg == "--dump-trace")
       Opts.DumpTrace = Next();
+    else if (Arg == "--record")
+      Opts.RecordTo = Next();
+    else if (Arg == "--replay")
+      Opts.ReplayFrom = Next();
     else if (Arg == "--compare")
       Opts.Compare = true;
     else
@@ -155,15 +171,37 @@ uint64_t runConfigured(const Options &Opts, RunMode Mode, bool Report) {
     });
   }
 
-  Bench->setup(Rt);
   const uint64_t Iterations =
       Opts.Iterations != 0
           ? Opts.Iterations
           : static_cast<uint64_t>(
                 static_cast<double>(Bench->defaultIterations()) * Opts.Scale);
+
+  std::unique_ptr<replay::TraceRecorder> Recorder;
+  if (Report && !Opts.RecordTo.empty()) {
+    Recorder = std::make_unique<replay::TraceRecorder>(
+        replay::metaFromConfig(Config, Opts.Workload, Iterations));
+    Rt.setObserver(Recorder.get());
+  }
+
+  Bench->setup(Rt);
+  if (Recorder)
+    Recorder->markSetupDone();
   Bench->run(Rt, Iterations);
   if (TraceFile)
     std::fclose(TraceFile);
+
+  if (Recorder) {
+    Rt.setObserver(nullptr);
+    Recorder->finish(Rt);
+    std::string Error;
+    if (!replay::writeTraceFile(Recorder->trace(), Opts.RecordTo, &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      std::exit(1);
+    }
+    std::printf("recorded:   %zu events -> %s\n",
+                Recorder->trace().Events.size(), Opts.RecordTo.c_str());
+  }
 
   if (!Report)
     return Rt.cycles();
@@ -247,8 +285,45 @@ uint64_t runConfigured(const Options &Opts, RunMode Mode, bool Report) {
 
 } // namespace
 
+/// Replays a recorded trace and verifies the run reproduced the recorded
+/// outcome exactly.  Returns the process exit code.
+int replayRecordedTrace(const std::string &Path) {
+  replay::Trace T;
+  std::string Error;
+  if (!replay::readTraceFile(Path, T, &Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  const replay::ReplayResult Result = replay::replayTrace(T);
+  std::printf("workload:   %s (%llu iterations, recorded)\n",
+              T.Meta.Workload.c_str(), (unsigned long long)T.Meta.Iterations);
+  std::printf("mode:       %s%s%s%s\n", runModeName(T.Meta.Mode),
+              T.Meta.Stride ? " +stride" : "", T.Meta.Markov ? " +markov" : "",
+              T.Meta.Pin ? " +pinned" : "");
+  std::printf("events:     %zu replayed\n", T.Events.size());
+  std::printf("cycles:     %llu recorded, %llu replayed\n",
+              (unsigned long long)T.Summary.Cycles,
+              (unsigned long long)Result.Replayed.Cycles);
+  std::printf("L1 misses:  %llu recorded, %llu replayed\n",
+              (unsigned long long)T.Summary.L1Misses,
+              (unsigned long long)Result.Replayed.L1Misses);
+  std::printf("L2 misses:  %llu recorded, %llu replayed\n",
+              (unsigned long long)T.Summary.L2Misses,
+              (unsigned long long)Result.Replayed.L2Misses);
+  if (!Result.SummaryMatches) {
+    std::fprintf(stderr, "replay:     DIVERGED (%s)\n",
+                 Result.Divergence.c_str());
+    return 1;
+  }
+  std::printf("replay:     identical\n");
+  return 0;
+}
+
 int main(int Argc, char **Argv) {
   const Options Opts = parseOptions(Argc, Argv);
+  if (!Opts.ReplayFrom.empty())
+    return replayRecordedTrace(Opts.ReplayFrom);
   const uint64_t Cycles = runConfigured(Opts, Opts.Mode, /*Report=*/true);
 
   if (Opts.Compare && Opts.Mode != RunMode::Original) {
