@@ -25,6 +25,7 @@
 #include "workloads/Workload.h"
 
 #include <cassert>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>

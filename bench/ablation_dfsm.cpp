@@ -119,8 +119,10 @@ int main() {
         .cell(uint64_t{Config.HeadLength * N + 1})
         .cell(uint64_t{Code.totalClauses()})
         .cell(uint64_t{Naive.Clauses})
-        .cell(static_cast<double>(DfsmEvals) / TotalRefs, "%.2f")
-        .cell(static_cast<double>(Bank.clauseEvaluations()) / TotalRefs,
+        .cell(static_cast<double>(DfsmEvals) / static_cast<double>(TotalRefs),
+              "%.2f")
+        .cell(static_cast<double>(Bank.clauseEvaluations()) /
+                  static_cast<double>(TotalRefs),
               "%.2f")
         .cell(DfsmCompletions == NaiveCompletions ? "yes" : "NO");
   }

@@ -1,18 +1,22 @@
 #!/bin/sh
-# Builds and runs the test suite.
+# Builds and runs the test suite, then the static-analysis gate.
 #
-# By default only tier1 runs: the fast unit/property/smoke tests that
-# gate every change (~1 minute).  --full adds tier2, the 50-seed
-# differential fuzzing sweep (hds_fuzz through the grammar, analyzer,
-# and DFSM oracles).  See docs/testing.md for the tier definitions.
+# By default tier1 runs: the fast unit/property/smoke tests that gate
+# every change (~1 minute), followed by scripts/lint.sh --lint-only
+# (the hds_lint invariant rules; the -Werror warning set is already
+# part of the build).  --full adds tier2 — the 50-seed differential
+# fuzzing sweep — plus the ASan+UBSan tier1 run from scripts/lint.sh.
+# See docs/testing.md and docs/static-analysis.md.
 #
 # Usage: scripts/check.sh [--full]
 set -e
 cd "$(dirname "$0")/.."
 
 LABELS="tier1"
+FULL=0
 if [ "$1" = "--full" ]; then
   LABELS="tier1|tier2"
+  FULL=1
 elif [ -n "$1" ]; then
   echo "usage: $0 [--full]" >&2
   exit 1
@@ -23,3 +27,9 @@ cmake --build build -j"$(nproc 2>/dev/null || echo 4)"
 
 ctest --test-dir build --output-on-failure -j"$(nproc 2>/dev/null || echo 4)" \
       -L "$LABELS"
+
+if [ "$FULL" = 1 ]; then
+  scripts/lint.sh            # lint + sanitizer tier1
+else
+  scripts/lint.sh --lint-only
+fi

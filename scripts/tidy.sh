@@ -1,0 +1,32 @@
+#!/bin/sh
+# Runs clang-tidy (profile: .clang-tidy) over the project sources using
+# the compile_commands.json that CMake exports on configure.
+#
+# clang-tidy is optional tooling: containers that only carry gcc skip
+# this gate (exit 0 with a notice) — hds_lint and the -Werror build in
+# scripts/lint.sh remain the mandatory layers.
+#
+# Usage: scripts/tidy.sh [files...]   (default: all src/ and tools/ .cpp)
+set -e
+cd "$(dirname "$0")/.."
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "tidy.sh: $TIDY not found; skipping (install clang-tidy to enable)"
+  exit 0
+fi
+
+cmake -B build -S . >/dev/null   # refresh compile_commands.json
+if [ ! -f build/compile_commands.json ]; then
+  echo "tidy.sh: build/compile_commands.json missing" >&2
+  exit 1
+fi
+
+if [ "$#" -gt 0 ]; then
+  FILES="$*"
+else
+  FILES="$(find src tools -name '*.cpp' | sort)"
+fi
+
+# shellcheck disable=SC2086
+"$TIDY" -p build --quiet $FILES

@@ -38,5 +38,5 @@ double hds::analysis::traceCoverage(const std::vector<uint32_t> &Trace,
   uint64_t Count = 0;
   for (uint8_t Flag : Covered)
     Count += Flag;
-  return static_cast<double>(Count) / Trace.size();
+  return static_cast<double>(Count) / static_cast<double>(Trace.size());
 }

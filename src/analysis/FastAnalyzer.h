@@ -58,7 +58,8 @@ struct FastAnalysisResult {
   double coverage() const {
     return TraceLength == 0
                ? 0.0
-               : static_cast<double>(TotalHeat) / TraceLength;
+               : static_cast<double>(TotalHeat) /
+                     static_cast<double>(TraceLength);
   }
 };
 

@@ -86,21 +86,33 @@ hds::analysis::analyzeHotStreamsPrecisely(const std::vector<uint32_t> &Trace,
       Hash -= BasePow * (Trace[Start] + 1);
     }
 
-    for (const auto &Entry : Windows) {
-      for (const Candidate &C : Entry.second) {
-        ++Result.CandidatesExamined;
-        const uint64_t Frequency = countNonOverlapping(C.Starts, Length);
-        const uint64_t Heat = Frequency * Length;
-        if (Heat < Config.HeatThreshold || Frequency < 2)
-          continue;
-        HotDataStream Stream;
-        const size_t Repr = C.Starts.front();
-        Stream.Symbols.assign(Trace.begin() + Repr,
-                              Trace.begin() + Repr + Length);
-        Stream.Frequency = Frequency;
-        Stream.Heat = Heat;
-        Result.Streams.push_back(std::move(Stream));
-      }
+    // Emit candidates ordered by first occurrence, not by hash-bucket
+    // order: Result.Streams must be identical across standard libraries
+    // for replay and the fast-vs-precise differential oracle to hold.
+    std::vector<const Candidate *> Ordered;
+    // hds-lint: ordered-ok(collected into Ordered and sorted by first occurrence below)
+    for (const auto &Entry : Windows)
+      for (const Candidate &C : Entry.second)
+        Ordered.push_back(&C);
+    std::sort(Ordered.begin(), Ordered.end(),
+              [](const Candidate *A, const Candidate *B) {
+                // First starts are distinct: every window start belongs to
+                // exactly one candidate's occurrence list.
+                return A->Starts.front() < B->Starts.front();
+              });
+    for (const Candidate *C : Ordered) {
+      ++Result.CandidatesExamined;
+      const uint64_t Frequency = countNonOverlapping(C->Starts, Length);
+      const uint64_t Heat = Frequency * Length;
+      if (Heat < Config.HeatThreshold || Frequency < 2)
+        continue;
+      HotDataStream Stream;
+      const size_t Repr = C->Starts.front();
+      Stream.Symbols.assign(Trace.begin() + Repr,
+                            Trace.begin() + Repr + Length);
+      Stream.Frequency = Frequency;
+      Stream.Heat = Heat;
+      Result.Streams.push_back(std::move(Stream));
     }
   }
 

@@ -8,8 +8,10 @@
 
 #include "analysis/StreamFilter.h"
 
+#include <algorithm>
 #include <cassert>
 #include <unordered_map>
+#include <vector>
 
 using namespace hds;
 using namespace hds::analysis;
@@ -206,19 +208,28 @@ hds::analysis::analyzeHotSubpaths(const GrammarSnapshot &Snapshot,
     }
   }
 
-  // Threshold and maximality-filter.
-  for (auto &Entry : Counts) {
+  // Threshold and maximality-filter.  Qualifying windows are emitted in
+  // lexicographic symbol order, not hash order: Result.Streams must be
+  // identical across standard libraries for replay to stay byte-exact.
+  std::vector<const std::pair<const std::vector<uint32_t>, uint64_t> *>
+      Qualifying;
+  // hds-lint: ordered-ok(collected into Qualifying and sorted lexicographically below)
+  for (const auto &Entry : Counts) {
     const uint64_t Len = Entry.first.size();
     const uint64_t Count = Entry.second;
     if (Len < Config.MinLength || Count < 2)
       continue;
-    const uint64_t Heat = Len * Count;
-    if (Heat < Config.HeatThreshold)
+    if (Len * Count < Config.HeatThreshold)
       continue;
+    Qualifying.push_back(&Entry);
+  }
+  std::sort(Qualifying.begin(), Qualifying.end(),
+            [](const auto *A, const auto *B) { return A->first < B->first; });
+  for (const auto *Entry : Qualifying) {
     HotDataStream Stream;
-    Stream.Symbols = Entry.first;
-    Stream.Frequency = Count;
-    Stream.Heat = Heat;
+    Stream.Symbols = Entry->first;
+    Stream.Frequency = Entry->second;
+    Stream.Heat = Entry->first.size() * Entry->second;
     Result.Streams.push_back(std::move(Stream));
   }
   keepMaximalStreams(Result.Streams);

@@ -99,10 +99,10 @@ void DynamicOptimizer::analyzeAndOptimize() {
       const uint32_t HeadLen = Config.Dfsm.HeadLength;
       auto HeadCostAt = [&](const std::vector<uint32_t> &Symbols,
                             size_t Pos) {
-        uint64_t Cost = 0;
+        uint64_t Sum = 0;
         for (uint32_t H = 0; H < HeadLen; ++H)
-          Cost += Profiler.pcSampleCount(Refs.refOf(Symbols[Pos + H]).Pc);
-        return Cost;
+          Sum += Profiler.pcSampleCount(Refs.refOf(Symbols[Pos + H]).Pc);
+        return Sum;
       };
       auto FindQuietHead =
           [&](const std::vector<uint32_t> &Symbols) -> size_t {
@@ -113,9 +113,9 @@ void DynamicOptimizer::analyzeAndOptimize() {
         size_t Best = 0;
         uint64_t BestCost = ~uint64_t{0};
         for (size_t Pos = 0; Pos <= Limit; ++Pos) {
-          const uint64_t Cost = HeadCostAt(Symbols, Pos);
-          if (Cost < BestCost) {
-            BestCost = Cost;
+          const uint64_t PosCost = HeadCostAt(Symbols, Pos);
+          if (PosCost < BestCost) {
+            BestCost = PosCost;
             Best = Pos;
           }
         }
@@ -259,6 +259,7 @@ void DynamicOptimizer::adaptHibernation(
     Covered.insert(Symbols.begin(), Symbols.end());
 
   size_t Intersection = 0;
+  // hds-lint: ordered-ok(commutative membership count; order cannot affect the sum)
   for (uint32_t Ref : Covered)
     Intersection += LastCoveredRefs.count(Ref);
   const size_t Union =

@@ -24,7 +24,9 @@
 #include "profiling/TemporalProfiler.h"
 #include "vulcan/Image.h"
 
+#include <cstdint>
 #include <unordered_set>
+#include <vector>
 
 namespace hds {
 namespace core {
@@ -32,11 +34,11 @@ namespace core {
 /// Orchestrates one benchmark run's optimization cycles.
 class DynamicOptimizer {
 public:
-  DynamicOptimizer(const OptimizerConfig &Config, vulcan::Image &Image,
-                   memsim::MemoryHierarchy &Hierarchy, PrefetchEngine &Engine,
-                   profiling::BurstyTracer &Tracer, RunStats &Stats)
-      : Config(Config), TheImage(Image), Hierarchy(Hierarchy), Engine(Engine),
-        Tracer(Tracer), Stats(Stats) {}
+  DynamicOptimizer(const OptimizerConfig &Cfg, vulcan::Image &Image,
+                   memsim::MemoryHierarchy &Hier, PrefetchEngine &Eng,
+                   profiling::BurstyTracer &Trc, RunStats &RS)
+      : Config(Cfg), TheImage(Image), Hierarchy(Hier), Engine(Eng),
+        Tracer(Trc), Stats(RS) {}
 
   /// Records one traced data reference (called by the runtime while the
   /// profiler is awake and in instrumented code).

@@ -59,8 +59,8 @@ struct MarkovStats {
 /// The correlation table.
 class MarkovPrefetcher {
 public:
-  explicit MarkovPrefetcher(const MarkovPrefetcherConfig &Config)
-      : Config(Config) {}
+  explicit MarkovPrefetcher(const MarkovPrefetcherConfig &Cfg)
+      : Config(Cfg) {}
 
   /// Observes a demand access that missed L1 (block granularity) and
   /// issues prefetches for the predicted successors.

@@ -37,9 +37,9 @@ Runtime::effectiveTracingConfig(const OptimizerConfig &Config) {
   return Tracing;
 }
 
-Runtime::Runtime(const OptimizerConfig &Config)
-    : Config(Config), Hierarchy(Config.L1, Config.L2, Config.Latency),
-      Tracer(effectiveTracingConfig(Config)),
+Runtime::Runtime(const OptimizerConfig &Cfg)
+    : Config(Cfg), Hierarchy(Cfg.L1, Cfg.L2, Cfg.Latency),
+      Tracer(effectiveTracingConfig(Cfg)),
       Optimizer(this->Config, TheImage, Hierarchy, Engine, Tracer, Stats),
       HeapBreak(1 << 20) {
   TheImage.instrumentForBurstyTracing();

@@ -57,6 +57,7 @@
 #include "profiling/BurstyTracer.h"
 #include "vulcan/Image.h"
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -174,8 +175,8 @@ public:
   /// remove.  Observers see the *unfiltered* reference stream — the same
   /// thing the paper's instrumented code version sees.
   void setAccessObserver(
-      std::function<void(vulcan::SiteId, memsim::Addr)> Observer) {
-    AccessObserver = std::move(Observer);
+      std::function<void(vulcan::SiteId, memsim::Addr)> Fn) {
+    AccessObserver = std::move(Fn);
   }
 
   /// Installs (or, with nullptr, removes) the full-event observer.  Not
@@ -185,7 +186,7 @@ public:
   /// RAII procedure activation.
   class ProcedureScope {
   public:
-    ProcedureScope(Runtime &Rt, vulcan::ProcId Proc) : Rt(Rt) {
+    ProcedureScope(Runtime &R, vulcan::ProcId Proc) : Rt(R) {
       Rt.enterProcedure(Proc);
     }
     ~ProcedureScope() { Rt.leaveProcedure(); }

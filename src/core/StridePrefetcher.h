@@ -59,8 +59,8 @@ struct StrideStats {
 /// The reference prediction table.
 class StridePrefetcher {
 public:
-  explicit StridePrefetcher(const StridePrefetcherConfig &Config)
-      : Config(Config), Table(Config.TableEntries) {}
+  explicit StridePrefetcher(const StridePrefetcherConfig &Cfg)
+      : Config(Cfg), Table(Cfg.TableEntries) {}
 
   /// Observes a demand access and issues stride prefetches when the
   /// entry's stride is confirmed.

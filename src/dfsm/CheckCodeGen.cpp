@@ -24,6 +24,7 @@ CheckCode hds::dfsm::generateCheckCode(const PrefixDfsm &Dfsm,
     std::vector<std::pair<StateId, StateId>> Edges; // (From, To)
   };
   std::map<std::pair<uint64_t, uint64_t>, SymbolTransitions> BySymbol;
+  // hds-lint: ordered-ok(entries are re-keyed into the std::map and edge lists are sorted before use)
   for (const auto &Entry : Dfsm.transitions()) {
     const StateId From = PrefixDfsm::keyState(Entry.first);
     const uint32_t Symbol = PrefixDfsm::keySymbol(Entry.first);

@@ -17,8 +17,8 @@ using namespace hds::dfsm;
 //===----------------------------------------------------------------------===//
 
 ReferenceMatcher::ReferenceMatcher(
-    const std::vector<std::vector<uint32_t>> &Streams, uint32_t HeadLength)
-    : Streams(Streams), HeadLength(HeadLength) {
+    const std::vector<std::vector<uint32_t>> &HotStreams, uint32_t HeadLen)
+    : Streams(HotStreams), HeadLength(HeadLen) {
   assert(HeadLength >= 1 && "heads must have at least one symbol");
   for (StreamIndex I = 0; I < Streams.size(); ++I)
     if (Streams[I].size() > HeadLength)
@@ -51,9 +51,9 @@ std::vector<StreamIndex> ReferenceMatcher::step(uint32_t Symbol) {
 //===----------------------------------------------------------------------===//
 
 ScalarMatcherBank::ScalarMatcherBank(
-    const std::vector<std::vector<uint32_t>> &Streams, uint32_t HeadLength,
-    const std::vector<uint64_t> &SymbolPcs)
-    : Streams(Streams), HeadLength(HeadLength), SymbolPcs(SymbolPcs),
+    const std::vector<std::vector<uint32_t>> &HotStreams, uint32_t HeadLen,
+    const std::vector<uint64_t> &Pcs)
+    : Streams(HotStreams), HeadLength(HeadLen), SymbolPcs(Pcs),
       SeenCounters(Streams.size()) {
   for (StreamIndex I = 0; I < Streams.size(); ++I) {
     if (Streams[I].size() <= HeadLength)

@@ -15,8 +15,8 @@ using namespace hds;
 using namespace hds::dfsm;
 
 PrefixDfsm::PrefixDfsm(const std::vector<std::vector<uint32_t>> &Streams,
-                       const DfsmConfig &Config)
-    : Config(Config) {
+                       const DfsmConfig &Cfg)
+    : Config(Cfg) {
   assert(Config.HeadLength >= 1 && "heads must have at least one symbol");
 
   // Streams that are all head and no tail cannot be prefetched.
@@ -37,6 +37,7 @@ PrefixDfsm::PrefixDfsm(const std::vector<std::vector<uint32_t>> &Streams,
     for (uint32_t Pos = 0; Pos < Config.HeadLength; ++Pos)
       AlphabetSet.insert(Streams[I][Pos]);
   }
+  // hds-lint: ordered-ok(copied out and sorted on the next line)
   PrefixAlphabet.assign(AlphabetSet.begin(), AlphabetSet.end());
   std::sort(PrefixAlphabet.begin(), PrefixAlphabet.end());
 
@@ -80,6 +81,7 @@ PrefixDfsm::PrefixDfsm(const std::vector<std::vector<uint32_t>> &Streams,
     for (const StateElement &E : States[Current].Elements)
       if (E.Seen < Config.HeadLength)
         Candidates.push_back(Streams[E.Stream][E.Seen]);
+    // hds-lint: ordered-ok(candidate symbols are sorted and deduplicated below)
     for (const auto &Entry : StartsWith)
       Candidates.push_back(Entry.first);
     std::sort(Candidates.begin(), Candidates.end());

@@ -98,13 +98,13 @@ public:
   /// Streams whose heads complete upon *entering* \p State.  Every entry
   /// into this state is a fresh complete match (the final head symbol is
   /// the transition that led here), so callers prefetch each time.
-  const std::vector<StreamIndex> &completionsAt(StateId State) const {
-    return States.at(State).Completions;
+  const std::vector<StreamIndex> &completionsAt(StateId Id) const {
+    return States.at(Id).Completions;
   }
 
   /// Elements of \p State, sorted (tests and debugging).
-  const std::vector<StateElement> &elementsOf(StateId State) const {
-    return States.at(State).Elements;
+  const std::vector<StateElement> &elementsOf(StateId Id) const {
+    return States.at(Id).Elements;
   }
 
   /// All symbols appearing in any stream head, i.e. the program points

@@ -9,9 +9,9 @@
 using namespace hds;
 using namespace hds::memsim;
 
-Cache::Cache(const CacheConfig &Config)
-    : Config(Config), NumSets(Config.numSets()),
-      Lines(NumSets * Config.Associativity) {}
+Cache::Cache(const CacheConfig &Cfg)
+    : Config(Cfg), NumSets(Cfg.numSets()),
+      Lines(NumSets * Cfg.Associativity) {}
 
 Cache::Line *Cache::findLine(Addr Address) {
   const Addr Tag = tagOf(Address);

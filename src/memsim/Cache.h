@@ -61,8 +61,10 @@ struct CacheStats {
 
   uint64_t accesses() const { return Hits + Misses; }
   double missRate() const {
-    return accesses() == 0 ? 0.0
-                           : static_cast<double>(Misses) / accesses();
+    return accesses() == 0
+               ? 0.0
+               : static_cast<double>(Misses) /
+                     static_cast<double>(accesses());
   }
 };
 

@@ -13,8 +13,8 @@ using namespace hds::memsim;
 
 MemoryHierarchy::MemoryHierarchy(const CacheConfig &L1Config,
                                  const CacheConfig &L2Config,
-                                 const LatencyConfig &Latency)
-    : L1(L1Config), L2(L2Config), Latency(Latency) {
+                                 const LatencyConfig &Lat)
+    : L1(L1Config), L2(L2Config), Latency(Lat) {
   assert(L1Config.BlockBytes == L2Config.BlockBytes &&
          "levels must share a block size");
   InFlight.reserve(Latency.MaxInFlightPrefetches);
@@ -50,7 +50,7 @@ uint64_t MemoryHierarchy::access(Addr Address) {
 
   // L1 hit: single-cycle, no stall.
   if (L1.access(Address)) {
-    Now += Latency.L1HitCycles;
+    charge(Latency.L1HitCycles, 0);
     return Latency.L1HitCycles;
   }
 
@@ -60,37 +60,33 @@ uint64_t MemoryHierarchy::access(Addr Address) {
   if (InFlightPrefetch *P = findInFlight(Address)) {
     const uint64_t Remaining = P->ReadyCycle - Now;
     ++Stats.PartialHits;
-    Stats.PartialHitStallCycles += Remaining;
-    Stats.StallCycles += Remaining;
-    Now = P->ReadyCycle;
+    charge(Remaining, Remaining, /*PartialHit=*/true);
     drainDuePrefetches(); // fills this block (and any other due ones)
     // The arriving line counts as a useful prefetch the moment demand
     // touches it.
     L1.access(Address);
-    Now += Latency.L1HitCycles;
+    charge(Latency.L1HitCycles, 0);
     return Remaining + Latency.L1HitCycles;
   }
 
   // L2 hit: fill L1 and pay the L2 latency.
   if (L2.access(Address)) {
     L1.fill(Address, /*IsPrefetch=*/false);
-    Now += Latency.L2HitCycles;
-    Stats.StallCycles += Latency.L2HitCycles - Latency.L1HitCycles;
+    charge(Latency.L2HitCycles, Latency.L2HitCycles - Latency.L1HitCycles);
     return Latency.L2HitCycles;
   }
 
   // Memory: fill both levels.
   L2.fill(Address, /*IsPrefetch=*/false);
   L1.fill(Address, /*IsPrefetch=*/false);
-  Now += Latency.MemoryCycles;
-  Stats.StallCycles += Latency.MemoryCycles - Latency.L1HitCycles;
+  charge(Latency.MemoryCycles, Latency.MemoryCycles - Latency.L1HitCycles);
   return Latency.MemoryCycles;
 }
 
 void MemoryHierarchy::prefetchT0(Addr Address, bool ChargeIssueSlot) {
   drainDuePrefetches();
   if (ChargeIssueSlot)
-    Now += Latency.PrefetchIssueCycles;
+    charge(Latency.PrefetchIssueCycles, 0);
   ++Stats.PrefetchesIssued;
 
   if (L1.contains(Address) || findInFlight(Address)) {

@@ -70,7 +70,10 @@ public:
                   const LatencyConfig &Latency = LatencyConfig());
 
   /// Advances the clock by \p Cycles of computation.
-  void tick(uint64_t Cycles) { Now += Cycles; drainDuePrefetches(); }
+  void tick(uint64_t Cycles) {
+    charge(Cycles, 0);
+    drainDuePrefetches();
+  }
 
   /// Demand access (load or store — the model treats them alike, as the
   /// paper's data reference definition does).  Returns the latency in
@@ -107,6 +110,19 @@ private:
 
   uint64_t blockNumber(Addr Address) const {
     return Address / L1.config().BlockBytes;
+  }
+
+  /// The designated cycle-accounting primitive (hds_lint rule C1): every
+  /// cycle charged anywhere in the simulator flows through here, so the
+  /// clock and the stall attribution can never drift apart.  \p
+  /// StallPortion of \p LatencyCycles counts as demand stall; partial-hit
+  /// stalls are additionally attributed to the prefetch-timeliness stat.
+  void charge(uint64_t LatencyCycles, uint64_t StallPortion,
+              bool PartialHit = false) {
+    Now += LatencyCycles;              // hds-lint: cycles-ok(designated accounting primitive)
+    Stats.StallCycles += StallPortion; // hds-lint: cycles-ok(designated accounting primitive)
+    if (PartialHit)
+      Stats.PartialHitStallCycles += StallPortion; // hds-lint: cycles-ok(designated accounting primitive)
   }
 
   /// Moves completed prefetches into the caches.

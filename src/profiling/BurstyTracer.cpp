@@ -9,8 +9,8 @@
 using namespace hds;
 using namespace hds::profiling;
 
-BurstyTracer::BurstyTracer(const BurstyTracingConfig &Config)
-    : Config(Config) {
+BurstyTracer::BurstyTracer(const BurstyTracingConfig &Cfg)
+    : Config(Cfg) {
   assert(Config.NCheck0 > 0 && Config.NInstr0 > 0 &&
          "counters must be positive");
   assert((!Config.HibernationEnabled ||

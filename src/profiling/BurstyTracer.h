@@ -58,7 +58,8 @@ struct BurstyTracingConfig {
 
   /// The awake-phase sampling rate nInstr0 / (nCheck0 + nInstr0).
   double awakeSamplingRate() const {
-    return static_cast<double>(NInstr0) / burstPeriodChecks();
+    return static_cast<double>(NInstr0) /
+           static_cast<double>(burstPeriodChecks());
   }
 
   /// The overall sampling rate from Section 2.2:
@@ -67,7 +68,8 @@ struct BurstyTracingConfig {
     if (!HibernationEnabled)
       return awakeSamplingRate();
     return static_cast<double>(NAwake * NInstr0) /
-           (static_cast<double>(NAwake + NHibernate) * burstPeriodChecks());
+           (static_cast<double>(NAwake + NHibernate) *
+            static_cast<double>(burstPeriodChecks()));
   }
 };
 

@@ -20,6 +20,7 @@
 #include "analysis/DataRef.h"
 #include "sequitur/Grammar.h"
 
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
 

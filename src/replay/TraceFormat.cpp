@@ -41,7 +41,7 @@ void putString(std::string &Out, const std::string &Text) {
 /// Bounds-checked reader over the serialized bytes.
 class ByteReader {
 public:
-  explicit ByteReader(const std::string &Bytes) : Bytes(Bytes) {}
+  explicit ByteReader(const std::string &Buffer) : Bytes(Buffer) {}
 
   bool failed() const { return Failed; }
   size_t position() const { return Pos; }

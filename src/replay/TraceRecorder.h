@@ -28,6 +28,9 @@
 #include "core/Runtime.h"
 #include "replay/TraceFormat.h"
 
+#include <cstdint>
+#include <string>
+
 namespace hds {
 namespace replay {
 

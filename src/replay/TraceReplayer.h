@@ -25,6 +25,10 @@
 #include "replay/TraceFormat.h"
 #include "workloads/Workload.h"
 
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
 namespace hds {
 namespace replay {
 
@@ -35,7 +39,7 @@ core::OptimizerConfig configFromMeta(const TraceMeta &Meta);
 /// A Workload that re-executes a recorded event stream.
 class ReplayWorkload : public workloads::Workload {
 public:
-  explicit ReplayWorkload(const Trace &T) : T(T) {}
+  explicit ReplayWorkload(const Trace &Recorded) : T(Recorded) {}
 
   const char *name() const override { return "replay"; }
 

@@ -8,6 +8,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+// hds-lint-file: alloc-ok(designated allocator: Sequitur's doubly-linked symbol/rule graph is an intrusive structure whose nodes are owned by the grammar and recycled on substitution; see Grammar::~Grammar)
+
 #include "sequitur/Grammar.h"
 
 #include "support/Table.h"
@@ -394,6 +396,7 @@ bool Grammar::digramUniquenessHolds() const {
          !S->isGuard() && !S->next()->isGuard(); S = S->next())
       Occurrences[keyOf(S)].push_back(S);
   }
+  // hds-lint: ordered-ok(order-insensitive boolean audit over all pairs)
   for (const auto &Entry : Occurrences) {
     const auto &List = Entry.second;
     for (size_t I = 0; I < List.size(); ++I)

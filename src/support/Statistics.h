@@ -39,7 +39,9 @@ public:
   double sum() const { return Sum; }
 
   /// Mean of all samples; 0 when empty so reports stay printable.
-  double mean() const { return Count == 0 ? 0.0 : Sum / Count; }
+  double mean() const {
+    return Count == 0 ? 0.0 : Sum / static_cast<double>(Count);
+  }
 
   /// Smallest sample; +inf when empty.
   double min() const { return Minimum; }

@@ -13,6 +13,7 @@
 #ifndef HDS_SUPPORT_TABLE_H
 #define HDS_SUPPORT_TABLE_H
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -31,7 +32,7 @@ public:
   /// Convenience for building a row cell-by-cell.
   class RowBuilder {
   public:
-    explicit RowBuilder(Table &Parent) : Parent(Parent) {}
+    explicit RowBuilder(Table &Owner) : Parent(Owner) {}
     RowBuilder &cell(std::string Text) {
       Cells.push_back(std::move(Text));
       return *this;

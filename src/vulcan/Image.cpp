@@ -41,6 +41,7 @@ PatchResult Image::applyPatch(const std::vector<SiteId> &Pcs) {
   for (SiteId Site : Pcs)
     Touched.insert(procOf(Site));
 
+  // hds-lint: ordered-ok(per-procedure version bumps commute; no output depends on visit order)
   for (ProcId Proc : Touched) {
     Procedure &P = Procs[Proc];
     // Copy the procedure, inject into the copy, overwrite the original's

@@ -24,6 +24,7 @@
 #include "workloads/NoiseRegion.h"
 #include "workloads/Workload.h"
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -68,8 +69,7 @@ struct BenchParams {
 /// three hooks.
 class ChainNoiseWorkload : public Workload {
 public:
-  explicit ChainNoiseWorkload(BenchParams Params)
-      : Params(std::move(Params)) {}
+  explicit ChainNoiseWorkload(BenchParams P) : Params(std::move(P)) {}
 
   const char *name() const override { return Params.Name.c_str(); }
   void setup(core::Runtime &Rt) override;

@@ -1,0 +1,14 @@
+// Fixture: C1 must fire on ad-hoc arithmetic on cycle counters in the
+// simulator trees (virtual display path src/memsim/...).
+#include <cstdint>
+
+struct Sim {
+  uint64_t Now = 0;
+  uint64_t StallCycles = 0;
+
+  void access() {
+    Now += 4;          // C1: ad-hoc charge
+    StallCycles += 3;  // C1: ad-hoc charge
+    ++Now;             // C1: increment
+  }
+};

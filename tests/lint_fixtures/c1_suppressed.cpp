@@ -1,0 +1,13 @@
+// Fixture: the designated accounting primitive pattern — every charge
+// carries a cycles-ok note — must lint clean.
+#include <cstdint>
+
+struct Sim {
+  uint64_t Now = 0;
+  uint64_t StallCycles = 0;
+
+  void charge(uint64_t Latency, uint64_t Stall) {
+    Now += Latency;       // hds-lint: cycles-ok(designated primitive)
+    StallCycles += Stall; // hds-lint: cycles-ok(designated primitive)
+  }
+};

@@ -1,0 +1,13 @@
+// Fixture: D1 must fire on ambient randomness / wall clock / environment
+// reads when the file lives under src/.  This file is lexed by
+// lint_test.cpp with a virtual src/ display path; it is never compiled.
+#include <cstdlib>
+
+int ambientSeed() {
+  int S = rand();              // D1: banned call
+  std::mt19937 Gen(42);        // D1: banned name
+  const char *Home = getenv("HOME"); // D1: banned call
+  (void)Gen;
+  (void)Home;
+  return S + static_cast<int>(time(nullptr)); // D1: banned call
+}

@@ -1,0 +1,12 @@
+// Fixture: the same D1 triggers as d1_positive.cpp, each carrying a
+// well-formed suppression, must produce no findings.
+#include <cstdlib>
+
+int ambientSeed() {
+  // hds-lint: randomness-ok(fixture exercises the suppression path)
+  int S = rand();
+  std::mt19937 Gen(42); // hds-lint: randomness-ok(fixture suppression)
+  (void)Gen;
+  // hds-lint: randomness-ok(fixture suppression)
+  return S + static_cast<int>(time(nullptr));
+}

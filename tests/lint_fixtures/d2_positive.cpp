@@ -1,0 +1,14 @@
+// Fixture: D2 must fire on iteration over unordered containers declared
+// in the same file, both range-for and explicit iterator walks.
+#include <unordered_map>
+
+int sumValues() {
+  std::unordered_map<int, int> Counts;
+  Counts[1] = 2;
+  int Sum = 0;
+  for (const auto &[K, V] : Counts) // D2: range-for over unordered
+    Sum += V;
+  for (auto It = Counts.begin(); It != Counts.end(); ++It) // D2: walk
+    Sum += It->second;
+  return Sum;
+}

@@ -1,0 +1,13 @@
+// Fixture: D2 iteration sites annotated with ordered-ok must not be
+// reported.
+#include <unordered_map>
+
+int sumValues() {
+  std::unordered_map<int, int> Counts;
+  Counts[1] = 2;
+  int Sum = 0;
+  // hds-lint: ordered-ok(summation commutes; order cannot affect the result)
+  for (const auto &[K, V] : Counts)
+    Sum += V;
+  return Sum;
+}

@@ -1,0 +1,16 @@
+// Fixture: D3 must fire on pointer-keyed ordered containers and on
+// comparators ordering by raw pointer value.
+#include <algorithm>
+#include <map>
+#include <vector>
+
+struct Node {
+  int Weight;
+};
+
+int byAddress(std::vector<Node *> &Nodes) {
+  std::map<Node *, int> Ranks; // D3: pointer-keyed std::map
+  std::sort(Nodes.begin(), Nodes.end(),
+            [](const Node *A, const Node *B) { return A < B; }); // D3
+  return static_cast<int>(Ranks.size());
+}

@@ -1,0 +1,18 @@
+// Fixture: pointer-keyed ordering annotated with pointer-key-ok must not
+// be reported.
+#include <algorithm>
+#include <map>
+#include <vector>
+
+struct Node {
+  int Weight;
+};
+
+int byAddress(std::vector<Node *> &Nodes) {
+  // hds-lint: pointer-key-ok(fixture: iteration order is never observed)
+  std::map<Node *, int> Ranks;
+  std::sort(Nodes.begin(), Nodes.end(),
+            // hds-lint: pointer-key-ok(fixture suppression)
+            [](const Node *A, const Node *B) { return A < B; });
+  return static_cast<int>(Ranks.size());
+}

@@ -1,0 +1,11 @@
+// Fixture: D4 must fire on raw allocation in src/ files that are not
+// designated allocators.
+#include <cstdlib>
+
+int *rawAllocation() {
+  int *P = new int(7);                                 // D4: raw new
+  void *Q = malloc(16);                                // D4: C allocation
+  free(Q);                                             // D4: C allocation
+  delete P;                                            // D4: raw delete
+  return nullptr;
+}

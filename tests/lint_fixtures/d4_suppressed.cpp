@@ -1,0 +1,11 @@
+// Fixture: a file-wide alloc-ok designation must silence every D4 site.
+// hds-lint-file: alloc-ok(fixture models a designated intrusive allocator)
+#include <cstdlib>
+
+int *rawAllocation() {
+  int *P = new int(7);
+  void *Q = malloc(16);
+  free(Q);
+  delete P;
+  return nullptr;
+}

@@ -1,0 +1,11 @@
+// Fixture: H1 must fire on a non-canonical include guard and on use of
+// std symbols whose headers are not included (not self-contained).
+#ifndef WRONG_GUARD_NAME_H
+#define WRONG_GUARD_NAME_H
+
+struct Holder {
+  std::vector<int> Values; // H1: <vector> not included
+  uint64_t Total = 0;      // H1: <cstdint> not included
+};
+
+#endif

@@ -1,0 +1,14 @@
+// Fixture: a canonical guard and self-contained includes must lint clean.
+// Lexed with virtual display path src/fixture/h1_good.h.
+#ifndef HDS_FIXTURE_H1_GOOD_H
+#define HDS_FIXTURE_H1_GOOD_H
+
+#include <cstdint>
+#include <vector>
+
+struct Holder {
+  std::vector<int> Values;
+  uint64_t Total = 0;
+};
+
+#endif // HDS_FIXTURE_H1_GOOD_H

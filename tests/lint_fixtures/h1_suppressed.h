@@ -1,0 +1,10 @@
+// Fixture: a file-wide header-ok note must silence H1.
+// hds-lint-file: header-ok(fixture exercises the suppression path)
+#ifndef WRONG_GUARD_NAME_H
+#define WRONG_GUARD_NAME_H
+
+struct Holder {
+  std::vector<int> Values;
+};
+
+#endif

@@ -1,0 +1,15 @@
+// Fixture: malformed suppressions must be reported as SUP and must NOT
+// silence the finding they sit next to.
+#include <unordered_map>
+
+int sumValues() {
+  std::unordered_map<int, int> Counts;
+  int Sum = 0;
+  // hds-lint: ordered-ok
+  for (const auto &[K, V] : Counts) // still D2: reason missing above
+    Sum += V;
+  // hds-lint: not-a-real-tag(some reason)
+  for (const auto &[K, V] : Counts) // still D2: unknown tag above
+    Sum += V;
+  return Sum;
+}

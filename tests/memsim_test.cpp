@@ -263,7 +263,8 @@ TEST_P(ThrashTest, CyclicLoopHitRate) {
         Hits += Hit;
       }
     }
-  const double HitRate = static_cast<double>(Hits) / Accesses;
+  const double HitRate =
+      static_cast<double>(Hits) / static_cast<double>(Accesses);
   if (Case.ExpectThrash)
     EXPECT_LT(HitRate, 0.05) << Case.Blocks << " blocks";
   else

@@ -180,8 +180,8 @@ TEST_P(SamplingRateTest, MeasuredRateMatchesFormula) {
       ++AwakeInstrumented;
   }
 
-  const double Measured =
-      static_cast<double>(AwakeInstrumented) / (3.0 * CycleChecks);
+  const double Measured = static_cast<double>(AwakeInstrumented) /
+                          (3.0 * static_cast<double>(CycleChecks));
   EXPECT_NEAR(Measured, C.overallSamplingRate(),
               C.overallSamplingRate() * 0.05);
 }

@@ -103,7 +103,10 @@ TEST_P(EveryWorkloadTest, HotChainsMissWithoutPrefetching) {
   // ...but the hot working set stays L2 resident: L2 must service most
   // of those misses.
   const auto &L2 = Rt.memory().l2().stats();
-  EXPECT_GT(static_cast<double>(L2.Hits) / L2.accesses(), 0.5) << GetParam();
+  EXPECT_GT(static_cast<double>(L2.Hits) /
+                static_cast<double>(L2.accesses()),
+            0.5)
+      << GetParam();
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBenchmarks, EveryWorkloadTest,
@@ -224,7 +227,7 @@ TEST(NoiseRegionTest, SmallRegionBecomesCacheResident) {
   Rt.memory().clearStats();
   Region.step(Rt, 1280);
   EXPECT_GT(static_cast<double>(Rt.memory().l1().stats().Hits) /
-                Rt.memory().l1().stats().accesses(),
+                static_cast<double>(Rt.memory().l1().stats().accesses()),
             0.95);
 }
 

@@ -1,0 +1,911 @@
+//===- tools/hds_lint/LintRules.cpp - Project invariant rules -------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "LintRules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <string_view>
+
+namespace hds {
+namespace lint {
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Small string / path helpers
+//===----------------------------------------------------------------------===//
+
+bool endsWith(std::string_view S, std::string_view Suffix) {
+  return S.size() >= Suffix.size() &&
+         S.compare(S.size() - Suffix.size(), Suffix.size(), Suffix) == 0;
+}
+
+bool startsWith(std::string_view S, std::string_view Prefix) {
+  return S.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+/// True when \p Path lies under the top-level tree \p Root ("src", ...),
+/// whether the path is repo-relative or absolute.
+bool inTree(std::string_view Path, std::string_view Root) {
+  std::string Rel(Root);
+  Rel += '/';
+  if (startsWith(Path, Rel))
+    return true;
+  std::string Abs = "/" + Rel;
+  return Path.find(Abs) != std::string_view::npos;
+}
+
+/// True when \p Path names the file \p Tail ("support/Rng.h") under any
+/// prefix.
+bool isFile(std::string_view Path, std::string_view Tail) {
+  return Path == Tail || endsWith(Path, std::string("/").append(Tail));
+}
+
+bool isHeaderPath(std::string_view Path) {
+  return endsWith(Path, ".h") || endsWith(Path, ".hpp");
+}
+
+//===----------------------------------------------------------------------===//
+// Suppressions
+//===----------------------------------------------------------------------===//
+
+struct Suppressions {
+  /// Tags active per line (comment's own lines plus the line below it).
+  std::map<unsigned, std::set<std::string>> ByLine;
+  /// Tags active for the whole file (hds-lint-file).
+  std::set<std::string> FileTags;
+};
+
+bool isKnownTag(const std::string &Tag) {
+  for (const RuleInfo &R : ruleCatalog())
+    if (R.Tag && Tag == R.Tag)
+      return true;
+  return false;
+}
+
+/// Parses "tag1(reason), tag2(reason)" starting at \p Text[Pos].  Invalid
+/// entries (unknown tag, missing or empty reason) produce SUP findings.
+void parseSuppressionList(const std::string &Text, size_t Pos,
+                          const Comment &Note, const std::string &Path,
+                          std::set<std::string> &Out,
+                          std::vector<Finding> &Sup) {
+  size_t I = Pos;
+  while (I < Text.size()) {
+    while (I < Text.size() &&
+           (std::isspace(static_cast<unsigned char>(Text[I])) ||
+            Text[I] == ','))
+      ++I;
+    if (I >= Text.size())
+      break;
+    size_t TagBegin = I;
+    while (I < Text.size() &&
+           (std::isalnum(static_cast<unsigned char>(Text[I])) ||
+            Text[I] == '-' || Text[I] == '_'))
+      ++I;
+    std::string Tag = Text.substr(TagBegin, I - TagBegin);
+    std::string Reason;
+    if (I < Text.size() && Text[I] == '(') {
+      size_t Close = Text.find(')', I);
+      if (Close == std::string::npos) {
+        Sup.push_back({"SUP", Path, Note.Line,
+                       "unterminated reason in hds-lint suppression",
+                       "write `// hds-lint: " + Tag + "(<why>)`"});
+        return;
+      }
+      Reason = Text.substr(I + 1, Close - I - 1);
+      I = Close + 1;
+    }
+    size_t RB = Reason.find_first_not_of(" \t");
+    bool HasReason = RB != std::string::npos;
+    if (Tag.empty())
+      return; // prose mentioning "hds-lint:", not a suppression
+    if (!isKnownTag(Tag)) {
+      Sup.push_back({"SUP", Path, Note.Line,
+                     "unknown hds-lint suppression tag '" + Tag + "'",
+                     "see docs/static-analysis.md for the tag catalogue"});
+      continue;
+    }
+    if (!HasReason) {
+      Sup.push_back({"SUP", Path, Note.Line,
+                     "hds-lint suppression '" + Tag +
+                         "' is missing a reason and is ignored",
+                     "write `// hds-lint: " + Tag + "(<why>)`"});
+      continue;
+    }
+    Out.insert(Tag);
+  }
+}
+
+Suppressions collectSuppressions(const LexedFile &File,
+                                 std::vector<Finding> &Sup) {
+  Suppressions S;
+  for (const Comment &Note : File.Comments) {
+    size_t FilePos = Note.Text.find("hds-lint-file:");
+    size_t LinePos = Note.Text.find("hds-lint:");
+    if (FilePos != std::string::npos) {
+      parseSuppressionList(Note.Text, FilePos + 14, Note, File.Path,
+                           S.FileTags, Sup);
+    } else if (LinePos != std::string::npos) {
+      std::set<std::string> Tags;
+      parseSuppressionList(Note.Text, LinePos + 9, Note, File.Path, Tags,
+                           Sup);
+      for (unsigned L = Note.Line; L <= Note.EndLine + 1; ++L)
+        S.ByLine[L].insert(Tags.begin(), Tags.end());
+    }
+  }
+  return S;
+}
+
+bool isSuppressed(const Suppressions &S, const std::string &Tag,
+                  unsigned Line) {
+  if (S.FileTags.count(Tag))
+    return true;
+  auto It = S.ByLine.find(Line);
+  return It != S.ByLine.end() && It->second.count(Tag) != 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Token helpers
+//===----------------------------------------------------------------------===//
+
+using Toks = std::vector<Token>;
+
+bool isIdent(const Toks &T, size_t I, std::string_view Text) {
+  return I < T.size() && T[I].K == Token::Ident && T[I].Text == Text;
+}
+
+bool isPunct(const Toks &T, size_t I, std::string_view Text) {
+  return I < T.size() && T[I].K == Token::Punct && T[I].Text == Text;
+}
+
+/// Index of the token matching the opener at \p Open ("(", "[", "{"), or
+/// T.size() when unbalanced.
+size_t matchingClose(const Toks &T, size_t Open) {
+  const std::string &O = T[Open].Text;
+  std::string C = O == "(" ? ")" : O == "[" ? "]" : "}";
+  int Depth = 0;
+  for (size_t I = Open; I < T.size(); ++I) {
+    if (T[I].K != Token::Punct)
+      continue;
+    if (T[I].Text == O)
+      ++Depth;
+    else if (T[I].Text == C && --Depth == 0)
+      return I;
+  }
+  return T.size();
+}
+
+/// For a '<' at \p Open that begins a template argument list, returns the
+/// index of the matching '>', or T.size() when it does not look like one
+/// (expression context: hits ';', '{', or unbalanced closers first).
+size_t matchingTemplateClose(const Toks &T, size_t Open) {
+  int Depth = 0;
+  for (size_t I = Open; I < T.size(); ++I) {
+    if (T[I].K != Token::Punct)
+      continue;
+    const std::string &P = T[I].Text;
+    if (P == "<")
+      ++Depth;
+    else if (P == ">" && --Depth == 0)
+      return I;
+    else if (P == ">>" && (Depth -= 2) <= 0)
+      return I; // nested close like map<int, vector<int>>
+    else if (P == ";" || P == "{")
+      return T.size();
+  }
+  return T.size();
+}
+
+/// True if token \p I is a call to the unqualified or std-qualified
+/// function \p Name: `Name(`, `std::Name(`, but not `x.Name(`,
+/// `x->Name(`, or `Other::Name(`.
+bool isFreeCall(const Toks &T, size_t I, std::string_view Name) {
+  if (!isIdent(T, I, Name) || !isPunct(T, I + 1, "("))
+    return false;
+  if (I == 0)
+    return true;
+  if (isPunct(T, I - 1, ".") || isPunct(T, I - 1, "->"))
+    return false;
+  if (isPunct(T, I - 1, "::"))
+    return I >= 2 && isIdent(T, I - 2, "std");
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Project index: unordered-container names, include graph (for D2)
+//===----------------------------------------------------------------------===//
+
+bool isUnorderedContainerName(const std::string &S) {
+  return S == "unordered_map" || S == "unordered_set" ||
+         S == "unordered_multimap" || S == "unordered_multiset";
+}
+
+struct FileFacts {
+  std::set<std::string> UnorderedNames; ///< vars / functions of unordered type
+  std::vector<std::string> Includes;    ///< quoted-include paths
+};
+
+/// Scans one file for declarations whose type is an unordered container
+/// (directly or through a `using` alias declared in the same file) and
+/// records the declared variable / accessor names.
+FileFacts collectFacts(const LexedFile &File) {
+  FileFacts Facts;
+  for (const Directive &D : File.Directives) {
+    if (!startsWith(D.Text, "include"))
+      continue;
+    size_t Q = D.Text.find('"');
+    if (Q == std::string::npos)
+      continue;
+    size_t E = D.Text.find('"', Q + 1);
+    if (E != std::string::npos)
+      Facts.Includes.push_back(D.Text.substr(Q + 1, E - Q - 1));
+  }
+
+  const Toks &T = File.Toks;
+  std::set<std::string> Aliases;
+  for (size_t I = 0; I < T.size(); ++I) {
+    bool IsUnordered = T[I].K == Token::Ident &&
+                       isUnorderedContainerName(T[I].Text);
+    bool IsAliasUse = T[I].K == Token::Ident && Aliases.count(T[I].Text) &&
+                      !isPunct(T, I + 1, "=");
+    if (!IsUnordered && !IsAliasUse)
+      continue;
+
+    // `using A = std::unordered_map<...>` — record the alias name.
+    if (IsUnordered) {
+      size_t AliasName = I;
+      // Walk back over `std ::` qualification.
+      if (AliasName >= 2 && isPunct(T, AliasName - 1, "::"))
+        AliasName -= 2;
+      if (AliasName >= 2 && isPunct(T, AliasName - 1, "=") &&
+          T[AliasName - 2].K == Token::Ident && AliasName >= 3 &&
+          isIdent(T, AliasName - 3, "using")) {
+        Aliases.insert(T[AliasName - 2].Text);
+      }
+    }
+
+    // Skip past the template argument list, if any.
+    size_t After = I + 1;
+    if (IsUnordered) {
+      if (!isPunct(T, I + 1, "<"))
+        continue;
+      size_t Close = matchingTemplateClose(T, I + 1);
+      if (Close == T.size())
+        continue;
+      After = Close + 1;
+    }
+
+    // `...> ::iterator` etc: not a declaration.
+    if (isPunct(T, After, "::"))
+      continue;
+    // Skip ref/pointer declarators.
+    while (isPunct(T, After, "&") || isPunct(T, After, "*") ||
+           isIdent(T, After, "const"))
+      ++After;
+    if (After < T.size() && T[After].K == Token::Ident)
+      Facts.UnorderedNames.insert(T[After].Text);
+  }
+  return Facts;
+}
+
+struct ProjectIndex {
+  /// Per display path: unordered names visible after resolving quoted
+  /// includes transitively across the linted file set.
+  std::map<std::string, std::set<std::string>> Visible;
+};
+
+ProjectIndex buildIndex(const std::vector<LexedFile> &Files) {
+  std::map<std::string, FileFacts> Facts;
+  for (const LexedFile &F : Files)
+    Facts.emplace(F.Path, collectFacts(F));
+
+  // Resolve a quoted include to a linted file path by suffix match.
+  auto Resolve = [&](const std::string &Inc) -> const std::string * {
+    for (const auto &[Path, F] : Facts) {
+      (void)F;
+      if (isFile(Path, Inc))
+        return &Path;
+    }
+    return nullptr;
+  };
+
+  ProjectIndex Index;
+  for (const LexedFile &F : Files) {
+    std::set<std::string> Visited;
+    std::vector<std::string> Work{F.Path};
+    std::set<std::string> Names;
+    while (!Work.empty()) {
+      std::string Cur = Work.back();
+      Work.pop_back();
+      if (!Visited.insert(Cur).second)
+        continue;
+      auto It = Facts.find(Cur);
+      if (It == Facts.end())
+        continue;
+      Names.insert(It->second.UnorderedNames.begin(),
+                   It->second.UnorderedNames.end());
+      for (const std::string &Inc : It->second.Includes)
+        if (const std::string *Target = Resolve(Inc))
+          Work.push_back(*Target);
+    }
+    Index.Visible.emplace(F.Path, std::move(Names));
+  }
+  return Index;
+}
+
+//===----------------------------------------------------------------------===//
+// D1: ambient randomness / wall clock / environment
+//===----------------------------------------------------------------------===//
+
+void checkD1(const LexedFile &File, std::vector<Finding> &Out) {
+  if (!inTree(File.Path, "src") || isFile(File.Path, "support/Rng.h"))
+    return;
+  static const char *BannedCalls[] = {
+      "rand",      "srand",         "rand_r",   "drand48", "lrand48",
+      "time",      "clock",         "gettimeofday", "clock_gettime",
+      "localtime", "gmtime",        "getenv",   "setenv",  "putenv"};
+  static const char *BannedNames[] = {
+      "random_device",  "mt19937",       "mt19937_64",
+      "minstd_rand",    "minstd_rand0",  "default_random_engine",
+      "system_clock",   "steady_clock",  "high_resolution_clock",
+      "chrono",         "uniform_int_distribution",
+      "uniform_real_distribution", "normal_distribution",
+      "bernoulli_distribution"};
+  const Toks &T = File.Toks;
+  for (size_t I = 0; I < T.size(); ++I) {
+    if (T[I].K != Token::Ident)
+      continue;
+    for (const char *Name : BannedCalls)
+      if (isFreeCall(T, I, Name))
+        Out.push_back(
+            {"D1", File.Path, T[I].Line,
+             "call to '" + T[I].Text +
+                 "' introduces ambient nondeterminism in src/",
+             "use hds::Rng (support/Rng.h) with an explicit seed, or pass "
+             "the value in as a parameter"});
+    for (const char *Name : BannedNames)
+      if (T[I].Text == Name)
+        Out.push_back(
+            {"D1", File.Path, T[I].Line,
+             "use of '" + T[I].Text +
+                 "' introduces ambient nondeterminism in src/",
+             "use hds::Rng (support/Rng.h) with an explicit seed; wall "
+             "clocks and std::random are banned in src/"});
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// D2: iteration over unordered containers
+//===----------------------------------------------------------------------===//
+
+void checkD2(const LexedFile &File, const ProjectIndex &Index,
+             std::vector<Finding> &Out) {
+  auto VisIt = Index.Visible.find(File.Path);
+  if (VisIt == Index.Visible.end() || VisIt->second.empty())
+    return;
+  const std::set<std::string> &Unordered = VisIt->second;
+  const Toks &T = File.Toks;
+
+  auto Report = [&](unsigned Line, const std::string &Name,
+                    const char *What) {
+    Out.push_back(
+        {"D2", File.Path, Line,
+         std::string(What) + " '" + Name +
+             "' iterates an unordered container; iteration order is not "
+             "deterministic across standard libraries",
+         "iterate a sorted copy of the keys, switch to an ordered/indexed "
+         "container, or annotate `// hds-lint: ordered-ok(<why the order "
+         "cannot affect results>)`"});
+  };
+
+  for (size_t I = 0; I < T.size(); ++I) {
+    // Range-for whose sequence mentions an unordered name.
+    if (isIdent(T, I, "for") && isPunct(T, I + 1, "(")) {
+      size_t Close = matchingClose(T, I + 1);
+      if (Close == T.size())
+        continue;
+      // Find the top-level ':' of a range-for (absent in classic for).
+      size_t Colon = T.size();
+      int Depth = 0;
+      for (size_t J = I + 2; J < Close; ++J) {
+        if (T[J].K != Token::Punct)
+          continue;
+        const std::string &P = T[J].Text;
+        if (P == "(" || P == "[" || P == "{")
+          ++Depth;
+        else if (P == ")" || P == "]" || P == "}")
+          --Depth;
+        else if (P == ":" && Depth == 0) {
+          Colon = J;
+          break;
+        } else if (P == ";" && Depth == 0)
+          break; // classic for
+      }
+      if (Colon == T.size())
+        continue;
+      for (size_t J = Colon + 1; J < Close; ++J)
+        if (T[J].K == Token::Ident && Unordered.count(T[J].Text)) {
+          Report(T[I].Line, T[J].Text, "range-for over");
+          break;
+        }
+      continue;
+    }
+
+    // Explicit iterator walk: X.begin() / X->begin() / X.cbegin().
+    if ((isPunct(T, I, ".") || isPunct(T, I, "->")) &&
+        (isIdent(T, I + 1, "begin") || isIdent(T, I + 1, "cbegin")) &&
+        isPunct(T, I + 2, "(") && I > 0 && T[I - 1].K == Token::Ident &&
+        Unordered.count(T[I - 1].Text)) {
+      // `Vec.assign(M.begin(), M.end())` style copies still enumerate in
+      // hash order, so they are flagged too — constructing a container
+      // from them is only safe when the destination re-sorts.
+      Report(T[I].Line, T[I - 1].Text, "iterator walk of");
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// D3: pointer-keyed ordering
+//===----------------------------------------------------------------------===//
+
+/// True when the token range [Begin, End) (one template argument) denotes
+/// a raw pointer type: last meaningful token is '*'.
+bool isPointerTypeArg(const Toks &T, size_t Begin, size_t End) {
+  for (size_t I = End; I > Begin; --I) {
+    const Token &Tok = T[I - 1];
+    if (Tok.K == Token::Ident && Tok.Text == "const")
+      continue;
+    return Tok.K == Token::Punct && Tok.Text == "*";
+  }
+  return false;
+}
+
+void checkD3(const LexedFile &File, std::vector<Finding> &Out) {
+  const Toks &T = File.Toks;
+  for (size_t I = 0; I < T.size(); ++I) {
+    if (T[I].K != Token::Ident)
+      continue;
+    const std::string &Name = T[I].Text;
+
+    // std::map<T*, ...> / std::set<T*> / std::less<T*>.
+    bool IsOrderedContainer = Name == "map" || Name == "set" ||
+                              Name == "multimap" || Name == "multiset" ||
+                              Name == "less";
+    if (IsOrderedContainer && isPunct(T, I + 1, "<") && I >= 2 &&
+        isPunct(T, I - 1, "::") && isIdent(T, I - 2, "std")) {
+      size_t Close = matchingTemplateClose(T, I + 1);
+      if (Close != T.size()) {
+        // First top-level template argument.
+        size_t ArgEnd = Close;
+        int Depth = 0;
+        for (size_t J = I + 2; J < Close; ++J) {
+          if (T[J].K != Token::Punct)
+            continue;
+          const std::string &P = T[J].Text;
+          if (P == "<" || P == "(")
+            ++Depth;
+          else if (P == ">" || P == ")")
+            --Depth;
+          else if (P == "," && Depth == 0) {
+            ArgEnd = J;
+            break;
+          }
+        }
+        if (isPointerTypeArg(T, I + 2, ArgEnd))
+          Out.push_back(
+              {"D3", File.Path, T[I].Line,
+               "std::" + Name + " keyed by a raw pointer orders entries by "
+                                "address, which varies run to run",
+               "key by a stable id (RefId, stream index, name) or sort by "
+               "a value-based field; annotate `// hds-lint: "
+               "pointer-key-ok(<why>)` only if iteration order is never "
+               "observed"});
+      }
+    }
+
+    // std::sort / stable_sort with a comparator lambda comparing two
+    // pointer parameters by value.
+    bool IsSort = Name == "sort" || Name == "stable_sort" ||
+                  Name == "partial_sort" || Name == "nth_element";
+    if (IsSort && isPunct(T, I + 1, "(")) {
+      size_t CallClose = matchingClose(T, I + 1);
+      if (CallClose == T.size())
+        continue;
+      for (size_t J = I + 2; J < CallClose; ++J) {
+        if (!isPunct(T, J, "["))
+          continue;
+        size_t CaptureClose = matchingClose(T, J);
+        if (CaptureClose == T.size() || !isPunct(T, CaptureClose + 1, "("))
+          break;
+        size_t ParamClose = matchingClose(T, CaptureClose + 1);
+        if (ParamClose == T.size())
+          break;
+        // Collect names of pointer-typed parameters.
+        std::set<std::string> PtrParams;
+        bool SawStar = false;
+        for (size_t K = CaptureClose + 2; K < ParamClose; ++K) {
+          if (isPunct(T, K, "*"))
+            SawStar = true;
+          else if (isPunct(T, K, ",")) {
+            SawStar = false;
+          } else if (T[K].K == Token::Ident && SawStar &&
+                     (isPunct(T, K + 1, ",") || K + 1 == ParamClose))
+            PtrParams.insert(T[K].Text);
+        }
+        if (PtrParams.size() < 2)
+          break;
+        size_t BodyOpen = ParamClose + 1;
+        while (BodyOpen < CallClose && !isPunct(T, BodyOpen, "{"))
+          ++BodyOpen;
+        if (BodyOpen >= CallClose)
+          break;
+        size_t BodyClose = matchingClose(T, BodyOpen);
+        for (size_t K = BodyOpen; K + 2 < BodyClose; ++K)
+          if (T[K].K == Token::Ident && PtrParams.count(T[K].Text) &&
+              (isPunct(T, K + 1, "<") || isPunct(T, K + 1, ">")) &&
+              T[K + 2].K == Token::Ident && PtrParams.count(T[K + 2].Text))
+            Out.push_back(
+                {"D3", File.Path, T[K].Line,
+                 "comparator orders by raw pointer value; the resulting "
+                 "order varies with allocation layout",
+                 "compare a stable field of the pointees instead, or "
+                 "annotate `// hds-lint: pointer-key-ok(<why>)`"});
+        break;
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// D4: raw allocation outside designated allocator files
+//===----------------------------------------------------------------------===//
+
+void checkD4(const LexedFile &File, std::vector<Finding> &Out) {
+  if (!inTree(File.Path, "src"))
+    return;
+  static const char *AllocCalls[] = {"malloc",       "calloc", "realloc",
+                                     "free",         "strdup", "aligned_alloc",
+                                     "posix_memalign"};
+  const Toks &T = File.Toks;
+  for (size_t I = 0; I < T.size(); ++I) {
+    if (T[I].K != Token::Ident)
+      continue;
+    bool PrevIsOperator = I > 0 && isIdent(T, I - 1, "operator");
+    if (T[I].Text == "new" && !PrevIsOperator) {
+      Out.push_back({"D4", File.Path, T[I].Line,
+                     "raw `new` outside a designated allocator file",
+                     "use std::make_unique / containers, or mark the file "
+                     "with `// hds-lint-file: alloc-ok(<why>)` if it is an "
+                     "intrusive-structure allocator by design"});
+    } else if (T[I].Text == "delete" && !PrevIsOperator &&
+               !(I > 0 && isPunct(T, I - 1, "="))) {
+      Out.push_back({"D4", File.Path, T[I].Line,
+                     "raw `delete` outside a designated allocator file",
+                     "use std::unique_ptr ownership, or mark the file with "
+                     "`// hds-lint-file: alloc-ok(<why>)`"});
+    } else {
+      for (const char *Name : AllocCalls)
+        if (isFreeCall(T, I, Name))
+          Out.push_back({"D4", File.Path, T[I].Line,
+                         "C allocation call '" + T[I].Text +
+                             "' outside a designated allocator file",
+                         "use RAII containers, or mark the file with "
+                         "`// hds-lint-file: alloc-ok(<why>)`"});
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// H1: header hygiene
+//===----------------------------------------------------------------------===//
+
+/// Canonical include-guard name: HDS_ + path components from the nearest
+/// top-level tree (dropping a leading "src"), upper-cased, with non-alnum
+/// mapped to '_': src/core/RunStats.h -> HDS_CORE_RUNSTATS_H.
+std::string canonicalGuard(const std::string &Path) {
+  static const char *Roots[] = {"src", "tools", "bench", "tests", "examples"};
+  // Split the path into components.
+  std::vector<std::string> Parts;
+  std::string Cur;
+  for (char C : Path) {
+    if (C == '/') {
+      if (!Cur.empty())
+        Parts.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur.push_back(C);
+    }
+  }
+  if (!Cur.empty())
+    Parts.push_back(Cur);
+
+  size_t Begin = 0;
+  for (size_t I = Parts.size(); I > 0; --I)
+    for (const char *Root : Roots)
+      if (Parts[I - 1] == Root) {
+        Begin = Parts[I - 1] == std::string("src") ? I : I - 1;
+        goto found;
+      }
+found:
+  std::string Guard = "HDS";
+  for (size_t I = Begin; I < Parts.size(); ++I) {
+    Guard += '_';
+    for (char C : Parts[I])
+      Guard += std::isalnum(static_cast<unsigned char>(C))
+                   ? static_cast<char>(
+                         std::toupper(static_cast<unsigned char>(C)))
+                   : '_';
+  }
+  return Guard;
+}
+
+/// Requirement: when a header uses \p Symbol (qualified with std:: when
+/// \p NeedsStd), it must include one of \p Headers itself.
+struct IncludeRequirement {
+  const char *Symbol;
+  bool NeedsStd;
+  std::vector<const char *> Headers;
+};
+
+const std::vector<IncludeRequirement> &includeRequirements() {
+  static const std::vector<IncludeRequirement> Reqs = {
+      {"vector", true, {"vector"}},
+      {"string", true, {"string"}},
+      {"unordered_map", true, {"unordered_map"}},
+      {"unordered_set", true, {"unordered_set"}},
+      {"map", true, {"map"}},
+      {"set", true, {"set"}},
+      {"deque", true, {"deque"}},
+      {"optional", true, {"optional"}},
+      {"function", true, {"functional"}},
+      {"pair", true, {"utility", "map", "unordered_map"}},
+      {"unique_ptr", true, {"memory"}},
+      {"shared_ptr", true, {"memory"}},
+      {"make_unique", true, {"memory"}},
+      {"sort", true, {"algorithm"}},
+      {"stable_sort", true, {"algorithm"}},
+      {"lower_bound", true, {"algorithm"}},
+      {"upper_bound", true, {"algorithm"}},
+      {"ostream", true, {"ostream", "iostream", "sstream", "iosfwd"}},
+      {"istream", true, {"istream", "iostream", "sstream", "iosfwd"}},
+      {"uint8_t", false, {"cstdint", "stdint.h"}},
+      {"uint16_t", false, {"cstdint", "stdint.h"}},
+      {"uint32_t", false, {"cstdint", "stdint.h"}},
+      {"uint64_t", false, {"cstdint", "stdint.h"}},
+      {"int8_t", false, {"cstdint", "stdint.h"}},
+      {"int16_t", false, {"cstdint", "stdint.h"}},
+      {"int32_t", false, {"cstdint", "stdint.h"}},
+      {"int64_t", false, {"cstdint", "stdint.h"}},
+      {"uintptr_t", false, {"cstdint", "stdint.h"}},
+      {"size_t", false, {"cstddef", "cstdint", "cstdio", "cstring"}},
+      {"assert", false, {"cassert", "assert.h"}},
+      {"memcpy", false, {"cstring", "string.h"}},
+      {"memset", false, {"cstring", "string.h"}},
+      {"memmove", false, {"cstring", "string.h"}},
+  };
+  return Reqs;
+}
+
+void checkH1(const LexedFile &File, std::vector<Finding> &Out) {
+  if (!isHeaderPath(File.Path))
+    return;
+
+  // Guard structure.
+  bool HasPragmaOnce = false;
+  for (const Directive &D : File.Directives)
+    if (startsWith(D.Text, "pragma") &&
+        D.Text.find("once") != std::string::npos)
+      HasPragmaOnce = true;
+
+  if (!HasPragmaOnce) {
+    if (File.Directives.empty() ||
+        !startsWith(File.Directives.front().Text, "ifndef")) {
+      Out.push_back({"H1", File.Path, 1,
+                     "header has no include guard (or the guard is not the "
+                     "first preprocessor directive)",
+                     "open with `#ifndef " + canonicalGuard(File.Path) +
+                         "` / `#define ...` and close with `#endif`"});
+    } else {
+      const std::string &IfLine = File.Directives.front().Text;
+      std::string Guard = IfLine.substr(6);
+      size_t B = Guard.find_first_not_of(" \t");
+      Guard = B == std::string::npos ? std::string() : Guard.substr(B);
+      size_t E = Guard.find_first_of(" \t");
+      if (E != std::string::npos)
+        Guard = Guard.substr(0, E);
+      std::string Expected = canonicalGuard(File.Path);
+      if (Guard != Expected)
+        Out.push_back({"H1", File.Path, File.Directives.front().Line,
+                       "include guard '" + Guard +
+                           "' does not match the canonical name",
+                       "rename the guard to '" + Expected + "'"});
+      if (File.Directives.size() < 2 ||
+          !startsWith(File.Directives[1].Text, "define ") ||
+          File.Directives[1].Text.find(Guard) == std::string::npos)
+        Out.push_back({"H1", File.Path, File.Directives.front().Line,
+                       "include guard '" + Guard +
+                           "' is not #defined immediately after #ifndef",
+                       "pair `#ifndef " + Guard + "` with `#define " +
+                           Guard + "`"});
+    }
+  }
+
+  // Self-containment: used symbols must be included by this header.
+  std::set<std::string> Included;
+  for (const Directive &D : File.Directives) {
+    if (!startsWith(D.Text, "include"))
+      continue;
+    size_t B = D.Text.find_first_of("<\"");
+    size_t E = D.Text.find_first_of(">\"", B + 1);
+    if (B != std::string::npos && E != std::string::npos)
+      Included.insert(D.Text.substr(B + 1, E - B - 1));
+  }
+  const Toks &T = File.Toks;
+  std::set<std::string> AlreadyFlagged;
+  for (size_t I = 0; I < T.size(); ++I) {
+    if (T[I].K != Token::Ident)
+      continue;
+    for (const IncludeRequirement &Req : includeRequirements()) {
+      if (T[I].Text != Req.Symbol || AlreadyFlagged.count(Req.Symbol))
+        continue;
+      if (Req.NeedsStd &&
+          !(I >= 2 && isPunct(T, I - 1, "::") && isIdent(T, I - 2, "std")))
+        continue;
+      if (!Req.NeedsStd &&
+          (isPunct(T, I + 1, "::") ||
+           (I > 0 && (isPunct(T, I - 1, ".") || isPunct(T, I - 1, "->")))))
+        continue;
+      bool Satisfied = false;
+      for (const char *H : Req.Headers)
+        if (Included.count(H))
+          Satisfied = true;
+      if (!Satisfied) {
+        AlreadyFlagged.insert(Req.Symbol);
+        Out.push_back({"H1", File.Path, T[I].Line,
+                       "header uses '" + T[I].Text + "' but does not "
+                       "include <" + Req.Headers.front() +
+                           "> itself (not self-contained)",
+                       "add `#include <" + std::string(Req.Headers.front()) +
+                           ">` to this header"});
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// C1: cycle accounting must route through the accounting API
+//===----------------------------------------------------------------------===//
+
+void checkC1(const LexedFile &File, std::vector<Finding> &Out) {
+  if (!inTree(File.Path, "src/memsim") && !inTree(File.Path, "src/core") &&
+      !inTree(File.Path, "src/vulcan"))
+    return;
+  const Toks &T = File.Toks;
+  for (size_t I = 0; I < T.size(); ++I) {
+    if (T[I].K != Token::Ident)
+      continue;
+    const std::string &Name = T[I].Text;
+    bool IsCounter = Name == "Now" || (Name.size() > 6 &&
+                                       endsWith(Name, "Cycles"));
+    if (!IsCounter)
+      continue;
+    bool Mutates =
+        isPunct(T, I + 1, "+=") || isPunct(T, I + 1, "-=") ||
+        isPunct(T, I + 1, "++") || isPunct(T, I + 1, "--") ||
+        (I > 0 && (isPunct(T, I - 1, "++") || isPunct(T, I - 1, "--")));
+    if (Mutates)
+      Out.push_back(
+          {"C1", File.Path, T[I].Line,
+           "ad-hoc arithmetic on cycle counter '" + Name +
+               "' bypasses the cycle-accounting API",
+           "route the charge through MemoryHierarchy::tick()/charge() so "
+           "stall attribution and replay fidelity stay consistent; the "
+           "designated accounting primitive carries `// hds-lint: "
+           "cycles-ok(...)`"});
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Catalogue and driver
+//===----------------------------------------------------------------------===//
+
+const std::vector<RuleInfo> &ruleCatalog() {
+  static const std::vector<RuleInfo> Rules = {
+      {"D1", "randomness-ok",
+       "no ambient randomness, wall clock, or environment reads in src/"},
+      {"D2", "ordered-ok",
+       "no iteration over unordered containers without an ordered-ok note"},
+      {"D3", "pointer-key-ok",
+       "no ordering or sorting keyed on raw pointer values"},
+      {"D4", "alloc-ok",
+       "no raw new/delete/malloc outside designated allocator files"},
+      {"H1", "header-ok",
+       "canonical include guards and self-contained headers"},
+      {"C1", "cycles-ok",
+       "cycle charging must route through the cycle-accounting API"},
+      {"SUP", nullptr, "hds-lint suppression comments must be well-formed"},
+  };
+  return Rules;
+}
+
+std::vector<Finding> runLint(const std::vector<LexedFile> &Files,
+                             const LintOptions &Opts) {
+  ProjectIndex Index = buildIndex(Files);
+
+  auto RuleEnabled = [&](const char *Id) {
+    if (Opts.OnlyRules.empty())
+      return true;
+    return std::find(Opts.OnlyRules.begin(), Opts.OnlyRules.end(), Id) !=
+           Opts.OnlyRules.end();
+  };
+
+  std::vector<Finding> Result;
+  for (const LexedFile &File : Files) {
+    std::vector<Finding> SupFindings;
+    Suppressions Sup = collectSuppressions(File, SupFindings);
+
+    std::vector<Finding> Raw;
+    if (RuleEnabled("D1"))
+      checkD1(File, Raw);
+    if (RuleEnabled("D2"))
+      checkD2(File, Index, Raw);
+    if (RuleEnabled("D3"))
+      checkD3(File, Raw);
+    if (RuleEnabled("D4"))
+      checkD4(File, Raw);
+    if (RuleEnabled("H1"))
+      checkH1(File, Raw);
+    if (RuleEnabled("C1"))
+      checkC1(File, Raw);
+
+    for (Finding &F : Raw) {
+      const char *Tag = nullptr;
+      for (const RuleInfo &R : ruleCatalog())
+        if (F.RuleId == R.Id)
+          Tag = R.Tag;
+      if (Tag && isSuppressed(Sup, Tag, F.Line))
+        continue;
+      Result.push_back(std::move(F));
+    }
+    if (RuleEnabled("SUP"))
+      for (Finding &F : SupFindings)
+        Result.push_back(std::move(F));
+  }
+
+  std::sort(Result.begin(), Result.end(),
+            [](const Finding &A, const Finding &B) {
+              if (A.Path != B.Path)
+                return A.Path < B.Path;
+              if (A.Line != B.Line)
+                return A.Line < B.Line;
+              return A.RuleId < B.RuleId;
+            });
+  // Identical findings can arise when one line trips a rule twice.
+  Result.erase(std::unique(Result.begin(), Result.end(),
+                           [](const Finding &A, const Finding &B) {
+                             return A.Path == B.Path && A.Line == B.Line &&
+                                    A.RuleId == B.RuleId &&
+                                    A.Message == B.Message;
+                           }),
+               Result.end());
+  return Result;
+}
+
+std::string formatFinding(const Finding &F) {
+  std::string S = F.Path + ":" + std::to_string(F.Line) + ": [" + F.RuleId +
+                  "] " + F.Message;
+  if (!F.FixHint.empty())
+    S += "\n  fix: " + F.FixHint;
+  return S;
+}
+
+} // namespace lint
+} // namespace hds
