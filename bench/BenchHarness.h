@@ -6,11 +6,13 @@
 ///
 /// \file
 /// Shared plumbing for the benches that regenerate the paper's figures
-/// and tables: run one benchmark under one RunMode and report cycles plus
-/// the collected statistics.  "% overhead" follows the paper's Figures
-/// 11/12: normalized to the execution time of the original unoptimized
-/// program; positive values indicate performance degradation and negative
-/// values indicate speedup.
+/// and tables, now a thin adapter over the experiment engine
+/// (src/engine): one benchmark under one RunMode is one ExperimentSpec,
+/// and a whole figure is a matrix the engine can shard across cores.
+/// "% overhead" follows the paper's Figures 11/12: normalized to the
+/// execution time of the original unoptimized program; positive values
+/// indicate performance degradation and negative values indicate
+/// speedup.
 ///
 /// All benches accept an optional scale factor as argv[1] (default 1.0)
 /// multiplying each benchmark's iteration count — useful for quick local
@@ -22,26 +24,24 @@
 #define HDS_BENCH_BENCHHARNESS_H
 
 #include "core/Runtime.h"
+#include "engine/ExperimentRunner.h"
+#include "engine/ExperimentSpec.h"
 #include "workloads/Workload.h"
 
 #include <cassert>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <memory>
 #include <string>
+#include <vector>
 
 namespace hds {
 namespace bench {
 
-/// Outcome of one benchmark run.
-struct RunResult {
-  uint64_t Cycles = 0;
-  core::RunStats Stats;
-  memsim::HierarchyStats Memory;
-  memsim::CacheStats L1;
-  memsim::CacheStats L2;
-};
+/// Outcome of one benchmark run (the engine's result record; benches use
+/// the Cycles/Stats/Memory/L1/L2 fields).
+using RunResult = engine::RunResult;
 
 /// Runs \p WorkloadName under \p Mode for its default iteration count
 /// scaled by \p Scale.  \p Tweak (optional) may adjust the configuration
@@ -50,28 +50,25 @@ inline RunResult
 runWorkload(const std::string &WorkloadName, core::RunMode Mode,
             double Scale = 1.0,
             void (*Tweak)(core::OptimizerConfig &) = nullptr) {
-  std::unique_ptr<workloads::Workload> Bench =
-      workloads::createWorkload(WorkloadName);
-  assert(Bench && "unknown workload");
-
-  core::OptimizerConfig Config;
-  Config.Mode = Mode;
-  if (Tweak)
-    Tweak(Config);
-
-  core::Runtime Rt(Config);
-  Bench->setup(Rt);
-  const uint64_t Iterations = static_cast<uint64_t>(
-      static_cast<double>(Bench->defaultIterations()) * Scale);
-  Bench->run(Rt, Iterations > 0 ? Iterations : 1);
-
-  RunResult Result;
-  Result.Cycles = Rt.cycles();
-  Result.Stats = Rt.stats();
-  Result.Memory = Rt.memory().stats();
-  Result.L1 = Rt.memory().l1().stats();
-  Result.L2 = Rt.memory().l2().stats();
+  engine::ExperimentSpec Spec;
+  Spec.Workload = WorkloadName;
+  Spec.Mode = Mode;
+  Spec.Scale = Scale;
+  RunResult Result = engine::runExperiment(Spec, Tweak);
+  assert(Result.ok() && "unknown workload");
   return Result;
+}
+
+/// Matrix entry point: runs every spec through the parallel engine,
+/// sharded across \p Jobs worker threads, and returns results in spec
+/// order.  Results are byte-identical for any job count; benches that
+/// fan out whole figures use this instead of serial runWorkload loops.
+inline std::vector<RunResult>
+runSpecs(const std::vector<engine::ExperimentSpec> &Specs,
+         unsigned Jobs = 1) {
+  engine::MatrixOptions Opts;
+  Opts.Jobs = Jobs;
+  return engine::runMatrix(Specs, Opts);
 }
 
 /// % overhead of \p Cycles relative to \p BaselineCycles (negative =
@@ -82,13 +79,19 @@ inline double overheadPercent(uint64_t Cycles, uint64_t BaselineCycles) {
          static_cast<double>(BaselineCycles);
 }
 
-/// Parses the optional argv[1] scale factor.
+/// Parses the optional argv[1] scale factor.  Rejects anything that is
+/// not a finite number > 0 — a garbled scale would silently run every
+/// benchmark at nonsense iteration counts.
 inline double parseScale(int Argc, char **Argv) {
   if (Argc < 2)
     return 1.0;
-  const double Scale = std::atof(Argv[1]);
-  if (Scale <= 0.0) {
-    std::fprintf(stderr, "usage: %s [scale > 0]\n", Argv[0]);
+  char *End = nullptr;
+  const double Scale = std::strtod(Argv[1], &End);
+  if (End == Argv[1] || *End != '\0' || !std::isfinite(Scale) ||
+      Scale <= 0.0) {
+    std::fprintf(stderr,
+                 "%s: invalid scale '%s' (expected a finite number > 0)\n",
+                 Argv[0], Argv[1]);
     std::exit(1);
   }
   return Scale;

@@ -35,6 +35,40 @@ const char *hds::core::runModeName(RunMode Mode) {
   return "unknown";
 }
 
+const char *hds::core::runModeToken(RunMode Mode) {
+  switch (Mode) {
+  case RunMode::Original:
+    return "original";
+  case RunMode::ChecksOnly:
+    return "base";
+  case RunMode::Profile:
+    return "prof";
+  case RunMode::ProfileAnalyze:
+    return "hds";
+  case RunMode::MatchNoPrefetch:
+    return "nopref";
+  case RunMode::SequentialPrefetch:
+    return "seqpref";
+  case RunMode::DynamicPrefetch:
+    return "dynpref";
+  }
+  return "unknown";
+}
+
+bool hds::core::parseRunModeToken(const std::string &Token, RunMode &Mode) {
+  static const RunMode All[] = {
+      RunMode::Original,        RunMode::ChecksOnly,
+      RunMode::Profile,         RunMode::ProfileAnalyze,
+      RunMode::MatchNoPrefetch, RunMode::SequentialPrefetch,
+      RunMode::DynamicPrefetch};
+  for (RunMode M : All)
+    if (Token == runModeToken(M)) {
+      Mode = M;
+      return true;
+    }
+  return false;
+}
+
 void DynamicOptimizer::onCheckEvent(profiling::CheckEvent Event) {
   if (Pinned)
     return; // static-scheme model: the installed code stays as-is

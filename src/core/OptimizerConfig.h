@@ -26,6 +26,7 @@
 #include "profiling/BurstyTracer.h"
 
 #include <cstdint>
+#include <string>
 
 namespace hds {
 namespace core {
@@ -59,6 +60,15 @@ enum class RunMode : uint8_t {
 
 /// Returns a short printable name ("Dyn-pref" etc.) for \p Mode.
 const char *runModeName(RunMode Mode);
+
+/// Returns the stable command-line token ("dynpref" etc.) for \p Mode.
+/// Tokens are the vocabulary of hds_run --mode, hds_matrix filters, and
+/// the machine-readable results JSON.
+const char *runModeToken(RunMode Mode);
+
+/// Parses a command-line token (original, base, prof, hds, nopref,
+/// seqpref, dynpref) into \p Mode.  Returns false for unknown tokens.
+bool parseRunModeToken(const std::string &Token, RunMode &Mode);
 
 /// \name Feature ladder: each mode includes everything below it.
 /// @{

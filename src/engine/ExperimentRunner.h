@@ -1,0 +1,92 @@
+//===- engine/ExperimentRunner.h - Run specs, shard matrices ---*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes experiment specs: one at a time (runExperiment) or as a
+/// sharded matrix across a JobScheduler worker pool (runMatrix).  Each
+/// job builds a private Runtime, so jobs share no mutable state; the
+/// ResultSink merges their results in spec order, making the aggregate
+/// deterministic for any thread count (docs/engine.md states the
+/// contract precisely).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_ENGINE_EXPERIMENTRUNNER_H
+#define HDS_ENGINE_EXPERIMENTRUNNER_H
+
+#include "core/OptimizerConfig.h"
+#include "core/RunStats.h"
+#include "engine/ExperimentSpec.h"
+#include "memsim/Cache.h"
+#include "memsim/MemoryHierarchy.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace hds {
+namespace engine {
+
+/// Outcome of one experiment.  Echoes the spec so a result is
+/// self-describing wherever it travels (JSON writer, progress callbacks).
+struct RunResult {
+  enum class Status : uint8_t {
+    Cancelled, ///< dropped before it ran (matrix cancellation)
+    Error,     ///< could not run (unknown workload, ...)
+    Ok,
+  };
+
+  ExperimentSpec Spec;
+  Status State = Status::Cancelled;
+  std::string Error;
+
+  /// Iteration count actually executed (resolves Scale × default).
+  uint64_t Iterations = 0;
+  uint64_t Cycles = 0;
+  core::RunStats Stats;
+  memsim::HierarchyStats Memory;
+  memsim::CacheStats L1;
+  memsim::CacheStats L2;
+
+  bool ok() const { return State == Status::Ok; }
+};
+
+/// Optional hook adjusting the materialized configuration before the
+/// Runtime is constructed (the figure benches' ablation tweaks).  Tweaked
+/// runs are not reproducible from the spec alone, so the matrix engine
+/// never applies one; only direct runExperiment callers do.
+using ConfigTweak = void (*)(core::OptimizerConfig &);
+
+/// Runs one spec to completion in the calling thread.
+RunResult runExperiment(const ExperimentSpec &Spec,
+                        ConfigTweak Tweak = nullptr);
+
+/// Matrix execution knobs.
+struct MatrixOptions {
+  /// Worker threads (clamped to at least 1).
+  unsigned Jobs = 1;
+  /// When non-null and set, jobs that have not started yet finish as
+  /// Status::Cancelled instead of running.  Running jobs complete.
+  const std::atomic<bool> *CancelRequested = nullptr;
+  /// Progress callback: invoked once per finished job in *completion*
+  /// order (serialized by the sink lock).  Index is the spec's position
+  /// in the matrix.
+  std::function<void(std::size_t Index, const RunResult &Result)> OnResult;
+};
+
+/// Runs every spec and returns results in spec order.  The returned
+/// vector's contents are byte-identical for any Opts.Jobs value; only
+/// wall-clock differs.
+std::vector<RunResult> runMatrix(const std::vector<ExperimentSpec> &Specs,
+                                 const MatrixOptions &Opts = MatrixOptions());
+
+} // namespace engine
+} // namespace hds
+
+#endif // HDS_ENGINE_EXPERIMENTRUNNER_H

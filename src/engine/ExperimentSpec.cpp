@@ -1,0 +1,110 @@
+//===- engine/ExperimentSpec.cpp - One cell of the run matrix -------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/ExperimentSpec.h"
+
+#include "workloads/Workload.h"
+
+#include <cstdlib>
+
+using namespace hds;
+using namespace hds::engine;
+
+core::OptimizerConfig ExperimentSpec::materializeConfig() const {
+  core::OptimizerConfig Config;
+  Config.Mode = Mode;
+  Config.Dfsm.HeadLength = HeadLength;
+  Config.EnableStridePrefetcher = Stride;
+  Config.EnableMarkovPrefetcher = Markov;
+  Config.PinFirstOptimization = Pin;
+  Config.AdaptiveHibernation = Adaptive;
+  return Config;
+}
+
+std::string ExperimentSpec::label() const {
+  std::string Label = Workload + "/" + core::runModeToken(Mode);
+  if (Seed != 0)
+    Label += "@" + std::to_string(Seed);
+  if (Stride)
+    Label += "+stride";
+  if (Markov)
+    Label += "+markov";
+  if (Pin)
+    Label += "+pinned";
+  if (Adaptive)
+    Label += "+adaptive";
+  return Label;
+}
+
+std::vector<ExperimentSpec> hds::engine::defaultMatrix(double Scale) {
+  static const core::RunMode Modes[] = {
+      core::RunMode::Original,        core::RunMode::ChecksOnly,
+      core::RunMode::Profile,         core::RunMode::ProfileAnalyze,
+      core::RunMode::MatchNoPrefetch, core::RunMode::SequentialPrefetch,
+      core::RunMode::DynamicPrefetch};
+  std::vector<ExperimentSpec> Specs;
+  for (const std::string &Name : workloads::allWorkloadNames())
+    for (core::RunMode Mode : Modes) {
+      ExperimentSpec Spec;
+      Spec.Workload = Name;
+      Spec.Mode = Mode;
+      Spec.Scale = Scale;
+      Specs.push_back(Spec);
+    }
+  return Specs;
+}
+
+bool hds::engine::applyFilter(std::vector<ExperimentSpec> &Specs,
+                              const std::string &Filter,
+                              std::string *Error) {
+  const size_t Eq = Filter.find('=');
+  if (Eq == std::string::npos || Eq == 0 || Eq + 1 >= Filter.size()) {
+    if (Error)
+      *Error = "filter '" + Filter + "' is not of the form key=value";
+    return false;
+  }
+  const std::string Key = Filter.substr(0, Eq);
+  const std::string Value = Filter.substr(Eq + 1);
+
+  auto Keep = [&](auto Pred) {
+    std::vector<ExperimentSpec> Kept;
+    for (const ExperimentSpec &Spec : Specs)
+      if (Pred(Spec))
+        Kept.push_back(Spec);
+    Specs = std::move(Kept);
+  };
+
+  if (Key == "workload") {
+    Keep([&](const ExperimentSpec &S) { return S.Workload == Value; });
+    return true;
+  }
+  if (Key == "mode") {
+    core::RunMode Mode;
+    if (!core::parseRunModeToken(Value, Mode)) {
+      if (Error)
+        *Error = "unknown mode '" + Value +
+                 "' (expected original|base|prof|hds|nopref|seqpref|dynpref)";
+      return false;
+    }
+    Keep([&](const ExperimentSpec &S) { return S.Mode == Mode; });
+    return true;
+  }
+  if (Key == "seed") {
+    char *End = nullptr;
+    const uint64_t Seed = std::strtoull(Value.c_str(), &End, 10);
+    if (End == Value.c_str() || *End != '\0') {
+      if (Error)
+        *Error = "seed '" + Value + "' is not a decimal integer";
+      return false;
+    }
+    Keep([&](const ExperimentSpec &S) { return S.Seed == Seed; });
+    return true;
+  }
+  if (Error)
+    *Error = "unknown filter key '" + Key +
+             "' (expected workload, mode, or seed)";
+  return false;
+}

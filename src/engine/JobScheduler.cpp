@@ -1,0 +1,92 @@
+//===- engine/JobScheduler.cpp - Fixed-size worker pool -------------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/JobScheduler.h"
+
+using namespace hds;
+using namespace hds::engine;
+
+JobScheduler::JobScheduler(unsigned ThreadCount) {
+  if (ThreadCount == 0)
+    ThreadCount = 1;
+  Workers.reserve(ThreadCount);
+  for (unsigned I = 0; I < ThreadCount; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+JobScheduler::~JobScheduler() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+    Dropped += Queue.size();
+    Pending -= Queue.size();
+    Queue.clear();
+    if (Pending == 0)
+      AllDone.notify_all();
+  }
+  WorkReady.notify_all();
+  // Workers (std::jthread) join in their destructor; they are declared
+  // after every member they touch, so they are destroyed first.
+}
+
+void JobScheduler::submit(std::function<void()> Job) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (ShuttingDown) {
+      ++Dropped;
+      return;
+    }
+    Queue.push_back(std::move(Job));
+    ++Pending;
+  }
+  WorkReady.notify_one();
+}
+
+void JobScheduler::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllDone.wait(Lock, [this] { return Pending == 0; });
+}
+
+void JobScheduler::cancel() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Dropped += Queue.size();
+  Pending -= Queue.size();
+  Queue.clear();
+  if (Pending == 0)
+    AllDone.notify_all();
+}
+
+std::size_t JobScheduler::executed() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Executed;
+}
+
+std::size_t JobScheduler::dropped() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Dropped;
+}
+
+void JobScheduler::workerLoop() {
+  for (;;) {
+    std::function<void()> Job;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkReady.wait(Lock,
+                     [this] { return ShuttingDown || !Queue.empty(); });
+      if (Queue.empty())
+        return; // shutting down and drained
+      Job = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Job();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++Executed;
+      if (--Pending == 0)
+        AllDone.notify_all();
+    }
+  }
+}

@@ -1,0 +1,275 @@
+//===- engine/ResultsJson.cpp - Machine-readable results ------------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/ResultsJson.h"
+
+#include <cstdio>
+
+using namespace hds;
+using namespace hds::engine;
+
+namespace {
+
+std::string formatDouble(double Value, const char *Format) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), Format, Value);
+  return Buf;
+}
+
+const char *statusName(RunResult::Status State) {
+  switch (State) {
+  case RunResult::Status::Ok:
+    return "ok";
+  case RunResult::Status::Error:
+    return "error";
+  case RunResult::Status::Cancelled:
+    return "cancelled";
+  }
+  return "unknown";
+}
+
+/// The Original-mode baseline a result's overhead is normalized to, or
+/// nullptr when the result set has none: same workload/scale/seed and
+/// iteration override, no hardware prefetchers, completed successfully.
+const RunResult *findBaseline(const std::vector<RunResult> &Results,
+                              const ExperimentSpec &Spec) {
+  for (const RunResult &Candidate : Results) {
+    const ExperimentSpec &C = Candidate.Spec;
+    if (Candidate.ok() && C.Mode == core::RunMode::Original && !C.Stride &&
+        !C.Markov && C.Workload == Spec.Workload && C.Scale == Spec.Scale &&
+        C.Seed == Spec.Seed && C.Iterations == Spec.Iterations)
+      return &Candidate;
+  }
+  return nullptr;
+}
+
+/// Tiny append-only JSON builder: tracks indent and comma placement so
+/// the emitting code reads like the schema.
+class JsonBuilder {
+public:
+  std::string take() { return std::move(Out); }
+
+  void openObject(const char *Key = nullptr) { open(Key, '{'); }
+  void openArray(const char *Key = nullptr) { open(Key, '['); }
+
+  void close(char Bracket) {
+    --Depth;
+    Out += '\n';
+    indent();
+    Out += Bracket;
+    NeedComma = true;
+  }
+
+  void field(const char *Key, const std::string &RawValue) {
+    comma();
+    indent();
+    Out += '"';
+    Out += Key;
+    Out += "\": ";
+    Out += RawValue;
+    NeedComma = true;
+  }
+
+  void field(const char *Key, uint64_t Value) {
+    field(Key, std::to_string(Value));
+  }
+
+  void fieldString(const char *Key, const std::string &Value) {
+    field(Key, "\"" + jsonEscape(Value) + "\"");
+  }
+
+  void fieldBool(const char *Key, bool Value) {
+    field(Key, Value ? "true" : "false");
+  }
+
+  /// Embeds \p Raw verbatim as the value of \p Key (caller guarantees it
+  /// is well-formed JSON).
+  void fieldRaw(const char *Key, const std::string &Raw) {
+    field(Key, Raw);
+  }
+
+private:
+  void open(const char *Key, char Bracket) {
+    comma();
+    indent();
+    if (Key) {
+      Out += '"';
+      Out += Key;
+      Out += "\": ";
+    }
+    Out += Bracket;
+    ++Depth;
+    NeedComma = false;
+  }
+
+  void comma() {
+    if (NeedComma)
+      Out += ',';
+    Out += '\n';
+  }
+
+  void indent() { Out.append(static_cast<size_t>(Depth) * 2, ' '); }
+
+  std::string Out = "{";
+  int Depth = 1;
+  bool NeedComma = false;
+};
+
+void emitCacheStats(JsonBuilder &Json, const char *Key,
+                    const memsim::CacheStats &Stats) {
+  Json.openObject(Key);
+  Json.field("hits", Stats.Hits);
+  Json.field("misses", Stats.Misses);
+  Json.field("demand_fills", Stats.DemandFills);
+  Json.field("prefetch_fills", Stats.PrefetchFills);
+  Json.field("evictions", Stats.Evictions);
+  Json.field("useful_prefetches", Stats.UsefulPrefetches);
+  Json.field("wasted_prefetches", Stats.WastedPrefetches);
+  Json.close('}');
+}
+
+void emitResult(JsonBuilder &Json, const RunResult &Result,
+                const RunResult *Baseline) {
+  const ExperimentSpec &Spec = Result.Spec;
+  Json.openObject();
+  Json.fieldString("workload", Spec.Workload);
+  Json.fieldString("mode", core::runModeToken(Spec.Mode));
+  Json.fieldString("mode_name", core::runModeName(Spec.Mode));
+  Json.field("scale", formatDouble(Spec.Scale, "%.6g"));
+  Json.field("seed", Spec.Seed);
+  Json.field("head_length", uint64_t{Spec.HeadLength});
+  Json.fieldBool("stride", Spec.Stride);
+  Json.fieldBool("markov", Spec.Markov);
+  Json.fieldBool("pin", Spec.Pin);
+  Json.fieldBool("adaptive", Spec.Adaptive);
+  Json.fieldString("status", statusName(Result.State));
+  if (!Result.Error.empty())
+    Json.fieldString("error", Result.Error);
+  if (!Result.ok()) {
+    Json.close('}');
+    return;
+  }
+
+  Json.field("iterations", Result.Iterations);
+  Json.field("cycles", Result.Cycles);
+  if (Baseline && Baseline->Cycles > 0)
+    Json.field("overhead_pct",
+               formatDouble(100.0 *
+                                (static_cast<double>(Result.Cycles) -
+                                 static_cast<double>(Baseline->Cycles)) /
+                                static_cast<double>(Baseline->Cycles),
+                            "%.4f"));
+
+  const core::RunStats &Stats = Result.Stats;
+  Json.field("accesses", Stats.TotalAccesses);
+  Json.field("checks_executed", Stats.ChecksExecuted);
+  Json.field("traced_refs", Stats.TracedRefs);
+  Json.field("instrumented_site_hits", Stats.InstrumentedSiteHits);
+  Json.field("match_clauses_scanned", Stats.MatchClausesScanned);
+  Json.field("complete_matches", Stats.CompleteMatches);
+  Json.field("prefetches_requested", Stats.PrefetchesRequested);
+  Json.field("stale_frame_accesses", Stats.StaleFrameAccesses);
+
+  Json.openObject("memory");
+  Json.field("demand_accesses", Result.Memory.DemandAccesses);
+  Json.field("stall_cycles", Result.Memory.StallCycles);
+  Json.field("prefetches_issued", Result.Memory.PrefetchesIssued);
+  Json.field("prefetches_dropped_queue_full",
+             Result.Memory.PrefetchesDroppedQueueFull);
+  Json.field("prefetches_redundant", Result.Memory.PrefetchesRedundant);
+  Json.field("partial_hits", Result.Memory.PartialHits);
+  Json.field("partial_hit_stall_cycles",
+             Result.Memory.PartialHitStallCycles);
+  Json.close('}');
+
+  emitCacheStats(Json, "l1", Result.L1);
+  emitCacheStats(Json, "l2", Result.L2);
+
+  Json.openArray("phases");
+  for (const core::CycleStats &Phase : Stats.Cycles) {
+    Json.openObject();
+    Json.field("traced_refs", Phase.TracedRefs);
+    Json.field("hot_streams_detected", uint64_t{Phase.HotStreamsDetected});
+    Json.field("streams_installed", uint64_t{Phase.StreamsInstalled});
+    Json.field("dfsm_states", uint64_t{Phase.DfsmStates});
+    Json.field("dfsm_transitions", uint64_t{Phase.DfsmTransitions});
+    Json.field("check_clauses_injected",
+               uint64_t{Phase.CheckClausesInjected});
+    Json.field("procedures_modified", uint64_t{Phase.ProceduresModified});
+    Json.field("sites_instrumented", uint64_t{Phase.SitesInstrumented});
+    Json.field("grammar_rules", Phase.GrammarRules);
+    Json.field("grammar_symbols", Phase.GrammarSymbols);
+    Json.field("analysis_cost_cycles", Phase.AnalysisCostCycles);
+    Json.field("next_hibernation_periods", Phase.NextHibernationPeriods);
+    Json.close('}');
+  }
+  Json.close(']');
+
+  Json.close('}');
+}
+
+} // namespace
+
+std::string hds::engine::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string hds::engine::resultsToJson(const std::vector<RunResult> &Results,
+                                       const TimingInfo &Timing) {
+  JsonBuilder Json;
+  Json.fieldString("schema", "hds-matrix-results-v1");
+  Json.field("spec_count", uint64_t{Results.size()});
+
+  Json.openArray("results");
+  for (const RunResult &Result : Results)
+    emitResult(Json, Result, findBaseline(Results, Result.Spec));
+  Json.close(']');
+
+  if (Timing.IncludeWall || !Timing.LintJson.empty()) {
+    Json.openObject("timing");
+    if (Timing.IncludeWall) {
+      Json.field("wall_ms", Timing.WallMillis);
+      Json.field("jobs", uint64_t{Timing.Jobs});
+    }
+    if (!Timing.LintJson.empty())
+      Json.fieldRaw("lint", Timing.LintJson);
+    Json.close('}');
+  }
+
+  Json.close('}');
+  std::string Out = Json.take();
+  Out += '\n';
+  return Out;
+}

@@ -1,0 +1,351 @@
+//===- tests/engine_test.cpp - Parallel experiment engine tests ------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+// Tests for src/engine: the JobScheduler worker pool, the spec-order
+// ResultSink merge, and the determinism contract of runMatrix — the
+// aggregate JSON must be byte-identical for any job count, shard
+// failures must not corrupt or reorder the merged output, and
+// cancellation must leave no leaked threads (this binary also runs
+// under TSan in CI).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/ExperimentRunner.h"
+#include "engine/ExperimentSpec.h"
+#include "engine/JobScheduler.h"
+#include "engine/ResultSink.h"
+#include "engine/ResultsJson.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <semaphore>
+#include <string>
+#include <vector>
+
+using namespace hds;
+using namespace hds::engine;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// JobScheduler
+//===----------------------------------------------------------------------===//
+
+TEST(JobScheduler, RunsEverySubmittedJob) {
+  std::atomic<int> Counter{0};
+  {
+    JobScheduler Pool(4);
+    EXPECT_EQ(Pool.threadCount(), 4u);
+    for (int I = 0; I < 64; ++I)
+      Pool.submit([&Counter] { Counter.fetch_add(1); });
+    Pool.wait();
+    EXPECT_EQ(Pool.executed(), 64u);
+    EXPECT_EQ(Pool.dropped(), 0u);
+  }
+  EXPECT_EQ(Counter.load(), 64);
+}
+
+TEST(JobScheduler, ZeroThreadsClampsToOne) {
+  JobScheduler Pool(0);
+  EXPECT_EQ(Pool.threadCount(), 1u);
+  std::atomic<int> Counter{0};
+  Pool.submit([&Counter] { Counter.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Counter.load(), 1);
+}
+
+TEST(JobScheduler, WaitWithNoJobsReturnsImmediately) {
+  JobScheduler Pool(2);
+  Pool.wait();
+  EXPECT_EQ(Pool.executed(), 0u);
+}
+
+TEST(JobScheduler, CancelDropsQueuedJobsButFinishesRunningOnes) {
+  std::binary_semaphore JobStarted{0};
+  std::binary_semaphore ReleaseJob{0};
+  std::atomic<int> Ran{0};
+
+  JobScheduler Pool(1);
+  // First job occupies the only worker until we release it.
+  Pool.submit([&] {
+    JobStarted.release();
+    ReleaseJob.acquire();
+    Ran.fetch_add(1);
+  });
+  for (int I = 0; I < 9; ++I)
+    Pool.submit([&Ran] { Ran.fetch_add(1); });
+
+  JobStarted.acquire(); // the worker is now inside job 0
+  Pool.cancel();        // drops the 9 queued jobs
+  ReleaseJob.release();
+  Pool.wait();
+
+  EXPECT_EQ(Ran.load(), 1);
+  EXPECT_EQ(Pool.executed(), 1u);
+  EXPECT_EQ(Pool.dropped(), 9u);
+}
+
+TEST(JobScheduler, DestructorJoinsWithQueuedJobs) {
+  // Destroying the pool while jobs are still queued must not leak
+  // threads or deadlock (TSan/ASan in CI would flag either).
+  std::atomic<int> Ran{0};
+  {
+    JobScheduler Pool(2);
+    for (int I = 0; I < 8; ++I)
+      Pool.submit([&Ran] { Ran.fetch_add(1); });
+    // No wait(): the destructor drops what has not started and joins.
+  }
+  EXPECT_LE(Ran.load(), 8);
+}
+
+//===----------------------------------------------------------------------===//
+// ResultSink
+//===----------------------------------------------------------------------===//
+
+RunResult okResult(const std::string &Workload, uint64_t Cycles) {
+  RunResult Result;
+  Result.Spec.Workload = Workload;
+  Result.State = RunResult::Status::Ok;
+  Result.Cycles = Cycles;
+  return Result;
+}
+
+TEST(ResultSink, MergesOutOfOrderDeliveriesInSpecOrder) {
+  ResultSink Sink(3);
+  Sink.deliver(2, okResult("c", 30));
+  Sink.deliver(0, okResult("a", 10));
+  Sink.deliver(1, okResult("b", 20));
+  EXPECT_EQ(Sink.completed(), 3u);
+
+  const std::vector<RunResult> Results = Sink.take();
+  ASSERT_EQ(Results.size(), 3u);
+  EXPECT_EQ(Results[0].Spec.Workload, "a");
+  EXPECT_EQ(Results[1].Spec.Workload, "b");
+  EXPECT_EQ(Results[2].Spec.Workload, "c");
+  EXPECT_EQ(Results[1].Cycles, 20u);
+}
+
+TEST(ResultSink, CallbackFiresInCompletionOrder) {
+  ResultSink Sink(2);
+  std::vector<std::size_t> Order;
+  Sink.setCallback([&Order](std::size_t Index, const RunResult &) {
+    Order.push_back(Index);
+  });
+  Sink.deliver(1, okResult("b", 2));
+  Sink.deliver(0, okResult("a", 1));
+  ASSERT_EQ(Order.size(), 2u);
+  EXPECT_EQ(Order[0], 1u);
+  EXPECT_EQ(Order[1], 0u);
+}
+
+TEST(ResultSink, UnfilledSlotsComeBackCancelled) {
+  ResultSink Sink(2);
+  Sink.deliver(0, okResult("a", 1));
+  const std::vector<RunResult> Results = Sink.take();
+  ASSERT_EQ(Results.size(), 2u);
+  EXPECT_TRUE(Results[0].ok());
+  EXPECT_EQ(Results[1].State, RunResult::Status::Cancelled);
+}
+
+//===----------------------------------------------------------------------===//
+// Spec vocabulary
+//===----------------------------------------------------------------------===//
+
+TEST(ExperimentSpec, ModeTokensRoundTrip) {
+  const core::RunMode Modes[] = {
+      core::RunMode::Original,         core::RunMode::ChecksOnly,
+      core::RunMode::Profile,          core::RunMode::ProfileAnalyze,
+      core::RunMode::MatchNoPrefetch,  core::RunMode::SequentialPrefetch,
+      core::RunMode::DynamicPrefetch};
+  for (core::RunMode Mode : Modes) {
+    core::RunMode Parsed;
+    ASSERT_TRUE(core::parseRunModeToken(core::runModeToken(Mode), Parsed));
+    EXPECT_EQ(Parsed, Mode);
+  }
+  core::RunMode Parsed;
+  EXPECT_FALSE(core::parseRunModeToken("bogus", Parsed));
+}
+
+TEST(ExperimentSpec, FilterNarrowsTheMatrix) {
+  std::vector<ExperimentSpec> Specs = defaultMatrix();
+  ASSERT_TRUE(applyFilter(Specs, "workload=mcf"));
+  ASSERT_FALSE(Specs.empty());
+  for (const ExperimentSpec &Spec : Specs)
+    EXPECT_EQ(Spec.Workload, "mcf");
+
+  ASSERT_TRUE(applyFilter(Specs, "mode=dynpref"));
+  ASSERT_EQ(Specs.size(), 1u);
+  EXPECT_EQ(Specs[0].Mode, core::RunMode::DynamicPrefetch);
+}
+
+TEST(ExperimentSpec, BadFilterReportsErrorAndLeavesSpecsAlone) {
+  std::vector<ExperimentSpec> Specs = defaultMatrix();
+  const std::size_t Before = Specs.size();
+  std::string Error;
+  EXPECT_FALSE(applyFilter(Specs, "flavor=spicy", &Error));
+  EXPECT_FALSE(Error.empty());
+  EXPECT_EQ(Specs.size(), Before);
+  EXPECT_FALSE(applyFilter(Specs, "no-equals-sign", &Error));
+  EXPECT_EQ(Specs.size(), Before);
+}
+
+//===----------------------------------------------------------------------===//
+// runMatrix determinism and failure isolation
+//===----------------------------------------------------------------------===//
+
+std::vector<ExperimentSpec> smallMatrix() {
+  // vpr under every mode, at a fixed tiny iteration count so the whole
+  // matrix stays fast even when run three times.
+  std::vector<ExperimentSpec> Specs;
+  const core::RunMode Modes[] = {
+      core::RunMode::Original,         core::RunMode::ChecksOnly,
+      core::RunMode::Profile,          core::RunMode::ProfileAnalyze,
+      core::RunMode::MatchNoPrefetch,  core::RunMode::SequentialPrefetch,
+      core::RunMode::DynamicPrefetch};
+  for (core::RunMode Mode : Modes) {
+    ExperimentSpec Spec;
+    Spec.Workload = "vpr";
+    Spec.Mode = Mode;
+    Spec.Iterations = 300;
+    Specs.push_back(Spec);
+  }
+  return Specs;
+}
+
+std::string jsonForJobs(const std::vector<ExperimentSpec> &Specs,
+                        unsigned Jobs) {
+  MatrixOptions Opts;
+  Opts.Jobs = Jobs;
+  return resultsToJson(runMatrix(Specs, Opts));
+}
+
+TEST(RunMatrix, AggregateJsonIsByteIdenticalAcrossJobCounts) {
+  const std::vector<ExperimentSpec> Specs = smallMatrix();
+  const std::string Json1 = jsonForJobs(Specs, 1);
+  const std::string Json2 = jsonForJobs(Specs, 2);
+  const std::string Json8 = jsonForJobs(Specs, 8);
+  EXPECT_EQ(Json1, Json2);
+  EXPECT_EQ(Json1, Json8);
+}
+
+TEST(RunMatrix, FailedShardKeepsOrderAndDoesNotPoisonNeighbours) {
+  std::vector<ExperimentSpec> Specs;
+  ExperimentSpec Good;
+  Good.Workload = "vpr";
+  Good.Iterations = 200;
+  ExperimentSpec Bad = Good;
+  Bad.Workload = "no-such-workload";
+  Specs.push_back(Good);
+  Specs.push_back(Bad);
+  Specs.push_back(Good);
+
+  MatrixOptions Opts;
+  Opts.Jobs = 2;
+  const std::vector<RunResult> Results = runMatrix(Specs, Opts);
+  ASSERT_EQ(Results.size(), 3u);
+  EXPECT_TRUE(Results[0].ok());
+  EXPECT_EQ(Results[1].State, RunResult::Status::Error);
+  EXPECT_FALSE(Results[1].Error.empty());
+  EXPECT_EQ(Results[1].Spec.Workload, "no-such-workload");
+  EXPECT_TRUE(Results[2].ok());
+  // The two good shards are the same experiment: identical cycles.
+  EXPECT_EQ(Results[0].Cycles, Results[2].Cycles);
+}
+
+TEST(RunMatrix, CancellationKeepsSpecOrderAndJoinsCleanly) {
+  const std::vector<ExperimentSpec> Specs = smallMatrix();
+  std::atomic<bool> Cancel{false};
+
+  MatrixOptions Opts;
+  Opts.Jobs = 1; // serial: deliveries happen in spec order
+  Opts.CancelRequested = &Cancel;
+  Opts.OnResult = [&Cancel](std::size_t, const RunResult &) {
+    Cancel.store(true); // request cancellation after the first delivery
+  };
+  const std::vector<RunResult> Results = runMatrix(Specs, Opts);
+
+  ASSERT_EQ(Results.size(), Specs.size());
+  EXPECT_TRUE(Results[0].ok());
+  std::size_t Cancelled = 0;
+  for (std::size_t I = 0; I < Results.size(); ++I) {
+    // Every slot still carries its own spec, run or not.
+    EXPECT_EQ(Results[I].Spec.Workload, Specs[I].Workload);
+    EXPECT_EQ(Results[I].Spec.Mode, Specs[I].Mode);
+    if (Results[I].State == RunResult::Status::Cancelled)
+      ++Cancelled;
+  }
+  EXPECT_GE(Cancelled, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// JSON writer
+//===----------------------------------------------------------------------===//
+
+TEST(ResultsJson, OverheadIsRelativeToTheOriginalBaseline) {
+  std::vector<ExperimentSpec> Specs;
+  ExperimentSpec Base;
+  Base.Workload = "vpr";
+  Base.Mode = core::RunMode::Original;
+  Base.Iterations = 300;
+  ExperimentSpec Opt = Base;
+  Opt.Mode = core::RunMode::DynamicPrefetch;
+  Specs.push_back(Base);
+  Specs.push_back(Opt);
+
+  const std::vector<RunResult> Results = runMatrix(Specs);
+  const std::string Json = resultsToJson(Results);
+  // The baseline's overhead over itself is exactly zero.
+  EXPECT_NE(Json.find("\"overhead_pct\": 0.0000"), std::string::npos);
+  EXPECT_NE(Json.find("\"schema\": \"hds-matrix-results-v1\""),
+            std::string::npos);
+  // Deterministic output carries no timing object unless asked for.
+  EXPECT_EQ(Json.find("\"timing\""), std::string::npos);
+}
+
+TEST(ResultsJson, TimingObjectOnlyAppearsOnRequest) {
+  std::vector<ExperimentSpec> Specs;
+  ExperimentSpec Spec;
+  Spec.Workload = "vpr";
+  Spec.Iterations = 100;
+  Specs.push_back(Spec);
+  const std::vector<RunResult> Results = runMatrix(Specs);
+
+  TimingInfo Timing;
+  Timing.IncludeWall = true;
+  Timing.WallMillis = 1234;
+  Timing.Jobs = 8;
+  Timing.LintJson = "{\"total_ms\": 7}";
+  const std::string Json = resultsToJson(Results, Timing);
+  EXPECT_NE(Json.find("\"timing\""), std::string::npos);
+  EXPECT_NE(Json.find("\"wall_ms\": 1234"), std::string::npos);
+  EXPECT_NE(Json.find("\"jobs\": 8"), std::string::npos);
+  EXPECT_NE(Json.find("\"total_ms\": 7"), std::string::npos);
+}
+
+TEST(ResultsJson, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(jsonEscape(std::string("a\x01"
+                                   "b")),
+            "a\\u0001b");
+}
+
+TEST(ResultsJson, LayoutSeedChangesTheRunButNotItsShape) {
+  // Seeded runs perturb the heap base; the run still completes and the
+  // result echoes the seed so trajectory files can group by it.
+  ExperimentSpec Seeded;
+  Seeded.Workload = "vpr";
+  Seeded.Iterations = 200;
+  Seeded.Seed = 3;
+  const RunResult Result = runExperiment(Seeded);
+  ASSERT_TRUE(Result.ok());
+  EXPECT_EQ(Result.Spec.Seed, 3u);
+  const std::string Json = resultsToJson({Result});
+  EXPECT_NE(Json.find("\"seed\": 3"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,25 @@
+// Fixture: D5 must fire on floating-point cycle/heat accounting anywhere
+// in src/ (virtual display path src/analysis/...).
+#include <cstdint>
+
+struct Stream {
+  double Heat = 0;       // D5: heat counter declared as double
+  float StallCycles = 0; // D5: cycle counter declared as float
+
+  void update() {
+    Heat += 0.5;          // D5: floating accumulation
+    StallCycles *= 1.25f; // D5: floating scaling
+  }
+};
+
+// Integer accounting and config ratios must stay clean.
+struct Fine {
+  uint64_t Heat = 0;
+  uint64_t BusyCycles = 0;
+  double HeatTraceFraction = 0.9; // a fraction, not a counter
+
+  void bump(uint64_t Weight) {
+    Heat += Weight;
+    BusyCycles += 3;
+  }
+};

@@ -1,0 +1,12 @@
+// Fixture: a well-formed float-cycles-ok note silences D5 (virtual
+// display path src/analysis/...).
+
+struct DisplaySmoother {
+  // hds-lint: float-cycles-ok(display-only smoothing, never fed back into accounting)
+  double Heat = 0;
+
+  void decay() {
+    // hds-lint: float-cycles-ok(presentation-layer decay of the copy above)
+    Heat *= 0.75;
+  }
+};

@@ -247,6 +247,39 @@ TEST(LintC1Test, CyclesOkMarksTheDesignatedPrimitive) {
 }
 
 //===----------------------------------------------------------------------===//
+// D5: floating-point cycle / heat accounting
+//===----------------------------------------------------------------------===//
+
+TEST(LintD5Test, FiresOnFloatDeclarationsAndAccumulation) {
+  auto Fs = lintFixture("d5_positive.cpp", "src/analysis/d5_positive.cpp");
+  auto Counts = idCounts(Fs);
+  // double Heat, float StallCycles, Heat += 0.5, StallCycles *= 1.25f
+  EXPECT_EQ(Counts["D5"], 4) << dump(Fs);
+  EXPECT_EQ(static_cast<int>(Fs.size()), Counts["D5"]) << dump(Fs);
+}
+
+TEST(LintD5Test, DoesNotFireOutsideSrc) {
+  auto Fs = lintFixture("d5_positive.cpp", "bench/fixture/d5_positive.cpp");
+  EXPECT_EQ(idCounts(Fs)["D5"], 0) << dump(Fs);
+}
+
+TEST(LintD5Test, FloatCyclesOkSilencesFindings) {
+  auto Fs =
+      lintFixture("d5_suppressed.cpp", "src/analysis/d5_suppressed.cpp");
+  EXPECT_TRUE(Fs.empty()) << dump(Fs);
+}
+
+TEST(LintD5Test, IntegerAccumulationAndRatiosAreFine) {
+  auto File = lexSource("src/analysis/clean.cpp",
+                        "#include <cstdint>\n"
+                        "struct S { uint64_t Heat = 0; double "
+                        "HeatTraceFraction = 0.9; };\n"
+                        "void f(S &X) { X.Heat += 2; }\n");
+  auto Fs = runLint({File});
+  EXPECT_EQ(idCounts(Fs)["D5"], 0) << dump(Fs);
+}
+
+//===----------------------------------------------------------------------===//
 // SUP: suppression hygiene
 //===----------------------------------------------------------------------===//
 

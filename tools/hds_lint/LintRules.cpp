@@ -811,6 +811,81 @@ void checkC1(const LexedFile &File, std::vector<Finding> &Out) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// D5: cycle / heat accounting must stay in integer arithmetic
+//===----------------------------------------------------------------------===//
+
+/// Names the simulator treats as cycle or heat accumulators.  Deliberately
+/// narrow: configuration ratios like HeatTraceFraction or thresholds like
+/// HeatThreshold do not match.
+bool isAccountingCounterName(const std::string &Name) {
+  return Name == "Now" || Name == "Heat" ||
+         (Name.size() > 6 && endsWith(Name, "Cycles")) ||
+         (Name.size() > 4 && endsWith(Name, "Heat"));
+}
+
+/// True for pp-number text that denotes a floating literal (has a decimal
+/// point, an exponent, or an f suffix); hex literals never match.
+bool isFloatLiteral(const std::string &Text) {
+  if (Text.size() > 1 && Text[0] == '0' &&
+      (Text[1] == 'x' || Text[1] == 'X'))
+    return false;
+  for (char C : Text)
+    if (C == '.' || C == 'e' || C == 'E' || C == 'f' || C == 'F')
+      return true;
+  return false;
+}
+
+void checkD5(const LexedFile &File, std::vector<Finding> &Out) {
+  if (!inTree(File.Path, "src"))
+    return;
+  const Toks &T = File.Toks;
+  for (size_t I = 0; I < T.size(); ++I) {
+    if (T[I].K != Token::Ident)
+      continue;
+    const std::string &Name = T[I].Text;
+    if (!isAccountingCounterName(Name))
+      continue;
+
+    // Floating declaration: `double Heat`, `float StallCycles`.
+    if (I > 0 && T[I - 1].K == Token::Ident &&
+        (T[I - 1].Text == "float" || T[I - 1].Text == "double"))
+      Out.push_back(
+          {"D5", File.Path, T[I].Line,
+           "cycle/heat counter '" + Name + "' declared as '" +
+               T[I - 1].Text +
+               "'; floating accumulation rounds and breaks bit-exact "
+               "replay",
+           "store cycle and heat counters as uint64_t and convert to "
+           "double only at the reporting boundary, or annotate "
+           "`// hds-lint: float-cycles-ok(<why>)`"});
+
+    // Floating accumulation: `Heat += 0.5`, `StallCycles *= Factor` with
+    // a floating-valued right-hand side.
+    bool Compound = isPunct(T, I + 1, "+=") || isPunct(T, I + 1, "-=") ||
+                    isPunct(T, I + 1, "*=") || isPunct(T, I + 1, "/=");
+    if (!Compound)
+      continue;
+    for (size_t J = I + 2; J < T.size(); ++J) {
+      if (T[J].K == Token::Punct && (T[J].Text == ";" || T[J].Text == "{"))
+        break;
+      bool FloatValued =
+          (T[J].K == Token::Number && isFloatLiteral(T[J].Text)) ||
+          (T[J].K == Token::Ident &&
+           (T[J].Text == "float" || T[J].Text == "double"));
+      if (FloatValued) {
+        Out.push_back(
+            {"D5", File.Path, T[I].Line,
+             "floating-point accumulation into cycle/heat counter '" +
+                 Name + "'; results drift with evaluation order",
+             "accumulate in integers (scale fixed-point if a ratio is "
+             "needed), or annotate `// hds-lint: float-cycles-ok(<why>)`"});
+        break;
+      }
+    }
+  }
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -831,6 +906,9 @@ const std::vector<RuleInfo> &ruleCatalog() {
        "canonical include guards and self-contained headers"},
       {"C1", "cycles-ok",
        "cycle charging must route through the cycle-accounting API"},
+      {"D5", "float-cycles-ok",
+       "cycle and heat accounting must use integer arithmetic, not "
+       "float/double"},
       {"SUP", nullptr, "hds-lint suppression comments must be well-formed"},
   };
   return Rules;
@@ -865,6 +943,8 @@ std::vector<Finding> runLint(const std::vector<LexedFile> &Files,
       checkH1(File, Raw);
     if (RuleEnabled("C1"))
       checkC1(File, Raw);
+    if (RuleEnabled("D5"))
+      checkD5(File, Raw);
 
     for (Finding &F : Raw) {
       const char *Tag = nullptr;

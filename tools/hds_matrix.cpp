@@ -1,0 +1,263 @@
+//===- tools/hds_matrix.cpp - Sharded experiment-matrix driver -------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+// Runs the (workload × RunMode × seed × scale) experiment matrix through
+// the parallel engine (src/engine) and emits machine-readable results.
+// The merged output is byte-identical for any --jobs value — only
+// wall-clock changes — so trajectory files can be diffed across machines
+// and thread counts (see docs/engine.md for the determinism contract and
+// the JSON schema).
+//
+// Usage:
+//   hds_matrix [options]
+//     --jobs N              worker threads (default: hardware concurrency)
+//     --scale F             iteration scale factor (default 1.0)
+//     --seeds N             add layout-seed variants 1..N of every cell
+//     --filter key=value    narrow the matrix (workload=mcf, mode=dynpref,
+//                           seed=3); repeatable, filters AND together
+//     --out FILE            write the results JSON to FILE ("-" = stdout)
+//     --timing              include wall-clock timing in the JSON (makes
+//                           the output non-deterministic by design)
+//     --lint-timing FILE    embed a lint_timing.json (scripts/lint.sh)
+//                           under "timing.lint"
+//     --list                print the selected specs and exit
+//     --quiet               suppress the progress lines on stderr
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/ExperimentRunner.h"
+#include "engine/ExperimentSpec.h"
+#include "engine/ResultsJson.h"
+#include "support/Table.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace hds;
+
+namespace {
+
+struct Options {
+  unsigned Jobs = 0; // 0 = hardware concurrency
+  double Scale = 1.0;
+  uint64_t Seeds = 0;
+  std::vector<std::string> Filters;
+  std::string OutPath;
+  bool Timing = false;
+  std::string LintTimingPath;
+  bool List = false;
+  bool Quiet = false;
+};
+
+[[noreturn]] void usage(const char *Binary) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--jobs N] [--scale F] [--seeds N] [--filter key=value]...\n"
+      "          [--out FILE] [--timing] [--lint-timing FILE] [--list]\n"
+      "          [--quiet]\n"
+      "filters: workload=<name>  mode=<original|base|prof|hds|nopref|"
+      "seqpref|dynpref>  seed=<n>\n",
+      Binary);
+  std::exit(2);
+}
+
+Options parseOptions(int Argc, char **Argv) {
+  Options Opts;
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= Argc)
+        usage(Argv[0]);
+      return Argv[++I];
+    };
+    if (Arg == "--jobs") {
+      Opts.Jobs = static_cast<unsigned>(std::strtoul(Next(), nullptr, 10));
+    } else if (Arg == "--scale") {
+      const char *Text = Next();
+      char *End = nullptr;
+      Opts.Scale = std::strtod(Text, &End);
+      if (End == Text || *End != '\0' || !(Opts.Scale > 0.0)) {
+        std::fprintf(stderr, "error: invalid --scale '%s' (need a finite "
+                             "number > 0)\n",
+                     Text);
+        std::exit(2);
+      }
+    } else if (Arg == "--seeds") {
+      Opts.Seeds = std::strtoull(Next(), nullptr, 10);
+    } else if (Arg == "--filter") {
+      Opts.Filters.push_back(Next());
+    } else if (Arg == "--out") {
+      Opts.OutPath = Next();
+    } else if (Arg == "--timing") {
+      Opts.Timing = true;
+    } else if (Arg == "--lint-timing") {
+      Opts.LintTimingPath = Next();
+    } else if (Arg == "--list") {
+      Opts.List = true;
+    } else if (Arg == "--quiet") {
+      Opts.Quiet = true;
+    } else {
+      usage(Argv[0]);
+    }
+  }
+  return Opts;
+}
+
+std::string readWholeFile(const std::string &Path, bool &Ok) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Ok = false;
+    return std::string();
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  Ok = true;
+  std::string Text = Buf.str();
+  // Trim trailing whitespace so the embedded value nests cleanly.
+  while (!Text.empty() &&
+         (Text.back() == '\n' || Text.back() == '\r' || Text.back() == ' '))
+    Text.pop_back();
+  return Text;
+}
+
+void printSummary(const std::vector<engine::RunResult> &Results) {
+  Table Out;
+  Out.row()
+      .cell("experiment")
+      .cell("status")
+      .cell("cycles")
+      .cell("L1 miss")
+      .cell("prefetches")
+      .cell("useful");
+  for (const engine::RunResult &Result : Results) {
+    auto Row = Out.row();
+    Row.cell(Result.Spec.label());
+    if (!Result.ok()) {
+      Row.cell(Result.State == engine::RunResult::Status::Error
+                   ? "ERROR"
+                   : "cancelled");
+      continue;
+    }
+    Row.cell("ok")
+        .cell(Result.Cycles)
+        .cell(100.0 * Result.L1.missRate(), "%.1f%%")
+        .cell(Result.Memory.PrefetchesIssued)
+        .cell(Result.L1.UsefulPrefetches + Result.L2.UsefulPrefetches);
+  }
+  Out.print();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const Options Opts = parseOptions(Argc, Argv);
+
+  std::vector<engine::ExperimentSpec> Specs =
+      engine::defaultMatrix(Opts.Scale);
+  if (Opts.Seeds > 0) {
+    const std::vector<engine::ExperimentSpec> Base = Specs;
+    for (uint64_t Seed = 1; Seed <= Opts.Seeds; ++Seed)
+      for (const engine::ExperimentSpec &Spec : Base) {
+        engine::ExperimentSpec Variant = Spec;
+        Variant.Seed = Seed;
+        Specs.push_back(Variant);
+      }
+  }
+  for (const std::string &Filter : Opts.Filters) {
+    std::string Error;
+    if (!engine::applyFilter(Specs, Filter, &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 2;
+    }
+  }
+  if (Specs.empty()) {
+    std::fprintf(stderr, "error: filters selected no experiments\n");
+    return 2;
+  }
+
+  if (Opts.List) {
+    for (const engine::ExperimentSpec &Spec : Specs)
+      std::printf("%s\n", Spec.label().c_str());
+    return 0;
+  }
+
+  engine::TimingInfo Timing;
+  if (!Opts.LintTimingPath.empty()) {
+    bool Ok = false;
+    Timing.LintJson = readWholeFile(Opts.LintTimingPath, Ok);
+    if (!Ok) {
+      std::fprintf(stderr, "error: cannot read lint timing file '%s'\n",
+                   Opts.LintTimingPath.c_str());
+      return 2;
+    }
+  }
+
+  engine::MatrixOptions Matrix;
+  Matrix.Jobs = Opts.Jobs != 0 ? Opts.Jobs
+                               : std::thread::hardware_concurrency();
+  if (Matrix.Jobs == 0)
+    Matrix.Jobs = 1;
+  const size_t Total = Specs.size();
+  if (!Opts.Quiet)
+    // Mutable counter; deliveries are serialized under the sink lock.
+    Matrix.OnResult = [Total, Done = size_t{0}](
+                          size_t, const engine::RunResult &R) mutable {
+      std::fprintf(stderr, "[%zu/%zu] %s: %s\n", ++Done, Total,
+                   R.Spec.label().c_str(),
+                   R.ok() ? "ok"
+                          : (R.State == engine::RunResult::Status::Error
+                                 ? R.Error.c_str()
+                                 : "cancelled"));
+    };
+
+  const auto Start = std::chrono::steady_clock::now();
+  const std::vector<engine::RunResult> Results =
+      engine::runMatrix(Specs, Matrix);
+  const auto End = std::chrono::steady_clock::now();
+
+  if (Opts.Timing) {
+    Timing.IncludeWall = true;
+    Timing.WallMillis = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(End - Start)
+            .count());
+    Timing.Jobs = Matrix.Jobs;
+  }
+
+  // With --out - the JSON owns stdout; keep the human table off it.
+  if (Opts.OutPath != "-")
+    printSummary(Results);
+
+  bool AnyError = false;
+  for (const engine::RunResult &Result : Results)
+    if (Result.State == engine::RunResult::Status::Error)
+      AnyError = true;
+
+  if (!Opts.OutPath.empty()) {
+    const std::string Json = engine::resultsToJson(Results, Timing);
+    if (Opts.OutPath == "-") {
+      std::fwrite(Json.data(), 1, Json.size(), stdout);
+    } else {
+      std::FILE *Out = std::fopen(Opts.OutPath.c_str(), "w");
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                     Opts.OutPath.c_str());
+        return 2;
+      }
+      std::fwrite(Json.data(), 1, Json.size(), Out);
+      std::fclose(Out);
+      if (!Opts.Quiet)
+        std::fprintf(stderr, "results: %zu experiments -> %s\n",
+                     Results.size(), Opts.OutPath.c_str());
+    }
+  }
+
+  return AnyError ? 1 : 0;
+}
