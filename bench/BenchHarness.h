@@ -24,6 +24,7 @@
 #define HDS_BENCH_BENCHHARNESS_H
 
 #include "core/Runtime.h"
+#include "engine/Executor.h"
 #include "engine/ExperimentRunner.h"
 #include "engine/ExperimentSpec.h"
 #include "workloads/Workload.h"
@@ -59,16 +60,17 @@ runWorkload(const std::string &WorkloadName, core::RunMode Mode,
   return Result;
 }
 
-/// Matrix entry point: runs every spec through the parallel engine,
-/// sharded across \p Jobs worker threads, and returns results in spec
-/// order.  Results are byte-identical for any job count; benches that
-/// fan out whole figures use this instead of serial runWorkload loops.
+/// Matrix entry point: runs every spec through a LocalExecutor, sharded
+/// across \p Jobs worker threads, and returns results in spec order.
+/// Results are byte-identical for any job count; benches that fan out
+/// whole figures use this instead of serial runWorkload loops.
 inline std::vector<RunResult>
 runSpecs(const std::vector<engine::ExperimentSpec> &Specs,
          unsigned Jobs = 1) {
-  engine::MatrixOptions Opts;
+  engine::LocalExecutor::Options Opts;
   Opts.Jobs = Jobs;
-  return engine::runMatrix(Specs, Opts);
+  engine::LocalExecutor Local(Opts);
+  return Local.run(Specs);
 }
 
 /// % overhead of \p Cycles relative to \p BaselineCycles (negative =

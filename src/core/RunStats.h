@@ -59,6 +59,44 @@ struct RunStats {
   uint64_t StaleFrameAccesses = 0;
 };
 
+/// \name Stable serialization accessors
+/// Field enumeration with a fixed, append-only order shared by every
+/// serializer (the engine's binary wire format relies on encode and
+/// decode walking the very same sequence).  \p Visit is invoked once per
+/// scalar counter with a reference to the field; pass a const struct to
+/// read and a mutable one to fill during decode.  New fields must be
+/// appended at the end, never reordered or removed, or the wire protocol
+/// version must be bumped.
+/// @{
+template <typename CycleStatsT, typename Fn>
+void visitCycleStatsCounters(CycleStatsT &&Stats, Fn &&Visit) {
+  Visit(Stats.TracedRefs);
+  Visit(Stats.HotStreamsDetected);
+  Visit(Stats.StreamsInstalled);
+  Visit(Stats.DfsmStates);
+  Visit(Stats.DfsmTransitions);
+  Visit(Stats.CheckClausesInjected);
+  Visit(Stats.ProceduresModified);
+  Visit(Stats.SitesInstrumented);
+  Visit(Stats.GrammarRules);
+  Visit(Stats.GrammarSymbols);
+  Visit(Stats.AnalysisCostCycles);
+  Visit(Stats.NextHibernationPeriods);
+}
+
+template <typename RunStatsT, typename Fn>
+void visitRunStatsCounters(RunStatsT &&Stats, Fn &&Visit) {
+  Visit(Stats.TotalAccesses);
+  Visit(Stats.ChecksExecuted);
+  Visit(Stats.TracedRefs);
+  Visit(Stats.InstrumentedSiteHits);
+  Visit(Stats.MatchClausesScanned);
+  Visit(Stats.CompleteMatches);
+  Visit(Stats.PrefetchesRequested);
+  Visit(Stats.StaleFrameAccesses);
+}
+/// @}
+
 } // namespace core
 } // namespace hds
 

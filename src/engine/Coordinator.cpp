@@ -1,0 +1,327 @@
+//===- engine/Coordinator.cpp - Distributed matrix coordinator ------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Coordinator.h"
+
+#include "engine/Wire.h"
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+using namespace hds;
+using namespace hds::engine;
+
+namespace {
+
+/// Accept-poll slice: short enough that the accept loop notices matrix
+/// completion promptly, long enough to stay off the scheduler's back.
+constexpr uint32_t AcceptSliceMs = 100;
+
+} // namespace
+
+/// Everything the accept loop and the per-worker service threads share,
+/// guarded by one mutex.  Job identity is the spec's matrix index; the
+/// sink's index-addressing is what keeps the merged aggregate
+/// byte-identical to an in-process run no matter which worker ran what.
+struct Coordinator::ServeState {
+  std::mutex Mutex;
+  /// Signalled when Pending gains a job or Done flips.
+  std::condition_variable WorkAvailable;
+
+  std::deque<std::size_t> Pending; ///< indices awaiting a worker
+  std::vector<unsigned> Attempts;  ///< dispatch count per index
+  std::vector<bool> Resolved;      ///< sink slot filled (exactly once)
+  std::size_t Unresolved = 0;
+  unsigned ActiveWorkers = 0;
+  bool Done = false;
+  /// Accept loop gave up (listener error); once the last worker leaves,
+  /// nobody can resolve pending jobs, so the leaving worker fails them.
+  bool ListenerBroken = false;
+  /// Monotonic registry key for Open (never a pointer value: iteration
+  /// order must not depend on allocation addresses, rule D3's spirit).
+  std::size_t NextConnectionId = 0;
+
+  /// Open connections by service-thread id, so completion can shake
+  /// blocked recv() calls loose via shutdown instead of waiting out
+  /// their deadlines.
+  std::map<std::size_t, Connection *> Open;
+
+  std::span<const ExperimentSpec> Specs;
+  ResultSink *Sink = nullptr;
+
+  /// Must hold Mutex.  Resolves \p Index exactly once.
+  void resolveLocked(std::size_t Index, RunResult Result) {
+    if (Resolved[Index])
+      return;
+    Resolved[Index] = true;
+    Sink->deliver(Index, std::move(Result));
+    if (--Unresolved == 0)
+      finishLocked();
+  }
+
+  /// Must hold Mutex.  Flips Done and wakes every blocked thread.  Only
+  /// the receive side of each connection is shut down: that is enough
+  /// to shake a service thread out of a blocked recvFrame, while the
+  /// send side stays open so the thread can still deliver the farewell
+  /// Shutdown frame its worker needs to exit cleanly.
+  void finishLocked() {
+    Done = true;
+    WorkAvailable.notify_all();
+    for (auto &[Id, Conn] : Open) {
+      (void)Id;
+      Conn->shutdownRead();
+    }
+  }
+
+  /// Must hold Mutex.  With a broken listener and no workers left, no
+  /// one can ever resolve the pending jobs — fail them now.
+  void failPendingLocked(const std::string &Reason,
+                         std::span<const ExperimentSpec> AllSpecs) {
+    while (!Pending.empty()) {
+      const std::size_t Index = Pending.front();
+      Pending.pop_front();
+      RunResult Failed;
+      Failed.Spec = AllSpecs[Index];
+      Failed.State = RunResult::Status::Error;
+      Failed.Error = Reason;
+      resolveLocked(Index, std::move(Failed));
+    }
+    if (!Done)
+      finishLocked();
+  }
+
+  /// Must hold Mutex.  Returns \p Index to the queue or, once the retry
+  /// budget is spent, resolves it as an error.
+  void requeueLocked(std::size_t Index, const std::string &Reason,
+                     unsigned RetryBudget) {
+    if (Resolved[Index])
+      return;
+    if (Attempts[Index] > RetryBudget) {
+      RunResult Failed;
+      Failed.Spec = Specs[Index];
+      Failed.State = RunResult::Status::Error;
+      Failed.Error = "job failed after " + std::to_string(Attempts[Index]) +
+                     " dispatch(es): " + Reason;
+      resolveLocked(Index, std::move(Failed));
+      return;
+    }
+    // Front of the queue: a re-queued job runs before fresh work so a
+    // straggler cell cannot starve behind the whole remaining matrix.
+    Pending.push_front(Index);
+    WorkAvailable.notify_one();
+  }
+};
+
+Coordinator::Coordinator(const CoordinatorOptions &OptsIn) : Opts(OptsIn) {}
+
+bool Coordinator::listen() { return Sockets.listen(Opts.ListenAddr, ListenError); }
+
+void Coordinator::serve(std::span<const ExperimentSpec> Specs,
+                        ResultSink &Sink) {
+  ServeState State;
+  State.Specs = Specs;
+  State.Sink = &Sink;
+  State.Attempts.assign(Specs.size(), 0);
+  State.Resolved.assign(Specs.size(), false);
+  State.Unresolved = Specs.size();
+  for (std::size_t I = 0; I < Specs.size(); ++I)
+    State.Pending.push_back(I);
+  if (Specs.empty())
+    return;
+
+  if (!Sockets.valid()) {
+    std::lock_guard<std::mutex> Lock(State.Mutex);
+    for (std::size_t I = 0; I < Specs.size(); ++I) {
+      RunResult Failed;
+      Failed.Spec = Specs[I];
+      Failed.State = RunResult::Status::Error;
+      Failed.Error = "coordinator has no listener: " +
+                     (ListenError.empty() ? std::string("listen() not called")
+                                          : ListenError);
+      State.resolveLocked(I, std::move(Failed));
+    }
+    return;
+  }
+
+  std::vector<std::jthread> Handlers;
+  uint32_t IdleMs = 0;
+  for (;;) {
+    Connection Conn;
+    const Listener::AcceptStatus Status =
+        Sockets.accept(Conn, AcceptSliceMs);
+    {
+      std::lock_guard<std::mutex> Lock(State.Mutex);
+      if (State.Done)
+        break;
+      if (Status == Listener::AcceptStatus::TimedOut) {
+        // Idle accounting: only time with zero workers counts — with a
+        // worker connected, progress (or its per-job deadline) is the
+        // responsibility of that worker's service thread.
+        if (State.ActiveWorkers == 0) {
+          IdleMs += AcceptSliceMs;
+          if (IdleMs >= Opts.IdleTimeoutMs) {
+            State.failPendingLocked(
+                "no worker connected within idle deadline", Specs);
+            break;
+          }
+        } else {
+          IdleMs = 0;
+        }
+        continue;
+      }
+      if (Status == Listener::AcceptStatus::Error) {
+        // Listener broke (fd trouble, resource exhaustion): stop
+        // accepting.  Connected workers still drain the queue; if none
+        // remain (now or later, see Deregister), the pending jobs are
+        // failed instead of left to hang.
+        State.ListenerBroken = true;
+        if (State.ActiveWorkers == 0)
+          State.failPendingLocked("coordinator listener failed", Specs);
+        break;
+      }
+      IdleMs = 0;
+      ++State.ActiveWorkers;
+    }
+    Handlers.emplace_back(
+        [this, &State](Connection C) { handleWorker(std::move(C), State); },
+        std::move(Conn));
+  }
+
+  // jthread destructors join every service thread; finishLocked() has
+  // already shaken loose any blocked recv via shutdown.
+  Handlers.clear();
+  Sockets.close();
+}
+
+void Coordinator::handleWorker(Connection Conn, ServeState &State) {
+  Conn.setDeadlines(Opts.JobTimeoutMs, Opts.JobTimeoutMs);
+  std::size_t Id;
+  {
+    std::lock_guard<std::mutex> Lock(State.Mutex);
+    Id = State.NextConnectionId++;
+    State.Open.emplace(Id, &Conn);
+  }
+
+  // In-flight assignment for this connection, if any.
+  bool HasAssigned = false;
+  std::size_t Assigned = 0;
+  std::string DropReason;
+
+  auto Deregister = [&] {
+    std::lock_guard<std::mutex> Lock(State.Mutex);
+    State.Open.erase(Id);
+    --State.ActiveWorkers;
+    if (HasAssigned)
+      State.requeueLocked(Assigned, DropReason, Opts.RetryBudget);
+    // Last worker out with a dead listener: nobody can ever pick the
+    // pending jobs up again.
+    if (State.ListenerBroken && State.ActiveWorkers == 0 && !State.Done)
+      State.failPendingLocked("all workers gone and listener failed",
+                              State.Specs);
+  };
+
+  // Handshake: the version byte is validated by the frame decoder, so a
+  // mismatched worker fails here with a protocol error, not mid-matrix.
+  wire::Frame Frame;
+  std::string Error;
+  if (Conn.recvFrame(Frame, Error) != IoStatus::Ok ||
+      Frame.Type != wire::FrameType::Hello) {
+    DropReason = "handshake failed";
+    Deregister();
+    return;
+  }
+
+  for (;;) {
+    const IoStatus Status = Conn.recvFrame(Frame, Error);
+    if (Status != IoStatus::Ok) {
+      bool WindDown;
+      {
+        std::lock_guard<std::mutex> Lock(State.Mutex);
+        WindDown = State.Done;
+      }
+      if (WindDown) {
+        // The matrix resolved while this worker's next request was in
+        // flight (finishLocked shut our receive side).  Not a fault:
+        // send the farewell so the worker exits cleanly.
+        Conn.sendFrame(wire::FrameType::Shutdown, {});
+        Deregister();
+        return;
+      }
+      DropReason = Status == IoStatus::TimedOut ? "worker timed out"
+                   : Status == IoStatus::Closed ? "worker disconnected"
+                   : Status == IoStatus::Malformed
+                       ? "malformed frame: " + Error
+                       : "transport error";
+      Deregister();
+      return;
+    }
+
+    if (Frame.Type == wire::FrameType::JobRequest) {
+      if (HasAssigned) {
+        // A worker may only pull when free; honoring this request would
+        // orphan the held job (nobody would ever re-queue it).
+        DropReason = "job request while holding an assignment";
+        Deregister();
+        return;
+      }
+      std::size_t Index;
+      {
+        std::unique_lock<std::mutex> Lock(State.Mutex);
+        State.WorkAvailable.wait(Lock, [&State] {
+          return State.Done || !State.Pending.empty();
+        });
+        if (State.Done) {
+          Lock.unlock();
+          Conn.sendFrame(wire::FrameType::Shutdown, {});
+          HasAssigned = false;
+          Deregister();
+          return;
+        }
+        Index = State.Pending.front();
+        State.Pending.pop_front();
+        ++State.Attempts[Index];
+      }
+      if (Conn.sendFrame(wire::FrameType::Assign,
+                         wire::encodeAssign(Index, State.Specs[Index])) !=
+          IoStatus::Ok) {
+        HasAssigned = true;
+        Assigned = Index;
+        DropReason = "assignment send failed";
+        Deregister();
+        return;
+      }
+      HasAssigned = true;
+      Assigned = Index;
+      continue;
+    }
+
+    if (Frame.Type == wire::FrameType::Result) {
+      uint64_t Index = 0;
+      RunResult Result;
+      if (!wire::decodeResult(Frame.Payload, Index, Result, Error) ||
+          !HasAssigned || Index != Assigned) {
+        DropReason = Error.empty()
+                         ? "result for a job this worker does not hold"
+                         : "undecodable result: " + Error;
+        Deregister();
+        return;
+      }
+      HasAssigned = false;
+      std::lock_guard<std::mutex> Lock(State.Mutex);
+      State.resolveLocked(Assigned, std::move(Result));
+      continue;
+    }
+
+    DropReason = "unexpected frame type";
+    Deregister();
+    return;
+  }
+}

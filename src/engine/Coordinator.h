@@ -1,0 +1,84 @@
+//===- engine/Coordinator.h - Distributed matrix coordinator ---*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The coordinator side of the distributed matrix runner: it listens on
+/// a transport address, hands spec indices to workers *pull-style* (a
+/// worker asks for a job whenever it is free, so fast workers naturally
+/// take more cells), and merges the returned (index, RunResult) pairs
+/// through the same index-addressed ResultSink the in-process engine
+/// uses — which is exactly why a distributed run aggregates to the same
+/// bytes as a local one (docs/engine.md, "Distributed mode").
+///
+/// Failure policy: a worker that disconnects, times out, or talks
+/// garbage gets its in-flight job re-queued, up to a bounded per-job
+/// retry budget; after the budget is exhausted the job resolves as
+/// Status::Error with a reason.  A coordinator with unresolved jobs and
+/// no connected workers fails the remainder after an idle deadline.
+/// Every job therefore resolves — the matrix can degrade but never hang.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_ENGINE_COORDINATOR_H
+#define HDS_ENGINE_COORDINATOR_H
+
+#include "engine/ExperimentSpec.h"
+#include "engine/ResultSink.h"
+#include "engine/Transport.h"
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace hds {
+namespace engine {
+
+struct CoordinatorOptions {
+  /// "host:port" (port 0 = ephemeral) or "unix:/path".
+  std::string ListenAddr = "127.0.0.1:0";
+  /// Per-job result deadline: how long a worker may hold an assignment
+  /// before the coordinator re-queues it.  Also bounds every send/recv.
+  uint32_t JobTimeoutMs = 120000;
+  /// With unresolved jobs and zero connected workers, give up after
+  /// this long and resolve the remainder as errors instead of hanging.
+  uint32_t IdleTimeoutMs = 30000;
+  /// Re-queues per job before it resolves as Status::Error.
+  unsigned RetryBudget = 2;
+};
+
+/// Serves one experiment matrix to pull-style workers.
+class Coordinator {
+public:
+  explicit Coordinator(const CoordinatorOptions &OptsIn);
+
+  /// Binds the listener.  On failure returns false and error() says why;
+  /// serve() on an unbound coordinator resolves every job as an error.
+  bool listen();
+  const std::string &error() const { return ListenError; }
+
+  /// Address workers should connect to (the real ephemeral port when
+  /// ListenAddr asked for port 0).  Valid after listen() succeeds.
+  const std::string &boundAddress() const { return Sockets.boundAddress(); }
+
+  /// Dispatches every spec and blocks until each sink slot is resolved
+  /// (result delivered or error after retries).  Spawns one service
+  /// thread per connected worker; all threads are joined before
+  /// returning.
+  void serve(std::span<const ExperimentSpec> Specs, ResultSink &Sink);
+
+private:
+  struct ServeState;
+  void handleWorker(Connection Conn, ServeState &State);
+
+  CoordinatorOptions Opts;
+  Listener Sockets;
+  std::string ListenError;
+};
+
+} // namespace engine
+} // namespace hds
+
+#endif // HDS_ENGINE_COORDINATOR_H

@@ -1,4 +1,4 @@
-//===- engine/ExperimentRunner.cpp - Run specs, shard matrices ------------===//
+//===- engine/ExperimentRunner.cpp - Run one experiment spec --------------===//
 //
 // Part of the hds project (PLDI 2002 hot data stream prefetching repro).
 //
@@ -7,8 +7,6 @@
 #include "engine/ExperimentRunner.h"
 
 #include "core/Runtime.h"
-#include "engine/JobScheduler.h"
-#include "engine/ResultSink.h"
 #include "support/Rng.h"
 #include "workloads/Workload.h"
 
@@ -62,41 +60,4 @@ RunResult hds::engine::runExperiment(const ExperimentSpec &Spec,
   Result.L1 = Rt.memory().l1().stats();
   Result.L2 = Rt.memory().l2().stats();
   return Result;
-}
-
-std::vector<RunResult>
-hds::engine::runMatrix(const std::vector<ExperimentSpec> &Specs,
-                       const MatrixOptions &Opts) {
-  ResultSink Sink(Specs.size());
-  if (Opts.OnResult)
-    Sink.setCallback(Opts.OnResult);
-
-  {
-    JobScheduler Scheduler(Opts.Jobs);
-    for (std::size_t Index = 0; Index < Specs.size(); ++Index) {
-      const ExperimentSpec &Spec = Specs[Index];
-      Scheduler.submit([Index, &Spec, &Sink, &Opts, &Scheduler] {
-        if (Opts.CancelRequested &&
-            Opts.CancelRequested->load(std::memory_order_relaxed)) {
-          // Drop everything still queued too, so cancellation takes
-          // effect promptly instead of once per remaining job.
-          Scheduler.cancel();
-          RunResult Cancelled;
-          Cancelled.Spec = Spec;
-          Sink.deliver(Index, std::move(Cancelled));
-          return;
-        }
-        Sink.deliver(Index, runExperiment(Spec));
-      });
-    }
-    Scheduler.wait();
-  } // joins every worker
-
-  std::vector<RunResult> Results = Sink.take();
-  // Jobs dropped from the queue by cancellation never delivered; label
-  // their slots with the spec they would have run.
-  for (std::size_t Index = 0; Index < Results.size(); ++Index)
-    if (Results[Index].State == RunResult::Status::Cancelled)
-      Results[Index].Spec = Specs[Index];
-  return Results;
 }

@@ -1,16 +1,15 @@
-//===- engine/ExperimentRunner.h - Run specs, shard matrices ---*- C++ -*-===//
+//===- engine/ExperimentRunner.h - Run one experiment spec -----*- C++ -*-===//
 //
 // Part of the hds project (PLDI 2002 hot data stream prefetching repro).
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Executes experiment specs: one at a time (runExperiment) or as a
-/// sharded matrix across a JobScheduler worker pool (runMatrix).  Each
-/// job builds a private Runtime, so jobs share no mutable state; the
-/// ResultSink merges their results in spec order, making the aggregate
-/// deterministic for any thread count (docs/engine.md states the
-/// contract precisely).
+/// Executes one experiment spec to completion (runExperiment).  Each run
+/// builds a private Runtime, so concurrent runs share no mutable state.
+/// Matrix execution — many specs sharded across threads or worker
+/// processes — lives behind the Executor interface (engine/Executor.h);
+/// this header is the single-job primitive every executor calls.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,12 +22,8 @@
 #include "memsim/Cache.h"
 #include "memsim/MemoryHierarchy.h"
 
-#include <atomic>
-#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <string>
-#include <vector>
 
 namespace hds {
 namespace engine {
@@ -66,25 +61,6 @@ using ConfigTweak = void (*)(core::OptimizerConfig &);
 /// Runs one spec to completion in the calling thread.
 RunResult runExperiment(const ExperimentSpec &Spec,
                         ConfigTweak Tweak = nullptr);
-
-/// Matrix execution knobs.
-struct MatrixOptions {
-  /// Worker threads (clamped to at least 1).
-  unsigned Jobs = 1;
-  /// When non-null and set, jobs that have not started yet finish as
-  /// Status::Cancelled instead of running.  Running jobs complete.
-  const std::atomic<bool> *CancelRequested = nullptr;
-  /// Progress callback: invoked once per finished job in *completion*
-  /// order (serialized by the sink lock).  Index is the spec's position
-  /// in the matrix.
-  std::function<void(std::size_t Index, const RunResult &Result)> OnResult;
-};
-
-/// Runs every spec and returns results in spec order.  The returned
-/// vector's contents are byte-identical for any Opts.Jobs value; only
-/// wall-clock differs.
-std::vector<RunResult> runMatrix(const std::vector<ExperimentSpec> &Specs,
-                                 const MatrixOptions &Opts = MatrixOptions());
 
 } // namespace engine
 } // namespace hds

@@ -1,0 +1,364 @@
+//===- engine/Transport.cpp - Sockets for the distributed runner ----------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Transport.h"
+
+#include <cerrno>
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace hds;
+using namespace hds::engine;
+
+namespace {
+
+/// Millisecond deadline → the timeval SO_RCVTIMEO/SO_SNDTIMEO expects.
+timeval deadlineToTimeval(uint32_t Ms) {
+  timeval Tv;
+  Tv.tv_sec = static_cast<long>(Ms / 1000u);
+  Tv.tv_usec = static_cast<long>((Ms % 1000u) * 1000u);
+  return Tv;
+}
+
+bool wouldBlock(int Err) { return Err == EAGAIN || Err == EWOULDBLOCK; }
+
+std::string errnoMessage(const char *What) {
+  return std::string(What) + ": " + std::strerror(errno);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Connection
+//===----------------------------------------------------------------------===//
+
+Connection::~Connection() { close(); }
+
+Connection::Connection(Connection &&Other) noexcept
+    : Fd(Other.Fd), Buffer(std::move(Other.Buffer)) {
+  Other.Fd = -1;
+}
+
+Connection &Connection::operator=(Connection &&Other) noexcept {
+  if (this != &Other) {
+    close();
+    Fd = Other.Fd;
+    Buffer = std::move(Other.Buffer);
+    Other.Fd = -1;
+  }
+  return *this;
+}
+
+void Connection::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  Buffer.clear();
+}
+
+void Connection::shutdownBoth() {
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_RDWR);
+}
+
+void Connection::shutdownRead() {
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_RD);
+}
+
+bool Connection::setDeadlines(uint32_t RecvMs, uint32_t SendMs) {
+  if (Fd < 0)
+    return false;
+  bool Ok = true;
+  if (RecvMs != 0) {
+    const timeval Tv = deadlineToTimeval(RecvMs);
+    Ok = ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv)) == 0 &&
+         Ok;
+  }
+  if (SendMs != 0) {
+    const timeval Tv = deadlineToTimeval(SendMs);
+    Ok = ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &Tv, sizeof(Tv)) == 0 &&
+         Ok;
+  }
+  return Ok;
+}
+
+IoStatus Connection::sendAll(const uint8_t *Data, std::size_t Size) {
+  std::size_t Sent = 0;
+  while (Sent < Size) {
+    const ssize_t N =
+        ::send(Fd, Data + Sent, Size - Sent, MSG_NOSIGNAL);
+    if (N > 0) {
+      Sent += static_cast<std::size_t>(N);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N < 0 && wouldBlock(errno))
+      return IoStatus::TimedOut;
+    if (N < 0 && (errno == EPIPE || errno == ECONNRESET))
+      return IoStatus::Closed;
+    return IoStatus::Error;
+  }
+  return IoStatus::Ok;
+}
+
+IoStatus Connection::sendFrame(wire::FrameType Type,
+                               const std::vector<uint8_t> &Payload) {
+  if (Fd < 0)
+    return IoStatus::Error;
+  const std::vector<uint8_t> Bytes = wire::encodeFrame(Type, Payload);
+  return sendAll(Bytes.data(), Bytes.size());
+}
+
+IoStatus Connection::recvFrame(wire::Frame &Out, std::string &Error) {
+  if (Fd < 0)
+    return IoStatus::Error;
+  for (;;) {
+    if (!Buffer.empty()) {
+      std::size_t Consumed = 0;
+      switch (wire::decodeFrame(Buffer.data(), Buffer.size(), Out, Consumed,
+                                Error)) {
+      case wire::DecodeStatus::Ok:
+        Buffer.erase(Buffer.begin(),
+                     Buffer.begin() + static_cast<std::ptrdiff_t>(Consumed));
+        return IoStatus::Ok;
+      case wire::DecodeStatus::Malformed:
+        return IoStatus::Malformed;
+      case wire::DecodeStatus::NeedMore:
+        break;
+      }
+    }
+
+    uint8_t Chunk[16 * 1024];
+    const ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N > 0) {
+      Buffer.insert(Buffer.end(), Chunk, Chunk + N);
+      continue;
+    }
+    if (N == 0) {
+      if (!Buffer.empty()) {
+        Error = "connection closed mid-frame (truncated)";
+        return IoStatus::Malformed;
+      }
+      return IoStatus::Closed;
+    }
+    if (errno == EINTR)
+      continue;
+    if (wouldBlock(errno))
+      return IoStatus::TimedOut;
+    if (errno == ECONNRESET)
+      return IoStatus::Closed;
+    return IoStatus::Error;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Address parsing
+//===----------------------------------------------------------------------===//
+
+bool hds::engine::parseAddress(const std::string &Text, Address &Out,
+                               std::string &Error) {
+  if (Text.rfind("unix:", 0) == 0) {
+    Out.IsUnix = true;
+    Out.UnixPath = Text.substr(5);
+    if (Out.UnixPath.empty()) {
+      Error = "empty unix socket path in '" + Text + "'";
+      return false;
+    }
+    sockaddr_un Probe;
+    if (Out.UnixPath.size() >= sizeof(Probe.sun_path)) {
+      Error = "unix socket path too long: '" + Out.UnixPath + "'";
+      return false;
+    }
+    return true;
+  }
+  const std::size_t Colon = Text.rfind(':');
+  if (Colon == std::string::npos || Colon == 0 || Colon + 1 >= Text.size()) {
+    Error = "address '" + Text +
+            "' is neither unix:/path nor host:port";
+    return false;
+  }
+  Out.IsUnix = false;
+  Out.Host = Text.substr(0, Colon);
+  const std::string PortText = Text.substr(Colon + 1);
+  char *End = nullptr;
+  const unsigned long Port = std::strtoul(PortText.c_str(), &End, 10);
+  if (End == PortText.c_str() || *End != '\0' || Port > 65535) {
+    Error = "invalid port '" + PortText + "' in address '" + Text + "'";
+    return false;
+  }
+  Out.Port = static_cast<uint16_t>(Port);
+  in_addr Probe;
+  if (::inet_pton(AF_INET, Out.Host.c_str(), &Probe) != 1) {
+    Error = "host '" + Out.Host +
+            "' is not a numeric IPv4 address (use 127.0.0.1 for loopback)";
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool fillSockaddrIn(const Address &Addr, sockaddr_in &Out) {
+  std::memset(&Out, 0, sizeof(Out));
+  Out.sin_family = AF_INET;
+  Out.sin_port = htons(Addr.Port);
+  return ::inet_pton(AF_INET, Addr.Host.c_str(), &Out.sin_addr) == 1;
+}
+
+void fillSockaddrUn(const Address &Addr, sockaddr_un &Out) {
+  std::memset(&Out, 0, sizeof(Out));
+  Out.sun_family = AF_UNIX;
+  std::memcpy(Out.sun_path, Addr.UnixPath.c_str(), Addr.UnixPath.size());
+}
+
+} // namespace
+
+Connection hds::engine::connectTo(const std::string &AddrText,
+                                  std::string &Error) {
+  Address Addr;
+  if (!parseAddress(AddrText, Addr, Error))
+    return Connection();
+
+  const int Fd =
+      ::socket(Addr.IsUnix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = errnoMessage("socket");
+    return Connection();
+  }
+  int Rc;
+  if (Addr.IsUnix) {
+    sockaddr_un Sun;
+    fillSockaddrUn(Addr, Sun);
+    Rc = ::connect(Fd, reinterpret_cast<const sockaddr *>(&Sun),
+                   sizeof(Sun));
+  } else {
+    sockaddr_in Sin;
+    fillSockaddrIn(Addr, Sin);
+    Rc = ::connect(Fd, reinterpret_cast<const sockaddr *>(&Sin),
+                   sizeof(Sin));
+  }
+  if (Rc != 0) {
+    Error = errnoMessage("connect") + " (" + AddrText + ")";
+    ::close(Fd);
+    return Connection();
+  }
+  return Connection(Fd);
+}
+
+//===----------------------------------------------------------------------===//
+// Listener
+//===----------------------------------------------------------------------===//
+
+Listener::~Listener() { close(); }
+
+void Listener::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  if (IsUnix && !UnixPath.empty())
+    ::unlink(UnixPath.c_str());
+  UnixPath.clear();
+}
+
+bool Listener::listen(const std::string &AddrText, std::string &Error) {
+  Address Addr;
+  if (!parseAddress(AddrText, Addr, Error))
+    return false;
+
+  const int NewFd =
+      ::socket(Addr.IsUnix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  if (NewFd < 0) {
+    Error = errnoMessage("socket");
+    return false;
+  }
+
+  int Rc;
+  if (Addr.IsUnix) {
+    ::unlink(Addr.UnixPath.c_str());
+    sockaddr_un Sun;
+    fillSockaddrUn(Addr, Sun);
+    Rc = ::bind(NewFd, reinterpret_cast<const sockaddr *>(&Sun),
+                sizeof(Sun));
+  } else {
+    const int One = 1;
+    ::setsockopt(NewFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    sockaddr_in Sin;
+    fillSockaddrIn(Addr, Sin);
+    Rc = ::bind(NewFd, reinterpret_cast<const sockaddr *>(&Sin),
+                sizeof(Sin));
+  }
+  if (Rc != 0 || ::listen(NewFd, 64) != 0) {
+    Error = errnoMessage(Rc != 0 ? "bind" : "listen") + " (" + AddrText + ")";
+    ::close(NewFd);
+    return false;
+  }
+
+  Fd = NewFd;
+  IsUnix = Addr.IsUnix;
+  if (IsUnix) {
+    UnixPath = Addr.UnixPath;
+    Bound = "unix:" + UnixPath;
+  } else {
+    // Port 0 asked the kernel for an ephemeral port; report the real one.
+    sockaddr_in Sin;
+    socklen_t Len = sizeof(Sin);
+    if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Sin), &Len) == 0) {
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "%s:%u", Addr.Host.c_str(),
+                    static_cast<unsigned>(ntohs(Sin.sin_port)));
+      Bound = Buf;
+    } else {
+      Bound = AddrText;
+    }
+  }
+  return true;
+}
+
+Listener::AcceptStatus Listener::accept(Connection &Out,
+                                        uint32_t DeadlineMs) {
+  if (Fd < 0)
+    return AcceptStatus::Error;
+  pollfd Pfd;
+  Pfd.fd = Fd;
+  Pfd.events = POLLIN;
+  Pfd.revents = 0;
+  const int Deadline =
+      DeadlineMs > static_cast<uint32_t>(INT_MAX)
+          ? INT_MAX
+          : static_cast<int>(DeadlineMs);
+  for (;;) {
+    const int Ready = ::poll(&Pfd, 1, Deadline);
+    if (Ready == 0)
+      return AcceptStatus::TimedOut;
+    if (Ready < 0) {
+      if (errno == EINTR)
+        continue;
+      return AcceptStatus::Error;
+    }
+    const int ConnFd = ::accept(Fd, nullptr, nullptr);
+    if (ConnFd < 0) {
+      if (errno == EINTR || wouldBlock(errno))
+        continue;
+      return AcceptStatus::Error;
+    }
+    Out = Connection(ConnFd);
+    return AcceptStatus::Ok;
+  }
+}

@@ -1,0 +1,132 @@
+//===- engine/Transport.h - Sockets for the distributed runner -*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Blocking socket transport for the coordinator/worker protocol:
+/// loopback TCP ("127.0.0.1:7077", port 0 picks a free port) and
+/// Unix-domain sockets ("unix:/path/to.sock").  Connections carry whole
+/// wire frames (engine/Wire.h) with per-operation deadlines, so no read
+/// or write can block forever — a peer that stops talking surfaces as
+/// IoStatus::TimedOut, which the coordinator turns into a job re-queue.
+///
+/// Deadlines are implemented with kernel socket timeouts (SO_RCVTIMEO /
+/// SO_SNDTIMEO) and poll(2) timeouts; the engine never reads a clock
+/// itself, keeping lint rule D1 (no ambient wall-clock in src/) intact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_ENGINE_TRANSPORT_H
+#define HDS_ENGINE_TRANSPORT_H
+
+#include "engine/Wire.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hds {
+namespace engine {
+
+/// Outcome of one blocking socket operation.
+enum class IoStatus : uint8_t {
+  Ok,
+  TimedOut, ///< the per-operation deadline elapsed
+  Closed,   ///< the peer closed the connection
+  Malformed, ///< the peer sent bytes wire::decodeFrame rejected
+  Error,    ///< any other socket error
+};
+
+/// One connected peer, move-only; the descriptor closes with the object.
+class Connection {
+public:
+  Connection() = default;
+  /// Adopts an already-connected descriptor.
+  explicit Connection(int FdIn) : Fd(FdIn) {}
+  ~Connection();
+  Connection(Connection &&Other) noexcept;
+  Connection &operator=(Connection &&Other) noexcept;
+  Connection(const Connection &) = delete;
+  Connection &operator=(const Connection &) = delete;
+
+  bool valid() const { return Fd >= 0; }
+  void close();
+  /// Half-closes both directions without releasing the descriptor, so a
+  /// blocked peer thread wakes with Closed.  Safe from another thread.
+  void shutdownBoth();
+  /// Half-closes the receive direction only: wakes a thread blocked in
+  /// recvFrame on this connection while leaving the send side usable
+  /// (the coordinator's wind-down farewell needs exactly this split).
+  void shutdownRead();
+
+  /// Kernel-enforced per-operation deadlines in milliseconds (0 leaves
+  /// the direction blocking indefinitely).
+  bool setDeadlines(uint32_t RecvMs, uint32_t SendMs);
+
+  /// Sends one whole frame.
+  IoStatus sendFrame(wire::FrameType Type,
+                     const std::vector<uint8_t> &Payload);
+  /// Receives one whole frame, assembling across short reads.  On
+  /// Malformed, \p Error carries the decoder's message; a connection
+  /// that produced Malformed bytes must be dropped (the stream cannot
+  /// be resynchronized).
+  IoStatus recvFrame(wire::Frame &Out, std::string &Error);
+
+private:
+  IoStatus sendAll(const uint8_t *Data, std::size_t Size);
+
+  int Fd = -1;
+  /// Carry-over bytes past the last decoded frame boundary.
+  std::vector<uint8_t> Buffer;
+};
+
+/// Parses "unix:/path" or "host:port" (numeric IPv4; port 0 = ephemeral).
+struct Address {
+  bool IsUnix = false;
+  std::string UnixPath;
+  std::string Host;
+  uint16_t Port = 0;
+};
+bool parseAddress(const std::string &Text, Address &Out, std::string &Error);
+
+/// Connects to \p Addr ("unix:/path" or "host:port").  Returns an
+/// invalid Connection and sets \p Error on failure.
+Connection connectTo(const std::string &Addr, std::string &Error);
+
+/// Listening socket; accept() takes a deadline so a coordinator with no
+/// workers can notice and fail the matrix instead of hanging.
+class Listener {
+public:
+  Listener() = default;
+  ~Listener();
+  Listener(const Listener &) = delete;
+  Listener &operator=(const Listener &) = delete;
+
+  /// Binds and listens on \p Addr.  Unix paths are unlinked first (a
+  /// stale socket file from a dead run must not block the next one).
+  bool listen(const std::string &Addr, std::string &Error);
+  bool valid() const { return Fd >= 0; }
+  void close();
+
+  /// The resolved address peers should connect to — for TCP with port 0
+  /// this is the actual ephemeral port ("127.0.0.1:54321").
+  const std::string &boundAddress() const { return Bound; }
+
+  enum class AcceptStatus : uint8_t { Ok, TimedOut, Error };
+  /// Waits up to \p DeadlineMs for one connection.
+  AcceptStatus accept(Connection &Out, uint32_t DeadlineMs);
+
+private:
+  int Fd = -1;
+  bool IsUnix = false;
+  std::string UnixPath;
+  std::string Bound;
+};
+
+} // namespace engine
+} // namespace hds
+
+#endif // HDS_ENGINE_TRANSPORT_H

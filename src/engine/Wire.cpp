@@ -1,0 +1,538 @@
+//===- engine/Wire.cpp - Binary wire format for distributed runs ----------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Wire.h"
+
+#include "core/RunStats.h"
+#include "memsim/Cache.h"
+#include "memsim/MemoryHierarchy.h"
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <type_traits>
+
+using namespace hds;
+using namespace hds::engine;
+using namespace hds::engine::wire;
+
+//===----------------------------------------------------------------------===//
+// CRC32 and frame envelope
+//===----------------------------------------------------------------------===//
+
+uint32_t wire::crc32(const uint8_t *Data, std::size_t Size) {
+  static const std::array<uint32_t, 256> Table = [] {
+    std::array<uint32_t, 256> T{};
+    for (uint32_t I = 0; I < 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K < 8; ++K)
+        C = (C & 1u) != 0 ? 0xEDB88320u ^ (C >> 1) : (C >> 1);
+      T[I] = C;
+    }
+    return T;
+  }();
+  uint32_t Crc = 0xFFFFFFFFu;
+  for (std::size_t I = 0; I < Size; ++I)
+    Crc = Table[(Crc ^ Data[I]) & 0xFFu] ^ (Crc >> 8);
+  return Crc ^ 0xFFFFFFFFu;
+}
+
+namespace {
+
+void appendU32(std::vector<uint8_t> &Out, uint32_t Value) {
+  for (int Shift = 0; Shift < 32; Shift += 8)
+    Out.push_back(static_cast<uint8_t>((Value >> Shift) & 0xFFu));
+}
+
+uint32_t readU32At(const uint8_t *Data) {
+  uint32_t Value = 0;
+  for (int I = 0; I < 4; ++I)
+    Value |= static_cast<uint32_t>(Data[I]) << (8 * I);
+  return Value;
+}
+
+bool knownFrameType(uint8_t Type) {
+  return Type >= static_cast<uint8_t>(FrameType::Hello) &&
+         Type <= static_cast<uint8_t>(FrameType::Shutdown);
+}
+
+} // namespace
+
+std::vector<uint8_t> wire::encodeFrame(FrameType Type,
+                                       const std::vector<uint8_t> &Payload) {
+  std::vector<uint8_t> Out;
+  Out.reserve(HeaderBytes + Payload.size() + TrailerBytes);
+  Out.push_back(Magic0);
+  Out.push_back(Magic1);
+  Out.push_back(ProtocolVersion);
+  Out.push_back(static_cast<uint8_t>(Type));
+  appendU32(Out, static_cast<uint32_t>(Payload.size()));
+  Out.insert(Out.end(), Payload.begin(), Payload.end());
+  appendU32(Out, crc32(Payload.data(), Payload.size()));
+  return Out;
+}
+
+DecodeStatus wire::decodeFrame(const uint8_t *Data, std::size_t Size,
+                               Frame &Out, std::size_t &Consumed,
+                               std::string &Error) {
+  // Reject garbage as early as the bytes allow, so a stream that is not
+  // ours at all fails fast instead of waiting for more input.
+  if (Size >= 1 && Data[0] != Magic0) {
+    Error = "bad frame magic";
+    return DecodeStatus::Malformed;
+  }
+  if (Size >= 2 && Data[1] != Magic1) {
+    Error = "bad frame magic";
+    return DecodeStatus::Malformed;
+  }
+  if (Size >= 3 && Data[2] != ProtocolVersion) {
+    Error = "protocol version skew: got " + std::to_string(Data[2]) +
+            ", expected " + std::to_string(ProtocolVersion);
+    return DecodeStatus::Malformed;
+  }
+  if (Size >= 4 && !knownFrameType(Data[3])) {
+    Error = "unknown frame type " + std::to_string(Data[3]);
+    return DecodeStatus::Malformed;
+  }
+  if (Size < HeaderBytes)
+    return DecodeStatus::NeedMore;
+
+  const uint32_t PayloadSize = readU32At(Data + 4);
+  if (PayloadSize > MaxPayloadBytes) {
+    Error = "oversized payload (" + std::to_string(PayloadSize) +
+            " bytes, limit " + std::to_string(MaxPayloadBytes) + ")";
+    return DecodeStatus::Malformed;
+  }
+  const std::size_t Total = HeaderBytes + PayloadSize + TrailerBytes;
+  if (Size < Total)
+    return DecodeStatus::NeedMore;
+
+  const uint8_t *Payload = Data + HeaderBytes;
+  const uint32_t Expected = readU32At(Payload + PayloadSize);
+  const uint32_t Actual = crc32(Payload, PayloadSize);
+  if (Expected != Actual) {
+    Error = "payload CRC mismatch";
+    return DecodeStatus::Malformed;
+  }
+
+  Out.Type = static_cast<FrameType>(Data[3]);
+  Out.Payload.assign(Payload, Payload + PayloadSize);
+  Consumed = Total;
+  return DecodeStatus::Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Payload primitives
+//===----------------------------------------------------------------------===//
+
+void wire::appendU64(std::vector<uint8_t> &Out, uint64_t Value) {
+  for (int Shift = 0; Shift < 64; Shift += 8)
+    Out.push_back(static_cast<uint8_t>((Value >> Shift) & 0xFFu));
+}
+
+void wire::appendString(std::vector<uint8_t> &Out, const std::string &Value) {
+  appendU32(Out, static_cast<uint32_t>(Value.size()));
+  Out.insert(Out.end(), Value.begin(), Value.end());
+}
+
+bool Reader::readU8(uint8_t &Value) {
+  if (Size - Pos < 1)
+    return false;
+  Value = Data[Pos++];
+  return true;
+}
+
+bool Reader::readU64(uint64_t &Value) {
+  if (Size - Pos < 8)
+    return false;
+  Value = 0;
+  for (int I = 0; I < 8; ++I)
+    Value |= static_cast<uint64_t>(Data[Pos + static_cast<std::size_t>(I)])
+             << (8 * I);
+  Pos += 8;
+  return true;
+}
+
+bool Reader::readString(std::string &Value) {
+  if (Size - Pos < 4)
+    return false;
+  const uint32_t Len = readU32At(Data + Pos);
+  if (Len > Size - Pos - 4)
+    return false;
+  Pos += 4;
+  Value.assign(reinterpret_cast<const char *>(Data + Pos), Len);
+  Pos += Len;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// ExperimentSpec fields
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+// Tag vocabularies.  0 terminates a tagged section; unknown or duplicate
+// tags are decode errors (skew shows up at the version byte, not here).
+enum SpecTag : uint8_t {
+  SpecEnd = 0,
+  SpecWorkload = 1,
+  SpecMode = 2,
+  SpecScale = 3,
+  SpecIterations = 4,
+  SpecSeed = 5,
+  SpecHeadLength = 6,
+  SpecFlags = 7,
+};
+
+enum ResultTag : uint8_t {
+  ResultEnd = 0,
+  ResultSpec = 1,
+  ResultState = 2,
+  ResultError = 3,
+  ResultIterations = 4,
+  ResultCycles = 5,
+  ResultRunStats = 6,
+  ResultPhases = 7,
+  ResultHierarchy = 8,
+  ResultL1 = 9,
+  ResultL2 = 10,
+};
+
+constexpr uint64_t FlagStride = 1u << 0;
+constexpr uint64_t FlagMarkov = 1u << 1;
+constexpr uint64_t FlagPin = 1u << 2;
+constexpr uint64_t FlagAdaptive = 1u << 3;
+
+void appendTagU64(std::vector<uint8_t> &Out, uint8_t Tag, uint64_t Value) {
+  Out.push_back(Tag);
+  appendU64(Out, Value);
+}
+
+void encodeSpecFields(std::vector<uint8_t> &Out, const ExperimentSpec &Spec) {
+  Out.push_back(SpecWorkload);
+  appendString(Out, Spec.Workload);
+  appendTagU64(Out, SpecMode, static_cast<uint64_t>(Spec.Mode));
+  appendTagU64(Out, SpecScale, std::bit_cast<uint64_t>(Spec.Scale));
+  appendTagU64(Out, SpecIterations, Spec.Iterations);
+  appendTagU64(Out, SpecSeed, Spec.Seed);
+  appendTagU64(Out, SpecHeadLength, Spec.HeadLength);
+  uint64_t Flags = 0;
+  if (Spec.Stride)
+    Flags |= FlagStride;
+  if (Spec.Markov)
+    Flags |= FlagMarkov;
+  if (Spec.Pin)
+    Flags |= FlagPin;
+  if (Spec.Adaptive)
+    Flags |= FlagAdaptive;
+  appendTagU64(Out, SpecFlags, Flags);
+  Out.push_back(SpecEnd);
+}
+
+bool decodeSpecFields(Reader &R, ExperimentSpec &Spec, std::string &Error) {
+  uint64_t Seen = 0;
+  for (;;) {
+    uint8_t Tag = 0;
+    if (!R.readU8(Tag)) {
+      Error = "spec truncated before end tag";
+      return false;
+    }
+    if (Tag == SpecEnd)
+      break;
+    if (Tag > SpecFlags) {
+      Error = "unknown spec field tag " + std::to_string(Tag);
+      return false;
+    }
+    if ((Seen & (uint64_t{1} << Tag)) != 0) {
+      Error = "duplicate spec field tag " + std::to_string(Tag);
+      return false;
+    }
+    Seen |= uint64_t{1} << Tag;
+
+    uint64_t Value = 0;
+    bool Ok = true;
+    switch (Tag) {
+    case SpecWorkload:
+      Ok = R.readString(Spec.Workload);
+      break;
+    case SpecMode:
+      Ok = R.readU64(Value);
+      if (Ok && Value > static_cast<uint64_t>(core::RunMode::DynamicPrefetch)) {
+        Error = "invalid run mode " + std::to_string(Value);
+        return false;
+      }
+      Spec.Mode = static_cast<core::RunMode>(Value);
+      break;
+    case SpecScale:
+      Ok = R.readU64(Value);
+      Spec.Scale = std::bit_cast<double>(Value);
+      if (Ok && !(std::isfinite(Spec.Scale) && Spec.Scale > 0.0)) {
+        Error = "invalid scale";
+        return false;
+      }
+      break;
+    case SpecIterations:
+      Ok = R.readU64(Spec.Iterations);
+      break;
+    case SpecSeed:
+      Ok = R.readU64(Spec.Seed);
+      break;
+    case SpecHeadLength:
+      Ok = R.readU64(Value);
+      Spec.HeadLength = static_cast<uint32_t>(Value);
+      break;
+    case SpecFlags:
+      Ok = R.readU64(Value);
+      Spec.Stride = (Value & FlagStride) != 0;
+      Spec.Markov = (Value & FlagMarkov) != 0;
+      Spec.Pin = (Value & FlagPin) != 0;
+      Spec.Adaptive = (Value & FlagAdaptive) != 0;
+      break;
+    default:
+      Ok = false;
+      break;
+    }
+    if (!Ok) {
+      Error = "spec field " + std::to_string(Tag) + " truncated";
+      return false;
+    }
+  }
+  const uint64_t AllSpecTags = (uint64_t{1} << SpecWorkload) |
+                               (uint64_t{1} << SpecMode) |
+                               (uint64_t{1} << SpecScale) |
+                               (uint64_t{1} << SpecIterations) |
+                               (uint64_t{1} << SpecSeed) |
+                               (uint64_t{1} << SpecHeadLength) |
+                               (uint64_t{1} << SpecFlags);
+  if (Seen != AllSpecTags) {
+    Error = "spec is missing mandatory fields";
+    return false;
+  }
+  return true;
+}
+
+/// Encodes a counter block: count, then each counter in the stable
+/// visitXCounters order.
+template <typename StatsT, typename VisitorT>
+void encodeCounters(std::vector<uint8_t> &Out, const StatsT &Stats,
+                    VisitorT &&Visitor) {
+  uint64_t Count = 0;
+  Visitor(Stats, [&Count](const auto &) { ++Count; });
+  appendU64(Out, Count);
+  Visitor(Stats, [&Out](const auto &Field) {
+    appendU64(Out, static_cast<uint64_t>(Field));
+  });
+}
+
+template <typename StatsT, typename VisitorT>
+bool decodeCounters(Reader &R, StatsT &Stats, VisitorT &&Visitor,
+                    std::string &Error) {
+  uint64_t Expected = 0;
+  Visitor(Stats, [&Expected](auto &) { ++Expected; });
+  uint64_t Count = 0;
+  if (!R.readU64(Count) || Count != Expected) {
+    Error = "counter block has wrong field count";
+    return false;
+  }
+  bool Ok = true;
+  Visitor(Stats, [&R, &Ok](auto &Field) {
+    uint64_t Value = 0;
+    Ok = Ok && R.readU64(Value);
+    Field = static_cast<std::remove_reference_t<decltype(Field)>>(Value);
+  });
+  if (!Ok)
+    Error = "counter block truncated";
+  return Ok;
+}
+
+// Wrap the visit functions in generic lambdas so encode (const) and
+// decode (mutable) instantiate the right overloads.
+constexpr auto VisitRunStats = [](auto &&S, auto &&F) {
+  core::visitRunStatsCounters(S, F);
+};
+constexpr auto VisitCycleStats = [](auto &&S, auto &&F) {
+  core::visitCycleStatsCounters(S, F);
+};
+constexpr auto VisitCacheStats = [](auto &&S, auto &&F) {
+  memsim::visitCacheStatsCounters(S, F);
+};
+constexpr auto VisitHierarchyStats = [](auto &&S, auto &&F) {
+  memsim::visitHierarchyStatsCounters(S, F);
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Assign / Result payloads
+//===----------------------------------------------------------------------===//
+
+std::vector<uint8_t> wire::encodeAssign(uint64_t Index,
+                                        const ExperimentSpec &Spec) {
+  std::vector<uint8_t> Out;
+  appendU64(Out, Index);
+  encodeSpecFields(Out, Spec);
+  return Out;
+}
+
+bool wire::decodeAssign(const std::vector<uint8_t> &Payload, uint64_t &Index,
+                        ExperimentSpec &Spec, std::string &Error) {
+  Reader R(Payload);
+  if (!R.readU64(Index)) {
+    Error = "assign payload truncated before index";
+    return false;
+  }
+  if (!decodeSpecFields(R, Spec, Error))
+    return false;
+  if (!R.atEnd()) {
+    Error = "trailing bytes after spec";
+    return false;
+  }
+  return true;
+}
+
+std::vector<uint8_t> wire::encodeResult(uint64_t Index,
+                                        const RunResult &Result) {
+  std::vector<uint8_t> Out;
+  appendU64(Out, Index);
+
+  Out.push_back(ResultSpec);
+  encodeSpecFields(Out, Result.Spec);
+  appendTagU64(Out, ResultState, static_cast<uint64_t>(Result.State));
+  Out.push_back(ResultError);
+  appendString(Out, Result.Error);
+  appendTagU64(Out, ResultIterations, Result.Iterations);
+  appendTagU64(Out, ResultCycles, Result.Cycles);
+
+  Out.push_back(ResultRunStats);
+  encodeCounters(Out, Result.Stats, VisitRunStats);
+
+  Out.push_back(ResultPhases);
+  appendU64(Out, Result.Stats.Cycles.size());
+  for (const core::CycleStats &Phase : Result.Stats.Cycles)
+    encodeCounters(Out, Phase, VisitCycleStats);
+
+  Out.push_back(ResultHierarchy);
+  encodeCounters(Out, Result.Memory, VisitHierarchyStats);
+  Out.push_back(ResultL1);
+  encodeCounters(Out, Result.L1, VisitCacheStats);
+  Out.push_back(ResultL2);
+  encodeCounters(Out, Result.L2, VisitCacheStats);
+
+  Out.push_back(ResultEnd);
+  return Out;
+}
+
+bool wire::decodeResult(const std::vector<uint8_t> &Payload, uint64_t &Index,
+                        RunResult &Result, std::string &Error) {
+  Reader R(Payload);
+  if (!R.readU64(Index)) {
+    Error = "result payload truncated before index";
+    return false;
+  }
+
+  uint64_t Seen = 0;
+  for (;;) {
+    uint8_t Tag = 0;
+    if (!R.readU8(Tag)) {
+      Error = "result truncated before end tag";
+      return false;
+    }
+    if (Tag == ResultEnd)
+      break;
+    if (Tag > ResultL2) {
+      Error = "unknown result field tag " + std::to_string(Tag);
+      return false;
+    }
+    if ((Seen & (uint64_t{1} << Tag)) != 0) {
+      Error = "duplicate result field tag " + std::to_string(Tag);
+      return false;
+    }
+    Seen |= uint64_t{1} << Tag;
+
+    uint64_t Value = 0;
+    bool Ok = true;
+    switch (Tag) {
+    case ResultSpec:
+      if (!decodeSpecFields(R, Result.Spec, Error))
+        return false;
+      break;
+    case ResultState:
+      Ok = R.readU64(Value);
+      if (Ok && Value > static_cast<uint64_t>(RunResult::Status::Ok)) {
+        Error = "invalid result status " + std::to_string(Value);
+        return false;
+      }
+      Result.State = static_cast<RunResult::Status>(Value);
+      break;
+    case ResultError:
+      Ok = R.readString(Result.Error);
+      break;
+    case ResultIterations:
+      Ok = R.readU64(Result.Iterations);
+      break;
+    case ResultCycles:
+      Ok = R.readU64(Result.Cycles);
+      break;
+    case ResultRunStats:
+      if (!decodeCounters(R, Result.Stats, VisitRunStats, Error))
+        return false;
+      break;
+    case ResultPhases: {
+      uint64_t Count = 0;
+      Ok = R.readU64(Count);
+      // Each phase needs at least its counter-count word; anything larger
+      // than the remaining bytes is a corrupt length, not a real vector.
+      if (Ok && Count > R.remaining() / 8) {
+        Error = "phase count exceeds payload";
+        return false;
+      }
+      if (Ok) {
+        Result.Stats.Cycles.assign(static_cast<std::size_t>(Count),
+                                   core::CycleStats{});
+        for (core::CycleStats &Phase : Result.Stats.Cycles)
+          if (!decodeCounters(R, Phase, VisitCycleStats, Error))
+            return false;
+      }
+      break;
+    }
+    case ResultHierarchy:
+      if (!decodeCounters(R, Result.Memory, VisitHierarchyStats, Error))
+        return false;
+      break;
+    case ResultL1:
+      if (!decodeCounters(R, Result.L1, VisitCacheStats, Error))
+        return false;
+      break;
+    case ResultL2:
+      if (!decodeCounters(R, Result.L2, VisitCacheStats, Error))
+        return false;
+      break;
+    default:
+      Ok = false;
+      break;
+    }
+    if (!Ok) {
+      Error = "result field " + std::to_string(Tag) + " truncated";
+      return false;
+    }
+  }
+
+  const uint64_t AllResultTags =
+      (uint64_t{1} << ResultSpec) | (uint64_t{1} << ResultState) |
+      (uint64_t{1} << ResultError) | (uint64_t{1} << ResultIterations) |
+      (uint64_t{1} << ResultCycles) | (uint64_t{1} << ResultRunStats) |
+      (uint64_t{1} << ResultPhases) | (uint64_t{1} << ResultHierarchy) |
+      (uint64_t{1} << ResultL1) | (uint64_t{1} << ResultL2);
+  if (Seen != AllResultTags) {
+    Error = "result is missing mandatory fields";
+    return false;
+  }
+  if (!R.atEnd()) {
+    Error = "trailing bytes after result";
+    return false;
+  }
+  return true;
+}

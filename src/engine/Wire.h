@@ -1,0 +1,142 @@
+//===- engine/Wire.h - Binary wire format for distributed runs -*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The versioned, length-prefixed binary frame format the distributed
+/// matrix runner speaks: ExperimentSpec assignments travel coordinator →
+/// worker, (index, RunResult) pairs travel back.  Every frame carries a
+/// magic, a protocol version byte, a type byte, a little-endian payload
+/// length, and a CRC32 trailer; decodeFrame rejects truncated, oversized,
+/// corrupt, version-skewed, and unknown-type frames with an error message
+/// instead of undefined behavior (the fault-injection tests feed it
+/// arbitrary garbage under ASan).
+///
+/// Payloads are sequences of explicit field tags.  Unknown tags are a
+/// decode error — the protocol is versioned, so skew is detected at the
+/// frame header, not papered over per field.  Counter blocks reuse the
+/// stable visitXCounters field enumerations (core/RunStats.h,
+/// memsim/Cache.h, memsim/MemoryHierarchy.h), so encode and decode can
+/// never disagree on field order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_ENGINE_WIRE_H
+#define HDS_ENGINE_WIRE_H
+
+#include "engine/ExperimentRunner.h"
+#include "engine/ExperimentSpec.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hds {
+namespace engine {
+namespace wire {
+
+/// Bumped whenever the frame layout or any payload encoding changes.
+constexpr uint8_t ProtocolVersion = 1;
+
+/// First two frame bytes; a cheap guard against cross-protocol garbage.
+constexpr uint8_t Magic0 = 0x48; // 'H'
+constexpr uint8_t Magic1 = 0x44; // 'D'
+
+/// Hard ceiling on payload size.  A RunResult is a few KB; anything near
+/// this limit is a corrupt length field, not a real message.
+constexpr uint32_t MaxPayloadBytes = 1u << 20;
+
+/// Fixed frame overhead: magic(2) + version(1) + type(1) + length(4)
+/// header, CRC32(4) trailer.
+constexpr std::size_t HeaderBytes = 8;
+constexpr std::size_t TrailerBytes = 4;
+
+enum class FrameType : uint8_t {
+  /// Worker → coordinator, once after connecting.  Empty payload; the
+  /// version byte in the frame header is the handshake.
+  Hello = 1,
+  /// Worker → coordinator: "give me a job".  Empty payload.
+  JobRequest = 2,
+  /// Coordinator → worker: spec index + ExperimentSpec fields.
+  Assign = 3,
+  /// Worker → coordinator: spec index + RunResult fields.
+  Result = 4,
+  /// Coordinator → worker: matrix resolved, disconnect cleanly.
+  Shutdown = 5,
+};
+
+struct Frame {
+  FrameType Type = FrameType::Hello;
+  std::vector<uint8_t> Payload;
+};
+
+/// CRC32 (IEEE 802.3 polynomial) of \p Size bytes at \p Data.
+uint32_t crc32(const uint8_t *Data, std::size_t Size);
+
+/// Encodes one complete frame (header + payload + CRC trailer).
+std::vector<uint8_t> encodeFrame(FrameType Type,
+                                 const std::vector<uint8_t> &Payload);
+
+enum class DecodeStatus : uint8_t {
+  Ok,        ///< one frame decoded; Consumed bytes were eaten
+  NeedMore,  ///< the buffer holds a valid prefix of a frame
+  Malformed, ///< bad magic/version/type/length/CRC; Error says which
+};
+
+/// Decodes the first complete frame in [Data, Data+Size).  On Ok fills
+/// \p Out and \p Consumed; on Malformed fills \p Error.  Never reads past
+/// \p Size and never accepts a frame whose declared payload exceeds
+/// MaxPayloadBytes.
+DecodeStatus decodeFrame(const uint8_t *Data, std::size_t Size, Frame &Out,
+                         std::size_t &Consumed, std::string &Error);
+
+//===----------------------------------------------------------------------===//
+// Payload primitives: little-endian u64, length-prefixed strings.
+//===----------------------------------------------------------------------===//
+
+void appendU64(std::vector<uint8_t> &Out, uint64_t Value);
+void appendString(std::vector<uint8_t> &Out, const std::string &Value);
+
+/// Bounds-checked sequential reader over a payload.
+class Reader {
+public:
+  Reader(const uint8_t *DataIn, std::size_t SizeIn)
+      : Data(DataIn), Size(SizeIn) {}
+  explicit Reader(const std::vector<uint8_t> &Payload)
+      : Data(Payload.data()), Size(Payload.size()) {}
+
+  bool readU8(uint8_t &Value);
+  bool readU64(uint64_t &Value);
+  /// Rejects lengths that run past the payload end.
+  bool readString(std::string &Value);
+  bool atEnd() const { return Pos == Size; }
+  std::size_t remaining() const { return Size - Pos; }
+
+private:
+  const uint8_t *Data;
+  std::size_t Size;
+  std::size_t Pos = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Message payloads
+//===----------------------------------------------------------------------===//
+
+/// Assign payload: spec index + tagged ExperimentSpec fields.
+std::vector<uint8_t> encodeAssign(uint64_t Index, const ExperimentSpec &Spec);
+bool decodeAssign(const std::vector<uint8_t> &Payload, uint64_t &Index,
+                  ExperimentSpec &Spec, std::string &Error);
+
+/// Result payload: spec index + tagged RunResult fields (spec echoed).
+std::vector<uint8_t> encodeResult(uint64_t Index, const RunResult &Result);
+bool decodeResult(const std::vector<uint8_t> &Payload, uint64_t &Index,
+                  RunResult &Result, std::string &Error);
+
+} // namespace wire
+} // namespace engine
+} // namespace hds
+
+#endif // HDS_ENGINE_WIRE_H

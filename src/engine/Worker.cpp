@@ -1,0 +1,109 @@
+//===- engine/Worker.cpp - Distributed matrix worker loop -----------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Worker.h"
+
+#include "engine/ExperimentRunner.h"
+#include "engine/Transport.h"
+#include "engine/Wire.h"
+
+using namespace hds;
+using namespace hds::engine;
+
+namespace {
+
+void setError(std::string *Error, const std::string &Message) {
+  if (Error)
+    *Error = Message;
+}
+
+WorkerExit ioFailure(IoStatus Status, const std::string &Detail,
+                     std::string *Error) {
+  if (Status == IoStatus::TimedOut) {
+    setError(Error, "coordinator went quiet past the I/O deadline");
+    return WorkerExit::TimedOut;
+  }
+  setError(Error, Detail.empty() ? "connection to coordinator lost"
+                                 : Detail);
+  return WorkerExit::ProtocolError;
+}
+
+} // namespace
+
+WorkerExit hds::engine::runWorker(const std::string &Addr,
+                                  const WorkerOptions &Opts,
+                                  std::string *Error) {
+  std::string ConnectError;
+  Connection Conn = connectTo(Addr, ConnectError);
+  if (!Conn.valid()) {
+    setError(Error, ConnectError);
+    return WorkerExit::ConnectFailed;
+  }
+  Conn.setDeadlines(Opts.IoTimeoutMs, Opts.IoTimeoutMs);
+
+  if (Conn.sendFrame(wire::FrameType::Hello, {}) != IoStatus::Ok) {
+    setError(Error, "handshake send failed");
+    return WorkerExit::ProtocolError;
+  }
+
+  uint64_t JobsRun = 0;
+  for (;;) {
+    if (Conn.sendFrame(wire::FrameType::JobRequest, {}) != IoStatus::Ok) {
+      // A winding-down coordinator half-closes its receive side, which
+      // unix sockets surface to us as a send failure (EPIPE) — unlike
+      // TCP, where the peer's SHUT_RD is invisible.  Its Shutdown
+      // farewell may still be in flight; prefer it over the error.
+      wire::Frame Bye;
+      std::string ByeError;
+      if (Conn.recvFrame(Bye, ByeError) == IoStatus::Ok &&
+          Bye.Type == wire::FrameType::Shutdown)
+        return WorkerExit::CleanShutdown;
+      setError(Error, "job request send failed");
+      return WorkerExit::ProtocolError;
+    }
+
+    wire::Frame Frame;
+    std::string DecodeError;
+    const IoStatus Status = Conn.recvFrame(Frame, DecodeError);
+    if (Status != IoStatus::Ok)
+      return ioFailure(Status, DecodeError, Error);
+
+    if (Frame.Type == wire::FrameType::Shutdown)
+      return WorkerExit::CleanShutdown;
+    if (Frame.Type != wire::FrameType::Assign) {
+      setError(Error, "expected Assign or Shutdown frame");
+      return WorkerExit::ProtocolError;
+    }
+
+    uint64_t Index = 0;
+    ExperimentSpec Spec;
+    if (!wire::decodeAssign(Frame.Payload, Index, Spec, DecodeError)) {
+      setError(Error, "undecodable assignment: " + DecodeError);
+      return WorkerExit::ProtocolError;
+    }
+
+    // The same private-Runtime execution an in-process job uses; the
+    // result is a pure function of the spec, so where it ran is
+    // invisible in the bytes.
+    RunResult Result = runExperiment(Spec);
+    ++JobsRun;
+
+    if (Opts.DropAfterJobs != 0 && JobsRun >= Opts.DropAfterJobs) {
+      // Fault injection: vanish exactly where a mid-job kill would —
+      // the job ran but its result never reaches the coordinator.
+      Conn.close();
+      setError(Error, "fault injection: dropped connection after " +
+                          std::to_string(JobsRun) + " job(s)");
+      return WorkerExit::Dropped;
+    }
+
+    if (Conn.sendFrame(wire::FrameType::Result,
+                       wire::encodeResult(Index, Result)) != IoStatus::Ok) {
+      setError(Error, "result send failed");
+      return WorkerExit::ProtocolError;
+    }
+  }
+}

@@ -1,0 +1,56 @@
+//===- engine/Worker.h - Distributed matrix worker loop --------*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The worker side of the distributed matrix runner: connect to a
+/// coordinator, pull spec assignments, run each through the exact same
+/// per-job private-Runtime path an in-process run uses
+/// (engine/ExperimentRunner.h), and stream the results back.  Because
+/// the simulation itself is a pure function of the spec, a result
+/// computed here is byte-for-byte the result a local thread would have
+/// produced — the wire moves bytes, it never changes them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_ENGINE_WORKER_H
+#define HDS_ENGINE_WORKER_H
+
+#include <cstdint>
+#include <string>
+
+namespace hds {
+namespace engine {
+
+struct WorkerOptions {
+  /// Deadline for every send/recv.  Must comfortably exceed the
+  /// coordinator's gap between assignments (a worker waiting for work
+  /// blocks in recv until a job is pulled or the matrix resolves).
+  uint32_t IoTimeoutMs = 120000;
+  /// Fault injection for tests: after running this many jobs, drop the
+  /// connection *without sending the last result* — exactly what a
+  /// worker killed mid-job looks like to the coordinator.  0 = never.
+  uint64_t DropAfterJobs = 0;
+};
+
+enum class WorkerExit : uint8_t {
+  CleanShutdown, ///< coordinator said Shutdown: matrix resolved
+  Dropped,       ///< DropAfterJobs fault injection tripped
+  ConnectFailed,
+  ProtocolError, ///< unexpected/undecodable frame, or send failed
+  TimedOut,      ///< coordinator went quiet past IoTimeoutMs
+};
+
+/// Runs the worker loop against the coordinator at \p Addr
+/// ("host:port" or "unix:/path") until shutdown or failure.  On
+/// failure, \p Error (when non-null) carries a description.
+WorkerExit runWorker(const std::string &Addr,
+                     const WorkerOptions &Opts = WorkerOptions(),
+                     std::string *Error = nullptr);
+
+} // namespace engine
+} // namespace hds
+
+#endif // HDS_ENGINE_WORKER_H

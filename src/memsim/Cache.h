@@ -68,6 +68,19 @@ struct CacheStats {
   }
 };
 
+/// Stable serialization accessor: fixed, append-only field order shared
+/// by every serializer (see core/RunStats.h for the contract).
+template <typename CacheStatsT, typename Fn>
+void visitCacheStatsCounters(CacheStatsT &&Stats, Fn &&Visit) {
+  Visit(Stats.Hits);
+  Visit(Stats.Misses);
+  Visit(Stats.DemandFills);
+  Visit(Stats.PrefetchFills);
+  Visit(Stats.Evictions);
+  Visit(Stats.UsefulPrefetches);
+  Visit(Stats.WastedPrefetches);
+}
+
 /// One level of a set-associative, true-LRU, tag-only cache.
 ///
 /// Lines carry a "prefetched, not yet demanded" bit so the statistics can

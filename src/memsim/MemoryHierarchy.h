@@ -55,6 +55,19 @@ struct HierarchyStats {
   uint64_t PartialHitStallCycles = 0;
 };
 
+/// Stable serialization accessor: fixed, append-only field order shared
+/// by every serializer (see core/RunStats.h for the contract).
+template <typename HierarchyStatsT, typename Fn>
+void visitHierarchyStatsCounters(HierarchyStatsT &&Stats, Fn &&Visit) {
+  Visit(Stats.DemandAccesses);
+  Visit(Stats.StallCycles);
+  Visit(Stats.PrefetchesIssued);
+  Visit(Stats.PrefetchesDroppedQueueFull);
+  Visit(Stats.PrefetchesRedundant);
+  Visit(Stats.PartialHits);
+  Visit(Stats.PartialHitStallCycles);
+}
+
 /// Two-level hierarchy with a global cycle clock.
 ///
 /// The clock advances for (a) explicit compute via tick(), (b) access

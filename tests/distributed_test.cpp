@@ -1,0 +1,678 @@
+//===- tests/distributed_test.cpp - Distributed matrix runner tests --------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+// Tests for the distributed shard runner (src/engine/Wire.h, Transport.h,
+// Coordinator.h, Worker.h, Executor.h): wire round-trips, frame decoding
+// under truncation/corruption/version skew (this binary runs under ASan
+// and TSan in CI), socket transport round-trips, and the headline
+// contract — a loopback distributed run aggregates to JSON byte-identical
+// to an in-process run, including when a worker dies mid-job.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Coordinator.h"
+#include "engine/Executor.h"
+#include "engine/ExperimentRunner.h"
+#include "engine/ExperimentSpec.h"
+#include "engine/ResultSink.h"
+#include "engine/ResultsDiff.h"
+#include "engine/ResultsJson.h"
+#include "engine/Transport.h"
+#include "engine/Wire.h"
+#include "engine/Worker.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <cstdint>
+#include <netinet/in.h>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <type_traits>
+#include <unistd.h>
+#include <vector>
+
+using namespace hds;
+using namespace hds::engine;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Fixtures
+//===----------------------------------------------------------------------===//
+
+ExperimentSpec fancySpec() {
+  ExperimentSpec Spec;
+  Spec.Workload = "mcf";
+  Spec.Mode = core::RunMode::DynamicPrefetch;
+  Spec.Scale = 0.625; // exactly representable: survives the bit round-trip
+  Spec.Iterations = 12345;
+  Spec.Seed = 77;
+  Spec.HeadLength = 3;
+  Spec.Stride = true;
+  Spec.Markov = false;
+  Spec.Pin = true;
+  Spec.Adaptive = true;
+  return Spec;
+}
+
+/// An Ok result with every counter distinct, so any field swap or drop in
+/// the wire codec shows up as a mismatch.
+RunResult fancyResult() {
+  RunResult Result;
+  Result.Spec = fancySpec();
+  Result.State = RunResult::Status::Ok;
+  Result.Iterations = 9001;
+  Result.Cycles = 123456789;
+  uint64_t Fill = 10;
+  auto Assign = [&Fill](auto &Field) {
+    Field = static_cast<std::remove_reference_t<decltype(Field)>>(Fill++);
+  };
+  core::visitRunStatsCounters(Result.Stats, Assign);
+  memsim::visitHierarchyStatsCounters(Result.Memory, Assign);
+  memsim::visitCacheStatsCounters(Result.L1, Assign);
+  memsim::visitCacheStatsCounters(Result.L2, Assign);
+  for (int Phase = 0; Phase < 3; ++Phase) {
+    core::CycleStats Stats;
+    core::visitCycleStatsCounters(Stats, Assign);
+    Result.Stats.Cycles.push_back(Stats);
+  }
+  return Result;
+}
+
+std::string jsonFor(const RunResult &Result) {
+  return resultsToJson(std::vector<RunResult>{Result});
+}
+
+std::vector<ExperimentSpec> smallMatrix() {
+  // vpr under every mode at a tiny fixed iteration count; one cell with a
+  // layout seed so the seed field crosses the wire too.
+  std::vector<ExperimentSpec> Specs;
+  const core::RunMode Modes[] = {
+      core::RunMode::Original,         core::RunMode::ChecksOnly,
+      core::RunMode::Profile,          core::RunMode::ProfileAnalyze,
+      core::RunMode::MatchNoPrefetch,  core::RunMode::SequentialPrefetch,
+      core::RunMode::DynamicPrefetch};
+  for (core::RunMode Mode : Modes) {
+    ExperimentSpec Spec;
+    Spec.Workload = "vpr";
+    Spec.Mode = Mode;
+    Spec.Iterations = 300;
+    Specs.push_back(Spec);
+  }
+  Specs.back().Seed = 5;
+  return Specs;
+}
+
+std::string localJson(const std::vector<ExperimentSpec> &Specs,
+                      unsigned Jobs) {
+  LocalExecutor::Options Opts;
+  Opts.Jobs = Jobs;
+  LocalExecutor Local(Opts);
+  return resultsToJson(Local.run(Specs));
+}
+
+//===----------------------------------------------------------------------===//
+// Wire payload round-trips
+//===----------------------------------------------------------------------===//
+
+TEST(Wire, AssignRoundTripPreservesEverySpecField) {
+  const ExperimentSpec Spec = fancySpec();
+  const std::vector<uint8_t> Payload = wire::encodeAssign(42, Spec);
+
+  uint64_t Index = 0;
+  ExperimentSpec Decoded;
+  std::string Error;
+  ASSERT_TRUE(wire::decodeAssign(Payload, Index, Decoded, Error)) << Error;
+  EXPECT_EQ(Index, 42u);
+  EXPECT_EQ(Decoded.Workload, Spec.Workload);
+  EXPECT_EQ(Decoded.Mode, Spec.Mode);
+  EXPECT_EQ(Decoded.Scale, Spec.Scale);
+  EXPECT_EQ(Decoded.Iterations, Spec.Iterations);
+  EXPECT_EQ(Decoded.Seed, Spec.Seed);
+  EXPECT_EQ(Decoded.HeadLength, Spec.HeadLength);
+  EXPECT_EQ(Decoded.Stride, Spec.Stride);
+  EXPECT_EQ(Decoded.Markov, Spec.Markov);
+  EXPECT_EQ(Decoded.Pin, Spec.Pin);
+  EXPECT_EQ(Decoded.Adaptive, Spec.Adaptive);
+}
+
+TEST(Wire, ResultRoundTripSerializesToIdenticalJson) {
+  const RunResult Original = fancyResult();
+  const std::vector<uint8_t> Payload = wire::encodeResult(7, Original);
+
+  uint64_t Index = 0;
+  RunResult Decoded;
+  std::string Error;
+  ASSERT_TRUE(wire::decodeResult(Payload, Index, Decoded, Error)) << Error;
+  EXPECT_EQ(Index, 7u);
+  EXPECT_EQ(Decoded.Iterations, Original.Iterations);
+  EXPECT_EQ(Decoded.Cycles, Original.Cycles);
+  ASSERT_EQ(Decoded.Stats.Cycles.size(), Original.Stats.Cycles.size());
+  // The JSON writer reads every serialized field; byte equality here is
+  // field equality everywhere downstream.
+  EXPECT_EQ(jsonFor(Decoded), jsonFor(Original));
+}
+
+TEST(Wire, ErrorResultRoundTripKeepsStatusAndMessage) {
+  RunResult Failed;
+  Failed.Spec = fancySpec();
+  Failed.State = RunResult::Status::Error;
+  Failed.Error = "unknown workload 'np-complete'";
+
+  uint64_t Index = 0;
+  RunResult Decoded;
+  std::string Error;
+  ASSERT_TRUE(wire::decodeResult(wire::encodeResult(3, Failed), Index,
+                                 Decoded, Error))
+      << Error;
+  EXPECT_EQ(Decoded.State, RunResult::Status::Error);
+  EXPECT_EQ(Decoded.Error, Failed.Error);
+  EXPECT_EQ(jsonFor(Decoded), jsonFor(Failed));
+}
+
+//===----------------------------------------------------------------------===//
+// Frame decoding under fault injection
+//===----------------------------------------------------------------------===//
+
+TEST(Wire, FrameRoundTrip) {
+  const std::vector<uint8_t> Payload = wire::encodeAssign(9, fancySpec());
+  const std::vector<uint8_t> Bytes =
+      wire::encodeFrame(wire::FrameType::Assign, Payload);
+  EXPECT_EQ(Bytes.size(),
+            wire::HeaderBytes + Payload.size() + wire::TrailerBytes);
+
+  wire::Frame Frame;
+  std::size_t Consumed = 0;
+  std::string Error;
+  ASSERT_EQ(wire::decodeFrame(Bytes.data(), Bytes.size(), Frame, Consumed,
+                              Error),
+            wire::DecodeStatus::Ok)
+      << Error;
+  EXPECT_EQ(Consumed, Bytes.size());
+  EXPECT_EQ(Frame.Type, wire::FrameType::Assign);
+  EXPECT_EQ(Frame.Payload, Payload);
+}
+
+TEST(Wire, EveryTruncationIsNeedMoreNeverOk) {
+  const std::vector<uint8_t> Bytes =
+      wire::encodeFrame(wire::FrameType::Result,
+                        wire::encodeResult(1, fancyResult()));
+  for (std::size_t Len = 0; Len < Bytes.size(); ++Len) {
+    wire::Frame Frame;
+    std::size_t Consumed = 0;
+    std::string Error;
+    const wire::DecodeStatus Status =
+        wire::decodeFrame(Bytes.data(), Len, Frame, Consumed, Error);
+    EXPECT_EQ(Status, wire::DecodeStatus::NeedMore)
+        << "prefix of " << Len << " bytes";
+  }
+}
+
+TEST(Wire, EveryInvertedByteIsRejected) {
+  // Inverting any single byte must never yield a successfully decoded
+  // frame: magic/version/type and unknown-type checks catch the header,
+  // the length either overflows the cap or dangles past the buffer, and
+  // the CRC covers the payload and itself.
+  std::vector<uint8_t> Bytes = wire::encodeFrame(
+      wire::FrameType::Assign, wire::encodeAssign(4, fancySpec()));
+  for (std::size_t I = 0; I < Bytes.size(); ++I) {
+    Bytes[I] = static_cast<uint8_t>(~Bytes[I]);
+    wire::Frame Frame;
+    std::size_t Consumed = 0;
+    std::string Error;
+    const wire::DecodeStatus Status =
+        wire::decodeFrame(Bytes.data(), Bytes.size(), Frame, Consumed,
+                          Error);
+    EXPECT_NE(Status, wire::DecodeStatus::Ok) << "inverted byte " << I;
+    Bytes[I] = static_cast<uint8_t>(~Bytes[I]);
+  }
+}
+
+TEST(Wire, VersionSkewIsMalformedWithAClearMessage) {
+  std::vector<uint8_t> Bytes =
+      wire::encodeFrame(wire::FrameType::Hello, {});
+  Bytes[2] = wire::ProtocolVersion + 1;
+  wire::Frame Frame;
+  std::size_t Consumed = 0;
+  std::string Error;
+  EXPECT_EQ(wire::decodeFrame(Bytes.data(), Bytes.size(), Frame, Consumed,
+                              Error),
+            wire::DecodeStatus::Malformed);
+  EXPECT_NE(Error.find("version"), std::string::npos) << Error;
+}
+
+TEST(Wire, OversizedDeclaredLengthIsMalformedNotAnAllocation) {
+  std::vector<uint8_t> Bytes =
+      wire::encodeFrame(wire::FrameType::Hello, {});
+  // Little-endian length at offset 4: claim just past the cap.
+  const uint32_t Huge = wire::MaxPayloadBytes + 1;
+  Bytes[4] = static_cast<uint8_t>(Huge & 0xFF);
+  Bytes[5] = static_cast<uint8_t>((Huge >> 8) & 0xFF);
+  Bytes[6] = static_cast<uint8_t>((Huge >> 16) & 0xFF);
+  Bytes[7] = static_cast<uint8_t>((Huge >> 24) & 0xFF);
+  wire::Frame Frame;
+  std::size_t Consumed = 0;
+  std::string Error;
+  EXPECT_EQ(wire::decodeFrame(Bytes.data(), Bytes.size(), Frame, Consumed,
+                              Error),
+            wire::DecodeStatus::Malformed);
+  EXPECT_NE(Error.find("oversized"), std::string::npos) << Error;
+}
+
+TEST(Wire, UnknownFrameTypeIsMalformed) {
+  std::vector<uint8_t> Bytes =
+      wire::encodeFrame(wire::FrameType::Hello, {});
+  Bytes[3] = 99;
+  wire::Frame Frame;
+  std::size_t Consumed = 0;
+  std::string Error;
+  EXPECT_EQ(wire::decodeFrame(Bytes.data(), Bytes.size(), Frame, Consumed,
+                              Error),
+            wire::DecodeStatus::Malformed);
+}
+
+TEST(Wire, PayloadDecodersRejectEveryTruncatedPrefix) {
+  const std::vector<uint8_t> Assign = wire::encodeAssign(11, fancySpec());
+  for (std::size_t Len = 0; Len < Assign.size(); ++Len) {
+    const std::vector<uint8_t> Prefix(Assign.begin(),
+                                      Assign.begin() +
+                                          static_cast<std::ptrdiff_t>(Len));
+    uint64_t Index = 0;
+    ExperimentSpec Spec;
+    std::string Error;
+    EXPECT_FALSE(wire::decodeAssign(Prefix, Index, Spec, Error))
+        << "assign prefix of " << Len << " bytes decoded";
+  }
+
+  const std::vector<uint8_t> Result = wire::encodeResult(11, fancyResult());
+  for (std::size_t Len = 0; Len < Result.size(); ++Len) {
+    const std::vector<uint8_t> Prefix(Result.begin(),
+                                      Result.begin() +
+                                          static_cast<std::ptrdiff_t>(Len));
+    uint64_t Index = 0;
+    RunResult Decoded;
+    std::string Error;
+    EXPECT_FALSE(wire::decodeResult(Prefix, Index, Decoded, Error))
+        << "result prefix of " << Len << " bytes decoded";
+  }
+}
+
+TEST(Wire, SeededGarbagePayloadsNeverDecode) {
+  // Deterministic multiplicative congruential garbage: the decoders must
+  // reject it all (or, vanishingly unlikely, decode something — but they
+  // must never crash; ASan is watching).
+  uint64_t X = 0x243F6A8885A308D3ull; // pi digits, fixed seed
+  auto NextByte = [&X]() {
+    X = X * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<uint8_t>(X >> 56);
+  };
+  for (int Round = 0; Round < 256; ++Round) {
+    std::vector<uint8_t> Garbage(static_cast<std::size_t>(Round) * 3 + 1);
+    for (uint8_t &Byte : Garbage)
+      Byte = NextByte();
+
+    uint64_t Index = 0;
+    ExperimentSpec Spec;
+    RunResult Result;
+    std::string Error;
+    (void)wire::decodeAssign(Garbage, Index, Spec, Error);
+    (void)wire::decodeResult(Garbage, Index, Result, Error);
+
+    wire::Frame Frame;
+    std::size_t Consumed = 0;
+    (void)wire::decodeFrame(Garbage.data(), Garbage.size(), Frame, Consumed,
+                            Error);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Transport
+//===----------------------------------------------------------------------===//
+
+TEST(Transport, ParseAddressAcceptsBothFamilies) {
+  Address Addr;
+  std::string Error;
+  ASSERT_TRUE(parseAddress("127.0.0.1:7077", Addr, Error)) << Error;
+  EXPECT_FALSE(Addr.IsUnix);
+  EXPECT_EQ(Addr.Host, "127.0.0.1");
+  EXPECT_EQ(Addr.Port, 7077);
+
+  ASSERT_TRUE(parseAddress("unix:/tmp/hds.sock", Addr, Error)) << Error;
+  EXPECT_TRUE(Addr.IsUnix);
+  EXPECT_EQ(Addr.UnixPath, "/tmp/hds.sock");
+
+  EXPECT_FALSE(parseAddress("no-port-here", Addr, Error));
+  EXPECT_FALSE(parseAddress("127.0.0.1:99999", Addr, Error));
+  EXPECT_FALSE(parseAddress("unix:", Addr, Error));
+}
+
+void roundTripOver(const std::string &ListenAddr) {
+  Listener Server;
+  std::string Error;
+  ASSERT_TRUE(Server.listen(ListenAddr, Error)) << Error;
+
+  const std::vector<uint8_t> Payload = wire::encodeAssign(5, fancySpec());
+  std::jthread Client([Addr = Server.boundAddress(), &Payload] {
+    std::string ClientError;
+    Connection Conn = connectTo(Addr, ClientError);
+    ASSERT_TRUE(Conn.valid()) << ClientError;
+    ASSERT_TRUE(Conn.setDeadlines(5000, 5000));
+    EXPECT_EQ(Conn.sendFrame(wire::FrameType::Assign, Payload),
+              IoStatus::Ok);
+    // Echo leg: prove the same connection carries frames both ways.
+    wire::Frame Echoed;
+    EXPECT_EQ(Conn.recvFrame(Echoed, ClientError), IoStatus::Ok)
+        << ClientError;
+    EXPECT_EQ(Echoed.Type, wire::FrameType::Shutdown);
+  });
+
+  Connection Peer;
+  ASSERT_EQ(Server.accept(Peer, 5000), Listener::AcceptStatus::Ok);
+  ASSERT_TRUE(Peer.setDeadlines(5000, 5000));
+  wire::Frame Frame;
+  ASSERT_EQ(Peer.recvFrame(Frame, Error), IoStatus::Ok) << Error;
+  EXPECT_EQ(Frame.Type, wire::FrameType::Assign);
+  EXPECT_EQ(Frame.Payload, Payload);
+  EXPECT_EQ(Peer.sendFrame(wire::FrameType::Shutdown, {}), IoStatus::Ok);
+}
+
+TEST(Transport, LoopbackTcpFrameRoundTrip) { roundTripOver("127.0.0.1:0"); }
+
+TEST(Transport, UnixSocketFrameRoundTrip) {
+  roundTripOver("unix:/tmp/hds-transport-test-" + std::to_string(getpid()) +
+                ".sock");
+}
+
+TEST(Transport, AcceptHonorsItsDeadline) {
+  Listener Server;
+  std::string Error;
+  ASSERT_TRUE(Server.listen("127.0.0.1:0", Error)) << Error;
+  Connection Conn;
+  EXPECT_EQ(Server.accept(Conn, 50), Listener::AcceptStatus::TimedOut);
+  EXPECT_FALSE(Conn.valid());
+}
+
+TEST(Transport, EofAtAFrameBoundaryIsClosed) {
+  Listener Server;
+  std::string Error;
+  ASSERT_TRUE(Server.listen("127.0.0.1:0", Error)) << Error;
+
+  std::jthread Client([Addr = Server.boundAddress()] {
+    std::string ClientError;
+    Connection Conn = connectTo(Addr, ClientError);
+    ASSERT_TRUE(Conn.valid()) << ClientError;
+    EXPECT_EQ(Conn.sendFrame(wire::FrameType::Hello, {}), IoStatus::Ok);
+    // Destructor closes the socket: a clean EOF between frames.
+  });
+
+  Connection Peer;
+  ASSERT_EQ(Server.accept(Peer, 5000), Listener::AcceptStatus::Ok);
+  ASSERT_TRUE(Peer.setDeadlines(5000, 5000));
+  wire::Frame Frame;
+  ASSERT_EQ(Peer.recvFrame(Frame, Error), IoStatus::Ok) << Error;
+  EXPECT_EQ(Frame.Type, wire::FrameType::Hello);
+  EXPECT_EQ(Peer.recvFrame(Frame, Error), IoStatus::Closed);
+}
+
+TEST(Transport, EofMidFrameIsMalformedNotAHang) {
+  Listener Server;
+  std::string Error;
+  ASSERT_TRUE(Server.listen("127.0.0.1:0", Error)) << Error;
+
+  // Raw client: sends half a frame and vanishes, which a Connection's
+  // whole-frame API cannot be coaxed into doing.
+  Address Addr;
+  ASSERT_TRUE(parseAddress(Server.boundAddress(), Addr, Error)) << Error;
+  std::jthread Client([&Addr] {
+    const int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(Fd, 0);
+    sockaddr_in Sin{};
+    Sin.sin_family = AF_INET;
+    Sin.sin_port = htons(Addr.Port);
+    ASSERT_EQ(inet_pton(AF_INET, Addr.Host.c_str(), &Sin.sin_addr), 1);
+    ASSERT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Sin),
+                        sizeof(Sin)),
+              0);
+    const std::vector<uint8_t> Bytes = wire::encodeFrame(
+        wire::FrameType::Assign, wire::encodeAssign(2, fancySpec()));
+    const std::size_t Half = Bytes.size() / 2;
+    ASSERT_EQ(::send(Fd, Bytes.data(), Half, 0),
+              static_cast<ssize_t>(Half));
+    ::close(Fd);
+  });
+
+  Connection Peer;
+  ASSERT_EQ(Server.accept(Peer, 5000), Listener::AcceptStatus::Ok);
+  ASSERT_TRUE(Peer.setDeadlines(5000, 5000));
+  wire::Frame Frame;
+  EXPECT_EQ(Peer.recvFrame(Frame, Error), IoStatus::Malformed);
+  EXPECT_NE(Error.find("truncated"), std::string::npos) << Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Coordinator + Worker end-to-end
+//===----------------------------------------------------------------------===//
+
+CoordinatorOptions quickCoordinator() {
+  CoordinatorOptions Opts;
+  Opts.ListenAddr = "127.0.0.1:0";
+  Opts.JobTimeoutMs = 30000;
+  Opts.IdleTimeoutMs = 10000;
+  return Opts;
+}
+
+/// Serves \p Specs with in-thread workers (one per entry in \p Workers)
+/// and returns the aggregated JSON.  Every *healthy* worker (no fault
+/// injection) must see the coordinator's Shutdown farewell and exit
+/// cleanly — a worker that merely observes the connection drop at the
+/// end of the matrix is a wind-down bug, not a success.
+std::string serveWithWorkers(const std::vector<ExperimentSpec> &Specs,
+                             const std::vector<WorkerOptions> &Workers,
+                             const CoordinatorOptions &Opts) {
+  Coordinator Coord(Opts);
+  EXPECT_TRUE(Coord.listen()) << Coord.error();
+
+  std::vector<WorkerExit> Exits(Workers.size(), WorkerExit::ProtocolError);
+  std::vector<std::string> Errors(Workers.size());
+  std::vector<std::jthread> Threads;
+  for (std::size_t I = 0; I < Workers.size(); ++I)
+    Threads.emplace_back([Addr = Coord.boundAddress(), &Workers, &Exits,
+                          &Errors, I] {
+      Exits[I] = runWorker(Addr, Workers[I], &Errors[I]);
+    });
+
+  ResultSink Sink(Specs.size());
+  Coord.serve(Specs, Sink);
+  Threads.clear(); // join workers (they saw Shutdown or dropped)
+  for (std::size_t I = 0; I < Workers.size(); ++I) {
+    if (Workers[I].DropAfterJobs == 0) {
+      EXPECT_EQ(Exits[I], WorkerExit::CleanShutdown)
+          << "worker " << I << ": " << Errors[I];
+    }
+  }
+  return resultsToJson(Sink.take());
+}
+
+TEST(Distributed, TwoWorkersMatchLocalJsonByteForByte) {
+  const std::vector<ExperimentSpec> Specs = smallMatrix();
+  const std::string Local = localJson(Specs, 4);
+  const std::string Remote =
+      serveWithWorkers(Specs, {WorkerOptions(), WorkerOptions()},
+                       quickCoordinator());
+  EXPECT_EQ(Local, Remote);
+}
+
+TEST(Distributed, UnixSocketTransportIsAlsoByteIdentical) {
+  const std::vector<ExperimentSpec> Specs = smallMatrix();
+  CoordinatorOptions Opts = quickCoordinator();
+  Opts.ListenAddr =
+      "unix:/tmp/hds-dist-test-" + std::to_string(getpid()) + ".sock";
+  const std::string Remote =
+      serveWithWorkers(Specs, {WorkerOptions(), WorkerOptions()}, Opts);
+  EXPECT_EQ(localJson(Specs, 2), Remote);
+}
+
+TEST(Distributed, WorkerKilledMidJobStillYieldsIdenticalBytes) {
+  const std::vector<ExperimentSpec> Specs = smallMatrix();
+  // One worker drops its connection after running a job *without sending
+  // the result* — exactly a mid-job kill.  The healthy worker picks the
+  // orphaned cell back up; the bytes must not change.
+  WorkerOptions Faulty;
+  Faulty.DropAfterJobs = 1;
+  const std::string Remote = serveWithWorkers(
+      Specs, {Faulty, WorkerOptions()}, quickCoordinator());
+  EXPECT_EQ(localJson(Specs, 4), Remote);
+}
+
+TEST(Distributed, RetryBudgetExhaustionResolvesAsErrorNotAHang) {
+  std::vector<ExperimentSpec> Specs;
+  ExperimentSpec Spec;
+  Spec.Workload = "vpr";
+  Spec.Iterations = 100;
+  Specs.push_back(Spec);
+
+  CoordinatorOptions Opts = quickCoordinator();
+  Opts.RetryBudget = 0;
+  Opts.IdleTimeoutMs = 5000;
+  WorkerOptions Faulty;
+  Faulty.DropAfterJobs = 1; // the only worker never returns its result
+
+  Coordinator Coord(Opts);
+  ASSERT_TRUE(Coord.listen()) << Coord.error();
+  std::jthread Worker([Addr = Coord.boundAddress(), Faulty] {
+    std::string Error;
+    (void)runWorker(Addr, Faulty, &Error);
+  });
+
+  ResultSink Sink(Specs.size());
+  Coord.serve(Specs, Sink);
+  const std::vector<RunResult> Results = Sink.take();
+  ASSERT_EQ(Results.size(), 1u);
+  EXPECT_EQ(Results[0].State, RunResult::Status::Error);
+  EXPECT_NE(Results[0].Error.find("dispatch"), std::string::npos)
+      << Results[0].Error;
+}
+
+TEST(Distributed, IdleDeadlineFailsTheMatrixWhenNoWorkerEverConnects) {
+  std::vector<ExperimentSpec> Specs;
+  ExperimentSpec Spec;
+  Spec.Workload = "vpr";
+  Spec.Iterations = 100;
+  Specs.push_back(Spec);
+
+  CoordinatorOptions Opts = quickCoordinator();
+  Opts.IdleTimeoutMs = 200; // fail fast; nobody is coming
+
+  Coordinator Coord(Opts);
+  ASSERT_TRUE(Coord.listen()) << Coord.error();
+  ResultSink Sink(Specs.size());
+  Coord.serve(Specs, Sink);
+  const std::vector<RunResult> Results = Sink.take();
+  ASSERT_EQ(Results.size(), 1u);
+  EXPECT_EQ(Results[0].State, RunResult::Status::Error);
+  EXPECT_NE(Results[0].Error.find("idle"), std::string::npos)
+      << Results[0].Error;
+}
+
+TEST(Distributed, InvalidListenAddressResolvesEverySlotAsError) {
+  SocketExecutor::Options Opts;
+  Opts.Coordinator.ListenAddr = "not-an-address";
+  SocketExecutor Exec(Opts);
+  EXPECT_FALSE(Exec.valid());
+  EXPECT_FALSE(Exec.error().empty());
+
+  std::vector<ExperimentSpec> Specs;
+  ExperimentSpec Spec;
+  Spec.Workload = "vpr";
+  Spec.Iterations = 100;
+  Specs.push_back(Spec);
+  const std::vector<RunResult> Results = Exec.run(Specs);
+  ASSERT_EQ(Results.size(), 1u);
+  EXPECT_EQ(Results[0].State, RunResult::Status::Error);
+  EXPECT_NE(Results[0].Error.find("listener"), std::string::npos)
+      << Results[0].Error;
+}
+
+TEST(Distributed, WorkerAgainstNobodyFailsToConnectCleanly) {
+  std::string Error;
+  // Port 1 on loopback: reserved, nothing listens there.
+  const WorkerExit Exit = runWorker("127.0.0.1:1", WorkerOptions(), &Error);
+  EXPECT_EQ(Exit, WorkerExit::ConnectFailed);
+  EXPECT_FALSE(Error.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Results diffing (the --diff surface)
+//===----------------------------------------------------------------------===//
+
+TEST(ResultsDiff, IdenticalDocumentsCompareClean) {
+  const std::string Json = localJson(smallMatrix(), 2);
+  DiffReport Report;
+  std::string Error;
+  ASSERT_TRUE(diffResults(Json, Json, DiffOptions(), Report, Error))
+      << Error;
+  EXPECT_FALSE(Report.regressed());
+  EXPECT_EQ(Report.CellsCompared, smallMatrix().size());
+}
+
+TEST(ResultsDiff, CycleGrowthIsARegressionAndThresholdSilencesIt) {
+  std::vector<ExperimentSpec> Specs;
+  ExperimentSpec Spec;
+  Spec.Workload = "vpr";
+  Spec.Iterations = 200;
+  Specs.push_back(Spec);
+  LocalExecutor Local;
+  std::vector<RunResult> Results = Local.run(Specs);
+  const std::string Before = resultsToJson(Results);
+  Results[0].Cycles += Results[0].Cycles / 100 + 1; // ~1% slower
+  const std::string After = resultsToJson(Results);
+
+  DiffReport Exact;
+  std::string Error;
+  ASSERT_TRUE(diffResults(Before, After, DiffOptions(), Exact, Error))
+      << Error;
+  EXPECT_TRUE(Exact.regressed());
+  ASSERT_EQ(Exact.Regressions.size(), 1u);
+  EXPECT_NE(Exact.Regressions[0].Detail.find("cycles"), std::string::npos);
+
+  DiffOptions Loose;
+  Loose.ThresholdPct = 50.0;
+  DiffReport Tolerant;
+  ASSERT_TRUE(diffResults(Before, After, Loose, Tolerant, Error)) << Error;
+  EXPECT_TRUE(Tolerant.Regressions.empty());
+}
+
+TEST(ResultsDiff, StatusFlipAndMissingCellsAreReported) {
+  std::vector<ExperimentSpec> Specs = smallMatrix();
+  LocalExecutor Local;
+  std::vector<RunResult> Results = Local.run(Specs);
+  const std::string Before = resultsToJson(Results);
+
+  Results[0].State = RunResult::Status::Error;
+  Results[0].Error = "synthetic failure";
+  Results.pop_back();
+  const std::string After = resultsToJson(Results);
+
+  DiffReport Report;
+  std::string Error;
+  ASSERT_TRUE(diffResults(Before, After, DiffOptions(), Report, Error))
+      << Error;
+  EXPECT_TRUE(Report.regressed());
+  EXPECT_EQ(Report.StatusChanges.size(), 1u);
+  EXPECT_EQ(Report.OnlyInA.size(), 1u);
+  EXPECT_TRUE(Report.OnlyInB.empty());
+}
+
+TEST(ResultsDiff, RejectsForeignDocuments) {
+  DiffReport Report;
+  std::string Error;
+  EXPECT_FALSE(diffResults("{]", "{}", DiffOptions(), Report, Error));
+  EXPECT_FALSE(Error.empty());
+  EXPECT_FALSE(diffResults("{\"schema\": \"something-else\"}", "{}",
+                           DiffOptions(), Report, Error));
+}
+
+} // namespace

@@ -3,14 +3,15 @@
 // Part of the hds project (PLDI 2002 hot data stream prefetching repro).
 //
 // Tests for src/engine: the JobScheduler worker pool, the spec-order
-// ResultSink merge, and the determinism contract of runMatrix — the
-// aggregate JSON must be byte-identical for any job count, shard
+// ResultSink merge, and the determinism contract of the Executor API —
+// the aggregate JSON must be byte-identical for any job count, shard
 // failures must not corrupt or reorder the merged output, and
 // cancellation must leave no leaked threads (this binary also runs
 // under TSan in CI).
 //
 //===----------------------------------------------------------------------===//
 
+#include "engine/Executor.h"
 #include "engine/ExperimentRunner.h"
 #include "engine/ExperimentSpec.h"
 #include "engine/JobScheduler.h"
@@ -192,7 +193,7 @@ TEST(ExperimentSpec, BadFilterReportsErrorAndLeavesSpecsAlone) {
 }
 
 //===----------------------------------------------------------------------===//
-// runMatrix determinism and failure isolation
+// LocalExecutor determinism and failure isolation
 //===----------------------------------------------------------------------===//
 
 std::vector<ExperimentSpec> smallMatrix() {
@@ -216,9 +217,10 @@ std::vector<ExperimentSpec> smallMatrix() {
 
 std::string jsonForJobs(const std::vector<ExperimentSpec> &Specs,
                         unsigned Jobs) {
-  MatrixOptions Opts;
+  LocalExecutor::Options Opts;
   Opts.Jobs = Jobs;
-  return resultsToJson(runMatrix(Specs, Opts));
+  LocalExecutor Local(Opts);
+  return resultsToJson(Local.run(Specs));
 }
 
 TEST(RunMatrix, AggregateJsonIsByteIdenticalAcrossJobCounts) {
@@ -241,9 +243,10 @@ TEST(RunMatrix, FailedShardKeepsOrderAndDoesNotPoisonNeighbours) {
   Specs.push_back(Bad);
   Specs.push_back(Good);
 
-  MatrixOptions Opts;
+  LocalExecutor::Options Opts;
   Opts.Jobs = 2;
-  const std::vector<RunResult> Results = runMatrix(Specs, Opts);
+  LocalExecutor Local(Opts);
+  const std::vector<RunResult> Results = Local.run(Specs);
   ASSERT_EQ(Results.size(), 3u);
   EXPECT_TRUE(Results[0].ok());
   EXPECT_EQ(Results[1].State, RunResult::Status::Error);
@@ -258,13 +261,14 @@ TEST(RunMatrix, CancellationKeepsSpecOrderAndJoinsCleanly) {
   const std::vector<ExperimentSpec> Specs = smallMatrix();
   std::atomic<bool> Cancel{false};
 
-  MatrixOptions Opts;
+  LocalExecutor::Options Opts;
   Opts.Jobs = 1; // serial: deliveries happen in spec order
   Opts.CancelRequested = &Cancel;
-  Opts.OnResult = [&Cancel](std::size_t, const RunResult &) {
-    Cancel.store(true); // request cancellation after the first delivery
-  };
-  const std::vector<RunResult> Results = runMatrix(Specs, Opts);
+  LocalExecutor Local(Opts);
+  const std::vector<RunResult> Results =
+      Local.run(Specs, [&Cancel](std::size_t, const RunResult &) {
+        Cancel.store(true); // request cancellation after the first delivery
+      });
 
   ASSERT_EQ(Results.size(), Specs.size());
   EXPECT_TRUE(Results[0].ok());
@@ -294,7 +298,7 @@ TEST(ResultsJson, OverheadIsRelativeToTheOriginalBaseline) {
   Specs.push_back(Base);
   Specs.push_back(Opt);
 
-  const std::vector<RunResult> Results = runMatrix(Specs);
+  const std::vector<RunResult> Results = LocalExecutor().run(Specs);
   const std::string Json = resultsToJson(Results);
   // The baseline's overhead over itself is exactly zero.
   EXPECT_NE(Json.find("\"overhead_pct\": 0.0000"), std::string::npos);
@@ -310,7 +314,7 @@ TEST(ResultsJson, TimingObjectOnlyAppearsOnRequest) {
   Spec.Workload = "vpr";
   Spec.Iterations = 100;
   Specs.push_back(Spec);
-  const std::vector<RunResult> Results = runMatrix(Specs);
+  const std::vector<RunResult> Results = LocalExecutor().run(Specs);
 
   TimingInfo Timing;
   Timing.IncludeWall = true;

@@ -3,11 +3,12 @@
 // Part of the hds project (PLDI 2002 hot data stream prefetching repro).
 //
 // Runs the (workload × RunMode × seed × scale) experiment matrix through
-// the parallel engine (src/engine) and emits machine-readable results.
-// The merged output is byte-identical for any --jobs value — only
-// wall-clock changes — so trajectory files can be diffed across machines
-// and thread counts (see docs/engine.md for the determinism contract and
-// the JSON schema).
+// the engine's Executor API (src/engine/Executor.h) and emits
+// machine-readable results.  The merged output is byte-identical for any
+// execution strategy — local threads (--jobs) or distributed workers
+// (--serve/--workers) — so trajectory files can be diffed across
+// machines, thread counts, and transports (see docs/engine.md for the
+// determinism contract and the JSON schema).
 //
 // Usage:
 //   hds_matrix [options]
@@ -24,11 +25,35 @@
 //     --list                print the selected specs and exit
 //     --quiet               suppress the progress lines on stderr
 //
+//   Distributed execution (coordinator/worker over loopback TCP or Unix
+//   sockets):
+//     --serve ADDR          coordinate the matrix on ADDR ("host:port",
+//                           port 0 = ephemeral, or "unix:/path") instead
+//                           of running it in-process
+//     --workers N           fork N local worker processes connecting back
+//                           to the serve address (with no --serve, a
+//                           private Unix socket is used)
+//     --worker ADDR         run as a worker for the coordinator at ADDR;
+//                           exits 0 on clean shutdown
+//     --job-timeout MS      per-job result deadline before the
+//                           coordinator re-queues (default 120000)
+//     --idle-timeout MS     give up when no worker is connected for this
+//                           long (default 30000)
+//
+//   Result comparison:
+//     --diff A.json B.json  compare two results files cell-by-cell;
+//                           exits 1 when B regressed against A
+//     --threshold PCT       relative change a metric must exceed to
+//                           count as a difference (default 0 = exact)
+//
 //===----------------------------------------------------------------------===//
 
+#include "engine/Executor.h"
 #include "engine/ExperimentRunner.h"
 #include "engine/ExperimentSpec.h"
+#include "engine/ResultsDiff.h"
 #include "engine/ResultsJson.h"
+#include "engine/Worker.h"
 #include "support/Table.h"
 
 #include <chrono>
@@ -36,9 +61,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 using namespace hds;
@@ -55,6 +82,17 @@ struct Options {
   std::string LintTimingPath;
   bool List = false;
   bool Quiet = false;
+
+  // Distributed modes.
+  std::string ServeAddr;  ///< --serve: coordinate on this address
+  unsigned Workers = 0;   ///< --workers: forked local worker processes
+  std::string WorkerAddr; ///< --worker: run the worker loop against this
+  uint32_t JobTimeoutMs = 120000;
+  uint32_t IdleTimeoutMs = 30000;
+
+  // Diff mode.
+  std::string DiffA, DiffB;
+  double ThresholdPct = 0.0;
 };
 
 [[noreturn]] void usage(const char *Binary) {
@@ -63,9 +101,14 @@ struct Options {
       "usage: %s [--jobs N] [--scale F] [--seeds N] [--filter key=value]...\n"
       "          [--out FILE] [--timing] [--lint-timing FILE] [--list]\n"
       "          [--quiet]\n"
+      "          [--serve ADDR] [--workers N] [--job-timeout MS]\n"
+      "          [--idle-timeout MS]\n"
+      "       %s --worker ADDR [--job-timeout MS]\n"
+      "       %s --diff A.json B.json [--threshold PCT]\n"
       "filters: workload=<name>  mode=<original|base|prof|hds|nopref|"
-      "seqpref|dynpref>  seed=<n>\n",
-      Binary);
+      "seqpref|dynpref>  seed=<n>\n"
+      "addresses: host:port (port 0 = ephemeral) or unix:/path\n",
+      Binary, Binary, Binary);
   std::exit(2);
 }
 
@@ -104,9 +147,40 @@ Options parseOptions(int Argc, char **Argv) {
       Opts.List = true;
     } else if (Arg == "--quiet") {
       Opts.Quiet = true;
+    } else if (Arg == "--serve") {
+      Opts.ServeAddr = Next();
+    } else if (Arg == "--workers") {
+      Opts.Workers = static_cast<unsigned>(std::strtoul(Next(), nullptr, 10));
+    } else if (Arg == "--worker") {
+      Opts.WorkerAddr = Next();
+    } else if (Arg == "--job-timeout") {
+      Opts.JobTimeoutMs =
+          static_cast<uint32_t>(std::strtoul(Next(), nullptr, 10));
+    } else if (Arg == "--idle-timeout") {
+      Opts.IdleTimeoutMs =
+          static_cast<uint32_t>(std::strtoul(Next(), nullptr, 10));
+    } else if (Arg == "--diff") {
+      Opts.DiffA = Next();
+      Opts.DiffB = Next();
+    } else if (Arg == "--threshold") {
+      const char *Text = Next();
+      char *End = nullptr;
+      Opts.ThresholdPct = std::strtod(Text, &End);
+      if (End == Text || *End != '\0' || Opts.ThresholdPct < 0.0) {
+        std::fprintf(stderr,
+                     "error: invalid --threshold '%s' (need a number >= 0)\n",
+                     Text);
+        std::exit(2);
+      }
     } else {
       usage(Argv[0]);
     }
+  }
+  if (!Opts.WorkerAddr.empty() &&
+      (!Opts.ServeAddr.empty() || Opts.Workers != 0 || !Opts.DiffA.empty())) {
+    std::fprintf(stderr,
+                 "error: --worker excludes --serve/--workers/--diff\n");
+    std::exit(2);
   }
   return Opts;
 }
@@ -120,12 +194,7 @@ std::string readWholeFile(const std::string &Path, bool &Ok) {
   std::ostringstream Buf;
   Buf << In.rdbuf();
   Ok = true;
-  std::string Text = Buf.str();
-  // Trim trailing whitespace so the embedded value nests cleanly.
-  while (!Text.empty() &&
-         (Text.back() == '\n' || Text.back() == '\r' || Text.back() == ' '))
-    Text.pop_back();
-  return Text;
+  return Buf.str();
 }
 
 void printSummary(const std::vector<engine::RunResult> &Results) {
@@ -155,10 +224,52 @@ void printSummary(const std::vector<engine::RunResult> &Results) {
   Out.print();
 }
 
+int runDiffMode(const Options &Opts) {
+  bool OkA = false, OkB = false;
+  const std::string JsonA = readWholeFile(Opts.DiffA, OkA);
+  const std::string JsonB = readWholeFile(Opts.DiffB, OkB);
+  if (!OkA || !OkB) {
+    std::fprintf(stderr, "error: cannot read '%s'\n",
+                 (!OkA ? Opts.DiffA : Opts.DiffB).c_str());
+    return 2;
+  }
+  engine::DiffOptions Diff;
+  Diff.ThresholdPct = Opts.ThresholdPct;
+  engine::DiffReport Report;
+  std::string Error;
+  if (!engine::diffResults(JsonA, JsonB, Diff, Report, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 2;
+  }
+  const std::string Text = Report.render(Opts.DiffA, Opts.DiffB);
+  std::fwrite(Text.data(), 1, Text.size(), stdout);
+  return Report.regressed() ? 1 : 0;
+}
+
+int runWorkerMode(const Options &Opts) {
+  engine::WorkerOptions Worker;
+  Worker.IoTimeoutMs = Opts.JobTimeoutMs;
+  std::string Error;
+  const engine::WorkerExit Exit =
+      engine::runWorker(Opts.WorkerAddr, Worker, &Error);
+  if (Exit == engine::WorkerExit::CleanShutdown) {
+    if (!Opts.Quiet)
+      std::fprintf(stderr, "worker: clean shutdown\n");
+    return 0;
+  }
+  std::fprintf(stderr, "worker: %s\n", Error.c_str());
+  return 1;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   const Options Opts = parseOptions(Argc, Argv);
+
+  if (!Opts.DiffA.empty())
+    return runDiffMode(Opts);
+  if (!Opts.WorkerAddr.empty())
+    return runWorkerMode(Opts);
 
   std::vector<engine::ExperimentSpec> Specs =
       engine::defaultMatrix(Opts.Scale);
@@ -192,24 +303,63 @@ int main(int Argc, char **Argv) {
   engine::TimingInfo Timing;
   if (!Opts.LintTimingPath.empty()) {
     bool Ok = false;
-    Timing.LintJson = readWholeFile(Opts.LintTimingPath, Ok);
+    std::string Text = readWholeFile(Opts.LintTimingPath, Ok);
     if (!Ok) {
       std::fprintf(stderr, "error: cannot read lint timing file '%s'\n",
                    Opts.LintTimingPath.c_str());
       return 2;
     }
+    // Trim trailing whitespace so the embedded value nests cleanly.
+    while (!Text.empty() &&
+           (Text.back() == '\n' || Text.back() == '\r' || Text.back() == ' '))
+      Text.pop_back();
+    Timing.LintJson = Text;
   }
 
-  engine::MatrixOptions Matrix;
-  Matrix.Jobs = Opts.Jobs != 0 ? Opts.Jobs
-                               : std::thread::hardware_concurrency();
-  if (Matrix.Jobs == 0)
-    Matrix.Jobs = 1;
+  const bool Distributed = !Opts.ServeAddr.empty() || Opts.Workers != 0;
+  unsigned Jobs = Opts.Jobs != 0 ? Opts.Jobs
+                                 : std::thread::hardware_concurrency();
+  if (Jobs == 0)
+    Jobs = 1;
+
+  // Pick the executor: same API, different transport.
+  std::unique_ptr<engine::Executor> Exec;
+  if (Distributed) {
+    engine::SocketExecutor::Options Socket;
+    Socket.Coordinator.ListenAddr =
+        !Opts.ServeAddr.empty()
+            ? Opts.ServeAddr
+            // Workers-only mode: a private Unix socket nobody races on.
+            : "unix:/tmp/hds-matrix-" + std::to_string(getpid()) + ".sock";
+    Socket.Coordinator.JobTimeoutMs = Opts.JobTimeoutMs;
+    Socket.Coordinator.IdleTimeoutMs = Opts.IdleTimeoutMs;
+    Socket.ForkedWorkers = Opts.Workers;
+    Socket.Worker.IoTimeoutMs = Opts.JobTimeoutMs;
+    auto Remote = std::make_unique<engine::SocketExecutor>(Socket);
+    if (!Remote->valid()) {
+      std::fprintf(stderr, "error: cannot listen on '%s': %s\n",
+                   Socket.Coordinator.ListenAddr.c_str(),
+                   Remote->error().c_str());
+      return 2;
+    }
+    if (!Opts.Quiet)
+      std::fprintf(stderr, "serving %zu experiments on %s (%u local "
+                           "worker(s))\n",
+                   Specs.size(), Remote->boundAddress().c_str(),
+                   Opts.Workers);
+    Exec = std::move(Remote);
+  } else {
+    engine::LocalExecutor::Options Local;
+    Local.Jobs = Jobs;
+    Exec = std::make_unique<engine::LocalExecutor>(Local);
+  }
+
+  std::function<void(std::size_t, const engine::RunResult &)> OnResult;
   const size_t Total = Specs.size();
   if (!Opts.Quiet)
     // Mutable counter; deliveries are serialized under the sink lock.
-    Matrix.OnResult = [Total, Done = size_t{0}](
-                          size_t, const engine::RunResult &R) mutable {
+    OnResult = [Total, Done = size_t{0}](
+                   size_t, const engine::RunResult &R) mutable {
       std::fprintf(stderr, "[%zu/%zu] %s: %s\n", ++Done, Total,
                    R.Spec.label().c_str(),
                    R.ok() ? "ok"
@@ -220,7 +370,7 @@ int main(int Argc, char **Argv) {
 
   const auto Start = std::chrono::steady_clock::now();
   const std::vector<engine::RunResult> Results =
-      engine::runMatrix(Specs, Matrix);
+      Exec->run(Specs, std::move(OnResult));
   const auto End = std::chrono::steady_clock::now();
 
   if (Opts.Timing) {
@@ -228,7 +378,7 @@ int main(int Argc, char **Argv) {
     Timing.WallMillis = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::milliseconds>(End - Start)
             .count());
-    Timing.Jobs = Matrix.Jobs;
+    Timing.Jobs = Distributed ? Opts.Workers : Jobs;
   }
 
   // With --out - the JSON owns stdout; keep the human table off it.
