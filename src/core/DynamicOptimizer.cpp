@@ -85,6 +85,7 @@ void DynamicOptimizer::onCheckEvent(profiling::CheckEvent Event) {
 }
 
 void DynamicOptimizer::analyzeAndOptimize() {
+  Timeline.begin("analysis", Hierarchy.now());
   CycleStats Cycle;
   Cycle.TracedRefs = Profiler.tracedRefCount();
   const sequitur::Grammar &Grammar = Profiler.grammar();
@@ -266,7 +267,8 @@ void DynamicOptimizer::analyzeAndOptimize() {
         Cycle.SitesInstrumented = Patch.SitesInstrumented;
 
         Engine.install(std::move(Code), std::move(Installed),
-                       TheImage.siteCount());
+                       TheImage.siteCount(),
+                       /*InstallCycle=*/Stats.Cycles.size());
         if (Config.PinFirstOptimization)
           Pinned = true;
       }
@@ -278,8 +280,9 @@ void DynamicOptimizer::analyzeAndOptimize() {
 
   Cycle.AnalysisCostCycles = Cost;
   Cycle.NextHibernationPeriods = Tracer.config().NHibernate;
-  Hierarchy.tick(Cost);
+  Hierarchy.tick(Cost, obs::CyclePhase::Analysis);
   Stats.Cycles.push_back(Cycle);
+  Timeline.begin("hibernation", Hierarchy.now());
 }
 
 void DynamicOptimizer::adaptHibernation(
@@ -324,4 +327,5 @@ void DynamicOptimizer::deoptimize() {
   // Fresh profile for the next cycle; hibernation-phase references were
   // never recorded, so there is no trace contamination to clean up.
   Profiler.startNewCycle();
+  Timeline.begin("awake", Hierarchy.now());
 }

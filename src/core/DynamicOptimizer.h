@@ -20,6 +20,7 @@
 #include "core/OptimizerConfig.h"
 #include "core/PrefetchEngine.h"
 #include "core/RunStats.h"
+#include "obs/Timeline.h"
 #include "profiling/BurstyTracer.h"
 #include "profiling/TemporalProfiler.h"
 #include "vulcan/Image.h"
@@ -36,9 +37,10 @@ class DynamicOptimizer {
 public:
   DynamicOptimizer(const OptimizerConfig &Cfg, vulcan::Image &Image,
                    memsim::MemoryHierarchy &Hier, PrefetchEngine &Eng,
-                   profiling::BurstyTracer &Trc, RunStats &RS)
+                   profiling::BurstyTracer &Trc, RunStats &RS,
+                   obs::Timeline &TL)
       : Config(Cfg), TheImage(Image), Hierarchy(Hier), Engine(Eng),
-        Tracer(Trc), Stats(RS) {}
+        Tracer(Trc), Stats(RS), Timeline(TL) {}
 
   /// Records one traced data reference (called by the runtime while the
   /// profiler is awake and in instrumented code).
@@ -78,6 +80,7 @@ private:
   PrefetchEngine &Engine;
   profiling::BurstyTracer &Tracer;
   RunStats &Stats;
+  obs::Timeline &Timeline;
   profiling::TemporalProfiler Profiler;
   bool Pinned = false;
   /// Adaptive hibernation state: references covered by the previous

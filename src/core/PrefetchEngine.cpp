@@ -14,9 +14,17 @@ using namespace hds::core;
 
 void PrefetchEngine::install(dfsm::CheckCode NewCode,
                              std::vector<InstalledStream> NewStreams,
-                             size_t ImageSiteCount) {
+                             size_t ImageSiteCount, uint64_t InstallCycle) {
   Code = std::move(NewCode);
   Streams = std::move(NewStreams);
+  for (InstalledStream &Stream : Streams) {
+    Stream.Tag = NextStreamTag++;
+    obs::StreamPrefetchStats Row;
+    Row.StreamTag = Stream.Tag;
+    Row.InstallCycle = InstallCycle;
+    Row.Length = Stream.TailAddrs.size();
+    History.push_back(Row);
+  }
   SiteToTable.assign(ImageSiteCount, -1);
   for (size_t I = 0; I < Code.Sites.size(); ++I) {
     assert(Code.Sites[I].Pc < ImageSiteCount && "pc outside the image");
@@ -52,14 +60,16 @@ void PrefetchEngine::firePrefetches(dfsm::StreamIndex StreamIdx,
     // reference; same prefetch count as the real scheme would issue.
     const uint64_t Block = Hierarchy.l1().config().BlockBytes;
     for (uint64_t I = 1; I <= Count; ++I) {
-      Hierarchy.prefetchT0(MatchAddr + I * Block);
+      Hierarchy.prefetchT0(MatchAddr + I * Block, /*ChargeIssueSlot=*/true,
+                           Stream.Tag);
       ++Stats.PrefetchesRequested;
     }
     break;
   }
   case RunMode::DynamicPrefetch:
     for (uint64_t I = 0; I < Count; ++I) {
-      Hierarchy.prefetchT0(Stream.TailAddrs[I]);
+      Hierarchy.prefetchT0(Stream.TailAddrs[I], /*ChargeIssueSlot=*/true,
+                           Stream.Tag);
       ++Stats.PrefetchesRequested;
     }
     break;
@@ -117,7 +127,8 @@ void PrefetchEngine::onAccess(vulcan::SiteId Site, memsim::Addr Addr,
 
   Stats.MatchClausesScanned += Scanned;
   Hierarchy.tick(Config.Costs.MatchClauseCycles *
-                 std::max<uint64_t>(1, Scanned));
+                     std::max<uint64_t>(1, Scanned),
+                 obs::CyclePhase::PrefixMatch);
 
   if (Completions)
     for (dfsm::StreamIndex StreamIdx : *Completions)

@@ -26,6 +26,7 @@
 #include "core/RunStats.h"
 #include "dfsm/CheckCodeGen.h"
 #include "memsim/MemoryHierarchy.h"
+#include "obs/PrefetchStats.h"
 #include "vulcan/Image.h"
 
 #include <cstddef>
@@ -39,16 +40,22 @@ namespace core {
 class PrefetchEngine {
 public:
   /// Prefetch targets for one installed stream: the addresses of its tail
-  /// (v.tail = v_{headLen+1} ... v_{|v|}).
+  /// (v.tail = v_{headLen+1} ... v_{|v|}).  The tag is assigned by
+  /// install() and rides along with every prefetch the stream fires, so
+  /// the memory hierarchy can attribute effectiveness events back to it.
   struct InstalledStream {
     std::vector<memsim::Addr> TailAddrs;
+    uint32_t Tag = obs::NoStreamTag;
   };
 
   /// Installs \p Code and \p Streams; \p ImageSiteCount sizes the fast
   /// site lookup table.  StreamIndex values inside the code refer into
-  /// \p Streams.
+  /// \p Streams.  Each stream is assigned the next free tag (unique
+  /// across the whole run, surviving uninstall), and a row recording its
+  /// identity is appended to streamHistory(); \p InstallCycle labels the
+  /// optimization cycle doing the install.
   void install(dfsm::CheckCode Code, std::vector<InstalledStream> Streams,
-               size_t ImageSiteCount);
+               size_t ImageSiteCount, uint64_t InstallCycle = 0);
 
   /// Removes all injected code (deoptimization).
   void uninstall();
@@ -83,6 +90,13 @@ public:
     return Streams;
   }
 
+  /// Identity rows (tag, install cycle, length) of every stream ever
+  /// installed, in tag order; classification counters are zero — the
+  /// Runtime joins them with the hierarchy's per-stream buckets.
+  const std::vector<obs::StreamPrefetchStats> &streamHistory() const {
+    return History;
+  }
+
 private:
   /// Issues the prefetches for one completed stream.
   void firePrefetches(dfsm::StreamIndex StreamIdx, memsim::Addr MatchAddr,
@@ -94,6 +108,8 @@ private:
   std::vector<InstalledStream> Streams;
   std::vector<int32_t> SiteToTable; // SiteId -> index into Code.Sites
   dfsm::StateId State = 0;
+  uint32_t NextStreamTag = 0;
+  std::vector<obs::StreamPrefetchStats> History;
 };
 
 } // namespace core

@@ -14,6 +14,8 @@
 #ifndef HDS_CORE_RUNSTATS_H
 #define HDS_CORE_RUNSTATS_H
 
+#include "obs/Metrics.h"
+
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -59,41 +61,90 @@ struct RunStats {
   uint64_t StaleFrameAccesses = 0;
 };
 
-/// \name Stable serialization accessors
-/// Field enumeration with a fixed, append-only order shared by every
-/// serializer (the engine's binary wire format relies on encode and
-/// decode walking the very same sequence).  \p Visit is invoked once per
-/// scalar counter with a reference to the field; pass a const struct to
+/// \name Stable metric enumerations
+/// Typed field enumeration with a fixed, append-only order shared by
+/// every serializer (the engine's binary wire format relies on encode
+/// and decode walking the very same sequence, and the metric ids are the
+/// JSON keys).  \p Visit is invoked once per scalar counter with its
+/// obs::MetricDef and a reference to the field; pass a const struct to
 /// read and a mutable one to fill during decode.  New fields must be
 /// appended at the end, never reordered or removed, or the wire protocol
-/// version must be bumped.
+/// version must be bumped (see obs/Metrics.h).
 /// @{
 template <typename CycleStatsT, typename Fn>
-void visitCycleStatsCounters(CycleStatsT &&Stats, Fn &&Visit) {
-  Visit(Stats.TracedRefs);
-  Visit(Stats.HotStreamsDetected);
-  Visit(Stats.StreamsInstalled);
-  Visit(Stats.DfsmStates);
-  Visit(Stats.DfsmTransitions);
-  Visit(Stats.CheckClausesInjected);
-  Visit(Stats.ProceduresModified);
-  Visit(Stats.SitesInstrumented);
-  Visit(Stats.GrammarRules);
-  Visit(Stats.GrammarSymbols);
-  Visit(Stats.AnalysisCostCycles);
-  Visit(Stats.NextHibernationPeriods);
+void visitCycleStatsMetrics(CycleStatsT &&Stats, Fn &&Visit) {
+  using obs::MetricDef;
+  using obs::MetricKind;
+  Visit(MetricDef{"traced_refs", "references",
+                  "data references recorded by the profiler this cycle"},
+        Stats.TracedRefs);
+  Visit(MetricDef{"hot_streams_detected", "streams",
+                  "hot data streams the analysis extracted"},
+        Stats.HotStreamsDetected);
+  Visit(MetricDef{"streams_installed", "streams",
+                  "streams surviving the install filters"},
+        Stats.StreamsInstalled);
+  Visit(MetricDef{"dfsm_states", "states",
+                  "states of the generated prefix-match DFSM",
+                  MetricKind::Gauge},
+        Stats.DfsmStates);
+  Visit(MetricDef{"dfsm_transitions", "transitions",
+                  "transitions of the generated prefix-match DFSM",
+                  MetricKind::Gauge},
+        Stats.DfsmTransitions);
+  Visit(MetricDef{"check_clauses_injected", "clauses",
+                  "check clauses injected into the binary"},
+        Stats.CheckClausesInjected);
+  Visit(MetricDef{"procedures_modified", "procedures",
+                  "procedures copied and patched by dynamic Vulcan"},
+        Stats.ProceduresModified);
+  Visit(MetricDef{"sites_instrumented", "sites",
+                  "access sites carrying injected checks"},
+        Stats.SitesInstrumented);
+  Visit(MetricDef{"grammar_rules", "rules",
+                  "Sequitur grammar rules at analysis time",
+                  MetricKind::Gauge},
+        Stats.GrammarRules);
+  Visit(MetricDef{"grammar_symbols", "symbols",
+                  "Sequitur right-hand-side symbols at analysis time",
+                  MetricKind::Gauge},
+        Stats.GrammarSymbols);
+  Visit(MetricDef{"analysis_cost_cycles", "cycles",
+                  "simulated cost charged for this analysis step"},
+        Stats.AnalysisCostCycles);
+  Visit(MetricDef{"next_hibernation_periods", "periods",
+                  "hibernation length chosen for the following phase",
+                  MetricKind::Gauge},
+        Stats.NextHibernationPeriods);
 }
 
 template <typename RunStatsT, typename Fn>
-void visitRunStatsCounters(RunStatsT &&Stats, Fn &&Visit) {
-  Visit(Stats.TotalAccesses);
-  Visit(Stats.ChecksExecuted);
-  Visit(Stats.TracedRefs);
-  Visit(Stats.InstrumentedSiteHits);
-  Visit(Stats.MatchClausesScanned);
-  Visit(Stats.CompleteMatches);
-  Visit(Stats.PrefetchesRequested);
-  Visit(Stats.StaleFrameAccesses);
+void visitRunStatsMetrics(RunStatsT &&Stats, Fn &&Visit) {
+  using obs::MetricDef;
+  Visit(MetricDef{"accesses", "accesses",
+                  "data references the workload executed"},
+        Stats.TotalAccesses);
+  Visit(MetricDef{"checks_executed", "checks",
+                  "dynamic checks at entries and back edges"},
+        Stats.ChecksExecuted);
+  Visit(MetricDef{"traced_refs", "references",
+                  "references recorded across all awake phases"},
+        Stats.TracedRefs);
+  Visit(MetricDef{"instrumented_site_hits", "accesses",
+                  "accesses at pcs carrying injected checks"},
+        Stats.InstrumentedSiteHits);
+  Visit(MetricDef{"match_clauses_scanned", "clauses",
+                  "check clauses scanned during prefix matching"},
+        Stats.MatchClausesScanned);
+  Visit(MetricDef{"complete_matches", "matches",
+                  "complete prefix matches (streams fired)"},
+        Stats.CompleteMatches);
+  Visit(MetricDef{"prefetches_requested", "prefetches",
+                  "prefetches the injected code requested"},
+        Stats.PrefetchesRequested);
+  Visit(MetricDef{"stale_frame_accesses", "accesses",
+                  "accesses that ran stale pre-patch code"},
+        Stats.StaleFrameAccesses);
 }
 /// @}
 

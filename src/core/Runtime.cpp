@@ -40,13 +40,37 @@ Runtime::effectiveTracingConfig(const OptimizerConfig &Config) {
 Runtime::Runtime(const OptimizerConfig &Cfg)
     : Config(Cfg), Hierarchy(Cfg.L1, Cfg.L2, Cfg.Latency),
       Tracer(effectiveTracingConfig(Cfg)),
-      Optimizer(this->Config, TheImage, Hierarchy, Engine, Tracer, Stats),
+      Optimizer(this->Config, TheImage, Hierarchy, Engine, Tracer, Stats,
+                Timeline),
       HeapBreak(1 << 20) {
   TheImage.instrumentForBurstyTracing();
   if (Config.EnableStridePrefetcher)
     Stride = std::make_unique<StridePrefetcher>(Config.Stride);
   if (Config.EnableMarkovPrefetcher)
     Markov = std::make_unique<MarkovPrefetcher>(Config.Markov);
+  // The run opens in the profiler's awake phase; the optimizer records
+  // every later phase boundary.
+  if (tracingEnabled(Config.Mode))
+    Timeline.begin("awake", 0);
+}
+
+std::vector<obs::StreamPrefetchStats> Runtime::streamPrefetchStats() const {
+  std::vector<obs::StreamPrefetchStats> Rows = Engine.streamHistory();
+  const std::vector<obs::PrefetchClassCounts> &Classes =
+      Hierarchy.streamClasses();
+  for (obs::StreamPrefetchStats &Row : Rows) {
+    if (Row.StreamTag >= Classes.size())
+      continue; // stream never produced a classification event
+    const obs::PrefetchClassCounts &Counts =
+        Classes[static_cast<size_t>(Row.StreamTag)];
+    Row.Issued = Counts.Issued;
+    Row.Useful = Counts.Useful;
+    Row.Late = Counts.Late;
+    Row.Redundant = Counts.Redundant;
+    Row.DroppedQueueFull = Counts.DroppedQueueFull;
+    Row.UnusedEvicted = Counts.UnusedEvicted;
+  }
+  return Rows;
 }
 
 vulcan::ProcId Runtime::declareProcedure(std::string Name) {
@@ -91,7 +115,7 @@ void Runtime::dynamicCheck() {
     return;
   if (Optimizer.pinned())
     return; // static-scheme model: no bursty-tracing framework left
-  Hierarchy.tick(Config.Costs.CheckCycles);
+  Hierarchy.tick(Config.Costs.CheckCycles, obs::CyclePhase::DynamicCheck);
   ++Stats.ChecksExecuted;
   const profiling::CheckEvent Event = Tracer.check();
   if (Event != profiling::CheckEvent::None)
@@ -129,8 +153,6 @@ void Runtime::access(vulcan::SiteId Site, memsim::Addr Addr, bool IsStore) {
     Stride->onAccess(Site, Addr, Hierarchy);
   if (Markov && Latency > Config.Latency.L1HitCycles)
     Markov->onMiss(Addr, Hierarchy);
-  if (AccessObserver)
-    AccessObserver(Site, Addr);
 
   if (Config.Mode == RunMode::Original)
     return;
@@ -141,7 +163,7 @@ void Runtime::access(vulcan::SiteId Site, memsim::Addr Addr, bool IsStore) {
   // avoid trace contamination).  Once a static-scheme run is pinned the
   // profiling framework is gone entirely.
   if (Tracer.inInstrumentedCode() && !Optimizer.pinned()) {
-    Hierarchy.tick(Config.Costs.TraceRefCycles);
+    Hierarchy.tick(Config.Costs.TraceRefCycles, obs::CyclePhase::Profiling);
     if (tracingEnabled(Config.Mode) &&
         Tracer.phase() == profiling::TracerPhase::Awake)
       Optimizer.recordRef(analysis::DataRef{Site, Addr});

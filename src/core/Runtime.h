@@ -54,11 +54,13 @@
 #include "core/RunStats.h"
 #include "core/StridePrefetcher.h"
 #include "memsim/MemoryHierarchy.h"
+#include "obs/CycleAccount.h"
+#include "obs/PrefetchStats.h"
+#include "obs/Timeline.h"
 #include "profiling/BurstyTracer.h"
 #include "vulcan/Image.h"
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -66,12 +68,14 @@
 namespace hds {
 namespace core {
 
-/// Observer of every Runtime API event, in program order.  The trace
-/// record/replay subsystem (src/replay) implements this to capture a run
-/// as a re-executable event stream; the callbacks cover exactly the public
-/// Runtime surface, so replaying them through a fresh Runtime reproduces
-/// the original simulation state transition for transition.  Costs one
-/// branch per event when no observer is installed.
+/// Observer of every Runtime API event, in program order — the single
+/// observation mechanism of the runtime.  The trace record/replay
+/// subsystem (src/replay) implements this to capture a run as a
+/// re-executable event stream, and tooling (hds_run --dump-trace)
+/// subclasses it to print the reference stream; the callbacks cover
+/// exactly the public Runtime surface, so replaying them through a fresh
+/// Runtime reproduces the original simulation state transition for
+/// transition.  Costs one branch per event when no observer is installed.
 class RuntimeObserver {
 public:
   virtual ~RuntimeObserver();
@@ -155,6 +159,23 @@ public:
   /// @{
   uint64_t cycles() const { return Hierarchy.now(); }
   const RunStats &stats() const { return Stats; }
+
+  /// Snapshot of the attributed cycle account: every simulated cycle by
+  /// phase (pure compute, demand stall, checks, profiling, matching,
+  /// prefetch issue, analysis).  total() always equals cycles().
+  obs::CycleBreakdown cycleBreakdown() const {
+    return Hierarchy.account().snapshot();
+  }
+
+  /// Per-hot-data-stream prefetch effectiveness: one row per stream ever
+  /// installed (identity from the prefetch engine, classification counts
+  /// from the memory hierarchy).
+  std::vector<obs::StreamPrefetchStats> streamPrefetchStats() const;
+
+  /// Phase timeline (awake / analysis / hibernation spans) recorded by
+  /// the optimizer; rendered by `hds_run --trace-events`.
+  const obs::Timeline &timeline() const { return Timeline; }
+
   const OptimizerConfig &config() const { return Config; }
   memsim::MemoryHierarchy &memory() { return Hierarchy; }
   const memsim::MemoryHierarchy &memory() const { return Hierarchy; }
@@ -169,18 +190,10 @@ public:
   const MarkovPrefetcher *markovPrefetcher() const { return Markov.get(); }
   /// @}
 
-  /// Installs an observer invoked for every demand access (after the
-  /// memory system has processed it).  Used by tooling (trace dumps);
-  /// costs one branch per access when unset.  Pass an empty function to
-  /// remove.  Observers see the *unfiltered* reference stream — the same
-  /// thing the paper's instrumented code version sees.
-  void setAccessObserver(
-      std::function<void(vulcan::SiteId, memsim::Addr)> Fn) {
-    AccessObserver = std::move(Fn);
-  }
-
   /// Installs (or, with nullptr, removes) the full-event observer.  Not
-  /// owned; must outlive its installation.
+  /// owned; must outlive its installation.  Observers see the
+  /// *unfiltered* event stream — the same thing the paper's instrumented
+  /// code version sees.
   void setObserver(RuntimeObserver *NewObserver) { Observer = NewObserver; }
 
   /// RAII procedure activation.
@@ -221,10 +234,10 @@ private:
   profiling::BurstyTracer Tracer;
   PrefetchEngine Engine;
   RunStats Stats;
+  obs::Timeline Timeline;
   DynamicOptimizer Optimizer;
   std::unique_ptr<StridePrefetcher> Stride;
   std::unique_ptr<MarkovPrefetcher> Markov;
-  std::function<void(vulcan::SiteId, memsim::Addr)> AccessObserver;
   RuntimeObserver *Observer = nullptr;
   std::vector<Frame> CallStack;
   memsim::Addr HeapBreak;

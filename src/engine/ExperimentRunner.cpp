@@ -59,5 +59,7 @@ RunResult hds::engine::runExperiment(const ExperimentSpec &Spec,
   Result.Memory = Rt.memory().stats();
   Result.L1 = Rt.memory().l1().stats();
   Result.L2 = Rt.memory().l2().stats();
+  Result.Breakdown = Rt.cycleBreakdown();
+  Result.Streams = Rt.streamPrefetchStats();
   return Result;
 }

@@ -21,9 +21,12 @@
 #include "engine/ExperimentSpec.h"
 #include "memsim/Cache.h"
 #include "memsim/MemoryHierarchy.h"
+#include "obs/CycleAccount.h"
+#include "obs/PrefetchStats.h"
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace hds {
 namespace engine {
@@ -48,6 +51,11 @@ struct RunResult {
   memsim::HierarchyStats Memory;
   memsim::CacheStats L1;
   memsim::CacheStats L2;
+  /// Attributed cycle account snapshot; Breakdown.total() == Cycles.
+  obs::CycleBreakdown Breakdown;
+  /// Per-hot-data-stream prefetch effectiveness, one row per stream ever
+  /// installed during the run.
+  std::vector<obs::StreamPrefetchStats> Streams;
 
   bool ok() const { return State == Status::Ok; }
 };

@@ -6,6 +6,8 @@
 
 #include "engine/ResultsDiff.h"
 
+#include "engine/MetricRegistry.h"
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -268,15 +270,8 @@ private:
 // Cell extraction and comparison
 //===----------------------------------------------------------------------===//
 
-/// The spec-echo fields forming a cell's identity; everything else in
-/// the result object is a metric to compare.
-constexpr const char *IdentityFields[] = {
-    "workload", "mode",   "mode_name", "scale", "seed",
-    "head_length", "stride", "markov", "pin",   "adaptive",
-};
-
 bool isIdentityField(const std::string &Key) {
-  for (const char *Field : IdentityFields)
+  for (const char *Field : specIdentityFields())
     if (Key == Field)
       return true;
   return false;
@@ -329,7 +324,7 @@ void flattenMetrics(const JsonValue &Object, const std::string &Prefix,
 Cell makeCell(const JsonValue &Result) {
   Cell Out;
   std::string Key;
-  for (const char *Field : IdentityFields) {
+  for (const char *Field : specIdentityFields()) {
     if (std::string(Field) == "mode_name")
       continue; // redundant with "mode"
     const JsonValue *Value = Result.find(Field);

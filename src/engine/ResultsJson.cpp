@@ -6,6 +6,9 @@
 
 #include "engine/ResultsJson.h"
 
+#include "obs/CycleAccount.h"
+#include "obs/PrefetchStats.h"
+
 #include <cstdio>
 
 using namespace hds;
@@ -118,16 +121,21 @@ private:
   bool NeedComma = false;
 };
 
+/// Emits every counter of a visit*Metrics enumeration as "id": value.
+/// The metric ids double as the JSON keys, so the schema follows the
+/// append-only metric contract (obs/Metrics.h) automatically.
+struct MetricFieldEmitter {
+  JsonBuilder &Json;
+  template <typename FieldT>
+  void operator()(const obs::MetricDef &Def, const FieldT &Field) const {
+    Json.field(Def.Id, static_cast<uint64_t>(Field));
+  }
+};
+
 void emitCacheStats(JsonBuilder &Json, const char *Key,
                     const memsim::CacheStats &Stats) {
   Json.openObject(Key);
-  Json.field("hits", Stats.Hits);
-  Json.field("misses", Stats.Misses);
-  Json.field("demand_fills", Stats.DemandFills);
-  Json.field("prefetch_fills", Stats.PrefetchFills);
-  Json.field("evictions", Stats.Evictions);
-  Json.field("useful_prefetches", Stats.UsefulPrefetches);
-  Json.field("wasted_prefetches", Stats.WastedPrefetches);
+  memsim::visitCacheStatsMetrics(Stats, MetricFieldEmitter{Json});
   Json.close('}');
 }
 
@@ -163,47 +171,31 @@ void emitResult(JsonBuilder &Json, const RunResult &Result,
                                 static_cast<double>(Baseline->Cycles),
                             "%.4f"));
 
-  const core::RunStats &Stats = Result.Stats;
-  Json.field("accesses", Stats.TotalAccesses);
-  Json.field("checks_executed", Stats.ChecksExecuted);
-  Json.field("traced_refs", Stats.TracedRefs);
-  Json.field("instrumented_site_hits", Stats.InstrumentedSiteHits);
-  Json.field("match_clauses_scanned", Stats.MatchClausesScanned);
-  Json.field("complete_matches", Stats.CompleteMatches);
-  Json.field("prefetches_requested", Stats.PrefetchesRequested);
-  Json.field("stale_frame_accesses", Stats.StaleFrameAccesses);
+  core::visitRunStatsMetrics(Result.Stats, MetricFieldEmitter{Json});
 
   Json.openObject("memory");
-  Json.field("demand_accesses", Result.Memory.DemandAccesses);
-  Json.field("stall_cycles", Result.Memory.StallCycles);
-  Json.field("prefetches_issued", Result.Memory.PrefetchesIssued);
-  Json.field("prefetches_dropped_queue_full",
-             Result.Memory.PrefetchesDroppedQueueFull);
-  Json.field("prefetches_redundant", Result.Memory.PrefetchesRedundant);
-  Json.field("partial_hits", Result.Memory.PartialHits);
-  Json.field("partial_hit_stall_cycles",
-             Result.Memory.PartialHitStallCycles);
+  memsim::visitHierarchyStatsMetrics(Result.Memory, MetricFieldEmitter{Json});
   Json.close('}');
 
   emitCacheStats(Json, "l1", Result.L1);
   emitCacheStats(Json, "l2", Result.L2);
 
   Json.openArray("phases");
-  for (const core::CycleStats &Phase : Stats.Cycles) {
+  for (const core::CycleStats &Phase : Result.Stats.Cycles) {
     Json.openObject();
-    Json.field("traced_refs", Phase.TracedRefs);
-    Json.field("hot_streams_detected", uint64_t{Phase.HotStreamsDetected});
-    Json.field("streams_installed", uint64_t{Phase.StreamsInstalled});
-    Json.field("dfsm_states", uint64_t{Phase.DfsmStates});
-    Json.field("dfsm_transitions", uint64_t{Phase.DfsmTransitions});
-    Json.field("check_clauses_injected",
-               uint64_t{Phase.CheckClausesInjected});
-    Json.field("procedures_modified", uint64_t{Phase.ProceduresModified});
-    Json.field("sites_instrumented", uint64_t{Phase.SitesInstrumented});
-    Json.field("grammar_rules", Phase.GrammarRules);
-    Json.field("grammar_symbols", Phase.GrammarSymbols);
-    Json.field("analysis_cost_cycles", Phase.AnalysisCostCycles);
-    Json.field("next_hibernation_periods", Phase.NextHibernationPeriods);
+    core::visitCycleStatsMetrics(Phase, MetricFieldEmitter{Json});
+    Json.close('}');
+  }
+  Json.close(']');
+
+  Json.openObject("cycle_breakdown");
+  obs::visitCycleBreakdownMetrics(Result.Breakdown, MetricFieldEmitter{Json});
+  Json.close('}');
+
+  Json.openArray("streams");
+  for (const obs::StreamPrefetchStats &Stream : Result.Streams) {
+    Json.openObject();
+    obs::visitStreamPrefetchStatsMetrics(Stream, MetricFieldEmitter{Json});
     Json.close('}');
   }
   Json.close(']');

@@ -9,6 +9,9 @@
 #include "core/RunStats.h"
 #include "memsim/Cache.h"
 #include "memsim/MemoryHierarchy.h"
+#include "obs/CycleAccount.h"
+#include "obs/Metrics.h"
+#include "obs/PrefetchStats.h"
 
 #include <array>
 #include <bit>
@@ -199,6 +202,8 @@ enum ResultTag : uint8_t {
   ResultHierarchy = 8,
   ResultL1 = 9,
   ResultL2 = 10,
+  ResultBreakdown = 11,
+  ResultStreams = 12,
 };
 
 constexpr uint64_t FlagStride = 1u << 0;
@@ -315,14 +320,16 @@ bool decodeSpecFields(Reader &R, ExperimentSpec &Spec, std::string &Error) {
 }
 
 /// Encodes a counter block: count, then each counter in the stable
-/// visitXCounters order.
+/// visit*Metrics order (the MetricDef is ignored here — ids travel as
+/// position, not as bytes).
 template <typename StatsT, typename VisitorT>
 void encodeCounters(std::vector<uint8_t> &Out, const StatsT &Stats,
                     VisitorT &&Visitor) {
   uint64_t Count = 0;
-  Visitor(Stats, [&Count](const auto &) { ++Count; });
+  Visitor(Stats,
+          [&Count](const obs::MetricDef &, const auto &) { ++Count; });
   appendU64(Out, Count);
-  Visitor(Stats, [&Out](const auto &Field) {
+  Visitor(Stats, [&Out](const obs::MetricDef &, const auto &Field) {
     appendU64(Out, static_cast<uint64_t>(Field));
   });
 }
@@ -331,14 +338,15 @@ template <typename StatsT, typename VisitorT>
 bool decodeCounters(Reader &R, StatsT &Stats, VisitorT &&Visitor,
                     std::string &Error) {
   uint64_t Expected = 0;
-  Visitor(Stats, [&Expected](auto &) { ++Expected; });
+  Visitor(Stats,
+          [&Expected](const obs::MetricDef &, auto &) { ++Expected; });
   uint64_t Count = 0;
   if (!R.readU64(Count) || Count != Expected) {
     Error = "counter block has wrong field count";
     return false;
   }
   bool Ok = true;
-  Visitor(Stats, [&R, &Ok](auto &Field) {
+  Visitor(Stats, [&R, &Ok](const obs::MetricDef &, auto &Field) {
     uint64_t Value = 0;
     Ok = Ok && R.readU64(Value);
     Field = static_cast<std::remove_reference_t<decltype(Field)>>(Value);
@@ -351,16 +359,22 @@ bool decodeCounters(Reader &R, StatsT &Stats, VisitorT &&Visitor,
 // Wrap the visit functions in generic lambdas so encode (const) and
 // decode (mutable) instantiate the right overloads.
 constexpr auto VisitRunStats = [](auto &&S, auto &&F) {
-  core::visitRunStatsCounters(S, F);
+  core::visitRunStatsMetrics(S, F);
 };
 constexpr auto VisitCycleStats = [](auto &&S, auto &&F) {
-  core::visitCycleStatsCounters(S, F);
+  core::visitCycleStatsMetrics(S, F);
 };
 constexpr auto VisitCacheStats = [](auto &&S, auto &&F) {
-  memsim::visitCacheStatsCounters(S, F);
+  memsim::visitCacheStatsMetrics(S, F);
 };
 constexpr auto VisitHierarchyStats = [](auto &&S, auto &&F) {
-  memsim::visitHierarchyStatsCounters(S, F);
+  memsim::visitHierarchyStatsMetrics(S, F);
+};
+constexpr auto VisitBreakdown = [](auto &&S, auto &&F) {
+  obs::visitCycleBreakdownMetrics(S, F);
+};
+constexpr auto VisitStream = [](auto &&S, auto &&F) {
+  obs::visitStreamPrefetchStatsMetrics(S, F);
 };
 
 } // namespace
@@ -421,6 +435,14 @@ std::vector<uint8_t> wire::encodeResult(uint64_t Index,
   Out.push_back(ResultL2);
   encodeCounters(Out, Result.L2, VisitCacheStats);
 
+  Out.push_back(ResultBreakdown);
+  encodeCounters(Out, Result.Breakdown, VisitBreakdown);
+
+  Out.push_back(ResultStreams);
+  appendU64(Out, Result.Streams.size());
+  for (const obs::StreamPrefetchStats &Stream : Result.Streams)
+    encodeCounters(Out, Stream, VisitStream);
+
   Out.push_back(ResultEnd);
   return Out;
 }
@@ -442,7 +464,7 @@ bool wire::decodeResult(const std::vector<uint8_t> &Payload, uint64_t &Index,
     }
     if (Tag == ResultEnd)
       break;
-    if (Tag > ResultL2) {
+    if (Tag > ResultStreams) {
       Error = "unknown result field tag " + std::to_string(Tag);
       return false;
     }
@@ -510,6 +532,28 @@ bool wire::decodeResult(const std::vector<uint8_t> &Payload, uint64_t &Index,
       if (!decodeCounters(R, Result.L2, VisitCacheStats, Error))
         return false;
       break;
+    case ResultBreakdown:
+      if (!decodeCounters(R, Result.Breakdown, VisitBreakdown, Error))
+        return false;
+      break;
+    case ResultStreams: {
+      uint64_t Count = 0;
+      Ok = R.readU64(Count);
+      // Each stream needs at least its counter-count word; anything larger
+      // than the remaining bytes is a corrupt length, not a real vector.
+      if (Ok && Count > R.remaining() / 8) {
+        Error = "stream count exceeds payload";
+        return false;
+      }
+      if (Ok) {
+        Result.Streams.assign(static_cast<std::size_t>(Count),
+                              obs::StreamPrefetchStats{});
+        for (obs::StreamPrefetchStats &Stream : Result.Streams)
+          if (!decodeCounters(R, Stream, VisitStream, Error))
+            return false;
+      }
+      break;
+    }
     default:
       Ok = false;
       break;
@@ -525,7 +569,8 @@ bool wire::decodeResult(const std::vector<uint8_t> &Payload, uint64_t &Index,
       (uint64_t{1} << ResultError) | (uint64_t{1} << ResultIterations) |
       (uint64_t{1} << ResultCycles) | (uint64_t{1} << ResultRunStats) |
       (uint64_t{1} << ResultPhases) | (uint64_t{1} << ResultHierarchy) |
-      (uint64_t{1} << ResultL1) | (uint64_t{1} << ResultL2);
+      (uint64_t{1} << ResultL1) | (uint64_t{1} << ResultL2) |
+      (uint64_t{1} << ResultBreakdown) | (uint64_t{1} << ResultStreams);
   if (Seen != AllResultTags) {
     Error = "result is missing mandatory fields";
     return false;

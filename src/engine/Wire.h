@@ -17,9 +17,10 @@
 /// Payloads are sequences of explicit field tags.  Unknown tags are a
 /// decode error — the protocol is versioned, so skew is detected at the
 /// frame header, not papered over per field.  Counter blocks reuse the
-/// stable visitXCounters field enumerations (core/RunStats.h,
-/// memsim/Cache.h, memsim/MemoryHierarchy.h), so encode and decode can
-/// never disagree on field order.
+/// stable visit*Metrics field enumerations (core/RunStats.h,
+/// memsim/Cache.h, memsim/MemoryHierarchy.h, obs/CycleAccount.h,
+/// obs/PrefetchStats.h — see obs/Metrics.h for the append-only
+/// contract), so encode and decode can never disagree on field order.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -39,7 +40,10 @@ namespace engine {
 namespace wire {
 
 /// Bumped whenever the frame layout or any payload encoding changes.
-constexpr uint8_t ProtocolVersion = 1;
+/// v2: cycle-breakdown and per-stream prefetch-effectiveness sections in
+/// Result payloads; prefetch-classification counters appended to the
+/// hierarchy counter block.
+constexpr uint8_t ProtocolVersion = 2;
 
 /// First two frame bytes; a cheap guard against cross-protocol garbage.
 constexpr uint8_t Magic0 = 0x48; // 'H'

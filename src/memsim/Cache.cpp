@@ -28,7 +28,7 @@ const Cache::Line *Cache::findLine(Addr Address) const {
 
 bool Cache::contains(Addr Address) const { return findLine(Address); }
 
-bool Cache::access(Addr Address) {
+bool Cache::access(Addr Address, AccessInfo *Info) {
   Line *Hit = findLine(Address);
   if (!Hit) {
     ++Stats.Misses;
@@ -39,16 +39,21 @@ bool Cache::access(Addr Address) {
   if (Hit->PrefetchedUntouched) {
     ++Stats.UsefulPrefetches;
     Hit->PrefetchedUntouched = false;
+    if (Info) {
+      Info->PrefetchHit = true;
+      Info->StreamTag = Hit->StreamTag;
+    }
   }
   return true;
 }
 
-void Cache::fill(Addr Address, bool IsPrefetch) {
+Cache::EvictInfo Cache::fill(Addr Address, bool IsPrefetch,
+                             uint32_t StreamTag) {
   if (Line *Existing = findLine(Address)) {
     // Refilling a resident block just refreshes recency; it must not
     // re-arm the prefetch bit on a demand-touched line.
     Existing->LastUse = ++UseClock;
-    return;
+    return EvictInfo();
   }
 
   Line *Set = &Lines[setIndex(Address) * Config.Associativity];
@@ -62,20 +67,26 @@ void Cache::fill(Addr Address, bool IsPrefetch) {
       Victim = &Set[Way];
   }
 
+  EvictInfo Evicted;
   if (Victim->Valid) {
     ++Stats.Evictions;
-    if (Victim->PrefetchedUntouched)
+    if (Victim->PrefetchedUntouched) {
       ++Stats.WastedPrefetches;
+      Evicted.EvictedUntouchedPrefetch = true;
+      Evicted.EvictedStreamTag = Victim->StreamTag;
+    }
   }
 
   Victim->Valid = true;
   Victim->Tag = tagOf(Address);
   Victim->LastUse = ++UseClock;
   Victim->PrefetchedUntouched = IsPrefetch;
+  Victim->StreamTag = IsPrefetch ? StreamTag : obs::NoStreamTag;
   if (IsPrefetch)
     ++Stats.PrefetchFills;
   else
     ++Stats.DemandFills;
+  return Evicted;
 }
 
 void Cache::reset() {

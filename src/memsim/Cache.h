@@ -12,10 +12,18 @@
 /// models one such level; MemoryHierarchy composes two of them with main
 /// memory and an in-flight prefetch queue.
 ///
+/// Lines remember which hot data stream prefetched them (obs::NoStreamTag
+/// for demand fills and hardware prefetchers), so the hierarchy can
+/// attribute useful / unused-evicted classification events back to the
+/// stream that earned them (obs/PrefetchStats.h).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HDS_MEMSIM_CACHE_H
 #define HDS_MEMSIM_CACHE_H
+
+#include "obs/Metrics.h"
+#include "obs/PrefetchStats.h"
 
 #include <cassert>
 #include <cstdint>
@@ -68,17 +76,27 @@ struct CacheStats {
   }
 };
 
-/// Stable serialization accessor: fixed, append-only field order shared
-/// by every serializer (see core/RunStats.h for the contract).
+/// Stable metric enumeration: fixed, append-only order shared by every
+/// serializer (see obs/Metrics.h for the contract).
 template <typename CacheStatsT, typename Fn>
-void visitCacheStatsCounters(CacheStatsT &&Stats, Fn &&Visit) {
-  Visit(Stats.Hits);
-  Visit(Stats.Misses);
-  Visit(Stats.DemandFills);
-  Visit(Stats.PrefetchFills);
-  Visit(Stats.Evictions);
-  Visit(Stats.UsefulPrefetches);
-  Visit(Stats.WastedPrefetches);
+void visitCacheStatsMetrics(CacheStatsT &&Stats, Fn &&Visit) {
+  using obs::MetricDef;
+  Visit(MetricDef{"hits", "accesses", "demand hits at this level"},
+        Stats.Hits);
+  Visit(MetricDef{"misses", "accesses", "demand misses at this level"},
+        Stats.Misses);
+  Visit(MetricDef{"demand_fills", "fills", "lines filled by demand misses"},
+        Stats.DemandFills);
+  Visit(MetricDef{"prefetch_fills", "fills", "lines filled by prefetches"},
+        Stats.PrefetchFills);
+  Visit(MetricDef{"evictions", "lines", "valid lines replaced"},
+        Stats.Evictions);
+  Visit(MetricDef{"useful_prefetches", "prefetches",
+                  "demand hits on untouched prefetched lines"},
+        Stats.UsefulPrefetches);
+  Visit(MetricDef{"wasted_prefetches", "prefetches",
+                  "prefetched lines evicted before any demand touch"},
+        Stats.WastedPrefetches);
 }
 
 /// One level of a set-associative, true-LRU, tag-only cache.
@@ -88,6 +106,20 @@ void visitCacheStatsCounters(CacheStatsT &&Stats, Fn &&Visit) {
 /// paper's Seq-pref straw man lose on most benchmarks (Section 4.3).
 class Cache {
 public:
+  /// Classification detail reported by access(): whether the hit consumed
+  /// a prefetched-untouched line, and which stream prefetched it.
+  struct AccessInfo {
+    bool PrefetchHit = false;
+    uint32_t StreamTag = obs::NoStreamTag;
+  };
+
+  /// Classification detail reported by fill(): whether the victim was a
+  /// prefetched line that no demand access ever touched.
+  struct EvictInfo {
+    bool EvictedUntouchedPrefetch = false;
+    uint32_t EvictedStreamTag = obs::NoStreamTag;
+  };
+
   explicit Cache(const CacheConfig &Config);
 
   /// Looks up \p Address without changing any state.
@@ -95,12 +127,16 @@ public:
 
   /// Demand access: returns true on hit (and updates LRU + prefetch
   /// accounting).  On miss, no fill happens here — the hierarchy decides
-  /// where fills go.
-  bool access(Addr Address);
+  /// where fills go.  When \p Info is non-null it receives the prefetch
+  /// classification detail for this access.
+  bool access(Addr Address, AccessInfo *Info = nullptr);
 
   /// Fills the block containing \p Address, evicting LRU if needed.
-  /// \p IsPrefetch marks the line for useful/wasted prefetch accounting.
-  void fill(Addr Address, bool IsPrefetch);
+  /// \p IsPrefetch marks the line for useful/wasted prefetch accounting;
+  /// \p StreamTag records which hot data stream issued the prefetch.
+  /// Returns eviction classification detail for the victim line.
+  EvictInfo fill(Addr Address, bool IsPrefetch,
+                 uint32_t StreamTag = obs::NoStreamTag);
 
   /// Drops all lines (used between benchmark configurations).
   void reset();
@@ -118,6 +154,7 @@ private:
     uint64_t LastUse = 0;
     bool Valid = false;
     bool PrefetchedUntouched = false;
+    uint32_t StreamTag = obs::NoStreamTag;
   };
 
   uint64_t blockNumber(Addr Address) const {

@@ -23,14 +23,20 @@ MemoryHierarchy::MemoryHierarchy(const CacheConfig &L1Config,
 void MemoryHierarchy::drainDuePrefetches() {
   if (InFlight.empty())
     return;
+  const uint64_t Now = Account.total();
   auto IsDue = [&](const InFlightPrefetch &P) { return P.ReadyCycle <= Now; };
   for (const InFlightPrefetch &P : InFlight) {
     if (!IsDue(P))
       continue;
     const Addr BlockAddr = P.BlockNumber * L1.config().BlockBytes;
-    L1.fill(BlockAddr, /*IsPrefetch=*/true);
+    const Cache::EvictInfo Evicted =
+        L1.fill(BlockAddr, /*IsPrefetch=*/true, P.StreamTag);
+    if (Evicted.EvictedUntouchedPrefetch) {
+      ++Stats.PrefetchesUnusedEvicted;
+      ++bucket(Evicted.EvictedStreamTag).UnusedEvicted;
+    }
     if (P.FillL2)
-      L2.fill(BlockAddr, /*IsPrefetch=*/true);
+      L2.fill(BlockAddr, /*IsPrefetch=*/true, P.StreamTag);
   }
   InFlight.erase(std::remove_if(InFlight.begin(), InFlight.end(), IsDue),
                  InFlight.end());
@@ -48,66 +54,94 @@ uint64_t MemoryHierarchy::access(Addr Address) {
   drainDuePrefetches();
   ++Stats.DemandAccesses;
 
-  // L1 hit: single-cycle, no stall.
-  if (L1.access(Address)) {
+  // L1 hit: single-cycle, no stall.  A hit on a prefetched-untouched line
+  // is the prefetch paying off in full — the "useful" class.
+  Cache::AccessInfo L1Info;
+  if (L1.access(Address, &L1Info)) {
+    if (L1Info.PrefetchHit) {
+      ++Stats.PrefetchesUseful;
+      ++bucket(L1Info.StreamTag).Useful;
+    }
     charge(Latency.L1HitCycles, 0);
     return Latency.L1HitCycles;
   }
 
   // The block may still be on its way in: wait out the remaining latency.
   // This is how an early-but-not-early-enough prefetch still hides part of
-  // a miss.
+  // a miss — the "late" class.
   if (InFlightPrefetch *P = findInFlight(Address)) {
-    const uint64_t Remaining = P->ReadyCycle - Now;
+    const uint64_t Remaining = P->ReadyCycle - Account.total();
     ++Stats.PartialHits;
+    ++bucket(P->StreamTag).Late;
     charge(Remaining, Remaining, /*PartialHit=*/true);
     drainDuePrefetches(); // fills this block (and any other due ones)
-    // The arriving line counts as a useful prefetch the moment demand
-    // touches it.
+    // The arriving line counts as a useful prefetch in the cache-level
+    // stats the moment demand touches it; hierarchy-level classification
+    // already recorded the event as late.
     L1.access(Address);
     charge(Latency.L1HitCycles, 0);
     return Remaining + Latency.L1HitCycles;
   }
 
-  // L2 hit: fill L1 and pay the L2 latency.
-  if (L2.access(Address)) {
-    L1.fill(Address, /*IsPrefetch=*/false);
+  // L2 hit: fill L1 and pay the L2 latency.  A prefetched-untouched L2
+  // line is likewise a useful prefetch (it halved the miss latency).
+  Cache::AccessInfo L2Info;
+  if (L2.access(Address, &L2Info)) {
+    if (L2Info.PrefetchHit) {
+      ++Stats.PrefetchesUseful;
+      ++bucket(L2Info.StreamTag).Useful;
+    }
+    const Cache::EvictInfo Evicted = L1.fill(Address, /*IsPrefetch=*/false);
+    if (Evicted.EvictedUntouchedPrefetch) {
+      ++Stats.PrefetchesUnusedEvicted;
+      ++bucket(Evicted.EvictedStreamTag).UnusedEvicted;
+    }
     charge(Latency.L2HitCycles, Latency.L2HitCycles - Latency.L1HitCycles);
     return Latency.L2HitCycles;
   }
 
   // Memory: fill both levels.
   L2.fill(Address, /*IsPrefetch=*/false);
-  L1.fill(Address, /*IsPrefetch=*/false);
+  const Cache::EvictInfo Evicted = L1.fill(Address, /*IsPrefetch=*/false);
+  if (Evicted.EvictedUntouchedPrefetch) {
+    ++Stats.PrefetchesUnusedEvicted;
+    ++bucket(Evicted.EvictedStreamTag).UnusedEvicted;
+  }
   charge(Latency.MemoryCycles, Latency.MemoryCycles - Latency.L1HitCycles);
   return Latency.MemoryCycles;
 }
 
-void MemoryHierarchy::prefetchT0(Addr Address, bool ChargeIssueSlot) {
+void MemoryHierarchy::prefetchT0(Addr Address, bool ChargeIssueSlot,
+                                 uint32_t StreamTag) {
   drainDuePrefetches();
   if (ChargeIssueSlot)
-    charge(Latency.PrefetchIssueCycles, 0);
+    Account.charge(Latency.PrefetchIssueCycles,
+                   obs::CyclePhase::PrefetchIssue);
   ++Stats.PrefetchesIssued;
+  ++bucket(StreamTag).Issued;
 
   if (L1.contains(Address) || findInFlight(Address)) {
     ++Stats.PrefetchesRedundant;
+    ++bucket(StreamTag).Redundant;
     return;
   }
   if (InFlight.size() >= Latency.MaxInFlightPrefetches) {
     ++Stats.PrefetchesDroppedQueueFull;
+    ++bucket(StreamTag).DroppedQueueFull;
     return;
   }
 
   InFlightPrefetch Entry;
   Entry.BlockNumber = blockNumber(Address);
+  Entry.StreamTag = StreamTag;
   if (L2.contains(Address)) {
     // L2-resident: only the L1 fill is outstanding.  Touch L2 recency so
     // the line stays resident for the expected demand access.
     L2.access(Address);
-    Entry.ReadyCycle = Now + Latency.L2HitCycles;
+    Entry.ReadyCycle = Account.total() + Latency.L2HitCycles;
     Entry.FillL2 = false;
   } else {
-    Entry.ReadyCycle = Now + Latency.MemoryCycles;
+    Entry.ReadyCycle = Account.total() + Latency.MemoryCycles;
     Entry.FillL2 = true;
   }
   InFlight.push_back(Entry);
@@ -117,11 +151,13 @@ void MemoryHierarchy::reset() {
   InFlight.clear();
   L1.reset();
   L2.reset();
-  Now = 0;
+  Account.reset();
 }
 
 void MemoryHierarchy::clearStats() {
   Stats = HierarchyStats();
   L1.clearStats();
   L2.clearStats();
+  StreamClasses.clear();
+  Untagged = obs::PrefetchClassCounts();
 }

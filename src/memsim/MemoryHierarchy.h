@@ -16,12 +16,22 @@
 /// the Pentium III `prefetcht0` instruction the paper uses: it fetches into
 /// both levels of the cache hierarchy.
 ///
+/// All simulated cycles live in an obs::CycleAccount: the clock and the
+/// per-phase attribution (pure compute, demand stall, check, profiling,
+/// matching, prefetch issue, analysis) advance together, so Figure-11
+/// overhead breakdowns are read straight off the account.  Prefetches
+/// carry hot-data-stream tags and every effectiveness classification
+/// event (useful / late / redundant / dropped / unused-evicted) is
+/// attributed to its stream (obs/PrefetchStats.h).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HDS_MEMSIM_MEMORYHIERARCHY_H
 #define HDS_MEMSIM_MEMORYHIERARCHY_H
 
 #include "memsim/Cache.h"
+#include "obs/CycleAccount.h"
+#include "obs/PrefetchStats.h"
 
 #include <cstdint>
 #include <vector>
@@ -42,7 +52,9 @@ struct LatencyConfig {
   unsigned MaxInFlightPrefetches = 24;
 };
 
-/// Aggregate cycle accounting for one simulation run.
+/// Aggregate accounting snapshot for one simulation run, as returned by
+/// stats().  The stall totals are views of the cycle account (phases
+/// DemandStall + PartialHitStall); the event counters accumulate live.
 struct HierarchyStats {
   uint64_t DemandAccesses = 0;
   uint64_t StallCycles = 0;
@@ -53,19 +65,46 @@ struct HierarchyStats {
   /// the remainder of its latency (partially hidden misses).
   uint64_t PartialHits = 0;
   uint64_t PartialHitStallCycles = 0;
+  /// Demand hits on prefetched-untouched lines at either level (the
+  /// "useful" prefetch-effectiveness class).
+  uint64_t PrefetchesUseful = 0;
+  /// Prefetched lines evicted from L1 before any demand touch (the
+  /// "unused-evicted" class).
+  uint64_t PrefetchesUnusedEvicted = 0;
 };
 
-/// Stable serialization accessor: fixed, append-only field order shared
-/// by every serializer (see core/RunStats.h for the contract).
+/// Stable metric enumeration: fixed, append-only order shared by every
+/// serializer (see obs/Metrics.h for the contract).
 template <typename HierarchyStatsT, typename Fn>
-void visitHierarchyStatsCounters(HierarchyStatsT &&Stats, Fn &&Visit) {
-  Visit(Stats.DemandAccesses);
-  Visit(Stats.StallCycles);
-  Visit(Stats.PrefetchesIssued);
-  Visit(Stats.PrefetchesDroppedQueueFull);
-  Visit(Stats.PrefetchesRedundant);
-  Visit(Stats.PartialHits);
-  Visit(Stats.PartialHitStallCycles);
+void visitHierarchyStatsMetrics(HierarchyStatsT &&Stats, Fn &&Visit) {
+  using obs::MetricDef;
+  Visit(MetricDef{"demand_accesses", "accesses",
+                  "demand loads/stores the hierarchy served"},
+        Stats.DemandAccesses);
+  Visit(MetricDef{"stall_cycles", "cycles",
+                  "demand-miss stall cycles (full and partial)"},
+        Stats.StallCycles);
+  Visit(MetricDef{"prefetches_issued", "prefetches",
+                  "prefetch requests issued"},
+        Stats.PrefetchesIssued);
+  Visit(MetricDef{"prefetches_dropped_queue_full", "prefetches",
+                  "issues dropped because the in-flight queue was full"},
+        Stats.PrefetchesDroppedQueueFull);
+  Visit(MetricDef{"prefetches_redundant", "prefetches",
+                  "target already cached or in flight at issue"},
+        Stats.PrefetchesRedundant);
+  Visit(MetricDef{"partial_hits", "accesses",
+                  "demand accesses that waited on an in-flight prefetch"},
+        Stats.PartialHits);
+  Visit(MetricDef{"partial_hit_stall_cycles", "cycles",
+                  "stall spent waiting out in-flight prefetch tails"},
+        Stats.PartialHitStallCycles);
+  Visit(MetricDef{"prefetches_useful", "prefetches",
+                  "demand hits on untouched prefetched lines"},
+        Stats.PrefetchesUseful);
+  Visit(MetricDef{"prefetches_unused_evicted", "prefetches",
+                  "prefetched lines evicted from L1 before any use"},
+        Stats.PrefetchesUnusedEvicted);
 }
 
 /// Two-level hierarchy with a global cycle clock.
@@ -82,9 +121,12 @@ public:
                   const CacheConfig &L2Config = CacheConfig::pentiumIIIL2(),
                   const LatencyConfig &Latency = LatencyConfig());
 
-  /// Advances the clock by \p Cycles of computation.
-  void tick(uint64_t Cycles) {
-    charge(Cycles, 0);
+  /// Advances the clock by \p Cycles, attributed to \p Phase (pure
+  /// compute by default; the runtime passes DynamicCheck, Profiling,
+  /// PrefixMatch, or Analysis for its overhead charges).
+  void tick(uint64_t Cycles,
+            obs::CyclePhase Phase = obs::CyclePhase::PureCompute) {
+    Account.charge(Cycles, Phase);
     drainDuePrefetches();
   }
 
@@ -97,17 +139,46 @@ public:
   /// non-blocking: the fill completes after the block's latency.
   /// Software prefetches charge one issue slot now; hardware-initiated
   /// prefetches (stride/Markov engines) pass \p ChargeIssueSlot = false.
-  void prefetchT0(Addr Address, bool ChargeIssueSlot = true);
+  /// \p StreamTag attributes the prefetch (and every later classification
+  /// event on its block) to the hot data stream that requested it.
+  void prefetchT0(Addr Address, bool ChargeIssueSlot = true,
+                  uint32_t StreamTag = obs::NoStreamTag);
 
   /// Completes every in-flight prefetch and clears both caches and the
-  /// clock (fresh machine for the next benchmark configuration).
+  /// cycle account (fresh machine for the next benchmark configuration).
   void reset();
 
-  uint64_t now() const { return Now; }
+  uint64_t now() const { return Account.total(); }
   const Cache &l1() const { return L1; }
   const Cache &l2() const { return L2; }
-  const HierarchyStats &stats() const { return Stats; }
+
+  /// The attributed cycle account behind the clock.
+  const obs::CycleAccount &account() const { return Account; }
+
+  /// Accounting snapshot: live event counters plus the stall totals read
+  /// from the cycle account.
+  HierarchyStats stats() const {
+    HierarchyStats Snapshot = Stats;
+    Snapshot.StallCycles = Account.stallCycles();
+    Snapshot.PartialHitStallCycles =
+        Account.phase(obs::CyclePhase::PartialHitStall);
+    return Snapshot;
+  }
+
+  /// Clears the event counters and per-stream classification buckets.
+  /// Stall attribution lives in the cycle account and clears with
+  /// reset().
   void clearStats();
+
+  /// Per-stream classification buckets, indexed by stream tag.  Streams
+  /// that never produced an event may be absent (vector shorter than the
+  /// tag).
+  const std::vector<obs::PrefetchClassCounts> &streamClasses() const {
+    return StreamClasses;
+  }
+  /// Classification bucket for untagged prefetches (stride/Markov
+  /// hardware engines, tests).
+  const obs::PrefetchClassCounts &untaggedClasses() const { return Untagged; }
 
   /// Number of prefetches currently in flight (for tests).
   unsigned inFlightCount() const {
@@ -119,23 +190,31 @@ private:
     uint64_t BlockNumber;
     uint64_t ReadyCycle;
     bool FillL2; // memory-sourced prefetches fill both levels
+    uint32_t StreamTag;
   };
 
   uint64_t blockNumber(Addr Address) const {
     return Address / L1.config().BlockBytes;
   }
 
-  /// The designated cycle-accounting primitive (hds_lint rule C1): every
-  /// cycle charged anywhere in the simulator flows through here, so the
-  /// clock and the stall attribution can never drift apart.  \p
-  /// StallPortion of \p LatencyCycles counts as demand stall; partial-hit
-  /// stalls are additionally attributed to the prefetch-timeliness stat.
+  /// Charges one demand access: the stalled portion is attributed to
+  /// DemandStall (or PartialHitStall), the remainder to PureCompute.
   void charge(uint64_t LatencyCycles, uint64_t StallPortion,
               bool PartialHit = false) {
-    Now += LatencyCycles;              // hds-lint: cycles-ok(designated accounting primitive)
-    Stats.StallCycles += StallPortion; // hds-lint: cycles-ok(designated accounting primitive)
-    if (PartialHit)
-      Stats.PartialHitStallCycles += StallPortion; // hds-lint: cycles-ok(designated accounting primitive)
+    Account.charge(LatencyCycles - StallPortion,
+                   obs::CyclePhase::PureCompute);
+    Account.charge(StallPortion, PartialHit
+                                     ? obs::CyclePhase::PartialHitStall
+                                     : obs::CyclePhase::DemandStall);
+  }
+
+  /// Classification bucket for \p StreamTag (grown on demand).
+  obs::PrefetchClassCounts &bucket(uint32_t StreamTag) {
+    if (StreamTag == obs::NoStreamTag)
+      return Untagged;
+    if (StreamTag >= StreamClasses.size())
+      StreamClasses.resize(StreamTag + 1);
+    return StreamClasses[StreamTag];
   }
 
   /// Moves completed prefetches into the caches.
@@ -147,9 +226,11 @@ private:
   Cache L1;
   Cache L2;
   LatencyConfig Latency;
-  uint64_t Now = 0;
+  obs::CycleAccount Account;
   std::vector<InFlightPrefetch> InFlight;
   HierarchyStats Stats;
+  std::vector<obs::PrefetchClassCounts> StreamClasses;
+  obs::PrefetchClassCounts Untagged;
 };
 
 } // namespace memsim

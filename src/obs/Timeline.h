@@ -1,0 +1,74 @@
+//===- obs/Timeline.h - Phase timeline for trace events --------*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sequence of named, back-to-back phase spans over the simulated cycle
+/// clock: awake (profiling) → analysis → hibernation → awake → ...  The
+/// runtime records the optimizer's phase transitions here; `hds_run
+/// --trace-events` renders the spans as a Chrome trace-event JSON
+/// timeline (chrome://tracing, Perfetto).
+///
+/// The API is deliberately begin-only: begin() closes any open span at
+/// the same cycle, so the timeline is always a gap-free partition of
+/// [0, last begin).  The writer closes the final open span at the run's
+/// last cycle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_OBS_TIMELINE_H
+#define HDS_OBS_TIMELINE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hds {
+namespace obs {
+
+/// One phase span, in simulated cycles.  Open spans (the current phase)
+/// have Open = true and an EndCycle equal to their BeginCycle until
+/// closed.
+struct PhaseSpan {
+  std::string Name;
+  uint64_t BeginCycle = 0;
+  uint64_t EndCycle = 0;
+  bool Open = false;
+};
+
+class Timeline {
+public:
+  /// Starts a new span named \p Name at \p Cycle, closing any open span
+  /// at the same cycle.  Zero-length spans are dropped on close.
+  void begin(const std::string &Name, uint64_t Cycle) {
+    closeOpen(Cycle);
+    Spans.push_back({Name, Cycle, Cycle, /*Open=*/true});
+  }
+
+  /// Closes the open span (if any) at \p Cycle.  A span closed at its own
+  /// begin cycle is removed — it never happened.
+  void closeOpen(uint64_t Cycle) {
+    if (Spans.empty() || !Spans.back().Open)
+      return;
+    if (Spans.back().BeginCycle >= Cycle) {
+      Spans.pop_back();
+      return;
+    }
+    Spans.back().EndCycle = Cycle;
+    Spans.back().Open = false;
+  }
+
+  const std::vector<PhaseSpan> &spans() const { return Spans; }
+  bool empty() const { return Spans.empty(); }
+  void clear() { Spans.clear(); }
+
+private:
+  std::vector<PhaseSpan> Spans;
+};
+
+} // namespace obs
+} // namespace hds
+
+#endif // HDS_OBS_TIMELINE_H

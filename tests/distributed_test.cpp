@@ -67,17 +67,23 @@ RunResult fancyResult() {
   Result.Iterations = 9001;
   Result.Cycles = 123456789;
   uint64_t Fill = 10;
-  auto Assign = [&Fill](auto &Field) {
+  auto Assign = [&Fill](const obs::MetricDef &, auto &Field) {
     Field = static_cast<std::remove_reference_t<decltype(Field)>>(Fill++);
   };
-  core::visitRunStatsCounters(Result.Stats, Assign);
-  memsim::visitHierarchyStatsCounters(Result.Memory, Assign);
-  memsim::visitCacheStatsCounters(Result.L1, Assign);
-  memsim::visitCacheStatsCounters(Result.L2, Assign);
+  core::visitRunStatsMetrics(Result.Stats, Assign);
+  memsim::visitHierarchyStatsMetrics(Result.Memory, Assign);
+  memsim::visitCacheStatsMetrics(Result.L1, Assign);
+  memsim::visitCacheStatsMetrics(Result.L2, Assign);
   for (int Phase = 0; Phase < 3; ++Phase) {
     core::CycleStats Stats;
-    core::visitCycleStatsCounters(Stats, Assign);
+    core::visitCycleStatsMetrics(Stats, Assign);
     Result.Stats.Cycles.push_back(Stats);
+  }
+  obs::visitCycleBreakdownMetrics(Result.Breakdown, Assign);
+  for (int Stream = 0; Stream < 2; ++Stream) {
+    obs::StreamPrefetchStats Stats;
+    obs::visitStreamPrefetchStatsMetrics(Stats, Assign);
+    Result.Streams.push_back(Stats);
   }
   return Result;
 }

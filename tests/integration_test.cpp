@@ -187,23 +187,34 @@ TEST(CrossValidationTest, EngineMatchesIndependentReplay) {
   auto W = workloads::createWorkload("vpr");
   W->setup(Rt);
 
-  // Record every access once the engine is installed.
+  // Record every access once the engine is installed, via the single
+  // observer mechanism.
   struct Observed {
     vulcan::SiteId Site;
     memsim::Addr Addr;
   };
-  std::vector<Observed> Replay;
-  uint64_t MatchesAtInstall = 0;
-  bool Armed = false;
-  Rt.setAccessObserver([&](vulcan::SiteId Site, memsim::Addr Addr) {
-    if (!Armed && Rt.engine().installed()) {
-      Armed = true;
-      MatchesAtInstall = Rt.stats().CompleteMatches;
+  struct InstallArmedRecorder : RuntimeObserver {
+    Runtime &Rt;
+    std::vector<Observed> Replay;
+    uint64_t MatchesAtInstall = 0;
+    bool Armed = false;
+
+    explicit InstallArmedRecorder(Runtime &R) : Rt(R) {}
+    void onAccess(vulcan::SiteId Site, memsim::Addr Addr,
+                  bool /*IsStore*/) override {
+      if (!Armed && Rt.engine().installed()) {
+        Armed = true;
+        MatchesAtInstall = Rt.stats().CompleteMatches;
+      }
+      if (Armed)
+        Replay.push_back({Site, Addr});
     }
-    if (Armed)
-      Replay.push_back({Site, Addr});
-  });
+  } Recorder(Rt);
+  Rt.setObserver(&Recorder);
   W->run(Rt, 6000);
+  Rt.setObserver(nullptr);
+  std::vector<Observed> &Replay = Recorder.Replay;
+  const uint64_t MatchesAtInstall = Recorder.MatchesAtInstall;
   ASSERT_TRUE(Rt.engine().installed());
 
   // Independent replay: interpret the installed per-pc tables directly.

@@ -1,0 +1,19 @@
+// Fixture: the defining file of `class CycleAccount` — the designated
+// accounting primitive.  C1 discovers the class's fields from this
+// definition; mutating them *here* is structurally exempt, so the file
+// lints clean with no suppression comments at all.
+#include <cstdint>
+
+class CycleAccount {
+public:
+  void charge(uint64_t Cycles, uint64_t Phase) {
+    Total += Cycles;
+    Phases[Phase] += Cycles;
+  }
+
+  uint64_t total() const { return Total; }
+
+private:
+  uint64_t Total = 0;
+  uint64_t Phases[8] = {};
+};

@@ -1,0 +1,15 @@
+// Fixture: type-based C1 — mutating the fields the CycleAccount
+// definition declares (Total, Phases) outside the defining file must
+// fire, even though neither name matches the legacy Now/*Cycles net.
+// Linted together with c1_account.cpp posing as the defining file.
+#include <cstdint>
+
+struct Hierarchy {
+  uint64_t Total = 0;
+  uint64_t Phases[8] = {};
+
+  void tick(uint64_t Cycles) {
+    Total += Cycles;     // C1: bypasses CycleAccount::charge
+    Phases[0] += Cycles; // C1: bypasses CycleAccount::charge
+  }
+};

@@ -241,9 +241,48 @@ TEST(LintC1Test, DoesNotFireOutsideSimulatorTrees) {
   EXPECT_EQ(idCounts(Fs)["C1"], 0) << dump(Fs);
 }
 
-TEST(LintC1Test, CyclesOkMarksTheDesignatedPrimitive) {
+TEST(LintC1Test, CyclesOkSuppressionStillSilencesLegacyNames) {
   auto Fs = lintFixture("c1_suppressed.cpp", "src/memsim/c1_suppressed.cpp");
   EXPECT_TRUE(Fs.empty()) << dump(Fs);
+}
+
+TEST(LintC1Test, TypeNetFlagsAccountFieldMutationsOutsideDefiningFile) {
+  // The real tree's protection: C1 reads the CycleAccount definition,
+  // learns its field names (Total, Phases), and flags mutations of them
+  // anywhere else in the simulator trees — no name pattern involved.
+  std::vector<LexedFile> Files;
+  Files.push_back(lexSource("src/obs/CycleAccount.cpp",
+                            readFixture("c1_account.cpp")));
+  Files.push_back(lexSource("src/memsim/bad.cpp",
+                            readFixture("c1_type_positive.cpp")));
+  auto Fs = runLint(Files);
+  auto Counts = idCounts(Fs);
+  EXPECT_EQ(Counts["C1"], 2) << dump(Fs); // Total +=, Phases[0] +=
+  for (const Finding &F : Fs)
+    EXPECT_EQ(F.Path, "src/memsim/bad.cpp") << dump(Fs);
+}
+
+TEST(LintC1Test, TypeNetCoversObsTree) {
+  std::vector<LexedFile> Files;
+  Files.push_back(lexSource("src/obs/CycleAccount.cpp",
+                            readFixture("c1_account.cpp")));
+  Files.push_back(lexSource("src/obs/other.cpp",
+                            readFixture("c1_type_positive.cpp")));
+  auto Fs = runLint(Files);
+  EXPECT_EQ(idCounts(Fs)["C1"], 2) << dump(Fs);
+}
+
+TEST(LintC1Test, DefiningFileIsStructurallyExempt) {
+  // The primitive itself needs no suppression comments.
+  auto Fs = lintFixture("c1_account.cpp", "src/obs/CycleAccount.cpp");
+  EXPECT_TRUE(Fs.empty()) << dump(Fs);
+}
+
+TEST(LintC1Test, TypeNetIsInertWithoutTheDefinition) {
+  // Total/Phases match no legacy pattern, so without the class
+  // definition in the linted set nothing fires.
+  auto Fs = lintFixture("c1_type_positive.cpp", "src/memsim/bad.cpp");
+  EXPECT_EQ(idCounts(Fs)["C1"], 0) << dump(Fs);
 }
 
 //===----------------------------------------------------------------------===//

@@ -6,12 +6,14 @@
 
 #include "memsim/Cache.h"
 #include "memsim/MemoryHierarchy.h"
+#include "obs/CycleAccount.h"
 
 #include "support/Rng.h"
 
 #include <gtest/gtest.h>
 
 using namespace hds::memsim;
+namespace obs = hds::obs;
 
 namespace {
 
@@ -231,6 +233,101 @@ TEST(HierarchyTest, ResetClearsEverything) {
   EXPECT_EQ(M.inFlightCount(), 0u);
   EXPECT_FALSE(M.l1().contains(0x0));
   EXPECT_FALSE(M.l2().contains(0x0));
+}
+
+//===----------------------------------------------------------------------===//
+// Prefetch-effectiveness classification, per stream tag
+//===----------------------------------------------------------------------===//
+
+TEST(PrefetchClassTest, UsefulPrefetchIsAttributedToItsStream) {
+  MemoryHierarchy M(CacheConfig::pentiumIIIL1(), CacheConfig::pentiumIIIL2(),
+                    testLatency());
+  M.prefetchT0(0x9000, /*ChargeIssueSlot=*/true, /*StreamTag=*/0);
+  M.tick(200); // fill completes
+  EXPECT_EQ(M.access(0x9000), 1u);
+  ASSERT_GE(M.streamClasses().size(), 1u);
+  EXPECT_EQ(M.streamClasses()[0].Issued, 1u);
+  EXPECT_EQ(M.streamClasses()[0].Useful, 1u);
+  EXPECT_EQ(M.streamClasses()[0].Late, 0u);
+  EXPECT_EQ(M.stats().PrefetchesUseful, 1u);
+}
+
+TEST(PrefetchClassTest, LatePrefetchIsAttributedToItsStream) {
+  MemoryHierarchy M(CacheConfig::pentiumIIIL1(), CacheConfig::pentiumIIIL2(),
+                    testLatency());
+  M.prefetchT0(0x9000, /*ChargeIssueSlot=*/true, /*StreamTag=*/1);
+  M.tick(40); // fill still in flight (ready at 101)
+  M.access(0x9000);
+  ASSERT_GE(M.streamClasses().size(), 2u);
+  EXPECT_EQ(M.streamClasses()[1].Issued, 1u);
+  EXPECT_EQ(M.streamClasses()[1].Late, 1u);
+  EXPECT_EQ(M.streamClasses()[1].Useful, 0u);
+  EXPECT_EQ(M.stats().PartialHits, 1u);
+}
+
+TEST(PrefetchClassTest, RedundantIssueIsAttributedToItsStream) {
+  MemoryHierarchy M;
+  M.access(0x100); // resident
+  M.prefetchT0(0x100, /*ChargeIssueSlot=*/true, /*StreamTag=*/0);
+  ASSERT_GE(M.streamClasses().size(), 1u);
+  // Issued counts requests (like HierarchyStats::PrefetchesIssued);
+  // redundant marks the rejection.
+  EXPECT_EQ(M.streamClasses()[0].Issued, 1u);
+  EXPECT_EQ(M.streamClasses()[0].Redundant, 1u);
+}
+
+TEST(PrefetchClassTest, QueueFullDropIsAttributedToItsStream) {
+  MemoryHierarchy M(CacheConfig::pentiumIIIL1(), CacheConfig::pentiumIIIL2(),
+                    testLatency()); // capacity 4
+  for (Addr A = 0; A < 5; ++A)
+    M.prefetchT0(0x10000 + A * 64, /*ChargeIssueSlot=*/true,
+                 /*StreamTag=*/0);
+  ASSERT_GE(M.streamClasses().size(), 1u);
+  EXPECT_EQ(M.streamClasses()[0].Issued, 5u);
+  EXPECT_EQ(M.streamClasses()[0].DroppedQueueFull, 1u);
+}
+
+TEST(PrefetchClassTest, UnusedEvictedPrefetchIsAttributedToItsStream) {
+  // Tiny 2-way L1 (4 sets, stride 128): prefetch a block, never touch
+  // it, then push two conflicting demand blocks through its set.
+  MemoryHierarchy M(CacheConfig{256, 2, 32}, CacheConfig::pentiumIIIL2(),
+                    testLatency());
+  M.prefetchT0(0x0, /*ChargeIssueSlot=*/true, /*StreamTag=*/3);
+  M.tick(200); // fill completes into L1
+  ASSERT_TRUE(M.l1().contains(0x0));
+  M.access(0x80);
+  M.access(0x100); // evicts the untouched prefetched line
+  ASSERT_FALSE(M.l1().contains(0x0));
+  ASSERT_GE(M.streamClasses().size(), 4u);
+  EXPECT_EQ(M.streamClasses()[3].UnusedEvicted, 1u);
+  EXPECT_EQ(M.stats().PrefetchesUnusedEvicted, 1u);
+}
+
+TEST(PrefetchClassTest, UntaggedPrefetchesLandInTheUntaggedBucket) {
+  MemoryHierarchy M(CacheConfig::pentiumIIIL1(), CacheConfig::pentiumIIIL2(),
+                    testLatency());
+  M.prefetchT0(0x9000); // no tag: hardware engines, tests
+  M.tick(200);
+  M.access(0x9000);
+  EXPECT_EQ(M.untaggedClasses().Issued, 1u);
+  EXPECT_EQ(M.untaggedClasses().Useful, 1u);
+  EXPECT_TRUE(M.streamClasses().empty());
+}
+
+TEST(PrefetchClassTest, CycleAccountPartitionsTheHierarchyClock) {
+  MemoryHierarchy M(CacheConfig::pentiumIIIL1(), CacheConfig::pentiumIIIL2(),
+                    testLatency());
+  M.access(0x0);                 // miss: 1 compute + 99 demand stall
+  M.tick(30);                    // pure compute
+  M.tick(5, obs::CyclePhase::DynamicCheck);
+  M.prefetchT0(0x9000);          // 1 prefetch-issue cycle
+  M.prefetchT0(0x9000 + 64, /*ChargeIssueSlot=*/false); // hardware: free
+  const obs::CycleBreakdown B = M.account().snapshot();
+  EXPECT_EQ(B.total(), M.now());
+  EXPECT_EQ(B.DemandStall, 99u);
+  EXPECT_EQ(B.DynamicCheck, 5u);
+  EXPECT_EQ(B.PrefetchIssue, 1u);
+  EXPECT_EQ(B.PureCompute, 31u);
 }
 
 //===----------------------------------------------------------------------===//

@@ -782,32 +782,89 @@ void checkH1(const LexedFile &File, std::vector<Finding> &Out) {
 // C1: cycle accounting must route through the accounting API
 //===----------------------------------------------------------------------===//
 
-void checkC1(const LexedFile &File, std::vector<Finding> &Out) {
+/// What the type-based half of C1 discovered about the accounting class:
+/// the file defining `class CycleAccount` and its member field names.
+/// When no defining file is in the linted set, the type net is inert and
+/// only the legacy name net applies.
+struct CycleAccountInfo {
+  std::string DefiningFile;
+  std::set<std::string> Fields;
+};
+
+/// Finds `class CycleAccount { ... }` in the linted set and collects its
+/// member fields: identifiers at class-body depth declared as
+/// `<type> Name =`, `<type> Name[`, or `<type> Name;`.  Locals inside
+/// member function bodies sit at deeper brace depth and never match.
+CycleAccountInfo findCycleAccount(const std::vector<LexedFile> &Files) {
+  CycleAccountInfo Info;
+  for (const LexedFile &File : Files) {
+    const Toks &T = File.Toks;
+    for (size_t I = 0; I + 2 < T.size(); ++I) {
+      if (!isIdent(T, I, "class") || !isIdent(T, I + 1, "CycleAccount") ||
+          !isPunct(T, I + 2, "{"))
+        continue;
+      Info.DefiningFile = File.Path;
+      int Depth = 1;
+      for (size_t J = I + 3; J < T.size() && Depth > 0; ++J) {
+        if (T[J].K == Token::Punct && T[J].Text == "{")
+          ++Depth;
+        else if (T[J].K == Token::Punct && T[J].Text == "}")
+          --Depth;
+        else if (Depth == 1 && T[J].K == Token::Ident &&
+                 J > 0 && T[J - 1].K == Token::Ident &&
+                 (isPunct(T, J + 1, "=") || isPunct(T, J + 1, "[") ||
+                  isPunct(T, J + 1, ";")))
+          Info.Fields.insert(T[J].Text);
+      }
+      return Info;
+    }
+  }
+  return Info;
+}
+
+void checkC1(const LexedFile &File, const CycleAccountInfo &Account,
+             std::vector<Finding> &Out) {
   if (!inTree(File.Path, "src/memsim") && !inTree(File.Path, "src/core") &&
-      !inTree(File.Path, "src/vulcan"))
+      !inTree(File.Path, "src/vulcan") && !inTree(File.Path, "src/obs"))
     return;
+  // The defining file is the designated accounting primitive: mutating
+  // its own fields there is the whole point (CycleAccount::charge).
+  const bool IsDefiningFile = File.Path == Account.DefiningFile;
   const Toks &T = File.Toks;
   for (size_t I = 0; I < T.size(); ++I) {
     if (T[I].K != Token::Ident)
       continue;
     const std::string &Name = T[I].Text;
-    bool IsCounter = Name == "Now" || (Name.size() > 6 &&
-                                       endsWith(Name, "Cycles"));
-    if (!IsCounter)
+    const bool LegacyCounter =
+        Name == "Now" || (Name.size() > 6 && endsWith(Name, "Cycles"));
+    const bool AccountField = !IsDefiningFile && Account.Fields.count(Name);
+    if (!LegacyCounter && !AccountField)
       continue;
+    // Element mutations count too: skip a balanced subscript so
+    // `Phases[P] += N` is seen as a mutation of Phases.
+    size_t After = I + 1;
+    if (isPunct(T, After, "[")) {
+      int Depth = 1;
+      for (++After; After < T.size() && Depth > 0; ++After) {
+        if (T[After].K == Token::Punct && T[After].Text == "[")
+          ++Depth;
+        else if (T[After].K == Token::Punct && T[After].Text == "]")
+          --Depth;
+      }
+    }
     bool Mutates =
-        isPunct(T, I + 1, "+=") || isPunct(T, I + 1, "-=") ||
-        isPunct(T, I + 1, "++") || isPunct(T, I + 1, "--") ||
+        isPunct(T, After, "+=") || isPunct(T, After, "-=") ||
+        isPunct(T, After, "++") || isPunct(T, After, "--") ||
         (I > 0 && (isPunct(T, I - 1, "++") || isPunct(T, I - 1, "--")));
     if (Mutates)
       Out.push_back(
           {"C1", File.Path, T[I].Line,
            "ad-hoc arithmetic on cycle counter '" + Name +
                "' bypasses the cycle-accounting API",
-           "route the charge through MemoryHierarchy::tick()/charge() so "
-           "stall attribution and replay fidelity stay consistent; the "
-           "designated accounting primitive carries `// hds-lint: "
-           "cycles-ok(...)`"});
+           "route the charge through obs::CycleAccount::charge() (via "
+           "MemoryHierarchy::tick() with a CyclePhase) so the clock, the "
+           "phase attribution, and replay fidelity stay consistent; only "
+           "the CycleAccount definition itself may touch its fields"});
   }
 }
 
@@ -905,7 +962,8 @@ const std::vector<RuleInfo> &ruleCatalog() {
       {"H1", "header-ok",
        "canonical include guards and self-contained headers"},
       {"C1", "cycles-ok",
-       "cycle charging must route through the cycle-accounting API"},
+       "cycle charging must route through obs::CycleAccount::charge (the "
+       "rule discovers the class's fields from its definition)"},
       {"D5", "float-cycles-ok",
        "cycle and heat accounting must use integer arithmetic, not "
        "float/double"},
@@ -917,6 +975,7 @@ const std::vector<RuleInfo> &ruleCatalog() {
 std::vector<Finding> runLint(const std::vector<LexedFile> &Files,
                              const LintOptions &Opts) {
   ProjectIndex Index = buildIndex(Files);
+  const CycleAccountInfo Account = findCycleAccount(Files);
 
   auto RuleEnabled = [&](const char *Id) {
     if (Opts.OnlyRules.empty())
@@ -942,7 +1001,7 @@ std::vector<Finding> runLint(const std::vector<LexedFile> &Files,
     if (RuleEnabled("H1"))
       checkH1(File, Raw);
     if (RuleEnabled("C1"))
-      checkC1(File, Raw);
+      checkC1(File, Account, Raw);
     if (RuleEnabled("D5"))
       checkD5(File, Raw);
 

@@ -19,6 +19,11 @@
 //     --pin                 static-scheme model (pin first optimization)
 //     --verbose             per-cycle stream reports to stderr
 //     --compare             also run the original program and report %
+//     --report              overhead breakdown (Fig 11) and per-stream
+//                           prefetch effectiveness (Fig 10) tables
+//     --trace-events <file> write the awake/analysis/hibernation phase
+//                           timeline as Chrome trace-event JSON
+//                           (chrome://tracing, Perfetto)
 //     --dump-trace <file>   write every reference as "pc:addr" tokens
 //                           (feed the file to hds_analyze)
 //     --record <file>       capture the run as a binary replay trace
@@ -29,6 +34,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Runtime.h"
+#include "obs/CycleAccount.h"
+#include "obs/PrefetchStats.h"
+#include "obs/Timeline.h"
 #include "replay/TraceFormat.h"
 #include "replay/TraceRecorder.h"
 #include "replay/TraceReplayer.h"
@@ -58,6 +66,8 @@ struct Options {
   bool Pin = false;
   bool Verbose = false;
   bool Compare = false;
+  bool Report = false;
+  std::string TraceEvents;
   std::string DumpTrace;
   std::string RecordTo;
   std::string ReplayFrom;
@@ -68,7 +78,8 @@ struct Options {
       stderr,
       "usage: %s [--workload NAME] [--mode MODE] [--iterations N]\n"
       "          [--scale F] [--headlen N] [--stride] [--markov]\n"
-      "          [--pin] [--verbose] [--compare]\n"
+      "          [--pin] [--verbose] [--compare] [--report]\n"
+      "          [--trace-events FILE]\n"
       "          [--dump-trace FILE] [--record FILE] [--replay FILE]\n"
       "modes: original base prof hds nopref seqpref dynpref\n"
       "workloads: vpr mcf twolf parser vortex boxsim twophase\n",
@@ -125,6 +136,10 @@ Options parseOptions(int Argc, char **Argv) {
       Opts.Pin = true;
     else if (Arg == "--verbose")
       Opts.Verbose = true;
+    else if (Arg == "--report")
+      Opts.Report = true;
+    else if (Arg == "--trace-events")
+      Opts.TraceEvents = Next();
     else if (Arg == "--dump-trace")
       Opts.DumpTrace = Next();
     else if (Arg == "--record")
@@ -137,6 +152,223 @@ Options parseOptions(int Argc, char **Argv) {
       usage(Argv[0]);
   }
   return Opts;
+}
+
+/// RuntimeObserver that prints the reference stream as "pc:addr" tokens —
+/// the hds_analyze input format.  Replaces the removed per-access
+/// callback: trace dumping now rides the single observer mechanism.
+class TraceDumpObserver : public RuntimeObserver {
+public:
+  explicit TraceDumpObserver(std::FILE *File) : Out(File) {}
+
+  void onAccess(vulcan::SiteId Site, memsim::Addr Addr,
+                bool /*IsStore*/) override {
+    std::fprintf(Out, "%llu:%llx\n", (unsigned long long)Site,
+                 (unsigned long long)Addr);
+  }
+
+private:
+  std::FILE *Out;
+};
+
+/// Fans the event stream out to two observers (--dump-trace + --record
+/// in the same run: the Runtime has exactly one observer slot).
+class TeeObserver : public RuntimeObserver {
+public:
+  TeeObserver(RuntimeObserver &First, RuntimeObserver &Second)
+      : A(First), B(Second) {}
+
+  void onDeclareProcedure(vulcan::ProcId Proc,
+                          const std::string &Name) override {
+    A.onDeclareProcedure(Proc, Name);
+    B.onDeclareProcedure(Proc, Name);
+  }
+  void onDeclareSite(vulcan::SiteId Site, vulcan::ProcId Proc,
+                     const std::string &Label) override {
+    A.onDeclareSite(Site, Proc, Label);
+    B.onDeclareSite(Site, Proc, Label);
+  }
+  void onAllocate(memsim::Addr Result, uint64_t Bytes,
+                  uint64_t Align) override {
+    A.onAllocate(Result, Bytes, Align);
+    B.onAllocate(Result, Bytes, Align);
+  }
+  void onPadHeap(uint64_t Bytes) override {
+    A.onPadHeap(Bytes);
+    B.onPadHeap(Bytes);
+  }
+  void onEnterProcedure(vulcan::ProcId Proc) override {
+    A.onEnterProcedure(Proc);
+    B.onEnterProcedure(Proc);
+  }
+  void onLeaveProcedure() override {
+    A.onLeaveProcedure();
+    B.onLeaveProcedure();
+  }
+  void onLoopBackEdge() override {
+    A.onLoopBackEdge();
+    B.onLoopBackEdge();
+  }
+  void onAccess(vulcan::SiteId Site, memsim::Addr Addr,
+                bool IsStore) override {
+    A.onAccess(Site, Addr, IsStore);
+    B.onAccess(Site, Addr, IsStore);
+  }
+  void onCompute(uint64_t Cycles) override {
+    A.onCompute(Cycles);
+    B.onCompute(Cycles);
+  }
+
+private:
+  RuntimeObserver &A;
+  RuntimeObserver &B;
+};
+
+/// Writes the phase timeline as Chrome trace-event JSON ("X" complete
+/// events; ts/dur are simulated cycles presented in the microsecond
+/// field).  The final open span is closed at \p EndCycle.
+void writeTraceEvents(const std::string &Path, const obs::Timeline &Timeline,
+                      uint64_t EndCycle) {
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(Out, "{\"displayTimeUnit\": \"ns\",\n\"traceEvents\": [");
+  bool First = true;
+  for (const obs::PhaseSpan &Span : Timeline.spans()) {
+    const uint64_t End = Span.Open ? EndCycle : Span.EndCycle;
+    if (End <= Span.BeginCycle)
+      continue;
+    std::fprintf(Out,
+                 "%s\n  {\"name\": \"%s\", \"ph\": \"X\", \"pid\": 1, "
+                 "\"tid\": 1, \"ts\": %llu, \"dur\": %llu}",
+                 First ? "" : ",", Span.Name.c_str(),
+                 (unsigned long long)Span.BeginCycle,
+                 (unsigned long long)(End - Span.BeginCycle));
+    First = false;
+  }
+  std::fprintf(Out, "\n]}\n");
+  std::fclose(Out);
+  std::printf("trace-events: %zu spans -> %s\n", Timeline.spans().size(),
+              Path.c_str());
+}
+
+/// The Figure-11-style overhead breakdown: every attributed phase, then
+/// the paper's four reporting groups, which sum to the total by
+/// construction (CyclePhase is a partition).
+void printOverheadBreakdown(const obs::CycleBreakdown &B) {
+  const uint64_t Total = B.total();
+  const auto Pct = [Total](uint64_t Cycles) {
+    return Total == 0 ? 0.0
+                      : 100.0 * static_cast<double>(Cycles) /
+                            static_cast<double>(Total);
+  };
+
+  std::printf("\noverhead breakdown (all simulated cycles, by phase):\n");
+  Table Phases;
+  Phases.row().cell("phase").cell("cycles").cell("% of run");
+  const struct {
+    const char *Name;
+    uint64_t Cycles;
+  } Rows[] = {
+      {"pure_compute", B.PureCompute},
+      {"demand_stall", B.DemandStall},
+      {"partial_hit_stall", B.PartialHitStall},
+      {"dynamic_check", B.DynamicCheck},
+      {"profiling", B.Profiling},
+      {"prefix_match", B.PrefixMatch},
+      {"prefetch_issue", B.PrefetchIssue},
+      {"analysis", B.Analysis},
+  };
+  for (const auto &Row : Rows)
+    Phases.row().cell(Row.Name).cell(Row.Cycles).cell(Pct(Row.Cycles),
+                                                      "%.2f");
+  Phases.print();
+
+  const uint64_t Base = B.PureCompute + B.DemandStall + B.PartialHitStall;
+  const uint64_t Checking = B.DynamicCheck + B.PrefixMatch + B.PrefetchIssue;
+  std::printf("\ngroups: base %llu (%.2f%%), checking %llu (%.2f%%), "
+              "profiling %llu (%.2f%%), analysis %llu (%.2f%%), "
+              "total %llu\n",
+              (unsigned long long)Base, Pct(Base),
+              (unsigned long long)Checking, Pct(Checking),
+              (unsigned long long)B.Profiling, Pct(B.Profiling),
+              (unsigned long long)B.Analysis, Pct(B.Analysis),
+              (unsigned long long)Total);
+}
+
+/// The Figure-10-style per-stream effectiveness table.  Per-stream
+/// coverage is the stream's share of coverable misses (useful_s /
+/// (all useful + remaining demand misses)), so the rows sum to the
+/// run-level coverage.
+void printStreamEffectiveness(
+    const std::vector<obs::StreamPrefetchStats> &Streams,
+    uint64_t RemainingDemandMisses) {
+  if (Streams.empty())
+    return;
+
+  uint64_t TotalUseful = 0, TotalLate = 0, TotalIssued = 0;
+  for (const obs::StreamPrefetchStats &S : Streams) {
+    TotalUseful += S.Useful;
+    TotalLate += S.Late;
+    TotalIssued += S.Issued;
+  }
+  const double CoverageDenom =
+      static_cast<double>(TotalUseful + RemainingDemandMisses);
+
+  std::printf("\nprefetch effectiveness per stream:\n");
+  Table Out;
+  Out.row()
+      .cell("stream")
+      .cell("installed")
+      .cell("len")
+      .cell("issued")
+      .cell("useful")
+      .cell("late")
+      .cell("redundant")
+      .cell("dropped")
+      .cell("evicted")
+      .cell("accuracy")
+      .cell("coverage")
+      .cell("timeliness");
+  for (const obs::StreamPrefetchStats &S : Streams) {
+    const double Coverage =
+        CoverageDenom == 0.0 ? 0.0
+                             : static_cast<double>(S.Useful) / CoverageDenom;
+    Out.row()
+        .cell(S.StreamTag)
+        .cell(S.InstallCycle)
+        .cell(S.Length)
+        .cell(S.Issued)
+        .cell(S.Useful)
+        .cell(S.Late)
+        .cell(S.Redundant)
+        .cell(S.DroppedQueueFull)
+        .cell(S.UnusedEvicted)
+        .cell(100.0 * S.accuracy(), "%.1f")
+        .cell(100.0 * Coverage, "%.1f")
+        .cell(100.0 * S.timeliness(), "%.1f");
+  }
+  Out.print();
+
+  const double RunAccuracy =
+      TotalIssued == 0 ? 0.0
+                       : static_cast<double>(TotalUseful) /
+                             static_cast<double>(TotalIssued);
+  const double RunCoverage =
+      CoverageDenom == 0.0
+          ? 0.0
+          : static_cast<double>(TotalUseful) / CoverageDenom;
+  const double RunTimeliness =
+      TotalUseful + TotalLate == 0
+          ? 0.0
+          : static_cast<double>(TotalUseful) /
+                static_cast<double>(TotalUseful + TotalLate);
+  std::printf("run totals: accuracy %.1f%%, coverage %.1f%%, "
+              "timeliness %.1f%%\n",
+              100.0 * RunAccuracy, 100.0 * RunCoverage,
+              100.0 * RunTimeliness);
 }
 
 uint64_t runConfigured(const Options &Opts, RunMode Mode, bool Report) {
@@ -157,7 +389,16 @@ uint64_t runConfigured(const Options &Opts, RunMode Mode, bool Report) {
 
   Runtime Rt(Config);
 
+  const uint64_t Iterations =
+      Opts.Iterations != 0
+          ? Opts.Iterations
+          : static_cast<uint64_t>(
+                static_cast<double>(Bench->defaultIterations()) * Opts.Scale);
+
+  // All observation rides the one RuntimeObserver slot; when both a trace
+  // dump and a recording are requested the tee fans the stream out.
   std::FILE *TraceFile = nullptr;
+  std::unique_ptr<TraceDumpObserver> Dumper;
   if (Report && !Opts.DumpTrace.empty()) {
     TraceFile = std::fopen(Opts.DumpTrace.c_str(), "w");
     if (!TraceFile) {
@@ -165,22 +406,21 @@ uint64_t runConfigured(const Options &Opts, RunMode Mode, bool Report) {
                    Opts.DumpTrace.c_str());
       std::exit(1);
     }
-    Rt.setAccessObserver([TraceFile](vulcan::SiteId Site, memsim::Addr A) {
-      std::fprintf(TraceFile, "%llu:%llx\n", (unsigned long long)Site,
-                   (unsigned long long)A);
-    });
+    Dumper = std::make_unique<TraceDumpObserver>(TraceFile);
   }
 
-  const uint64_t Iterations =
-      Opts.Iterations != 0
-          ? Opts.Iterations
-          : static_cast<uint64_t>(
-                static_cast<double>(Bench->defaultIterations()) * Opts.Scale);
-
   std::unique_ptr<replay::TraceRecorder> Recorder;
-  if (Report && !Opts.RecordTo.empty()) {
+  if (Report && !Opts.RecordTo.empty())
     Recorder = std::make_unique<replay::TraceRecorder>(
         replay::metaFromConfig(Config, Opts.Workload, Iterations));
+
+  std::unique_ptr<TeeObserver> Tee;
+  if (Dumper && Recorder) {
+    Tee = std::make_unique<TeeObserver>(*Dumper, *Recorder);
+    Rt.setObserver(Tee.get());
+  } else if (Dumper) {
+    Rt.setObserver(Dumper.get());
+  } else if (Recorder) {
     Rt.setObserver(Recorder.get());
   }
 
@@ -188,11 +428,11 @@ uint64_t runConfigured(const Options &Opts, RunMode Mode, bool Report) {
   if (Recorder)
     Recorder->markSetupDone();
   Bench->run(Rt, Iterations);
+  Rt.setObserver(nullptr);
   if (TraceFile)
     std::fclose(TraceFile);
 
   if (Recorder) {
-    Rt.setObserver(nullptr);
     Recorder->finish(Rt);
     std::string Error;
     if (!replay::writeTraceFile(Recorder->trace(), Opts.RecordTo, &Error)) {
@@ -280,6 +520,16 @@ uint64_t runConfigured(const Options &Opts, RunMode Mode, bool Report) {
     }
     Out.print();
   }
+
+  if (Opts.Report) {
+    printOverheadBreakdown(Rt.cycleBreakdown());
+    // Remaining demand misses = L1 demand misses not hidden by a
+    // prefetch (useful hits never reached the miss path).
+    printStreamEffectiveness(Rt.streamPrefetchStats(), L1.Misses);
+  }
+  if (!Opts.TraceEvents.empty())
+    writeTraceEvents(Opts.TraceEvents, Rt.timeline(), Rt.cycles());
+
   return Rt.cycles();
 }
 
