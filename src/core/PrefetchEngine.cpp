@@ -26,10 +26,28 @@ void PrefetchEngine::install(dfsm::CheckCode NewCode,
     History.push_back(Row);
   }
   SiteToTable.assign(ImageSiteCount, -1);
+  SiteScans.clear();
+  SiteScans.reserve(Code.Sites.size());
   for (size_t I = 0; I < Code.Sites.size(); ++I) {
     assert(Code.Sites[I].Pc < ImageSiteCount && "pc outside the image");
     SiteToTable[static_cast<size_t>(Code.Sites[I].Pc)] =
         static_cast<int32_t>(I);
+
+    // Intern the site's scan keys (see SiteScan): dense address and
+    // FromState arrays in table order, clause ranges as prefix sums.
+    SiteScan Scan;
+    const dfsm::SiteCheckCode &Table = Code.Sites[I];
+    Scan.AddrKeys.reserve(Table.Groups.size());
+    Scan.ClauseOffset.reserve(Table.Groups.size() + 1);
+    Scan.ClauseOffset.push_back(0);
+    for (const dfsm::AddrGroupCode &Group : Table.Groups) {
+      Scan.AddrKeys.push_back(Group.Addr);
+      for (const dfsm::CheckClause &Clause : Group.Specific)
+        Scan.ClauseFrom.push_back(Clause.FromState);
+      Scan.ClauseOffset.push_back(
+          static_cast<uint32_t>(Scan.ClauseFrom.size()));
+    }
+    SiteScans.push_back(std::move(Scan));
   }
   State = 0;
   Installed = true;
@@ -37,6 +55,7 @@ void PrefetchEngine::install(dfsm::CheckCode NewCode,
 
 void PrefetchEngine::uninstall() {
   Code = dfsm::CheckCode();
+  SiteScans.clear();
   Streams.clear();
   SiteToTable.clear();
   State = 0;
@@ -84,8 +103,10 @@ void PrefetchEngine::onAccess(vulcan::SiteId Site, memsim::Addr Addr,
                               memsim::MemoryHierarchy &Hierarchy,
                               RunStats &Stats) {
   assert(siteInstrumented(Site) && "access at an uninstrumented site");
-  const dfsm::SiteCheckCode &Table =
-      Code.Sites[static_cast<size_t>(SiteToTable[static_cast<size_t>(Site)])];
+  const size_t TableIdx =
+      static_cast<size_t>(SiteToTable[static_cast<size_t>(Site)]);
+  const dfsm::SiteCheckCode &Table = Code.Sites[TableIdx];
+  const SiteScan &Scan = SiteScans[TableIdx];
 
   ++Stats.InstrumentedSiteHits;
 
@@ -93,35 +114,42 @@ void PrefetchEngine::onAccess(vulcan::SiteId Site, memsim::Addr Addr,
   // address branches until one matches, then that branch's specific
   // state compares; with no specific match the default arm restarts
   // matching at d(start, a).  A non-matching address costs one compare
-  // per address group and resets the state.
+  // per address group and resets the state.  Both scans run over the
+  // interned key arrays (SiteScan) in table order, so the compare
+  // sequence — and therefore Scanned — is exactly the clause structure's.
   uint64_t Scanned = 0;
-  const dfsm::AddrGroupCode *Group = nullptr;
-  for (const dfsm::AddrGroupCode &Candidate : Table.Groups) {
+  const size_t NumGroups = Scan.AddrKeys.size();
+  size_t GroupIdx = NumGroups;
+  for (size_t I = 0; I < NumGroups; ++I) {
     ++Scanned;
-    if (Candidate.Addr == Addr) {
-      Group = &Candidate;
+    if (Scan.AddrKeys[I] == Addr) {
+      GroupIdx = I;
       break;
     }
   }
 
   const std::vector<dfsm::StreamIndex> *Completions = nullptr;
-  if (!Group) {
+  if (GroupIdx == NumGroups) {
     State = 0;
   } else {
-    const dfsm::CheckClause *Match = nullptr;
-    for (const dfsm::CheckClause &Clause : Group->Specific) {
+    const dfsm::AddrGroupCode &Group = Table.Groups[GroupIdx];
+    const uint32_t Begin = Scan.ClauseOffset[GroupIdx];
+    const uint32_t End = Scan.ClauseOffset[GroupIdx + 1];
+    uint32_t Match = End;
+    for (uint32_t I = Begin; I < End; ++I) {
       ++Scanned;
-      if (Clause.FromState == State) {
-        Match = &Clause;
+      if (Scan.ClauseFrom[I] == State) {
+        Match = I;
         break;
       }
     }
-    if (Match) {
-      State = Match->ToState;
-      Completions = &Match->CompletedStreams;
+    if (Match != End) {
+      const dfsm::CheckClause &Clause = Group.Specific[Match - Begin];
+      State = Clause.ToState;
+      Completions = &Clause.CompletedStreams;
     } else {
-      State = Group->DefaultToState;
-      Completions = &Group->DefaultCompletions;
+      State = Group.DefaultToState;
+      Completions = &Group.DefaultCompletions;
     }
   }
 

@@ -103,8 +103,23 @@ private:
                       const OptimizerConfig &Config,
                       memsim::MemoryHierarchy &Hierarchy, RunStats &Stats);
 
+  /// Interned scan keys for one site's check table, built at install()
+  /// time.  The hot clause scans in onAccess() run over these dense key
+  /// arrays — all of a site's group addresses back to back, and all of
+  /// its clause FromStates flattened behind prefix-sum offsets — instead
+  /// of striding through the fat AddrGroupCode / CheckClause records.
+  /// Payloads (ToState, completions) are fetched by index only after a
+  /// key matches.  Scan order and clause counts are exactly those of the
+  /// underlying table.
+  struct SiteScan {
+    std::vector<uint64_t> AddrKeys;          // Groups[I].Addr
+    std::vector<uint32_t> ClauseOffset;      // group -> ClauseFrom range
+    std::vector<dfsm::StateId> ClauseFrom;   // flattened Specific[..]
+  };
+
   bool Installed = false;
   dfsm::CheckCode Code;
+  std::vector<SiteScan> SiteScans; // parallel to Code.Sites
   std::vector<InstalledStream> Streams;
   std::vector<int32_t> SiteToTable; // SiteId -> index into Code.Sites
   dfsm::StateId State = 0;

@@ -22,6 +22,10 @@ void RuntimeObserver::onEnterProcedure(vulcan::ProcId) {}
 void RuntimeObserver::onLeaveProcedure() {}
 void RuntimeObserver::onLoopBackEdge() {}
 void RuntimeObserver::onAccess(vulcan::SiteId, memsim::Addr, bool) {}
+void RuntimeObserver::onAccessBatch(const AccessEvent *Events, size_t Count) {
+  for (size_t I = 0; I < Count; ++I)
+    onAccess(Events[I].Site, Events[I].Addr, Events[I].IsStore);
+}
 void RuntimeObserver::onCompute(uint64_t) {}
 
 profiling::BurstyTracingConfig
@@ -75,15 +79,19 @@ std::vector<obs::StreamPrefetchStats> Runtime::streamPrefetchStats() const {
 
 vulcan::ProcId Runtime::declareProcedure(std::string Name) {
   const vulcan::ProcId Proc = TheImage.createProcedure(Name);
-  if (Observer)
+  if (Observer) {
+    flushObserver();
     Observer->onDeclareProcedure(Proc, Name);
+  }
   return Proc;
 }
 
 vulcan::SiteId Runtime::declareSite(vulcan::ProcId Proc, std::string Label) {
   const vulcan::SiteId Site = TheImage.createSite(Proc, Label);
-  if (Observer)
+  if (Observer) {
+    flushObserver();
     Observer->onDeclareSite(Site, Proc, Label);
+  }
   return Site;
 }
 
@@ -92,15 +100,19 @@ memsim::Addr Runtime::allocate(uint64_t Bytes, uint64_t Align) {
   HeapBreak = (HeapBreak + Align - 1) & ~(Align - 1);
   const memsim::Addr Result = HeapBreak;
   HeapBreak += Bytes;
-  if (Observer)
+  if (Observer) {
+    flushObserver();
     Observer->onAllocate(Result, Bytes, Align);
+  }
   return Result;
 }
 
 void Runtime::padHeap(uint64_t Bytes) {
   HeapBreak += Bytes;
-  if (Observer)
+  if (Observer) {
+    flushObserver();
     Observer->onPadHeap(Bytes);
+  }
 }
 
 bool Runtime::currentFrameIsFresh() const {
@@ -123,40 +135,32 @@ void Runtime::dynamicCheck() {
 }
 
 void Runtime::enterProcedure(vulcan::ProcId Proc) {
-  if (Observer)
+  if (Observer) {
+    flushObserver();
     Observer->onEnterProcedure(Proc);
+  }
   CallStack.push_back({Proc, TheImage.codeVersion(Proc)});
   dynamicCheck();
 }
 
 void Runtime::leaveProcedure() {
   assert(!CallStack.empty() && "leaveProcedure without enterProcedure");
-  if (Observer)
+  if (Observer) {
+    flushObserver();
     Observer->onLeaveProcedure();
+  }
   CallStack.pop_back();
 }
 
 void Runtime::loopBackEdge() {
-  if (Observer)
+  if (Observer) {
+    flushObserver();
     Observer->onLoopBackEdge();
+  }
   dynamicCheck();
 }
 
-void Runtime::access(vulcan::SiteId Site, memsim::Addr Addr, bool IsStore) {
-  if (Observer)
-    Observer->onAccess(Site, Addr, IsStore);
-  ++Stats.TotalAccesses;
-  const uint64_t Latency = Hierarchy.access(Addr);
-
-  // Hardware prefetchers observe every demand access regardless of mode.
-  if (Stride)
-    Stride->onAccess(Site, Addr, Hierarchy);
-  if (Markov && Latency > Config.Latency.L1HitCycles)
-    Markov->onMiss(Addr, Hierarchy);
-
-  if (Config.Mode == RunMode::Original)
-    return;
-
+void Runtime::accessInstrumented(vulcan::SiteId Site, memsim::Addr Addr) {
   // Instrumented-code version: every data reference pays the tracing cost
   // (even the discarded hibernation-burst references, §2.2); only awake
   // references reach Sequitur (§2.4: hibernation refs are ignored to

@@ -60,6 +60,8 @@
 #include "profiling/BurstyTracer.h"
 #include "vulcan/Image.h"
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -76,8 +78,23 @@ namespace core {
 /// exactly the public Runtime surface, so replaying them through a fresh
 /// Runtime reproduces the original simulation state transition for
 /// transition.  Costs one branch per event when no observer is installed.
+///
+/// Data accesses are delivered in batches: the runtime buffers them and
+/// hands over a contiguous block via onAccessBatch, flushing before any
+/// other callback so observers still see the unfiltered stream in exact
+/// program order.  Observers that only care about per-event semantics
+/// override onAccess and inherit the fan-out; throughput-sensitive ones
+/// (the trace recorder) override onAccessBatch and consume whole blocks,
+/// amortizing the virtual dispatch over runs of consecutive accesses.
 class RuntimeObserver {
 public:
+  /// One buffered data reference, exactly the onAccess argument tuple.
+  struct AccessEvent {
+    vulcan::SiteId Site;
+    memsim::Addr Addr;
+    bool IsStore;
+  };
+
   virtual ~RuntimeObserver();
 
   virtual void onDeclareProcedure(vulcan::ProcId Proc,
@@ -92,6 +109,9 @@ public:
   virtual void onLoopBackEdge();
   virtual void onAccess(vulcan::SiteId Site, memsim::Addr Addr,
                         bool IsStore);
+  /// A contiguous block of buffered accesses, oldest first.  The default
+  /// implementation fans out to onAccess per event.
+  virtual void onAccessBatch(const AccessEvent *Events, size_t Count);
   virtual void onCompute(uint64_t Cycles);
 };
 
@@ -150,8 +170,10 @@ public:
   /// Pure computation taking \p Cycles cycles.
   void compute(uint64_t Cycles) {
     Hierarchy.tick(Cycles);
-    if (Observer)
+    if (Observer) {
+      flushObserver();
       Observer->onCompute(Cycles);
+    }
   }
   /// @}
 
@@ -193,8 +215,26 @@ public:
   /// Installs (or, with nullptr, removes) the full-event observer.  Not
   /// owned; must outlive its installation.  Observers see the
   /// *unfiltered* event stream — the same thing the paper's instrumented
-  /// code version sees.
-  void setObserver(RuntimeObserver *NewObserver) { Observer = NewObserver; }
+  /// code version sees.  Any buffered accesses are flushed to the
+  /// outgoing observer first, so detaching (the last step of every
+  /// recording) always leaves the observer with the complete stream.
+  void setObserver(RuntimeObserver *NewObserver) {
+    flushObserver();
+    Observer = NewObserver;
+  }
+
+  /// Delivers buffered access events to the observer now.  Called
+  /// automatically before every non-access observer callback and on
+  /// setObserver; observers that sample mid-run can call it directly to
+  /// synchronize.
+  void flushObserver() {
+    if (PendingAccesses == 0)
+      return;
+    const size_t Count = PendingAccesses;
+    PendingAccesses = 0;
+    if (Observer)
+      Observer->onAccessBatch(Pending.data(), Count);
+  }
 
   /// RAII procedure activation.
   class ProcedureScope {
@@ -216,8 +256,41 @@ private:
     uint32_t CodeVersionAtEntry;
   };
 
-  /// Shared load/store path.
-  void access(vulcan::SiteId Site, memsim::Addr Addr, bool IsStore);
+  /// Shared load/store path.  Lives in the header: one simulated access
+  /// is a few dozen instructions end to end, so the call boundary would
+  /// dominate (the workload loop, this dispatcher, and the hierarchy /
+  /// cache lookups all inline into one straight-line block; static
+  /// libraries without LTO get no cross-TU inlining otherwise).  The
+  /// instrumented-mode tail — tracing cost, Sequitur feed, prefix
+  /// matching — stays out of line; Original mode never reaches it.
+  void access(vulcan::SiteId Site, memsim::Addr Addr, bool IsStore) {
+    if (Observer)
+      bufferAccess(Site, Addr, IsStore);
+    ++Stats.TotalAccesses;
+    const uint64_t Latency = Hierarchy.access(Addr);
+
+    // Hardware prefetchers observe every demand access regardless of mode.
+    if (Stride)
+      Stride->onAccess(Site, Addr, Hierarchy);
+    if (Markov && Latency > Config.Latency.L1HitCycles)
+      Markov->onMiss(Addr, Hierarchy);
+
+    if (Config.Mode == RunMode::Original)
+      return;
+    accessInstrumented(Site, Addr);
+  }
+
+  /// The instrumented-code-version part of access(): tracing cost,
+  /// profiler feed, and the injected prefix-match/prefetch code.
+  void accessInstrumented(vulcan::SiteId Site, memsim::Addr Addr);
+
+  /// Queues one access for the observer, handing off a full block when
+  /// the buffer fills.
+  void bufferAccess(vulcan::SiteId Site, memsim::Addr Addr, bool IsStore) {
+    Pending[PendingAccesses++] = {Site, Addr, IsStore};
+    if (PendingAccesses == Pending.size())
+      flushObserver();
+  }
 
   /// One dynamic check (procedure entry or loop back-edge).
   void dynamicCheck();
@@ -239,6 +312,11 @@ private:
   std::unique_ptr<StridePrefetcher> Stride;
   std::unique_ptr<MarkovPrefetcher> Markov;
   RuntimeObserver *Observer = nullptr;
+  /// Access-event staging buffer (see RuntimeObserver::onAccessBatch).
+  /// 256 events keeps the buffer inside L1 while leaving the per-access
+  /// observer cost at one store plus a capacity check.
+  std::array<RuntimeObserver::AccessEvent, 256> Pending;
+  size_t PendingAccesses = 0;
   std::vector<Frame> CallStack;
   memsim::Addr HeapBreak;
 };

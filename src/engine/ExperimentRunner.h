@@ -22,6 +22,7 @@
 #include "memsim/Cache.h"
 #include "memsim/MemoryHierarchy.h"
 #include "obs/CycleAccount.h"
+#include "obs/Metrics.h"
 #include "obs/PrefetchStats.h"
 
 #include <cstdint>
@@ -30,6 +31,34 @@
 
 namespace hds {
 namespace engine {
+
+/// Wall-clock measurement a tool attaches to a result after running it.
+/// src/ is clock-free (lint rule D1), so runExperiment always leaves this
+/// zeroed; only callers that time the run themselves (tools/hds_bench)
+/// fill it in.  Zero means "not measured" and serializers omit nothing —
+/// the fields only reach the JSON when the caller opts in via
+/// TimingInfo::IncludePerResult (engine/ResultsJson.h).
+struct ResultTiming {
+  uint64_t WallNanos = 0;       ///< wall time of the simulate phase
+  uint64_t AccessesPerSec = 0;  ///< TotalAccesses / wall seconds, rounded
+};
+
+/// Stable metric enumeration for ResultTiming (append-only; see
+/// obs/Metrics.h).  Gauges, not counters: wall-clock readings are
+/// point-in-time by nature and excluded from determinism gates.
+template <typename TimingT, typename Fn>
+void visitResultTimingMetrics(TimingT &&Timing, Fn &&Visit) {
+  using obs::MetricDef;
+  using obs::MetricKind;
+  Visit(MetricDef{"wall_ns", "nanoseconds",
+                  "wall-clock time of the simulate phase, caller-measured",
+                  MetricKind::Gauge},
+        Timing.WallNanos);
+  Visit(MetricDef{"accesses_per_sec", "accesses/s",
+                  "simulated memory accesses retired per wall second",
+                  MetricKind::Gauge},
+        Timing.AccessesPerSec);
+}
 
 /// Outcome of one experiment.  Echoes the spec so a result is
 /// self-describing wherever it travels (JSON writer, progress callbacks).
@@ -56,6 +85,8 @@ struct RunResult {
   /// Per-hot-data-stream prefetch effectiveness, one row per stream ever
   /// installed during the run.
   std::vector<obs::StreamPrefetchStats> Streams;
+  /// Caller-measured wall clock (never set by runExperiment itself).
+  ResultTiming Timing;
 
   bool ok() const { return State == Status::Ok; }
 };

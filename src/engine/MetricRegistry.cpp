@@ -7,6 +7,7 @@
 #include "engine/MetricRegistry.h"
 
 #include "core/RunStats.h"
+#include "engine/ExperimentRunner.h"
 #include "memsim/Cache.h"
 #include "memsim/MemoryHierarchy.h"
 #include "obs/CycleAccount.h"
@@ -55,6 +56,9 @@ std::vector<MetricBlock> buildRegistry() {
   });
   Add("stream", [](auto Collect) {
     obs::visitStreamPrefetchStatsMetrics(obs::StreamPrefetchStats{}, Collect);
+  });
+  Add("timing", [](auto Collect) {
+    visitResultTimingMetrics(ResultTiming{}, Collect);
   });
   return Blocks;
 }

@@ -403,6 +403,12 @@ double relativeDeltaPct(double A, double B) {
   return 100.0 * (B - A) / Base;
 }
 
+/// Wall-clock paths live outside the determinism contract; the diff
+/// handles them separately from real metrics (see DiffOptions).
+bool isTimingPath(const std::string &Path) {
+  return Path.rfind("timing.", 0) == 0;
+}
+
 void compareCells(const Cell &A, const Cell &B, const DiffOptions &Opts,
                   DiffReport &Report) {
   if (A.Status != B.Status) {
@@ -418,6 +424,23 @@ void compareCells(const Cell &A, const Cell &B, const DiffOptions &Opts,
         ValueB = Candidate;
         break;
       }
+    if (isTimingPath(Path)) {
+      // Only the rate is gated, only when the caller asked, and only
+      // when both sides measured it.
+      if (Opts.WallThresholdPct < 0.0 || Path != "timing.accesses_per_sec" ||
+          !ValueB || ValueA->Type != JsonValue::Kind::Number ||
+          ValueB->Type != JsonValue::Kind::Number)
+        continue;
+      const double Pct =
+          relativeDeltaPct(ValueA->NumberValue, ValueB->NumberValue);
+      if (std::fabs(Pct) <= Opts.WallThresholdPct)
+        continue;
+      const DiffLine Line{A.Key, Path + " " + ValueA->StringValue + " -> " +
+                                     ValueB->StringValue + " (" +
+                                     formatPct(Pct) + ")"};
+      (Pct < 0.0 ? Report.Regressions : Report.Improvements).push_back(Line);
+      continue;
+    }
     if (!ValueB) {
       Report.MetricChanges.push_back({A.Key, Path + " missing in second file"});
       continue;
@@ -446,6 +469,8 @@ void compareCells(const Cell &A, const Cell &B, const DiffOptions &Opts,
 
   for (const auto &[Path, ValueB] : B.Metrics) {
     (void)ValueB;
+    if (isTimingPath(Path))
+      continue;
     bool InA = false;
     for (const auto &[PathA, ValueA] : A.Metrics) {
       (void)ValueA;

@@ -36,6 +36,14 @@ struct DiffOptions {
   /// Relative change (percent) a numeric metric must exceed to count as
   /// a difference.  0 = any change counts (exact comparison).
   double ThresholdPct = 0.0;
+  /// Wall-clock gate for per-result "timing" objects (tools/hds_bench).
+  /// Negative (the default) ignores every timing.* path — wall clock is
+  /// machine noise, and a bench file must diff clean against a plain
+  /// matrix file.  Non-negative compares timing.accesses_per_sec only: a
+  /// drop beyond this percentage is a regression, a gain an improvement;
+  /// timing.wall_ns is never compared (redundant with the rate), and a
+  /// cell missing timing on either side is skipped, not flagged.
+  double WallThresholdPct = -1.0;
 };
 
 /// One noteworthy difference, addressed by cell and described per field.

@@ -140,7 +140,7 @@ void emitCacheStats(JsonBuilder &Json, const char *Key,
 }
 
 void emitResult(JsonBuilder &Json, const RunResult &Result,
-                const RunResult *Baseline) {
+                const RunResult *Baseline, bool IncludeTiming) {
   const ExperimentSpec &Spec = Result.Spec;
   Json.openObject();
   Json.fieldString("workload", Spec.Workload);
@@ -200,6 +200,12 @@ void emitResult(JsonBuilder &Json, const RunResult &Result,
   }
   Json.close(']');
 
+  if (IncludeTiming) {
+    Json.openObject("timing");
+    engine::visitResultTimingMetrics(Result.Timing, MetricFieldEmitter{Json});
+    Json.close('}');
+  }
+
   Json.close('}');
 }
 
@@ -246,7 +252,8 @@ std::string hds::engine::resultsToJson(const std::vector<RunResult> &Results,
 
   Json.openArray("results");
   for (const RunResult &Result : Results)
-    emitResult(Json, Result, findBaseline(Results, Result.Spec));
+    emitResult(Json, Result, findBaseline(Results, Result.Spec),
+               Timing.IncludePerResult);
   Json.close(']');
 
   if (Timing.IncludeWall || !Timing.LintJson.empty()) {

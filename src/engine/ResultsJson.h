@@ -32,12 +32,16 @@ namespace engine {
 
 /// Optional non-deterministic extras appended as a top-level "timing"
 /// object.  Excluded from the determinism contract by construction: when
-/// neither part is enabled the object is omitted entirely.
+/// no part is enabled the object is omitted entirely.
 struct TimingInfo {
   /// Emit wall-clock fields (measured by the caller — src/ has no clock).
   bool IncludeWall = false;
   uint64_t WallMillis = 0;
   unsigned Jobs = 0;
+  /// Emit each ok result's RunResult::Timing as a per-result "timing"
+  /// object (the BENCH_matrix.json shape written by tools/hds_bench).
+  /// Off by default so plain matrix output stays byte-deterministic.
+  bool IncludePerResult = false;
   /// Raw JSON value embedded verbatim as "lint" (the lint_timing.json
   /// written by scripts/lint.sh).  Empty = omitted.
   std::string LintJson;

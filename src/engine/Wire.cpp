@@ -204,6 +204,7 @@ enum ResultTag : uint8_t {
   ResultL2 = 10,
   ResultBreakdown = 11,
   ResultStreams = 12,
+  ResultWallTiming = 13,
 };
 
 constexpr uint64_t FlagStride = 1u << 0;
@@ -376,6 +377,9 @@ constexpr auto VisitBreakdown = [](auto &&S, auto &&F) {
 constexpr auto VisitStream = [](auto &&S, auto &&F) {
   obs::visitStreamPrefetchStatsMetrics(S, F);
 };
+constexpr auto VisitTiming = [](auto &&S, auto &&F) {
+  engine::visitResultTimingMetrics(S, F);
+};
 
 } // namespace
 
@@ -443,6 +447,9 @@ std::vector<uint8_t> wire::encodeResult(uint64_t Index,
   for (const obs::StreamPrefetchStats &Stream : Result.Streams)
     encodeCounters(Out, Stream, VisitStream);
 
+  Out.push_back(ResultWallTiming);
+  encodeCounters(Out, Result.Timing, VisitTiming);
+
   Out.push_back(ResultEnd);
   return Out;
 }
@@ -464,7 +471,7 @@ bool wire::decodeResult(const std::vector<uint8_t> &Payload, uint64_t &Index,
     }
     if (Tag == ResultEnd)
       break;
-    if (Tag > ResultStreams) {
+    if (Tag > ResultWallTiming) {
       Error = "unknown result field tag " + std::to_string(Tag);
       return false;
     }
@@ -554,6 +561,10 @@ bool wire::decodeResult(const std::vector<uint8_t> &Payload, uint64_t &Index,
       }
       break;
     }
+    case ResultWallTiming:
+      if (!decodeCounters(R, Result.Timing, VisitTiming, Error))
+        return false;
+      break;
     default:
       Ok = false;
       break;
@@ -570,7 +581,8 @@ bool wire::decodeResult(const std::vector<uint8_t> &Payload, uint64_t &Index,
       (uint64_t{1} << ResultCycles) | (uint64_t{1} << ResultRunStats) |
       (uint64_t{1} << ResultPhases) | (uint64_t{1} << ResultHierarchy) |
       (uint64_t{1} << ResultL1) | (uint64_t{1} << ResultL2) |
-      (uint64_t{1} << ResultBreakdown) | (uint64_t{1} << ResultStreams);
+      (uint64_t{1} << ResultBreakdown) | (uint64_t{1} << ResultStreams) |
+      (uint64_t{1} << ResultWallTiming);
   if (Seen != AllResultTags) {
     Error = "result is missing mandatory fields";
     return false;

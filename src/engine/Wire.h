@@ -43,7 +43,9 @@ namespace wire {
 /// v2: cycle-breakdown and per-stream prefetch-effectiveness sections in
 /// Result payloads; prefetch-classification counters appended to the
 /// hierarchy counter block.
-constexpr uint8_t ProtocolVersion = 2;
+/// v3: wall-clock timing section (ResultTiming gauges) in Result
+/// payloads, so bench workers report accesses/sec alongside cycles.
+constexpr uint8_t ProtocolVersion = 3;
 
 /// First two frame bytes; a cheap guard against cross-protocol garbage.
 constexpr uint8_t Magic0 = 0x48; // 'H'

@@ -6,99 +6,37 @@
 
 #include "memsim/Cache.h"
 
+#include <bit>
+
 using namespace hds;
 using namespace hds::memsim;
 
-Cache::Cache(const CacheConfig &Cfg)
-    : Config(Cfg), NumSets(Cfg.numSets()),
-      Lines(NumSets * Cfg.Associativity) {}
+Cache::Cache(const CacheConfig &Cfg) : Config(Cfg), NumSets(Cfg.numSets()) {
+  Lines.assign(NumSets * 2 * Cfg.Associativity, 0);
+  StreamTags.assign(NumSets * Cfg.Associativity, obs::NoStreamTag);
 
-Cache::Line *Cache::findLine(Addr Address) {
-  const Addr Tag = tagOf(Address);
-  Line *Set = &Lines[setIndex(Address) * Config.Associativity];
-  for (unsigned Way = 0; Way < Config.Associativity; ++Way)
-    if (Set[Way].Valid && Set[Way].Tag == Tag)
-      return &Set[Way];
-  return nullptr;
-}
-
-const Cache::Line *Cache::findLine(Addr Address) const {
-  return const_cast<Cache *>(this)->findLine(Address);
-}
-
-bool Cache::contains(Addr Address) const { return findLine(Address); }
-
-bool Cache::access(Addr Address, AccessInfo *Info) {
-  Line *Hit = findLine(Address);
-  if (!Hit) {
-    ++Stats.Misses;
-    return false;
+  if (std::has_single_bit(uint64_t{Cfg.BlockBytes}) &&
+      std::has_single_bit(NumSets)) {
+    ShiftGeometry = true;
+    BlockShift = static_cast<unsigned>(
+        std::countr_zero(uint64_t{Cfg.BlockBytes}));
+    SetShift = static_cast<unsigned>(std::countr_zero(NumSets));
+    SetMask = NumSets - 1;
   }
-  ++Stats.Hits;
-  Hit->LastUse = ++UseClock;
-  if (Hit->PrefetchedUntouched) {
-    ++Stats.UsefulPrefetches;
-    Hit->PrefetchedUntouched = false;
-    if (Info) {
-      Info->PrefetchHit = true;
-      Info->StreamTag = Hit->StreamTag;
-    }
-  }
-  return true;
-}
-
-Cache::EvictInfo Cache::fill(Addr Address, bool IsPrefetch,
-                             uint32_t StreamTag) {
-  if (Line *Existing = findLine(Address)) {
-    // Refilling a resident block just refreshes recency; it must not
-    // re-arm the prefetch bit on a demand-touched line.
-    Existing->LastUse = ++UseClock;
-    return EvictInfo();
-  }
-
-  Line *Set = &Lines[setIndex(Address) * Config.Associativity];
-  Line *Victim = &Set[0];
-  for (unsigned Way = 0; Way < Config.Associativity; ++Way) {
-    if (!Set[Way].Valid) {
-      Victim = &Set[Way];
-      break;
-    }
-    if (Set[Way].LastUse < Victim->LastUse)
-      Victim = &Set[Way];
-  }
-
-  EvictInfo Evicted;
-  if (Victim->Valid) {
-    ++Stats.Evictions;
-    if (Victim->PrefetchedUntouched) {
-      ++Stats.WastedPrefetches;
-      Evicted.EvictedUntouchedPrefetch = true;
-      Evicted.EvictedStreamTag = Victim->StreamTag;
-    }
-  }
-
-  Victim->Valid = true;
-  Victim->Tag = tagOf(Address);
-  Victim->LastUse = ++UseClock;
-  Victim->PrefetchedUntouched = IsPrefetch;
-  Victim->StreamTag = IsPrefetch ? StreamTag : obs::NoStreamTag;
-  if (IsPrefetch)
-    ++Stats.PrefetchFills;
-  else
-    ++Stats.DemandFills;
-  return Evicted;
 }
 
 void Cache::reset() {
-  for (Line &L : Lines)
-    L = Line();
+  Lines.assign(Lines.size(), 0);
+  StreamTags.assign(StreamTags.size(), obs::NoStreamTag);
   UseClock = 0;
 }
 
 uint64_t Cache::validLineCount() const {
+  const unsigned A = Config.Associativity;
   uint64_t Count = 0;
-  for (const Line &L : Lines)
-    if (L.Valid)
-      ++Count;
+  for (uint64_t Set = 0; Set < NumSets; ++Set)
+    for (unsigned Way = 0; Way < A; ++Way)
+      if (Lines[Set * 2 * A + A + Way] != 0)
+        ++Count;
   return Count;
 }

@@ -17,6 +17,30 @@
 /// attribute useful / unused-evicted classification events back to the
 /// stream that earned them (obs/PrefetchStats.h).
 ///
+/// Performance model of the model: the simulator's own working set is the
+/// line metadata, and a modelled L2 is big enough (256 KB of modelled
+/// lines) that every probe of a cold set is a *host* cache miss per array
+/// touched.  The layout therefore packs one set's hot metadata into two
+/// adjacent 64-bit runs — all the set's encoded tags, then all its
+/// recency words — so a probe costs one host line for a 4-way set and
+/// two for an 8-way set, instead of one per parallel array:
+///
+///   Lines[set * 2A + way]      encoded tag: (tag << 1) | 1, 0 = invalid
+///   Lines[set * 2A + A + way]  recency:     (stamp << 1) | prefetched
+///
+/// UseClock pre-increments, so a valid line always has stamp >= 1 and a
+/// recency word of 0 means invalid.  Stamps are unique, so comparing the
+/// shifted recency words orders lines exactly like the raw stamps, and
+/// the original "first invalid way, else lowest LastUse" victim policy
+/// folds into one branchless first-wins argmin.  The prefetched-untouched
+/// flag rides in recency bit 0, leaving the per-stream attribution tag
+/// (read only on the rare classification events) in a cold side array.
+/// Address-to-set geometry is shift/mask for power-of-two configurations
+/// (every real configuration in the tree) with a div/mod fallback.
+/// src/testing/ReferenceCache.h keeps the straightforward
+/// array-of-line-structs model this replaced; tests/cache_model_test.cpp
+/// drives both in lockstep.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HDS_MEMSIM_CACHE_H
@@ -25,6 +49,7 @@
 #include "obs/Metrics.h"
 #include "obs/PrefetchStats.h"
 
+#include <bit>
 #include <cassert>
 #include <cstdint>
 #include <vector>
@@ -104,6 +129,7 @@ void visitCacheStatsMetrics(CacheStatsT &&Stats, Fn &&Visit) {
 /// Lines carry a "prefetched, not yet demanded" bit so the statistics can
 /// separate useful prefetches from pollution — the effect that makes the
 /// paper's Seq-pref straw man lose on most benchmarks (Section 4.3).
+/// See the file comment for the packed set-major line layout.
 class Cache {
 public:
   /// Classification detail reported by access(): whether the hit consumed
@@ -123,20 +149,108 @@ public:
   explicit Cache(const CacheConfig &Config);
 
   /// Looks up \p Address without changing any state.
-  bool contains(Addr Address) const;
+  bool contains(Addr Address) const {
+    return findWay(setBase(Address), encodeTag(Address)) != NoWay;
+  }
 
   /// Demand access: returns true on hit (and updates LRU + prefetch
   /// accounting).  On miss, no fill happens here — the hierarchy decides
   /// where fills go.  When \p Info is non-null it receives the prefetch
   /// classification detail for this access.
-  bool access(Addr Address, AccessInfo *Info = nullptr);
+  bool access(Addr Address, AccessInfo *Info = nullptr) {
+    const uint64_t Base = setBase(Address);
+    const unsigned Way = findWay(Base, encodeTag(Address));
+    if (Way == NoWay) {
+      ++Stats.Misses;
+      return false;
+    }
+    ++Stats.Hits;
+    uint64_t &Recency = Lines[Base + Config.Associativity + Way];
+    const bool Prefetched = (Recency & 1) != 0;
+    Recency = ++UseClock << 1; // fresh stamp, prefetched bit consumed
+    if (Prefetched) {
+      ++Stats.UsefulPrefetches;
+      if (Info) {
+        Info->PrefetchHit = true;
+        Info->StreamTag = StreamTags[Base / 2 + Way];
+      }
+    }
+    return true;
+  }
+
+  /// Probe-and-touch for prefetch redundancy checks: on a hit this is
+  /// exactly access() (hit counted, LRU refreshed, prefetched bit
+  /// consumed); on a miss nothing changes — no miss is counted.  Fuses
+  /// the hierarchy's former contains() + access() pair into one probe.
+  bool touchIfPresent(Addr Address) {
+    const uint64_t Base = setBase(Address);
+    const unsigned Way = findWay(Base, encodeTag(Address));
+    if (Way == NoWay)
+      return false;
+    ++Stats.Hits;
+    uint64_t &Recency = Lines[Base + Config.Associativity + Way];
+    if (Recency & 1)
+      ++Stats.UsefulPrefetches;
+    Recency = ++UseClock << 1; // fresh stamp, prefetched bit consumed
+    return true;
+  }
 
   /// Fills the block containing \p Address, evicting LRU if needed.
   /// \p IsPrefetch marks the line for useful/wasted prefetch accounting;
   /// \p StreamTag records which hot data stream issued the prefetch.
   /// Returns eviction classification detail for the victim line.
   EvictInfo fill(Addr Address, bool IsPrefetch,
-                 uint32_t StreamTag = obs::NoStreamTag);
+                 uint32_t StreamTag = obs::NoStreamTag) {
+    const uint64_t Base = setBase(Address);
+    const Addr Tag = encodeTag(Address);
+    const unsigned A = Config.Associativity;
+
+    // One pass finds the resident way and the LRU victim together: the
+    // first-wins argmin over the recency words is the victim policy
+    // (invalid ways hold 0 and therefore win before any valid way, and
+    // unique stamps make the shifted comparison order exact).
+    unsigned Hit = NoWay;
+    unsigned Victim = 0;
+    uint64_t Oldest = Lines[Base + A];
+    for (unsigned Way = 0; Way < A; ++Way) {
+      if (Lines[Base + Way] == Tag)
+        Hit = Way;
+      const uint64_t Recency = Lines[Base + A + Way];
+      const bool Older = Recency < Oldest;
+      Oldest = Older ? Recency : Oldest;
+      Victim = Older ? Way : Victim;
+    }
+
+    if (Hit != NoWay) {
+      // Refilling a resident block just refreshes recency; it must not
+      // re-arm the prefetch bit on a demand-touched line (nor clear it
+      // on a still-untouched one).
+      uint64_t &Recency = Lines[Base + A + Hit];
+      Recency = (++UseClock << 1) | (Recency & 1);
+      return EvictInfo();
+    }
+
+    EvictInfo Evicted;
+    uint64_t &VictimRecency = Lines[Base + A + Victim];
+    if (VictimRecency != 0) {
+      ++Stats.Evictions;
+      if (VictimRecency & 1) {
+        ++Stats.WastedPrefetches;
+        Evicted.EvictedUntouchedPrefetch = true;
+        Evicted.EvictedStreamTag = StreamTags[Base / 2 + Victim];
+      }
+    }
+
+    Lines[Base + Victim] = Tag;
+    VictimRecency = (++UseClock << 1) | (IsPrefetch ? 1 : 0);
+    if (IsPrefetch) {
+      StreamTags[Base / 2 + Victim] = StreamTag;
+      ++Stats.PrefetchFills;
+    } else {
+      ++Stats.DemandFills;
+    }
+    return Evicted;
+  }
 
   /// Drops all lines (used between benchmark configurations).
   void reset();
@@ -149,29 +263,53 @@ public:
   uint64_t validLineCount() const;
 
 private:
-  struct Line {
-    Addr Tag = 0;
-    uint64_t LastUse = 0;
-    bool Valid = false;
-    bool PrefetchedUntouched = false;
-    uint32_t StreamTag = obs::NoStreamTag;
-  };
+  static constexpr unsigned NoWay = ~0u;
 
   uint64_t blockNumber(Addr Address) const {
-    return Address / Config.BlockBytes;
+    return ShiftGeometry ? Address >> BlockShift : Address / Config.BlockBytes;
   }
-  uint64_t setIndex(Addr Address) const {
-    return blockNumber(Address) % NumSets;
+  /// Index of a set's first tag slot in Lines (set * 2 * Associativity).
+  uint64_t setBase(Addr Address) const {
+    const uint64_t Block = blockNumber(Address);
+    return (ShiftGeometry ? Block & SetMask : Block % NumSets) *
+           (2 * Config.Associativity);
   }
-  Addr tagOf(Addr Address) const { return blockNumber(Address) / NumSets; }
+  /// The stored form of a tag: (tag << 1) | 1.  Bit 0 doubles as the
+  /// valid bit — an invalid slot holds 0, which no encoded tag equals —
+  /// so the way scan compares one word per way.  Tags are block-number
+  /// >> set-bits, leaving bit 63 free for the shift.
+  Addr encodeTag(Addr Address) const {
+    const uint64_t Block = blockNumber(Address);
+    return ((ShiftGeometry ? Block >> SetShift : Block / NumSets) << 1) | 1;
+  }
 
-  Line *findLine(Addr Address);
-  const Line *findLine(Addr Address) const;
+  /// Way index within the set at \p Base holding encoded tag \p Tag, or
+  /// NoWay.
+  unsigned findWay(uint64_t Base, Addr Tag) const {
+    for (unsigned Way = 0; Way < Config.Associativity; ++Way)
+      if (Lines[Base + Way] == Tag)
+        return Way;
+    return NoWay;
+  }
 
   CacheConfig Config;
   uint64_t NumSets;
   uint64_t UseClock = 0;
-  std::vector<Line> Lines; // NumSets * Associativity, set-major.
+
+  /// Shift/mask geometry, valid when BlockBytes and NumSets are both
+  /// powers of two.
+  bool ShiftGeometry = false;
+  unsigned BlockShift = 0;
+  unsigned SetShift = 0;
+  uint64_t SetMask = 0;
+
+  /// Packed per-set metadata, 2 * Associativity words per set: the set's
+  /// encoded tags, then its recency words (see file comment).
+  std::vector<uint64_t> Lines;
+  /// Stream attribution per line (set * Associativity + way), read only
+  /// on prefetch classification events.
+  std::vector<uint32_t> StreamTags;
+
   CacheStats Stats;
 };
 

@@ -6,8 +6,6 @@
 
 #include "memsim/MemoryHierarchy.h"
 
-#include <algorithm>
-
 using namespace hds;
 using namespace hds::memsim;
 
@@ -17,98 +15,48 @@ MemoryHierarchy::MemoryHierarchy(const CacheConfig &L1Config,
     : L1(L1Config), L2(L2Config), Latency(Lat) {
   assert(L1Config.BlockBytes == L2Config.BlockBytes &&
          "levels must share a block size");
-  InFlight.reserve(Latency.MaxInFlightPrefetches);
+  InFlightReady.reserve(Latency.MaxInFlightPrefetches);
+  InFlightBlock.reserve(Latency.MaxInFlightPrefetches);
+  InFlightMeta.reserve(Latency.MaxInFlightPrefetches);
 }
 
-void MemoryHierarchy::drainDuePrefetches() {
-  if (InFlight.empty())
-    return;
+void MemoryHierarchy::drainDuePrefetchesSlow() {
+  // One pass fills due entries, compacts the survivors in place, and
+  // tracks the new earliest ready cycle.  Fills happen in queue order,
+  // exactly as the separate fill / remove_if / min passes this replaces
+  // did, and the compaction moves only queue entries — it never touches
+  // cache state — so the simulated state transitions are identical.
+  // This runs every time a prefetch comes due (millions of times per
+  // prefetching-mode cell), so the pass count matters.
   const uint64_t Now = Account.total();
-  auto IsDue = [&](const InFlightPrefetch &P) { return P.ReadyCycle <= Now; };
-  for (const InFlightPrefetch &P : InFlight) {
-    if (!IsDue(P))
-      continue;
-    const Addr BlockAddr = P.BlockNumber * L1.config().BlockBytes;
-    const Cache::EvictInfo Evicted =
-        L1.fill(BlockAddr, /*IsPrefetch=*/true, P.StreamTag);
-    if (Evicted.EvictedUntouchedPrefetch) {
-      ++Stats.PrefetchesUnusedEvicted;
-      ++bucket(Evicted.EvictedStreamTag).UnusedEvicted;
+  const size_t Size = InFlightReady.size();
+  uint64_t NextReady = ~uint64_t{0};
+  size_t Keep = 0;
+  for (size_t I = 0; I < Size; ++I) {
+    const uint64_t Ready = InFlightReady[I];
+    if (Ready <= Now) {
+      const Addr BlockAddr = InFlightBlock[I] * L1.config().BlockBytes;
+      const uint32_t StreamTag = inFlightTag(I);
+      const Cache::EvictInfo Evicted =
+          L1.fill(BlockAddr, /*IsPrefetch=*/true, StreamTag);
+      if (Evicted.EvictedUntouchedPrefetch) {
+        ++Stats.PrefetchesUnusedEvicted;
+        ++bucket(Evicted.EvictedStreamTag).UnusedEvicted;
+      }
+      if (inFlightFillsL2(I))
+        L2.fill(BlockAddr, /*IsPrefetch=*/true, StreamTag);
+    } else {
+      NextReady = Ready < NextReady ? Ready : NextReady;
+      InFlightReady[Keep] = Ready;
+      InFlightBlock[Keep] = InFlightBlock[I];
+      InFlightMeta[Keep] = InFlightMeta[I];
+      ++Keep;
     }
-    if (P.FillL2)
-      L2.fill(BlockAddr, /*IsPrefetch=*/true, P.StreamTag);
   }
-  InFlight.erase(std::remove_if(InFlight.begin(), InFlight.end(), IsDue),
-                 InFlight.end());
-}
-
-MemoryHierarchy::InFlightPrefetch *MemoryHierarchy::findInFlight(Addr Address) {
-  const uint64_t Block = blockNumber(Address);
-  for (InFlightPrefetch &P : InFlight)
-    if (P.BlockNumber == Block)
-      return &P;
-  return nullptr;
-}
-
-uint64_t MemoryHierarchy::access(Addr Address) {
-  drainDuePrefetches();
-  ++Stats.DemandAccesses;
-
-  // L1 hit: single-cycle, no stall.  A hit on a prefetched-untouched line
-  // is the prefetch paying off in full — the "useful" class.
-  Cache::AccessInfo L1Info;
-  if (L1.access(Address, &L1Info)) {
-    if (L1Info.PrefetchHit) {
-      ++Stats.PrefetchesUseful;
-      ++bucket(L1Info.StreamTag).Useful;
-    }
-    charge(Latency.L1HitCycles, 0);
-    return Latency.L1HitCycles;
-  }
-
-  // The block may still be on its way in: wait out the remaining latency.
-  // This is how an early-but-not-early-enough prefetch still hides part of
-  // a miss — the "late" class.
-  if (InFlightPrefetch *P = findInFlight(Address)) {
-    const uint64_t Remaining = P->ReadyCycle - Account.total();
-    ++Stats.PartialHits;
-    ++bucket(P->StreamTag).Late;
-    charge(Remaining, Remaining, /*PartialHit=*/true);
-    drainDuePrefetches(); // fills this block (and any other due ones)
-    // The arriving line counts as a useful prefetch in the cache-level
-    // stats the moment demand touches it; hierarchy-level classification
-    // already recorded the event as late.
-    L1.access(Address);
-    charge(Latency.L1HitCycles, 0);
-    return Remaining + Latency.L1HitCycles;
-  }
-
-  // L2 hit: fill L1 and pay the L2 latency.  A prefetched-untouched L2
-  // line is likewise a useful prefetch (it halved the miss latency).
-  Cache::AccessInfo L2Info;
-  if (L2.access(Address, &L2Info)) {
-    if (L2Info.PrefetchHit) {
-      ++Stats.PrefetchesUseful;
-      ++bucket(L2Info.StreamTag).Useful;
-    }
-    const Cache::EvictInfo Evicted = L1.fill(Address, /*IsPrefetch=*/false);
-    if (Evicted.EvictedUntouchedPrefetch) {
-      ++Stats.PrefetchesUnusedEvicted;
-      ++bucket(Evicted.EvictedStreamTag).UnusedEvicted;
-    }
-    charge(Latency.L2HitCycles, Latency.L2HitCycles - Latency.L1HitCycles);
-    return Latency.L2HitCycles;
-  }
-
-  // Memory: fill both levels.
-  L2.fill(Address, /*IsPrefetch=*/false);
-  const Cache::EvictInfo Evicted = L1.fill(Address, /*IsPrefetch=*/false);
-  if (Evicted.EvictedUntouchedPrefetch) {
-    ++Stats.PrefetchesUnusedEvicted;
-    ++bucket(Evicted.EvictedStreamTag).UnusedEvicted;
-  }
-  charge(Latency.MemoryCycles, Latency.MemoryCycles - Latency.L1HitCycles);
-  return Latency.MemoryCycles;
+  InFlightReady.resize(Keep);
+  InFlightBlock.resize(Keep);
+  InFlightMeta.resize(Keep);
+  NextReadyCycle = NextReady;
 }
 
 void MemoryHierarchy::prefetchT0(Addr Address, bool ChargeIssueSlot,
@@ -120,35 +68,41 @@ void MemoryHierarchy::prefetchT0(Addr Address, bool ChargeIssueSlot,
   ++Stats.PrefetchesIssued;
   ++bucket(StreamTag).Issued;
 
-  if (L1.contains(Address) || findInFlight(Address)) {
+  if (L1.contains(Address) || findInFlight(Address) != NotInFlight) {
     ++Stats.PrefetchesRedundant;
     ++bucket(StreamTag).Redundant;
     return;
   }
-  if (InFlight.size() >= Latency.MaxInFlightPrefetches) {
+  if (InFlightReady.size() >= Latency.MaxInFlightPrefetches) {
     ++Stats.PrefetchesDroppedQueueFull;
     ++bucket(StreamTag).DroppedQueueFull;
     return;
   }
 
-  InFlightPrefetch Entry;
-  Entry.BlockNumber = blockNumber(Address);
-  Entry.StreamTag = StreamTag;
-  if (L2.contains(Address)) {
-    // L2-resident: only the L1 fill is outstanding.  Touch L2 recency so
-    // the line stays resident for the expected demand access.
-    L2.access(Address);
-    Entry.ReadyCycle = Account.total() + Latency.L2HitCycles;
-    Entry.FillL2 = false;
+  // L2-resident: only the L1 fill is outstanding.  touchIfPresent probes
+  // once, refreshing L2 recency on a hit so the line stays resident for
+  // the expected demand access.
+  uint64_t ReadyCycle;
+  bool FillL2;
+  if (L2.touchIfPresent(Address)) {
+    ReadyCycle = Account.total() + Latency.L2HitCycles;
+    FillL2 = false;
   } else {
-    Entry.ReadyCycle = Account.total() + Latency.MemoryCycles;
-    Entry.FillL2 = true;
+    ReadyCycle = Account.total() + Latency.MemoryCycles;
+    FillL2 = true;
   }
-  InFlight.push_back(Entry);
+  InFlightReady.push_back(ReadyCycle);
+  InFlightBlock.push_back(blockNumber(Address));
+  InFlightMeta.push_back((uint64_t{StreamTag} << 1) | (FillL2 ? 1 : 0));
+  if (ReadyCycle < NextReadyCycle)
+    NextReadyCycle = ReadyCycle;
 }
 
 void MemoryHierarchy::reset() {
-  InFlight.clear();
+  InFlightReady.clear();
+  InFlightBlock.clear();
+  InFlightMeta.clear();
+  NextReadyCycle = ~uint64_t{0};
   L1.reset();
   L2.reset();
   Account.reset();

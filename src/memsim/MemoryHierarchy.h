@@ -133,7 +133,71 @@ public:
   /// Demand access (load or store — the model treats them alike, as the
   /// paper's data reference definition does).  Returns the latency in
   /// cycles charged for this access; the clock has already advanced.
-  uint64_t access(Addr Address);
+  ///
+  /// Lives in the header: this is the per-access hot loop, and the call
+  /// runs tens of millions of times per matrix cell (the tree builds
+  /// static libraries without LTO, so out-of-line would cost a call and
+  /// forgo inlining into Runtime::access).
+  uint64_t access(Addr Address) {
+    drainDuePrefetches();
+    ++Stats.DemandAccesses;
+
+    // L1 hit: single-cycle, no stall.  A hit on a prefetched-untouched
+    // line is the prefetch paying off in full — the "useful" class.
+    Cache::AccessInfo L1Info;
+    if (L1.access(Address, &L1Info)) {
+      if (L1Info.PrefetchHit) {
+        ++Stats.PrefetchesUseful;
+        ++bucket(L1Info.StreamTag).Useful;
+      }
+      charge(Latency.L1HitCycles, 0);
+      return Latency.L1HitCycles;
+    }
+
+    // The block may still be on its way in: wait out the remaining
+    // latency.  This is how an early-but-not-early-enough prefetch still
+    // hides part of a miss — the "late" class.
+    if (size_t P = findInFlight(Address); P != NotInFlight) {
+      const uint64_t Remaining = InFlightReady[P] - Account.total();
+      ++Stats.PartialHits;
+      ++bucket(inFlightTag(P)).Late;
+      charge(Remaining, Remaining, /*PartialHit=*/true);
+      drainDuePrefetches(); // fills this block (and any other due ones)
+      // The arriving line counts as a useful prefetch in the cache-level
+      // stats the moment demand touches it; hierarchy-level
+      // classification already recorded the event as late.
+      L1.access(Address);
+      charge(Latency.L1HitCycles, 0);
+      return Remaining + Latency.L1HitCycles;
+    }
+
+    // L2 hit: fill L1 and pay the L2 latency.  A prefetched-untouched L2
+    // line is likewise a useful prefetch (it halved the miss latency).
+    Cache::AccessInfo L2Info;
+    if (L2.access(Address, &L2Info)) {
+      if (L2Info.PrefetchHit) {
+        ++Stats.PrefetchesUseful;
+        ++bucket(L2Info.StreamTag).Useful;
+      }
+      const Cache::EvictInfo Evicted = L1.fill(Address, /*IsPrefetch=*/false);
+      if (Evicted.EvictedUntouchedPrefetch) {
+        ++Stats.PrefetchesUnusedEvicted;
+        ++bucket(Evicted.EvictedStreamTag).UnusedEvicted;
+      }
+      charge(Latency.L2HitCycles, Latency.L2HitCycles - Latency.L1HitCycles);
+      return Latency.L2HitCycles;
+    }
+
+    // Memory: fill both levels.
+    L2.fill(Address, /*IsPrefetch=*/false);
+    const Cache::EvictInfo Evicted = L1.fill(Address, /*IsPrefetch=*/false);
+    if (Evicted.EvictedUntouchedPrefetch) {
+      ++Stats.PrefetchesUnusedEvicted;
+      ++bucket(Evicted.EvictedStreamTag).UnusedEvicted;
+    }
+    charge(Latency.MemoryCycles, Latency.MemoryCycles - Latency.L1HitCycles);
+    return Latency.MemoryCycles;
+  }
 
   /// Prefetch into both cache levels (`prefetcht0`).  Non-binding and
   /// non-blocking: the fill completes after the block's latency.
@@ -182,17 +246,10 @@ public:
 
   /// Number of prefetches currently in flight (for tests).
   unsigned inFlightCount() const {
-    return static_cast<unsigned>(InFlight.size());
+    return static_cast<unsigned>(InFlightReady.size());
   }
 
 private:
-  struct InFlightPrefetch {
-    uint64_t BlockNumber;
-    uint64_t ReadyCycle;
-    bool FillL2; // memory-sourced prefetches fill both levels
-    uint32_t StreamTag;
-  };
-
   uint64_t blockNumber(Addr Address) const {
     return Address / L1.config().BlockBytes;
   }
@@ -217,17 +274,51 @@ private:
     return StreamClasses[StreamTag];
   }
 
-  /// Moves completed prefetches into the caches.
-  void drainDuePrefetches();
+  /// Moves completed prefetches into the caches.  The fast path is a
+  /// single compare against the cached earliest ready cycle — with no
+  /// prefetch due (the common case on every tick and access) nothing is
+  /// scanned.  NextReadyCycle is always the minimum ReadyCycle over the
+  /// in-flight queue, or ~0 when the queue is empty.
+  void drainDuePrefetches() {
+    if (Account.total() < NextReadyCycle)
+      return;
+    drainDuePrefetchesSlow();
+  }
+  void drainDuePrefetchesSlow();
 
-  /// Returns the in-flight entry covering \p Address, or nullptr.
-  InFlightPrefetch *findInFlight(Addr Address);
+  static constexpr size_t NotInFlight = ~size_t{0};
+
+  /// Index of the in-flight entry covering \p Address, or NotInFlight.
+  size_t findInFlight(Addr Address) const {
+    if (InFlightBlock.empty())
+      return NotInFlight;
+    const uint64_t Block = blockNumber(Address);
+    for (size_t I = 0; I < InFlightBlock.size(); ++I)
+      if (InFlightBlock[I] == Block)
+        return I;
+    return NotInFlight;
+  }
+
+  uint32_t inFlightTag(size_t I) const {
+    return static_cast<uint32_t>(InFlightMeta[I] >> 1);
+  }
+  bool inFlightFillsL2(size_t I) const { return (InFlightMeta[I] & 1) != 0; }
 
   Cache L1;
   Cache L2;
   LatencyConfig Latency;
   obs::CycleAccount Account;
-  std::vector<InFlightPrefetch> InFlight;
+  /// The in-flight prefetch queue, struct-of-arrays: the drain scan reads
+  /// only ready cycles and the partial-hit probe only block numbers, and
+  /// both run millions of times per prefetching-mode cell — parallel
+  /// arrays keep each scan inside a couple of host cache lines instead of
+  /// striding through 24-byte records.  Meta packs (StreamTag << 1) |
+  /// FillL2 (memory-sourced prefetches fill both levels).
+  std::vector<uint64_t> InFlightReady;
+  std::vector<uint64_t> InFlightBlock;
+  std::vector<uint64_t> InFlightMeta;
+  /// min ready cycle over the queue; ~0 when empty (drainDuePrefetches).
+  uint64_t NextReadyCycle = ~uint64_t{0};
   HierarchyStats Stats;
   std::vector<obs::PrefetchClassCounts> StreamClasses;
   obs::PrefetchClassCounts Untagged;

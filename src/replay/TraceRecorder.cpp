@@ -84,6 +84,15 @@ void TraceRecorder::onAccess(vulcan::SiteId Site, memsim::Addr Addr,
                       Site, Addr, 0, {}});
 }
 
+void TraceRecorder::onAccessBatch(const AccessEvent *Events, size_t Count) {
+  // One virtual dispatch per block; the append loop is the whole body.
+  T.Events.reserve(T.Events.size() + Count);
+  for (size_t I = 0; I < Count; ++I)
+    T.Events.push_back({Events[I].IsStore ? TraceEvent::Kind::Store
+                                          : TraceEvent::Kind::Load,
+                        Events[I].Site, Events[I].Addr, 0, {}});
+}
+
 void TraceRecorder::onCompute(uint64_t Cycles) {
   T.Events.push_back({TraceEvent::Kind::Compute, Cycles, 0, 0, {}});
 }

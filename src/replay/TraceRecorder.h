@@ -70,6 +70,7 @@ public:
   void onLoopBackEdge() override;
   void onAccess(vulcan::SiteId Site, memsim::Addr Addr,
                 bool IsStore) override;
+  void onAccessBatch(const AccessEvent *Events, size_t Count) override;
   void onCompute(uint64_t Cycles) override;
 
 private:

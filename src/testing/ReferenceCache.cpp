@@ -1,0 +1,111 @@
+//===- testing/ReferenceCache.cpp - Pre-rewrite cache model ---------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/ReferenceCache.h"
+
+using namespace hds;
+using namespace hds::testing;
+using memsim::Addr;
+
+ReferenceCache::ReferenceCache(const memsim::CacheConfig &Cfg)
+    : Config(Cfg), NumSets(Cfg.numSets()),
+      Lines(NumSets * Cfg.Associativity) {}
+
+ReferenceCache::Line *ReferenceCache::findLine(Addr Address) {
+  const Addr Tag = tagOf(Address);
+  Line *Set = &Lines[setIndex(Address) * Config.Associativity];
+  for (unsigned Way = 0; Way < Config.Associativity; ++Way)
+    if (Set[Way].Valid && Set[Way].Tag == Tag)
+      return &Set[Way];
+  return nullptr;
+}
+
+const ReferenceCache::Line *ReferenceCache::findLine(Addr Address) const {
+  return const_cast<ReferenceCache *>(this)->findLine(Address);
+}
+
+bool ReferenceCache::contains(Addr Address) const { return findLine(Address); }
+
+bool ReferenceCache::access(Addr Address, AccessInfo *Info) {
+  Line *Hit = findLine(Address);
+  if (!Hit) {
+    ++Stats.Misses;
+    return false;
+  }
+  ++Stats.Hits;
+  Hit->LastUse = ++UseClock;
+  if (Hit->PrefetchedUntouched) {
+    ++Stats.UsefulPrefetches;
+    Hit->PrefetchedUntouched = false;
+    if (Info) {
+      Info->PrefetchHit = true;
+      Info->StreamTag = Hit->StreamTag;
+    }
+  }
+  return true;
+}
+
+bool ReferenceCache::touchIfPresent(Addr Address) {
+  if (!findLine(Address))
+    return false;
+  return access(Address);
+}
+
+ReferenceCache::EvictInfo ReferenceCache::fill(Addr Address, bool IsPrefetch,
+                                               uint32_t StreamTag) {
+  if (Line *Existing = findLine(Address)) {
+    // Refilling a resident block just refreshes recency; it must not
+    // re-arm the prefetch bit on a demand-touched line.
+    Existing->LastUse = ++UseClock;
+    return EvictInfo();
+  }
+
+  Line *Set = &Lines[setIndex(Address) * Config.Associativity];
+  Line *Victim = &Set[0];
+  for (unsigned Way = 0; Way < Config.Associativity; ++Way) {
+    if (!Set[Way].Valid) {
+      Victim = &Set[Way];
+      break;
+    }
+    if (Set[Way].LastUse < Victim->LastUse)
+      Victim = &Set[Way];
+  }
+
+  EvictInfo Evicted;
+  if (Victim->Valid) {
+    ++Stats.Evictions;
+    if (Victim->PrefetchedUntouched) {
+      ++Stats.WastedPrefetches;
+      Evicted.EvictedUntouchedPrefetch = true;
+      Evicted.EvictedStreamTag = Victim->StreamTag;
+    }
+  }
+
+  Victim->Valid = true;
+  Victim->Tag = tagOf(Address);
+  Victim->LastUse = ++UseClock;
+  Victim->PrefetchedUntouched = IsPrefetch;
+  Victim->StreamTag = IsPrefetch ? StreamTag : obs::NoStreamTag;
+  if (IsPrefetch)
+    ++Stats.PrefetchFills;
+  else
+    ++Stats.DemandFills;
+  return Evicted;
+}
+
+void ReferenceCache::reset() {
+  for (Line &L : Lines)
+    L = Line();
+  UseClock = 0;
+}
+
+uint64_t ReferenceCache::validLineCount() const {
+  uint64_t Count = 0;
+  for (const Line &L : Lines)
+    if (L.Valid)
+      ++Count;
+  return Count;
+}

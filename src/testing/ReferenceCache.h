@@ -1,0 +1,98 @@
+//===- testing/ReferenceCache.h - Pre-rewrite cache model ------*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The straightforward array-of-line-structs cache model that
+/// memsim::Cache replaced with a packed set-major layout.  Kept verbatim
+/// as the differential-testing oracle: tests/cache_model_test.cpp drives
+/// both models through identical access/fill/contains sequences and
+/// requires identical hit/miss/eviction decisions and statistics at
+/// every step.  The implementation is deliberately naive — its
+/// correctness is readable at a glance, which is the whole point of an
+/// oracle.  Do not optimize this file.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_TESTING_REFERENCECACHE_H
+#define HDS_TESTING_REFERENCECACHE_H
+
+#include "memsim/Cache.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace hds {
+namespace testing {
+
+/// One level of a set-associative, true-LRU, tag-only cache — the
+/// pre-rewrite memsim::Cache.  Shares the production model's config,
+/// stats, and classification-detail types so differential tests compare
+/// them member for member.
+class ReferenceCache {
+public:
+  using AccessInfo = memsim::Cache::AccessInfo;
+  using EvictInfo = memsim::Cache::EvictInfo;
+
+  explicit ReferenceCache(const memsim::CacheConfig &Config);
+
+  /// Looks up \p Address without changing any state.
+  bool contains(memsim::Addr Address) const;
+
+  /// Demand access: returns true on hit (and updates LRU + prefetch
+  /// accounting).  On miss, no fill happens here.
+  bool access(memsim::Addr Address, AccessInfo *Info = nullptr);
+
+  /// Probe-and-touch: on a hit exactly access() (hit counted, LRU
+  /// refreshed, prefetched bit consumed); on a miss nothing changes.
+  bool touchIfPresent(memsim::Addr Address);
+
+  /// Fills the block containing \p Address, evicting LRU if needed.
+  EvictInfo fill(memsim::Addr Address, bool IsPrefetch,
+                 uint32_t StreamTag = obs::NoStreamTag);
+
+  /// Drops all lines.
+  void reset();
+
+  const memsim::CacheConfig &config() const { return Config; }
+  const memsim::CacheStats &stats() const { return Stats; }
+  void clearStats() { Stats = memsim::CacheStats(); }
+
+  /// Number of currently valid lines.
+  uint64_t validLineCount() const;
+
+private:
+  struct Line {
+    memsim::Addr Tag = 0;
+    uint64_t LastUse = 0;
+    bool Valid = false;
+    bool PrefetchedUntouched = false;
+    uint32_t StreamTag = obs::NoStreamTag;
+  };
+
+  uint64_t blockNumber(memsim::Addr Address) const {
+    return Address / Config.BlockBytes;
+  }
+  uint64_t setIndex(memsim::Addr Address) const {
+    return blockNumber(Address) % NumSets;
+  }
+  memsim::Addr tagOf(memsim::Addr Address) const {
+    return blockNumber(Address) / NumSets;
+  }
+
+  Line *findLine(memsim::Addr Address);
+  const Line *findLine(memsim::Addr Address) const;
+
+  memsim::CacheConfig Config;
+  uint64_t NumSets;
+  uint64_t UseClock = 0;
+  std::vector<Line> Lines; // NumSets * Associativity, set-major.
+  memsim::CacheStats Stats;
+};
+
+} // namespace testing
+} // namespace hds
+
+#endif // HDS_TESTING_REFERENCECACHE_H

@@ -101,10 +101,34 @@ std::vector<uint32_t> regexRecurrence(Rng &R) {
   return Trace;
 }
 
+std::vector<uint32_t> cacheThrash(Rng &R) {
+  // A working set larger than a small cache's line count, swept
+  // end-to-end lap after lap: by the time the sweep wraps, LRU has
+  // evicted everything the previous lap filled, so every lap misses on
+  // every block.  The sweep order within a lap is a fixed stride walk
+  // (deterministic per seed), and a short hot motif at each lap boundary
+  // gives the analyzers a genuine stream to find amid the churn.
+  const uint64_t WorkingSet = R.nextInRange(64, 160);
+  const uint64_t Stride = 1 + 2 * R.nextBelow(3); // odd: 1, 3, or 5
+  const std::vector<uint32_t> Motif =
+      makeMotif(R, 1u << 12, 8, R.nextInRange(3, 6));
+  std::vector<uint32_t> Trace;
+  const uint64_t Laps = R.nextInRange(8, 24);
+  uint64_t Cursor = R.nextBelow(WorkingSet);
+  for (uint64_t Lap = 0; Lap < Laps; ++Lap) {
+    for (uint64_t I = 0; I < WorkingSet; ++I) {
+      Trace.push_back(static_cast<uint32_t>(Cursor));
+      Cursor = (Cursor + Stride) % WorkingSet;
+    }
+    appendMotif(Trace, Motif);
+  }
+  return Trace;
+}
+
 } // namespace
 
 TraceShape hds::testing::shapeForSeed(uint64_t Seed) {
-  return static_cast<TraceShape>(Seed % 4);
+  return static_cast<TraceShape>(Seed % 5);
 }
 
 const char *hds::testing::shapeName(TraceShape Shape) {
@@ -117,6 +141,8 @@ const char *hds::testing::shapeName(TraceShape Shape) {
     return "noise-flood";
   case TraceShape::RegexRecurrence:
     return "regex-recurrence";
+  case TraceShape::CacheThrash:
+    return "cache-thrash";
   }
   return "unknown";
 }
@@ -132,6 +158,8 @@ std::vector<uint32_t> hds::testing::generateTrace(uint64_t Seed) {
     return noiseFlood(R);
   case TraceShape::RegexRecurrence:
     return regexRecurrence(R);
+  case TraceShape::CacheThrash:
+    return cacheThrash(R);
   }
   return {};
 }

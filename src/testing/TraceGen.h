@@ -24,6 +24,12 @@
 ///    re-entrant heads, nested repetitions a^k b a^k); stresses digram
 ///    uniqueness corner cases and the DFSM's multi-candidate tracking,
 ///    where the scalar matcher is known to lose matches.
+///  * CacheThrash — a working set larger than the modeled cache swept
+///    end-to-end lap after lap, LRU's pathological reuse-distance case;
+///    stresses long-period recurrence in the analyzers, and (via the
+///    set-aliasing address mapping in tests/cache_model_test.cpp) the
+///    packed cache model's eviction bookkeeping under 100% conflict
+///    pressure.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -42,6 +48,7 @@ enum class TraceShape : uint8_t {
   PhaseShifts = 1,
   NoiseFlood = 2,
   RegexRecurrence = 3,
+  CacheThrash = 4,
 };
 
 /// Seeds cycle round-robin through the shapes so a contiguous seed sweep

@@ -83,10 +83,15 @@ void ChainSet::walk(core::Runtime &Rt, uint32_t Index) const {
   Rt.load(Walk.HeadSite, HeadTable[Index]);
   Rt.load(Walk.FirstSite, Nodes[0]);
   Rt.compute(Config.ComputePerHop);
+  // Countdown instead of `N % HopsPerCheck`: no integer divide on the
+  // per-hop path (fires at the same N).
+  uint32_t UntilCheck = Config.HopsPerCheck;
   for (uint32_t N = 1; N < Nodes.size(); ++N) {
     Rt.load(Walk.BodySite, Nodes[N]);
     Rt.compute(Config.ComputePerHop);
-    if (N % Config.HopsPerCheck == 0)
+    if (--UntilCheck == 0) {
       Rt.loopBackEdge();
+      UntilCheck = Config.HopsPerCheck;
+    }
   }
 }

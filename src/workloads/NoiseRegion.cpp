@@ -44,6 +44,10 @@ void NoiseRegion::step(core::Runtime &Rt, uint64_t Refs) {
   if (Refs == 0)
     return;
   core::Runtime::ProcedureScope Scope(Rt, Proc);
+  // Countdown instead of `(I + 1) % RefsPerCheck`: the modulo by a
+  // runtime value is an integer divide on every reference, in a loop
+  // whose whole body is a couple dozen instructions.
+  uint32_t UntilCheck = Config.RefsPerCheck;
   for (uint64_t I = 0; I < Refs; ++I) {
     memsim::Addr Target = Base + Cursor;
     if (Config.ShuffleBlocks) {
@@ -59,7 +63,9 @@ void NoiseRegion::step(core::Runtime &Rt, uint64_t Refs) {
     Cursor += Config.StrideBytes;
     if (Cursor + 8 > Config.Bytes)
       Cursor = 0;
-    if ((I + 1) % Config.RefsPerCheck == 0)
+    if (--UntilCheck == 0) {
       Rt.loopBackEdge();
+      UntilCheck = Config.RefsPerCheck;
+    }
   }
 }

@@ -4,8 +4,10 @@
 #define WRONG_GUARD_NAME_H
 
 struct Holder {
-  std::vector<int> Values; // H1: <vector> not included
-  uint64_t Total = 0;      // H1: <cstdint> not included
+  std::vector<int> Values;   // H1: <vector> not included
+  std::array<int, 4> Quad;   // H1: <array> not included
+  std::span<const int> View; // H1: <span> not included
+  uint64_t Total = 0;        // H1: <cstdint> not included
 };
 
 #endif

@@ -203,7 +203,8 @@ TEST(LintD4Test, MakeUniqueAndDefaultedOperatorsAreFine) {
 TEST(LintH1Test, FiresOnWrongGuardAndMissingIncludes) {
   auto Fs = lintFixture("h1_bad.h", "src/fixture/h1_bad.h");
   auto Counts = idCounts(Fs);
-  EXPECT_EQ(Counts["H1"], 3) << dump(Fs); // guard, vector, uint64_t
+  EXPECT_EQ(Counts["H1"], 5)
+      << dump(Fs); // guard, vector, array, span, uint64_t
   bool MentionsCanonical = false;
   for (const Finding &F : Fs)
     if (F.FixHint.find("HDS_FIXTURE_H1_BAD_H") != std::string::npos)

@@ -155,13 +155,14 @@ TEST(StreamPrefetchStatsTest, FiguresOfMeritHandleZeroDenominators) {
 
 TEST(MetricRegistryTest, HasEveryBlockInDocumentOrder) {
   const std::vector<MetricBlock> &Registry = metricRegistry();
-  ASSERT_EQ(Registry.size(), 6u);
+  ASSERT_EQ(Registry.size(), 7u);
   EXPECT_STREQ(Registry[0].Name, "result");
   EXPECT_STREQ(Registry[1].Name, "phase");
   EXPECT_STREQ(Registry[2].Name, "memory");
   EXPECT_STREQ(Registry[3].Name, "cache");
   EXPECT_STREQ(Registry[4].Name, "cycle_breakdown");
   EXPECT_STREQ(Registry[5].Name, "stream");
+  EXPECT_STREQ(Registry[6].Name, "timing");
   for (const MetricBlock &Block : Registry)
     EXPECT_FALSE(Block.Metrics.empty()) << Block.Name;
 }
@@ -240,12 +241,22 @@ RunResult denseResult() {
   obs::StreamPrefetchStats Stream;
   obs::visitStreamPrefetchStatsMetrics(Stream, Assign);
   Result.Streams.push_back(Stream);
+  visitResultTimingMetrics(Result.Timing, Assign);
   return Result;
+}
+
+/// TimingInfo that turns on the per-result "timing" object (the
+/// registry's "timing" block only reaches the JSON when a caller
+/// measures wall clock and opts in).
+TimingInfo perResultTiming() {
+  TimingInfo Timing;
+  Timing.IncludePerResult = true;
+  return Timing;
 }
 
 TEST(MetricRegistryTest, EveryRegisteredIdAppearsInTheJson) {
   const std::string Json =
-      resultsToJson(std::vector<RunResult>{denseResult()});
+      resultsToJson(std::vector<RunResult>{denseResult()}, perResultTiming());
   for (const MetricBlock &Block : metricRegistry())
     for (const obs::MetricDef &Def : Block.Metrics)
       EXPECT_NE(Json.find("\"" + std::string(Def.Id) + "\":"),
@@ -262,9 +273,11 @@ TEST(MetricRegistryTest, WireRoundTripPreservesEveryRegisteredMetric) {
   ASSERT_TRUE(wire::decodeResult(wire::encodeResult(21, Original), Index,
                                  Decoded, Error))
       << Error;
-  // Byte-identical JSON == every registered field survived the trip.
-  EXPECT_EQ(resultsToJson(std::vector<RunResult>{Decoded}),
-            resultsToJson(std::vector<RunResult>{Original}));
+  // Byte-identical JSON == every registered field survived the trip
+  // (timing enabled so the wall-clock gauges are covered too).
+  EXPECT_EQ(
+      resultsToJson(std::vector<RunResult>{Decoded}, perResultTiming()),
+      resultsToJson(std::vector<RunResult>{Original}, perResultTiming()));
 }
 
 } // namespace

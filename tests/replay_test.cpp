@@ -273,10 +273,11 @@ TEST(TraceGenTest, DistinctSeedsProduceDistinctTraces) {
 }
 
 TEST(TraceGenTest, SeedsCycleThroughAllShapes) {
-  EXPECT_EQ(gen::shapeForSeed(4), gen::TraceShape::HotLoops);
-  EXPECT_EQ(gen::shapeForSeed(5), gen::TraceShape::PhaseShifts);
-  EXPECT_EQ(gen::shapeForSeed(6), gen::TraceShape::NoiseFlood);
-  EXPECT_EQ(gen::shapeForSeed(7), gen::TraceShape::RegexRecurrence);
+  EXPECT_EQ(gen::shapeForSeed(5), gen::TraceShape::HotLoops);
+  EXPECT_EQ(gen::shapeForSeed(6), gen::TraceShape::PhaseShifts);
+  EXPECT_EQ(gen::shapeForSeed(7), gen::TraceShape::NoiseFlood);
+  EXPECT_EQ(gen::shapeForSeed(8), gen::TraceShape::RegexRecurrence);
+  EXPECT_EQ(gen::shapeForSeed(9), gen::TraceShape::CacheThrash);
   EXPECT_STRNE(gen::shapeName(gen::TraceShape::HotLoops),
                gen::shapeName(gen::TraceShape::NoiseFlood));
 }

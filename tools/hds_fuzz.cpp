@@ -3,7 +3,8 @@
 // Part of the hds project (PLDI 2002 hot data stream prefetching repro).
 //
 // Generates adversarial reference traces (hot loops, phase shifts, noise
-// floods, regex-shaped recurrences — see src/testing/TraceGen.h) and runs
+// floods, regex-shaped recurrences, cache-thrash sweeps — see
+// src/testing/TraceGen.h) and runs
 // the full differential oracle suite over each: Sequitur invariants +
 // exact decompression, fast-vs-precise analyzer cross-checks, and
 // DFSM-vs-reference-matcher equivalence.  Every trace is a pure function

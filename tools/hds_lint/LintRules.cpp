@@ -656,6 +656,8 @@ struct IncludeRequirement {
 const std::vector<IncludeRequirement> &includeRequirements() {
   static const std::vector<IncludeRequirement> Reqs = {
       {"vector", true, {"vector"}},
+      {"array", true, {"array"}},
+      {"span", true, {"span"}},
       {"string", true, {"string"}},
       {"unordered_map", true, {"unordered_map"}},
       {"unordered_set", true, {"unordered_set"}},

@@ -45,6 +45,9 @@
 //                           exits 1 when B regressed against A
 //     --threshold PCT       relative change a metric must exceed to
 //                           count as a difference (default 0 = exact)
+//     --wall-threshold PCT  also gate timing.accesses_per_sec: a drop
+//                           beyond PCT is a regression (default: all
+//                           timing.* paths are ignored as machine noise)
 //
 //===----------------------------------------------------------------------===//
 
@@ -93,6 +96,7 @@ struct Options {
   // Diff mode.
   std::string DiffA, DiffB;
   double ThresholdPct = 0.0;
+  double WallThresholdPct = -1.0; ///< < 0 ignores timing.* (the default)
 };
 
 [[noreturn]] void usage(const char *Binary) {
@@ -104,7 +108,8 @@ struct Options {
       "          [--serve ADDR] [--workers N] [--job-timeout MS]\n"
       "          [--idle-timeout MS]\n"
       "       %s --worker ADDR [--job-timeout MS]\n"
-      "       %s --diff A.json B.json [--threshold PCT]\n"
+      "       %s --diff A.json B.json [--threshold PCT] "
+      "[--wall-threshold PCT]\n"
       "filters: workload=<name>  mode=<original|base|prof|hds|nopref|"
       "seqpref|dynpref>  seed=<n>\n"
       "addresses: host:port (port 0 = ephemeral) or unix:/path\n",
@@ -172,6 +177,17 @@ Options parseOptions(int Argc, char **Argv) {
                      Text);
         std::exit(2);
       }
+    } else if (Arg == "--wall-threshold") {
+      const char *Text = Next();
+      char *End = nullptr;
+      Opts.WallThresholdPct = std::strtod(Text, &End);
+      if (End == Text || *End != '\0' || Opts.WallThresholdPct < 0.0) {
+        std::fprintf(
+            stderr,
+            "error: invalid --wall-threshold '%s' (need a number >= 0)\n",
+            Text);
+        std::exit(2);
+      }
     } else {
       usage(Argv[0]);
     }
@@ -235,6 +251,7 @@ int runDiffMode(const Options &Opts) {
   }
   engine::DiffOptions Diff;
   Diff.ThresholdPct = Opts.ThresholdPct;
+  Diff.WallThresholdPct = Opts.WallThresholdPct;
   engine::DiffReport Report;
   std::string Error;
   if (!engine::diffResults(JsonA, JsonB, Diff, Report, Error)) {

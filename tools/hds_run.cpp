@@ -214,6 +214,12 @@ public:
     A.onAccess(Site, Addr, IsStore);
     B.onAccess(Site, Addr, IsStore);
   }
+  void onAccessBatch(const AccessEvent *Events, size_t Count) override {
+    // Forward whole blocks so a batching downstream (the recorder) keeps
+    // its amortization even behind the tee.
+    A.onAccessBatch(Events, Count);
+    B.onAccessBatch(Events, Count);
+  }
   void onCompute(uint64_t Cycles) override {
     A.onCompute(Cycles);
     B.onCompute(Cycles);
