@@ -36,28 +36,42 @@ struct Coordinator::ServeState {
   /// Signalled when Pending gains a job or Done flips.
   std::condition_variable WorkAvailable;
 
-  std::deque<std::size_t> Pending; ///< indices awaiting a worker
-  std::vector<unsigned> Attempts;  ///< dispatch count per index
-  std::vector<bool> Resolved;      ///< sink slot filled (exactly once)
-  std::size_t Unresolved = 0;
-  unsigned ActiveWorkers = 0;
-  bool Done = false;
+  std::deque<std::size_t> Pending; // hds-guarded-by(Mutex) awaiting a worker
+  std::vector<unsigned> Attempts;  // hds-guarded-by(Mutex) dispatches per index
+  std::vector<bool> Resolved;      // hds-guarded-by(Mutex) slot filled once
+  std::size_t Unresolved = 0;      // hds-guarded-by(Mutex)
+  unsigned ActiveWorkers = 0;      // hds-guarded-by(Mutex)
+  bool Done = false;               // hds-guarded-by(Mutex)
   /// Accept loop gave up (listener error); once the last worker leaves,
   /// nobody can resolve pending jobs, so the leaving worker fails them.
-  bool ListenerBroken = false;
+  bool ListenerBroken = false; // hds-guarded-by(Mutex)
   /// Monotonic registry key for Open (never a pointer value: iteration
   /// order must not depend on allocation addresses, rule D3's spirit).
-  std::size_t NextConnectionId = 0;
+  std::size_t NextConnectionId = 0; // hds-guarded-by(Mutex)
 
   /// Open connections by service-thread id, so completion can shake
   /// blocked recv() calls loose via shutdown instead of waiting out
   /// their deadlines.
-  std::map<std::size_t, Connection *> Open;
+  std::map<std::size_t, Connection *> Open; // hds-guarded-by(Mutex)
 
   std::span<const ExperimentSpec> Specs;
   ResultSink *Sink = nullptr;
 
-  /// Must hold Mutex.  Resolves \p Index exactly once.
+  /// All field initialization lives here, before any service or accept
+  /// thread exists — single-threaded by construction, so the constructor
+  /// (exempt from T1) is the only place that may touch guarded fields
+  /// without the mutex.
+  ServeState(std::span<const ExperimentSpec> SpecsIn, ResultSink &SinkIn)
+      : Specs(SpecsIn), Sink(&SinkIn) {
+    Attempts.assign(Specs.size(), 0);
+    Resolved.assign(Specs.size(), false);
+    Unresolved = Specs.size();
+    for (std::size_t I = 0; I < Specs.size(); ++I)
+      Pending.push_back(I);
+  }
+
+  /// Resolves \p Index exactly once.
+  // hds-requires(Mutex)
   void resolveLocked(std::size_t Index, RunResult Result) {
     if (Resolved[Index])
       return;
@@ -67,11 +81,12 @@ struct Coordinator::ServeState {
       finishLocked();
   }
 
-  /// Must hold Mutex.  Flips Done and wakes every blocked thread.  Only
+  /// Flips Done and wakes every blocked thread.  Only
   /// the receive side of each connection is shut down: that is enough
   /// to shake a service thread out of a blocked recvFrame, while the
   /// send side stays open so the thread can still deliver the farewell
   /// Shutdown frame its worker needs to exit cleanly.
+  // hds-requires(Mutex)
   void finishLocked() {
     Done = true;
     WorkAvailable.notify_all();
@@ -81,8 +96,9 @@ struct Coordinator::ServeState {
     }
   }
 
-  /// Must hold Mutex.  With a broken listener and no workers left, no
-  /// one can ever resolve the pending jobs — fail them now.
+  /// With a broken listener and no workers left, no one can ever resolve
+  /// the pending jobs — fail them now.
+  // hds-requires(Mutex)
   void failPendingLocked(const std::string &Reason,
                          std::span<const ExperimentSpec> AllSpecs) {
     while (!Pending.empty()) {
@@ -98,8 +114,9 @@ struct Coordinator::ServeState {
       finishLocked();
   }
 
-  /// Must hold Mutex.  Returns \p Index to the queue or, once the retry
-  /// budget is spent, resolves it as an error.
+  /// Returns \p Index to the queue or, once the retry budget is spent,
+  /// resolves it as an error.
+  // hds-requires(Mutex)
   void requeueLocked(std::size_t Index, const std::string &Reason,
                      unsigned RetryBudget) {
     if (Resolved[Index])
@@ -126,14 +143,7 @@ bool Coordinator::listen() { return Sockets.listen(Opts.ListenAddr, ListenError)
 
 void Coordinator::serve(std::span<const ExperimentSpec> Specs,
                         ResultSink &Sink) {
-  ServeState State;
-  State.Specs = Specs;
-  State.Sink = &Sink;
-  State.Attempts.assign(Specs.size(), 0);
-  State.Resolved.assign(Specs.size(), false);
-  State.Unresolved = Specs.size();
-  for (std::size_t I = 0; I < Specs.size(); ++I)
-    State.Pending.push_back(I);
+  ServeState State(Specs, Sink);
   if (Specs.empty())
     return;
 

@@ -179,6 +179,7 @@ namespace {
 
 // Tag vocabularies.  0 terminates a tagged section; unknown or duplicate
 // tags are decode errors (skew shows up at the version byte, not here).
+// hds-schema-enum
 enum SpecTag : uint8_t {
   SpecEnd = 0,
   SpecWorkload = 1,
@@ -190,6 +191,7 @@ enum SpecTag : uint8_t {
   SpecFlags = 7,
 };
 
+// hds-schema-enum
 enum ResultTag : uint8_t {
   ResultEnd = 0,
   ResultSpec = 1,

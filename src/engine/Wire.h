@@ -60,6 +60,7 @@ constexpr uint32_t MaxPayloadBytes = 1u << 20;
 constexpr std::size_t HeaderBytes = 8;
 constexpr std::size_t TrailerBytes = 4;
 
+// hds-schema-enum, hds-exhaustive
 enum class FrameType : uint8_t {
   /// Worker → coordinator, once after connecting.  Empty payload; the
   /// version byte in the frame header is the handshake.

@@ -1,10 +1,10 @@
-//===- tools/hds_lint/LintLexer.cpp - Token-level C++ lexer ---------------===//
+//===- src/lint/Lexer.cpp - Token-level C++ lexer -------------------------===//
 //
 // Part of the hds project (PLDI 2002 hot data stream prefetching repro).
 //
 //===----------------------------------------------------------------------===//
 
-#include "LintLexer.h"
+#include "lint/Lexer.h"
 
 #include <cctype>
 

@@ -1,4 +1,4 @@
-//===- tools/hds_lint/LintLexer.h - Token-level C++ lexer ------*- C++ -*-===//
+//===- src/lint/Lexer.h - Token-level C++ lexer ----------------*- C++ -*-===//
 //
 // Part of the hds project (PLDI 2002 hot data stream prefetching repro).
 //
@@ -18,8 +18,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef HDS_TOOLS_HDS_LINT_LINTLEXER_H
-#define HDS_TOOLS_HDS_LINT_LINTLEXER_H
+#ifndef HDS_LINT_LEXER_H
+#define HDS_LINT_LEXER_H
 
 #include <string>
 #include <string_view>
@@ -76,4 +76,4 @@ LexedFile lexSource(std::string DisplayPath, std::string_view Source);
 } // namespace lint
 } // namespace hds
 
-#endif // HDS_TOOLS_HDS_LINT_LINTLEXER_H
+#endif // HDS_LINT_LEXER_H

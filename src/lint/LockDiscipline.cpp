@@ -1,0 +1,467 @@
+//===- src/lint/LockDiscipline.cpp - T1 guarded-field checking ------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/LockDiscipline.h"
+
+#include "lint/ScopeTracker.h"
+#include "lint/TokenUtil.h"
+
+#include <set>
+
+namespace hds {
+namespace lint {
+
+namespace {
+
+using Toks = std::vector<Token>;
+
+/// Container member calls that mutate the receiver.
+bool isMutatingMethod(const std::string &Name) {
+  static const std::set<std::string> Methods = {
+      "push_back", "push_front",    "pop_back", "pop_front", "clear",
+      "erase",     "insert",        "emplace",  "emplace_back",
+      "emplace_front", "assign",    "resize",   "reserve",   "swap"};
+  return Methods.count(Name) != 0;
+}
+
+bool isCompoundAssign(const std::string &P) {
+  return P == "+=" || P == "-=" || P == "*=" || P == "/=" || P == "%=" ||
+         P == "&=" || P == "|=" || P == "^=" || P == "<<=" || P == ">>=";
+}
+
+/// Position of \p Marker when the comment IS an annotation: nothing but
+/// whitespace and doc-comment punctuation may precede it.  Prose that
+/// merely mentions the marker ("fields annotated hds-guarded-by(...)")
+/// does not count.
+size_t markerStart(const std::string &Text, std::string_view Marker) {
+  size_t Pos = Text.find(Marker);
+  if (Pos == std::string::npos)
+    return std::string::npos;
+  for (size_t I = 0; I < Pos; ++I)
+    if (std::string_view(" \t\r\n/*!<`").find(Text[I]) ==
+        std::string_view::npos)
+      return std::string::npos;
+  return Pos;
+}
+
+/// Parses "hds-guarded-by(Name)" / "hds-requires(Name)" out of a comment.
+/// Returns the mutex name, or "" when the marker is absent or malformed.
+std::string parseMarker(const std::string &Text, std::string_view Marker) {
+  size_t Pos = markerStart(Text, Marker);
+  if (Pos == std::string::npos)
+    return {};
+  size_t Open = Pos + Marker.size();
+  if (Open >= Text.size() || Text[Open] != '(')
+    return {};
+  size_t Close = Text.find(')', Open);
+  if (Close == std::string::npos)
+    return {};
+  return Text.substr(Open + 1, Close - Open - 1);
+}
+
+/// The field declared on line \p Line: first identifier followed by ';',
+/// '=', '{', or '['.  Returns the token index, or T.size().
+size_t fieldDeclOnLine(const Toks &T, unsigned Line) {
+  for (size_t I = 0; I < T.size(); ++I) {
+    if (T[I].Line != Line || T[I].K != Token::Ident)
+      continue;
+    if (isPunct(T, I + 1, ";") || isPunct(T, I + 1, "=") ||
+        isPunct(T, I + 1, "{") || isPunct(T, I + 1, "["))
+      return I;
+  }
+  return T.size();
+}
+
+/// Innermost class span containing token \p Tok.
+const ClassSpan *owningClass(const std::vector<ClassSpan> &Classes,
+                             size_t Tok) {
+  const ClassSpan *Best = nullptr;
+  for (const ClassSpan &CS : Classes)
+    if (CS.Open < Tok && Tok < CS.Close &&
+        (!Best || CS.Close - CS.Open < Best->Close - Best->Open))
+      Best = &CS;
+  return Best;
+}
+
+/// One acquired lock in the current function walk.
+struct ActiveLock {
+  std::string Var;
+  std::vector<std::string> Mutexes;
+  int Depth = 0; ///< brace depth at the declaration; released below it
+  bool Held = true;
+  /// Held-state saved by manual lock()/unlock() toggles in nested blocks,
+  /// restored when the block closes.  The linear token walk cannot see
+  /// that `if (done) { L.unlock(); return; }` never reaches the code
+  /// after the block; scoping the toggle to its block models the common
+  /// unlock-then-exit pattern without flow analysis.
+  std::vector<std::pair<int, bool>> SavedHeld;
+};
+
+/// Extracts the mutex names from a lock constructor argument list
+/// [ArgsOpen, ArgsClose): the last identifier of each top-level argument.
+/// `std::defer_lock` / `std::try_to_lock` mean the mutex is not yet held.
+void lockCtorMutexes(const Toks &T, size_t ArgsOpen, size_t ArgsClose,
+                     std::vector<std::string> &Mutexes, bool &HeldAtCtor) {
+  std::string Last;
+  int Depth = 0;
+  for (size_t I = ArgsOpen + 1; I < ArgsClose; ++I) {
+    if (T[I].K == Token::Punct) {
+      const std::string &P = T[I].Text;
+      if (P == "(" || P == "[" || P == "{")
+        ++Depth;
+      else if (P == ")" || P == "]" || P == "}")
+        --Depth;
+      else if (P == "," && Depth == 0) {
+        if (!Last.empty())
+          Mutexes.push_back(Last);
+        Last.clear();
+      }
+      continue;
+    }
+    if (T[I].K == Token::Ident)
+      Last = T[I].Text;
+  }
+  if (!Last.empty())
+    Mutexes.push_back(Last);
+  HeldAtCtor = true;
+  std::vector<std::string> Real;
+  for (const std::string &M : Mutexes) {
+    if (M == "defer_lock")
+      HeldAtCtor = false;
+    else if (M != "adopt_lock" && M != "try_to_lock")
+      Real.push_back(M);
+  }
+  Mutexes = std::move(Real);
+}
+
+} // namespace
+
+LockRegistry collectLockAnnotations(const std::vector<LexedFile> &Files,
+                                    std::vector<Finding> &Sup) {
+  LockRegistry Reg;
+  for (const LexedFile &File : Files) {
+    std::vector<ClassSpan> Classes;
+    std::vector<FunctionBody> Bodies;
+    bool Scanned = false;
+    for (const Comment &Note : File.Comments) {
+      std::string GuardMutex = parseMarker(Note.Text, "hds-guarded-by");
+      std::string ReqMutex = parseMarker(Note.Text, "hds-requires");
+      if (GuardMutex.empty() && ReqMutex.empty()) {
+        // A marker without a parenthesized mutex name is a silent no-op
+        // waiting to happen — report it.
+        if (markerStart(Note.Text, "hds-guarded-by") != std::string::npos ||
+            markerStart(Note.Text, "hds-requires") != std::string::npos)
+          Sup.push_back({"SUP", File.Path, Note.Line,
+                         "lock annotation is missing its (mutexName)",
+                         "write `// hds-guarded-by(Mutex)` or "
+                         "`// hds-requires(Mutex)`"});
+        continue;
+      }
+      if (!Scanned) {
+        Classes = findClassSpans(File.Toks);
+        Bodies = findFunctionBodies(File.Toks, Classes);
+        Scanned = true;
+      }
+      // The annotation attaches to its own lines or the line below.
+      bool Attached = false;
+      if (!GuardMutex.empty()) {
+        for (unsigned L = Note.Line; L <= Note.EndLine + 1 && !Attached;
+             ++L) {
+          size_t Tok = fieldDeclOnLine(File.Toks, L);
+          if (Tok == File.Toks.size())
+            continue;
+          const ClassSpan *CS = owningClass(Classes, Tok);
+          if (!CS)
+            continue;
+          Reg.Fields[CS->Name][File.Toks[Tok].Text] = GuardMutex;
+          Attached = true;
+        }
+        if (!Attached)
+          Sup.push_back({"SUP", File.Path, Note.Line,
+                         "hds-guarded-by annotation does not attach to a "
+                         "field declaration inside a class",
+                         "place it on the field's line or the line above"});
+      }
+      if (!ReqMutex.empty()) {
+        for (const FunctionBody &FB : Bodies)
+          if (FB.Line >= Note.Line && FB.Line <= Note.EndLine + 1) {
+            Reg.Requires[FB.ClassName][FB.Name] = ReqMutex;
+            Attached = true;
+            break;
+          }
+        if (!Attached)
+          Sup.push_back({"SUP", File.Path, Note.Line,
+                         "hds-requires annotation does not attach to a "
+                         "function definition",
+                         "place it on the line above the definition whose "
+                         "callers must hold the mutex"});
+      }
+    }
+  }
+  return Reg;
+}
+
+void checkLockDiscipline(const LexedFile &File, const LockRegistry &Registry,
+                         std::vector<Finding> &Out) {
+  if (Registry.empty())
+    return;
+  const Toks &T = File.Toks;
+
+  // Fast reject: does the file mention any guarded class or field at all?
+  std::set<std::string> Interesting;
+  for (const auto &[Class, Fields] : Registry.Fields) {
+    Interesting.insert(Class);
+    for (const auto &[Field, Mutex] : Fields) {
+      (void)Mutex;
+      Interesting.insert(Field);
+    }
+  }
+  for (const auto &[Class, Fns] : Registry.Requires) {
+    Interesting.insert(Class);
+    for (const auto &[Fn, Mutex] : Fns) {
+      (void)Mutex;
+      Interesting.insert(Fn);
+    }
+  }
+  bool Mentions = false;
+  for (const Token &Tok : T)
+    if (Tok.K == Token::Ident && Interesting.count(Tok.Text)) {
+      Mentions = true;
+      break;
+    }
+  if (!Mentions)
+    return;
+
+  std::vector<ClassSpan> Classes = findClassSpans(T);
+  std::vector<FunctionBody> Bodies = findFunctionBodies(T, Classes);
+
+  auto FieldMutex = [&](const std::string &Class,
+                        const std::string &Field) -> const std::string * {
+    auto CIt = Registry.Fields.find(Class);
+    if (CIt == Registry.Fields.end())
+      return nullptr;
+    auto FIt = CIt->second.find(Field);
+    return FIt == CIt->second.end() ? nullptr : &FIt->second;
+  };
+  auto RequiredMutex = [&](const std::string &Class,
+                           const std::string &Fn) -> const std::string * {
+    auto CIt = Registry.Requires.find(Class);
+    if (CIt == Registry.Requires.end())
+      return nullptr;
+    auto FIt = CIt->second.find(Fn);
+    return FIt == CIt->second.end() ? nullptr : &FIt->second;
+  };
+
+  for (const FunctionBody &FB : Bodies) {
+    bool OwnerAnnotated = Registry.Fields.count(FB.ClassName) != 0 ||
+                          Registry.Requires.count(FB.ClassName) != 0;
+    if (FB.IsCtorDtor && OwnerAnnotated)
+      continue; // single-threaded by construction
+
+    // The body of an hds-requires function holds its mutex throughout.
+    std::set<std::string> AlwaysHeld;
+    if (const std::string *M = RequiredMutex(FB.ClassName, FB.Name))
+      AlwaysHeld.insert(*M);
+
+    std::map<std::string, std::string> VarClass; // local var -> guarded class
+    std::vector<ActiveLock> Locks;
+    int Depth = 0;
+
+    auto MutexHeld = [&](const std::string &M) {
+      if (AlwaysHeld.count(M))
+        return true;
+      for (const ActiveLock &L : Locks)
+        if (L.Held)
+          for (const std::string &Held : L.Mutexes)
+            if (Held == M)
+              return true;
+      return false;
+    };
+
+    for (size_t I = FB.NameTok; I < FB.Close && I < T.size(); ++I) {
+      if (T[I].K == Token::Punct) {
+        if (T[I].Text == "{") {
+          ++Depth;
+        } else if (T[I].Text == "}") {
+          --Depth;
+          while (!Locks.empty() && Locks.back().Depth > Depth)
+            Locks.pop_back();
+          for (ActiveLock &L : Locks)
+            while (!L.SavedHeld.empty() && L.SavedHeld.back().first > Depth) {
+              L.Held = L.SavedHeld.back().second;
+              L.SavedHeld.pop_back();
+            }
+        }
+        continue;
+      }
+      if (T[I].K != Token::Ident)
+        continue;
+
+      // Local declarations binding an annotated class type to a name:
+      // `ServeState State;`, `ServeState &State` (parameter).
+      if (Registry.Fields.count(T[I].Text) ||
+          Registry.Requires.count(T[I].Text)) {
+        size_t J = I + 1;
+        while (isPunct(T, J, "&") || isPunct(T, J, "*") ||
+               isIdent(T, J, "const"))
+          ++J;
+        if (J < T.size() && T[J].K == Token::Ident &&
+            !isPunct(T, J + 1, "("))
+          VarClass[T[J].Text] = T[I].Text;
+      }
+
+      // Lock acquisition: std::lock_guard/scoped_lock/unique_lock,
+      // optionally templated, then the lock variable and its ctor args.
+      if (T[I].Text == "lock_guard" || T[I].Text == "scoped_lock" ||
+          T[I].Text == "unique_lock") {
+        size_t J = I + 1;
+        if (isPunct(T, J, "<")) {
+          size_t C = matchingTemplateClose(T, J);
+          if (C == T.size())
+            continue;
+          J = C + 1;
+        }
+        if (J >= T.size() || T[J].K != Token::Ident)
+          continue;
+        std::string Var = T[J].Text;
+        size_t ArgsOpen = J + 1;
+        if (!isPunct(T, ArgsOpen, "(") && !isPunct(T, ArgsOpen, "{"))
+          continue;
+        size_t ArgsClose = matchingClose(T, ArgsOpen);
+        if (ArgsClose == T.size())
+          continue;
+        ActiveLock L;
+        L.Var = Var;
+        L.Depth = Depth;
+        lockCtorMutexes(T, ArgsOpen, ArgsClose, L.Mutexes, L.Held);
+        Locks.push_back(std::move(L));
+        I = ArgsClose;
+        continue;
+      }
+
+      // Manual lock()/unlock() on a tracked lock variable.
+      if ((isPunct(T, I + 1, ".") &&
+           (isIdent(T, I + 2, "unlock") || isIdent(T, I + 2, "lock")) &&
+           isPunct(T, I + 3, "("))) {
+        for (ActiveLock &L : Locks)
+          if (L.Var == T[I].Text) {
+            if (Depth > L.Depth)
+              L.SavedHeld.emplace_back(Depth, L.Held);
+            L.Held = isIdent(T, I + 2, "lock");
+          }
+      }
+
+      // Access-path scan.  A path starts at an identifier not preceded
+      // by '.', '->', or '::'.
+      if (I > FB.NameTok &&
+          (isPunct(T, I - 1, ".") || isPunct(T, I - 1, "->") ||
+           isPunct(T, I - 1, "::")))
+        continue;
+      std::vector<std::string> Comps{T[I].Text};
+      size_t J = I + 1;
+      while (J < T.size()) {
+        if (isPunct(T, J, "[")) {
+          size_t C = matchingClose(T, J);
+          if (C == T.size())
+            break;
+          J = C + 1;
+          continue;
+        }
+        if ((isPunct(T, J, ".") || isPunct(T, J, "->")) && J + 1 < T.size() &&
+            T[J + 1].K == Token::Ident) {
+          Comps.push_back(T[J + 1].Text);
+          J += 2;
+          continue;
+        }
+        break;
+      }
+      if (J >= T.size())
+        continue;
+      const Token &Op = T[J];
+
+      bool PreIncDec = I > 0 && (isPunct(T, I - 1, "++") ||
+                                 isPunct(T, I - 1, "--"));
+      bool PostMutates =
+          Op.K == Token::Punct &&
+          (Op.Text == "+=" || Op.Text == "++" || Op.Text == "--" ||
+           isCompoundAssign(Op.Text));
+      bool PlainAssign = Op.K == Token::Punct && Op.Text == "=";
+      if (PlainAssign) {
+        // `Type Name = ...` is a declaration/initialization, not a
+        // mutation of a previously declared object.
+        bool DeclContext =
+            I > 0 && (T[I - 1].K == Token::Ident || isPunct(T, I - 1, ">") ||
+                      isPunct(T, I - 1, "*") || isPunct(T, I - 1, "&"));
+        PostMutates = PostMutates || (!DeclContext && Comps.size() >= 1);
+        if (DeclContext)
+          PlainAssign = false;
+      }
+      bool MethodCall = Op.K == Token::Punct && Op.Text == "(" &&
+                        Comps.size() >= 2 &&
+                        isMutatingMethod(Comps.back());
+      bool Mutates = PreIncDec || PostMutates || MethodCall;
+
+      // Resolve the path to (guarded class, field).
+      const std::string *Mutex = nullptr;
+      std::string Field;
+      std::string ViaClass;
+      // Field components: everything except a trailing mutating method.
+      size_t FieldCount = MethodCall ? Comps.size() - 1 : Comps.size();
+      if (FieldCount >= 1) {
+        const std::string &Base = Comps.front();
+        if (Base == "this" && FieldCount >= 2) {
+          Mutex = FieldMutex(FB.ClassName, Comps[1]);
+          Field = Comps[1];
+          ViaClass = FB.ClassName;
+        } else if (auto VIt = VarClass.find(Base);
+                   VIt != VarClass.end() && FieldCount >= 2) {
+          Mutex = FieldMutex(VIt->second, Comps[1]);
+          Field = Comps[1];
+          ViaClass = VIt->second;
+        } else if (!FB.ClassName.empty()) {
+          Mutex = FieldMutex(FB.ClassName, Base);
+          Field = Base;
+          ViaClass = FB.ClassName;
+        }
+      }
+      if (Mutex && Mutates && !MutexHeld(*Mutex))
+        Out.push_back(
+            {"T1", File.Path, T[I].Line,
+             "mutation of '" + ViaClass + "::" + Field + "' (guarded by '" +
+                 *Mutex + "') outside a scope holding it",
+             "take a std::lock_guard/scoped_lock on '" + *Mutex +
+                 "' around the mutation, move it into an hds-requires "
+                 "function, or annotate `// hds-lint: lock-ok(<why>)`"});
+
+      // Calls to hds-requires functions must hold the named mutex.
+      if (Op.K == Token::Punct && Op.Text == "(" && !MethodCall) {
+        const std::string *Req = nullptr;
+        std::string Callee = Comps.back();
+        std::string OnClass;
+        if (Comps.size() == 1) {
+          OnClass = FB.ClassName;
+        } else if (Comps.front() == "this") {
+          OnClass = FB.ClassName;
+        } else if (auto VIt = VarClass.find(Comps.front());
+                   VIt != VarClass.end()) {
+          OnClass = VIt->second;
+        }
+        if (!OnClass.empty())
+          Req = RequiredMutex(OnClass, Callee);
+        if (Req && !MutexHeld(*Req))
+          Out.push_back(
+              {"T1", File.Path, T[I].Line,
+               "call to '" + OnClass + "::" + Callee +
+                   "' requires holding '" + *Req + "'",
+               "take the lock before calling, or annotate "
+               "`// hds-lint: lock-ok(<why>)`"});
+      }
+    }
+  }
+}
+
+} // namespace lint
+} // namespace hds

@@ -1,0 +1,62 @@
+//===- src/lint/LockDiscipline.h - T1 guarded-field checking ---*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// T1 lock discipline, a clang-thread-safety-lite pass over the token
+/// stream.  Fields annotated `// hds-guarded-by(MutexName)` may only be
+/// mutated inside a scope that holds that mutex — a `std::lock_guard`,
+/// `std::scoped_lock`, or `std::unique_lock` naming it, or the body of a
+/// function annotated `// hds-requires(MutexName)` (whose callers are in
+/// turn checked at every call site).  Constructors and destructors of the
+/// owning class are structurally exempt: no second thread can hold a
+/// reference there.
+///
+/// The pass is intentionally conservative about aliasing: it resolves an
+/// object prefix (`State.Pending`) only through local declarations and
+/// reference parameters of annotated class types, and a bare field name
+/// only inside member functions of the owning class.  What it cannot
+/// resolve it does not check — annotations make checking opt-in, so a
+/// miss is a soft spot, never a false alarm.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_LINT_LOCKDISCIPLINE_H
+#define HDS_LINT_LOCKDISCIPLINE_H
+
+#include "lint/Finding.h"
+#include "lint/Lexer.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hds {
+namespace lint {
+
+/// Cross-TU registry of lock annotations, keyed by owning class.
+struct LockRegistry {
+  /// class name -> field name -> guarding mutex name.
+  std::map<std::string, std::map<std::string, std::string>> Fields;
+  /// class name -> function name -> mutex the caller must hold.
+  std::map<std::string, std::map<std::string, std::string>> Requires;
+
+  bool empty() const { return Fields.empty() && Requires.empty(); }
+};
+
+/// Collects `hds-guarded-by` / `hds-requires` annotations from every file.
+/// Malformed annotations (no field or function on the attached line)
+/// produce SUP findings in \p Sup.
+LockRegistry collectLockAnnotations(const std::vector<LexedFile> &Files,
+                                    std::vector<Finding> &Sup);
+
+/// Runs the T1 check over one file against the cross-TU registry.
+void checkLockDiscipline(const LexedFile &File, const LockRegistry &Registry,
+                         std::vector<Finding> &Out);
+
+} // namespace lint
+} // namespace hds
+
+#endif // HDS_LINT_LOCKDISCIPLINE_H

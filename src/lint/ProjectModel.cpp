@@ -1,0 +1,474 @@
+//===- src/lint/ProjectModel.cpp - Cross-TU project model -----------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/ProjectModel.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace hds {
+namespace lint {
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Minimal JSON reading for compile_commands.json
+//===----------------------------------------------------------------------===//
+
+/// Scans a JSON string literal starting at the opening quote \p I and
+/// returns its unescaped value, leaving \p I on the closing quote.
+std::string readJsonString(std::string_view S, size_t &I) {
+  std::string Out;
+  for (++I; I < S.size() && S[I] != '"'; ++I) {
+    if (S[I] != '\\') {
+      Out.push_back(S[I]);
+      continue;
+    }
+    if (++I >= S.size())
+      break;
+    switch (S[I]) {
+    case 'n':
+      Out.push_back('\n');
+      break;
+    case 't':
+      Out.push_back('\t');
+      break;
+    case 'u':
+      // Non-ASCII escapes never appear in build paths we care about.
+      I += 4;
+      break;
+    default:
+      Out.push_back(S[I]);
+    }
+  }
+  return Out;
+}
+
+/// Splits a shell command string into argv, honoring double and single
+/// quotes and backslash escapes (the forms CMake emits).
+std::vector<std::string> splitCommand(const std::string &Cmd) {
+  std::vector<std::string> Argv;
+  std::string Cur;
+  bool InArg = false;
+  for (size_t I = 0; I < Cmd.size(); ++I) {
+    char C = Cmd[I];
+    if (C == '\\' && I + 1 < Cmd.size()) {
+      Cur.push_back(Cmd[++I]);
+      InArg = true;
+    } else if (C == '"' || C == '\'') {
+      char Quote = C;
+      InArg = true;
+      for (++I; I < Cmd.size() && Cmd[I] != Quote; ++I)
+        Cur.push_back(Cmd[I]);
+    } else if (std::isspace(static_cast<unsigned char>(C))) {
+      if (InArg)
+        Argv.push_back(Cur);
+      Cur.clear();
+      InArg = false;
+    } else {
+      Cur.push_back(C);
+      InArg = true;
+    }
+  }
+  if (InArg)
+    Argv.push_back(Cur);
+  return Argv;
+}
+
+std::string joinPath(const std::string &Dir, const std::string &Rel) {
+  if (!Rel.empty() && Rel.front() == '/')
+    return Rel;
+  if (Dir.empty())
+    return Rel;
+  return Dir.back() == '/' ? Dir + Rel : Dir + "/" + Rel;
+}
+
+void extractIncludeDirs(const std::vector<std::string> &Argv,
+                        CompileCommand &Out) {
+  if (!Argv.empty())
+    Out.Compiler = Argv.front();
+  for (size_t I = 1; I < Argv.size(); ++I) {
+    const std::string &A = Argv[I];
+    std::string Dir;
+    if (A == "-I" || A == "-isystem") {
+      if (I + 1 < Argv.size())
+        Dir = Argv[++I];
+    } else if (A.size() > 2 && A.compare(0, 2, "-I") == 0) {
+      Dir = A.substr(2);
+    } else if (A.size() > 8 && A.compare(0, 8, "-isystem") == 0) {
+      Dir = A.substr(8);
+    }
+    if (!Dir.empty())
+      Out.IncludeDirs.push_back(joinPath(Out.Directory, Dir));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Declaration scanner for standard headers
+//===----------------------------------------------------------------------===//
+
+bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+
+bool isScanKeyword(const std::string &S) {
+  static const std::set<std::string> KW = {
+      "if",     "for",   "while",  "switch", "return",  "sizeof",
+      "static", "const", "inline", "void",   "defined", "operator",
+      "else",   "do",    "goto",   "case",   "new",     "delete",
+      "throw",  "catch", "try",    "public", "private", "protected"};
+  return KW.count(S) != 0;
+}
+
+/// What one header file contributes: names it declares plus the includes
+/// it pulls in.
+struct HeaderFacts {
+  std::set<std::string> Declared;
+  std::vector<std::string> Includes; ///< include paths, <> and "" merged
+};
+
+/// One forward pass over a header: strips comments/strings, records
+/// `#include` targets and `#define` names, and applies the declaration
+/// heuristics documented in ProjectModel.h.  Reserved identifiers
+/// (leading underscore) are never recorded — they are implementation
+/// detail, not user-facing vocabulary.
+HeaderFacts scanHeader(const std::string &Text) {
+  HeaderFacts Facts;
+  size_t I = 0;
+  const size_t N = Text.size();
+  std::string Prev;       // previous identifier
+  char PrevPunct = 0;     // previous punctuation character
+  bool UsingStmt = false; // inside `using ...;`
+  std::vector<std::string> UsingIdents;
+  bool UsingAlias = false; // saw '=' after `using X`
+  bool TypedefStmt = false;
+  std::string LastIdent;
+
+  auto Declare = [&](const std::string &Name) {
+    if (!Name.empty() && Name[0] != '_' && !isScanKeyword(Name))
+      Facts.Declared.insert(Name);
+  };
+
+  while (I < N) {
+    char C = Text[I];
+    // Comments.
+    if (C == '/' && I + 1 < N && Text[I + 1] == '/') {
+      while (I < N && Text[I] != '\n')
+        ++I;
+      continue;
+    }
+    if (C == '/' && I + 1 < N && Text[I + 1] == '*') {
+      I += 2;
+      while (I + 1 < N && !(Text[I] == '*' && Text[I + 1] == '/'))
+        ++I;
+      I += 2;
+      continue;
+    }
+    // Preprocessor lines: record includes and defines, skip the rest.
+    if (C == '#' && (I == 0 || Text[I - 1] == '\n' ||
+                     Text[I - 1] == ' ' || Text[I - 1] == '\t')) {
+      size_t LineEnd = I;
+      while (LineEnd < N &&
+             !(Text[LineEnd] == '\n' && Text[LineEnd - 1] != '\\'))
+        ++LineEnd;
+      std::string Line = Text.substr(I, LineEnd - I);
+      size_t P = Line.find_first_not_of(" \t", 1);
+      if (P != std::string::npos) {
+        if (Line.compare(P, 7, "include") == 0) {
+          size_t B = Line.find_first_of("<\"", P);
+          if (B != std::string::npos) {
+            size_t E = Line.find_first_of(">\"", B + 1);
+            if (E != std::string::npos)
+              Facts.Includes.push_back(Line.substr(B + 1, E - B - 1));
+          }
+        } else if (Line.compare(P, 6, "define") == 0) {
+          size_t B = Line.find_first_not_of(" \t", P + 6);
+          if (B != std::string::npos) {
+            size_t E = B;
+            while (E < Line.size() && isIdentChar(Line[E]))
+              ++E;
+            Declare(Line.substr(B, E - B));
+          }
+        }
+      }
+      I = LineEnd;
+      continue;
+    }
+    // String / char literals.
+    if (C == '"' || C == '\'') {
+      char Quote = C;
+      for (++I; I < N && Text[I] != Quote; ++I)
+        if (Text[I] == '\\')
+          ++I;
+      ++I;
+      continue;
+    }
+    // Identifiers.
+    if (isIdentChar(C) && !std::isdigit(static_cast<unsigned char>(C))) {
+      size_t B = I;
+      while (I < N && isIdentChar(Text[I]))
+        ++I;
+      std::string Ident = Text.substr(B, I - B);
+      if (Ident == "using") {
+        UsingStmt = true;
+        UsingIdents.clear();
+        UsingAlias = false;
+      } else if (Ident == "typedef") {
+        TypedefStmt = true;
+      } else if (UsingStmt && !UsingAlias) {
+        UsingIdents.push_back(Ident);
+      }
+      // `class X` / `struct X` / `union X` / `enum X` / `enum class X`.
+      if (Prev == "class" || Prev == "struct" || Prev == "union" ||
+          Prev == "enum")
+        Declare(Ident);
+      LastIdent = Ident;
+      Prev = Ident;
+      PrevPunct = 0;
+      continue;
+    }
+    // Numbers: skip the pp-number.
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      while (I < N && (isIdentChar(Text[I]) || Text[I] == '.'))
+        ++I;
+      Prev.clear();
+      continue;
+    }
+    // Whitespace separates tokens but must not break the adjacency
+    // tracking: `struct Widget` reaches the identifier branch with
+    // Prev == "struct" only if the space in between leaves Prev alone.
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    // Punctuation.
+    if (C == '(') {
+      // A name directly before '(' is (approximately) a function
+      // declaration or definition — good enough for "this header
+      // provides the name".
+      if (!Prev.empty() && PrevPunct != '.' && PrevPunct != '>')
+        Declare(Prev);
+    } else if (C == '=' && UsingStmt && !UsingIdents.empty()) {
+      // `using Alias = ...;`
+      Declare(UsingIdents.front());
+      UsingAlias = true;
+    } else if (C == ';') {
+      if (UsingStmt && !UsingAlias && !UsingIdents.empty())
+        Declare(UsingIdents.back()); // `using ::name;`
+      if (TypedefStmt)
+        Declare(LastIdent); // `typedef ... name;`
+      UsingStmt = false;
+      TypedefStmt = false;
+      UsingIdents.clear();
+    }
+    PrevPunct = C;
+    Prev.clear();
+    ++I;
+    continue;
+  }
+  return Facts;
+}
+
+/// Resolves an include name against the search dirs; returns "" when the
+/// file does not exist anywhere.
+std::string resolveOnDisk(const std::string &Name,
+                          const std::vector<std::string> &SearchDirs) {
+  for (const std::string &Dir : SearchDirs) {
+    std::string Path = joinPath(Dir, Name);
+    std::ifstream In(Path);
+    if (In.good())
+      return Path;
+  }
+  return {};
+}
+
+} // namespace
+
+bool parseCompileDb(std::string_view Json, const std::string &Path,
+                    std::vector<CompileCommand> &Out, std::string &Error) {
+  Out.clear();
+  size_t I = Json.find('[');
+  if (I == std::string_view::npos) {
+    Error = Path + ": not a compile database (no top-level array)";
+    return false;
+  }
+  while (true) {
+    size_t Obj = Json.find('{', I);
+    if (Obj == std::string_view::npos)
+      break;
+    CompileCommand Cmd;
+    std::string CommandStr;
+    std::vector<std::string> Arguments;
+    size_t J = Obj + 1;
+    int Depth = 1;
+    while (J < Json.size() && Depth > 0) {
+      char C = Json[J];
+      if (C == '{') {
+        ++Depth;
+      } else if (C == '}') {
+        --Depth;
+      } else if (C == '"') {
+        std::string Key = readJsonString(Json, J);
+        // Key or bare value? A key is followed by ':'.
+        size_t K = J + 1;
+        while (K < Json.size() &&
+               std::isspace(static_cast<unsigned char>(Json[K])))
+          ++K;
+        if (K < Json.size() && Json[K] == ':') {
+          size_t V = K + 1;
+          while (V < Json.size() &&
+                 std::isspace(static_cast<unsigned char>(Json[V])))
+            ++V;
+          if (V < Json.size() && Json[V] == '"') {
+            std::string Value = readJsonString(Json, V);
+            if (Key == "directory")
+              Cmd.Directory = Value;
+            else if (Key == "file")
+              Cmd.File = Value;
+            else if (Key == "command")
+              CommandStr = Value;
+            J = V;
+          } else if (V < Json.size() && Json[V] == '[' &&
+                     Key == "arguments") {
+            for (size_t A = V + 1; A < Json.size() && Json[A] != ']'; ++A)
+              if (Json[A] == '"')
+                Arguments.push_back(readJsonString(Json, A));
+            J = Json.find(']', V);
+            if (J == std::string_view::npos) {
+              Error = Path + ": unterminated arguments array";
+              return false;
+            }
+          }
+        }
+      }
+      ++J;
+    }
+    if (!Arguments.empty())
+      extractIncludeDirs(Arguments, Cmd);
+    else if (!CommandStr.empty())
+      extractIncludeDirs(splitCommand(CommandStr), Cmd);
+    if (!Cmd.File.empty())
+      Out.push_back(std::move(Cmd));
+    I = J;
+  }
+  if (Out.empty()) {
+    Error = Path + ": compile database has no entries";
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::string> querySystemIncludeDirs(const std::string &Compiler) {
+  std::vector<std::string> Dirs;
+  if (Compiler.empty() ||
+      Compiler.find_first_of("'\\;|&$`") != std::string::npos)
+    return Dirs;
+  std::string Cmd =
+      "'" + Compiler + "' -E -x c++ -v /dev/null 2>&1 >/dev/null";
+  FILE *Pipe = popen(Cmd.c_str(), "r");
+  if (!Pipe)
+    return Dirs;
+  std::string Output;
+  char Buf[512];
+  while (size_t Got = fread(Buf, 1, sizeof(Buf), Pipe))
+    Output.append(Buf, Got);
+  pclose(Pipe);
+
+  std::istringstream In(Output);
+  std::string Line;
+  bool InList = false;
+  while (std::getline(In, Line)) {
+    if (Line.find("search starts here") != std::string::npos) {
+      InList = true;
+      continue;
+    }
+    if (Line.find("End of search list") != std::string::npos)
+      break;
+    if (!InList)
+      continue;
+    size_t B = Line.find_first_not_of(" \t");
+    if (B == std::string::npos)
+      continue;
+    size_t E = Line.find(" (", B); // mac: " (framework directory)"
+    Dirs.push_back(Line.substr(B, E == std::string::npos ? std::string::npos
+                                                         : E - B));
+  }
+  return Dirs;
+}
+
+std::vector<HeaderReq>
+generateHeaderTable(const std::vector<std::pair<std::string, bool>> &Symbols,
+                    const std::vector<std::string> &CandidateHeaders,
+                    const std::vector<std::string> &SearchDirs) {
+  std::vector<HeaderReq> Table;
+  if (SearchDirs.empty())
+    return Table;
+
+  // Transitively scan each candidate, sharing per-file facts: the bits/
+  // internals of one standard header are included by dozens of others.
+  std::map<std::string, HeaderFacts> Cache; // resolved path -> facts
+  auto FactsFor = [&](const std::string &ResolvedPath) -> const HeaderFacts & {
+    auto It = Cache.find(ResolvedPath);
+    if (It != Cache.end())
+      return It->second;
+    std::ifstream In(ResolvedPath);
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    return Cache.emplace(ResolvedPath, scanHeader(Buf.str())).first->second;
+  };
+
+  std::map<std::string, std::set<std::string>> Provides; // candidate -> names
+  for (const std::string &H : CandidateHeaders) {
+    std::string Root = resolveOnDisk(H, SearchDirs);
+    if (Root.empty())
+      continue;
+    std::set<std::string> Visited;
+    std::vector<std::string> Work{Root};
+    std::set<std::string> &Names = Provides[H];
+    while (!Work.empty()) {
+      std::string Cur = Work.back();
+      Work.pop_back();
+      if (!Visited.insert(Cur).second)
+        continue;
+      const HeaderFacts &Facts = FactsFor(Cur);
+      Names.insert(Facts.Declared.begin(), Facts.Declared.end());
+      for (const std::string &Inc : Facts.Includes) {
+        std::string Next = resolveOnDisk(Inc, SearchDirs);
+        if (!Next.empty())
+          Work.push_back(Next);
+      }
+    }
+  }
+
+  for (const auto &[Symbol, NeedsStd] : Symbols) {
+    HeaderReq Req;
+    Req.Symbol = Symbol;
+    Req.NeedsStd = NeedsStd;
+    Req.Generated = true;
+    // Exact-name provider first so fix hints name the canonical header.
+    auto ProvidesSymbol = [&](const std::string &H) {
+      auto It = Provides.find(H);
+      return It != Provides.end() && It->second.count(Symbol) != 0;
+    };
+    if (ProvidesSymbol(Symbol))
+      Req.Headers.push_back(Symbol);
+    for (const auto &[H, Names] : Provides) {
+      (void)Names;
+      if (H != Symbol && ProvidesSymbol(H))
+        Req.Headers.push_back(H);
+    }
+    if (!Req.Headers.empty())
+      Table.push_back(std::move(Req));
+  }
+  return Table;
+}
+
+} // namespace lint
+} // namespace hds

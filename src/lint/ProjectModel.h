@@ -1,0 +1,79 @@
+//===- src/lint/ProjectModel.h - Cross-TU project model --------*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cross-TU project model: everything hds_lint knows about how the
+/// tree is actually compiled, built from the CMake-exported
+/// compile_commands.json.  From the compile database the model derives
+/// the include search path, asks the recorded compiler for its builtin
+/// system include directories, and walks the real standard-library
+/// headers on disk to generate H1's symbol→header table — which headers
+/// genuinely provide std::optional, std::variant, uint64_t, and friends
+/// under this toolchain — replacing the hand-curated mapping.
+///
+/// Header walking uses a lightweight declaration scanner (not the full
+/// lexer): it strips comments/strings and records declared names (after
+/// class/struct/union/enum, using-declarations and aliases, typedefs,
+/// function names, macro definitions), following includes transitively
+/// with per-file caching.  Generation is best-effort: a symbol whose
+/// provider cannot be resolved simply falls back to the curated entry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_LINT_PROJECTMODEL_H
+#define HDS_LINT_PROJECTMODEL_H
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hds {
+namespace lint {
+
+/// One entry of compile_commands.json, reduced to what the linter needs.
+struct CompileCommand {
+  std::string Directory; ///< working directory of the compile
+  std::string File;      ///< the translation unit
+  std::string Compiler;  ///< argv[0] of the compile command
+  std::vector<std::string> IncludeDirs; ///< -I / -isystem, absolutized
+};
+
+/// Parses \p Json (the contents of compile_commands.json).  Returns
+/// false and sets \p Error on malformed input.
+bool parseCompileDb(std::string_view Json, const std::string &Path,
+                    std::vector<CompileCommand> &Out, std::string &Error);
+
+/// Asks \p Compiler for its builtin C++ system include directories by
+/// running `<compiler> -E -x c++ -v` on an empty input and parsing the
+/// search-list block.  Returns an empty vector when the compiler cannot
+/// be run.
+std::vector<std::string> querySystemIncludeDirs(const std::string &Compiler);
+
+/// One H1 requirement: a header using \p Symbol (std-qualified when
+/// \p NeedsStd) must include one of \p Headers itself.
+struct HeaderReq {
+  std::string Symbol;
+  bool NeedsStd = false;
+  std::vector<std::string> Headers;
+  bool Generated = false; ///< derived from the compile DB, not curated
+};
+
+/// Generates the symbol→header table for \p Symbols (name, needsStd
+/// pairs): for each candidate top-level header, the standard headers it
+/// transitively declares are scanned on disk under \p SearchDirs, and a
+/// symbol maps to every candidate whose subtree declares it (exact-name
+/// candidate first, so fix hints suggest the canonical header).  Symbols
+/// with no resolvable provider are omitted.
+std::vector<HeaderReq>
+generateHeaderTable(const std::vector<std::pair<std::string, bool>> &Symbols,
+                    const std::vector<std::string> &CandidateHeaders,
+                    const std::vector<std::string> &SearchDirs);
+
+} // namespace lint
+} // namespace hds
+
+#endif // HDS_LINT_PROJECTMODEL_H

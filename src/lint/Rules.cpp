@@ -1,10 +1,16 @@
-//===- tools/hds_lint/LintRules.cpp - Project invariant rules -------------===//
+//===- src/lint/Rules.cpp - Project invariant rules -----------------------===//
 //
 // Part of the hds project (PLDI 2002 hot data stream prefetching repro).
 //
 //===----------------------------------------------------------------------===//
 
-#include "LintRules.h"
+#include "lint/Rules.h"
+
+#include "lint/IncludeGraph.h"
+#include "lint/LockDiscipline.h"
+#include "lint/SchemaLock.h"
+#include "lint/ScopeTracker.h"
+#include "lint/TokenUtil.h"
 
 #include <algorithm>
 #include <cctype>
@@ -18,48 +24,22 @@ namespace lint {
 namespace {
 
 //===----------------------------------------------------------------------===//
-// Small string / path helpers
-//===----------------------------------------------------------------------===//
-
-bool endsWith(std::string_view S, std::string_view Suffix) {
-  return S.size() >= Suffix.size() &&
-         S.compare(S.size() - Suffix.size(), Suffix.size(), Suffix) == 0;
-}
-
-bool startsWith(std::string_view S, std::string_view Prefix) {
-  return S.compare(0, Prefix.size(), Prefix) == 0;
-}
-
-/// True when \p Path lies under the top-level tree \p Root ("src", ...),
-/// whether the path is repo-relative or absolute.
-bool inTree(std::string_view Path, std::string_view Root) {
-  std::string Rel(Root);
-  Rel += '/';
-  if (startsWith(Path, Rel))
-    return true;
-  std::string Abs = "/" + Rel;
-  return Path.find(Abs) != std::string_view::npos;
-}
-
-/// True when \p Path names the file \p Tail ("support/Rng.h") under any
-/// prefix.
-bool isFile(std::string_view Path, std::string_view Tail) {
-  return Path == Tail || endsWith(Path, std::string("/").append(Tail));
-}
-
-bool isHeaderPath(std::string_view Path) {
-  return endsWith(Path, ".h") || endsWith(Path, ".hpp");
-}
-
-//===----------------------------------------------------------------------===//
 // Suppressions
 //===----------------------------------------------------------------------===//
 
+/// One parsed suppression note.  Usage is tracked so --stale-suppressions
+/// can report notes whose rule no longer fires where they point.
+struct SuppressionNote {
+  std::string Tag;
+  unsigned CommentLine = 0; ///< where the note itself lives
+  unsigned Begin = 0;       ///< first line it covers
+  unsigned End = 0;         ///< last line it covers (inclusive)
+  bool FileWide = false;
+  bool Used = false;
+};
+
 struct Suppressions {
-  /// Tags active per line (comment's own lines plus the line below it).
-  std::map<unsigned, std::set<std::string>> ByLine;
-  /// Tags active for the whole file (hds-lint-file).
-  std::set<std::string> FileTags;
+  std::vector<SuppressionNote> Notes;
 };
 
 bool isKnownTag(const std::string &Tag) {
@@ -128,125 +108,50 @@ Suppressions collectSuppressions(const LexedFile &File,
   for (const Comment &Note : File.Comments) {
     size_t FilePos = Note.Text.find("hds-lint-file:");
     size_t LinePos = Note.Text.find("hds-lint:");
+    std::set<std::string> Tags;
     if (FilePos != std::string::npos) {
-      parseSuppressionList(Note.Text, FilePos + 14, Note, File.Path,
-                           S.FileTags, Sup);
+      parseSuppressionList(Note.Text, FilePos + 14, Note, File.Path, Tags,
+                           Sup);
+      for (const std::string &Tag : Tags)
+        S.Notes.push_back({Tag, Note.Line, 0, 0, true, false});
     } else if (LinePos != std::string::npos) {
-      std::set<std::string> Tags;
       parseSuppressionList(Note.Text, LinePos + 9, Note, File.Path, Tags,
                            Sup);
-      for (unsigned L = Note.Line; L <= Note.EndLine + 1; ++L)
-        S.ByLine[L].insert(Tags.begin(), Tags.end());
+      for (const std::string &Tag : Tags)
+        S.Notes.push_back(
+            {Tag, Note.Line, Note.Line, Note.EndLine + 1, false, false});
     }
   }
   return S;
 }
 
-bool isSuppressed(const Suppressions &S, const std::string &Tag,
-                  unsigned Line) {
-  if (S.FileTags.count(Tag))
-    return true;
-  auto It = S.ByLine.find(Line);
-  return It != S.ByLine.end() && It->second.count(Tag) != 0;
+/// Marks every note covering (Tag, Line) as used; true when any did.
+bool trySuppress(Suppressions &S, const std::string &Tag, unsigned Line) {
+  bool Hit = false;
+  for (SuppressionNote &N : S.Notes)
+    if (N.Tag == Tag && (N.FileWide || (Line >= N.Begin && Line <= N.End))) {
+      N.Used = true;
+      Hit = true;
+    }
+  return Hit;
 }
 
 //===----------------------------------------------------------------------===//
-// Token helpers
+// Project index: unordered-container names, via the include graph (D2)
 //===----------------------------------------------------------------------===//
 
 using Toks = std::vector<Token>;
-
-bool isIdent(const Toks &T, size_t I, std::string_view Text) {
-  return I < T.size() && T[I].K == Token::Ident && T[I].Text == Text;
-}
-
-bool isPunct(const Toks &T, size_t I, std::string_view Text) {
-  return I < T.size() && T[I].K == Token::Punct && T[I].Text == Text;
-}
-
-/// Index of the token matching the opener at \p Open ("(", "[", "{"), or
-/// T.size() when unbalanced.
-size_t matchingClose(const Toks &T, size_t Open) {
-  const std::string &O = T[Open].Text;
-  std::string C = O == "(" ? ")" : O == "[" ? "]" : "}";
-  int Depth = 0;
-  for (size_t I = Open; I < T.size(); ++I) {
-    if (T[I].K != Token::Punct)
-      continue;
-    if (T[I].Text == O)
-      ++Depth;
-    else if (T[I].Text == C && --Depth == 0)
-      return I;
-  }
-  return T.size();
-}
-
-/// For a '<' at \p Open that begins a template argument list, returns the
-/// index of the matching '>', or T.size() when it does not look like one
-/// (expression context: hits ';', '{', or unbalanced closers first).
-size_t matchingTemplateClose(const Toks &T, size_t Open) {
-  int Depth = 0;
-  for (size_t I = Open; I < T.size(); ++I) {
-    if (T[I].K != Token::Punct)
-      continue;
-    const std::string &P = T[I].Text;
-    if (P == "<")
-      ++Depth;
-    else if (P == ">" && --Depth == 0)
-      return I;
-    else if (P == ">>" && (Depth -= 2) <= 0)
-      return I; // nested close like map<int, vector<int>>
-    else if (P == ";" || P == "{")
-      return T.size();
-  }
-  return T.size();
-}
-
-/// True if token \p I is a call to the unqualified or std-qualified
-/// function \p Name: `Name(`, `std::Name(`, but not `x.Name(`,
-/// `x->Name(`, or `Other::Name(`.
-bool isFreeCall(const Toks &T, size_t I, std::string_view Name) {
-  if (!isIdent(T, I, Name) || !isPunct(T, I + 1, "("))
-    return false;
-  if (I == 0)
-    return true;
-  if (isPunct(T, I - 1, ".") || isPunct(T, I - 1, "->"))
-    return false;
-  if (isPunct(T, I - 1, "::"))
-    return I >= 2 && isIdent(T, I - 2, "std");
-  return true;
-}
-
-//===----------------------------------------------------------------------===//
-// Project index: unordered-container names, include graph (for D2)
-//===----------------------------------------------------------------------===//
 
 bool isUnorderedContainerName(const std::string &S) {
   return S == "unordered_map" || S == "unordered_set" ||
          S == "unordered_multimap" || S == "unordered_multiset";
 }
 
-struct FileFacts {
-  std::set<std::string> UnorderedNames; ///< vars / functions of unordered type
-  std::vector<std::string> Includes;    ///< quoted-include paths
-};
-
 /// Scans one file for declarations whose type is an unordered container
 /// (directly or through a `using` alias declared in the same file) and
 /// records the declared variable / accessor names.
-FileFacts collectFacts(const LexedFile &File) {
-  FileFacts Facts;
-  for (const Directive &D : File.Directives) {
-    if (!startsWith(D.Text, "include"))
-      continue;
-    size_t Q = D.Text.find('"');
-    if (Q == std::string::npos)
-      continue;
-    size_t E = D.Text.find('"', Q + 1);
-    if (E != std::string::npos)
-      Facts.Includes.push_back(D.Text.substr(Q + 1, E - Q - 1));
-  }
-
+std::set<std::string> collectUnorderedNames(const LexedFile &File) {
+  std::set<std::string> Names;
   const Toks &T = File.Toks;
   std::set<std::string> Aliases;
   for (size_t I = 0; I < T.size(); ++I) {
@@ -289,9 +194,9 @@ FileFacts collectFacts(const LexedFile &File) {
            isIdent(T, After, "const"))
       ++After;
     if (After < T.size() && T[After].K == Token::Ident)
-      Facts.UnorderedNames.insert(T[After].Text);
+      Names.insert(T[After].Text);
   }
-  return Facts;
+  return Names;
 }
 
 struct ProjectIndex {
@@ -301,39 +206,21 @@ struct ProjectIndex {
 };
 
 ProjectIndex buildIndex(const std::vector<LexedFile> &Files) {
-  std::map<std::string, FileFacts> Facts;
+  std::map<std::string, std::set<std::string>> Own;
   for (const LexedFile &F : Files)
-    Facts.emplace(F.Path, collectFacts(F));
+    Own.emplace(F.Path, collectUnorderedNames(F));
 
-  // Resolve a quoted include to a linted file path by suffix match.
-  auto Resolve = [&](const std::string &Inc) -> const std::string * {
-    for (const auto &[Path, F] : Facts) {
-      (void)F;
-      if (isFile(Path, Inc))
-        return &Path;
-    }
-    return nullptr;
-  };
-
+  IncludeGraph Graph = buildIncludeGraph(Files);
   ProjectIndex Index;
   for (const LexedFile &F : Files) {
-    std::set<std::string> Visited;
-    std::vector<std::string> Work{F.Path};
     std::set<std::string> Names;
-    while (!Work.empty()) {
-      std::string Cur = Work.back();
-      Work.pop_back();
-      if (!Visited.insert(Cur).second)
-        continue;
-      auto It = Facts.find(Cur);
-      if (It == Facts.end())
-        continue;
-      Names.insert(It->second.UnorderedNames.begin(),
-                   It->second.UnorderedNames.end());
-      for (const std::string &Inc : It->second.Includes)
-        if (const std::string *Target = Resolve(Inc))
-          Work.push_back(*Target);
-    }
+    auto It = Graph.Reachable.find(F.Path);
+    if (It != Graph.Reachable.end())
+      for (const std::string &Reached : It->second) {
+        auto OIt = Own.find(Reached);
+        if (OIt != Own.end())
+          Names.insert(OIt->second.begin(), OIt->second.end());
+      }
     Index.Visible.emplace(F.Path, std::move(Names));
   }
   return Index;
@@ -645,56 +532,8 @@ found:
   return Guard;
 }
 
-/// Requirement: when a header uses \p Symbol (qualified with std:: when
-/// \p NeedsStd), it must include one of \p Headers itself.
-struct IncludeRequirement {
-  const char *Symbol;
-  bool NeedsStd;
-  std::vector<const char *> Headers;
-};
-
-const std::vector<IncludeRequirement> &includeRequirements() {
-  static const std::vector<IncludeRequirement> Reqs = {
-      {"vector", true, {"vector"}},
-      {"array", true, {"array"}},
-      {"span", true, {"span"}},
-      {"string", true, {"string"}},
-      {"unordered_map", true, {"unordered_map"}},
-      {"unordered_set", true, {"unordered_set"}},
-      {"map", true, {"map"}},
-      {"set", true, {"set"}},
-      {"deque", true, {"deque"}},
-      {"optional", true, {"optional"}},
-      {"function", true, {"functional"}},
-      {"pair", true, {"utility", "map", "unordered_map"}},
-      {"unique_ptr", true, {"memory"}},
-      {"shared_ptr", true, {"memory"}},
-      {"make_unique", true, {"memory"}},
-      {"sort", true, {"algorithm"}},
-      {"stable_sort", true, {"algorithm"}},
-      {"lower_bound", true, {"algorithm"}},
-      {"upper_bound", true, {"algorithm"}},
-      {"ostream", true, {"ostream", "iostream", "sstream", "iosfwd"}},
-      {"istream", true, {"istream", "iostream", "sstream", "iosfwd"}},
-      {"uint8_t", false, {"cstdint", "stdint.h"}},
-      {"uint16_t", false, {"cstdint", "stdint.h"}},
-      {"uint32_t", false, {"cstdint", "stdint.h"}},
-      {"uint64_t", false, {"cstdint", "stdint.h"}},
-      {"int8_t", false, {"cstdint", "stdint.h"}},
-      {"int16_t", false, {"cstdint", "stdint.h"}},
-      {"int32_t", false, {"cstdint", "stdint.h"}},
-      {"int64_t", false, {"cstdint", "stdint.h"}},
-      {"uintptr_t", false, {"cstdint", "stdint.h"}},
-      {"size_t", false, {"cstddef", "cstdint", "cstdio", "cstring"}},
-      {"assert", false, {"cassert", "assert.h"}},
-      {"memcpy", false, {"cstring", "string.h"}},
-      {"memset", false, {"cstring", "string.h"}},
-      {"memmove", false, {"cstring", "string.h"}},
-  };
-  return Reqs;
-}
-
-void checkH1(const LexedFile &File, std::vector<Finding> &Out) {
+void checkH1(const LexedFile &File, const std::vector<HeaderReq> &Table,
+             std::vector<Finding> &Out) {
   if (!isHeaderPath(File.Path))
     return;
 
@@ -753,7 +592,7 @@ void checkH1(const LexedFile &File, std::vector<Finding> &Out) {
   for (size_t I = 0; I < T.size(); ++I) {
     if (T[I].K != Token::Ident)
       continue;
-    for (const IncludeRequirement &Req : includeRequirements()) {
+    for (const HeaderReq &Req : Table) {
       if (T[I].Text != Req.Symbol || AlreadyFlagged.count(Req.Symbol))
         continue;
       if (Req.NeedsStd &&
@@ -764,7 +603,7 @@ void checkH1(const LexedFile &File, std::vector<Finding> &Out) {
            (I > 0 && (isPunct(T, I - 1, ".") || isPunct(T, I - 1, "->")))))
         continue;
       bool Satisfied = false;
-      for (const char *H : Req.Headers)
+      for (const std::string &H : Req.Headers)
         if (Included.count(H))
           Satisfied = true;
       if (!Satisfied) {
@@ -773,7 +612,7 @@ void checkH1(const LexedFile &File, std::vector<Finding> &Out) {
                        "header uses '" + T[I].Text + "' but does not "
                        "include <" + Req.Headers.front() +
                            "> itself (not self-contained)",
-                       "add `#include <" + std::string(Req.Headers.front()) +
+                       "add `#include <" + Req.Headers.front() +
                            ">` to this header"});
       }
     }
@@ -945,7 +784,169 @@ void checkD5(const LexedFile &File, std::vector<Finding> &Out) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// E1: exhaustive dispatch over marked enums
+//===----------------------------------------------------------------------===//
+
+/// Enumerator lists of every enum marked `// hds-exhaustive`, cross-TU.
+using MarkedEnums = std::map<std::string, std::vector<std::string>>;
+
+MarkedEnums collectMarkedEnums(const std::vector<LexedFile> &Files) {
+  MarkedEnums Marked;
+  for (const LexedFile &File : Files)
+    for (const EnumDef &E : findEnums(File)) {
+      if (!E.Exhaustive)
+        continue;
+      std::vector<std::string> Names;
+      for (const auto &[Name, Value] : E.Enumerators) {
+        (void)Value;
+        Names.push_back(Name);
+      }
+      Marked.emplace(E.Name, std::move(Names));
+    }
+  return Marked;
+}
+
+void checkE1(const LexedFile &File, const MarkedEnums &Marked,
+             std::vector<Finding> &Out) {
+  if (Marked.empty())
+    return;
+  const Toks &T = File.Toks;
+  for (size_t I = 0; I < T.size(); ++I) {
+    if (!isIdent(T, I, "switch") || !isPunct(T, I + 1, "("))
+      continue;
+    size_t CondClose = matchingClose(T, I + 1);
+    if (CondClose == T.size() || !isPunct(T, CondClose + 1, "{"))
+      continue;
+    size_t BodyClose = matchingClose(T, CondClose + 1);
+    if (BodyClose == T.size())
+      continue;
+
+    // Depth-1 labels only: labels of nested switches belong to them.
+    std::map<std::string, std::set<std::string>> Covered; // enum -> members
+    bool HasDefault = false;
+    unsigned DefaultLine = 0;
+    int Depth = 0;
+    for (size_t J = CondClose + 1; J < BodyClose; ++J) {
+      if (T[J].K == Token::Punct) {
+        if (T[J].Text == "{")
+          ++Depth;
+        else if (T[J].Text == "}")
+          --Depth;
+        continue;
+      }
+      if (Depth != 1)
+        continue;
+      if (isIdent(T, J, "default") && isPunct(T, J + 1, ":")) {
+        HasDefault = true;
+        DefaultLine = T[J].Line;
+      } else if (isIdent(T, J, "case")) {
+        // Scan the label up to its ':' for `Enum :: Member` pairs.
+        for (size_t K = J + 1; K < BodyClose && !isPunct(T, K, ":"); ++K)
+          if (T[K].K == Token::Ident && Marked.count(T[K].Text) &&
+              isPunct(T, K + 1, "::") && K + 2 < BodyClose &&
+              T[K + 2].K == Token::Ident)
+            Covered[T[K].Text].insert(T[K + 2].Text);
+      }
+    }
+
+    for (const auto &[EnumName, Members] : Covered) {
+      const std::vector<std::string> &All = Marked.at(EnumName);
+      if (HasDefault)
+        Out.push_back(
+            {"E1", File.Path, DefaultLine,
+             "switch over hds-exhaustive enum '" + EnumName +
+                 "' has a `default:`; it would silently swallow new "
+                 "enumerators",
+             "remove the default and cover every enumerator explicitly "
+             "(a trailing return after the switch handles the "
+             "out-of-range case), or annotate "
+             "`// hds-lint: exhaustive-ok(<why>)`"});
+      std::string Missing;
+      for (const std::string &M : All)
+        if (!Members.count(M))
+          Missing += (Missing.empty() ? "" : ", ") + M;
+      if (!Missing.empty())
+        Out.push_back(
+            {"E1", File.Path, T[I].Line,
+             "switch over hds-exhaustive enum '" + EnumName +
+                 "' does not cover: " + Missing,
+             "add the missing `case " + EnumName +
+                 "::...` labels, or annotate "
+                 "`// hds-lint: exhaustive-ok(<why>)`"});
+    }
+  }
+}
+
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// H1 table plumbing
+//===----------------------------------------------------------------------===//
+
+const std::vector<HeaderReq> &fallbackHeaderTable() {
+  // Curated mapping, kept only as the fallback for builds without a
+  // compile database.  Symbols checked exclusively through the generated
+  // table (optional, variant, expected) are deliberately absent.
+  static const std::vector<HeaderReq> Reqs = {
+      {"vector", true, {"vector"}, false},
+      {"array", true, {"array"}, false},
+      {"span", true, {"span"}, false},
+      {"string", true, {"string"}, false},
+      {"unordered_map", true, {"unordered_map"}, false},
+      {"unordered_set", true, {"unordered_set"}, false},
+      {"map", true, {"map"}, false},
+      {"set", true, {"set"}, false},
+      {"deque", true, {"deque"}, false},
+      {"function", true, {"functional"}, false},
+      {"pair", true, {"utility", "map", "unordered_map"}, false},
+      {"unique_ptr", true, {"memory"}, false},
+      {"shared_ptr", true, {"memory"}, false},
+      {"make_unique", true, {"memory"}, false},
+      {"sort", true, {"algorithm"}, false},
+      {"stable_sort", true, {"algorithm"}, false},
+      {"lower_bound", true, {"algorithm"}, false},
+      {"upper_bound", true, {"algorithm"}, false},
+      {"ostream", true, {"ostream", "iostream", "sstream", "iosfwd"}, false},
+      {"istream", true, {"istream", "iostream", "sstream", "iosfwd"}, false},
+      {"uint8_t", false, {"cstdint", "stdint.h"}, false},
+      {"uint16_t", false, {"cstdint", "stdint.h"}, false},
+      {"uint32_t", false, {"cstdint", "stdint.h"}, false},
+      {"uint64_t", false, {"cstdint", "stdint.h"}, false},
+      {"int8_t", false, {"cstdint", "stdint.h"}, false},
+      {"int16_t", false, {"cstdint", "stdint.h"}, false},
+      {"int32_t", false, {"cstdint", "stdint.h"}, false},
+      {"int64_t", false, {"cstdint", "stdint.h"}, false},
+      {"uintptr_t", false, {"cstdint", "stdint.h"}, false},
+      {"size_t", false, {"cstddef", "cstdint", "cstdio", "cstring"}, false},
+      {"assert", false, {"cassert", "assert.h"}, false},
+      {"memcpy", false, {"cstring", "string.h"}, false},
+      {"memset", false, {"cstring", "string.h"}, false},
+      {"memmove", false, {"cstring", "string.h"}, false},
+  };
+  return Reqs;
+}
+
+std::vector<std::pair<std::string, bool>> h1SymbolKeys() {
+  std::vector<std::pair<std::string, bool>> Keys;
+  for (const HeaderReq &Req : fallbackHeaderTable())
+    Keys.emplace_back(Req.Symbol, Req.NeedsStd);
+  // Generated-only symbols: no curated entry to fall back to.
+  Keys.emplace_back("optional", true);
+  Keys.emplace_back("variant", true);
+  Keys.emplace_back("expected", true);
+  return Keys;
+}
+
+std::vector<HeaderReq> mergeHeaderTable(std::vector<HeaderReq> Generated) {
+  std::set<std::string> Have;
+  for (const HeaderReq &Req : Generated)
+    Have.insert(Req.Symbol);
+  for (const HeaderReq &Req : fallbackHeaderTable())
+    if (!Have.count(Req.Symbol))
+      Generated.push_back(Req);
+  return Generated;
+}
 
 //===----------------------------------------------------------------------===//
 // Catalogue and driver
@@ -962,14 +963,28 @@ const std::vector<RuleInfo> &ruleCatalog() {
       {"D4", "alloc-ok",
        "no raw new/delete/malloc outside designated allocator files"},
       {"H1", "header-ok",
-       "canonical include guards and self-contained headers"},
+       "canonical include guards and self-contained headers (symbol→header "
+       "table generated from compile_commands.json when available)"},
       {"C1", "cycles-ok",
        "cycle charging must route through obs::CycleAccount::charge (the "
        "rule discovers the class's fields from its definition)"},
       {"D5", "float-cycles-ok",
        "cycle and heat accounting must use integer arithmetic, not "
        "float/double"},
+      {"T1", "lock-ok",
+       "fields annotated hds-guarded-by(Mutex) mutate only inside a scope "
+       "holding that mutex (lock_guard/scoped_lock/unique_lock or an "
+       "hds-requires function)"},
+      {"W1", nullptr,
+       "the wire/metric schema must extend tests/golden/schema.lock "
+       "append-only: no reorder, removal, or renumber"},
+      {"E1", "exhaustive-ok",
+       "switches over hds-exhaustive enums cover every enumerator, with "
+       "no default"},
       {"SUP", nullptr, "hds-lint suppression comments must be well-formed"},
+      {"STALE", nullptr,
+       "suppression notes whose rule no longer fires there "
+       "(--stale-suppressions)"},
   };
   return Rules;
 }
@@ -978,6 +993,9 @@ std::vector<Finding> runLint(const std::vector<LexedFile> &Files,
                              const LintOptions &Opts) {
   ProjectIndex Index = buildIndex(Files);
   const CycleAccountInfo Account = findCycleAccount(Files);
+  const MarkedEnums Marked = collectMarkedEnums(Files);
+  const std::vector<HeaderReq> &H1Table =
+      Opts.HeaderTable ? *Opts.HeaderTable : fallbackHeaderTable();
 
   auto RuleEnabled = [&](const char *Id) {
     if (Opts.OnlyRules.empty())
@@ -987,6 +1005,26 @@ std::vector<Finding> runLint(const std::vector<LexedFile> &Files,
   };
 
   std::vector<Finding> Result;
+
+  // Cross-TU passes: the T1 annotation registry and the W1 schema check.
+  std::vector<Finding> AnnotationSup;
+  LockRegistry Locks = collectLockAnnotations(Files, AnnotationSup);
+  if (RuleEnabled("SUP"))
+    for (Finding &F : AnnotationSup)
+      Result.push_back(std::move(F));
+  if (RuleEnabled("W1") && Opts.SchemaLockText) {
+    std::vector<SchemaSection> Locked;
+    std::string Error;
+    if (!parseSchemaLock(*Opts.SchemaLockText, Opts.SchemaLockPath, Locked,
+                         Error)) {
+      Result.push_back({"W1", Opts.SchemaLockPath, 1, Error,
+                        "regenerate the lock with --write-schema-lock"});
+    } else {
+      compareSchema(Locked, collectSchema(Files), Opts.SchemaLockPath,
+                    Result);
+    }
+  }
+
   for (const LexedFile &File : Files) {
     std::vector<Finding> SupFindings;
     Suppressions Sup = collectSuppressions(File, SupFindings);
@@ -1001,24 +1039,37 @@ std::vector<Finding> runLint(const std::vector<LexedFile> &Files,
     if (RuleEnabled("D4"))
       checkD4(File, Raw);
     if (RuleEnabled("H1"))
-      checkH1(File, Raw);
+      checkH1(File, H1Table, Raw);
     if (RuleEnabled("C1"))
       checkC1(File, Account, Raw);
     if (RuleEnabled("D5"))
       checkD5(File, Raw);
+    if (RuleEnabled("T1"))
+      checkLockDiscipline(File, Locks, Raw);
+    if (RuleEnabled("E1"))
+      checkE1(File, Marked, Raw);
 
     for (Finding &F : Raw) {
       const char *Tag = nullptr;
       for (const RuleInfo &R : ruleCatalog())
         if (F.RuleId == R.Id)
           Tag = R.Tag;
-      if (Tag && isSuppressed(Sup, Tag, F.Line))
+      if (Tag && trySuppress(Sup, Tag, F.Line))
         continue;
       Result.push_back(std::move(F));
     }
     if (RuleEnabled("SUP"))
       for (Finding &F : SupFindings)
         Result.push_back(std::move(F));
+    if (Opts.ReportStale && RuleEnabled("STALE"))
+      for (const SuppressionNote &N : Sup.Notes)
+        if (!N.Used)
+          Result.push_back(
+              {"STALE", File.Path, N.CommentLine,
+               "suppression '" + N.Tag + "' no longer suppresses anything " +
+                   (N.FileWide ? "in this file" : "on the line it covers"),
+               "remove the stale `hds-lint` note (or re-point it at the "
+               "line that still needs it)"});
   }
 
   std::sort(Result.begin(), Result.end(),

@@ -1,0 +1,80 @@
+//===- src/lint/ScopeTracker.h - Per-TU symbol/scope tracking --*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token-level structure discovery for one translation unit: class body
+/// spans, function bodies (with owning class and ctor/dtor detection),
+/// and enum definitions with their enumerator values and lint markers.
+/// This is deliberately a recognizer, not a parser — it finds the shapes
+/// the semantic rules (T1 lock discipline, E1 exhaustive dispatch, W1
+/// schema lock) need and ignores everything else.  Unrecognized constructs
+/// degrade to "not tracked", never to a crash.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_LINT_SCOPETRACKER_H
+#define HDS_LINT_SCOPETRACKER_H
+
+#include "lint/Lexer.h"
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hds {
+namespace lint {
+
+/// One class/struct body: `class Name ... { [Open] ... [Close] }`.
+struct ClassSpan {
+  std::string Name; ///< last path component: `Coordinator::ServeState` -> "ServeState"
+  size_t Open = 0;  ///< token index of '{'
+  size_t Close = 0; ///< token index of matching '}'
+  unsigned Line = 0;
+};
+
+/// One function definition with a body.
+struct FunctionBody {
+  std::string Name;      ///< unqualified name ("resolveLocked")
+  std::string ClassName; ///< owning class, "" for free functions
+  size_t NameTok = 0;    ///< token index of the name
+  size_t Open = 0;       ///< token index of the body '{'
+  size_t Close = 0;      ///< token index of the matching '}'
+  bool IsCtorDtor = false;
+  unsigned Line = 0; ///< line of the name token
+};
+
+/// One enum definition, with values resolved (implicit enumerators count
+/// up from the previous value).
+struct EnumDef {
+  std::string Name;
+  std::vector<std::pair<std::string, long long>> Enumerators;
+  unsigned Line = 0;
+  bool Exhaustive = false;   ///< marked `// hds-exhaustive`
+  bool SchemaLocked = false; ///< marked `// hds-schema-enum`
+};
+
+/// Finds every class/struct definition body in \p T.  Template parameter
+/// lists, forward declarations, and `enum class` never match.  Nested
+/// classes produce nested spans.
+std::vector<ClassSpan> findClassSpans(const std::vector<Token> &T);
+
+/// Finds function definitions (declarations with a `{...}` body) in \p T.
+/// The owning class comes from an explicit `Class::name` qualifier or the
+/// innermost enclosing span in \p Classes.  Constructor/destructor bodies
+/// are flagged so callers can exempt them from concurrency checks.
+std::vector<FunctionBody> findFunctionBodies(const std::vector<Token> &T,
+                                             const std::vector<ClassSpan> &Classes);
+
+/// Finds enum definitions in \p File and resolves enumerator values.
+/// Marker comments (`hds-exhaustive`, `hds-schema-enum`) attach like
+/// suppressions: on the definition line or the line above.
+std::vector<EnumDef> findEnums(const LexedFile &File);
+
+} // namespace lint
+} // namespace hds
+
+#endif // HDS_LINT_SCOPETRACKER_H

@@ -1,0 +1,42 @@
+// E1 positive fixture: switches over an hds-exhaustive enum that either
+// miss an enumerator or hide behind a default.  Expected E1 findings: 3.
+
+// hds-exhaustive
+enum class Phase {
+  Compute = 0,
+  Stall = 1,
+  Prefetch = 2,
+};
+
+const char *missingCase(Phase P) {
+  switch (P) { // 1 finding: Prefetch not covered
+  case Phase::Compute:
+    return "compute";
+  case Phase::Stall:
+    return "stall";
+  }
+  return "unknown";
+}
+
+const char *defaulted(Phase P) {
+  switch (P) { // 2 findings: default present AND Prefetch missing
+  case Phase::Compute:
+    return "compute";
+  case Phase::Stall:
+    return "stall";
+  default:
+    return "other";
+  }
+}
+
+const char *complete(Phase P) {
+  switch (P) { // clean: every enumerator, no default
+  case Phase::Compute:
+    return "compute";
+  case Phase::Stall:
+    return "stall";
+  case Phase::Prefetch:
+    return "prefetch";
+  }
+  return "unknown";
+}

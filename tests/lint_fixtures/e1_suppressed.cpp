@@ -1,0 +1,36 @@
+// E1 suppressed fixture: intentionally non-exhaustive dispatch over an
+// hds-exhaustive enum, silenced by exhaustive-ok notes.  The missing-case
+// finding anchors at the switch, the default finding at the `default:`
+// label, so each gets its own note.  Expected E1: 0.
+
+// hds-exhaustive
+enum class Phase {
+  Compute = 0,
+  Stall = 1,
+  Prefetch = 2,
+};
+
+bool stalls(Phase P) {
+  // hds-lint: exhaustive-ok(only the stall arm matters to this predicate)
+  switch (P) {
+  case Phase::Stall:
+    return true;
+  case Phase::Compute:
+    return false;
+  }
+  return false;
+}
+
+const char *defaulted(Phase P) {
+  switch (P) {
+  case Phase::Compute:
+    return "compute";
+  case Phase::Stall:
+    return "stall";
+  case Phase::Prefetch:
+    return "prefetch";
+  // hds-lint: exhaustive-ok(legacy dispatch kept verbatim for comparison)
+  default:
+    return "other";
+  }
+}

@@ -1,0 +1,43 @@
+// T1 positive fixture: mutations of hds-guarded-by fields outside any
+// scope holding the named mutex.  Expected T1 findings: 4.
+#include <deque>
+#include <mutex>
+
+struct Pool {
+  std::mutex Mutex;
+  std::deque<int> Queue; // hds-guarded-by(Mutex)
+  int Count = 0;         // hds-guarded-by(Mutex)
+
+  // Bare-name mutation inside a member function, no lock: 2 findings.
+  void unlockedMember(int V) {
+    Queue.push_back(V);
+    ++Count;
+  }
+
+  // The lock guards only its block; the mutation after it is bare.
+  void lockTooNarrow(int V) {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Queue.push_back(V);
+    }
+    Count = V; // 1 finding: lock already released
+  }
+};
+
+// Prefixed mutation through a bound reference, no lock: 1 finding.
+void unlockedFree(Pool &P) { P.Queue.pop_front(); }
+
+// Held paths that must stay clean.
+void lockedFree(Pool &P) {
+  std::scoped_lock Lock(P.Mutex);
+  P.Queue.push_back(1);
+  ++P.Count;
+}
+
+void manualUnlockRelock(Pool &P) {
+  std::unique_lock<std::mutex> Lock(P.Mutex);
+  P.Count = 1;
+  Lock.unlock();
+  Lock.lock();
+  P.Count = 2; // re-acquired: clean
+}

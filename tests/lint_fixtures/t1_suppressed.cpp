@@ -1,0 +1,20 @@
+// T1 suppressed fixture: the same unguarded mutations as t1_positive,
+// silenced by well-formed lock-ok notes.  Expected T1 findings: 0.
+#include <deque>
+#include <mutex>
+
+struct Pool {
+  std::mutex Mutex;
+  std::deque<int> Queue; // hds-guarded-by(Mutex)
+  int Count = 0;         // hds-guarded-by(Mutex)
+
+  void unlockedMember(int V) {
+    // hds-lint: lock-ok(single-threaded setup before workers spawn)
+    Queue.push_back(V);
+    // hds-lint: lock-ok(single-threaded setup before workers spawn)
+    ++Count;
+  }
+};
+
+// hds-lint: lock-ok(caller serializes all access during teardown)
+void unlockedFree(Pool &P) { P.Queue.pop_front(); }

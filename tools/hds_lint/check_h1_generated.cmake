@@ -1,0 +1,68 @@
+# The compile-db-driven H1 table must (a) resolve the generated-only
+# symbols (std::optional/variant/expected) from the real toolchain
+# headers, and (b) catch a header that uses std::optional after its
+# #include <optional> was deleted.
+#
+# Inputs: HDS_LINT, SOURCE_DIR, COMPILE_DB, WORK_DIR.
+
+if(NOT EXISTS ${COMPILE_DB})
+  message(FATAL_ERROR "compile database not found at ${COMPILE_DB} "
+                      "(configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON)")
+endif()
+
+# (a) The dump must show generated entries for the three symbols.
+execute_process(
+  COMMAND ${HDS_LINT} --compile-db ${COMPILE_DB} --dump-h1-table
+          ${SOURCE_DIR}/src
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE TABLE)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "hds_lint --dump-h1-table failed (exit ${RC})")
+endif()
+foreach(SYMBOL optional variant expected)
+  if(NOT TABLE MATCHES "std::${SYMBOL} ->[^\n]*\\(generated\\)")
+    message(FATAL_ERROR "generated H1 table has no entry for "
+                        "std::${SYMBOL}:\n${TABLE}")
+  endif()
+endforeach()
+
+# (b) A header that lost its needed include must trip H1.
+set(FIXTURE_DIR ${WORK_DIR}/h1_generated_fixture)
+file(WRITE ${FIXTURE_DIR}/Bad.h
+"#pragma once
+#include <vector>
+inline std::optional<int> firstOf(const std::vector<int> &V) {
+  return V.empty() ? std::optional<int>() : std::optional<int>(V.front())\;
+}
+")
+execute_process(
+  COMMAND ${HDS_LINT} --rule H1 --compile-db ${COMPILE_DB}
+          ${FIXTURE_DIR}/Bad.h
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE OUT)
+if(RC EQUAL 0)
+  message(FATAL_ERROR "H1 missed a header using std::optional without "
+                      "#include <optional>")
+endif()
+if(NOT OUT MATCHES "optional")
+  message(FATAL_ERROR "H1 fired but not for std::optional: ${OUT}")
+endif()
+
+# Control: adding the include makes the same header clean.
+file(WRITE ${FIXTURE_DIR}/Good.h
+"#pragma once
+#include <optional>
+#include <vector>
+inline std::optional<int> firstOf(const std::vector<int> &V) {
+  return V.empty() ? std::optional<int>() : std::optional<int>(V.front())\;
+}
+")
+execute_process(
+  COMMAND ${HDS_LINT} --rule H1 --compile-db ${COMPILE_DB}
+          ${FIXTURE_DIR}/Good.h
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE OUT)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "H1 flagged a self-contained header (exit ${RC}): "
+                      "${OUT}")
+endif()

@@ -7,7 +7,19 @@
 /// \file
 /// Command-line driver for the project lint pass:
 ///
-///   hds_lint [--rule <id>]... [--list-rules] <file-or-dir>...
+///   hds_lint [options] <file-or-dir>...
+///
+///   --rule <id>              run only this rule (repeatable)
+///   --list-rules             print the rule catalogue and exit
+///   --schema-lock <file>     enable W1 against this committed lock
+///   --write-schema-lock <f>  regenerate the lock from the tree and exit
+///   --compile-db <file>      generate the H1 symbol→header table from
+///                            this compile_commands.json
+///   --sys-include <dir>      system include dir for table generation
+///                            (repeatable; overrides the compiler probe)
+///   --dump-h1-table          print the effective H1 table and exit
+///   --stale-suppressions     report suppression notes that no longer
+///                            suppress anything (STALE)
 ///
 /// Directories are scanned recursively for C++ sources; `lint_fixtures`
 /// directories (seeded rule violations used by tests/lint_test.cpp) and
@@ -17,12 +29,15 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "LintRules.h"
+#include "lint/IncludeGraph.h"
+#include "lint/Rules.h"
+#include "lint/SchemaLock.h"
 
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -66,37 +81,175 @@ void gather(const fs::path &Root, std::vector<fs::path> &Out) {
   }
 }
 
+bool readFile(const fs::path &P, std::string &Out) {
+  std::ifstream In(P, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  Out = Buf.str();
+  return true;
+}
+
+/// Builds the generated H1 table from the compile database: first compile
+/// command → compiler → system include dirs (unless overridden), candidate
+/// top-level headers = every angle include in the linted tree plus the
+/// symbol table's known providers, then an on-disk declaration walk.
+/// Returns an empty table (caller falls back to the curated one) when the
+/// database or the toolchain headers cannot be read.
+std::vector<HeaderReq>
+buildGeneratedTable(const std::vector<LexedFile> &Files,
+                    const std::string &CompileDbPath,
+                    const std::vector<std::string> &SysIncludeOverride) {
+  std::string Json;
+  if (!readFile(CompileDbPath, Json)) {
+    std::fprintf(stderr,
+                 "hds_lint: warning: cannot read compile db %s; H1 uses "
+                 "the curated fallback table\n",
+                 CompileDbPath.c_str());
+    return {};
+  }
+  std::vector<CompileCommand> Commands;
+  std::string Error;
+  if (!parseCompileDb(Json, CompileDbPath, Commands, Error) ||
+      Commands.empty()) {
+    std::fprintf(stderr,
+                 "hds_lint: warning: %s; H1 uses the curated fallback "
+                 "table\n",
+                 Error.empty() ? "compile db has no entries" : Error.c_str());
+    return {};
+  }
+
+  std::vector<std::string> SearchDirs = SysIncludeOverride;
+  if (SearchDirs.empty())
+    SearchDirs = querySystemIncludeDirs(Commands.front().Compiler);
+  if (SearchDirs.empty()) {
+    std::fprintf(stderr,
+                 "hds_lint: warning: cannot determine system include dirs "
+                 "for '%s'; H1 uses the curated fallback table\n",
+                 Commands.front().Compiler.c_str());
+    return {};
+  }
+  for (const std::string &Dir : Commands.front().IncludeDirs)
+    SearchDirs.push_back(Dir);
+
+  std::set<std::string> Candidates;
+  for (const LexedFile &F : Files)
+    for (const std::string &H : angleIncludes(F))
+      Candidates.insert(H);
+  for (const HeaderReq &Req : fallbackHeaderTable())
+    for (const std::string &H : Req.Headers)
+      Candidates.insert(H);
+  for (const char *H : {"optional", "variant", "expected"})
+    Candidates.insert(H);
+
+  return generateHeaderTable(
+      h1SymbolKeys(),
+      std::vector<std::string>(Candidates.begin(), Candidates.end()),
+      SearchDirs);
+}
+
+void usage(std::FILE *To) {
+  std::fprintf(To,
+               "usage: hds_lint [--rule <id>]... [--list-rules]\n"
+               "                [--schema-lock <file>] "
+               "[--write-schema-lock <file>]\n"
+               "                [--compile-db <file>] "
+               "[--sys-include <dir>]...\n"
+               "                [--dump-h1-table] [--stale-suppressions]\n"
+               "                <file-or-dir>...\n");
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   LintOptions Opts;
   std::vector<fs::path> Roots;
+  std::string SchemaLockPath;
+  std::string WriteSchemaLockPath;
+  std::string CompileDbPath;
+  std::vector<std::string> SysIncludes;
+  bool DumpH1Table = false;
+
+  auto NeedValue = [&](int &I, const char *Flag) -> const char * {
+    if (I + 1 >= Argc) {
+      std::fprintf(stderr, "hds_lint: %s requires an argument\n", Flag);
+      return nullptr;
+    }
+    return Argv[++I];
+  };
+
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--list-rules") {
       for (const RuleInfo &R : ruleCatalog())
-        std::printf("%-4s %-16s %s\n", R.Id, R.Tag ? R.Tag : "-", R.Summary);
+        std::printf("%-5s %-16s %s\n", R.Id, R.Tag ? R.Tag : "-", R.Summary);
       return 0;
     }
     if (Arg == "--rule") {
-      if (I + 1 >= Argc) {
-        std::fprintf(stderr, "hds_lint: --rule requires an argument\n");
+      const char *V = NeedValue(I, "--rule");
+      if (!V)
         return 2;
-      }
-      Opts.OnlyRules.push_back(Argv[++I]);
+      Opts.OnlyRules.push_back(V);
+      continue;
+    }
+    if (Arg == "--schema-lock") {
+      const char *V = NeedValue(I, "--schema-lock");
+      if (!V)
+        return 2;
+      SchemaLockPath = V;
+      continue;
+    }
+    if (Arg == "--write-schema-lock") {
+      const char *V = NeedValue(I, "--write-schema-lock");
+      if (!V)
+        return 2;
+      WriteSchemaLockPath = V;
+      continue;
+    }
+    if (Arg == "--compile-db") {
+      const char *V = NeedValue(I, "--compile-db");
+      if (!V)
+        return 2;
+      CompileDbPath = V;
+      continue;
+    }
+    if (Arg == "--sys-include") {
+      const char *V = NeedValue(I, "--sys-include");
+      if (!V)
+        return 2;
+      SysIncludes.push_back(V);
+      continue;
+    }
+    if (Arg == "--dump-h1-table") {
+      DumpH1Table = true;
+      continue;
+    }
+    if (Arg == "--stale-suppressions") {
+      Opts.ReportStale = true;
       continue;
     }
     if (Arg == "--help" || Arg == "-h") {
-      std::printf("usage: hds_lint [--rule <id>]... [--list-rules] "
-                  "<file-or-dir>...\n");
+      usage(stdout);
       return 0;
+    }
+    if (Arg.size() > 2 && Arg[0] == '-' && Arg[1] == '-') {
+      std::fprintf(stderr, "hds_lint: unknown option %s\n", Arg.c_str());
+      usage(stderr);
+      return 2;
     }
     Roots.emplace_back(Arg);
   }
-  if (Roots.empty()) {
+  if (Opts.ReportStale && !Opts.OnlyRules.empty()) {
+    // A restricted run cannot tell a stale note from one whose rule was
+    // simply not executed.
     std::fprintf(stderr,
-                 "usage: hds_lint [--rule <id>]... [--list-rules] "
-                 "<file-or-dir>...\n");
+                 "hds_lint: --stale-suppressions requires running all "
+                 "rules (drop --rule)\n");
+    return 2;
+  }
+  if (Roots.empty()) {
+    usage(stderr);
     return 2;
   }
 
@@ -113,15 +266,54 @@ int main(int Argc, char **Argv) {
   std::vector<LexedFile> Files;
   Files.reserve(Paths.size());
   for (const fs::path &P : Paths) {
-    std::ifstream In(P, std::ios::binary);
-    if (!In) {
+    std::string Source;
+    if (!readFile(P, Source)) {
       std::fprintf(stderr, "hds_lint: cannot read %s\n",
                    P.string().c_str());
       return 2;
     }
-    std::ostringstream Buf;
-    Buf << In.rdbuf();
-    Files.push_back(lexSource(P.generic_string(), Buf.str()));
+    Files.push_back(lexSource(P.generic_string(), Source));
+  }
+
+  if (!WriteSchemaLockPath.empty()) {
+    std::string Rendered = renderSchemaLock(collectSchema(Files));
+    std::ofstream Out(WriteSchemaLockPath, std::ios::binary);
+    if (!Out || !(Out << Rendered)) {
+      std::fprintf(stderr, "hds_lint: cannot write %s\n",
+                   WriteSchemaLockPath.c_str());
+      return 2;
+    }
+    return 0;
+  }
+
+  std::vector<HeaderReq> Table;
+  if (!CompileDbPath.empty())
+    Table = mergeHeaderTable(
+        buildGeneratedTable(Files, CompileDbPath, SysIncludes));
+  if (!Table.empty())
+    Opts.HeaderTable = &Table;
+
+  if (DumpH1Table) {
+    const std::vector<HeaderReq> &Effective =
+        Opts.HeaderTable ? *Opts.HeaderTable : fallbackHeaderTable();
+    for (const HeaderReq &Req : Effective) {
+      std::printf("%s%s ->", Req.NeedsStd ? "std::" : "", Req.Symbol.c_str());
+      for (const std::string &H : Req.Headers)
+        std::printf(" <%s>", H.c_str());
+      std::printf("%s\n", Req.Generated ? " (generated)" : " (curated)");
+    }
+    return 0;
+  }
+
+  std::string SchemaLockText;
+  if (!SchemaLockPath.empty()) {
+    if (!readFile(SchemaLockPath, SchemaLockText)) {
+      std::fprintf(stderr, "hds_lint: cannot read schema lock %s\n",
+                   SchemaLockPath.c_str());
+      return 2;
+    }
+    Opts.SchemaLockText = &SchemaLockText;
+    Opts.SchemaLockPath = SchemaLockPath;
   }
 
   std::vector<Finding> Findings = runLint(Files, Opts);
