@@ -30,8 +30,8 @@ namespace {
 uint32_t GSuccessors = 2;
 
 void enableMarkov(core::OptimizerConfig &Config) {
-  Config.EnableMarkovPrefetcher = true;
-  Config.Markov.SuccessorsPerNode = GSuccessors;
+  Config.Prefetchers.Markov = true;
+  Config.Prefetchers.MarkovCfg.SuccessorsPerNode = GSuccessors;
 }
 
 } // namespace

@@ -27,7 +27,7 @@ using namespace hds::bench;
 namespace {
 
 void enableStride(core::OptimizerConfig &Config) {
-  Config.EnableStridePrefetcher = true;
+  Config.Prefetchers.Stride = true;
 }
 
 } // namespace

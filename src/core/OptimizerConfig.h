@@ -18,11 +18,10 @@
 #define HDS_CORE_OPTIMIZERCONFIG_H
 
 #include "analysis/HotDataStream.h"
-#include "core/MarkovPrefetcher.h"
-#include "core/StridePrefetcher.h"
 #include "dfsm/PrefixDfsm.h"
 #include "memsim/Cache.h"
 #include "memsim/MemoryHierarchy.h"
+#include "prefetch/PrefetcherStack.h"
 #include "profiling/BurstyTracer.h"
 
 #include <cstdint>
@@ -171,20 +170,14 @@ struct OptimizerConfig {
 
   CostModel Costs;
 
-  /// \name Orthogonal hardware prefetcher baselines (work in any mode).
-  /// @{
-
-  /// PC-indexed stride prefetcher — the paper's suggested complement
-  /// ("could complement our scheme by prefetching data address sequences
-  /// that do not qualify as hot data streams", §4.3).
-  bool EnableStridePrefetcher = false;
-  StridePrefetcherConfig Stride;
-
-  /// Markov correlation prefetcher — the hardware technique the paper
-  /// calls "most similar" to its scheme (§5.1).
-  bool EnableMarkovPrefetcher = false;
-  MarkovPrefetcherConfig Markov;
-  /// @}
+  /// Orthogonal hardware prefetcher stack (works in any mode): which
+  /// members of the prefetcher zoo observe the demand stream, plus the
+  /// dueling selector that picks a winner per hot address region.  The
+  /// stride prefetcher is the paper's suggested complement ("could
+  /// complement our scheme by prefetching data address sequences that do
+  /// not qualify as hot data streams", §4.3); Markov is the hardware
+  /// technique the paper calls "most similar" to its scheme (§5.1).
+  prefetch::StackConfig Prefetchers;
 
   /// Static-scheme model (the comparison the paper leaves for future
   /// work): keep the *first* successful optimization installed forever —

@@ -29,6 +29,7 @@
 #include "obs/PrefetchStats.h"
 #include "vulcan/Image.h"
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -95,6 +96,15 @@ public:
   /// Runtime joins them with the hierarchy's per-stream buckets.
   const std::vector<obs::StreamPrefetchStats> &streamHistory() const {
     return History;
+  }
+
+  /// Reserves tags [0, Base) for the hardware prefetcher stack: the first
+  /// installed stream gets tag \p Base.  Must be called before any
+  /// install(); the Runtime does this at construction so stream and
+  /// prefetcher classification buckets never collide.
+  void setStreamTagBase(uint32_t Base) {
+    assert(History.empty() && "tag base must be set before any install");
+    NextStreamTag = Base;
   }
 
 private:

@@ -48,14 +48,25 @@ Runtime::Runtime(const OptimizerConfig &Cfg)
                 Timeline),
       HeapBreak(1 << 20) {
   TheImage.instrumentForBurstyTracing();
-  if (Config.EnableStridePrefetcher)
-    Stride = std::make_unique<StridePrefetcher>(Config.Stride);
-  if (Config.EnableMarkovPrefetcher)
-    Markov = std::make_unique<MarkovPrefetcher>(Config.Markov);
+  if (Config.Prefetchers.any()) {
+    Prefetchers = std::make_unique<prefetch::PrefetcherStack>(
+        Config.Prefetchers);
+    // Prefetcher fill/useful/late/eviction feedback flows back through
+    // the hierarchy's listener; hot-stream tags start above the
+    // prefetcher tag range so the per-tag buckets never collide.
+    Hierarchy.setListener(Prefetchers.get());
+    Engine.setStreamTagBase(Prefetchers->tagCount());
+  }
   // The run opens in the profiler's awake phase; the optimizer records
   // every later phase boundary.
   if (tracingEnabled(Config.Mode))
     Timeline.begin("awake", 0);
+}
+
+std::vector<obs::PrefetcherStats> Runtime::prefetcherStats() const {
+  if (!Prefetchers)
+    return {};
+  return Prefetchers->snapshotStats(Hierarchy);
 }
 
 std::vector<obs::StreamPrefetchStats> Runtime::streamPrefetchStats() const {

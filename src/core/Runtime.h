@@ -48,12 +48,11 @@
 #define HDS_CORE_RUNTIME_H
 
 #include "core/DynamicOptimizer.h"
-#include "core/MarkovPrefetcher.h"
 #include "core/OptimizerConfig.h"
 #include "core/PrefetchEngine.h"
 #include "core/RunStats.h"
-#include "core/StridePrefetcher.h"
 #include "memsim/MemoryHierarchy.h"
+#include "prefetch/PrefetcherStack.h"
 #include "obs/CycleAccount.h"
 #include "obs/PrefetchStats.h"
 #include "obs/Timeline.h"
@@ -206,10 +205,15 @@ public:
   const profiling::BurstyTracer &tracer() const { return Tracer; }
   const PrefetchEngine &engine() const { return Engine; }
   DynamicOptimizer &optimizer() { return Optimizer; }
-  /// The stride prefetcher, or nullptr when not enabled.
-  const StridePrefetcher *stridePrefetcher() const { return Stride.get(); }
-  /// The Markov prefetcher, or nullptr when not enabled.
-  const MarkovPrefetcher *markovPrefetcher() const { return Markov.get(); }
+  /// The hardware prefetcher stack, or nullptr when no prefetcher is
+  /// enabled.
+  prefetch::PrefetcherStack *prefetcherStack() const {
+    return Prefetchers.get();
+  }
+  /// Per-prefetcher effectiveness rows (identity + training counts from
+  /// the prefetchers, classification counts joined from the memory
+  /// hierarchy's per-tag buckets).  Empty when no prefetcher is enabled.
+  std::vector<obs::PrefetcherStats> prefetcherStats() const;
   /// @}
 
   /// Installs (or, with nullptr, removes) the full-event observer.  Not
@@ -270,10 +274,9 @@ private:
     const uint64_t Latency = Hierarchy.access(Addr);
 
     // Hardware prefetchers observe every demand access regardless of mode.
-    if (Stride)
-      Stride->onAccess(Site, Addr, Hierarchy);
-    if (Markov && Latency > Config.Latency.L1HitCycles)
-      Markov->onMiss(Addr, Hierarchy);
+    if (Prefetchers)
+      Prefetchers->onAccess(Site, Addr, Latency,
+                            Latency > Config.Latency.L1HitCycles, Hierarchy);
 
     if (Config.Mode == RunMode::Original)
       return;
@@ -309,8 +312,7 @@ private:
   RunStats Stats;
   obs::Timeline Timeline;
   DynamicOptimizer Optimizer;
-  std::unique_ptr<StridePrefetcher> Stride;
-  std::unique_ptr<MarkovPrefetcher> Markov;
+  std::unique_ptr<prefetch::PrefetcherStack> Prefetchers;
   RuntimeObserver *Observer = nullptr;
   /// Access-event staging buffer (see RuntimeObserver::onAccessBatch).
   /// 256 events keeps the buffer inside L1 while leaving the per-access

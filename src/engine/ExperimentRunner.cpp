@@ -61,5 +61,6 @@ RunResult hds::engine::runExperiment(const ExperimentSpec &Spec,
   Result.L2 = Rt.memory().l2().stats();
   Result.Breakdown = Rt.cycleBreakdown();
   Result.Streams = Rt.streamPrefetchStats();
+  Result.Prefetchers = Rt.prefetcherStats();
   return Result;
 }

@@ -85,6 +85,10 @@ struct RunResult {
   /// Per-hot-data-stream prefetch effectiveness, one row per stream ever
   /// installed during the run.
   std::vector<obs::StreamPrefetchStats> Streams;
+  /// Per-hardware-prefetcher effectiveness (src/prefetch), one row per
+  /// stack member — selector candidates included.  Empty when the spec
+  /// enables no prefetcher.
+  std::vector<obs::PrefetcherStats> Prefetchers;
   /// Caller-measured wall clock (never set by runExperiment itself).
   ResultTiming Timing;
 

@@ -6,6 +6,7 @@
 
 #include "engine/ExperimentSpec.h"
 
+#include "prefetch/Prefetcher.h"
 #include "workloads/Workload.h"
 
 #include <cstdlib>
@@ -17,8 +18,11 @@ core::OptimizerConfig ExperimentSpec::materializeConfig() const {
   core::OptimizerConfig Config;
   Config.Mode = Mode;
   Config.Dfsm.HeadLength = HeadLength;
-  Config.EnableStridePrefetcher = Stride;
-  Config.EnableMarkovPrefetcher = Markov;
+  Config.Prefetchers.Stride = Stride;
+  Config.Prefetchers.Markov = Markov;
+  Config.Prefetchers.Stream = Stream;
+  Config.Prefetchers.Pair = Pair;
+  Config.Prefetchers.Duel = Duel;
   Config.PinFirstOptimization = Pin;
   Config.AdaptiveHibernation = Adaptive;
   return Config;
@@ -26,12 +30,20 @@ core::OptimizerConfig ExperimentSpec::materializeConfig() const {
 
 std::string ExperimentSpec::label() const {
   std::string Label = Workload + "/" + core::runModeToken(Mode);
-  if (Seed != 0)
-    Label += "@" + std::to_string(Seed);
+  if (Seed != 0) {
+    Label += '@';
+    Label += std::to_string(Seed);
+  }
   if (Stride)
     Label += "+stride";
   if (Markov)
     Label += "+markov";
+  if (Stream)
+    Label += "+stream";
+  if (Pair)
+    Label += "+pair";
+  if (Duel)
+    Label += "+duel";
   if (Pin)
     Label += "+pinned";
   if (Adaptive)
@@ -52,6 +64,22 @@ std::vector<ExperimentSpec> hds::engine::defaultMatrix(double Scale) {
       Spec.Workload = Name;
       Spec.Mode = Mode;
       Spec.Scale = Scale;
+      Specs.push_back(Spec);
+    }
+  // Hardware prefetcher zoo bars: each prefetcher alone against the
+  // unmodified program, so its cycles compare directly with the Original
+  // baseline and the software scheme's Dyn-pref bar.
+  for (const std::string &Name : workloads::allWorkloadNames())
+    for (int Which = 0; Which < 5; ++Which) {
+      ExperimentSpec Spec;
+      Spec.Workload = Name;
+      Spec.Mode = core::RunMode::Original;
+      Spec.Scale = Scale;
+      Spec.Stride = Which == 0;
+      Spec.Markov = Which == 1;
+      Spec.Stream = Which == 2;
+      Spec.Pair = Which == 3;
+      Spec.Duel = Which == 4;
       Specs.push_back(Spec);
     }
   return Specs;
@@ -103,8 +131,41 @@ bool hds::engine::applyFilter(std::vector<ExperimentSpec> &Specs,
     Keep([&](const ExperimentSpec &S) { return S.Seed == Seed; });
     return true;
   }
+  if (Key == "prefetcher") {
+    if (Value == "none") {
+      Keep([&](const ExperimentSpec &S) {
+        return !S.Stride && !S.Markov && !S.Stream && !S.Pair && !S.Duel;
+      });
+      return true;
+    }
+    prefetch::Prefetcher::Kind Kind;
+    if (!prefetch::Prefetcher::parseKindToken(Value, Kind)) {
+      if (Error)
+        *Error = "unknown prefetcher '" + Value +
+                 "' (expected none|stride|markov|stream|pair|duel)";
+      return false;
+    }
+    Keep([&](const ExperimentSpec &S) {
+      // The named prefetcher, enabled alone (duel cells enable only
+      // Duel; the roster defaults to all four candidates).
+      switch (Kind) {
+      case prefetch::Prefetcher::Stride:
+        return S.Stride && !S.Markov && !S.Stream && !S.Pair && !S.Duel;
+      case prefetch::Prefetcher::Markov:
+        return S.Markov && !S.Stride && !S.Stream && !S.Pair && !S.Duel;
+      case prefetch::Prefetcher::Stream:
+        return S.Stream && !S.Stride && !S.Markov && !S.Pair && !S.Duel;
+      case prefetch::Prefetcher::PairTable:
+        return S.Pair && !S.Stride && !S.Markov && !S.Stream && !S.Duel;
+      case prefetch::Prefetcher::Duel:
+        return S.Duel;
+      }
+      return false; // unreachable: parseKindToken covers every Kind
+    });
+    return true;
+  }
   if (Error)
     *Error = "unknown filter key '" + Key +
-             "' (expected workload, mode, or seed)";
+             "' (expected workload, mode, seed, or prefetcher)";
   return false;
 }

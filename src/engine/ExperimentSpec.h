@@ -49,9 +49,15 @@ struct ExperimentSpec {
   uint64_t Seed = 0;
   /// Prefix-match head length (Section 4.3; default 2).
   uint32_t HeadLength = 2;
-  /// Orthogonal hardware prefetcher baselines.
+  /// Orthogonal hardware prefetcher zoo (src/prefetch): any subset may
+  /// ride along in any mode.  Duel wraps the enabled subset (or, when
+  /// fewer than two others are enabled, all four) in the per-region
+  /// dueling selector.
   bool Stride = false;
   bool Markov = false;
+  bool Stream = false;
+  bool Pair = false;
+  bool Duel = false;
   /// Static-scheme model: pin the first successful optimization.
   bool Pin = false;
   /// Adaptive hibernation extension (§5.2).
@@ -68,13 +74,17 @@ struct ExperimentSpec {
 
 /// The default matrix at \p Scale: every workload (paper figure order) ×
 /// every RunMode — the cells behind Figures 11 and 12 plus their
-/// Original baselines.
+/// Original baselines — followed by one Original-mode cell per workload
+/// per hardware prefetcher (stride, markov, stream, pair, duel), the
+/// Figure-12-style hardware comparison bars.
 std::vector<ExperimentSpec> defaultMatrix(double Scale = 1.0);
 
 /// Narrows \p Specs in place with one "key=value" filter.  Supported
 /// keys: workload (name), mode (runModeToken vocabulary), seed
-/// (decimal).  Returns false — leaving \p Specs untouched and setting
-/// \p Error when non-null — for an unknown key or unparseable value.
+/// (decimal), prefetcher (none|stride|markov|stream|pair|duel — cells
+/// whose only enabled prefetcher flag is the named one).  Returns false —
+/// leaving \p Specs untouched and setting \p Error when non-null — for an
+/// unknown key or unparseable value.
 bool applyFilter(std::vector<ExperimentSpec> &Specs,
                  const std::string &Filter, std::string *Error = nullptr);
 

@@ -57,6 +57,9 @@ std::vector<MetricBlock> buildRegistry() {
   Add("stream", [](auto Collect) {
     obs::visitStreamPrefetchStatsMetrics(obs::StreamPrefetchStats{}, Collect);
   });
+  Add("prefetcher", [](auto Collect) {
+    obs::visitPrefetcherStatsMetrics(obs::PrefetcherStats{}, Collect);
+  });
   Add("timing", [](auto Collect) {
     visitResultTimingMetrics(ResultTiming{}, Collect);
   });
@@ -74,6 +77,7 @@ const std::vector<const char *> &hds::engine::specIdentityFields() {
   static const std::vector<const char *> Fields = {
       "workload", "mode",   "mode_name", "scale", "seed",
       "head_length", "stride", "markov", "pin",   "adaptive",
+      "stream_pf", "pair_pf", "duel_pf",
   };
   return Fields;
 }

@@ -332,7 +332,18 @@ Cell makeCell(const JsonValue &Result) {
       Key += ' ';
     Key += Field;
     Key += '=';
-    Key += Value ? scalarToText(*Value) : std::string("?");
+    if (Value) {
+      Key += scalarToText(*Value);
+    } else if (std::string(Field) == "stream_pf" ||
+               std::string(Field) == "pair_pf" ||
+               std::string(Field) == "duel_pf") {
+      // Appended after the stream/pair/duel flags existed: snapshots
+      // written before then omit them, and omission means disabled — so
+      // old and new documents still pair cell for cell.
+      Key += "false";
+    } else {
+      Key += '?';
+    }
   }
   Out.Key = Key;
   if (const JsonValue *Status = Result.find("status"))

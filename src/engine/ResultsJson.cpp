@@ -8,6 +8,7 @@
 
 #include "obs/CycleAccount.h"
 #include "obs/PrefetchStats.h"
+#include "prefetch/Prefetcher.h"
 
 #include <cstdio>
 
@@ -42,7 +43,8 @@ const RunResult *findBaseline(const std::vector<RunResult> &Results,
   for (const RunResult &Candidate : Results) {
     const ExperimentSpec &C = Candidate.Spec;
     if (Candidate.ok() && C.Mode == core::RunMode::Original && !C.Stride &&
-        !C.Markov && C.Workload == Spec.Workload && C.Scale == Spec.Scale &&
+        !C.Markov && !C.Stream && !C.Pair && !C.Duel &&
+        C.Workload == Spec.Workload && C.Scale == Spec.Scale &&
         C.Seed == Spec.Seed && C.Iterations == Spec.Iterations)
       return &Candidate;
   }
@@ -81,7 +83,10 @@ public:
   }
 
   void fieldString(const char *Key, const std::string &Value) {
-    field(Key, "\"" + jsonEscape(Value) + "\"");
+    std::string Quoted(1, '"');
+    Quoted += jsonEscape(Value);
+    Quoted += '"';
+    field(Key, Quoted);
   }
 
   void fieldBool(const char *Key, bool Value) {
@@ -153,6 +158,11 @@ void emitResult(JsonBuilder &Json, const RunResult &Result,
   Json.fieldBool("markov", Spec.Markov);
   Json.fieldBool("pin", Spec.Pin);
   Json.fieldBool("adaptive", Spec.Adaptive);
+  // Suffixed to stay clear of the "stream" metric id in the per-stream
+  // rows (identity fields and metric ids share one namespace in diffs).
+  Json.fieldBool("stream_pf", Spec.Stream);
+  Json.fieldBool("pair_pf", Spec.Pair);
+  Json.fieldBool("duel_pf", Spec.Duel);
   Json.fieldString("status", statusName(Result.State));
   if (!Result.Error.empty())
     Json.fieldString("error", Result.Error);
@@ -196,6 +206,19 @@ void emitResult(JsonBuilder &Json, const RunResult &Result,
   for (const obs::StreamPrefetchStats &Stream : Result.Streams) {
     Json.openObject();
     obs::visitStreamPrefetchStatsMetrics(Stream, MetricFieldEmitter{Json});
+    Json.close('}');
+  }
+  Json.close(']');
+
+  Json.openArray("prefetchers");
+  for (const obs::PrefetcherStats &Pf : Result.Prefetchers) {
+    Json.openObject();
+    // "kind_name" because the locked numeric metric below already owns
+    // the "kind" key (mode/mode_name follow the same split).
+    Json.fieldString("kind_name", prefetch::Prefetcher::kindToken(
+                                      static_cast<prefetch::Prefetcher::Kind>(
+                                          static_cast<uint8_t>(Pf.Kind))));
+    obs::visitPrefetcherStatsMetrics(Pf, MetricFieldEmitter{Json});
     Json.close('}');
   }
   Json.close(']');

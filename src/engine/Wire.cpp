@@ -207,12 +207,16 @@ enum ResultTag : uint8_t {
   ResultBreakdown = 11,
   ResultStreams = 12,
   ResultWallTiming = 13,
+  ResultPrefetchers = 14,
 };
 
 constexpr uint64_t FlagStride = 1u << 0;
 constexpr uint64_t FlagMarkov = 1u << 1;
 constexpr uint64_t FlagPin = 1u << 2;
 constexpr uint64_t FlagAdaptive = 1u << 3;
+constexpr uint64_t FlagStream = 1u << 4;
+constexpr uint64_t FlagPair = 1u << 5;
+constexpr uint64_t FlagDuel = 1u << 6;
 
 void appendTagU64(std::vector<uint8_t> &Out, uint8_t Tag, uint64_t Value) {
   Out.push_back(Tag);
@@ -236,6 +240,12 @@ void encodeSpecFields(std::vector<uint8_t> &Out, const ExperimentSpec &Spec) {
     Flags |= FlagPin;
   if (Spec.Adaptive)
     Flags |= FlagAdaptive;
+  if (Spec.Stream)
+    Flags |= FlagStream;
+  if (Spec.Pair)
+    Flags |= FlagPair;
+  if (Spec.Duel)
+    Flags |= FlagDuel;
   appendTagU64(Out, SpecFlags, Flags);
   Out.push_back(SpecEnd);
 }
@@ -298,6 +308,9 @@ bool decodeSpecFields(Reader &R, ExperimentSpec &Spec, std::string &Error) {
       Spec.Markov = (Value & FlagMarkov) != 0;
       Spec.Pin = (Value & FlagPin) != 0;
       Spec.Adaptive = (Value & FlagAdaptive) != 0;
+      Spec.Stream = (Value & FlagStream) != 0;
+      Spec.Pair = (Value & FlagPair) != 0;
+      Spec.Duel = (Value & FlagDuel) != 0;
       break;
     default:
       Ok = false;
@@ -379,6 +392,9 @@ constexpr auto VisitBreakdown = [](auto &&S, auto &&F) {
 constexpr auto VisitStream = [](auto &&S, auto &&F) {
   obs::visitStreamPrefetchStatsMetrics(S, F);
 };
+constexpr auto VisitPrefetcher = [](auto &&S, auto &&F) {
+  obs::visitPrefetcherStatsMetrics(S, F);
+};
 constexpr auto VisitTiming = [](auto &&S, auto &&F) {
   engine::visitResultTimingMetrics(S, F);
 };
@@ -452,6 +468,11 @@ std::vector<uint8_t> wire::encodeResult(uint64_t Index,
   Out.push_back(ResultWallTiming);
   encodeCounters(Out, Result.Timing, VisitTiming);
 
+  Out.push_back(ResultPrefetchers);
+  appendU64(Out, Result.Prefetchers.size());
+  for (const obs::PrefetcherStats &Pf : Result.Prefetchers)
+    encodeCounters(Out, Pf, VisitPrefetcher);
+
   Out.push_back(ResultEnd);
   return Out;
 }
@@ -473,7 +494,7 @@ bool wire::decodeResult(const std::vector<uint8_t> &Payload, uint64_t &Index,
     }
     if (Tag == ResultEnd)
       break;
-    if (Tag > ResultWallTiming) {
+    if (Tag > ResultPrefetchers) {
       Error = "unknown result field tag " + std::to_string(Tag);
       return false;
     }
@@ -567,6 +588,24 @@ bool wire::decodeResult(const std::vector<uint8_t> &Payload, uint64_t &Index,
       if (!decodeCounters(R, Result.Timing, VisitTiming, Error))
         return false;
       break;
+    case ResultPrefetchers: {
+      uint64_t Count = 0;
+      Ok = R.readU64(Count);
+      // Each row needs at least its counter-count word; anything larger
+      // than the remaining bytes is a corrupt length, not a real vector.
+      if (Ok && Count > R.remaining() / 8) {
+        Error = "prefetcher count exceeds payload";
+        return false;
+      }
+      if (Ok) {
+        Result.Prefetchers.assign(static_cast<std::size_t>(Count),
+                                  obs::PrefetcherStats{});
+        for (obs::PrefetcherStats &Pf : Result.Prefetchers)
+          if (!decodeCounters(R, Pf, VisitPrefetcher, Error))
+            return false;
+      }
+      break;
+    }
     default:
       Ok = false;
       break;
@@ -584,7 +623,7 @@ bool wire::decodeResult(const std::vector<uint8_t> &Payload, uint64_t &Index,
       (uint64_t{1} << ResultPhases) | (uint64_t{1} << ResultHierarchy) |
       (uint64_t{1} << ResultL1) | (uint64_t{1} << ResultL2) |
       (uint64_t{1} << ResultBreakdown) | (uint64_t{1} << ResultStreams) |
-      (uint64_t{1} << ResultWallTiming);
+      (uint64_t{1} << ResultWallTiming) | (uint64_t{1} << ResultPrefetchers);
   if (Seen != AllResultTags) {
     Error = "result is missing mandatory fields";
     return false;

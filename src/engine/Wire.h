@@ -45,7 +45,9 @@ namespace wire {
 /// hierarchy counter block.
 /// v3: wall-clock timing section (ResultTiming gauges) in Result
 /// payloads, so bench workers report accesses/sec alongside cycles.
-constexpr uint8_t ProtocolVersion = 3;
+/// v4: per-prefetcher stats section (ResultPrefetchers) in Result
+/// payloads; stream/pair/duel prefetcher spec flags.
+constexpr uint8_t ProtocolVersion = 4;
 
 /// First two frame bytes; a cheap guard against cross-protocol garbage.
 constexpr uint8_t Magic0 = 0x48; // 'H'

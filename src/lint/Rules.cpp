@@ -788,8 +788,21 @@ void checkD5(const LexedFile &File, std::vector<Finding> &Out) {
 // E1: exhaustive dispatch over marked enums
 //===----------------------------------------------------------------------===//
 
-/// Enumerator lists of every enum marked `// hds-exhaustive`, cross-TU.
-using MarkedEnums = std::map<std::string, std::vector<std::string>>;
+/// One enum marked `// hds-exhaustive`, cross-TU.  The owning class and
+/// scoped-ness decide which label spellings attribute a switch to it:
+/// `Enum::Member` always, `OwningClass::Member` and bare `Member` only
+/// for unscoped enums (the latter only inside the owning class's scope).
+/// Attribution additionally requires the member name to actually belong
+/// to the enum, so a switch over some other enum that happens to share
+/// the name (every third enum is called `Kind`) is never misattributed.
+struct MarkedEnum {
+  std::string Name;
+  std::string OwningClass; ///< "" for namespace-scope enums
+  bool Scoped = false;
+  std::set<std::string> Members;
+  std::vector<std::string> Order; ///< declaration order, for messages
+};
+using MarkedEnums = std::vector<MarkedEnum>;
 
 MarkedEnums collectMarkedEnums(const std::vector<LexedFile> &Files) {
   MarkedEnums Marked;
@@ -797,12 +810,16 @@ MarkedEnums collectMarkedEnums(const std::vector<LexedFile> &Files) {
     for (const EnumDef &E : findEnums(File)) {
       if (!E.Exhaustive)
         continue;
-      std::vector<std::string> Names;
+      MarkedEnum M;
+      M.Name = E.Name;
+      M.OwningClass = E.OwningClass;
+      M.Scoped = E.Scoped;
       for (const auto &[Name, Value] : E.Enumerators) {
         (void)Value;
-        Names.push_back(Name);
+        M.Members.insert(Name);
+        M.Order.push_back(Name);
       }
-      Marked.emplace(E.Name, std::move(Names));
+      Marked.push_back(std::move(M));
     }
   return Marked;
 }
@@ -812,6 +829,8 @@ void checkE1(const LexedFile &File, const MarkedEnums &Marked,
   if (Marked.empty())
     return;
   const Toks &T = File.Toks;
+  const std::vector<ClassSpan> Classes = findClassSpans(T);
+  const std::vector<FunctionBody> Bodies = findFunctionBodies(T, Classes);
   for (size_t I = 0; I < T.size(); ++I) {
     if (!isIdent(T, I, "switch") || !isPunct(T, I + 1, "("))
       continue;
@@ -822,8 +841,19 @@ void checkE1(const LexedFile &File, const MarkedEnums &Marked,
     if (BodyClose == T.size())
       continue;
 
+    // Class scopes the switch sits in: lexically nested class bodies
+    // plus the owning class of an out-of-line member definition.  Bare
+    // `case Member:` labels resolve against these.
+    std::set<std::string> EnclosingClasses;
+    for (const ClassSpan &CS : Classes)
+      if (CS.Open < I && I < CS.Close)
+        EnclosingClasses.insert(CS.Name);
+    for (const FunctionBody &FB : Bodies)
+      if (FB.Open < I && I < FB.Close && !FB.ClassName.empty())
+        EnclosingClasses.insert(FB.ClassName);
+
     // Depth-1 labels only: labels of nested switches belong to them.
-    std::map<std::string, std::set<std::string>> Covered; // enum -> members
+    std::map<size_t, std::set<std::string>> Covered; // enum idx -> members
     bool HasDefault = false;
     unsigned DefaultLine = 0;
     int Depth = 0;
@@ -841,21 +871,40 @@ void checkE1(const LexedFile &File, const MarkedEnums &Marked,
         HasDefault = true;
         DefaultLine = T[J].Line;
       } else if (isIdent(T, J, "case")) {
-        // Scan the label up to its ':' for `Enum :: Member` pairs.
-        for (size_t K = J + 1; K < BodyClose && !isPunct(T, K, ":"); ++K)
-          if (T[K].K == Token::Ident && Marked.count(T[K].Text) &&
-              isPunct(T, K + 1, "::") && K + 2 < BodyClose &&
-              T[K + 2].K == Token::Ident)
-            Covered[T[K].Text].insert(T[K + 2].Text);
+        // Bare label: `case Member:` — a single identifier.  Valid only
+        // for unscoped enums, and for class-nested ones only inside the
+        // owning class's own scope.
+        if (T[J + 1].K == Token::Ident && isPunct(T, J + 2, ":"))
+          for (size_t E = 0; E < Marked.size(); ++E)
+            if (!Marked[E].Scoped && Marked[E].Members.count(T[J + 1].Text) &&
+                (Marked[E].OwningClass.empty() ||
+                 EnclosingClasses.count(Marked[E].OwningClass)))
+              Covered[E].insert(T[J + 1].Text);
+        // Qualified: scan the label up to its ':' for `Qual :: Member`
+        // pairs.  The qualifier may be the enum itself (any enum) or
+        // the owning class (unscoped nested enums only).
+        for (size_t K = J + 1; K < BodyClose && !isPunct(T, K, ":"); ++K) {
+          if (T[K].K != Token::Ident || !isPunct(T, K + 1, "::") ||
+              K + 2 >= BodyClose || T[K + 2].K != Token::Ident)
+            continue;
+          for (size_t E = 0; E < Marked.size(); ++E) {
+            bool QualMatches =
+                T[K].Text == Marked[E].Name ||
+                (!Marked[E].Scoped && !Marked[E].OwningClass.empty() &&
+                 T[K].Text == Marked[E].OwningClass);
+            if (QualMatches && Marked[E].Members.count(T[K + 2].Text))
+              Covered[E].insert(T[K + 2].Text);
+          }
+        }
       }
     }
 
-    for (const auto &[EnumName, Members] : Covered) {
-      const std::vector<std::string> &All = Marked.at(EnumName);
+    for (const auto &[EnumIdx, Members] : Covered) {
+      const MarkedEnum &Enum = Marked[EnumIdx];
       if (HasDefault)
         Out.push_back(
             {"E1", File.Path, DefaultLine,
-             "switch over hds-exhaustive enum '" + EnumName +
+             "switch over hds-exhaustive enum '" + Enum.Name +
                  "' has a `default:`; it would silently swallow new "
                  "enumerators",
              "remove the default and cover every enumerator explicitly "
@@ -863,15 +912,15 @@ void checkE1(const LexedFile &File, const MarkedEnums &Marked,
              "out-of-range case), or annotate "
              "`// hds-lint: exhaustive-ok(<why>)`"});
       std::string Missing;
-      for (const std::string &M : All)
+      for (const std::string &M : Enum.Order)
         if (!Members.count(M))
           Missing += (Missing.empty() ? "" : ", ") + M;
       if (!Missing.empty())
         Out.push_back(
             {"E1", File.Path, T[I].Line,
-             "switch over hds-exhaustive enum '" + EnumName +
+             "switch over hds-exhaustive enum '" + Enum.Name +
                  "' does not cover: " + Missing,
-             "add the missing `case " + EnumName +
+             "add the missing `case " + Enum.Name +
                  "::...` labels, or annotate "
                  "`// hds-lint: exhaustive-ok(<why>)`"});
     }

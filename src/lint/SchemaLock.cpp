@@ -209,6 +209,16 @@ void compareSchema(const std::vector<SchemaSection> &Locked,
         break;
       }
       if (LE.Value != CE.Value) {
+        // The wire protocol version is the one sanctioned mutation: it
+        // must move forward when the frame payload evolves (skew is
+        // rejected at the frame header, so old readers are never lied
+        // to).  A bump only leaves the lock stale until regenerated;
+        // moving backwards is still a finding.
+        if (L.Kind == "const" && L.Name == "wire" &&
+            LE.Name == "ProtocolVersion" && CE.Value > LE.Value) {
+          Stale = true;
+          continue;
+        }
         Out.push_back({"W1", C->Path, C->Line,
                        "[" + L.Kind + " " + L.Name + "] entry '" + LE.Name +
                            "' was renumbered from " +

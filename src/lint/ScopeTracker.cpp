@@ -245,18 +245,30 @@ std::vector<FunctionBody> findFunctionBodies(const Toks &T,
 
 std::vector<EnumDef> findEnums(const LexedFile &File) {
   const Toks &T = File.Toks;
+  const std::vector<ClassSpan> Classes = findClassSpans(T);
   std::vector<EnumDef> Enums;
   for (size_t I = 0; I < T.size(); ++I) {
     if (!isIdent(T, I, "enum"))
       continue;
     size_t J = I + 1;
-    if (isIdent(T, J, "class") || isIdent(T, J, "struct"))
+    bool Scoped = false;
+    if (isIdent(T, J, "class") || isIdent(T, J, "struct")) {
+      Scoped = true;
       ++J;
+    }
     if (J >= T.size() || T[J].K != Token::Ident)
       continue; // anonymous
     EnumDef Def;
     Def.Name = T[J].Text;
     Def.Line = T[J].Line;
+    Def.Scoped = Scoped;
+    // Innermost class body containing the definition, by narrowest span.
+    size_t BestSpan = T.size();
+    for (const ClassSpan &CS : Classes)
+      if (CS.Open < I && I < CS.Close && CS.Close - CS.Open < BestSpan) {
+        BestSpan = CS.Close - CS.Open;
+        Def.OwningClass = CS.Name;
+      }
     ++J;
     // Optional underlying type: `: uint8_t`.
     if (isPunct(T, J, ":")) {

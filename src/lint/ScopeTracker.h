@@ -51,8 +51,13 @@ struct FunctionBody {
 /// up from the previous value).
 struct EnumDef {
   std::string Name;
+  /// Innermost enclosing class/struct body, "" at namespace scope.  Lets
+  /// rules resolve `OwningClass::Member` qualifiers and bare member uses
+  /// inside the class's own scope.
+  std::string OwningClass;
   std::vector<std::pair<std::string, long long>> Enumerators;
   unsigned Line = 0;
+  bool Scoped = false;       ///< `enum class/struct` — members never bare
   bool Exhaustive = false;   ///< marked `// hds-exhaustive`
   bool SchemaLocked = false; ///< marked `// hds-schema-enum`
 };

@@ -140,10 +140,14 @@ public:
   };
 
   /// Classification detail reported by fill(): whether the victim was a
-  /// prefetched line that no demand access ever touched.
+  /// prefetched line that no demand access ever touched, and — when it
+  /// was — which stream prefetched it and where it lived (the block's
+  /// base address, reconstructed from the victim's tag; pollution
+  /// feedback for the prefetcher zoo's eviction hooks).
   struct EvictInfo {
     bool EvictedUntouchedPrefetch = false;
     uint32_t EvictedStreamTag = obs::NoStreamTag;
+    Addr EvictedBlockAddr = 0;
   };
 
   explicit Cache(const CacheConfig &Config);
@@ -238,6 +242,14 @@ public:
         ++Stats.WastedPrefetches;
         Evicted.EvictedUntouchedPrefetch = true;
         Evicted.EvictedStreamTag = StreamTags[Base / 2 + Victim];
+        // Rebuild the victim's block address from its stored tag and the
+        // set index (rare path: only untouched-prefetch evictions).
+        const uint64_t Set = Base / (2 * A);
+        const uint64_t VictimTag = Lines[Base + Victim] >> 1;
+        const uint64_t VictimBlock = ShiftGeometry
+                                         ? (VictimTag << SetShift) | Set
+                                         : VictimTag * NumSets + Set;
+        Evicted.EvictedBlockAddr = VictimBlock * Config.BlockBytes;
       }
     }
 

@@ -39,12 +39,14 @@ void MemoryHierarchy::drainDuePrefetchesSlow() {
       const uint32_t StreamTag = inFlightTag(I);
       const Cache::EvictInfo Evicted =
           L1.fill(BlockAddr, /*IsPrefetch=*/true, StreamTag);
-      if (Evicted.EvictedUntouchedPrefetch) {
-        ++Stats.PrefetchesUnusedEvicted;
-        ++bucket(Evicted.EvictedStreamTag).UnusedEvicted;
-      }
+      if (Evicted.EvictedUntouchedPrefetch)
+        recordEviction(Evicted);
       if (inFlightFillsL2(I))
         L2.fill(BlockAddr, /*IsPrefetch=*/true, StreamTag);
+      if (Listener) {
+        PendingFillBlock.push_back(InFlightBlock[I]);
+        PendingFillTag.push_back(StreamTag);
+      }
     } else {
       NextReady = Ready < NextReady ? Ready : NextReady;
       InFlightReady[Keep] = Ready;
@@ -57,6 +59,19 @@ void MemoryHierarchy::drainDuePrefetchesSlow() {
   InFlightBlock.resize(Keep);
   InFlightMeta.resize(Keep);
   NextReadyCycle = NextReady;
+
+  // Fill callbacks run only now that the queue is consistent, so a
+  // chaining listener may issue follow-up prefetches from inside the
+  // callback (prefetchT0 re-enters drainDuePrefetches, which has nothing
+  // due anymore and returns immediately).
+  if (Listener && !PendingFillBlock.empty()) {
+    for (size_t I = 0; I < PendingFillBlock.size(); ++I)
+      Listener->onPrefetchFill(PendingFillBlock[I] * L1.config().BlockBytes,
+                               static_cast<uint32_t>(PendingFillTag[I]),
+                               *this);
+    PendingFillBlock.clear();
+    PendingFillTag.clear();
+  }
 }
 
 void MemoryHierarchy::prefetchT0(Addr Address, bool ChargeIssueSlot,

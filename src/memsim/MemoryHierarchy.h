@@ -107,6 +107,35 @@ void visitHierarchyStatsMetrics(HierarchyStatsT &&Stats, Fn &&Visit) {
         Stats.PrefetchesUnusedEvicted);
 }
 
+class MemoryHierarchy;
+
+/// Observer of prefetch lifecycle events, for engines that react to what
+/// their (or their rivals') prefetches achieved — the prefetcher zoo's
+/// fill-chaining and the dueling selector's scoring (src/prefetch/).
+///
+/// Callbacks fire synchronously at the classification points of the
+/// simulation, so they see a consistent machine state; all of them sit
+/// on rare paths (prefetch hits, partial hits, pollution evictions,
+/// completed fills), never on the pure-hit fast path.  Only
+/// onPrefetchFill may issue follow-up prefetches — it is delivered after
+/// the in-flight queue has been compacted; the others observe only.
+class PrefetchListener {
+public:
+  virtual ~PrefetchListener() = default;
+
+  /// A prefetched block finished filling (tag as passed to prefetchT0).
+  virtual void onPrefetchFill(Addr BlockAddr, uint32_t StreamTag,
+                              MemoryHierarchy &Hierarchy) = 0;
+  /// A demand access hit a prefetched-untouched line (the "useful"
+  /// class); \p Address is the demand address.
+  virtual void onPrefetchUseful(Addr Address, uint32_t StreamTag) = 0;
+  /// A demand access stalled on a block still in flight (the "late"
+  /// class); \p Address is the demand address.
+  virtual void onPrefetchLate(Addr Address, uint32_t StreamTag) = 0;
+  /// A prefetched line was evicted from L1 untouched (pollution).
+  virtual void onPrefetchEvicted(Addr BlockAddr, uint32_t StreamTag) = 0;
+};
+
 /// Two-level hierarchy with a global cycle clock.
 ///
 /// The clock advances for (a) explicit compute via tick(), (b) access
@@ -149,6 +178,8 @@ public:
       if (L1Info.PrefetchHit) {
         ++Stats.PrefetchesUseful;
         ++bucket(L1Info.StreamTag).Useful;
+        if (Listener)
+          Listener->onPrefetchUseful(Address, L1Info.StreamTag);
       }
       charge(Latency.L1HitCycles, 0);
       return Latency.L1HitCycles;
@@ -161,6 +192,8 @@ public:
       const uint64_t Remaining = InFlightReady[P] - Account.total();
       ++Stats.PartialHits;
       ++bucket(inFlightTag(P)).Late;
+      if (Listener)
+        Listener->onPrefetchLate(Address, inFlightTag(P));
       charge(Remaining, Remaining, /*PartialHit=*/true);
       drainDuePrefetches(); // fills this block (and any other due ones)
       // The arriving line counts as a useful prefetch in the cache-level
@@ -178,12 +211,12 @@ public:
       if (L2Info.PrefetchHit) {
         ++Stats.PrefetchesUseful;
         ++bucket(L2Info.StreamTag).Useful;
+        if (Listener)
+          Listener->onPrefetchUseful(Address, L2Info.StreamTag);
       }
       const Cache::EvictInfo Evicted = L1.fill(Address, /*IsPrefetch=*/false);
-      if (Evicted.EvictedUntouchedPrefetch) {
-        ++Stats.PrefetchesUnusedEvicted;
-        ++bucket(Evicted.EvictedStreamTag).UnusedEvicted;
-      }
+      if (Evicted.EvictedUntouchedPrefetch)
+        recordEviction(Evicted);
       charge(Latency.L2HitCycles, Latency.L2HitCycles - Latency.L1HitCycles);
       return Latency.L2HitCycles;
     }
@@ -191,10 +224,8 @@ public:
     // Memory: fill both levels.
     L2.fill(Address, /*IsPrefetch=*/false);
     const Cache::EvictInfo Evicted = L1.fill(Address, /*IsPrefetch=*/false);
-    if (Evicted.EvictedUntouchedPrefetch) {
-      ++Stats.PrefetchesUnusedEvicted;
-      ++bucket(Evicted.EvictedStreamTag).UnusedEvicted;
-    }
+    if (Evicted.EvictedUntouchedPrefetch)
+      recordEviction(Evicted);
     charge(Latency.MemoryCycles, Latency.MemoryCycles - Latency.L1HitCycles);
     return Latency.MemoryCycles;
   }
@@ -218,6 +249,10 @@ public:
 
   /// The attributed cycle account behind the clock.
   const obs::CycleAccount &account() const { return Account; }
+
+  /// Installs (or clears, with null) the prefetch lifecycle observer.
+  /// Not owned; must outlive the hierarchy or be cleared first.
+  void setListener(PrefetchListener *L) { Listener = L; }
 
   /// Accounting snapshot: live event counters plus the stall totals read
   /// from the cycle account.
@@ -263,6 +298,16 @@ private:
     Account.charge(StallPortion, PartialHit
                                      ? obs::CyclePhase::PartialHitStall
                                      : obs::CyclePhase::DemandStall);
+  }
+
+  /// Books one untouched-prefetch eviction: counters, per-stream bucket,
+  /// and the listener's pollution feedback.
+  void recordEviction(const Cache::EvictInfo &Evicted) {
+    ++Stats.PrefetchesUnusedEvicted;
+    ++bucket(Evicted.EvictedStreamTag).UnusedEvicted;
+    if (Listener)
+      Listener->onPrefetchEvicted(Evicted.EvictedBlockAddr,
+                                  Evicted.EvictedStreamTag);
   }
 
   /// Classification bucket for \p StreamTag (grown on demand).
@@ -319,6 +364,11 @@ private:
   std::vector<uint64_t> InFlightMeta;
   /// min ready cycle over the queue; ~0 when empty (drainDuePrefetches).
   uint64_t NextReadyCycle = ~uint64_t{0};
+  PrefetchListener *Listener = nullptr;
+  /// Completed fills awaiting listener delivery, staged so callbacks run
+  /// only after the queue compaction (scratch, empty between drains).
+  std::vector<uint64_t> PendingFillBlock;
+  std::vector<uint64_t> PendingFillTag;
   HierarchyStats Stats;
   std::vector<obs::PrefetchClassCounts> StreamClasses;
   obs::PrefetchClassCounts Untagged;

@@ -39,8 +39,10 @@
 namespace hds {
 namespace obs {
 
-/// Tag for prefetches with no hot-stream origin (stride/Markov hardware
-/// engines, tests).  Their events land in an untagged bucket.
+/// Tag for prefetches with no attributed origin (direct prefetchT0
+/// callers, tests).  Their events land in an untagged bucket.  Hardware
+/// prefetchers in src/prefetch/ issue under small reserved tags instead,
+/// below the hot-stream tag range.
 constexpr uint32_t NoStreamTag = 0xFFFFFFFFu;
 
 /// Classification event counters for one stream (or the untagged bucket).
@@ -119,6 +121,71 @@ void visitStreamPrefetchStatsMetrics(StreamPrefetchStatsT &&Stats,
   Visit(MetricDef{"unused_evicted", "prefetches",
                   "prefetched lines evicted from L1 before any use"},
         Stats.UnusedEvicted);
+}
+
+/// One hardware prefetcher's identity plus its classification counters —
+/// the per-prefetcher row of the zoo report and the element of the
+/// wire/JSON "prefetchers" block (src/prefetch/).  Classification
+/// counters are joined from the hierarchy's per-tag buckets exactly like
+/// the per-stream rows above; Trains counts table updates inside the
+/// prefetcher itself.  SelectedRegions / SampledEpochs are only non-zero
+/// under the dueling selector: regions this candidate won, and epochs it
+/// was the sampled issuer.
+struct PrefetcherStats {
+  /// prefetch::Prefetcher::Kind of the row's prefetcher.
+  uint64_t Kind = 0;
+  /// Stream tag the prefetcher issues under (reserved below hot-stream
+  /// tags).
+  uint64_t Tag = 0;
+  uint64_t Trains = 0;
+  uint64_t Issued = 0;
+  uint64_t Useful = 0;
+  uint64_t Late = 0;
+  uint64_t Redundant = 0;
+  uint64_t DroppedQueueFull = 0;
+  uint64_t UnusedEvicted = 0;
+  uint64_t SelectedRegions = 0;
+  uint64_t SampledEpochs = 0;
+};
+
+/// Stable metric enumeration (append-only; see obs/Metrics.h).
+template <typename PrefetcherStatsT, typename Fn>
+void visitPrefetcherStatsMetrics(PrefetcherStatsT &&Stats, Fn &&Visit) {
+  Visit(MetricDef{"kind", "id", "prefetcher kind (Prefetcher::Kind index)",
+                  MetricKind::Gauge},
+        Stats.Kind);
+  Visit(MetricDef{"tag", "id", "stream tag the prefetcher issues under",
+                  MetricKind::Gauge},
+        Stats.Tag);
+  Visit(MetricDef{"trains", "accesses",
+                  "table training updates the prefetcher performed"},
+        Stats.Trains);
+  Visit(MetricDef{"issued", "prefetches",
+                  "prefetch requests attributed to this prefetcher"},
+        Stats.Issued);
+  Visit(MetricDef{"useful", "prefetches",
+                  "demand hits on untouched prefetched lines"},
+        Stats.Useful);
+  Visit(MetricDef{"late", "prefetches",
+                  "demand accesses that stalled on the block in flight"},
+        Stats.Late);
+  Visit(MetricDef{"redundant", "prefetches",
+                  "target already cached or in flight at issue"},
+        Stats.Redundant);
+  Visit(MetricDef{"dropped_queue_full", "prefetches",
+                  "issue dropped because the in-flight queue was full"},
+        Stats.DroppedQueueFull);
+  Visit(MetricDef{"unused_evicted", "prefetches",
+                  "prefetched lines evicted from L1 before any use"},
+        Stats.UnusedEvicted);
+  Visit(MetricDef{"selected_regions", "count",
+                  "dueling regions whose converged winner is this candidate",
+                  MetricKind::Gauge},
+        Stats.SelectedRegions);
+  Visit(MetricDef{"sampled_epochs", "count",
+                  "dueling epochs in which this candidate was the issuer",
+                  MetricKind::Gauge},
+        Stats.SampledEpochs);
 }
 
 } // namespace obs

@@ -1,21 +1,20 @@
-//===- core/MarkovPrefetcher.cpp - Correlation-based prefetcher -----------===//
+//===- prefetch/MarkovPrefetcher.cpp - Correlation-based prefetcher --------===//
 //
 // Part of the hds project (PLDI 2002 hot data stream prefetching repro).
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/MarkovPrefetcher.h"
+#include "prefetch/MarkovPrefetcher.h"
 
 #include <algorithm>
 
 using namespace hds;
-using namespace hds::core;
+using namespace hds::prefetch;
 
-void MarkovPrefetcher::onMiss(memsim::Addr Addr,
+void MarkovPrefetcher::onMiss(const AccessEvent &Event,
                               memsim::MemoryHierarchy &Hierarchy) {
-  ++Stats.MissesObserved;
   const uint64_t BlockBytes = Hierarchy.l1().config().BlockBytes;
-  const uint64_t Block = Addr / BlockBytes;
+  const uint64_t Block = Event.Addr / BlockBytes;
 
   // (a) Learn: the previous miss is followed by this one.
   if (LastMissBlock != ~uint64_t{0} && LastMissBlock != Block) {
@@ -40,7 +39,7 @@ void MarkovPrefetcher::onMiss(memsim::Addr Addr,
       Successors.insert(Successors.begin(), Block);
       if (Successors.size() > Config.SuccessorsPerNode)
         Successors.pop_back();
-      ++Stats.TransitionsRecorded;
+      countTrain();
     }
   }
   LastMissBlock = Block;
@@ -49,17 +48,14 @@ void MarkovPrefetcher::onMiss(memsim::Addr Addr,
   // by recency.
   auto It = Nodes.find(Block);
   if (It != Nodes.end())
-    for (uint64_t Successor : It->second.Successors) {
-      Hierarchy.prefetchT0(Successor * BlockBytes,
-                           /*ChargeIssueSlot=*/false);
-      ++Stats.PrefetchesIssued;
-    }
+    for (uint64_t Successor : It->second.Successors)
+      issue(Successor * BlockBytes, Hierarchy);
 }
 
 void MarkovPrefetcher::reset() {
+  Prefetcher::reset();
   Nodes.clear();
   InsertionOrder.clear();
   EvictCursor = 0;
   LastMissBlock = ~uint64_t{0};
-  Stats = MarkovStats();
 }

@@ -1,4 +1,4 @@
-//===- core/MarkovPrefetcher.h - Correlation-based prefetcher --*- C++ -*-===//
+//===- prefetch/MarkovPrefetcher.h - Correlation-based prefetcher -*- C++ -*-=//
 //
 // Part of the hds project (PLDI 2002 hot data stream prefetching repro).
 //
@@ -6,7 +6,7 @@
 ///
 /// \file
 /// A Markov (correlation-based) prefetcher after Joseph & Grunwald,
-/// reference [16] of the paper.
+/// reference [16] of the paper, as a zoo member.
 ///
 /// The paper calls correlation-based prefetching the hardware technique
 /// its scheme is "most similar to", and differentiates itself three ways:
@@ -27,10 +27,10 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef HDS_CORE_MARKOVPREFETCHER_H
-#define HDS_CORE_MARKOVPREFETCHER_H
+#ifndef HDS_PREFETCH_MARKOVPREFETCHER_H
+#define HDS_PREFETCH_MARKOVPREFETCHER_H
 
-#include "memsim/MemoryHierarchy.h"
+#include "prefetch/Prefetcher.h"
 
 #include <cstddef>
 #include <cstdint>
@@ -38,7 +38,7 @@
 #include <vector>
 
 namespace hds {
-namespace core {
+namespace prefetch {
 
 /// Knobs for the Markov prefetcher.
 struct MarkovPrefetcherConfig {
@@ -49,26 +49,20 @@ struct MarkovPrefetcherConfig {
   uint32_t MaxNodes = 1 << 16;
 };
 
-/// Counters for the ablation bench.
-struct MarkovStats {
-  uint64_t MissesObserved = 0;
-  uint64_t TransitionsRecorded = 0;
-  uint64_t PrefetchesIssued = 0;
-};
-
 /// The correlation table.
-class MarkovPrefetcher {
+class MarkovPrefetcher : public Prefetcher {
 public:
-  explicit MarkovPrefetcher(const MarkovPrefetcherConfig &Cfg)
-      : Config(Cfg) {}
+  MarkovPrefetcher(const MarkovPrefetcherConfig &Cfg, uint32_t AssignedTag)
+      : Prefetcher(Kind::Markov, AssignedTag), Config(Cfg) {}
 
   /// Observes a demand access that missed L1 (block granularity) and
   /// issues prefetches for the predicted successors.
-  void onMiss(memsim::Addr Addr, memsim::MemoryHierarchy &Hierarchy);
+  void onMiss(const AccessEvent &Event,
+              memsim::MemoryHierarchy &Hierarchy) override;
 
-  const MarkovStats &stats() const { return Stats; }
   size_t nodeCount() const { return Nodes.size(); }
-  void reset();
+
+  void reset() override;
 
 private:
   struct Node {
@@ -81,10 +75,9 @@ private:
   std::vector<uint64_t> InsertionOrder;
   size_t EvictCursor = 0;
   uint64_t LastMissBlock = ~uint64_t{0};
-  MarkovStats Stats;
 };
 
-} // namespace core
+} // namespace prefetch
 } // namespace hds
 
-#endif // HDS_CORE_MARKOVPREFETCHER_H
+#endif // HDS_PREFETCH_MARKOVPREFETCHER_H

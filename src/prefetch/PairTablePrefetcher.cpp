@@ -1,0 +1,109 @@
+//===- prefetch/PairTablePrefetcher.cpp - Temporal pair table --------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "prefetch/PairTablePrefetcher.h"
+
+using namespace hds;
+using namespace hds::prefetch;
+
+void PairTablePrefetcher::train(uint64_t FromBlock, uint64_t ToBlock) {
+  countTrain();
+  Entry *Set = &Table[setBase(FromBlock)];
+
+  // Exact pair present: reinforce.
+  for (uint32_t Way = 0; Way < Config.Ways; ++Way) {
+    Entry &E = Set[Way];
+    if (E.KeyBlock == FromBlock && E.NextBlock == ToBlock) {
+      if (E.Confidence < Config.MaxConfidence)
+        ++E.Confidence;
+      return;
+    }
+  }
+
+  // Empty way: allocate at confidence 1.
+  for (uint32_t Way = 0; Way < Config.Ways; ++Way) {
+    Entry &E = Set[Way];
+    if (E.KeyBlock == ~uint64_t{0}) {
+      E.KeyBlock = FromBlock;
+      E.NextBlock = ToBlock;
+      E.Confidence = 1;
+      return;
+    }
+  }
+
+  // Full set: decay the weakest way (first-wins ties keep replacement
+  // deterministic); only a fully decayed way is handed to the new pair.
+  uint32_t Victim = 0;
+  for (uint32_t Way = 1; Way < Config.Ways; ++Way)
+    if (Set[Way].Confidence < Set[Victim].Confidence)
+      Victim = Way;
+  Entry &E = Set[Victim];
+  if (E.Confidence > 0) {
+    --E.Confidence;
+    return;
+  }
+  E.KeyBlock = FromBlock;
+  E.NextBlock = ToBlock;
+  E.Confidence = 1;
+}
+
+void PairTablePrefetcher::predict(uint64_t Block, uint32_t Budget,
+                                  uint64_t BlockBytes,
+                                  memsim::MemoryHierarchy &Hierarchy) {
+  const Entry *Set = &Table[setBase(Block)];
+  // Most confident successors first; ties resolve by way order so the
+  // issue sequence is a pure function of table state.  Candidate ways
+  // are gathered into a scratch list kept sorted by (confidence desc,
+  // way asc) — sets are a handful of ways, so insertion sort is the
+  // cheap option and allocates nothing after warm-up.
+  Scratch.clear();
+  for (uint32_t Way = 0; Way < Config.Ways; ++Way) {
+    const Entry &E = Set[Way];
+    if (E.KeyBlock != Block || E.Confidence < Config.IssueThreshold)
+      continue;
+    size_t Pos = Scratch.size();
+    while (Pos > 0 && Set[Scratch[Pos - 1]].Confidence < E.Confidence)
+      --Pos;
+    Scratch.insert(Scratch.begin() + static_cast<ptrdiff_t>(Pos), Way);
+  }
+  const uint32_t Count = static_cast<uint32_t>(Scratch.size());
+  for (uint32_t I = 0; I < Count && I < Budget; ++I)
+    issue(Set[Scratch[I]].NextBlock * BlockBytes, Hierarchy);
+}
+
+void PairTablePrefetcher::onMiss(const AccessEvent &Event,
+                                 memsim::MemoryHierarchy &Hierarchy) {
+  const uint64_t BlockBytes = Hierarchy.l1().config().BlockBytes;
+  const uint64_t Block = Event.Addr / BlockBytes;
+
+  if (LastMissBlock != ~uint64_t{0} && LastMissBlock != Block)
+    train(LastMissBlock, Block);
+  LastMissBlock = Block;
+
+  predict(Block, Config.Degree, BlockBytes, Hierarchy);
+}
+
+void PairTablePrefetcher::onFill(memsim::Addr BlockAddr,
+                                 memsim::MemoryHierarchy &Hierarchy) {
+  if (!Config.ChainOnFill)
+    return;
+  const uint64_t BlockBytes = Hierarchy.l1().config().BlockBytes;
+  predict(BlockAddr / BlockBytes, 1, BlockBytes, Hierarchy);
+}
+
+uint64_t PairTablePrefetcher::occupiedEntries() const {
+  uint64_t Count = 0;
+  for (const Entry &E : Table)
+    Count += E.KeyBlock != ~uint64_t{0} ? 1 : 0;
+  return Count;
+}
+
+void PairTablePrefetcher::reset() {
+  Prefetcher::reset();
+  for (Entry &E : Table)
+    E = Entry();
+  LastMissBlock = ~uint64_t{0};
+}

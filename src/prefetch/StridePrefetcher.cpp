@@ -1,33 +1,33 @@
-//===- core/StridePrefetcher.cpp - PC-indexed stride prefetcher -----------===//
+//===- prefetch/StridePrefetcher.cpp - PC-indexed stride prefetcher --------===//
 //
 // Part of the hds project (PLDI 2002 hot data stream prefetching repro).
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/StridePrefetcher.h"
+#include "prefetch/StridePrefetcher.h"
 
 #include <cstdlib>
 
 using namespace hds;
-using namespace hds::core;
+using namespace hds::prefetch;
 
-void StridePrefetcher::onAccess(vulcan::SiteId Site, memsim::Addr Addr,
+void StridePrefetcher::onAccess(const AccessEvent &Event,
                                 memsim::MemoryHierarchy &Hierarchy) {
-  ++Stats.Updates;
-  Entry &E = Table[static_cast<size_t>(Site) % Table.size()];
+  countTrain();
+  Entry &E = Table[static_cast<size_t>(Event.Site) % Table.size()];
 
-  if (E.Pc != Site) {
+  if (E.Pc != Event.Site) {
     // Direct-mapped replacement: a new pc takes over the entry.
-    E.Pc = Site;
-    E.LastAddr = Addr;
+    E.Pc = Event.Site;
+    E.LastAddr = Event.Addr;
     E.Stride = 0;
     E.Confidence = 0;
     return;
   }
 
   const int64_t NewStride =
-      static_cast<int64_t>(Addr) - static_cast<int64_t>(E.LastAddr);
-  E.LastAddr = Addr;
+      static_cast<int64_t>(Event.Addr) - static_cast<int64_t>(E.LastAddr);
+  E.LastAddr = Event.Addr;
 
   if (NewStride == 0)
     return; // same address: neither trains nor breaks the pattern
@@ -52,21 +52,20 @@ void StridePrefetcher::onAccess(vulcan::SiteId Site, memsim::Addr Addr,
   if (E.Confidence < 2)
     return;
 
-  ++Stats.StridesConfirmed;
+  ++StridesConfirmed;
   // Confirmed: run ahead.  Hardware prefetches spend no issue slots.
   for (uint32_t I = 1; I <= Config.Degree; ++I) {
     const int64_t Target =
-        static_cast<int64_t>(Addr) + NewStride * static_cast<int64_t>(I);
+        static_cast<int64_t>(Event.Addr) + NewStride * static_cast<int64_t>(I);
     if (Target < 0)
       break;
-    Hierarchy.prefetchT0(static_cast<memsim::Addr>(Target),
-                         /*ChargeIssueSlot=*/false);
-    ++Stats.PrefetchesIssued;
+    issue(static_cast<memsim::Addr>(Target), Hierarchy);
   }
 }
 
 void StridePrefetcher::reset() {
+  Prefetcher::reset();
   for (Entry &E : Table)
     E = Entry();
-  Stats = StrideStats();
+  StridesConfirmed = 0;
 }

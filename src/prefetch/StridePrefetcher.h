@@ -1,4 +1,4 @@
-//===- core/StridePrefetcher.h - PC-indexed stride prefetcher --*- C++ -*-===//
+//===- prefetch/StridePrefetcher.h - PC-indexed stride prefetcher -*- C++ -*-=//
 //
 // Part of the hds project (PLDI 2002 hot data stream prefetching repro).
 //
@@ -6,7 +6,7 @@
 ///
 /// \file
 /// A classic reference-prediction-table stride prefetcher (Chen & Baer,
-/// reference [7] of the paper).
+/// reference [7] of the paper), as a zoo member.
 ///
 /// The paper positions stride prefetching as both related work ("mostly
 /// limited to programs that make heavy use of loops and arrays") and as a
@@ -25,18 +25,16 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef HDS_CORE_STRIDEPREFETCHER_H
-#define HDS_CORE_STRIDEPREFETCHER_H
+#ifndef HDS_PREFETCH_STRIDEPREFETCHER_H
+#define HDS_PREFETCH_STRIDEPREFETCHER_H
 
-#include "memsim/MemoryHierarchy.h"
-#include "vulcan/Image.h"
+#include "prefetch/Prefetcher.h"
 
-#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 namespace hds {
-namespace core {
+namespace prefetch {
 
 /// Knobs for the stride prefetcher.
 struct StridePrefetcherConfig {
@@ -49,26 +47,21 @@ struct StridePrefetcherConfig {
   uint64_t MaxStrideBytes = 4096;
 };
 
-/// Counters for the ablation bench.
-struct StrideStats {
-  uint64_t Updates = 0;
-  uint64_t StridesConfirmed = 0;
-  uint64_t PrefetchesIssued = 0;
-};
-
 /// The reference prediction table.
-class StridePrefetcher {
+class StridePrefetcher : public Prefetcher {
 public:
-  explicit StridePrefetcher(const StridePrefetcherConfig &Cfg)
-      : Config(Cfg), Table(Cfg.TableEntries) {}
+  StridePrefetcher(const StridePrefetcherConfig &Cfg, uint32_t AssignedTag)
+      : Prefetcher(Kind::Stride, AssignedTag), Config(Cfg), Table(Cfg.TableEntries) {}
 
   /// Observes a demand access and issues stride prefetches when the
   /// entry's stride is confirmed.
-  void onAccess(vulcan::SiteId Site, memsim::Addr Addr,
-                memsim::MemoryHierarchy &Hierarchy);
+  void onAccess(const AccessEvent &Event,
+                memsim::MemoryHierarchy &Hierarchy) override;
 
-  const StrideStats &stats() const { return Stats; }
-  void reset();
+  /// Entries that reached full confidence and ran ahead (tests, benches).
+  uint64_t confirmed() const { return StridesConfirmed; }
+
+  void reset() override;
 
 private:
   struct Entry {
@@ -81,10 +74,10 @@ private:
 
   StridePrefetcherConfig Config;
   std::vector<Entry> Table;
-  StrideStats Stats;
+  uint64_t StridesConfirmed = 0;
 };
 
-} // namespace core
+} // namespace prefetch
 } // namespace hds
 
-#endif // HDS_CORE_STRIDEPREFETCHER_H
+#endif // HDS_PREFETCH_STRIDEPREFETCHER_H

@@ -132,7 +132,8 @@ std::string hds::replay::serializeTrace(const Trace &T) {
   Out.push_back(static_cast<char>(T.Meta.Mode));
   putVarint(Out, T.Meta.HeadLength);
   const uint8_t Flags = (T.Meta.Stride ? 1 : 0) | (T.Meta.Markov ? 2 : 0) |
-                        (T.Meta.Pin ? 4 : 0);
+                        (T.Meta.Pin ? 4 : 0) | (T.Meta.Stream ? 8 : 0) |
+                        (T.Meta.Pair ? 16 : 0) | (T.Meta.Duel ? 32 : 0);
   Out.push_back(static_cast<char>(Flags));
 
   putVarint(Out, T.Events.size());
@@ -207,6 +208,9 @@ bool hds::replay::deserializeTrace(const std::string &Bytes, Trace &Out,
   Out.Meta.Stride = (Flags & 1) != 0;
   Out.Meta.Markov = (Flags & 2) != 0;
   Out.Meta.Pin = (Flags & 4) != 0;
+  Out.Meta.Stream = (Flags & 8) != 0;
+  Out.Meta.Pair = (Flags & 16) != 0;
+  Out.Meta.Duel = (Flags & 32) != 0;
   if (In.failed())
     return fail(Error, "truncated trace meta");
 

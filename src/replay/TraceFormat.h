@@ -89,11 +89,15 @@ struct TraceMeta {
   bool Stride = false;
   bool Markov = false;
   bool Pin = false;
+  bool Stream = false;
+  bool Pair = false;
+  bool Duel = false;
 
   friend bool operator==(const TraceMeta &X, const TraceMeta &Y) {
     return X.Workload == Y.Workload && X.Iterations == Y.Iterations &&
            X.Mode == Y.Mode && X.HeadLength == Y.HeadLength &&
-           X.Stride == Y.Stride && X.Markov == Y.Markov && X.Pin == Y.Pin;
+           X.Stride == Y.Stride && X.Markov == Y.Markov && X.Pin == Y.Pin &&
+           X.Stream == Y.Stream && X.Pair == Y.Pair && X.Duel == Y.Duel;
   }
 };
 

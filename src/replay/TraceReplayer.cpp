@@ -16,8 +16,11 @@ core::OptimizerConfig hds::replay::configFromMeta(const TraceMeta &Meta) {
   core::OptimizerConfig Config;
   Config.Mode = Meta.Mode;
   Config.Dfsm.HeadLength = Meta.HeadLength;
-  Config.EnableStridePrefetcher = Meta.Stride;
-  Config.EnableMarkovPrefetcher = Meta.Markov;
+  Config.Prefetchers.Stride = Meta.Stride;
+  Config.Prefetchers.Markov = Meta.Markov;
+  Config.Prefetchers.Stream = Meta.Stream;
+  Config.Prefetchers.Pair = Meta.Pair;
+  Config.Prefetchers.Duel = Meta.Duel;
   Config.PinFirstOptimization = Meta.Pin;
   return Config;
 }

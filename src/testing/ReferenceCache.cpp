@@ -81,6 +81,8 @@ ReferenceCache::EvictInfo ReferenceCache::fill(Addr Address, bool IsPrefetch,
       ++Stats.WastedPrefetches;
       Evicted.EvictedUntouchedPrefetch = true;
       Evicted.EvictedStreamTag = Victim->StreamTag;
+      Evicted.EvictedBlockAddr =
+          (Victim->Tag * NumSets + setIndex(Address)) * Config.BlockBytes;
     }
   }
 

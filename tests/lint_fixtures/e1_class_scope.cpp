@@ -1,0 +1,58 @@
+// E1 class-scope fixture: an unscoped enum nested in its class, driven
+// through bare `case` labels inside the class's own scope and through
+// class-qualified labels in an out-of-line member.  A same-named enum
+// with different members proves attribution goes by membership, not
+// name.  Expected E1 findings: 2.
+
+struct Engine {
+  // hds-exhaustive
+  enum Kind : unsigned char {
+    Stride = 0,
+    Markov = 1,
+    Pair = 2,
+  };
+  const char *token(Kind K) const {
+    switch (K) { // 1 finding: Pair not covered (bare labels resolve here)
+    case Stride:
+      return "stride";
+    case Markov:
+      return "markov";
+    }
+    return "unknown";
+  }
+  const char *name(Kind K) const;
+};
+
+const char *Engine::name(Kind K) const {
+  switch (K) { // 1 finding: class-qualified labels still leave Pair out
+  case Engine::Stride:
+    return "stride";
+  case Engine::Markov:
+    return "markov";
+  }
+  return "unknown";
+}
+
+// A different enum reusing the name `Kind` with its own members: label
+// attribution requires membership, so this switch never counts against
+// Engine::Kind (and the unmarked enum itself is not checked).
+enum class Kind { Alpha = 0, Beta = 1 };
+
+int pick(Kind K) {
+  switch (K) { // clean: Alpha/Beta are not Engine::Kind members
+  case Kind::Alpha:
+    return 0;
+  case Kind::Beta:
+    return 1;
+  }
+  return -1;
+}
+
+int bare(int V) {
+  constexpr int Stride = 4;
+  switch (V) { // clean: bare `Stride` outside Engine's scope is an int
+  case Stride:
+    return 1;
+  }
+  return 0;
+}

@@ -233,6 +233,58 @@ int pick(Kind K) {
     }
 }
 
+TEST(LintE1, ClassScopeFixtureFires) {
+  auto Fs = lintSources({{"src/prefetch/e1_class_scope.cpp",
+                          readFixture("e1_class_scope.cpp")}});
+  EXPECT_EQ(countRule(Fs, "E1"), 2) << dump(Fs);
+}
+
+TEST(LintE1, BareLabelsInsideOwningClassCount) {
+  const char *Src = R"(
+struct Widget {
+  // hds-exhaustive
+  enum State { Off = 0, On = 1 };
+  bool lit(State S) const {
+    switch (S) {
+    case Off:
+      return false;
+    case On:
+      return true;
+    }
+    return false;
+  }
+};
+)";
+  auto Fs = lintSources({{"src/obs/widget.cpp", Src}});
+  EXPECT_EQ(countRule(Fs, "E1"), 0) << dump(Fs);
+}
+
+TEST(LintE1, SameNameEnumIsNotMisattributed) {
+  // The JsonValue regression: a switch over an unrelated enum that also
+  // happens to be called `Kind` must not be measured against the marked
+  // one.  Membership, not the bare name, decides attribution.
+  const char *Header = R"(
+struct Engine {
+  // hds-exhaustive
+  enum Kind { Stride = 0, Markov = 1 };
+};
+)";
+  const char *User = R"(
+enum class Kind { Number = 0, Text = 1 };
+const char *token(Kind K) {
+  switch (K) {
+  case Kind::Number:
+    return "number";
+  default:
+    return "text";
+  }
+}
+)";
+  auto Fs = lintSources(
+      {{"src/prefetch/Engine.h", Header}, {"src/engine/json.cpp", User}});
+  EXPECT_EQ(countRule(Fs, "E1"), 0) << dump(Fs);
+}
+
 TEST(LintE1, UnmarkedEnumIsIgnored) {
   const char *Src = R"(
 enum class Kind { A = 0, B = 1 };
@@ -345,6 +397,29 @@ TEST(LintW1, RenumberedFrameTypeFails) {
   auto Fs = runLint(schemaFiles(Renumbered), schemaOpts(Lock));
   ASSERT_GE(countRule(Fs, "W1"), 1) << dump(Fs);
   EXPECT_NE(dump(Fs).find("renumbered"), std::string::npos) << dump(Fs);
+}
+
+TEST(LintW1, ProtocolVersionBumpIsStaleNotFrozen) {
+  // Bumping the wire version forward is the sanctioned mutation (skew is
+  // rejected at the frame header); the lock merely goes stale.  Moving
+  // it backwards is still a renumber finding.
+  auto Files = schemaFiles();
+  std::string Lock = renderSchemaLock(collectSchema(Files));
+  std::string Bumped = SchemaSource;
+  size_t V = Bumped.find("ProtocolVersion = 3");
+  ASSERT_NE(V, std::string::npos);
+  Bumped.replace(V, std::string("ProtocolVersion = 3").size(),
+                 "ProtocolVersion = 4");
+  auto Fs = runLint(schemaFiles(Bumped), schemaOpts(Lock));
+  ASSERT_EQ(countRule(Fs, "W1"), 1) << dump(Fs);
+  EXPECT_NE(dump(Fs).find("stale"), std::string::npos) << dump(Fs);
+
+  std::string Reverted = SchemaSource;
+  Reverted.replace(V, std::string("ProtocolVersion = 3").size(),
+                   "ProtocolVersion = 2");
+  auto Back = runLint(schemaFiles(Reverted), schemaOpts(Lock));
+  ASSERT_GE(countRule(Back, "W1"), 1) << dump(Back);
+  EXPECT_NE(dump(Back).find("renumbered"), std::string::npos) << dump(Back);
 }
 
 TEST(LintW1, LegalAppendReportsStaleLock) {

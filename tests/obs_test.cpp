@@ -155,14 +155,15 @@ TEST(StreamPrefetchStatsTest, FiguresOfMeritHandleZeroDenominators) {
 
 TEST(MetricRegistryTest, HasEveryBlockInDocumentOrder) {
   const std::vector<MetricBlock> &Registry = metricRegistry();
-  ASSERT_EQ(Registry.size(), 7u);
+  ASSERT_EQ(Registry.size(), 8u);
   EXPECT_STREQ(Registry[0].Name, "result");
   EXPECT_STREQ(Registry[1].Name, "phase");
   EXPECT_STREQ(Registry[2].Name, "memory");
   EXPECT_STREQ(Registry[3].Name, "cache");
   EXPECT_STREQ(Registry[4].Name, "cycle_breakdown");
   EXPECT_STREQ(Registry[5].Name, "stream");
-  EXPECT_STREQ(Registry[6].Name, "timing");
+  EXPECT_STREQ(Registry[6].Name, "prefetcher");
+  EXPECT_STREQ(Registry[7].Name, "timing");
   for (const MetricBlock &Block : Registry)
     EXPECT_FALSE(Block.Metrics.empty()) << Block.Name;
 }
@@ -241,6 +242,9 @@ RunResult denseResult() {
   obs::StreamPrefetchStats Stream;
   obs::visitStreamPrefetchStatsMetrics(Stream, Assign);
   Result.Streams.push_back(Stream);
+  obs::PrefetcherStats Prefetcher;
+  obs::visitPrefetcherStatsMetrics(Prefetcher, Assign);
+  Result.Prefetchers.push_back(Prefetcher);
   visitResultTimingMetrics(Result.Timing, Assign);
   return Result;
 }
@@ -258,11 +262,14 @@ TEST(MetricRegistryTest, EveryRegisteredIdAppearsInTheJson) {
   const std::string Json =
       resultsToJson(std::vector<RunResult>{denseResult()}, perResultTiming());
   for (const MetricBlock &Block : metricRegistry())
-    for (const obs::MetricDef &Def : Block.Metrics)
-      EXPECT_NE(Json.find("\"" + std::string(Def.Id) + "\":"),
-                std::string::npos)
+    for (const obs::MetricDef &Def : Block.Metrics) {
+      std::string Needle(1, '"');
+      Needle += Def.Id;
+      Needle += "\":";
+      EXPECT_NE(Json.find(Needle), std::string::npos)
           << "metric " << Block.Name << "." << Def.Id
           << " registered but absent from the JSON";
+    }
 }
 
 TEST(MetricRegistryTest, WireRoundTripPreservesEveryRegisteredMetric) {

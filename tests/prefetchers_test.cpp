@@ -1,23 +1,40 @@
-//===- tests/prefetchers_test.cpp - Hardware prefetcher baselines ----------===//
+//===- tests/prefetchers_test.cpp - Prefetcher zoo -------------------------===//
 //
 // Part of the hds project (PLDI 2002 hot data stream prefetching repro).
 //
-// Tests for the stride and Markov prefetcher baselines and the
-// static-scheme pinning model.
+// Tests for the pluggable prefetcher zoo (src/prefetch/): the stride,
+// Markov, stream, and pair-table engines, the dueling selector, the
+// runtime's prefetcher stack, and the static-scheme pinning model.
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/MarkovPrefetcher.h"
 #include "core/Runtime.h"
-#include "core/StridePrefetcher.h"
+#include "obs/PrefetchStats.h"
+#include "prefetch/DuelingSelector.h"
+#include "prefetch/MarkovPrefetcher.h"
+#include "prefetch/PairTablePrefetcher.h"
+#include "prefetch/PrefetcherStack.h"
+#include "prefetch/StreamPrefetcher.h"
+#include "prefetch/StridePrefetcher.h"
 #include "workloads/Workload.h"
 
 #include <gtest/gtest.h>
 
 using namespace hds;
 using namespace hds::core;
+using namespace hds::prefetch;
 
 namespace {
+
+/// A demand access as the stack would deliver it on an L1 hit.
+AccessEvent hit(vulcan::SiteId Site, memsim::Addr Addr) {
+  return AccessEvent{Site, Addr, 1, false};
+}
+
+/// A demand access as the stack would deliver it on an L1 miss.
+AccessEvent miss(memsim::Addr Addr) {
+  return AccessEvent{1, Addr, 100, true};
+}
 
 //===----------------------------------------------------------------------===//
 // StridePrefetcher
@@ -25,28 +42,31 @@ namespace {
 
 class StrideTest : public ::testing::Test {
 protected:
-  StrideTest() : Prefetcher(StridePrefetcherConfig()) {}
   memsim::MemoryHierarchy Memory;
-  StridePrefetcher Prefetcher{StridePrefetcherConfig()};
+  StridePrefetcher Prefetcher{StridePrefetcherConfig(), /*AssignedTag=*/0};
+
+  void access(vulcan::SiteId Site, memsim::Addr Addr) {
+    Prefetcher.onAccess(hit(Site, Addr), Memory);
+  }
 };
 
 TEST_F(StrideTest, ConfirmedStrideIssuesPrefetches) {
   // Three accesses with the same stride: the third confirms and issues.
-  Prefetcher.onAccess(1, 0x1000, Memory);
-  Prefetcher.onAccess(1, 0x1040, Memory);
-  EXPECT_EQ(Prefetcher.stats().PrefetchesIssued, 0u);
-  Prefetcher.onAccess(1, 0x1080, Memory);
-  EXPECT_EQ(Prefetcher.stats().StridesConfirmed, 1u);
-  EXPECT_EQ(Prefetcher.stats().PrefetchesIssued, 2u); // degree 2
+  access(1, 0x1000);
+  access(1, 0x1040);
+  EXPECT_EQ(Prefetcher.issued(), 0u);
+  access(1, 0x1080);
+  EXPECT_EQ(Prefetcher.confirmed(), 1u);
+  EXPECT_EQ(Prefetcher.issued(), 2u); // degree 2
   Memory.tick(500);
   EXPECT_TRUE(Memory.l1().contains(0x10C0));
   EXPECT_TRUE(Memory.l1().contains(0x1100));
 }
 
 TEST_F(StrideTest, NegativeStrideWorks) {
-  Prefetcher.onAccess(1, 0x2000, Memory);
-  Prefetcher.onAccess(1, 0x1FC0, Memory);
-  Prefetcher.onAccess(1, 0x1F80, Memory);
+  access(1, 0x2000);
+  access(1, 0x1FC0);
+  access(1, 0x1F80);
   Memory.tick(500);
   EXPECT_TRUE(Memory.l1().contains(0x1F40));
 }
@@ -55,50 +75,64 @@ TEST_F(StrideTest, IrregularAddressesNeverConfirm) {
   // Pointer-chase-like deltas (huge, varying) never train the entry.
   const memsim::Addr Addrs[] = {0x1000, 0x9000, 0x3000, 0xF000, 0x2000};
   for (memsim::Addr A : Addrs)
-    Prefetcher.onAccess(1, A, Memory);
-  EXPECT_EQ(Prefetcher.stats().PrefetchesIssued, 0u);
+    access(1, A);
+  EXPECT_EQ(Prefetcher.issued(), 0u);
 }
 
 TEST_F(StrideTest, SmallIrregularStridesDoNotConfirm) {
-  Prefetcher.onAccess(1, 0x1000, Memory);
-  Prefetcher.onAccess(1, 0x1040, Memory); // stride 0x40
-  Prefetcher.onAccess(1, 0x10C0, Memory); // stride 0x80: retrain
-  EXPECT_EQ(Prefetcher.stats().PrefetchesIssued, 0u);
+  access(1, 0x1000);
+  access(1, 0x1040); // stride 0x40
+  access(1, 0x10C0); // stride 0x80: retrain
+  EXPECT_EQ(Prefetcher.issued(), 0u);
 }
 
 TEST_F(StrideTest, DistinctPcsTrainIndependently) {
-  Prefetcher.onAccess(1, 0x1000, Memory);
-  Prefetcher.onAccess(2, 0x8000, Memory); // different pc, different entry
-  Prefetcher.onAccess(1, 0x1040, Memory);
-  Prefetcher.onAccess(2, 0x8100, Memory);
-  Prefetcher.onAccess(1, 0x1080, Memory);
-  Prefetcher.onAccess(2, 0x8200, Memory);
-  EXPECT_EQ(Prefetcher.stats().StridesConfirmed, 2u);
+  access(1, 0x1000);
+  access(2, 0x8000); // different pc, different entry
+  access(1, 0x1040);
+  access(2, 0x8100);
+  access(1, 0x1080);
+  access(2, 0x8200);
+  EXPECT_EQ(Prefetcher.confirmed(), 2u);
 }
 
 TEST_F(StrideTest, SameAddressIsNeutral) {
-  Prefetcher.onAccess(1, 0x1000, Memory);
-  Prefetcher.onAccess(1, 0x1040, Memory);
-  Prefetcher.onAccess(1, 0x1040, Memory); // repeat: neither trains nor breaks
-  Prefetcher.onAccess(1, 0x1080, Memory);
-  EXPECT_EQ(Prefetcher.stats().StridesConfirmed, 1u);
+  access(1, 0x1000);
+  access(1, 0x1040);
+  access(1, 0x1040); // repeat: neither trains nor breaks
+  access(1, 0x1080);
+  EXPECT_EQ(Prefetcher.confirmed(), 1u);
 }
 
 TEST_F(StrideTest, HardwarePrefetchesSpendNoIssueSlots) {
   const uint64_t Before = Memory.now();
-  Prefetcher.onAccess(1, 0x1000, Memory);
-  Prefetcher.onAccess(1, 0x1040, Memory);
-  Prefetcher.onAccess(1, 0x1080, Memory);
+  access(1, 0x1000);
+  access(1, 0x1040);
+  access(1, 0x1080);
   EXPECT_EQ(Memory.now(), Before);
 }
 
 TEST_F(StrideTest, ResetClearsState) {
-  Prefetcher.onAccess(1, 0x1000, Memory);
-  Prefetcher.onAccess(1, 0x1040, Memory);
+  access(1, 0x1000);
+  access(1, 0x1040);
   Prefetcher.reset();
-  Prefetcher.onAccess(1, 0x1080, Memory);
-  EXPECT_EQ(Prefetcher.stats().PrefetchesIssued, 0u);
-  EXPECT_EQ(Prefetcher.stats().Updates, 1u);
+  access(1, 0x1080);
+  EXPECT_EQ(Prefetcher.issued(), 0u);
+  EXPECT_EQ(Prefetcher.trains(), 1u);
+}
+
+TEST_F(StrideTest, IssueGateBlocksWithoutForgetting) {
+  // The dueling selector's gate: a disabled prefetcher keeps training
+  // but nothing reaches the hierarchy; re-enabling resumes issue.
+  Prefetcher.setIssueEnabled(false);
+  access(1, 0x1000);
+  access(1, 0x1040);
+  access(1, 0x1080);
+  EXPECT_EQ(Prefetcher.confirmed(), 1u);
+  EXPECT_EQ(Prefetcher.issued(), 0u);
+  Prefetcher.setIssueEnabled(true);
+  access(1, 0x10C0);
+  EXPECT_EQ(Prefetcher.issued(), 2u);
 }
 
 //===----------------------------------------------------------------------===//
@@ -108,17 +142,19 @@ TEST_F(StrideTest, ResetClearsState) {
 class MarkovTest : public ::testing::Test {
 protected:
   memsim::MemoryHierarchy Memory;
-  MarkovPrefetcher Prefetcher{MarkovPrefetcherConfig()};
+  MarkovPrefetcher Prefetcher{MarkovPrefetcherConfig(), /*AssignedTag=*/0};
+
+  void onMiss(memsim::Addr Addr) { Prefetcher.onMiss(miss(Addr), Memory); }
 };
 
 TEST_F(MarkovTest, LearnsDigramAndPrefetches) {
   // Miss sequence A, B teaches A -> B; the next miss on A prefetches B.
-  Prefetcher.onMiss(0x1000, Memory);
-  Prefetcher.onMiss(0x5000, Memory);
-  EXPECT_EQ(Prefetcher.stats().TransitionsRecorded, 1u);
-  EXPECT_EQ(Prefetcher.stats().PrefetchesIssued, 0u);
-  Prefetcher.onMiss(0x1000, Memory);
-  EXPECT_EQ(Prefetcher.stats().PrefetchesIssued, 1u);
+  onMiss(0x1000);
+  onMiss(0x5000);
+  EXPECT_EQ(Prefetcher.trains(), 1u);
+  EXPECT_EQ(Prefetcher.issued(), 0u);
+  onMiss(0x1000);
+  EXPECT_EQ(Prefetcher.issued(), 1u);
   Memory.tick(500);
   EXPECT_TRUE(Memory.l1().contains(0x5000));
 }
@@ -127,52 +163,271 @@ TEST_F(MarkovTest, SuccessorSlotsAreBounded) {
   // A followed by three different blocks: only the most recent
   // SuccessorsPerNode (2) survive.
   for (memsim::Addr B : {0x5000, 0x6000, 0x7000}) {
-    Prefetcher.onMiss(0x1000, Memory);
-    Prefetcher.onMiss(B, Memory);
+    onMiss(0x1000);
+    onMiss(B);
   }
-  Prefetcher.onMiss(0x1000, Memory);
+  onMiss(0x1000);
   // Intermediate A-misses predicted {5}, then {6,5}; the final one
   // predicts {7,6}: 1 + 2 + 2 prefetches, never more than 2 per miss.
-  EXPECT_EQ(Prefetcher.stats().PrefetchesIssued, 5u);
+  EXPECT_EQ(Prefetcher.issued(), 5u);
   Memory.tick(500);
   EXPECT_TRUE(Memory.l1().contains(0x7000)); // most recent always kept
 }
 
 TEST_F(MarkovTest, RepeatedMissOfSameBlockIsNotATransition) {
-  Prefetcher.onMiss(0x1000, Memory);
-  Prefetcher.onMiss(0x1000, Memory);
-  EXPECT_EQ(Prefetcher.stats().TransitionsRecorded, 0u);
+  onMiss(0x1000);
+  onMiss(0x1000);
+  EXPECT_EQ(Prefetcher.trains(), 0u);
 }
 
 TEST_F(MarkovTest, TableCapacityEvicts) {
   MarkovPrefetcherConfig Config;
   Config.MaxNodes = 4;
-  MarkovPrefetcher Small(Config);
+  MarkovPrefetcher Small(Config, /*AssignedTag=*/0);
   // Create 8 nodes; only 4 survive.
   for (memsim::Addr A = 0; A < 9; ++A)
-    Small.onMiss(0x1000 + A * 0x1000, Memory);
+    Small.onMiss(miss(0x1000 + A * 0x1000), Memory);
   EXPECT_LE(Small.nodeCount(), 4u);
 }
 
 TEST_F(MarkovTest, PrioritizedByRecency) {
   // A->B, then A->C: C is the more recent, listed first.
-  Prefetcher.onMiss(0x1000, Memory);
-  Prefetcher.onMiss(0x5000, Memory); // A->B
-  Prefetcher.onMiss(0x1000, Memory); // issues prefetch for B
-  Prefetcher.onMiss(0x6000, Memory); // A->C
-  const uint64_t Before = Prefetcher.stats().PrefetchesIssued;
-  Prefetcher.onMiss(0x1000, Memory); // issues B and C
-  EXPECT_EQ(Prefetcher.stats().PrefetchesIssued - Before, 2u);
+  onMiss(0x1000);
+  onMiss(0x5000); // A->B
+  onMiss(0x1000); // issues prefetch for B
+  onMiss(0x6000); // A->C
+  const uint64_t Before = Prefetcher.issued();
+  onMiss(0x1000); // issues B and C
+  EXPECT_EQ(Prefetcher.issued() - Before, 2u);
 }
 
 //===----------------------------------------------------------------------===//
-// Runtime integration
+// StreamPrefetcher
+//===----------------------------------------------------------------------===//
+
+class StreamTest : public ::testing::Test {
+protected:
+  memsim::MemoryHierarchy Memory;
+  StreamPrefetcher Prefetcher{StreamPrefetcherConfig(), /*AssignedTag=*/0};
+
+  void onMiss(memsim::Addr Addr) { Prefetcher.onMiss(miss(Addr), Memory); }
+};
+
+TEST_F(StreamTest, AscendingMissRunIssuesAhead) {
+  // Blocks are 32 bytes: three consecutive-block misses reach the
+  // confidence threshold (2) and run Degree (4) blocks ahead.
+  onMiss(0x1000);
+  onMiss(0x1020);
+  EXPECT_EQ(Prefetcher.issued(), 0u);
+  onMiss(0x1040);
+  EXPECT_EQ(Prefetcher.issued(), 4u);
+  Memory.tick(500);
+  EXPECT_TRUE(Memory.l1().contains(0x1060));
+  EXPECT_TRUE(Memory.l1().contains(0x10C0));
+}
+
+TEST_F(StreamTest, DescendingRunDetected) {
+  // Stays inside one 4 KiB region: the detector is region-indexed.
+  onMiss(0x2FC0);
+  onMiss(0x2FA0); // unit step against the default direction: flip
+  onMiss(0x2F80); // conforming: confident
+  EXPECT_EQ(Prefetcher.issued(), 4u);
+  Memory.tick(500);
+  EXPECT_TRUE(Memory.l1().contains(0x2F60));
+}
+
+TEST_F(StreamTest, UnrelatedJumpInsideRegionResetsDetection) {
+  onMiss(0x1000);
+  onMiss(0x1020);
+  onMiss(0x1040); // confident: issues 4
+  const uint64_t AfterRun = Prefetcher.issued();
+  onMiss(0x1800); // jump within the 4 KiB region: restart
+  onMiss(0x1820); // conforming again, but confidence only 1
+  EXPECT_EQ(Prefetcher.issued(), AfterRun);
+}
+
+TEST_F(StreamTest, BlindToHitsAndPcs) {
+  // The detector trains on the miss stream only: plain accesses (the
+  // base-class onAccess hook) never touch the table.
+  Prefetcher.onAccess(hit(1, 0x1000), Memory);
+  Prefetcher.onAccess(hit(1, 0x1020), Memory);
+  Prefetcher.onAccess(hit(1, 0x1040), Memory);
+  EXPECT_EQ(Prefetcher.trains(), 0u);
+  EXPECT_EQ(Prefetcher.issued(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// PairTablePrefetcher
+//===----------------------------------------------------------------------===//
+
+class PairTableTest : public ::testing::Test {
+protected:
+  memsim::MemoryHierarchy Memory;
+  PairTablePrefetcher Prefetcher{PairTableConfig(), /*AssignedTag=*/0};
+
+  void onMiss(memsim::Addr Addr) { Prefetcher.onMiss(miss(Addr), Memory); }
+};
+
+TEST_F(PairTableTest, RepeatedPairReachesIssueThreshold) {
+  // (A -> B) must repeat before it is trusted (IssueThreshold 2): the
+  // first traversal trains, the second reinforces, the third predicts.
+  onMiss(0x1000);
+  onMiss(0x5000); // A->B at confidence 1
+  onMiss(0x1000); // predict(A): below threshold
+  EXPECT_EQ(Prefetcher.issued(), 0u);
+  onMiss(0x5000); // A->B at confidence 2
+  onMiss(0x1000); // predict(A): issues B
+  EXPECT_EQ(Prefetcher.issued(), 1u);
+  Memory.tick(500);
+  EXPECT_TRUE(Memory.l1().contains(0x5000));
+}
+
+TEST_F(PairTableTest, FillChainsOneStepDownTheChain) {
+  // Train A->B and B->C to confidence >= 2, then simulate B's fill
+  // landing: the chain hook prefetches C without a demand miss on B.
+  for (int Round = 0; Round < 3; ++Round) {
+    onMiss(0x1000);
+    onMiss(0x5000);
+    onMiss(0x9000);
+  }
+  const uint64_t Before = Prefetcher.issued();
+  Prefetcher.onFill(0x5000, Memory);
+  EXPECT_EQ(Prefetcher.issued() - Before, 1u);
+  Memory.tick(500);
+  EXPECT_TRUE(Memory.l1().contains(0x9000));
+}
+
+TEST_F(PairTableTest, MetadataStaysStrictlyBounded) {
+  // The eviction discipline keeps the table at Sets x Ways entries no
+  // matter how many distinct pairs the miss stream produces.
+  PairTableConfig Config;
+  Config.Sets = 4;
+  Config.Ways = 2;
+  PairTablePrefetcher Small(Config, /*AssignedTag=*/0);
+  EXPECT_EQ(Small.capacityEntries(), 8u);
+  for (memsim::Addr A = 0; A < 200; ++A)
+    Small.onMiss(miss(0x1000 + A * 0x1000), Memory);
+  EXPECT_LE(Small.occupiedEntries(), Small.capacityEntries());
+  EXPECT_GT(Small.trains(), 0u);
+}
+
+TEST_F(PairTableTest, NoisePairsMustOutvoteResidents) {
+  // A full set only surrenders a way after the incumbent fully decays:
+  // one traversal of a noise pair cannot displace a reinforced pair.
+  for (int Round = 0; Round < 3; ++Round) {
+    onMiss(0x1000);
+    onMiss(0x5000); // reinforce A->B
+  }
+  // One traversal of a different successor for A: the reinforced pair
+  // must survive it.
+  onMiss(0x1000);
+  onMiss(0x6000); // A->C noise, same set as A->B
+  onMiss(0x1000); // predict(A): B still the confident successor
+  Memory.tick(500);
+  EXPECT_TRUE(Memory.l1().contains(0x5000));
+  // The noise successor sits below the issue threshold: never fetched.
+  EXPECT_FALSE(Memory.l1().contains(0x6000));
+}
+
+//===----------------------------------------------------------------------===//
+// DuelingSelector (unit level)
+//===----------------------------------------------------------------------===//
+
+namespace duel {
+
+std::unique_ptr<DuelingSelector> makeSelector(const DuelConfig &Cfg) {
+  std::vector<std::unique_ptr<Prefetcher>> Candidates;
+  Candidates.push_back(std::make_unique<StridePrefetcher>(
+      StridePrefetcherConfig(), /*AssignedTag=*/0));
+  Candidates.push_back(std::make_unique<StreamPrefetcher>(
+      StreamPrefetcherConfig(), /*AssignedTag=*/1));
+  return std::make_unique<DuelingSelector>(Cfg, /*AssignedTag=*/2,
+                                           std::move(Candidates));
+}
+
+} // namespace duel
+
+TEST(DuelingSelectorTest, ConvergesAfterBoundedEpochs) {
+  DuelConfig Cfg;
+  Cfg.RegionBuckets = 4;
+  Cfg.EpochAccesses = 4;
+  Cfg.SampleRounds = 1;
+  memsim::MemoryHierarchy Memory;
+  auto Selector = duel::makeSelector(Cfg);
+  EXPECT_EQ(Selector->convergenceEpochs(), 2u);
+
+  // Epoch 0 (stride sampled): a confirmed stride issues in bucket 0.
+  for (memsim::Addr A : {0x100, 0x140, 0x180, 0x1C0})
+    Selector->onAccess(hit(1, A), Memory);
+  // Simulated hierarchy feedback: two of those prefetches turned useful.
+  Selector->noteUseful(0, 0x200);
+  Selector->noteUseful(0, 0x240);
+  // Epoch 1 (stream sampled): hits only, so the stream engine is idle.
+  for (memsim::Addr A : {0x100, 0x140, 0x180, 0x1C0})
+    Selector->onAccess(hit(1, A), Memory);
+  EXPECT_FALSE(Selector->converged());
+
+  // The first access of epoch 2 freezes the decision.
+  Selector->onAccess(hit(1, 0x100), Memory);
+  ASSERT_TRUE(Selector->converged());
+  // Bucket 0 saw stride issues with positive score: stride wins it.
+  EXPECT_EQ(Selector->winnerFor(0x100), 0u);
+  // Buckets with no observations fall back to the global winner.
+  EXPECT_EQ(Selector->globalWinner(), 0u);
+  EXPECT_EQ(Selector->winnerFor(0x3000), 0u);
+  // The losing candidate never got an issue through its gate.
+  EXPECT_EQ(Selector->candidates()[1]->issued(), 0u);
+}
+
+TEST(DuelingSelectorTest, FeedbackAfterConvergenceIsFrozen) {
+  DuelConfig Cfg;
+  Cfg.RegionBuckets = 4;
+  Cfg.EpochAccesses = 2;
+  Cfg.SampleRounds = 1;
+  memsim::MemoryHierarchy Memory;
+  auto Selector = duel::makeSelector(Cfg);
+  for (int I = 0; I <= 4; ++I)
+    Selector->onAccess(hit(1, 0x100 + static_cast<memsim::Addr>(I) * 0x40),
+                       Memory);
+  ASSERT_TRUE(Selector->converged());
+  const size_t Winner = Selector->globalWinner();
+  // Late feedback for the loser must not flip the frozen decision.
+  Selector->noteUseful(1, 0x100);
+  Selector->noteUseful(1, 0x100);
+  EXPECT_EQ(Selector->globalWinner(), Winner);
+}
+
+TEST(DuelingSelectorTest, StatsReportSelectorAndCandidates) {
+  DuelConfig Cfg;
+  Cfg.RegionBuckets = 4;
+  Cfg.EpochAccesses = 2;
+  Cfg.SampleRounds = 1;
+  memsim::MemoryHierarchy Memory;
+  auto Selector = duel::makeSelector(Cfg);
+  for (int I = 0; I <= 4; ++I)
+    Selector->onAccess(hit(1, 0x100 + static_cast<memsim::Addr>(I) * 0x40),
+                       Memory);
+  ASSERT_TRUE(Selector->converged());
+  std::vector<obs::PrefetcherStats> Rows;
+  Selector->appendStats(Rows);
+  ASSERT_EQ(Rows.size(), 3u);
+  EXPECT_EQ(Rows[0].Kind, static_cast<uint64_t>(Prefetcher::Duel));
+  EXPECT_EQ(Rows[1].Kind, static_cast<uint64_t>(Prefetcher::Stride));
+  EXPECT_EQ(Rows[2].Kind, static_cast<uint64_t>(Prefetcher::Stream));
+  EXPECT_EQ(Rows[0].SampledEpochs, 2u);
+  // Every bucket has a frozen owner: the won-region counts sum to the
+  // bucket count.
+  EXPECT_EQ(Rows[1].SelectedRegions + Rows[2].SelectedRegions, 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime integration (the prefetcher stack)
 //===----------------------------------------------------------------------===//
 
 TEST(RuntimePrefetcherTest, StrideCoversSequentialScan) {
   OptimizerConfig Config;
   Config.Mode = RunMode::Original;
-  Config.EnableStridePrefetcher = true;
+  Config.Prefetchers.Stride = true;
   Runtime Rt(Config);
   const auto P = Rt.declareProcedure("scan");
   const auto S = Rt.declareSite(P);
@@ -183,36 +438,142 @@ TEST(RuntimePrefetcherTest, StrideCoversSequentialScan) {
     Rt.load(S, Base + I * 32);
     Rt.compute(4);
   }
-  ASSERT_NE(Rt.stridePrefetcher(), nullptr);
-  EXPECT_GT(Rt.stridePrefetcher()->stats().PrefetchesIssued, 1000u);
+  ASSERT_NE(Rt.prefetcherStack(), nullptr);
+  Prefetcher *Stride = Rt.prefetcherStack()->byKind(Prefetcher::Stride);
+  ASSERT_NE(Stride, nullptr);
+  EXPECT_GT(Stride->issued(), 1000u);
   // Most of the scan is covered: far fewer full-latency misses than refs.
   EXPECT_GT(Rt.memory().l1().stats().UsefulPrefetches +
                 Rt.memory().stats().PartialHits,
             1000u);
 }
 
-TEST(RuntimePrefetcherTest, DisabledPrefetchersAreNull) {
+TEST(RuntimePrefetcherTest, DisabledStackIsNull) {
   OptimizerConfig Config;
   Runtime Rt(Config);
-  EXPECT_EQ(Rt.stridePrefetcher(), nullptr);
-  EXPECT_EQ(Rt.markovPrefetcher(), nullptr);
+  EXPECT_EQ(Rt.prefetcherStack(), nullptr);
+  EXPECT_TRUE(Rt.prefetcherStats().empty());
 }
 
 TEST(RuntimePrefetcherTest, MarkovObservesOnlyMisses) {
   OptimizerConfig Config;
   Config.Mode = RunMode::Original;
-  Config.EnableMarkovPrefetcher = true;
+  Config.Prefetchers.Markov = true;
   Runtime Rt(Config);
   const auto P = Rt.declareProcedure("p");
   const auto S = Rt.declareSite(P);
-  const memsim::Addr A = Rt.allocate(64);
+  const memsim::Addr A = Rt.allocate(64, 64);
+  const memsim::Addr B = Rt.allocate(64, 64);
+  const memsim::Addr C = Rt.allocate(64, 64);
 
   Runtime::ProcedureScope Scope(Rt, P);
   Rt.load(S, A); // miss
-  Rt.load(S, A); // hit: not observed
-  Rt.load(S, A); // hit
-  ASSERT_NE(Rt.markovPrefetcher(), nullptr);
-  EXPECT_EQ(Rt.markovPrefetcher()->stats().MissesObserved, 1u);
+  Rt.load(S, B); // miss: A -> B
+  Rt.load(S, A); // hit: must not be observed
+  Rt.load(S, C); // miss: B -> C (an observed hit would record B -> A)
+  ASSERT_NE(Rt.prefetcherStack(), nullptr);
+  Prefetcher *Markov = Rt.prefetcherStack()->byKind(Prefetcher::Markov);
+  ASSERT_NE(Markov, nullptr);
+  EXPECT_EQ(Markov->trains(), 2u);
+}
+
+TEST(RuntimePrefetcherTest, FullRosterComposesWithDenseTags) {
+  OptimizerConfig Config;
+  Config.Mode = RunMode::Original;
+  Config.Prefetchers.Stride = true;
+  Config.Prefetchers.Markov = true;
+  Config.Prefetchers.Stream = true;
+  Config.Prefetchers.Pair = true;
+  Runtime Rt(Config);
+  const auto P = Rt.declareProcedure("scan");
+  const auto S = Rt.declareSite(P);
+  const memsim::Addr Base = Rt.allocate(1 << 16, 64);
+  Runtime::ProcedureScope Scope(Rt, P);
+  for (uint64_t I = 0; I < 500; ++I)
+    Rt.load(S, Base + I * 32);
+
+  ASSERT_NE(Rt.prefetcherStack(), nullptr);
+  EXPECT_EQ(Rt.prefetcherStack()->tagCount(), 4u);
+  const std::vector<obs::PrefetcherStats> Rows = Rt.prefetcherStats();
+  ASSERT_EQ(Rows.size(), 4u);
+  EXPECT_EQ(Rows[0].Kind, static_cast<uint64_t>(Prefetcher::Stride));
+  EXPECT_EQ(Rows[1].Kind, static_cast<uint64_t>(Prefetcher::Markov));
+  EXPECT_EQ(Rows[2].Kind, static_cast<uint64_t>(Prefetcher::Stream));
+  EXPECT_EQ(Rows[3].Kind, static_cast<uint64_t>(Prefetcher::PairTable));
+  for (uint64_t Tag = 0; Tag < 4; ++Tag)
+    EXPECT_EQ(Rows[Tag].Tag, Tag);
+  // The scan is stride territory: classification feedback joined from
+  // the hierarchy lands on the stride row.
+  EXPECT_GT(Rows[0].Issued, 0u);
+  EXPECT_GT(Rows[0].Useful + Rows[0].Late, 0u);
+}
+
+TEST(RuntimePrefetcherTest, DuelConvergesToClearlyBestCandidate) {
+  // The selector-convergence acceptance test: duel a stride engine
+  // against a Markov engine on a long single-pass sequential scan.  The
+  // scan never repeats a miss digram, so Markov cannot issue anything;
+  // the stride engine covers the scan.  The duel must converge to the
+  // stride candidate within its bounded epoch budget.
+  OptimizerConfig Config;
+  Config.Mode = RunMode::Original;
+  Config.Prefetchers.Duel = true;
+  Config.Prefetchers.Stride = true;
+  Config.Prefetchers.Markov = true;
+  Config.Prefetchers.DuelCfg.EpochAccesses = 512;
+  Config.Prefetchers.DuelCfg.SampleRounds = 2;
+  Runtime Rt(Config);
+  const auto P = Rt.declareProcedure("scan");
+  const auto S = Rt.declareSite(P);
+  const memsim::Addr Base = Rt.allocate(1 << 20, 64);
+
+  Runtime::ProcedureScope Scope(Rt, P);
+  for (uint64_t I = 0; I < 8000; ++I) {
+    Rt.load(S, Base + I * 32);
+    // Enough compute per access that a degree-2 stride prefetch (two
+    // accesses ahead) beats the 100-cycle memory latency: the stride
+    // engine's prefetches classify useful, not just late.
+    Rt.compute(64);
+  }
+
+  ASSERT_NE(Rt.prefetcherStack(), nullptr);
+  DuelingSelector *Selector = Rt.prefetcherStack()->selector();
+  ASSERT_NE(Selector, nullptr);
+  // Bounded convergence: SampleRounds * candidates = 4 epochs, well
+  // inside the 8000-access run.
+  EXPECT_EQ(Selector->convergenceEpochs(), 4u);
+  ASSERT_TRUE(Selector->converged());
+  EXPECT_EQ(Selector->candidates()[Selector->globalWinner()]->kind(),
+            Prefetcher::Stride);
+  // Every touched region resolves to the stride engine too (Markov
+  // never issued, so no bucket prefers it).
+  EXPECT_EQ(Selector->candidates()[Selector->winnerFor(Base)]->kind(),
+            Prefetcher::Stride);
+
+  // The stats report carries one selector row plus one per candidate.
+  const std::vector<obs::PrefetcherStats> Rows = Rt.prefetcherStats();
+  ASSERT_EQ(Rows.size(), 3u);
+  EXPECT_EQ(Rows[0].Kind, static_cast<uint64_t>(Prefetcher::Duel));
+  EXPECT_EQ(Rows[0].SampledEpochs, 4u);
+  EXPECT_GT(Rows[0].SelectedRegions, 0u);
+}
+
+TEST(RuntimePrefetcherTest, HotStreamTagsStartAboveStackTags) {
+  // With prefetchers enabled in a prefetching mode, hot-data-stream
+  // prefetches must classify under tags above the stack's reserved
+  // range, so per-engine attribution never collides.
+  OptimizerConfig Config;
+  Config.Mode = RunMode::DynamicPrefetch;
+  Config.Tracing = {1'481, 30, 30, 120, true};
+  Config.Prefetchers.Stride = true;
+  Runtime Rt(Config);
+  auto W = workloads::createWorkload("vpr");
+  W->setup(Rt);
+  W->run(Rt, 6000);
+  ASSERT_NE(Rt.prefetcherStack(), nullptr);
+  ASSERT_EQ(Rt.prefetcherStack()->tagCount(), 1u);
+  EXPECT_GT(Rt.stats().PrefetchesRequested, 0u);
+  // Stream-tag buckets beyond the stack's range belong to hot streams.
+  EXPECT_GT(Rt.memory().streamClasses().size(), 1u);
 }
 
 //===----------------------------------------------------------------------===//

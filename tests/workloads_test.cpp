@@ -324,15 +324,17 @@ TEST(NoiseRegionTest, ShuffledDeltasAreIrregular) {
   // never confirm a stride: drive the region through a runtime with the
   // prefetcher enabled and check its confirmation rate.
   OptimizerConfig WithStride = originalMode();
-  WithStride.EnableStridePrefetcher = true;
+  WithStride.Prefetchers.Stride = true;
   Runtime Rt2(WithStride);
   NoiseRegion Region2;
   Region2.setup(Rt2, Config, "deltatest");
   Region2.step(Rt2, 2000);
-  ASSERT_NE(Rt2.stridePrefetcher(), nullptr);
-  const double ConfirmRate =
-      static_cast<double>(Rt2.stridePrefetcher()->stats().StridesConfirmed) /
-      static_cast<double>(Rt2.stridePrefetcher()->stats().Updates);
+  ASSERT_NE(Rt2.prefetcherStack(), nullptr);
+  const auto *Stride = static_cast<const prefetch::StridePrefetcher *>(
+      Rt2.prefetcherStack()->byKind(prefetch::Prefetcher::Stride));
+  ASSERT_NE(Stride, nullptr);
+  const double ConfirmRate = static_cast<double>(Stride->confirmed()) /
+                             static_cast<double>(Stride->trains());
   EXPECT_LT(ConfirmRate, 0.1);
 }
 
@@ -342,15 +344,17 @@ TEST(NoiseRegionTest, UnshuffledScanIsStridePredictable) {
   Config.StrideBytes = 32;
   Config.ShuffleBlocks = false;
   OptimizerConfig WithStride = originalMode();
-  WithStride.EnableStridePrefetcher = true;
+  WithStride.Prefetchers.Stride = true;
   Runtime Rt(WithStride);
   NoiseRegion Region;
   Region.setup(Rt, Config, "seqtest");
   Region.step(Rt, 2000);
-  ASSERT_NE(Rt.stridePrefetcher(), nullptr);
-  const double ConfirmRate =
-      static_cast<double>(Rt.stridePrefetcher()->stats().StridesConfirmed) /
-      static_cast<double>(Rt.stridePrefetcher()->stats().Updates);
+  ASSERT_NE(Rt.prefetcherStack(), nullptr);
+  const auto *Stride = static_cast<const prefetch::StridePrefetcher *>(
+      Rt.prefetcherStack()->byKind(prefetch::Prefetcher::Stride));
+  ASSERT_NE(Stride, nullptr);
+  const double ConfirmRate = static_cast<double>(Stride->confirmed()) /
+                             static_cast<double>(Stride->trains());
   EXPECT_GT(ConfirmRate, 0.8);
 }
 

@@ -58,7 +58,8 @@ struct Options {
                "usage: %s [--scale F] [--repeat N] [--filter key=value]...\n"
                "          [--out FILE] [--quiet]\n"
                "filters: workload=<name>  mode=<original|base|prof|hds|"
-               "nopref|seqpref|dynpref>  seed=<n>\n",
+               "nopref|seqpref|dynpref>  seed=<n>\n"
+               "         prefetcher=<none|stride|markov|stream|pair|duel>\n",
                Binary);
   std::exit(2);
 }

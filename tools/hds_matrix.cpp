@@ -112,6 +112,7 @@ struct Options {
       "[--wall-threshold PCT]\n"
       "filters: workload=<name>  mode=<original|base|prof|hds|nopref|"
       "seqpref|dynpref>  seed=<n>\n"
+      "         prefetcher=<none|stride|markov|stream|pair|duel>\n"
       "addresses: host:port (port 0 = ephemeral) or unix:/path\n",
       Binary, Binary, Binary);
   std::exit(2);

@@ -16,6 +16,10 @@
 //     --headlen <n>         prefix match length (default 2)
 //     --stride              enable the hardware stride prefetcher
 //     --markov              enable the Markov correlation prefetcher
+//     --stream              enable the confidence-counter stream prefetcher
+//     --pair                enable the bounded temporal pair-table prefetcher
+//     --duel                wrap the enabled prefetchers (or, alone, all
+//                           four) in the per-region dueling selector
 //     --pin                 static-scheme model (pin first optimization)
 //     --verbose             per-cycle stream reports to stderr
 //     --compare             also run the original program and report %
@@ -35,6 +39,7 @@
 
 #include "core/Runtime.h"
 #include "obs/CycleAccount.h"
+#include "prefetch/Prefetcher.h"
 #include "obs/PrefetchStats.h"
 #include "obs/Timeline.h"
 #include "replay/TraceFormat.h"
@@ -63,6 +68,9 @@ struct Options {
   uint32_t HeadLength = 2;
   bool Stride = false;
   bool Markov = false;
+  bool Stream = false;
+  bool Pair = false;
+  bool Duel = false;
   bool Pin = false;
   bool Verbose = false;
   bool Compare = false;
@@ -78,6 +86,7 @@ struct Options {
       stderr,
       "usage: %s [--workload NAME] [--mode MODE] [--iterations N]\n"
       "          [--scale F] [--headlen N] [--stride] [--markov]\n"
+      "          [--stream] [--pair] [--duel]\n"
       "          [--pin] [--verbose] [--compare] [--report]\n"
       "          [--trace-events FILE]\n"
       "          [--dump-trace FILE] [--record FILE] [--replay FILE]\n"
@@ -132,6 +141,12 @@ Options parseOptions(int Argc, char **Argv) {
       Opts.Stride = true;
     else if (Arg == "--markov")
       Opts.Markov = true;
+    else if (Arg == "--stream")
+      Opts.Stream = true;
+    else if (Arg == "--pair")
+      Opts.Pair = true;
+    else if (Arg == "--duel")
+      Opts.Duel = true;
     else if (Arg == "--pin")
       Opts.Pin = true;
     else if (Arg == "--verbose")
@@ -381,8 +396,11 @@ uint64_t runConfigured(const Options &Opts, RunMode Mode, bool Report) {
   OptimizerConfig Config;
   Config.Mode = Mode;
   Config.Dfsm.HeadLength = Opts.HeadLength;
-  Config.EnableStridePrefetcher = Opts.Stride;
-  Config.EnableMarkovPrefetcher = Opts.Markov;
+  Config.Prefetchers.Stride = Opts.Stride;
+  Config.Prefetchers.Markov = Opts.Markov;
+  Config.Prefetchers.Stream = Opts.Stream;
+  Config.Prefetchers.Pair = Opts.Pair;
+  Config.Prefetchers.Duel = Opts.Duel;
   Config.PinFirstOptimization = Opts.Pin;
   Config.VerboseAnalysis = Opts.Verbose;
 
@@ -459,9 +477,10 @@ uint64_t runConfigured(const Options &Opts, RunMode Mode, bool Report) {
 
   std::printf("workload:   %s (%llu iterations)\n", Opts.Workload.c_str(),
               (unsigned long long)Iterations);
-  std::printf("mode:       %s%s%s%s\n", runModeName(Mode),
+  std::printf("mode:       %s%s%s%s%s%s%s\n", runModeName(Mode),
               Opts.Stride ? " +stride" : "", Opts.Markov ? " +markov" : "",
-              Opts.Pin ? " +pinned" : "");
+              Opts.Stream ? " +stream" : "", Opts.Pair ? " +pair" : "",
+              Opts.Duel ? " +duel" : "", Opts.Pin ? " +pinned" : "");
   std::printf("cycles:     %llu\n", (unsigned long long)Rt.cycles());
   std::printf("accesses:   %llu (%.2f cycles/access)\n",
               (unsigned long long)Stats.TotalAccesses,
@@ -490,17 +509,14 @@ uint64_t runConfigured(const Options &Opts, RunMode Mode, bool Report) {
               (unsigned long long)(L1.WastedPrefetches + L2.WastedPrefetches),
               (unsigned long long)Mem.PrefetchesRedundant,
               (unsigned long long)Mem.PartialHits);
-  if (Rt.stridePrefetcher())
-    std::printf("stride:     %llu prefetches from %llu confirmed strides\n",
-                (unsigned long long)
-                    Rt.stridePrefetcher()->stats().PrefetchesIssued,
-                (unsigned long long)
-                    Rt.stridePrefetcher()->stats().StridesConfirmed);
-  if (Rt.markovPrefetcher())
-    std::printf("markov:     %llu prefetches, %zu nodes\n",
-                (unsigned long long)
-                    Rt.markovPrefetcher()->stats().PrefetchesIssued,
-                Rt.markovPrefetcher()->nodeCount());
+  for (const obs::PrefetcherStats &Pf : Rt.prefetcherStats())
+    std::printf("%-12s%llu prefetches (%llu useful, %llu late), "
+                "%llu trains\n",
+                prefetch::Prefetcher::kindToken(
+                    static_cast<prefetch::Prefetcher::Kind>(
+                        static_cast<uint8_t>(Pf.Kind))),
+                (unsigned long long)Pf.Issued, (unsigned long long)Pf.Useful,
+                (unsigned long long)Pf.Late, (unsigned long long)Pf.Trains);
 
   if (!Stats.Cycles.empty()) {
     std::printf("\noptimization cycles:\n");
@@ -554,9 +570,10 @@ int replayRecordedTrace(const std::string &Path) {
   const replay::ReplayResult Result = replay::replayTrace(T);
   std::printf("workload:   %s (%llu iterations, recorded)\n",
               T.Meta.Workload.c_str(), (unsigned long long)T.Meta.Iterations);
-  std::printf("mode:       %s%s%s%s\n", runModeName(T.Meta.Mode),
+  std::printf("mode:       %s%s%s%s%s%s%s\n", runModeName(T.Meta.Mode),
               T.Meta.Stride ? " +stride" : "", T.Meta.Markov ? " +markov" : "",
-              T.Meta.Pin ? " +pinned" : "");
+              T.Meta.Stream ? " +stream" : "", T.Meta.Pair ? " +pair" : "",
+              T.Meta.Duel ? " +duel" : "", T.Meta.Pin ? " +pinned" : "");
   std::printf("events:     %zu replayed\n", T.Events.size());
   std::printf("cycles:     %llu recorded, %llu replayed\n",
               (unsigned long long)T.Summary.Cycles,
