@@ -30,7 +30,7 @@ namespace {
 uint32_t GSuccessors = 2;
 
 void enableMarkov(core::OptimizerConfig &Config) {
-  Config.Prefetchers.Markov = true;
+  Config.Prefetchers.Enabled.set(prefetch::Prefetcher::Markov, true);
   Config.Prefetchers.MarkovCfg.SuccessorsPerNode = GSuccessors;
 }
 

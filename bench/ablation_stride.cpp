@@ -27,7 +27,7 @@ using namespace hds::bench;
 namespace {
 
 void enableStride(core::OptimizerConfig &Config) {
-  Config.Prefetchers.Stride = true;
+  Config.Prefetchers.Enabled.set(prefetch::Prefetcher::Stride, true);
 }
 
 } // namespace

@@ -55,13 +55,27 @@ const char *hds::core::runModeToken(RunMode Mode) {
   return "unknown";
 }
 
-bool hds::core::parseRunModeToken(const std::string &Token, RunMode &Mode) {
-  static const RunMode All[] = {
+const std::vector<RunMode> &hds::core::allRunModes() {
+  static const std::vector<RunMode> All = {
       RunMode::Original,        RunMode::ChecksOnly,
       RunMode::Profile,         RunMode::ProfileAnalyze,
       RunMode::MatchNoPrefetch, RunMode::SequentialPrefetch,
       RunMode::DynamicPrefetch};
-  for (RunMode M : All)
+  return All;
+}
+
+std::string hds::core::runModeTokenList() {
+  std::string Out;
+  for (RunMode Mode : allRunModes()) {
+    if (!Out.empty())
+      Out += '|';
+    Out += runModeToken(Mode);
+  }
+  return Out;
+}
+
+bool hds::core::parseRunModeToken(const std::string &Token, RunMode &Mode) {
+  for (RunMode M : allRunModes())
     if (Token == runModeToken(M)) {
       Mode = M;
       return true;

@@ -22,10 +22,12 @@
 #include "memsim/Cache.h"
 #include "memsim/MemoryHierarchy.h"
 #include "prefetch/PrefetcherStack.h"
+#include "prefetch/TuningPolicy.h"
 #include "profiling/BurstyTracer.h"
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace hds {
 namespace core {
@@ -68,6 +70,15 @@ const char *runModeToken(RunMode Mode);
 /// Parses a command-line token (original, base, prof, hds, nopref,
 /// seqpref, dynpref) into \p Mode.  Returns false for unknown tokens.
 bool parseRunModeToken(const std::string &Token, RunMode &Mode);
+
+/// Every RunMode in canonical (paper figure) order — the single source
+/// for CLI usage text, filter vocabularies, and mode enumerations, so
+/// token lists never drift from the enum.
+const std::vector<RunMode> &allRunModes();
+
+/// "original|base|prof|hds|nopref|seqpref|dynpref", generated from
+/// allRunModes() — the usage-text form of the mode vocabulary.
+std::string runModeTokenList();
 
 /// \name Feature ladder: each mode includes everything below it.
 /// @{
@@ -178,6 +189,14 @@ struct OptimizerConfig {
   /// not qualify as hot data streams", §4.3); Markov is the hardware
   /// technique the paper calls "most similar" to its scheme (§5.1).
   prefetch::StackConfig Prefetchers;
+
+  /// Closed-loop per-stream degree/distance tuning (prefetch/
+  /// TuningPolicy.h): when enabled, one TuningPolicy per Runtime feeds
+  /// the per-tag classification counters back into both issuing paths —
+  /// the injected hot-stream prefetches and the hardware zoo — at every
+  /// profiling-epoch boundary.  Off by default: every path keeps its
+  /// static constants, byte for byte.
+  prefetch::TuningConfig Tuning;
 
   /// Static-scheme model (the comparison the paper leaves for future
   /// work): keep the *first* successful optimization installed forever —

@@ -18,13 +18,10 @@ core::OptimizerConfig ExperimentSpec::materializeConfig() const {
   core::OptimizerConfig Config;
   Config.Mode = Mode;
   Config.Dfsm.HeadLength = HeadLength;
-  Config.Prefetchers.Stride = Stride;
-  Config.Prefetchers.Markov = Markov;
-  Config.Prefetchers.Stream = Stream;
-  Config.Prefetchers.Pair = Pair;
-  Config.Prefetchers.Duel = Duel;
+  Config.Prefetchers.Enabled = Prefetchers;
   Config.PinFirstOptimization = Pin;
   Config.AdaptiveHibernation = Adaptive;
+  Config.Tuning.Enabled = Tuned;
   return Config;
 }
 
@@ -34,32 +31,27 @@ std::string ExperimentSpec::label() const {
     Label += '@';
     Label += std::to_string(Seed);
   }
-  if (Stride)
-    Label += "+stride";
-  if (Markov)
-    Label += "+markov";
-  if (Stream)
-    Label += "+stream";
-  if (Pair)
-    Label += "+pair";
-  if (Duel)
-    Label += "+duel";
+  // Kind-order suffixes, same order the old per-kind booleans printed.
+  for (unsigned I = 0; I < prefetch::PrefetcherSelection::NumKinds; ++I) {
+    const auto K = static_cast<prefetch::Prefetcher::Kind>(I);
+    if (Prefetchers.has(K)) {
+      Label += '+';
+      Label += prefetch::Prefetcher::kindToken(K);
+    }
+  }
   if (Pin)
     Label += "+pinned";
   if (Adaptive)
     Label += "+adaptive";
+  if (Tuned)
+    Label += "+tuned";
   return Label;
 }
 
 std::vector<ExperimentSpec> hds::engine::defaultMatrix(double Scale) {
-  static const core::RunMode Modes[] = {
-      core::RunMode::Original,        core::RunMode::ChecksOnly,
-      core::RunMode::Profile,         core::RunMode::ProfileAnalyze,
-      core::RunMode::MatchNoPrefetch, core::RunMode::SequentialPrefetch,
-      core::RunMode::DynamicPrefetch};
   std::vector<ExperimentSpec> Specs;
   for (const std::string &Name : workloads::allWorkloadNames())
-    for (core::RunMode Mode : Modes) {
+    for (core::RunMode Mode : core::allRunModes()) {
       ExperimentSpec Spec;
       Spec.Workload = Name;
       Spec.Mode = Mode;
@@ -70,18 +62,37 @@ std::vector<ExperimentSpec> hds::engine::defaultMatrix(double Scale) {
   // unmodified program, so its cycles compare directly with the Original
   // baseline and the software scheme's Dyn-pref bar.
   for (const std::string &Name : workloads::allWorkloadNames())
-    for (int Which = 0; Which < 5; ++Which) {
+    for (unsigned Which = 0; Which < prefetch::PrefetcherSelection::NumKinds;
+         ++Which) {
       ExperimentSpec Spec;
       Spec.Workload = Name;
       Spec.Mode = core::RunMode::Original;
       Spec.Scale = Scale;
-      Spec.Stride = Which == 0;
-      Spec.Markov = Which == 1;
-      Spec.Stream = Which == 2;
-      Spec.Pair = Which == 3;
-      Spec.Duel = Which == 4;
+      Spec.Prefetchers.set(static_cast<prefetch::Prefetcher::Kind>(Which),
+                           true);
       Specs.push_back(Spec);
     }
+  // Closed-loop tuning bars (appended so the cells above keep their
+  // positions): the software scheme's Dyn-pref with the controller on,
+  // plus the two zoo engines with a degree knob (docs/tuning.md).
+  for (const std::string &Name : workloads::allWorkloadNames()) {
+    ExperimentSpec Dyn;
+    Dyn.Workload = Name;
+    Dyn.Mode = core::RunMode::DynamicPrefetch;
+    Dyn.Scale = Scale;
+    Dyn.Tuned = true;
+    Specs.push_back(Dyn);
+    for (const prefetch::Prefetcher::Kind K :
+         {prefetch::Prefetcher::Stream, prefetch::Prefetcher::PairTable}) {
+      ExperimentSpec Spec;
+      Spec.Workload = Name;
+      Spec.Mode = core::RunMode::Original;
+      Spec.Scale = Scale;
+      Spec.Prefetchers.set(K, true);
+      Spec.Tuned = true;
+      Specs.push_back(Spec);
+    }
+  }
   return Specs;
 }
 
@@ -113,8 +124,8 @@ bool hds::engine::applyFilter(std::vector<ExperimentSpec> &Specs,
     core::RunMode Mode;
     if (!core::parseRunModeToken(Value, Mode)) {
       if (Error)
-        *Error = "unknown mode '" + Value +
-                 "' (expected original|base|prof|hds|nopref|seqpref|dynpref)";
+        *Error = "unknown mode '" + Value + "' (expected " +
+                 core::runModeTokenList() + ")";
       return false;
     }
     Keep([&](const ExperimentSpec &S) { return S.Mode == Mode; });
@@ -133,39 +144,47 @@ bool hds::engine::applyFilter(std::vector<ExperimentSpec> &Specs,
   }
   if (Key == "prefetcher") {
     if (Value == "none") {
-      Keep([&](const ExperimentSpec &S) {
-        return !S.Stride && !S.Markov && !S.Stream && !S.Pair && !S.Duel;
-      });
+      Keep([&](const ExperimentSpec &S) { return S.Prefetchers.none(); });
       return true;
     }
     prefetch::Prefetcher::Kind Kind;
     if (!prefetch::Prefetcher::parseKindToken(Value, Kind)) {
       if (Error)
-        *Error = "unknown prefetcher '" + Value +
-                 "' (expected none|stride|markov|stream|pair|duel)";
+        *Error = "unknown prefetcher '" + Value + "' (expected " +
+                 prefetch::PrefetcherSelection::tokenList() + ")";
       return false;
     }
     Keep([&](const ExperimentSpec &S) {
       // The named prefetcher, enabled alone (duel cells enable only
       // Duel; the roster defaults to all four candidates).
-      switch (Kind) {
-      case prefetch::Prefetcher::Stride:
-        return S.Stride && !S.Markov && !S.Stream && !S.Pair && !S.Duel;
-      case prefetch::Prefetcher::Markov:
-        return S.Markov && !S.Stride && !S.Stream && !S.Pair && !S.Duel;
-      case prefetch::Prefetcher::Stream:
-        return S.Stream && !S.Stride && !S.Markov && !S.Pair && !S.Duel;
-      case prefetch::Prefetcher::PairTable:
-        return S.Pair && !S.Stride && !S.Markov && !S.Stream && !S.Duel;
-      case prefetch::Prefetcher::Duel:
-        return S.Duel;
-      }
-      return false; // unreachable: parseKindToken covers every Kind
+      if (Kind == prefetch::Prefetcher::Duel)
+        return S.Prefetchers.has(prefetch::Prefetcher::Duel);
+      return S.Prefetchers.only(Kind);
     });
     return true;
   }
+  if (Key == "tuning") {
+    if (Value == "adaptive") {
+      Keep([&](const ExperimentSpec &S) { return S.Tuned; });
+      return true;
+    }
+    if (Value == "fixed") {
+      Keep([&](const ExperimentSpec &S) { return !S.Tuned; });
+      return true;
+    }
+    if (Error)
+      *Error = "unknown tuning '" + Value + "' (expected adaptive|fixed)";
+    return false;
+  }
   if (Error)
     *Error = "unknown filter key '" + Key +
-             "' (expected workload, mode, seed, or prefetcher)";
+             "' (expected workload, mode, seed, prefetcher, or tuning)";
   return false;
+}
+
+std::string hds::engine::filterHelp() {
+  return "filters: workload=<name>  mode=<" + core::runModeTokenList() +
+         ">  seed=<n>\n         prefetcher=<" +
+         prefetch::PrefetcherSelection::tokenList() +
+         ">  tuning=<adaptive|fixed>\n";
 }

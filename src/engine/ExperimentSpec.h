@@ -21,6 +21,7 @@
 #define HDS_ENGINE_EXPERIMENTSPEC_H
 
 #include "core/OptimizerConfig.h"
+#include "prefetch/Selection.h"
 
 #include <cstdint>
 #include <string>
@@ -52,16 +53,17 @@ struct ExperimentSpec {
   /// Orthogonal hardware prefetcher zoo (src/prefetch): any subset may
   /// ride along in any mode.  Duel wraps the enabled subset (or, when
   /// fewer than two others are enabled, all four) in the per-region
-  /// dueling selector.
-  bool Stride = false;
-  bool Markov = false;
-  bool Stream = false;
-  bool Pair = false;
-  bool Duel = false;
+  /// dueling selector.  One selection value replaces the old per-kind
+  /// booleans; the legacy stride/markov/... identity fields in the
+  /// results JSON are derived from it unchanged.
+  prefetch::PrefetcherSelection Prefetchers;
   /// Static-scheme model: pin the first successful optimization.
   bool Pin = false;
   /// Adaptive hibernation extension (§5.2).
   bool Adaptive = false;
+  /// Closed-loop degree/distance tuning (prefetch/TuningPolicy.h): the
+  /// "tuned" spec axis.  Orthogonal to Adaptive (hibernation).
+  bool Tuned = false;
 
   /// Materializes the OptimizerConfig this spec describes.
   core::OptimizerConfig materializeConfig() const;
@@ -76,17 +78,23 @@ struct ExperimentSpec {
 /// every RunMode — the cells behind Figures 11 and 12 plus their
 /// Original baselines — followed by one Original-mode cell per workload
 /// per hardware prefetcher (stride, markov, stream, pair, duel), the
-/// Figure-12-style hardware comparison bars.
+/// Figure-12-style hardware comparison bars, followed by the closed-loop
+/// tuning cells (dynpref plus the tunable zoo engines, Tuned set).
 std::vector<ExperimentSpec> defaultMatrix(double Scale = 1.0);
 
 /// Narrows \p Specs in place with one "key=value" filter.  Supported
 /// keys: workload (name), mode (runModeToken vocabulary), seed
-/// (decimal), prefetcher (none|stride|markov|stream|pair|duel — cells
-/// whose only enabled prefetcher flag is the named one).  Returns false —
-/// leaving \p Specs untouched and setting \p Error when non-null — for an
-/// unknown key or unparseable value.
+/// (decimal), prefetcher (none or a kind token — cells whose only
+/// enabled prefetcher is the named one), tuning (adaptive|fixed).
+/// Returns false — leaving \p Specs untouched and setting \p Error when
+/// non-null — for an unknown key or unparseable value.
 bool applyFilter(std::vector<ExperimentSpec> &Specs,
                  const std::string &Filter, std::string *Error = nullptr);
+
+/// The filter vocabulary lines of a tool usage text, generated from the
+/// shared token definitions (core::allRunModes, Prefetcher::kindToken,
+/// the tuning axis) so CLI help never drifts from the parsers.
+std::string filterHelp();
 
 } // namespace engine
 } // namespace hds

@@ -77,7 +77,7 @@ const std::vector<const char *> &hds::engine::specIdentityFields() {
   static const std::vector<const char *> Fields = {
       "workload", "mode",   "mode_name", "scale", "seed",
       "head_length", "stride", "markov", "pin",   "adaptive",
-      "stream_pf", "pair_pf", "duel_pf",
+      "stream_pf", "pair_pf", "duel_pf", "tuned",
   };
   return Fields;
 }

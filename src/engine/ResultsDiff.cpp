@@ -336,10 +336,11 @@ Cell makeCell(const JsonValue &Result) {
       Key += scalarToText(*Value);
     } else if (std::string(Field) == "stream_pf" ||
                std::string(Field) == "pair_pf" ||
-               std::string(Field) == "duel_pf") {
-      // Appended after the stream/pair/duel flags existed: snapshots
-      // written before then omit them, and omission means disabled — so
-      // old and new documents still pair cell for cell.
+               std::string(Field) == "duel_pf" ||
+               std::string(Field) == "tuned") {
+      // Appended after the stream/pair/duel/tuned flags existed:
+      // snapshots written before then omit them, and omission means
+      // disabled — so old and new documents still pair cell for cell.
       Key += "false";
     } else {
       Key += '?';

@@ -42,10 +42,10 @@ const RunResult *findBaseline(const std::vector<RunResult> &Results,
                               const ExperimentSpec &Spec) {
   for (const RunResult &Candidate : Results) {
     const ExperimentSpec &C = Candidate.Spec;
-    if (Candidate.ok() && C.Mode == core::RunMode::Original && !C.Stride &&
-        !C.Markov && !C.Stream && !C.Pair && !C.Duel &&
-        C.Workload == Spec.Workload && C.Scale == Spec.Scale &&
-        C.Seed == Spec.Seed && C.Iterations == Spec.Iterations)
+    if (Candidate.ok() && C.Mode == core::RunMode::Original &&
+        C.Prefetchers.none() && !C.Tuned && C.Workload == Spec.Workload &&
+        C.Scale == Spec.Scale && C.Seed == Spec.Seed &&
+        C.Iterations == Spec.Iterations)
       return &Candidate;
   }
   return nullptr;
@@ -154,15 +154,21 @@ void emitResult(JsonBuilder &Json, const RunResult &Result,
   Json.field("scale", formatDouble(Spec.Scale, "%.6g"));
   Json.field("seed", Spec.Seed);
   Json.field("head_length", uint64_t{Spec.HeadLength});
-  Json.fieldBool("stride", Spec.Stride);
-  Json.fieldBool("markov", Spec.Markov);
+  // Legacy per-kind identity fields, derived from the selection so old
+  // documents keep diffing byte-identical.
+  Json.fieldBool("stride", Spec.Prefetchers.has(prefetch::Prefetcher::Stride));
+  Json.fieldBool("markov", Spec.Prefetchers.has(prefetch::Prefetcher::Markov));
   Json.fieldBool("pin", Spec.Pin);
   Json.fieldBool("adaptive", Spec.Adaptive);
   // Suffixed to stay clear of the "stream" metric id in the per-stream
   // rows (identity fields and metric ids share one namespace in diffs).
-  Json.fieldBool("stream_pf", Spec.Stream);
-  Json.fieldBool("pair_pf", Spec.Pair);
-  Json.fieldBool("duel_pf", Spec.Duel);
+  Json.fieldBool("stream_pf",
+                 Spec.Prefetchers.has(prefetch::Prefetcher::Stream));
+  Json.fieldBool("pair_pf",
+                 Spec.Prefetchers.has(prefetch::Prefetcher::PairTable));
+  Json.fieldBool("duel_pf", Spec.Prefetchers.has(prefetch::Prefetcher::Duel));
+  // Appended (append-only schema growth): closed-loop tuning axis.
+  Json.fieldBool("tuned", Spec.Tuned);
   Json.fieldString("status", statusName(Result.State));
   if (!Result.Error.empty())
     Json.fieldString("error", Result.Error);

@@ -217,6 +217,7 @@ constexpr uint64_t FlagAdaptive = 1u << 3;
 constexpr uint64_t FlagStream = 1u << 4;
 constexpr uint64_t FlagPair = 1u << 5;
 constexpr uint64_t FlagDuel = 1u << 6;
+constexpr uint64_t FlagTuned = 1u << 7;
 
 void appendTagU64(std::vector<uint8_t> &Out, uint8_t Tag, uint64_t Value) {
   Out.push_back(Tag);
@@ -232,20 +233,22 @@ void encodeSpecFields(std::vector<uint8_t> &Out, const ExperimentSpec &Spec) {
   appendTagU64(Out, SpecSeed, Spec.Seed);
   appendTagU64(Out, SpecHeadLength, Spec.HeadLength);
   uint64_t Flags = 0;
-  if (Spec.Stride)
+  if (Spec.Prefetchers.has(prefetch::Prefetcher::Stride))
     Flags |= FlagStride;
-  if (Spec.Markov)
+  if (Spec.Prefetchers.has(prefetch::Prefetcher::Markov))
     Flags |= FlagMarkov;
   if (Spec.Pin)
     Flags |= FlagPin;
   if (Spec.Adaptive)
     Flags |= FlagAdaptive;
-  if (Spec.Stream)
+  if (Spec.Prefetchers.has(prefetch::Prefetcher::Stream))
     Flags |= FlagStream;
-  if (Spec.Pair)
+  if (Spec.Prefetchers.has(prefetch::Prefetcher::PairTable))
     Flags |= FlagPair;
-  if (Spec.Duel)
+  if (Spec.Prefetchers.has(prefetch::Prefetcher::Duel))
     Flags |= FlagDuel;
+  if (Spec.Tuned)
+    Flags |= FlagTuned;
   appendTagU64(Out, SpecFlags, Flags);
   Out.push_back(SpecEnd);
 }
@@ -304,13 +307,19 @@ bool decodeSpecFields(Reader &R, ExperimentSpec &Spec, std::string &Error) {
       break;
     case SpecFlags:
       Ok = R.readU64(Value);
-      Spec.Stride = (Value & FlagStride) != 0;
-      Spec.Markov = (Value & FlagMarkov) != 0;
+      Spec.Prefetchers.set(prefetch::Prefetcher::Stride,
+                           (Value & FlagStride) != 0);
+      Spec.Prefetchers.set(prefetch::Prefetcher::Markov,
+                           (Value & FlagMarkov) != 0);
       Spec.Pin = (Value & FlagPin) != 0;
       Spec.Adaptive = (Value & FlagAdaptive) != 0;
-      Spec.Stream = (Value & FlagStream) != 0;
-      Spec.Pair = (Value & FlagPair) != 0;
-      Spec.Duel = (Value & FlagDuel) != 0;
+      Spec.Prefetchers.set(prefetch::Prefetcher::Stream,
+                           (Value & FlagStream) != 0);
+      Spec.Prefetchers.set(prefetch::Prefetcher::PairTable,
+                           (Value & FlagPair) != 0);
+      Spec.Prefetchers.set(prefetch::Prefetcher::Duel,
+                           (Value & FlagDuel) != 0);
+      Spec.Tuned = (Value & FlagTuned) != 0;
       break;
     default:
       Ok = false;

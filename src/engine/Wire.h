@@ -47,7 +47,9 @@ namespace wire {
 /// payloads, so bench workers report accesses/sec alongside cycles.
 /// v4: per-prefetcher stats section (ResultPrefetchers) in Result
 /// payloads; stream/pair/duel prefetcher spec flags.
-constexpr uint8_t ProtocolVersion = 4;
+/// v5: tuned spec flag (closed-loop degree/distance control); tuning
+/// gauges appended to the stream and prefetcher counter blocks.
+constexpr uint8_t ProtocolVersion = 5;
 
 /// First two frame bytes; a cheap guard against cross-protocol garbage.
 constexpr uint8_t Magic0 = 0x48; // 'H'

@@ -32,13 +32,13 @@ std::unique_ptr<Prefetcher> PrefetcherStack::make(Prefetcher::Kind K,
 
 PrefetcherStack::PrefetcherStack(const StackConfig &Cfg) {
   std::vector<Prefetcher::Kind> Enabled;
-  if (Cfg.Stride)
+  if (Cfg.Enabled.has(Prefetcher::Stride))
     Enabled.push_back(Prefetcher::Stride);
-  if (Cfg.Markov)
+  if (Cfg.Enabled.has(Prefetcher::Markov))
     Enabled.push_back(Prefetcher::Markov);
-  if (Cfg.Stream)
+  if (Cfg.Enabled.has(Prefetcher::Stream))
     Enabled.push_back(Prefetcher::Stream);
-  if (Cfg.Pair)
+  if (Cfg.Enabled.has(Prefetcher::PairTable))
     Enabled.push_back(Prefetcher::PairTable);
 
   auto NextTag = [this]() {
@@ -48,7 +48,7 @@ PrefetcherStack::PrefetcherStack(const StackConfig &Cfg) {
     return Tag;
   };
 
-  if (Cfg.Duel) {
+  if (Cfg.Enabled.has(Prefetcher::Duel)) {
     // Duel over the named candidates; an unconstrained duel (or a
     // degenerate single-candidate one) runs the full roster.
     std::vector<Prefetcher::Kind> Roster = Enabled;
@@ -107,6 +107,12 @@ void PrefetcherStack::onPrefetchEvicted(memsim::Addr BlockAddr,
   Owners[StreamTag]->onEvict(BlockAddr);
 }
 
+void PrefetcherStack::setTuner(TuningPolicy *Policy) {
+  for (Prefetcher *P : Owners)
+    if (P)
+      P->setTuner(Policy);
+}
+
 std::vector<obs::PrefetcherStats>
 PrefetcherStack::snapshotStats(const memsim::MemoryHierarchy &Hierarchy) const {
   std::vector<obs::PrefetcherStats> Rows;
@@ -116,6 +122,8 @@ PrefetcherStack::snapshotStats(const memsim::MemoryHierarchy &Hierarchy) const {
   const std::vector<obs::PrefetchClassCounts> &Buckets =
       Hierarchy.streamClasses();
   for (obs::PrefetcherStats &Row : Rows) {
+    if (Row.Tag < Owners.size() && Owners[Row.Tag])
+      Row.FinalDegree = Owners[Row.Tag]->finalDegree();
     if (Row.Tag >= Buckets.size())
       continue; // tag never produced a classification event
     const obs::PrefetchClassCounts &B = Buckets[Row.Tag];

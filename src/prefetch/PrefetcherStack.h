@@ -27,6 +27,7 @@
 #include "prefetch/MarkovPrefetcher.h"
 #include "prefetch/PairTablePrefetcher.h"
 #include "prefetch/Prefetcher.h"
+#include "prefetch/Selection.h"
 #include "prefetch/StreamPrefetcher.h"
 #include "prefetch/StridePrefetcher.h"
 
@@ -36,15 +37,12 @@
 namespace hds {
 namespace prefetch {
 
-/// Which prefetchers a run enables, and their knobs.
+/// Which prefetchers a run enables (one PrefetcherSelection, shared
+/// with spec identity and CLI tokens), and their knobs.  Enabling Duel
+/// duels over the other enabled kinds (all four when fewer than two are
+/// named).
 struct StackConfig {
-  bool Stride = false;
-  bool Markov = false;
-  bool Stream = false;
-  bool Pair = false;
-  /// Duel over the enabled candidates (all four when fewer than two of
-  /// the flags above are set).
-  bool Duel = false;
+  PrefetcherSelection Enabled;
 
   StridePrefetcherConfig StrideCfg;
   MarkovPrefetcherConfig MarkovCfg;
@@ -52,7 +50,7 @@ struct StackConfig {
   PairTableConfig PairCfg;
   DuelConfig DuelCfg;
 
-  bool any() const { return Stride || Markov || Stream || Pair || Duel; }
+  bool any() const { return Enabled.any(); }
 };
 
 /// The materialized stack.  Implements the hierarchy's listener
@@ -83,6 +81,10 @@ public:
   void onPrefetchUseful(memsim::Addr Addr, uint32_t StreamTag) override;
   void onPrefetchLate(memsim::Addr Addr, uint32_t StreamTag) override;
   void onPrefetchEvicted(memsim::Addr BlockAddr, uint32_t StreamTag) override;
+
+  /// Attaches the closed-loop tuner to every owned prefetcher (duel
+  /// candidates included); null detaches.
+  void setTuner(TuningPolicy *Policy);
 
   /// Per-prefetcher report rows with classification counters joined from
   /// the hierarchy's per-tag buckets.

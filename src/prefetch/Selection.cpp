@@ -1,0 +1,67 @@
+//===- prefetch/Selection.cpp - Which prefetchers a run enables -----------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "prefetch/Selection.h"
+
+using namespace hds;
+using namespace hds::prefetch;
+
+unsigned PrefetcherSelection::count() const {
+  unsigned N = 0;
+  for (unsigned I = 0; I < NumKinds; ++I)
+    if (has(static_cast<Prefetcher::Kind>(I)))
+      ++N;
+  return N;
+}
+
+std::string PrefetcherSelection::token() const {
+  if (none())
+    return "none";
+  std::string Out;
+  for (unsigned I = 0; I < NumKinds; ++I) {
+    const auto K = static_cast<Prefetcher::Kind>(I);
+    if (!has(K))
+      continue;
+    if (!Out.empty())
+      Out += '+';
+    Out += Prefetcher::kindToken(K);
+  }
+  return Out;
+}
+
+std::string PrefetcherSelection::tokenList() {
+  std::string Out = "none";
+  for (unsigned I = 0; I < NumKinds; ++I) {
+    Out += '|';
+    Out += Prefetcher::kindToken(static_cast<Prefetcher::Kind>(I));
+  }
+  return Out;
+}
+
+bool PrefetcherSelection::parseToken(const std::string &Token,
+                                     PrefetcherSelection &Out) {
+  PrefetcherSelection Parsed;
+  if (Token == "none") {
+    Out = Parsed;
+    return true;
+  }
+  size_t Begin = 0;
+  while (Begin <= Token.size()) {
+    size_t End = Token.find('+', Begin);
+    if (End == std::string::npos)
+      End = Token.size();
+    const std::string Component = Token.substr(Begin, End - Begin);
+    Prefetcher::Kind K;
+    if (Component.empty() || !Prefetcher::parseKindToken(Component, K))
+      return false;
+    if (Parsed.has(K))
+      return false; // duplicate component
+    Parsed.set(K, true);
+    Begin = End + 1;
+  }
+  Out = Parsed;
+  return true;
+}

@@ -49,8 +49,12 @@ void StreamPrefetcher::onMiss(const AccessEvent &Event,
   if (E.Confidence < Config.ConfidenceThreshold)
     return;
 
-  // Confident run: fetch the next Degree blocks along the direction.
-  for (uint32_t I = 1; I <= Config.Degree; ++I) {
+  // Confident run: fetch Degree blocks along the direction, starting
+  // Distance blocks past the miss (both closed-loop tuned; without a
+  // tuner Degree is the configured constant and Distance is 0).
+  const uint32_t Degree = effectiveDegree(Config.Degree);
+  const uint32_t Distance = tunedDistance();
+  for (uint32_t I = 1 + Distance; I <= Distance + Degree; ++I) {
     const int64_t Target = static_cast<int64_t>(Block) +
                            static_cast<int64_t>(E.Direction) *
                                static_cast<int64_t>(I);

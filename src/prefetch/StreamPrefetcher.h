@@ -58,6 +58,8 @@ public:
   void onMiss(const AccessEvent &Event,
               memsim::MemoryHierarchy &Hierarchy) override;
 
+  uint32_t configuredDegree() const override { return Config.Degree; }
+
   void reset() override;
 
 private:

@@ -131,9 +131,17 @@ std::string hds::replay::serializeTrace(const Trace &T) {
   putVarint(Out, T.Meta.Iterations);
   Out.push_back(static_cast<char>(T.Meta.Mode));
   putVarint(Out, T.Meta.HeadLength);
-  const uint8_t Flags = (T.Meta.Stride ? 1 : 0) | (T.Meta.Markov ? 2 : 0) |
-                        (T.Meta.Pin ? 4 : 0) | (T.Meta.Stream ? 8 : 0) |
-                        (T.Meta.Pair ? 16 : 0) | (T.Meta.Duel ? 32 : 0);
+  // The flags byte keeps the original per-kind bit layout (stride=1,
+  // markov=2, pin=4, stream=8, pair=16, duel=32) so version-1 traces
+  // recorded before PrefetcherSelection existed read back unchanged.
+  using prefetch::Prefetcher;
+  const uint8_t Flags =
+      (T.Meta.Prefetchers.has(Prefetcher::Stride) ? 1 : 0) |
+      (T.Meta.Prefetchers.has(Prefetcher::Markov) ? 2 : 0) |
+      (T.Meta.Pin ? 4 : 0) |
+      (T.Meta.Prefetchers.has(Prefetcher::Stream) ? 8 : 0) |
+      (T.Meta.Prefetchers.has(Prefetcher::PairTable) ? 16 : 0) |
+      (T.Meta.Prefetchers.has(Prefetcher::Duel) ? 32 : 0);
   Out.push_back(static_cast<char>(Flags));
 
   putVarint(Out, T.Events.size());
@@ -205,12 +213,13 @@ bool hds::replay::deserializeTrace(const std::string &Bytes, Trace &Out,
   Out.Meta.Mode = static_cast<core::RunMode>(Mode);
   Out.Meta.HeadLength = static_cast<uint32_t>(In.takeVarint());
   const uint64_t Flags = In.takeVarint();
-  Out.Meta.Stride = (Flags & 1) != 0;
-  Out.Meta.Markov = (Flags & 2) != 0;
+  using prefetch::Prefetcher;
+  Out.Meta.Prefetchers.set(Prefetcher::Stride, (Flags & 1) != 0);
+  Out.Meta.Prefetchers.set(Prefetcher::Markov, (Flags & 2) != 0);
   Out.Meta.Pin = (Flags & 4) != 0;
-  Out.Meta.Stream = (Flags & 8) != 0;
-  Out.Meta.Pair = (Flags & 16) != 0;
-  Out.Meta.Duel = (Flags & 32) != 0;
+  Out.Meta.Prefetchers.set(Prefetcher::Stream, (Flags & 8) != 0);
+  Out.Meta.Prefetchers.set(Prefetcher::PairTable, (Flags & 16) != 0);
+  Out.Meta.Prefetchers.set(Prefetcher::Duel, (Flags & 32) != 0);
   if (In.failed())
     return fail(Error, "truncated trace meta");
 

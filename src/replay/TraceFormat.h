@@ -32,6 +32,7 @@
 #define HDS_REPLAY_TRACEFORMAT_H
 
 #include "core/OptimizerConfig.h"
+#include "prefetch/Selection.h"
 
 #include <cstdint>
 #include <string>
@@ -86,18 +87,16 @@ struct TraceMeta {
   uint64_t Iterations = 0;
   core::RunMode Mode = core::RunMode::DynamicPrefetch;
   uint32_t HeadLength = 2;
-  bool Stride = false;
-  bool Markov = false;
+  /// Enabled hardware prefetchers.  The serialized flags byte keeps the
+  /// original per-kind bit layout, so existing traces read back
+  /// unchanged.
+  prefetch::PrefetcherSelection Prefetchers;
   bool Pin = false;
-  bool Stream = false;
-  bool Pair = false;
-  bool Duel = false;
 
   friend bool operator==(const TraceMeta &X, const TraceMeta &Y) {
     return X.Workload == Y.Workload && X.Iterations == Y.Iterations &&
            X.Mode == Y.Mode && X.HeadLength == Y.HeadLength &&
-           X.Stride == Y.Stride && X.Markov == Y.Markov && X.Pin == Y.Pin &&
-           X.Stream == Y.Stream && X.Pair == Y.Pair && X.Duel == Y.Duel;
+           X.Prefetchers == Y.Prefetchers && X.Pin == Y.Pin;
   }
 };
 

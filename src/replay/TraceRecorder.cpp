@@ -17,11 +17,7 @@ TraceMeta hds::replay::metaFromConfig(const core::OptimizerConfig &Config,
   Meta.Iterations = Iterations;
   Meta.Mode = Config.Mode;
   Meta.HeadLength = Config.Dfsm.HeadLength;
-  Meta.Stride = Config.Prefetchers.Stride;
-  Meta.Markov = Config.Prefetchers.Markov;
-  Meta.Stream = Config.Prefetchers.Stream;
-  Meta.Pair = Config.Prefetchers.Pair;
-  Meta.Duel = Config.Prefetchers.Duel;
+  Meta.Prefetchers = Config.Prefetchers.Enabled;
   Meta.Pin = Config.PinFirstOptimization;
   return Meta;
 }

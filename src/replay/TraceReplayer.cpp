@@ -16,11 +16,7 @@ core::OptimizerConfig hds::replay::configFromMeta(const TraceMeta &Meta) {
   core::OptimizerConfig Config;
   Config.Mode = Meta.Mode;
   Config.Dfsm.HeadLength = Meta.HeadLength;
-  Config.Prefetchers.Stride = Meta.Stride;
-  Config.Prefetchers.Markov = Meta.Markov;
-  Config.Prefetchers.Stream = Meta.Stream;
-  Config.Prefetchers.Pair = Meta.Pair;
-  Config.Prefetchers.Duel = Meta.Duel;
+  Config.Prefetchers.Enabled = Meta.Prefetchers;
   Config.PinFirstOptimization = Meta.Pin;
   return Config;
 }

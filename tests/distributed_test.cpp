@@ -51,10 +51,10 @@ ExperimentSpec fancySpec() {
   Spec.Iterations = 12345;
   Spec.Seed = 77;
   Spec.HeadLength = 3;
-  Spec.Stride = true;
-  Spec.Markov = false;
+  Spec.Prefetchers.set(prefetch::Prefetcher::Stride, true);
   Spec.Pin = true;
   Spec.Adaptive = true;
+  Spec.Tuned = true;
   return Spec;
 }
 
@@ -139,10 +139,10 @@ TEST(Wire, AssignRoundTripPreservesEverySpecField) {
   EXPECT_EQ(Decoded.Iterations, Spec.Iterations);
   EXPECT_EQ(Decoded.Seed, Spec.Seed);
   EXPECT_EQ(Decoded.HeadLength, Spec.HeadLength);
-  EXPECT_EQ(Decoded.Stride, Spec.Stride);
-  EXPECT_EQ(Decoded.Markov, Spec.Markov);
+  EXPECT_EQ(Decoded.Prefetchers, Spec.Prefetchers);
   EXPECT_EQ(Decoded.Pin, Spec.Pin);
   EXPECT_EQ(Decoded.Adaptive, Spec.Adaptive);
+  EXPECT_EQ(Decoded.Tuned, Spec.Tuned);
 }
 
 TEST(Wire, ResultRoundTripSerializesToIdenticalJson) {

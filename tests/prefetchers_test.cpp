@@ -427,7 +427,7 @@ TEST(DuelingSelectorTest, StatsReportSelectorAndCandidates) {
 TEST(RuntimePrefetcherTest, StrideCoversSequentialScan) {
   OptimizerConfig Config;
   Config.Mode = RunMode::Original;
-  Config.Prefetchers.Stride = true;
+  Config.Prefetchers.Enabled.set(Prefetcher::Stride, true);
   Runtime Rt(Config);
   const auto P = Rt.declareProcedure("scan");
   const auto S = Rt.declareSite(P);
@@ -458,7 +458,7 @@ TEST(RuntimePrefetcherTest, DisabledStackIsNull) {
 TEST(RuntimePrefetcherTest, MarkovObservesOnlyMisses) {
   OptimizerConfig Config;
   Config.Mode = RunMode::Original;
-  Config.Prefetchers.Markov = true;
+  Config.Prefetchers.Enabled.set(Prefetcher::Markov, true);
   Runtime Rt(Config);
   const auto P = Rt.declareProcedure("p");
   const auto S = Rt.declareSite(P);
@@ -480,10 +480,10 @@ TEST(RuntimePrefetcherTest, MarkovObservesOnlyMisses) {
 TEST(RuntimePrefetcherTest, FullRosterComposesWithDenseTags) {
   OptimizerConfig Config;
   Config.Mode = RunMode::Original;
-  Config.Prefetchers.Stride = true;
-  Config.Prefetchers.Markov = true;
-  Config.Prefetchers.Stream = true;
-  Config.Prefetchers.Pair = true;
+  Config.Prefetchers.Enabled.set(Prefetcher::Stride, true);
+  Config.Prefetchers.Enabled.set(Prefetcher::Markov, true);
+  Config.Prefetchers.Enabled.set(Prefetcher::Stream, true);
+  Config.Prefetchers.Enabled.set(Prefetcher::PairTable, true);
   Runtime Rt(Config);
   const auto P = Rt.declareProcedure("scan");
   const auto S = Rt.declareSite(P);
@@ -516,9 +516,9 @@ TEST(RuntimePrefetcherTest, DuelConvergesToClearlyBestCandidate) {
   // stride candidate within its bounded epoch budget.
   OptimizerConfig Config;
   Config.Mode = RunMode::Original;
-  Config.Prefetchers.Duel = true;
-  Config.Prefetchers.Stride = true;
-  Config.Prefetchers.Markov = true;
+  Config.Prefetchers.Enabled.set(Prefetcher::Duel, true);
+  Config.Prefetchers.Enabled.set(Prefetcher::Stride, true);
+  Config.Prefetchers.Enabled.set(Prefetcher::Markov, true);
   Config.Prefetchers.DuelCfg.EpochAccesses = 512;
   Config.Prefetchers.DuelCfg.SampleRounds = 2;
   Runtime Rt(Config);
@@ -564,7 +564,7 @@ TEST(RuntimePrefetcherTest, HotStreamTagsStartAboveStackTags) {
   OptimizerConfig Config;
   Config.Mode = RunMode::DynamicPrefetch;
   Config.Tracing = {1'481, 30, 30, 120, true};
-  Config.Prefetchers.Stride = true;
+  Config.Prefetchers.Enabled.set(Prefetcher::Stride, true);
   Runtime Rt(Config);
   auto W = workloads::createWorkload("vpr");
   W->setup(Rt);

@@ -38,8 +38,7 @@ rp::Trace sampleTrace() {
   T.Meta.Iterations = 7;
   T.Meta.Mode = hds::core::RunMode::DynamicPrefetch;
   T.Meta.HeadLength = 3;
-  T.Meta.Stride = true;
-  T.Meta.Markov = false;
+  T.Meta.Prefetchers.set(hds::prefetch::Prefetcher::Stride, true);
   T.Meta.Pin = true;
   using K = rp::TraceEvent::Kind;
   T.Events = {

@@ -324,7 +324,7 @@ TEST(NoiseRegionTest, ShuffledDeltasAreIrregular) {
   // never confirm a stride: drive the region through a runtime with the
   // prefetcher enabled and check its confirmation rate.
   OptimizerConfig WithStride = originalMode();
-  WithStride.Prefetchers.Stride = true;
+  WithStride.Prefetchers.Enabled.set(prefetch::Prefetcher::Stride, true);
   Runtime Rt2(WithStride);
   NoiseRegion Region2;
   Region2.setup(Rt2, Config, "deltatest");
@@ -344,7 +344,7 @@ TEST(NoiseRegionTest, UnshuffledScanIsStridePredictable) {
   Config.StrideBytes = 32;
   Config.ShuffleBlocks = false;
   OptimizerConfig WithStride = originalMode();
-  WithStride.Prefetchers.Stride = true;
+  WithStride.Prefetchers.Enabled.set(prefetch::Prefetcher::Stride, true);
   Runtime Rt(WithStride);
   NoiseRegion Region;
   Region.setup(Rt, Config, "seqtest");

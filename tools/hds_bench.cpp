@@ -28,6 +28,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "cli/Options.h"
 #include "engine/ExperimentRunner.h"
 #include "engine/ExperimentSpec.h"
 #include "engine/ResultsJson.h"
@@ -57,48 +58,21 @@ struct Options {
   std::fprintf(stderr,
                "usage: %s [--scale F] [--repeat N] [--filter key=value]...\n"
                "          [--out FILE] [--quiet]\n"
-               "filters: workload=<name>  mode=<original|base|prof|hds|"
-               "nopref|seqpref|dynpref>  seed=<n>\n"
-               "         prefetcher=<none|stride|markov|stream|pair|duel>\n",
-               Binary);
+               "%s",
+               Binary, engine::filterHelp().c_str());
   std::exit(2);
 }
 
 Options parseOptions(int Argc, char **Argv) {
   Options Opts;
-  for (int I = 1; I < Argc; ++I) {
-    const std::string Arg = Argv[I];
-    auto Next = [&]() -> const char * {
-      if (I + 1 >= Argc)
-        usage(Argv[0]);
-      return Argv[++I];
-    };
-    if (Arg == "--scale") {
-      const char *Text = Next();
-      char *End = nullptr;
-      Opts.Scale = std::strtod(Text, &End);
-      if (End == Text || *End != '\0' || !(Opts.Scale > 0.0)) {
-        std::fprintf(stderr, "error: invalid --scale '%s' (need a finite "
-                             "number > 0)\n",
-                     Text);
-        std::exit(2);
-      }
-    } else if (Arg == "--repeat") {
-      Opts.Repeat = static_cast<unsigned>(std::strtoul(Next(), nullptr, 10));
-      if (Opts.Repeat == 0) {
-        std::fprintf(stderr, "error: --repeat must be >= 1\n");
-        std::exit(2);
-      }
-    } else if (Arg == "--filter") {
-      Opts.Filters.push_back(Next());
-    } else if (Arg == "--out") {
-      Opts.OutPath = Next();
-    } else if (Arg == "--quiet") {
-      Opts.Quiet = true;
-    } else {
-      usage(Argv[0]);
-    }
-  }
+  const char *Binary = Argv[0];
+  cli::OptionSet Set([Binary] { usage(Binary); });
+  Set.positiveDouble("--scale", Opts.Scale)
+      .unsAtLeastOne("--repeat", Opts.Repeat)
+      .strList("--filter", Opts.Filters)
+      .str("--out", Opts.OutPath)
+      .flag("--quiet", Opts.Quiet);
+  Set.parse(Argc, Argv);
   return Opts;
 }
 

@@ -51,6 +51,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "cli/Options.h"
 #include "engine/Executor.h"
 #include "engine/ExperimentRunner.h"
 #include "engine/ExperimentSpec.h"
@@ -110,89 +111,34 @@ struct Options {
       "       %s --worker ADDR [--job-timeout MS]\n"
       "       %s --diff A.json B.json [--threshold PCT] "
       "[--wall-threshold PCT]\n"
-      "filters: workload=<name>  mode=<original|base|prof|hds|nopref|"
-      "seqpref|dynpref>  seed=<n>\n"
-      "         prefetcher=<none|stride|markov|stream|pair|duel>\n"
+      "%s"
       "addresses: host:port (port 0 = ephemeral) or unix:/path\n",
-      Binary, Binary, Binary);
+      Binary, Binary, Binary, engine::filterHelp().c_str());
   std::exit(2);
 }
 
 Options parseOptions(int Argc, char **Argv) {
   Options Opts;
-  for (int I = 1; I < Argc; ++I) {
-    const std::string Arg = Argv[I];
-    auto Next = [&]() -> const char * {
-      if (I + 1 >= Argc)
-        usage(Argv[0]);
-      return Argv[++I];
-    };
-    if (Arg == "--jobs") {
-      Opts.Jobs = static_cast<unsigned>(std::strtoul(Next(), nullptr, 10));
-    } else if (Arg == "--scale") {
-      const char *Text = Next();
-      char *End = nullptr;
-      Opts.Scale = std::strtod(Text, &End);
-      if (End == Text || *End != '\0' || !(Opts.Scale > 0.0)) {
-        std::fprintf(stderr, "error: invalid --scale '%s' (need a finite "
-                             "number > 0)\n",
-                     Text);
-        std::exit(2);
-      }
-    } else if (Arg == "--seeds") {
-      Opts.Seeds = std::strtoull(Next(), nullptr, 10);
-    } else if (Arg == "--filter") {
-      Opts.Filters.push_back(Next());
-    } else if (Arg == "--out") {
-      Opts.OutPath = Next();
-    } else if (Arg == "--timing") {
-      Opts.Timing = true;
-    } else if (Arg == "--lint-timing") {
-      Opts.LintTimingPath = Next();
-    } else if (Arg == "--list") {
-      Opts.List = true;
-    } else if (Arg == "--quiet") {
-      Opts.Quiet = true;
-    } else if (Arg == "--serve") {
-      Opts.ServeAddr = Next();
-    } else if (Arg == "--workers") {
-      Opts.Workers = static_cast<unsigned>(std::strtoul(Next(), nullptr, 10));
-    } else if (Arg == "--worker") {
-      Opts.WorkerAddr = Next();
-    } else if (Arg == "--job-timeout") {
-      Opts.JobTimeoutMs =
-          static_cast<uint32_t>(std::strtoul(Next(), nullptr, 10));
-    } else if (Arg == "--idle-timeout") {
-      Opts.IdleTimeoutMs =
-          static_cast<uint32_t>(std::strtoul(Next(), nullptr, 10));
-    } else if (Arg == "--diff") {
-      Opts.DiffA = Next();
-      Opts.DiffB = Next();
-    } else if (Arg == "--threshold") {
-      const char *Text = Next();
-      char *End = nullptr;
-      Opts.ThresholdPct = std::strtod(Text, &End);
-      if (End == Text || *End != '\0' || Opts.ThresholdPct < 0.0) {
-        std::fprintf(stderr,
-                     "error: invalid --threshold '%s' (need a number >= 0)\n",
-                     Text);
-        std::exit(2);
-      }
-    } else if (Arg == "--wall-threshold") {
-      const char *Text = Next();
-      char *End = nullptr;
-      Opts.WallThresholdPct = std::strtod(Text, &End);
-      if (End == Text || *End != '\0' || Opts.WallThresholdPct < 0.0) {
-        std::fprintf(
-            stderr,
-            "error: invalid --wall-threshold '%s' (need a number >= 0)\n",
-            Text);
-        std::exit(2);
-      }
-    } else {
-      usage(Argv[0]);
-    }
-  }
+  const char *Binary = Argv[0];
+  cli::OptionSet Set([Binary] { usage(Binary); });
+  Set.uns("--jobs", Opts.Jobs)
+      .positiveDouble("--scale", Opts.Scale)
+      .u64("--seeds", Opts.Seeds)
+      .strList("--filter", Opts.Filters)
+      .str("--out", Opts.OutPath)
+      .flag("--timing", Opts.Timing)
+      .str("--lint-timing", Opts.LintTimingPath)
+      .flag("--list", Opts.List)
+      .flag("--quiet", Opts.Quiet)
+      .str("--serve", Opts.ServeAddr)
+      .uns("--workers", Opts.Workers)
+      .str("--worker", Opts.WorkerAddr)
+      .u32("--job-timeout", Opts.JobTimeoutMs)
+      .u32("--idle-timeout", Opts.IdleTimeoutMs)
+      .strPair("--diff", Opts.DiffA, Opts.DiffB)
+      .nonNegativeDouble("--threshold", Opts.ThresholdPct)
+      .nonNegativeDouble("--wall-threshold", Opts.WallThresholdPct);
+  Set.parse(Argc, Argv);
   if (!Opts.WorkerAddr.empty() &&
       (!Opts.ServeAddr.empty() || Opts.Workers != 0 || !Opts.DiffA.empty())) {
     std::fprintf(stderr,

@@ -20,6 +20,8 @@
 //     --pair                enable the bounded temporal pair-table prefetcher
 //     --duel                wrap the enabled prefetchers (or, alone, all
 //                           four) in the per-region dueling selector
+//     --adaptive            closed-loop per-stream degree/distance tuning
+//                           (docs/tuning.md)
 //     --pin                 static-scheme model (pin first optimization)
 //     --verbose             per-cycle stream reports to stderr
 //     --compare             also run the original program and report %
@@ -37,6 +39,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "cli/Options.h"
 #include "core/Runtime.h"
 #include "obs/CycleAccount.h"
 #include "prefetch/Prefetcher.h"
@@ -66,11 +69,8 @@ struct Options {
   uint64_t Iterations = 0; // 0 = workload default * Scale
   double Scale = 1.0;
   uint32_t HeadLength = 2;
-  bool Stride = false;
-  bool Markov = false;
-  bool Stream = false;
-  bool Pair = false;
-  bool Duel = false;
+  prefetch::PrefetcherSelection Prefetchers;
+  bool Tuned = false;
   bool Pin = false;
   bool Verbose = false;
   bool Compare = false;
@@ -82,91 +82,70 @@ struct Options {
 };
 
 [[noreturn]] void usage(const char *Binary) {
+  const std::string Modes = runModeTokenList();
+  const std::string Workloads = [] {
+    std::string Out;
+    for (const std::string &Name : workloads::allWorkloadNames()) {
+      if (!Out.empty())
+        Out += ' ';
+      Out += Name;
+    }
+    return Out;
+  }();
   std::fprintf(
       stderr,
       "usage: %s [--workload NAME] [--mode MODE] [--iterations N]\n"
-      "          [--scale F] [--headlen N] [--stride] [--markov]\n"
-      "          [--stream] [--pair] [--duel]\n"
-      "          [--pin] [--verbose] [--compare] [--report]\n"
+      "          [--scale F] [--headlen N]%s\n"
+      "          [%s] [--pin] [--verbose] [--compare] [--report]\n"
       "          [--trace-events FILE]\n"
       "          [--dump-trace FILE] [--record FILE] [--replay FILE]\n"
-      "modes: original base prof hds nopref seqpref dynpref\n"
-      "workloads: vpr mcf twolf parser vortex boxsim twophase\n",
-      Binary);
+      "modes: %s\n"
+      "workloads: %s\n",
+      Binary, cli::prefetcherFlagsUsage().c_str(), cli::TunedFlag,
+      Modes.c_str(), Workloads.c_str());
   std::exit(1);
-}
-
-bool parseMode(const std::string &Name, RunMode &Mode) {
-  if (Name == "original")
-    Mode = RunMode::Original;
-  else if (Name == "base")
-    Mode = RunMode::ChecksOnly;
-  else if (Name == "prof")
-    Mode = RunMode::Profile;
-  else if (Name == "hds")
-    Mode = RunMode::ProfileAnalyze;
-  else if (Name == "nopref")
-    Mode = RunMode::MatchNoPrefetch;
-  else if (Name == "seqpref")
-    Mode = RunMode::SequentialPrefetch;
-  else if (Name == "dynpref")
-    Mode = RunMode::DynamicPrefetch;
-  else
-    return false;
-  return true;
 }
 
 Options parseOptions(int Argc, char **Argv) {
   Options Opts;
-  for (int I = 1; I < Argc; ++I) {
-    const std::string Arg = Argv[I];
-    auto Next = [&]() -> const char * {
-      if (I + 1 >= Argc)
-        usage(Argv[0]);
-      return Argv[++I];
-    };
-    if (Arg == "--workload")
-      Opts.Workload = Next();
-    else if (Arg == "--mode") {
-      if (!parseMode(Next(), Opts.Mode))
-        usage(Argv[0]);
-    } else if (Arg == "--iterations")
-      Opts.Iterations = std::strtoull(Next(), nullptr, 10);
-    else if (Arg == "--scale")
-      Opts.Scale = std::atof(Next());
-    else if (Arg == "--headlen")
-      Opts.HeadLength = static_cast<uint32_t>(std::strtoul(Next(), nullptr,
-                                                           10));
-    else if (Arg == "--stride")
-      Opts.Stride = true;
-    else if (Arg == "--markov")
-      Opts.Markov = true;
-    else if (Arg == "--stream")
-      Opts.Stream = true;
-    else if (Arg == "--pair")
-      Opts.Pair = true;
-    else if (Arg == "--duel")
-      Opts.Duel = true;
-    else if (Arg == "--pin")
-      Opts.Pin = true;
-    else if (Arg == "--verbose")
-      Opts.Verbose = true;
-    else if (Arg == "--report")
-      Opts.Report = true;
-    else if (Arg == "--trace-events")
-      Opts.TraceEvents = Next();
-    else if (Arg == "--dump-trace")
-      Opts.DumpTrace = Next();
-    else if (Arg == "--record")
-      Opts.RecordTo = Next();
-    else if (Arg == "--replay")
-      Opts.ReplayFrom = Next();
-    else if (Arg == "--compare")
-      Opts.Compare = true;
-    else
-      usage(Argv[0]);
-  }
+  const char *Binary = Argv[0];
+  cli::OptionSet Set([Binary] { usage(Binary); });
+  Set.str("--workload", Opts.Workload)
+      .runMode("--mode", Opts.Mode)
+      .u64("--iterations", Opts.Iterations)
+      .looseDouble("--scale", Opts.Scale)
+      .u32("--headlen", Opts.HeadLength)
+      .flag("--pin", Opts.Pin)
+      .flag("--verbose", Opts.Verbose)
+      .flag("--report", Opts.Report)
+      .flag("--compare", Opts.Compare)
+      .str("--trace-events", Opts.TraceEvents)
+      .str("--dump-trace", Opts.DumpTrace)
+      .str("--record", Opts.RecordTo)
+      .str("--replay", Opts.ReplayFrom);
+  cli::addPrefetcherFlags(Set, Opts.Prefetchers);
+  cli::addTunedFlag(Set, Opts.Tuned);
+  Set.parse(Argc, Argv);
   return Opts;
+}
+
+/// " +stride +markov ... +pinned +tuned" — the report's mode-line
+/// suffix for the enabled features (legacy spelling and order).
+std::string featureSuffix(const prefetch::PrefetcherSelection &Selection,
+                          bool Pin, bool Tuned) {
+  std::string Out;
+  for (unsigned I = 0; I < prefetch::PrefetcherSelection::NumKinds; ++I) {
+    const auto K = static_cast<prefetch::Prefetcher::Kind>(I);
+    if (Selection.has(K)) {
+      Out += " +";
+      Out += prefetch::Prefetcher::kindToken(K);
+    }
+  }
+  if (Pin)
+    Out += " +pinned";
+  if (Tuned)
+    Out += " +tuned";
+  return Out;
 }
 
 /// RuntimeObserver that prints the reference stream as "pc:addr" tokens —
@@ -396,11 +375,8 @@ uint64_t runConfigured(const Options &Opts, RunMode Mode, bool Report) {
   OptimizerConfig Config;
   Config.Mode = Mode;
   Config.Dfsm.HeadLength = Opts.HeadLength;
-  Config.Prefetchers.Stride = Opts.Stride;
-  Config.Prefetchers.Markov = Opts.Markov;
-  Config.Prefetchers.Stream = Opts.Stream;
-  Config.Prefetchers.Pair = Opts.Pair;
-  Config.Prefetchers.Duel = Opts.Duel;
+  Config.Prefetchers.Enabled = Opts.Prefetchers;
+  Config.Tuning.Enabled = Opts.Tuned;
   Config.PinFirstOptimization = Opts.Pin;
   Config.VerboseAnalysis = Opts.Verbose;
 
@@ -477,10 +453,8 @@ uint64_t runConfigured(const Options &Opts, RunMode Mode, bool Report) {
 
   std::printf("workload:   %s (%llu iterations)\n", Opts.Workload.c_str(),
               (unsigned long long)Iterations);
-  std::printf("mode:       %s%s%s%s%s%s%s\n", runModeName(Mode),
-              Opts.Stride ? " +stride" : "", Opts.Markov ? " +markov" : "",
-              Opts.Stream ? " +stream" : "", Opts.Pair ? " +pair" : "",
-              Opts.Duel ? " +duel" : "", Opts.Pin ? " +pinned" : "");
+  std::printf("mode:       %s%s\n", runModeName(Mode),
+              featureSuffix(Opts.Prefetchers, Opts.Pin, Opts.Tuned).c_str());
   std::printf("cycles:     %llu\n", (unsigned long long)Rt.cycles());
   std::printf("accesses:   %llu (%.2f cycles/access)\n",
               (unsigned long long)Stats.TotalAccesses,
@@ -570,10 +544,10 @@ int replayRecordedTrace(const std::string &Path) {
   const replay::ReplayResult Result = replay::replayTrace(T);
   std::printf("workload:   %s (%llu iterations, recorded)\n",
               T.Meta.Workload.c_str(), (unsigned long long)T.Meta.Iterations);
-  std::printf("mode:       %s%s%s%s%s%s%s\n", runModeName(T.Meta.Mode),
-              T.Meta.Stride ? " +stride" : "", T.Meta.Markov ? " +markov" : "",
-              T.Meta.Stream ? " +stream" : "", T.Meta.Pair ? " +pair" : "",
-              T.Meta.Duel ? " +duel" : "", T.Meta.Pin ? " +pinned" : "");
+  std::printf("mode:       %s%s\n", runModeName(T.Meta.Mode),
+              featureSuffix(T.Meta.Prefetchers, T.Meta.Pin,
+                            /*Tuned=*/false)
+                  .c_str());
   std::printf("events:     %zu replayed\n", T.Events.size());
   std::printf("cycles:     %llu recorded, %llu replayed\n",
               (unsigned long long)T.Summary.Cycles,
