@@ -6,11 +6,6 @@
 
 #include "engine/Executor.h"
 
-#include "engine/JobScheduler.h"
-
-#include <cerrno>
-#include <sys/wait.h>
-#include <unistd.h>
 #include <utility>
 
 using namespace hds;
@@ -32,60 +27,4 @@ std::vector<RunResult> Executor::run(
     if (Results[Index].State == RunResult::Status::Cancelled)
       Results[Index].Spec = Specs[Index];
   return Results;
-}
-
-void LocalExecutor::runAll(std::span<const ExperimentSpec> Specs,
-                           ResultSink &Sink) {
-  JobScheduler Scheduler(Opts.Jobs);
-  for (std::size_t Index = 0; Index < Specs.size(); ++Index) {
-    const ExperimentSpec &Spec = Specs[Index];
-    const std::atomic<bool> *Cancel = Opts.CancelRequested;
-    Scheduler.submit([Index, &Spec, &Sink, Cancel, &Scheduler] {
-      if (Cancel && Cancel->load(std::memory_order_relaxed)) {
-        // Drop everything still queued too, so cancellation takes
-        // effect promptly instead of once per remaining job.
-        Scheduler.cancel();
-        RunResult Cancelled;
-        Cancelled.Spec = Spec;
-        Sink.deliver(Index, std::move(Cancelled));
-        return;
-      }
-      Sink.deliver(Index, runExperiment(Spec));
-    });
-  }
-  Scheduler.wait();
-}
-
-SocketExecutor::SocketExecutor(const Options &OptsIn)
-    : Opts(OptsIn), Dispatch(OptsIn.Coordinator) {
-  Listening = Dispatch.listen();
-}
-
-void SocketExecutor::runAll(std::span<const ExperimentSpec> Specs,
-                            ResultSink &Sink) {
-  // Forked before serve() starts any service thread, so each child is a
-  // clean single-threaded process running the worker loop.
-  std::vector<pid_t> Children;
-  if (Listening) {
-    for (unsigned I = 0; I < Opts.ForkedWorkers; ++I) {
-      const pid_t Child = ::fork();
-      if (Child == 0) {
-        const WorkerExit Exit = runWorker(Dispatch.boundAddress(), Opts.Worker);
-        ::_exit(Exit == WorkerExit::CleanShutdown ? 0 : 1);
-      }
-      if (Child > 0)
-        Children.push_back(Child);
-      // fork() failure: serve() still runs — external workers may
-      // connect, and the idle deadline bounds the no-worker case.
-    }
-  }
-
-  // An unbound coordinator resolves every slot as an error (never hangs).
-  Dispatch.serve(Specs, Sink);
-
-  for (const pid_t Child : Children) {
-    int WaitStatus = 0;
-    while (::waitpid(Child, &WaitStatus, 0) < 0 && errno == EINTR) {
-    }
-  }
 }

@@ -8,42 +8,31 @@
 /// The unified execution surface for experiment matrices.  Callers name
 /// *what* to run (a span of ExperimentSpecs) and *where results land*
 /// (a ResultSink); an Executor implementation decides *how* the specs
-/// are executed:
+/// are executed.  Implementations are constructed through the factory
+/// functions in engine/ExecutorFactory.h — makeLocal() for the
+/// in-process thread pool, makeFleet() for the socket-served fleet
+/// service (src/fleet/) — never instantiated directly.
 ///
-///   * LocalExecutor  — shards across an in-process JobScheduler thread
-///     pool (the historical runMatrix path).
-///   * SocketExecutor — serves the specs to worker processes over
-///     loopback TCP or Unix-domain sockets (engine/Coordinator.h),
-///     optionally forking local workers for single-machine convenience.
-///
-/// Both implementations deliver into the same index-addressed sink, so
+/// Every implementation delivers into the same index-addressed sink, so
 /// for a fixed spec list the merged results — and the JSON serialized
 /// from them — are byte-identical whichever executor ran the matrix and
-/// however its work was interleaved.  That equality is enforced by
-/// tier-1 tests (tests/distributed_test.cpp, tool_matrix_distributed_
-/// deterministic).
-///
-/// This interface replaces the former runMatrix()/MatrixOptions free
-/// functions, which were removed in the same change that introduced it;
-/// progress callbacks live on the sink (ResultSink::setCallback) and
-/// cancellation is a LocalExecutor option.
+/// however its work was interleaved, including a fleet run interrupted
+/// and resumed from its checkpoint journal.  That equality is enforced
+/// by tier-1 tests (tests/distributed_test.cpp, tool_matrix_distributed_
+/// deterministic, tool_fleet_resume_identical).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef HDS_ENGINE_EXECUTOR_H
 #define HDS_ENGINE_EXECUTOR_H
 
-#include "engine/Coordinator.h"
 #include "engine/ExperimentRunner.h"
 #include "engine/ExperimentSpec.h"
 #include "engine/ResultSink.h"
-#include "engine/Worker.h"
 
-#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <span>
-#include <string>
 #include <vector>
 
 namespace hds {
@@ -55,8 +44,8 @@ public:
   virtual ~Executor();
 
   /// Executes every spec, delivering each result into the sink slot of
-  /// its spec index.  Returns once every slot is resolved (LocalExecutor
-  /// leaves cancelled jobs' slots unfilled; the sink reports them as
+  /// its spec index.  Returns once every slot is resolved (cancelled or
+  /// drained jobs' slots stay unfilled; the sink reports them as
   /// Status::Cancelled).
   virtual void runAll(std::span<const ExperimentSpec> Specs,
                       ResultSink &Sink) = 0;
@@ -69,59 +58,6 @@ public:
   std::vector<RunResult>
   run(std::span<const ExperimentSpec> Specs,
       std::function<void(std::size_t, const RunResult &)> OnResult = nullptr);
-};
-
-/// In-process execution across a JobScheduler worker pool.
-class LocalExecutor : public Executor {
-public:
-  struct Options {
-    /// Worker threads (clamped to at least 1).
-    unsigned Jobs = 1;
-    /// When non-null and set, jobs that have not started yet finish as
-    /// Status::Cancelled instead of running.  Running jobs complete.
-    const std::atomic<bool> *CancelRequested = nullptr;
-  };
-
-  LocalExecutor() = default;
-  explicit LocalExecutor(const Options &OptsIn) : Opts(OptsIn) {}
-
-  void runAll(std::span<const ExperimentSpec> Specs,
-              ResultSink &Sink) override;
-
-private:
-  Options Opts;
-};
-
-/// Distributed execution through a Coordinator.  Construction binds the
-/// listener; check valid() before runAll (an invalid executor resolves
-/// every job as an error rather than hanging).
-class SocketExecutor : public Executor {
-public:
-  struct Options {
-    CoordinatorOptions Coordinator;
-    /// Convenience mode: fork this many local worker processes that
-    /// connect back over the listen address.  0 = external workers only
-    /// (start them with `hds_matrix --worker <addr>`).
-    unsigned ForkedWorkers = 0;
-    /// Options for the forked workers.
-    WorkerOptions Worker;
-  };
-
-  explicit SocketExecutor(const Options &OptsIn);
-
-  /// False when the listener failed to bind; error() says why.
-  bool valid() const { return Listening; }
-  const std::string &error() const { return Dispatch.error(); }
-  /// The address workers should connect to (real port for ":0").
-  const std::string &boundAddress() const { return Dispatch.boundAddress(); }
-
-  void runAll(std::span<const ExperimentSpec> Specs,
-              ResultSink &Sink) override;
-
-private:
-  Options Opts;
-  Coordinator Dispatch;
-  bool Listening = false;
 };
 
 } // namespace engine

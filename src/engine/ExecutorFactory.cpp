@@ -1,0 +1,56 @@
+//===- engine/ExecutorFactory.cpp - Executor construction -----------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/ExecutorFactory.h"
+
+#include "engine/JobScheduler.h"
+
+#include <utility>
+
+using namespace hds;
+using namespace hds::engine;
+
+namespace {
+
+/// In-process execution across a JobScheduler worker pool.  Private to
+/// the factory: callers only ever see the Executor interface.
+class LocalExecutor final : public Executor {
+public:
+  LocalExecutor(unsigned JobsIn, const std::atomic<bool> *CancelIn)
+      : Jobs(JobsIn), CancelRequested(CancelIn) {}
+
+  void runAll(std::span<const ExperimentSpec> Specs,
+              ResultSink &Sink) override {
+    JobScheduler Scheduler(Jobs);
+    for (std::size_t Index = 0; Index < Specs.size(); ++Index) {
+      const ExperimentSpec &Spec = Specs[Index];
+      const std::atomic<bool> *Cancel = CancelRequested;
+      Scheduler.submit([Index, &Spec, &Sink, Cancel, &Scheduler] {
+        if (Cancel && Cancel->load(std::memory_order_relaxed)) {
+          // Drop everything still queued too, so cancellation takes
+          // effect promptly instead of once per remaining job.
+          Scheduler.cancel();
+          RunResult Cancelled;
+          Cancelled.Spec = Spec;
+          Sink.deliver(Index, std::move(Cancelled));
+          return;
+        }
+        Sink.deliver(Index, runExperiment(Spec));
+      });
+    }
+    Scheduler.wait();
+  }
+
+private:
+  unsigned Jobs;
+  const std::atomic<bool> *CancelRequested;
+};
+
+} // namespace
+
+std::unique_ptr<Executor> hds::engine::makeLocal(const FleetConfig &Config) {
+  return std::make_unique<LocalExecutor>(Config.Jobs, Config.CancelRequested);
+}

@@ -1,0 +1,110 @@
+//===- engine/ExecutorFactory.h - Executor construction --------*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one way to obtain an Executor (engine/Executor.h).  A single
+/// FleetConfig value names everything any execution mode can want —
+/// local thread count, listen address, worker forking, timeouts, the
+/// shared auth token, heartbeat cadence, and the checkpoint journal —
+/// and the two factories interpret the slice they care about:
+///
+///   * makeLocal() — in-process JobScheduler pool; uses Jobs and
+///     CancelRequested, ignores the rest.  Never fails.
+///   * makeFleet() — the socket-served fleet service (src/fleet/):
+///     binds ListenAddr, forks ForkedWorkers local workers, admits
+///     external ones through the authenticated hello, and (when
+///     CheckpointPath is set) journals completed cells for
+///     crash/resume.  Defined in the hds_fleet library — callers of
+///     makeFleet() must link it.
+///
+/// The concrete executor types are implementation details and are not
+/// part of the public API; the old LocalExecutor/SocketExecutor classes
+/// were removed when this factory was introduced.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_ENGINE_EXECUTORFACTORY_H
+#define HDS_ENGINE_EXECUTORFACTORY_H
+
+#include "engine/Executor.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace hds {
+namespace fleet {
+class FleetEvents;
+} // namespace fleet
+
+namespace engine {
+
+/// Everything an executor can be asked for, as one value type.  Fields
+/// irrelevant to a given factory are ignored, so one config can be
+/// threaded through a CLI and handed to whichever factory the flags
+/// select.
+struct FleetConfig {
+  //===--- local execution --------------------------------------------===//
+  /// Worker threads for makeLocal (clamped to at least 1).
+  unsigned Jobs = 1;
+  /// When non-null and set: makeLocal cancels jobs that have not started
+  /// yet; makeFleet drains — stops assigning, finishes (and journals)
+  /// in-flight cells, reports the rest Cancelled.
+  const std::atomic<bool> *CancelRequested = nullptr;
+
+  //===--- fleet service ----------------------------------------------===//
+  /// "host:port" (port 0 = ephemeral) or "unix:/path".  Non-loopback
+  /// requires AllowNonLoopback plus a Token (docs/fleet.md).
+  std::string ListenAddr = "127.0.0.1:0";
+  /// Local worker processes forked by the executor; 0 = external
+  /// workers only (start them with `hds_fleet worker <addr>`).
+  unsigned ForkedWorkers = 0;
+  /// Per-job result deadline before the coordinator re-queues.
+  uint32_t JobTimeoutMs = 120000;
+  /// Give-up deadline with unresolved jobs and zero workers.
+  uint32_t IdleTimeoutMs = 30000;
+  /// Re-dispatches per job before it resolves as an error.
+  unsigned RetryBudget = 2;
+  /// Shared secret for the authenticated hello (empty = loopback
+  /// default: liveness/version proof only).
+  std::string Token;
+  /// Opt-in gate for non-loopback TCP listeners.
+  bool AllowNonLoopback = false;
+  /// Worker heartbeat cadence; 0 disables liveness tracking.
+  uint32_t HeartbeatIntervalMs = 1000;
+  /// Quiet intervals before a worker is declared dead.
+  unsigned HeartbeatMisses = 5;
+
+  //===--- checkpoint/resume ------------------------------------------===//
+  /// When non-empty, makeFleet journals completed cells here.
+  std::string CheckpointPath;
+  /// Resume from an existing CheckpointPath journal instead of starting
+  /// one: completed cells are restored, only the remainder is served.
+  bool Resume = false;
+
+  /// Lifecycle observer for fleet runs (may be null; not owned).
+  fleet::FleetEvents *Events = nullptr;
+};
+
+/// In-process execution across a JobScheduler pool.  Never fails.
+std::unique_ptr<Executor> makeLocal(const FleetConfig &Config = FleetConfig());
+
+/// Fleet execution through a coordinator listening on Config.ListenAddr.
+/// On failure (bad address, refused non-loopback, unreadable checkpoint)
+/// returns nullptr and sets \p Error.  On success, \p BoundAddress (when
+/// non-null) receives the address workers should connect to — the real
+/// ephemeral port when ListenAddr asked for port 0.
+///
+/// Defined in the hds_fleet library (src/fleet/FleetExecutor.cpp).
+std::unique_ptr<Executor> makeFleet(const FleetConfig &Config,
+                                    std::string *BoundAddress = nullptr,
+                                    std::string *Error = nullptr);
+
+} // namespace engine
+} // namespace hds
+
+#endif // HDS_ENGINE_EXECUTORFACTORY_H

@@ -59,7 +59,7 @@ uint32_t readU32At(const uint8_t *Data) {
 
 bool knownFrameType(uint8_t Type) {
   return Type >= static_cast<uint8_t>(FrameType::Hello) &&
-         Type <= static_cast<uint8_t>(FrameType::Shutdown);
+         Type <= static_cast<uint8_t>(FrameType::CheckpointHeader);
 }
 
 } // namespace
@@ -208,6 +208,13 @@ enum ResultTag : uint8_t {
   ResultStreams = 12,
   ResultWallTiming = 13,
   ResultPrefetchers = 14,
+};
+
+// hds-schema-enum
+enum HelloTag : uint8_t {
+  HelloEnd = 0,
+  HelloCores = 1,
+  HelloMemoryBudgetMB = 2,
 };
 
 constexpr uint64_t FlagStride = 1u << 0;
@@ -484,6 +491,109 @@ std::vector<uint8_t> wire::encodeResult(uint64_t Index,
 
   Out.push_back(ResultEnd);
   return Out;
+}
+
+void wire::encodeSpec(std::vector<uint8_t> &Out, const ExperimentSpec &Spec) {
+  encodeSpecFields(Out, Spec);
+}
+
+bool wire::decodeSpec(Reader &R, ExperimentSpec &Spec, std::string &Error) {
+  return decodeSpecFields(R, Spec, Error);
+}
+
+std::vector<uint8_t> wire::encodeHello(const HelloInfo &Info) {
+  std::vector<uint8_t> Out;
+  appendTagU64(Out, HelloCores, Info.Cores);
+  appendTagU64(Out, HelloMemoryBudgetMB, Info.MemoryBudgetMB);
+  Out.push_back(HelloEnd);
+  return Out;
+}
+
+bool wire::decodeHello(const std::vector<uint8_t> &Payload, HelloInfo &Info,
+                       std::string &Error) {
+  Reader R(Payload);
+  uint64_t Seen = 0;
+  for (;;) {
+    uint8_t Tag = 0;
+    if (!R.readU8(Tag)) {
+      Error = "hello truncated before end tag";
+      return false;
+    }
+    if (Tag == HelloEnd)
+      break;
+    if (Tag > HelloMemoryBudgetMB) {
+      Error = "unknown hello field tag " + std::to_string(Tag);
+      return false;
+    }
+    if ((Seen & (uint64_t{1} << Tag)) != 0) {
+      Error = "duplicate hello field tag " + std::to_string(Tag);
+      return false;
+    }
+    Seen |= uint64_t{1} << Tag;
+    uint64_t Value = 0;
+    if (!R.readU64(Value)) {
+      Error = "hello field " + std::to_string(Tag) + " truncated";
+      return false;
+    }
+    if (Tag == HelloCores)
+      Info.Cores = Value;
+    else
+      Info.MemoryBudgetMB = Value;
+  }
+  const uint64_t AllHelloTags =
+      (uint64_t{1} << HelloCores) | (uint64_t{1} << HelloMemoryBudgetMB);
+  if (Seen != AllHelloTags) {
+    Error = "hello is missing mandatory fields";
+    return false;
+  }
+  if (!R.atEnd()) {
+    Error = "trailing bytes after hello";
+    return false;
+  }
+  return true;
+}
+
+std::vector<uint8_t> wire::encodeChallenge(uint64_t NonceHi,
+                                           uint64_t NonceLo) {
+  std::vector<uint8_t> Out;
+  appendU64(Out, NonceHi);
+  appendU64(Out, NonceLo);
+  return Out;
+}
+
+bool wire::decodeChallenge(const std::vector<uint8_t> &Payload,
+                           uint64_t &NonceHi, uint64_t &NonceLo,
+                           std::string &Error) {
+  Reader R(Payload);
+  if (!R.readU64(NonceHi) || !R.readU64(NonceLo)) {
+    Error = "challenge payload truncated";
+    return false;
+  }
+  if (!R.atEnd()) {
+    Error = "trailing bytes after challenge";
+    return false;
+  }
+  return true;
+}
+
+std::vector<uint8_t> wire::encodeAuthProof(uint64_t Digest) {
+  std::vector<uint8_t> Out;
+  appendU64(Out, Digest);
+  return Out;
+}
+
+bool wire::decodeAuthProof(const std::vector<uint8_t> &Payload,
+                           uint64_t &Digest, std::string &Error) {
+  Reader R(Payload);
+  if (!R.readU64(Digest)) {
+    Error = "auth proof payload truncated";
+    return false;
+  }
+  if (!R.atEnd()) {
+    Error = "trailing bytes after auth proof";
+    return false;
+  }
+  return true;
 }
 
 bool wire::decodeResult(const std::vector<uint8_t> &Payload, uint64_t &Index,

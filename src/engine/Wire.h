@@ -49,7 +49,12 @@ namespace wire {
 /// payloads; stream/pair/duel prefetcher spec flags.
 /// v5: tuned spec flag (closed-loop degree/distance control); tuning
 /// gauges appended to the stream and prefetcher counter blocks.
-constexpr uint8_t ProtocolVersion = 5;
+/// v6: fleet service — Hello carries worker capabilities, the
+/// Challenge/AuthProof frames implement the authenticated hello
+/// (docs/fleet.md, "Trust model"), Heartbeat frames carry liveness, and
+/// CheckpointHeader opens an on-disk checkpoint journal (never sent
+/// over a socket).
+constexpr uint8_t ProtocolVersion = 6;
 
 /// First two frame bytes; a cheap guard against cross-protocol garbage.
 constexpr uint8_t Magic0 = 0x48; // 'H'
@@ -66,8 +71,10 @@ constexpr std::size_t TrailerBytes = 4;
 
 // hds-schema-enum, hds-exhaustive
 enum class FrameType : uint8_t {
-  /// Worker → coordinator, once after connecting.  Empty payload; the
-  /// version byte in the frame header is the handshake.
+  /// Worker → coordinator, once after connecting.  Tagged worker
+  /// capabilities (v6); the version byte in the frame header is the
+  /// first half of the handshake, the Challenge/AuthProof exchange the
+  /// second.
   Hello = 1,
   /// Worker → coordinator: "give me a job".  Empty payload.
   JobRequest = 2,
@@ -77,6 +84,20 @@ enum class FrameType : uint8_t {
   Result = 4,
   /// Coordinator → worker: matrix resolved, disconnect cleanly.
   Shutdown = 5,
+  /// Coordinator → worker: 16-byte anti-replay nonce; the worker must
+  /// answer with AuthProof before any job flows (v6).
+  Challenge = 6,
+  /// Worker → coordinator: keyed digest over (token, nonce, version) —
+  /// see fleet/Auth.h for the construction and docs/fleet.md for what
+  /// it does and does not defend against (v6).
+  AuthProof = 7,
+  /// Worker → coordinator: liveness beacon sent on an interval from a
+  /// side thread even while a job is running.  Empty payload (v6).
+  Heartbeat = 8,
+  /// First frame of an on-disk checkpoint journal, never sent over a
+  /// socket: matrix fingerprint + the full spec list, so `hds_fleet
+  /// resume` can rebuild the matrix from the journal alone (v6).
+  CheckpointHeader = 9,
 };
 
 struct Frame {
@@ -145,6 +166,34 @@ bool decodeAssign(const std::vector<uint8_t> &Payload, uint64_t &Index,
 std::vector<uint8_t> encodeResult(uint64_t Index, const RunResult &Result);
 bool decodeResult(const std::vector<uint8_t> &Payload, uint64_t &Index,
                   RunResult &Result, std::string &Error);
+
+/// One tagged ExperimentSpec field block — the spec section of an Assign
+/// payload, exposed so the checkpoint journal header (fleet/Checkpoint.h)
+/// and the matrix fingerprint reuse the exact Assign byte encoding.
+void encodeSpec(std::vector<uint8_t> &Out, const ExperimentSpec &Spec);
+bool decodeSpec(Reader &R, ExperimentSpec &Spec, std::string &Error);
+
+/// Worker capability announcement carried by Hello (v6).  Zero means
+/// "not declared"; capabilities inform the registry, never scheduling —
+/// assignment stays pull-style so the aggregate bytes cannot depend on
+/// fleet shape.
+struct HelloInfo {
+  uint64_t Cores = 0;
+  uint64_t MemoryBudgetMB = 0;
+};
+std::vector<uint8_t> encodeHello(const HelloInfo &Info);
+bool decodeHello(const std::vector<uint8_t> &Payload, HelloInfo &Info,
+                 std::string &Error);
+
+/// Challenge payload: the 16-byte anti-replay nonce, hi then lo word.
+std::vector<uint8_t> encodeChallenge(uint64_t NonceHi, uint64_t NonceLo);
+bool decodeChallenge(const std::vector<uint8_t> &Payload, uint64_t &NonceHi,
+                     uint64_t &NonceLo, std::string &Error);
+
+/// AuthProof payload: the worker's keyed digest (fleet/Auth.h).
+std::vector<uint8_t> encodeAuthProof(uint64_t Digest);
+bool decodeAuthProof(const std::vector<uint8_t> &Payload, uint64_t &Digest,
+                     std::string &Error);
 
 } // namespace wire
 } // namespace engine

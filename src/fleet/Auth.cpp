@@ -1,0 +1,132 @@
+//===- fleet/Auth.cpp - Authenticated hello for the fleet service ---------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/Auth.h"
+
+#include <cstddef>
+#include <cstring>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+using namespace hds;
+using namespace hds::fleet;
+
+namespace {
+
+uint64_t rotl64(uint64_t X, int B) { return (X << B) | (X >> (64 - B)); }
+
+/// SipHash-2-4 over \p Data with key (K0, K1).  Reference construction
+/// (Aumasson & Bernstein), enough for a keyed 64-bit MAC over the tiny
+/// handshake message.
+uint64_t siphash24(uint64_t K0, uint64_t K1, const uint8_t *Data,
+                   std::size_t Size) {
+  uint64_t V0 = 0x736f6d6570736575ULL ^ K0;
+  uint64_t V1 = 0x646f72616e646f6dULL ^ K1;
+  uint64_t V2 = 0x6c7967656e657261ULL ^ K0;
+  uint64_t V3 = 0x7465646279746573ULL ^ K1;
+
+  auto Round = [&] {
+    V0 += V1;
+    V1 = rotl64(V1, 13);
+    V1 ^= V0;
+    V0 = rotl64(V0, 32);
+    V2 += V3;
+    V3 = rotl64(V3, 16);
+    V3 ^= V2;
+    V0 += V3;
+    V3 = rotl64(V3, 21);
+    V3 ^= V0;
+    V2 += V1;
+    V1 = rotl64(V1, 17);
+    V1 ^= V2;
+    V2 = rotl64(V2, 32);
+  };
+
+  const std::size_t Tail = Size & 7u;
+  const uint8_t *End = Data + (Size - Tail);
+  for (const uint8_t *P = Data; P != End; P += 8) {
+    uint64_t M = 0;
+    for (int I = 0; I < 8; ++I)
+      M |= static_cast<uint64_t>(P[I]) << (8 * I);
+    V3 ^= M;
+    Round();
+    Round();
+    V0 ^= M;
+  }
+  uint64_t Last = static_cast<uint64_t>(Size & 0xFFu) << 56;
+  for (std::size_t I = 0; I < Tail; ++I)
+    Last |= static_cast<uint64_t>(End[I]) << (8 * I);
+  V3 ^= Last;
+  Round();
+  Round();
+  V0 ^= Last;
+
+  V2 ^= 0xFF;
+  Round();
+  Round();
+  Round();
+  Round();
+  return V0 ^ V1 ^ V2 ^ V3;
+}
+
+/// FNV-1a 64 with a caller-chosen basis, used only to spread the token
+/// bytes into the two SipHash key words.
+uint64_t fnv64(const std::string &Text, uint64_t Basis) {
+  uint64_t Hash = Basis;
+  for (const char C : Text) {
+    Hash ^= static_cast<uint8_t>(C);
+    Hash *= 0x100000001B3ULL;
+  }
+  return Hash;
+}
+
+/// splitmix64 finalizer: turns correlated integers into well-mixed ones.
+uint64_t mix64(uint64_t X) {
+  X += 0x9E3779B97F4A7C15ULL;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBULL;
+  return X ^ (X >> 31);
+}
+
+} // namespace
+
+AuthNonce fleet::makeNonce(uint64_t Salt) {
+  uint64_t Words[2] = {0, 0};
+  const int Fd = ::open("/dev/urandom", O_RDONLY);
+  if (Fd >= 0) {
+    std::size_t Got = 0;
+    while (Got < sizeof(Words)) {
+      const ssize_t N = ::read(Fd, reinterpret_cast<uint8_t *>(Words) + Got,
+                               sizeof(Words) - Got);
+      if (N <= 0)
+        break;
+      Got += static_cast<std::size_t>(N);
+    }
+    ::close(Fd);
+  }
+  // Fold in the salt and pid even on the happy path: nonces must differ
+  // per connection no matter what the entropy source returned.
+  AuthNonce Nonce;
+  Nonce.Hi = mix64(Words[0] ^ mix64(Salt));
+  Nonce.Lo = mix64(Words[1] ^ mix64(static_cast<uint64_t>(::getpid()) ^
+                                    ~Salt));
+  return Nonce;
+}
+
+uint64_t fleet::proofDigest(const std::string &Token, const AuthNonce &Nonce,
+                            uint8_t ProtocolVersion) {
+  const uint64_t K0 = fnv64(Token, 0xCBF29CE484222325ULL);
+  const uint64_t K1 = fnv64(Token, 0x8422232514650FB0ULL);
+  uint8_t Message[17];
+  for (int I = 0; I < 8; ++I)
+    Message[I] = static_cast<uint8_t>((Nonce.Hi >> (8 * I)) & 0xFFu);
+  for (int I = 0; I < 8; ++I)
+    Message[8 + I] = static_cast<uint8_t>((Nonce.Lo >> (8 * I)) & 0xFFu);
+  Message[16] = ProtocolVersion;
+  return siphash24(K0, K1, Message, sizeof(Message));
+}

@@ -1,0 +1,56 @@
+//===- fleet/Auth.h - Authenticated hello for the fleet service -*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared-token challenge/response behind the fleet handshake
+/// (docs/fleet.md, "Trust model").  The coordinator sends a fresh
+/// 16-byte nonce in a Challenge frame; the worker answers with a keyed
+/// digest over (token, nonce, protocol version) in an AuthProof frame.
+/// The digest is a SipHash-2-4 style keyed hash with the key derived
+/// from the shared token, so a passive observer of one handshake cannot
+/// replay it (the nonce is fresh per connection) and cannot forge proofs
+/// for other nonces without the token.
+///
+/// This is an HMAC-style integrity gate for experiment fleets on
+/// trusted networks, not a reviewed cryptographic protocol: the payload
+/// stream after the handshake is CRC'd but neither encrypted nor
+/// authenticated.  See docs/fleet.md for the full threat model and the
+/// non-loopback gating rules built on top of this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_FLEET_AUTH_H
+#define HDS_FLEET_AUTH_H
+
+#include <cstdint>
+#include <string>
+
+namespace hds {
+namespace fleet {
+
+/// The 16-byte challenge nonce, as two little-endian words on the wire.
+struct AuthNonce {
+  uint64_t Hi = 0;
+  uint64_t Lo = 0;
+};
+
+/// A fresh per-connection nonce.  Reads /dev/urandom and folds \p Salt
+/// (the coordinator's monotone connection id) into the result; when
+/// urandom is unavailable the pid/salt fallback still makes nonces
+/// distinct per connection, which is what replay rejection needs.
+AuthNonce makeNonce(uint64_t Salt);
+
+/// The proof a worker must return for \p Nonce: SipHash-2-4 of the
+/// nonce and \p ProtocolVersion under a key derived from \p Token.
+/// An empty token is legal (the loopback default) — the exchange then
+/// proves liveness and version agreement but not identity.
+uint64_t proofDigest(const std::string &Token, const AuthNonce &Nonce,
+                     uint8_t ProtocolVersion);
+
+} // namespace fleet
+} // namespace hds
+
+#endif // HDS_FLEET_AUTH_H

@@ -1,0 +1,230 @@
+//===- fleet/Checkpoint.cpp - Append-only matrix checkpoint ---------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/Checkpoint.h"
+
+#include "engine/Wire.h"
+
+#include <fstream>
+#include <utility>
+
+using namespace hds;
+using namespace hds::fleet;
+using namespace hds::engine;
+
+uint64_t fleet::matrixFingerprint(std::span<const ExperimentSpec> Specs) {
+  std::vector<uint8_t> Bytes;
+  wire::appendU64(Bytes, Specs.size());
+  for (const ExperimentSpec &Spec : Specs)
+    wire::encodeSpec(Bytes, Spec);
+  const uint32_t Crc = wire::crc32(Bytes.data(), Bytes.size());
+  return (static_cast<uint64_t>(Crc) << 32) |
+         (Specs.size() & 0xFFFFFFFFULL);
+}
+
+namespace {
+
+std::vector<uint8_t>
+encodeHeaderPayload(std::span<const ExperimentSpec> Specs) {
+  std::vector<uint8_t> Out;
+  wire::appendU64(Out, matrixFingerprint(Specs));
+  wire::appendU64(Out, Specs.size());
+  for (const ExperimentSpec &Spec : Specs)
+    wire::encodeSpec(Out, Spec);
+  return Out;
+}
+
+} // namespace
+
+CheckpointWriter::~CheckpointWriter() { close(); }
+
+bool CheckpointWriter::create(const std::string &Path,
+                              std::span<const ExperimentSpec> Specs,
+                              std::string &Error) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (File != nullptr) {
+    Error = "checkpoint journal already open";
+    return false;
+  }
+  File = std::fopen(Path.c_str(), "wb");
+  if (File == nullptr) {
+    Error = "cannot create checkpoint journal '" + Path + "'";
+    return false;
+  }
+  const std::vector<uint8_t> Frame = wire::encodeFrame(
+      wire::FrameType::CheckpointHeader, encodeHeaderPayload(Specs));
+  if (std::fwrite(Frame.data(), 1, Frame.size(), File) != Frame.size() ||
+      std::fflush(File) != 0) {
+    Error = "cannot write checkpoint header to '" + Path + "'";
+    std::fclose(File);
+    File = nullptr;
+    return false;
+  }
+  Records = 0;
+  return true;
+}
+
+bool CheckpointWriter::openAppend(const std::string &Path,
+                                  std::string &Error) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (File != nullptr) {
+    Error = "checkpoint journal already open";
+    return false;
+  }
+  File = std::fopen(Path.c_str(), "ab");
+  if (File == nullptr) {
+    Error = "cannot reopen checkpoint journal '" + Path + "'";
+    return false;
+  }
+  Records = 0;
+  return true;
+}
+
+bool CheckpointWriter::append(std::size_t Index, const RunResult &Result) {
+  if (Result.State != RunResult::Status::Ok)
+    return false;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (File == nullptr)
+    return false;
+  const std::vector<uint8_t> Frame = wire::encodeFrame(
+      wire::FrameType::Result, wire::encodeResult(Index, Result));
+  if (std::fwrite(Frame.data(), 1, Frame.size(), File) != Frame.size())
+    return false;
+  // Per-record flush: a SIGKILL between appends loses at most the torn
+  // tail of the record being written, which the reader drops.
+  if (std::fflush(File) != 0)
+    return false;
+  ++Records;
+  return true;
+}
+
+bool CheckpointWriter::isOpen() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return File != nullptr;
+}
+
+std::size_t CheckpointWriter::records() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Records;
+}
+
+void CheckpointWriter::close() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (File != nullptr) {
+    std::fclose(File);
+    File = nullptr;
+  }
+}
+
+bool fleet::readCheckpoint(const std::string &Path, CheckpointContents &Out,
+                           std::string &Error) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Error = "cannot read checkpoint journal '" + Path + "'";
+    return false;
+  }
+  std::vector<uint8_t> Bytes((std::istreambuf_iterator<char>(In)),
+                             std::istreambuf_iterator<char>());
+  if (Bytes.empty()) {
+    Error = "checkpoint journal '" + Path + "' is empty";
+    return false;
+  }
+
+  std::size_t Pos = 0;
+  bool SawHeader = false;
+  while (Pos < Bytes.size()) {
+    wire::Frame Frame;
+    std::size_t Consumed = 0;
+    std::string DecodeError;
+    const wire::DecodeStatus Status = wire::decodeFrame(
+        Bytes.data() + Pos, Bytes.size() - Pos, Frame, Consumed, DecodeError);
+    if (Status == wire::DecodeStatus::NeedMore) {
+      if (!SawHeader) {
+        Error = "checkpoint journal truncated before its header";
+        return false;
+      }
+      // A coordinator killed mid-append tears exactly the final frame;
+      // drop it and let that cell re-run.
+      Out.TornTail = true;
+      break;
+    }
+    if (Status == wire::DecodeStatus::Malformed) {
+      Error = "malformed checkpoint journal at byte " + std::to_string(Pos) +
+              ": " + DecodeError;
+      return false;
+    }
+    Pos += Consumed;
+
+    if (!SawHeader) {
+      if (Frame.Type != wire::FrameType::CheckpointHeader) {
+        Error = "'" + Path + "' is not a checkpoint journal (first frame "
+                "is not a CheckpointHeader)";
+        return false;
+      }
+      wire::Reader R(Frame.Payload);
+      uint64_t Count = 0;
+      if (!R.readU64(Out.Fingerprint) || !R.readU64(Count)) {
+        Error = "checkpoint header truncated";
+        return false;
+      }
+      // Each spec is several tagged fields; a count beyond the payload
+      // bytes is corruption, not a real matrix.
+      if (Count > Frame.Payload.size()) {
+        Error = "checkpoint header spec count exceeds payload";
+        return false;
+      }
+      Out.Specs.resize(static_cast<std::size_t>(Count));
+      for (ExperimentSpec &Spec : Out.Specs)
+        if (!wire::decodeSpec(R, Spec, DecodeError)) {
+          Error = "checkpoint header spec undecodable: " + DecodeError;
+          return false;
+        }
+      if (!R.atEnd()) {
+        Error = "trailing bytes after checkpoint header";
+        return false;
+      }
+      if (matrixFingerprint(Out.Specs) != Out.Fingerprint) {
+        Error = "checkpoint header fingerprint does not match its specs";
+        return false;
+      }
+      Out.Results.assign(Out.Specs.size(), RunResult{});
+      Out.Resolved.assign(Out.Specs.size(), false);
+      SawHeader = true;
+      continue;
+    }
+
+    if (Frame.Type != wire::FrameType::Result) {
+      Error = "unexpected frame type in checkpoint journal at byte " +
+              std::to_string(Pos - Consumed);
+      return false;
+    }
+    uint64_t Index = 0;
+    RunResult Result;
+    if (!wire::decodeResult(Frame.Payload, Index, Result, DecodeError)) {
+      Error = "undecodable checkpoint record: " + DecodeError;
+      return false;
+    }
+    if (Index >= Out.Specs.size()) {
+      Error = "checkpoint record index " + std::to_string(Index) +
+              " outside the " + std::to_string(Out.Specs.size()) +
+              "-cell matrix";
+      return false;
+    }
+    if (Out.Resolved[static_cast<std::size_t>(Index)]) {
+      Error = "duplicate checkpoint record for cell " + std::to_string(Index);
+      return false;
+    }
+    if (Result.State != RunResult::Status::Ok) {
+      Error = "checkpoint record for cell " + std::to_string(Index) +
+              " is not an ok result";
+      return false;
+    }
+    Out.Resolved[static_cast<std::size_t>(Index)] = true;
+    Out.Results[static_cast<std::size_t>(Index)] = std::move(Result);
+    ++Out.CompletedCells;
+  }
+  return true;
+}

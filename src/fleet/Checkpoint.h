@@ -1,0 +1,104 @@
+//===- fleet/Checkpoint.h - Append-only matrix checkpoint ------*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The coordinator's crash journal (docs/fleet.md, "Checkpoint journal
+/// format").  A journal is a flat sequence of ordinary wire frames
+/// (engine/Wire.h): one CheckpointHeader frame — matrix fingerprint plus
+/// the full spec list — followed by one Result frame per completed cell,
+/// each flushed before the cell's result is delivered.  Because records
+/// reuse the Result wire encoding byte for byte, a resumed cell carries
+/// exactly the bytes a live worker would have sent, which is what keeps
+/// the post-resume aggregate JSON byte-identical to an uninterrupted
+/// run.
+///
+/// Crash tolerance: a coordinator killed mid-append leaves a torn final
+/// frame; the reader drops it (that cell just re-runs).  Anything else —
+/// bad magic, bad CRC, version skew, an index outside the matrix, a
+/// duplicate record — rejects the whole journal: a checkpoint you cannot
+/// trust end to end is not a checkpoint.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_FLEET_CHECKPOINT_H
+#define HDS_FLEET_CHECKPOINT_H
+
+#include "engine/ExperimentRunner.h"
+#include "engine/ExperimentSpec.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hds {
+namespace fleet {
+
+/// Identity of a spec list: CRC32 over the wire encoding of every spec,
+/// folded with the cell count.  resume() refuses a journal whose
+/// fingerprint does not match the matrix it is asked to finish.
+uint64_t matrixFingerprint(std::span<const engine::ExperimentSpec> Specs);
+
+/// Appends completed cells to the journal; thread-safe (service threads
+/// resolve cells concurrently).
+class CheckpointWriter {
+public:
+  CheckpointWriter() = default;
+  ~CheckpointWriter();
+  CheckpointWriter(const CheckpointWriter &) = delete;
+  CheckpointWriter &operator=(const CheckpointWriter &) = delete;
+
+  /// Starts a fresh journal: truncates \p Path and writes the header
+  /// frame for \p Specs.
+  bool create(const std::string &Path,
+              std::span<const engine::ExperimentSpec> Specs,
+              std::string &Error);
+
+  /// Reopens an existing journal for appending (resume); the header is
+  /// already on disk.
+  bool openAppend(const std::string &Path, std::string &Error);
+
+  /// Journals one completed cell.  Only Status::Ok results are recorded
+  /// — errored cells retry on resume.  Returns true when a record was
+  /// written and flushed.
+  bool append(std::size_t Index, const engine::RunResult &Result);
+
+  bool isOpen() const;
+  std::size_t records() const;
+  void close();
+
+private:
+  mutable std::mutex Mutex;
+  std::FILE *File = nullptr;  // hds-guarded-by(Mutex)
+  std::size_t Records = 0;    // hds-guarded-by(Mutex)
+};
+
+/// Everything a journal holds, decoded.
+struct CheckpointContents {
+  std::vector<engine::ExperimentSpec> Specs;
+  /// One slot per spec; Resolved[i] says whether Results[i] was
+  /// journaled (unresolved slots are default RunResults).
+  std::vector<engine::RunResult> Results;
+  std::vector<bool> Resolved;
+  std::size_t CompletedCells = 0;
+  uint64_t Fingerprint = 0;
+  /// The file ended in a partial frame (coordinator killed mid-append);
+  /// the torn record was dropped.
+  bool TornTail = false;
+};
+
+/// Decodes the journal at \p Path.  Returns false (with \p Error) on a
+/// missing/empty file or any corruption other than a torn tail.
+bool readCheckpoint(const std::string &Path, CheckpointContents &Out,
+                    std::string &Error);
+
+} // namespace fleet
+} // namespace hds
+
+#endif // HDS_FLEET_CHECKPOINT_H

@@ -1,13 +1,15 @@
-//===- engine/Coordinator.cpp - Distributed matrix coordinator ------------===//
+//===- fleet/Coordinator.cpp - Fleet experiment coordinator ---------------===//
 //
 // Part of the hds project (PLDI 2002 hot data stream prefetching repro).
 //
 //===----------------------------------------------------------------------===//
 
-#include "engine/Coordinator.h"
+#include "fleet/Coordinator.h"
 
 #include "engine/Wire.h"
+#include "fleet/Auth.h"
 
+#include <algorithm>
 #include <condition_variable>
 #include <deque>
 #include <map>
@@ -17,13 +19,19 @@
 #include <vector>
 
 using namespace hds;
+using namespace hds::fleet;
 using namespace hds::engine;
 
 namespace {
 
 /// Accept-poll slice: short enough that the accept loop notices matrix
-/// completion promptly, long enough to stay off the scheduler's back.
+/// completion and drain requests promptly, long enough to stay off the
+/// scheduler's back.
 constexpr uint32_t AcceptSliceMs = 100;
+
+bool isLoopback(const Address &Addr) {
+  return Addr.IsUnix || Addr.Host.rfind("127.", 0) == 0;
+}
 
 } // namespace
 
@@ -33,7 +41,7 @@ constexpr uint32_t AcceptSliceMs = 100;
 /// byte-identical to an in-process run no matter which worker ran what.
 struct Coordinator::ServeState {
   std::mutex Mutex;
-  /// Signalled when Pending gains a job or Done flips.
+  /// Signalled when Pending gains a job or Done/Draining flips.
   std::condition_variable WorkAvailable;
 
   std::deque<std::size_t> Pending; // hds-guarded-by(Mutex) awaiting a worker
@@ -42,6 +50,10 @@ struct Coordinator::ServeState {
   std::size_t Unresolved = 0;      // hds-guarded-by(Mutex)
   unsigned ActiveWorkers = 0;      // hds-guarded-by(Mutex)
   bool Done = false;               // hds-guarded-by(Mutex)
+  /// Drain requested: stop handing out work; in-flight jobs finish, the
+  /// untouched remainder stays unresolved for the sink to report
+  /// Cancelled.
+  bool Draining = false; // hds-guarded-by(Mutex)
   /// Accept loop gave up (listener error); once the last worker leaves,
   /// nobody can resolve pending jobs, so the leaving worker fails them.
   bool ListenerBroken = false; // hds-guarded-by(Mutex)
@@ -56,26 +68,42 @@ struct Coordinator::ServeState {
 
   std::span<const ExperimentSpec> Specs;
   ResultSink *Sink = nullptr;
+  FleetEvents *Events = nullptr;
+  CheckpointWriter *Journal = nullptr;
 
   /// All field initialization lives here, before any service or accept
   /// thread exists — single-threaded by construction, so the constructor
   /// (exempt from T1) is the only place that may touch guarded fields
-  /// without the mutex.
-  ServeState(std::span<const ExperimentSpec> SpecsIn, ResultSink &SinkIn)
-      : Specs(SpecsIn), Sink(&SinkIn) {
+  /// without the mutex.  Cells flagged in \p AlreadyResolved were
+  /// restored from a checkpoint and delivered by the caller: they are
+  /// marked resolved here so they never enter the queue.
+  ServeState(std::span<const ExperimentSpec> SpecsIn, ResultSink &SinkIn,
+             const std::vector<bool> *AlreadyResolved, FleetEvents *EventsIn,
+             CheckpointWriter *JournalIn)
+      : Specs(SpecsIn), Sink(&SinkIn), Events(EventsIn), Journal(JournalIn) {
     Attempts.assign(Specs.size(), 0);
     Resolved.assign(Specs.size(), false);
     Unresolved = Specs.size();
-    for (std::size_t I = 0; I < Specs.size(); ++I)
+    for (std::size_t I = 0; I < Specs.size(); ++I) {
+      if (AlreadyResolved && I < AlreadyResolved->size() &&
+          (*AlreadyResolved)[I]) {
+        Resolved[I] = true;
+        --Unresolved;
+        continue;
+      }
       Pending.push_back(I);
+    }
   }
 
-  /// Resolves \p Index exactly once.
+  /// Resolves \p Index exactly once: journaled first (so a crash after
+  /// the flush still has the cell), then delivered.
   // hds-requires(Mutex)
   void resolveLocked(std::size_t Index, RunResult Result) {
     if (Resolved[Index])
       return;
     Resolved[Index] = true;
+    if (Journal && Journal->append(Index, Result) && Events)
+      Events->onCheckpointed(Index);
     Sink->deliver(Index, std::move(Result));
     if (--Unresolved == 0)
       finishLocked();
@@ -133,23 +161,47 @@ struct Coordinator::ServeState {
     // Front of the queue: a re-queued job runs before fresh work so a
     // straggler cell cannot starve behind the whole remaining matrix.
     Pending.push_front(Index);
+    if (Events)
+      Events->onJobRequeued(Index, Reason);
     WorkAvailable.notify_one();
   }
 };
 
 Coordinator::Coordinator(const CoordinatorOptions &OptsIn) : Opts(OptsIn) {}
 
-bool Coordinator::listen() { return Sockets.listen(Opts.ListenAddr, ListenError); }
+bool Coordinator::listen() {
+  Address Addr;
+  if (!parseAddress(Opts.ListenAddr, Addr, ListenError))
+    return false;
+  if (!isLoopback(Addr)) {
+    if (!Opts.AllowNonLoopback) {
+      ListenError = "refusing non-loopback listener '" + Opts.ListenAddr +
+                    "' (opt in with --allow-remote and a shared --token; "
+                    "docs/fleet.md, trust model)";
+      return false;
+    }
+    if (Opts.Token.empty()) {
+      ListenError = "non-loopback listener '" + Opts.ListenAddr +
+                    "' requires a shared --token (docs/fleet.md, trust "
+                    "model)";
+      return false;
+    }
+  }
+  return Sockets.listen(Opts.ListenAddr, ListenError);
+}
 
 void Coordinator::serve(std::span<const ExperimentSpec> Specs,
-                        ResultSink &Sink) {
-  ServeState State(Specs, Sink);
-  if (Specs.empty())
+                        ResultSink &Sink,
+                        const std::vector<bool> *AlreadyResolved) {
+  ServeState State(Specs, Sink, AlreadyResolved, Opts.Events, Opts.Journal);
+  if (Specs.empty() || State.Unresolved == 0)
     return;
 
   if (!Sockets.valid()) {
     std::lock_guard<std::mutex> Lock(State.Mutex);
     for (std::size_t I = 0; I < Specs.size(); ++I) {
+      if (State.Resolved[I])
+        continue;
       RunResult Failed;
       Failed.Spec = Specs[I];
       Failed.State = RunResult::Status::Error;
@@ -171,11 +223,22 @@ void Coordinator::serve(std::span<const ExperimentSpec> Specs,
       std::lock_guard<std::mutex> Lock(State.Mutex);
       if (State.Done)
         break;
+      if (!State.Draining && Opts.DrainRequested &&
+          Opts.DrainRequested->load(std::memory_order_relaxed)) {
+        State.Draining = true;
+        State.WorkAvailable.notify_all();
+      }
+      if (State.Draining && State.ActiveWorkers == 0) {
+        // Every in-flight cell has resolved (and journaled); the rest
+        // stay unresolved so the sink reports them Cancelled.
+        State.finishLocked();
+        break;
+      }
       if (Status == Listener::AcceptStatus::TimedOut) {
         // Idle accounting: only time with zero workers counts — with a
         // worker connected, progress (or its per-job deadline) is the
         // responsibility of that worker's service thread.
-        if (State.ActiveWorkers == 0) {
+        if (State.ActiveWorkers == 0 && !State.Draining) {
           IdleMs += AcceptSliceMs;
           if (IdleMs >= Opts.IdleTimeoutMs) {
             State.failPendingLocked(
@@ -212,7 +275,21 @@ void Coordinator::serve(std::span<const ExperimentSpec> Specs,
 }
 
 void Coordinator::handleWorker(Connection Conn, ServeState &State) {
-  Conn.setDeadlines(Opts.JobTimeoutMs, Opts.JobTimeoutMs);
+  // Receive in heartbeat-sized slices so liveness accounting can run
+  // between frames without a wall clock (rule D1): every TimedOut slice
+  // advances the quiet and held counters by SliceMs.  With heartbeats
+  // disabled the slice is the whole job deadline, recovering the legacy
+  // one-timeout-per-job behavior.
+  const bool Beats = Opts.HeartbeatIntervalMs != 0;
+  const uint32_t SliceMs =
+      std::max<uint32_t>(1, Beats ? std::min(Opts.HeartbeatIntervalMs,
+                                             Opts.JobTimeoutMs)
+                                  : Opts.JobTimeoutMs);
+  // 64-bit on purpose: interval * misses can overflow uint32_t.
+  const uint64_t HbWindowMs = static_cast<uint64_t>(Opts.HeartbeatIntervalMs) *
+                              std::max(1u, Opts.HeartbeatMisses);
+  Conn.setDeadlines(SliceMs, Opts.JobTimeoutMs);
+
   std::size_t Id;
   {
     std::lock_guard<std::mutex> Lock(State.Mutex);
@@ -224,8 +301,12 @@ void Coordinator::handleWorker(Connection Conn, ServeState &State) {
   bool HasAssigned = false;
   std::size_t Assigned = 0;
   std::string DropReason;
+  uint64_t WorkerId = 0; // 0 = never passed the hello
 
   auto Deregister = [&] {
+    if (WorkerId != 0)
+      Registry.markDeparted(WorkerId, DropReason.empty() ? "clean shutdown"
+                                                         : DropReason);
     std::lock_guard<std::mutex> Lock(State.Mutex);
     State.Open.erase(Id);
     --State.ActiveWorkers;
@@ -238,19 +319,121 @@ void Coordinator::handleWorker(Connection Conn, ServeState &State) {
                               State.Specs);
   };
 
-  // Handshake: the version byte is validated by the frame decoder, so a
-  // mismatched worker fails here with a protocol error, not mid-matrix.
+  // Bounded handshake receive: accumulates slices up to the job
+  // deadline.  Returns false on timeout, transport failure, or matrix
+  // completion racing the handshake.
   wire::Frame Frame;
   std::string Error;
-  if (Conn.recvFrame(Frame, Error) != IoStatus::Ok ||
-      Frame.Type != wire::FrameType::Hello) {
-    DropReason = "handshake failed";
+  auto RecvHandshake = [&]() -> bool {
+    uint64_t WaitedMs = 0;
+    for (;;) {
+      const IoStatus Status = Conn.recvFrame(Frame, Error);
+      if (Status == IoStatus::Ok)
+        return true;
+      if (Status != IoStatus::TimedOut)
+        return false;
+      {
+        std::lock_guard<std::mutex> Lock(State.Mutex);
+        if (State.Done)
+          return false;
+      }
+      WaitedMs += SliceMs;
+      if (WaitedMs >= Opts.JobTimeoutMs)
+        return false;
+    }
+  };
+
+  auto AuthReject = [&](const std::string &Reason) {
+    DropReason = Reason;
+    bool WindDown;
+    {
+      std::lock_guard<std::mutex> Lock(State.Mutex);
+      WindDown = State.Done;
+    }
+    // A handshake cut short because the matrix finished is wind-down,
+    // not an attack; only count failures the worker earned.
+    if (!WindDown) {
+      Registry.recordAuthFailure();
+      if (Opts.Events)
+        Opts.Events->onAuthFailed(Reason);
+    }
     Deregister();
+  };
+
+  // Authenticated hello (docs/fleet.md, "Trust model").  The frame
+  // decoder already enforces the protocol version byte, so a skewed
+  // worker dies here, not mid-matrix; the challenge/response proves the
+  // worker holds the shared token without the token crossing the wire,
+  // and the fresh per-connection nonce makes a recorded proof useless
+  // on the next connection.
+  wire::HelloInfo Caps;
+  if (!RecvHandshake() || Frame.Type != wire::FrameType::Hello ||
+      !wire::decodeHello(Frame.Payload, Caps, Error)) {
+    AuthReject(Error.empty() ? "handshake failed"
+                             : "handshake failed: " + Error);
+    return;
+  }
+  const AuthNonce Nonce = makeNonce(Id);
+  if (Conn.sendFrame(wire::FrameType::Challenge,
+                     wire::encodeChallenge(Nonce.Hi, Nonce.Lo)) !=
+      IoStatus::Ok) {
+    AuthReject("handshake failed: challenge send");
+    return;
+  }
+  uint64_t Proof = 0;
+  if (!RecvHandshake() || Frame.Type != wire::FrameType::AuthProof ||
+      !wire::decodeAuthProof(Frame.Payload, Proof, Error)) {
+    AuthReject("handshake failed: no proof");
+    return;
+  }
+  if (Proof != proofDigest(Opts.Token, Nonce, wire::ProtocolVersion)) {
+    AuthReject("authentication failed");
     return;
   }
 
+  WorkerId = Registry.add(
+      WorkerCapabilities{Caps.Cores, Caps.MemoryBudgetMB});
+  if (Opts.Events) {
+    WorkerRecord Record;
+    Record.Id = WorkerId;
+    Record.Caps = WorkerCapabilities{Caps.Cores, Caps.MemoryBudgetMB};
+    Record.Connected = true;
+    Opts.Events->onWorkerRegistered(Record);
+  }
+
+  uint64_t QuietMs = 0; // since the last frame from this worker
+  uint64_t HeldMs = 0;  // since the current assignment went out
   for (;;) {
     const IoStatus Status = Conn.recvFrame(Frame, Error);
+    if (Status == IoStatus::TimedOut) {
+      bool WindDown;
+      {
+        std::lock_guard<std::mutex> Lock(State.Mutex);
+        WindDown = State.Done;
+      }
+      if (WindDown) {
+        Conn.sendFrame(wire::FrameType::Shutdown, {});
+        Deregister();
+        return;
+      }
+      QuietMs += SliceMs;
+      if (HasAssigned) {
+        HeldMs += SliceMs;
+        if (HeldMs >= Opts.JobTimeoutMs) {
+          DropReason = "worker timed out";
+          Deregister();
+          return;
+        }
+      }
+      if (Beats && QuietMs >= HbWindowMs) {
+        DropReason = "worker heartbeats lost";
+        if (Opts.Events)
+          Opts.Events->onHeartbeatMissed(WorkerId);
+        Deregister();
+        return;
+      }
+      continue;
+    }
     if (Status != IoStatus::Ok) {
       bool WindDown;
       {
@@ -265,13 +448,32 @@ void Coordinator::handleWorker(Connection Conn, ServeState &State) {
         Deregister();
         return;
       }
-      DropReason = Status == IoStatus::TimedOut ? "worker timed out"
-                   : Status == IoStatus::Closed ? "worker disconnected"
+      DropReason = Status == IoStatus::Closed ? "worker disconnected"
                    : Status == IoStatus::Malformed
                        ? "malformed frame: " + Error
                        : "transport error";
       Deregister();
       return;
+    }
+    QuietMs = 0;
+
+    if (Frame.Type == wire::FrameType::Heartbeat) {
+      Registry.recordHeartbeat(WorkerId);
+      if (Opts.Events)
+        Opts.Events->onHeartbeat(WorkerId);
+      // The worker is alive but the job is still out: heartbeats arrive
+      // about one interval apart, so charge the held clock one slice —
+      // a heartbeating worker that never returns its result still hits
+      // the per-job deadline.
+      if (HasAssigned) {
+        HeldMs += SliceMs;
+        if (HeldMs >= Opts.JobTimeoutMs) {
+          DropReason = "worker timed out";
+          Deregister();
+          return;
+        }
+      }
+      continue;
     }
 
     if (Frame.Type == wire::FrameType::JobRequest) {
@@ -286,9 +488,9 @@ void Coordinator::handleWorker(Connection Conn, ServeState &State) {
       {
         std::unique_lock<std::mutex> Lock(State.Mutex);
         State.WorkAvailable.wait(Lock, [&State] {
-          return State.Done || !State.Pending.empty();
+          return State.Done || State.Draining || !State.Pending.empty();
         });
-        if (State.Done) {
+        if (State.Done || State.Draining) {
           Lock.unlock();
           Conn.sendFrame(wire::FrameType::Shutdown, {});
           HasAssigned = false;
@@ -310,6 +512,7 @@ void Coordinator::handleWorker(Connection Conn, ServeState &State) {
       }
       HasAssigned = true;
       Assigned = Index;
+      HeldMs = 0;
       continue;
     }
 
@@ -325,6 +528,7 @@ void Coordinator::handleWorker(Connection Conn, ServeState &State) {
         return;
       }
       HasAssigned = false;
+      Registry.recordJob(WorkerId);
       std::lock_guard<std::mutex> Lock(State.Mutex);
       State.resolveLocked(Assigned, std::move(Result));
       continue;

@@ -1,0 +1,128 @@
+//===- fleet/Coordinator.h - Fleet experiment coordinator ------*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The coordinator side of the fleet experiment service: it listens on a
+/// transport address, admits workers through the authenticated hello
+/// (fleet/Auth.h), registers them with their declared capabilities
+/// (fleet/Registry.h), hands spec indices out *pull-style* (a worker
+/// asks for a job whenever it is free, so fast workers naturally take
+/// more cells), and merges the returned (index, RunResult) pairs through
+/// the same index-addressed ResultSink the in-process engine uses —
+/// which is exactly why a fleet run aggregates to the same bytes as a
+/// local one (docs/engine.md, "Distributed mode"; docs/fleet.md).
+///
+/// Failure policy: a worker that disconnects, times out, goes silent
+/// past its heartbeat window, or talks garbage gets its in-flight job
+/// re-queued, up to a bounded per-job retry budget; after the budget is
+/// exhausted the job resolves as Status::Error with a reason.  A
+/// coordinator with unresolved jobs and no connected workers fails the
+/// remainder after an idle deadline.  Every job therefore resolves — the
+/// matrix can degrade but never hang.  A drain request stops assignment,
+/// lets in-flight cells finish (and journal), and leaves the remainder
+/// to resolve as Cancelled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_FLEET_COORDINATOR_H
+#define HDS_FLEET_COORDINATOR_H
+
+#include "engine/ExperimentSpec.h"
+#include "engine/ResultSink.h"
+#include "engine/Transport.h"
+#include "fleet/Checkpoint.h"
+#include "fleet/Events.h"
+#include "fleet/Registry.h"
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hds {
+namespace fleet {
+
+struct CoordinatorOptions {
+  /// "host:port" (port 0 = ephemeral) or "unix:/path".  Non-loopback
+  /// hosts are refused unless AllowNonLoopback is set *and* Token is
+  /// non-empty (docs/fleet.md, "Trust model").
+  std::string ListenAddr = "127.0.0.1:0";
+  /// Per-job result deadline: how long a worker may hold an assignment
+  /// before the coordinator re-queues it.  Also bounds every send.
+  uint32_t JobTimeoutMs = 120000;
+  /// With unresolved jobs and zero connected workers, give up after
+  /// this long and resolve the remainder as errors instead of hanging.
+  uint32_t IdleTimeoutMs = 30000;
+  /// Re-queues per job before it resolves as Status::Error.
+  unsigned RetryBudget = 2;
+  /// Shared secret for the authenticated hello.  Empty (the loopback
+  /// default) still runs the challenge/response, proving liveness and
+  /// version agreement but not identity.
+  std::string Token;
+  /// Opt-in gate for non-loopback TCP listeners.
+  bool AllowNonLoopback = false;
+  /// Worker heartbeat cadence the coordinator expects; also the receive
+  /// poll slice of every service thread.  0 disables liveness tracking
+  /// (only the per-job deadline then drops a silent worker).
+  uint32_t HeartbeatIntervalMs = 1000;
+  /// Quiet heartbeat intervals before a worker is declared dead and its
+  /// assignment re-queued.
+  unsigned HeartbeatMisses = 5;
+  /// When non-null and set, drain gracefully: stop assigning, let
+  /// in-flight cells finish (and journal), resolve the rest Cancelled.
+  const std::atomic<bool> *DrainRequested = nullptr;
+  /// Lifecycle observer (may be null).  Handlers run on accept/service
+  /// threads, sometimes under coordinator locks: keep them quick.
+  FleetEvents *Events = nullptr;
+  /// Checkpoint journal (may be null).  Completed cells are appended
+  /// and flushed *before* delivery to the sink.
+  CheckpointWriter *Journal = nullptr;
+};
+
+/// Serves one experiment matrix to pull-style fleet workers.
+class Coordinator {
+public:
+  explicit Coordinator(const CoordinatorOptions &OptsIn);
+
+  /// Binds the listener.  On failure returns false and error() says why;
+  /// serve() on an unbound coordinator resolves every job as an error.
+  /// Refuses non-loopback addresses unless the options opt in.
+  bool listen();
+  const std::string &error() const { return ListenError; }
+
+  /// Address workers should connect to (the real ephemeral port when
+  /// ListenAddr asked for port 0).  Valid after listen() succeeds.
+  const std::string &boundAddress() const { return Sockets.boundAddress(); }
+
+  /// Dispatches every spec and blocks until each sink slot is resolved
+  /// (result delivered, error after retries, or left for the sink to
+  /// report Cancelled on drain).  \p AlreadyResolved (when non-null)
+  /// marks cells restored from a checkpoint: they are skipped, not
+  /// re-dispatched — the caller has already delivered them.  Spawns one
+  /// service thread per connected worker; all threads are joined before
+  /// returning.
+  void serve(std::span<const engine::ExperimentSpec> Specs,
+             engine::ResultSink &Sink,
+             const std::vector<bool> *AlreadyResolved = nullptr);
+
+  /// Roster of workers that passed the authenticated hello.
+  const WorkerRegistry &registry() const { return Registry; }
+
+private:
+  struct ServeState;
+  void handleWorker(engine::Connection Conn, ServeState &State);
+
+  CoordinatorOptions Opts;
+  engine::Listener Sockets;
+  WorkerRegistry Registry;
+  std::string ListenError;
+};
+
+} // namespace fleet
+} // namespace hds
+
+#endif // HDS_FLEET_COORDINATOR_H

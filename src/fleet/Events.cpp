@@ -1,0 +1,61 @@
+//===- fleet/Events.cpp - Typed fleet lifecycle observer ------------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/Events.h"
+
+using namespace hds;
+using namespace hds::fleet;
+
+FleetEvents::~FleetEvents() = default;
+
+FleetStats FleetStatsCollector::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Stats;
+}
+
+void FleetStatsCollector::onWorkerRegistered(const WorkerRecord &Record) {
+  (void)Record;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++Stats.WorkersRegistered;
+}
+
+void FleetStatsCollector::onAuthFailed(const std::string &Reason) {
+  (void)Reason;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++Stats.AuthFailures;
+}
+
+void FleetStatsCollector::onHeartbeat(uint64_t WorkerId) {
+  (void)WorkerId;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++Stats.Heartbeats;
+}
+
+void FleetStatsCollector::onHeartbeatMissed(uint64_t WorkerId) {
+  (void)WorkerId;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++Stats.HeartbeatsMissed;
+}
+
+void FleetStatsCollector::onJobRequeued(std::size_t Index,
+                                        const std::string &Reason) {
+  (void)Index;
+  (void)Reason;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++Stats.JobsRequeued;
+}
+
+void FleetStatsCollector::onCheckpointed(std::size_t Index) {
+  (void)Index;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++Stats.CellsCheckpointed;
+}
+
+void FleetStatsCollector::onCellResumed(std::size_t Index) {
+  (void)Index;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++Stats.CellsResumed;
+}

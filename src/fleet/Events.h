@@ -1,0 +1,126 @@
+//===- fleet/Events.h - Typed fleet lifecycle observer ---------*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The typed observer the coordinator notifies about fleet lifecycle
+/// events — worker registered, heartbeat seen or missed, job requeued,
+/// cell checkpointed — replacing the ad-hoc callbacks the loopback
+/// coordinator grew.  Events are notifications only: handlers run on
+/// accept/service threads (sometimes under coordinator locks), so they
+/// must be quick, thread-safe, and must never call back into the
+/// coordinator.
+///
+/// FleetStatsCollector is the stock subscriber: it accumulates the
+/// FleetStats counter block, whose fields are enumerated by
+/// visitFleetStatsMetrics under the same append-only `hds::obs`
+/// MetricDef contract as every other counter block in the tree (and are
+/// therefore part of tests/golden/schema.lock).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_FLEET_EVENTS_H
+#define HDS_FLEET_EVENTS_H
+
+#include "fleet/Registry.h"
+#include "obs/Metrics.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace hds {
+namespace fleet {
+
+/// Counters a fleet run accumulates, reported by `hds_fleet` and
+/// diffable like any other metric block.
+struct FleetStats {
+  uint64_t WorkersRegistered = 0;
+  uint64_t AuthFailures = 0;
+  uint64_t Heartbeats = 0;
+  uint64_t HeartbeatsMissed = 0;
+  uint64_t JobsRequeued = 0;
+  uint64_t CellsCheckpointed = 0;
+  uint64_t CellsResumed = 0;
+};
+
+/// Append-only metric enumeration for FleetStats (obs/Metrics.h).
+template <typename StatsT, typename Fn>
+void visitFleetStatsMetrics(StatsT &&Stats, Fn &&Visit) {
+  using obs::MetricDef;
+  Visit(MetricDef{"workers_registered", "count",
+                  "workers that passed the authenticated hello"},
+        Stats.WorkersRegistered);
+  Visit(MetricDef{"auth_failures", "count",
+                  "connections dropped at the hello (bad proof, skew, "
+                  "or malformed handshake)"},
+        Stats.AuthFailures);
+  Visit(MetricDef{"heartbeats", "count", "Heartbeat frames received"},
+        Stats.Heartbeats);
+  Visit(MetricDef{"heartbeats_missed", "count",
+                  "workers dropped after a silent heartbeat window"},
+        Stats.HeartbeatsMissed);
+  Visit(MetricDef{"jobs_requeued", "count",
+                  "assignments returned to the queue after a worker "
+                  "fault"},
+        Stats.JobsRequeued);
+  Visit(MetricDef{"cells_checkpointed", "count",
+                  "completed cells appended to the checkpoint journal"},
+        Stats.CellsCheckpointed);
+  Visit(MetricDef{"cells_resumed", "count",
+                  "cells restored from the journal instead of re-run"},
+        Stats.CellsResumed);
+}
+
+/// Override what you care about; every default is a no-op.
+class FleetEvents {
+public:
+  virtual ~FleetEvents();
+
+  /// A worker passed the authenticated hello and joined the registry.
+  virtual void onWorkerRegistered(const WorkerRecord &Record) {
+    (void)Record;
+  }
+  /// A connection failed the hello (bad proof, version skew, garbage).
+  virtual void onAuthFailed(const std::string &Reason) { (void)Reason; }
+  /// A Heartbeat frame arrived from a registered worker.
+  virtual void onHeartbeat(uint64_t WorkerId) { (void)WorkerId; }
+  /// A registered worker went silent past the heartbeat window.
+  virtual void onHeartbeatMissed(uint64_t WorkerId) { (void)WorkerId; }
+  /// An in-flight assignment went back to the queue (or exhausted its
+  /// retry budget — the coordinator decides, the event just reports).
+  virtual void onJobRequeued(std::size_t Index, const std::string &Reason) {
+    (void)Index;
+    (void)Reason;
+  }
+  /// A completed cell was appended to the checkpoint journal.
+  virtual void onCheckpointed(std::size_t Index) { (void)Index; }
+  /// A cell was restored from the journal during resume.
+  virtual void onCellResumed(std::size_t Index) { (void)Index; }
+};
+
+/// Stock subscriber: counts events into a FleetStats block.
+class FleetStatsCollector final : public FleetEvents {
+public:
+  FleetStats snapshot() const;
+
+  void onWorkerRegistered(const WorkerRecord &Record) override;
+  void onAuthFailed(const std::string &Reason) override;
+  void onHeartbeat(uint64_t WorkerId) override;
+  void onHeartbeatMissed(uint64_t WorkerId) override;
+  void onJobRequeued(std::size_t Index, const std::string &Reason) override;
+  void onCheckpointed(std::size_t Index) override;
+  void onCellResumed(std::size_t Index) override;
+
+private:
+  mutable std::mutex Mutex;
+  FleetStats Stats; // hds-guarded-by(Mutex)
+};
+
+} // namespace fleet
+} // namespace hds
+
+#endif // HDS_FLEET_EVENTS_H

@@ -1,0 +1,57 @@
+//===- fleet/FleetCli.h - CLI options -> fleet configs ---------*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bridges the shared cli::FleetOptions vocabulary (cli/Options.h) to
+/// the engine/fleet config types.  Lives here rather than in cli/ so
+/// the cli library keeps no dependency on the engine or fleet layers —
+/// tools that parse fleet flags include this header and link hds_fleet.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_FLEET_FLEETCLI_H
+#define HDS_FLEET_FLEETCLI_H
+
+#include "cli/Options.h"
+#include "engine/ExecutorFactory.h"
+#include "fleet/Worker.h"
+
+namespace hds {
+namespace fleet {
+
+/// Serve-side mapping: everything makeFleet() reads from the flags.
+/// Jobs/CancelRequested/ForkedWorkers/Resume/Events stay at their
+/// defaults for the caller to fill.
+inline engine::FleetConfig fleetConfigFromCli(const cli::FleetOptions &Cli) {
+  engine::FleetConfig Config;
+  if (!Cli.ServeAddr.empty())
+    Config.ListenAddr = Cli.ServeAddr;
+  Config.ForkedWorkers = Cli.Workers;
+  Config.JobTimeoutMs = Cli.JobTimeoutMs;
+  Config.IdleTimeoutMs = Cli.IdleTimeoutMs;
+  Config.Token = Cli.Token;
+  Config.AllowNonLoopback = Cli.AllowRemote;
+  Config.HeartbeatIntervalMs = Cli.HeartbeatIntervalMs;
+  Config.HeartbeatMisses = Cli.HeartbeatMisses;
+  Config.CheckpointPath = Cli.CheckpointPath;
+  return Config;
+}
+
+/// Worker-side mapping for fleet::runWorker().
+inline WorkerOptions workerOptionsFromCli(const cli::FleetOptions &Cli) {
+  WorkerOptions Opts;
+  Opts.IoTimeoutMs = Cli.JobTimeoutMs;
+  Opts.Token = Cli.Token;
+  Opts.HeartbeatIntervalMs = Cli.HeartbeatIntervalMs;
+  Opts.Caps.Cores = Cli.Cores;
+  Opts.Caps.MemoryBudgetMB = Cli.MemoryMB;
+  return Opts;
+}
+
+} // namespace fleet
+} // namespace hds
+
+#endif // HDS_FLEET_FLEETCLI_H

@@ -1,0 +1,170 @@
+//===- fleet/FleetExecutor.cpp - Fleet-backed Executor --------------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/FleetExecutor.h"
+
+#include "fleet/Events.h"
+#include "fleet/Worker.h"
+
+#include <cerrno>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <utility>
+#include <vector>
+
+using namespace hds;
+using namespace hds::fleet;
+using namespace hds::engine;
+
+namespace {
+
+CoordinatorOptions coordinatorOptions(const FleetConfig &Config,
+                                      CheckpointWriter *Journal) {
+  CoordinatorOptions Opts;
+  Opts.ListenAddr = Config.ListenAddr;
+  Opts.JobTimeoutMs = Config.JobTimeoutMs;
+  Opts.IdleTimeoutMs = Config.IdleTimeoutMs;
+  Opts.RetryBudget = Config.RetryBudget;
+  Opts.Token = Config.Token;
+  Opts.AllowNonLoopback = Config.AllowNonLoopback;
+  Opts.HeartbeatIntervalMs = Config.HeartbeatIntervalMs;
+  Opts.HeartbeatMisses = Config.HeartbeatMisses;
+  Opts.DrainRequested = Config.CancelRequested;
+  Opts.Events = Config.Events;
+  Opts.Journal = Journal;
+  return Opts;
+}
+
+} // namespace
+
+FleetExecutor::FleetExecutor(const FleetConfig &ConfigIn)
+    : Config(ConfigIn),
+      // The journal pointer is handed over before the writer is opened;
+      // append() on a closed writer is a harmless no-op, so the
+      // coordinator never needs to know whether checkpointing is on.
+      Coord(coordinatorOptions(ConfigIn, &Journal)) {
+  if (Config.Resume && Config.CheckpointPath.empty()) {
+    Err = "resume requested without a checkpoint journal path";
+    return;
+  }
+  Valid = Coord.listen();
+  if (!Valid)
+    Err = Coord.error();
+}
+
+void FleetExecutor::failAll(std::span<const ExperimentSpec> Specs,
+                            ResultSink &Sink, const std::string &Reason,
+                            const std::vector<bool> *Skip) {
+  for (std::size_t Index = 0; Index < Specs.size(); ++Index) {
+    if (Skip && Index < Skip->size() && (*Skip)[Index])
+      continue;
+    RunResult Failed;
+    Failed.Spec = Specs[Index];
+    Failed.State = RunResult::Status::Error;
+    Failed.Error = Reason;
+    Sink.deliver(Index, std::move(Failed));
+  }
+}
+
+void FleetExecutor::runAll(std::span<const ExperimentSpec> Specs,
+                           ResultSink &Sink) {
+  if (!Valid) {
+    failAll(Specs, Sink, "fleet executor invalid: " + Err);
+    return;
+  }
+  if (Specs.empty())
+    return;
+
+  // Checkpoint plumbing: restore on resume, then (re)open the journal
+  // for the cells this run will complete.
+  std::vector<bool> Already;
+  if (!Config.CheckpointPath.empty()) {
+    if (Config.Resume) {
+      CheckpointContents Saved;
+      std::string ReadError;
+      if (!readCheckpoint(Config.CheckpointPath, Saved, ReadError)) {
+        failAll(Specs, Sink, "cannot resume: " + ReadError);
+        return;
+      }
+      if (Saved.Specs.size() != Specs.size() ||
+          matrixFingerprint(Specs) != Saved.Fingerprint) {
+        failAll(Specs, Sink,
+                "checkpoint journal was written for a different matrix");
+        return;
+      }
+      // Deliver the journaled cells exactly as a live worker would
+      // have: the bytes came through the same wire codec, so the
+      // post-resume aggregate cannot differ from an uninterrupted run.
+      Already.assign(Specs.size(), false);
+      for (std::size_t Index = 0; Index < Specs.size(); ++Index) {
+        if (!Saved.Resolved[Index])
+          continue;
+        Already[Index] = true;
+        Sink.deliver(Index, std::move(Saved.Results[Index]));
+        if (Config.Events)
+          Config.Events->onCellResumed(Index);
+      }
+      std::string OpenError;
+      if (!Journal.openAppend(Config.CheckpointPath, OpenError)) {
+        failAll(Specs, Sink, OpenError, &Already);
+        return;
+      }
+      if (Saved.CompletedCells == Specs.size()) {
+        Journal.close();
+        return; // nothing left to serve
+      }
+    } else {
+      std::string CreateError;
+      if (!Journal.create(Config.CheckpointPath, Specs, CreateError)) {
+        failAll(Specs, Sink, CreateError);
+        return;
+      }
+    }
+  }
+
+  // Forked before serve() starts any service thread, so each child is a
+  // clean single-threaded process running the worker loop.
+  WorkerOptions ChildOpts;
+  ChildOpts.IoTimeoutMs = Config.JobTimeoutMs;
+  ChildOpts.Token = Config.Token;
+  ChildOpts.HeartbeatIntervalMs = Config.HeartbeatIntervalMs;
+  std::vector<pid_t> Children;
+  for (unsigned I = 0; I < Config.ForkedWorkers; ++I) {
+    const pid_t Child = ::fork();
+    if (Child == 0) {
+      const WorkerExit Exit = runWorker(Coord.boundAddress(), ChildOpts);
+      ::_exit(Exit == WorkerExit::CleanShutdown ? 0 : 1);
+    }
+    if (Child > 0)
+      Children.push_back(Child);
+    // fork() failure: serve() still runs — external workers may
+    // connect, and the idle deadline bounds the no-worker case.
+  }
+
+  Coord.serve(Specs, Sink, Already.empty() ? nullptr : &Already);
+  Journal.close();
+
+  for (const pid_t Child : Children) {
+    int WaitStatus = 0;
+    while (::waitpid(Child, &WaitStatus, 0) < 0 && errno == EINTR) {
+    }
+  }
+}
+
+std::unique_ptr<Executor> hds::engine::makeFleet(const FleetConfig &Config,
+                                                 std::string *BoundAddress,
+                                                 std::string *Error) {
+  auto Exec = std::make_unique<FleetExecutor>(Config);
+  if (!Exec->valid()) {
+    if (Error)
+      *Error = Exec->error();
+    return nullptr;
+  }
+  if (BoundAddress)
+    *BoundAddress = Exec->boundAddress();
+  return Exec;
+}

@@ -1,0 +1,70 @@
+//===- fleet/FleetExecutor.h - Fleet-backed Executor -----------*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Executor implementation behind engine::makeFleet(): a
+/// Coordinator, its checkpoint journal, and optionally a clutch of
+/// forked local worker processes, wrapped in the engine's transport-
+/// agnostic execution interface.  Construction binds the listener (and
+/// validates the config); runAll() restores any checkpoint, forks
+/// workers, serves the matrix, and reaps the children.
+///
+/// The class itself is exposed (rather than hidden in the .cpp) for the
+/// sake of tests that need the registry roster or the bound address
+/// mid-run; production callers should stick to makeFleet().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_FLEET_FLEETEXECUTOR_H
+#define HDS_FLEET_FLEETEXECUTOR_H
+
+#include "engine/Executor.h"
+#include "engine/ExecutorFactory.h"
+#include "fleet/Checkpoint.h"
+#include "fleet/Coordinator.h"
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hds {
+namespace fleet {
+
+class FleetExecutor final : public engine::Executor {
+public:
+  explicit FleetExecutor(const engine::FleetConfig &Config);
+
+  /// False when the listener failed to bind or the config was refused;
+  /// error() says why.  runAll() on an invalid executor resolves every
+  /// job as an error rather than hanging.
+  bool valid() const { return Valid; }
+  const std::string &error() const { return Err; }
+  /// The address workers should connect to (real port for ":0").
+  const std::string &boundAddress() const { return Coord.boundAddress(); }
+  /// Roster of workers that passed the authenticated hello.
+  const WorkerRegistry &registry() const { return Coord.registry(); }
+
+  void runAll(std::span<const engine::ExperimentSpec> Specs,
+              engine::ResultSink &Sink) override;
+
+private:
+  void failAll(std::span<const engine::ExperimentSpec> Specs,
+               engine::ResultSink &Sink, const std::string &Reason,
+               const std::vector<bool> *Skip = nullptr);
+
+  engine::FleetConfig Config;
+  /// Owned journal handed to the coordinator by pointer; opened in
+  /// runAll() once the matrix (and any prior journal) is known.
+  CheckpointWriter Journal;
+  Coordinator Coord;
+  bool Valid = false;
+  std::string Err;
+};
+
+} // namespace fleet
+} // namespace hds
+
+#endif // HDS_FLEET_FLEETEXECUTOR_H

@@ -1,0 +1,87 @@
+//===- fleet/Registry.cpp - Fleet worker registry -------------------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/Registry.h"
+
+using namespace hds;
+using namespace hds::fleet;
+
+uint64_t WorkerRegistry::add(const WorkerCapabilities &Caps) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  const uint64_t Id = NextId++;
+  WorkerRecord Record;
+  Record.Id = Id;
+  Record.Caps = Caps;
+  Record.Connected = true;
+  Workers.emplace(Id, std::move(Record));
+  return Id;
+}
+
+void WorkerRegistry::recordHeartbeat(uint64_t Id) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++Heartbeats;
+  const auto It = Workers.find(Id);
+  if (It != Workers.end())
+    ++It->second.Heartbeats;
+}
+
+void WorkerRegistry::recordJob(uint64_t Id) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  const auto It = Workers.find(Id);
+  if (It != Workers.end())
+    ++It->second.JobsCompleted;
+}
+
+void WorkerRegistry::markDeparted(uint64_t Id, const std::string &Reason) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  const auto It = Workers.find(Id);
+  if (It == Workers.end())
+    return;
+  It->second.Connected = false;
+  It->second.DepartReason = Reason;
+}
+
+void WorkerRegistry::recordAuthFailure() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++AuthFailures;
+}
+
+std::vector<WorkerRecord> WorkerRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<WorkerRecord> Rows;
+  Rows.reserve(Workers.size());
+  for (const auto &[Id, Record] : Workers) {
+    (void)Id;
+    Rows.push_back(Record);
+  }
+  return Rows;
+}
+
+uint64_t WorkerRegistry::connectedCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  uint64_t Count = 0;
+  for (const auto &[Id, Record] : Workers) {
+    (void)Id;
+    if (Record.Connected)
+      ++Count;
+  }
+  return Count;
+}
+
+uint64_t WorkerRegistry::registeredCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return static_cast<uint64_t>(Workers.size());
+}
+
+uint64_t WorkerRegistry::authFailureCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return AuthFailures;
+}
+
+uint64_t WorkerRegistry::heartbeatCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Heartbeats;
+}

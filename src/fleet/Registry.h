@@ -1,0 +1,83 @@
+//===- fleet/Registry.h - Fleet worker registry ----------------*- C++ -*-===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The coordinator-side roster of workers that passed the authenticated
+/// hello: who is connected, what capabilities they declared, how many
+/// heartbeats and jobs each has delivered, and why the departed ones
+/// left (docs/fleet.md, "Registry lifecycle").  The registry is pure
+/// bookkeeping — assignment stays pull-style, so nothing here can
+/// change which bytes the matrix aggregates to.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HDS_FLEET_REGISTRY_H
+#define HDS_FLEET_REGISTRY_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hds {
+namespace fleet {
+
+/// What a worker declares in its Hello frame.  Zero = not declared.
+/// Capabilities are advisory (registry rows, `hds_fleet status`), never
+/// a scheduling input.
+struct WorkerCapabilities {
+  uint64_t Cores = 0;
+  uint64_t MemoryBudgetMB = 0;
+};
+
+/// One registered worker, live or departed.
+struct WorkerRecord {
+  uint64_t Id = 0; ///< monotone registration id (never reused)
+  WorkerCapabilities Caps;
+  uint64_t Heartbeats = 0;
+  uint64_t JobsCompleted = 0;
+  bool Connected = false;
+  /// Why the worker left ("clean shutdown", "worker heartbeats lost",
+  /// ...).  Empty while connected.
+  std::string DepartReason;
+};
+
+/// Thread-safe roster shared by the accept loop and every service
+/// thread.  Ids are monotone so iteration order is registration order,
+/// never an address (rule D3's spirit).
+class WorkerRegistry {
+public:
+  /// Admits a worker that passed the authenticated hello; returns its id.
+  uint64_t add(const WorkerCapabilities &Caps);
+
+  void recordHeartbeat(uint64_t Id);
+  void recordJob(uint64_t Id);
+  void markDeparted(uint64_t Id, const std::string &Reason);
+  /// A connection that failed the handshake never gets a record, but the
+  /// attempt is counted (FleetStats.auth_failures feeds off this).
+  void recordAuthFailure();
+
+  /// Rows in registration order.
+  std::vector<WorkerRecord> snapshot() const;
+
+  uint64_t connectedCount() const;
+  uint64_t registeredCount() const;
+  uint64_t authFailureCount() const;
+  uint64_t heartbeatCount() const;
+
+private:
+  mutable std::mutex Mutex;
+  std::map<uint64_t, WorkerRecord> Workers; // hds-guarded-by(Mutex)
+  uint64_t NextId = 1;                      // hds-guarded-by(Mutex)
+  uint64_t AuthFailures = 0;                // hds-guarded-by(Mutex)
+  uint64_t Heartbeats = 0;                  // hds-guarded-by(Mutex)
+};
+
+} // namespace fleet
+} // namespace hds
+
+#endif // HDS_FLEET_REGISTRY_H

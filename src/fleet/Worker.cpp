@@ -1,0 +1,246 @@
+//===- fleet/Worker.cpp - Fleet experiment worker loop --------------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/Worker.h"
+
+#include "engine/ExperimentRunner.h"
+#include "engine/Transport.h"
+#include "engine/Wire.h"
+#include "fleet/Auth.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <mutex>
+#include <thread>
+
+using namespace hds;
+using namespace hds::fleet;
+using namespace hds::engine;
+
+namespace {
+
+void setError(std::string *Error, const std::string &Message) {
+  if (Error)
+    *Error = Message;
+}
+
+WorkerExit ioFailure(IoStatus Status, const std::string &Detail,
+                     std::string *Error) {
+  if (Status == IoStatus::TimedOut) {
+    setError(Error, "coordinator went quiet past the I/O deadline");
+    return WorkerExit::TimedOut;
+  }
+  setError(Error, Detail.empty() ? "connection to coordinator lost"
+                                 : Detail);
+  return WorkerExit::ProtocolError;
+}
+
+/// Background heartbeat sender.  Paces itself with poll() on a self-pipe
+/// (no clocks in src/, rule D1): the pipe gaining a byte — or closing —
+/// is the stop signal, and the poll timeout is the beat interval.
+/// Sends share the connection's send mutex with the main loop so frames
+/// never interleave.
+class Beater {
+public:
+  Beater(Connection &ConnIn, std::mutex &SendMutexIn, uint32_t IntervalIn)
+      : Conn(ConnIn), SendMutex(SendMutexIn), IntervalMs(IntervalIn) {
+    if (IntervalMs == 0)
+      return;
+    int Fds[2];
+    if (::pipe(Fds) != 0)
+      return; // no pipe, no beater — the worker still functions
+    ReadFd = Fds[0];
+    WriteFd = Fds[1];
+    Thread = std::thread([this] { run(); });
+  }
+
+  ~Beater() { stop(); }
+
+  void stop() {
+    if (WriteFd != -1) {
+      ::close(WriteFd);
+      WriteFd = -1;
+    }
+    if (Thread.joinable())
+      Thread.join();
+    if (ReadFd != -1) {
+      ::close(ReadFd);
+      ReadFd = -1;
+    }
+  }
+
+private:
+  void run() {
+    for (;;) {
+      struct pollfd Pfd = {};
+      Pfd.fd = ReadFd;
+      Pfd.events = POLLIN;
+      const int Ready = ::poll(&Pfd, 1, static_cast<int>(IntervalMs));
+      if (Ready != 0)
+        return; // stop signal (or pipe error): either way, done
+      std::lock_guard<std::mutex> Lock(SendMutex);
+      if (Conn.sendFrame(wire::FrameType::Heartbeat, {}) != IoStatus::Ok)
+        return; // connection is gone; the main loop will notice too
+    }
+  }
+
+  Connection &Conn;
+  std::mutex &SendMutex;
+  uint32_t IntervalMs;
+  int ReadFd = -1;
+  int WriteFd = -1;
+  std::thread Thread;
+};
+
+} // namespace
+
+WorkerExit hds::fleet::runWorker(const std::string &Addr,
+                                 const WorkerOptions &Opts,
+                                 std::string *Error) {
+  std::string ConnectError;
+  Connection Conn = connectTo(Addr, ConnectError);
+  if (!Conn.valid()) {
+    setError(Error, ConnectError);
+    return WorkerExit::ConnectFailed;
+  }
+  Conn.setDeadlines(Opts.IoTimeoutMs, Opts.IoTimeoutMs);
+
+  // Authenticated hello: Hello (capabilities) -> Challenge (nonce) ->
+  // AuthProof (keyed digest).  The token never crosses the wire; a
+  // coordinator that dislikes the proof just drops us.
+  wire::HelloInfo Caps;
+  Caps.Cores = Opts.Caps.Cores;
+  Caps.MemoryBudgetMB = Opts.Caps.MemoryBudgetMB;
+  if (Conn.sendFrame(wire::FrameType::Hello, wire::encodeHello(Caps)) !=
+      IoStatus::Ok) {
+    setError(Error, "handshake send failed");
+    return WorkerExit::ProtocolError;
+  }
+  wire::Frame Frame;
+  std::string DecodeError;
+  IoStatus Status = Conn.recvFrame(Frame, DecodeError);
+  if (Status != IoStatus::Ok) {
+    if (Status == IoStatus::Closed) {
+      setError(Error, "coordinator closed during handshake "
+                      "(authentication rejected?)");
+      return WorkerExit::ProtocolError;
+    }
+    return ioFailure(Status, DecodeError, Error);
+  }
+  AuthNonce Nonce;
+  if (Frame.Type != wire::FrameType::Challenge ||
+      !wire::decodeChallenge(Frame.Payload, Nonce.Hi, Nonce.Lo,
+                             DecodeError)) {
+    setError(Error, "expected a Challenge frame after Hello");
+    return WorkerExit::ProtocolError;
+  }
+  std::mutex SendMutex;
+  {
+    const uint64_t Proof =
+        proofDigest(Opts.Token, Nonce, wire::ProtocolVersion);
+    std::lock_guard<std::mutex> Lock(SendMutex);
+    if (Conn.sendFrame(wire::FrameType::AuthProof,
+                       wire::encodeAuthProof(Proof)) != IoStatus::Ok) {
+      setError(Error, "handshake send failed");
+      return WorkerExit::ProtocolError;
+    }
+  }
+
+  // Heartbeats start only after the hello: the coordinator ignores
+  // frames from unauthenticated connections by dropping them.
+  Beater Beats(Conn, SendMutex, Opts.HeartbeatIntervalMs);
+
+  uint64_t JobsRun = 0;
+  for (;;) {
+    bool RequestFailed;
+    {
+      std::lock_guard<std::mutex> Lock(SendMutex);
+      RequestFailed =
+          Conn.sendFrame(wire::FrameType::JobRequest, {}) != IoStatus::Ok;
+    }
+    if (RequestFailed) {
+      // A winding-down coordinator half-closes its receive side, which
+      // unix sockets surface to us as a send failure (EPIPE) — unlike
+      // TCP, where the peer's SHUT_RD is invisible.  Its Shutdown
+      // farewell may still be in flight; prefer it over the error.
+      wire::Frame Bye;
+      std::string ByeError;
+      const IoStatus ByeStatus = Conn.recvFrame(Bye, ByeError);
+      if (ByeStatus == IoStatus::Ok &&
+          Bye.Type == wire::FrameType::Shutdown)
+        return WorkerExit::CleanShutdown;
+      if (ByeStatus == IoStatus::Closed && JobsRun == 0) {
+        // No farewell, and the hang-up beat our very first request:
+        // same likeliest cause as the recv-side close below.
+        setError(Error, "coordinator closed after handshake "
+                        "(authentication rejected?)");
+        return WorkerExit::ProtocolError;
+      }
+      setError(Error, "job request send failed");
+      return WorkerExit::ProtocolError;
+    }
+
+    Status = Conn.recvFrame(Frame, DecodeError);
+    if (Status != IoStatus::Ok) {
+      if (Status == IoStatus::Closed && JobsRun == 0) {
+        // First post-handshake exchange and the peer hung up: the
+        // likeliest cause is a rejected hello (bad token or skew).
+        setError(Error, "coordinator closed after handshake "
+                        "(authentication rejected?)");
+        return WorkerExit::ProtocolError;
+      }
+      return ioFailure(Status, DecodeError, Error);
+    }
+
+    if (Frame.Type == wire::FrameType::Shutdown)
+      return WorkerExit::CleanShutdown;
+    if (Frame.Type != wire::FrameType::Assign) {
+      setError(Error, "expected Assign or Shutdown frame");
+      return WorkerExit::ProtocolError;
+    }
+
+    uint64_t Index = 0;
+    ExperimentSpec Spec;
+    if (!wire::decodeAssign(Frame.Payload, Index, Spec, DecodeError)) {
+      setError(Error, "undecodable assignment: " + DecodeError);
+      return WorkerExit::ProtocolError;
+    }
+
+    // The same private-Runtime execution an in-process job uses; the
+    // result is a pure function of the spec, so where it ran is
+    // invisible in the bytes.
+    RunResult Result = runExperiment(Spec);
+    ++JobsRun;
+
+    if (Opts.DropAfterJobs != 0 && JobsRun >= Opts.DropAfterJobs) {
+      // Fault injection: vanish exactly where a mid-job kill would —
+      // the job ran but its result never reaches the coordinator.  The
+      // close happens under the send mutex so the beater's next send
+      // sees the dead fd instead of racing the close.
+      {
+        std::lock_guard<std::mutex> Lock(SendMutex);
+        Conn.close();
+      }
+      Beats.stop();
+      setError(Error, "fault injection: dropped connection after " +
+                          std::to_string(JobsRun) + " job(s)");
+      return WorkerExit::Dropped;
+    }
+
+    bool ResultFailed;
+    {
+      std::lock_guard<std::mutex> Lock(SendMutex);
+      ResultFailed =
+          Conn.sendFrame(wire::FrameType::Result,
+                         wire::encodeResult(Index, Result)) != IoStatus::Ok;
+    }
+    if (ResultFailed) {
+      setError(Error, "result send failed");
+      return WorkerExit::ProtocolError;
+    }
+  }
+}

@@ -1,34 +1,50 @@
-//===- engine/Worker.h - Distributed matrix worker loop --------*- C++ -*-===//
+//===- fleet/Worker.h - Fleet experiment worker loop -----------*- C++ -*-===//
 //
 // Part of the hds project (PLDI 2002 hot data stream prefetching repro).
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The worker side of the distributed matrix runner: connect to a
-/// coordinator, pull spec assignments, run each through the exact same
-/// per-job private-Runtime path an in-process run uses
+/// The worker side of the fleet experiment service: connect to a
+/// coordinator, pass the authenticated hello (fleet/Auth.h) announcing
+/// this host's capabilities, pull spec assignments, run each through the
+/// exact same per-job private-Runtime path an in-process run uses
 /// (engine/ExperimentRunner.h), and stream the results back.  Because
 /// the simulation itself is a pure function of the spec, a result
 /// computed here is byte-for-byte the result a local thread would have
 /// produced — the wire moves bytes, it never changes them.
 ///
+/// While the main loop runs (or blocks on a long cell), a background
+/// beater sends Heartbeat frames every HeartbeatIntervalMs so the
+/// coordinator can tell "slow" from "dead".
+///
 //===----------------------------------------------------------------------===//
 
-#ifndef HDS_ENGINE_WORKER_H
-#define HDS_ENGINE_WORKER_H
+#ifndef HDS_FLEET_WORKER_H
+#define HDS_FLEET_WORKER_H
+
+#include "fleet/Registry.h"
 
 #include <cstdint>
 #include <string>
 
 namespace hds {
-namespace engine {
+namespace fleet {
 
 struct WorkerOptions {
   /// Deadline for every send/recv.  Must comfortably exceed the
   /// coordinator's gap between assignments (a worker waiting for work
   /// blocks in recv until a job is pulled or the matrix resolves).
   uint32_t IoTimeoutMs = 120000;
+  /// Shared secret for the authenticated hello; must match the
+  /// coordinator's --token (empty matches empty — the loopback default).
+  std::string Token;
+  /// Advisory capabilities announced in the Hello (docs/fleet.md);
+  /// zeroes are legal and mean "unstated".
+  WorkerCapabilities Caps;
+  /// Heartbeat cadence.  0 disables the beater (tests use this to
+  /// simulate a wedged worker).
+  uint32_t HeartbeatIntervalMs = 1000;
   /// Fault injection for tests: after running this many jobs, drop the
   /// connection *without sending the last result* — exactly what a
   /// worker killed mid-job looks like to the coordinator.  0 = never.
@@ -39,7 +55,8 @@ enum class WorkerExit : uint8_t {
   CleanShutdown, ///< coordinator said Shutdown: matrix resolved
   Dropped,       ///< DropAfterJobs fault injection tripped
   ConnectFailed,
-  ProtocolError, ///< unexpected/undecodable frame, or send failed
+  ProtocolError, ///< unexpected/undecodable frame, send failed, or the
+                 ///< coordinator rejected the hello
   TimedOut,      ///< coordinator went quiet past IoTimeoutMs
 };
 
@@ -50,7 +67,7 @@ WorkerExit runWorker(const std::string &Addr,
                      const WorkerOptions &Opts = WorkerOptions(),
                      std::string *Error = nullptr);
 
-} // namespace engine
+} // namespace fleet
 } // namespace hds
 
-#endif // HDS_ENGINE_WORKER_H
+#endif // HDS_FLEET_WORKER_H

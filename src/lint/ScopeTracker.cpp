@@ -60,6 +60,12 @@ std::vector<ClassSpan> findClassSpans(const Toks &T) {
         ++J;
         continue;
       }
+      if (isIdent(T, J, "final")) {
+        // `class Name final : Base {` — the specifier sits between the
+        // name and the base clause; skip it or the head walk stalls.
+        ++J;
+        continue;
+      }
       if (isPunct(T, J, "::")) {
         ++J;
         continue;

@@ -1,18 +1,21 @@
-//===- tests/distributed_test.cpp - Distributed matrix runner tests --------===//
+//===- tests/distributed_test.cpp - Fleet experiment service tests ---------===//
 //
 // Part of the hds project (PLDI 2002 hot data stream prefetching repro).
 //
-// Tests for the distributed shard runner (src/engine/Wire.h, Transport.h,
-// Coordinator.h, Worker.h, Executor.h): wire round-trips, frame decoding
-// under truncation/corruption/version skew (this binary runs under ASan
-// and TSan in CI), socket transport round-trips, and the headline
-// contract — a loopback distributed run aggregates to JSON byte-identical
-// to an in-process run, including when a worker dies mid-job.
+// Tests for the wire protocol, socket transport, and the fleet experiment
+// service (src/engine/Wire.h, Transport.h, src/fleet/): wire round-trips,
+// frame decoding under truncation/corruption/version skew (this binary
+// runs under ASan and TSan in CI), the authenticated hello (bad token,
+// replayed proof, version skew), heartbeat-loss requeue, the checkpoint
+// journal (round-trip, torn tail, corruption, fingerprint mismatch), and
+// the headline contract — a fleet run aggregates to JSON byte-identical
+// to an in-process run, including when a worker dies mid-job or the
+// matrix is drained, checkpointed, and resumed.
 //
 //===----------------------------------------------------------------------===//
 
-#include "engine/Coordinator.h"
 #include "engine/Executor.h"
+#include "engine/ExecutorFactory.h"
 #include "engine/ExperimentRunner.h"
 #include "engine/ExperimentSpec.h"
 #include "engine/ResultSink.h"
@@ -20,15 +23,24 @@
 #include "engine/ResultsJson.h"
 #include "engine/Transport.h"
 #include "engine/Wire.h"
-#include "engine/Worker.h"
+#include "fleet/Auth.h"
+#include "fleet/Checkpoint.h"
+#include "fleet/Coordinator.h"
+#include "fleet/Events.h"
+#include "fleet/FleetExecutor.h"
+#include "fleet/Registry.h"
+#include "fleet/Worker.h"
 
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
+#include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <netinet/in.h>
 #include <string>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <thread>
 #include <type_traits>
 #include <unistd.h>
@@ -36,6 +48,7 @@
 
 using namespace hds;
 using namespace hds::engine;
+using namespace hds::fleet;
 
 namespace {
 
@@ -114,10 +127,14 @@ std::vector<ExperimentSpec> smallMatrix() {
 
 std::string localJson(const std::vector<ExperimentSpec> &Specs,
                       unsigned Jobs) {
-  LocalExecutor::Options Opts;
-  Opts.Jobs = Jobs;
-  LocalExecutor Local(Opts);
-  return resultsToJson(Local.run(Specs));
+  FleetConfig Config;
+  Config.Jobs = Jobs;
+  return resultsToJson(makeLocal(Config)->run(Specs));
+}
+
+/// A scratch file under /tmp, unique per test process.
+std::string tempPath(const std::string &Stem) {
+  return "/tmp/hds-fleet-test-" + Stem + "-" + std::to_string(getpid());
 }
 
 //===----------------------------------------------------------------------===//
@@ -177,6 +194,36 @@ TEST(Wire, ErrorResultRoundTripKeepsStatusAndMessage) {
   EXPECT_EQ(Decoded.State, RunResult::Status::Error);
   EXPECT_EQ(Decoded.Error, Failed.Error);
   EXPECT_EQ(jsonFor(Decoded), jsonFor(Failed));
+}
+
+TEST(Wire, HelloRoundTripCarriesCapabilities) {
+  wire::HelloInfo Info;
+  Info.Cores = 48;
+  Info.MemoryBudgetMB = 65536;
+
+  wire::HelloInfo Decoded;
+  std::string Error;
+  ASSERT_TRUE(wire::decodeHello(wire::encodeHello(Info), Decoded, Error))
+      << Error;
+  EXPECT_EQ(Decoded.Cores, 48u);
+  EXPECT_EQ(Decoded.MemoryBudgetMB, 65536u);
+}
+
+TEST(Wire, ChallengeAndAuthProofRoundTrip) {
+  uint64_t Hi = 0, Lo = 0;
+  std::string Error;
+  ASSERT_TRUE(wire::decodeChallenge(
+      wire::encodeChallenge(0x0123456789ABCDEFull, 0xFEDCBA9876543210ull),
+      Hi, Lo, Error))
+      << Error;
+  EXPECT_EQ(Hi, 0x0123456789ABCDEFull);
+  EXPECT_EQ(Lo, 0xFEDCBA9876543210ull);
+
+  uint64_t Digest = 0;
+  ASSERT_TRUE(wire::decodeAuthProof(wire::encodeAuthProof(0xDEADBEEFCAFEull),
+                                    Digest, Error))
+      << Error;
+  EXPECT_EQ(Digest, 0xDEADBEEFCAFEull);
 }
 
 //===----------------------------------------------------------------------===//
@@ -335,6 +382,38 @@ TEST(Wire, SeededGarbagePayloadsNeverDecode) {
 }
 
 //===----------------------------------------------------------------------===//
+// Authenticated hello primitives
+//===----------------------------------------------------------------------===//
+
+TEST(Auth, ProofIsDeterministicAndKeyedByEveryInput) {
+  AuthNonce Nonce;
+  Nonce.Hi = 0x1111222233334444ull;
+  Nonce.Lo = 0x5555666677778888ull;
+  const uint64_t Proof = proofDigest("secret", Nonce, wire::ProtocolVersion);
+  EXPECT_EQ(Proof, proofDigest("secret", Nonce, wire::ProtocolVersion));
+
+  // Any input change must change the digest: a proof for the wrong
+  // token, a replayed nonce, or a version-skewed peer never verifies.
+  EXPECT_NE(Proof, proofDigest("Secret", Nonce, wire::ProtocolVersion));
+  EXPECT_NE(Proof, proofDigest("", Nonce, wire::ProtocolVersion));
+  AuthNonce Other = Nonce;
+  Other.Lo ^= 1;
+  EXPECT_NE(Proof, proofDigest("secret", Other, wire::ProtocolVersion));
+  EXPECT_NE(Proof,
+            proofDigest("secret", Nonce,
+                        static_cast<uint8_t>(wire::ProtocolVersion + 1)));
+}
+
+TEST(Auth, NoncesDifferAcrossConnections) {
+  // Distinct connection salts must yield distinct nonces even on the
+  // no-urandom fallback path — that distinctness is what makes a
+  // captured proof worthless on the next connection.
+  const AuthNonce A = makeNonce(1);
+  const AuthNonce B = makeNonce(2);
+  EXPECT_TRUE(A.Hi != B.Hi || A.Lo != B.Lo);
+}
+
+//===----------------------------------------------------------------------===//
 // Transport
 //===----------------------------------------------------------------------===//
 
@@ -459,7 +538,7 @@ TEST(Transport, EofMidFrameIsMalformedNotAHang) {
 }
 
 //===----------------------------------------------------------------------===//
-// Coordinator + Worker end-to-end
+// Coordinator + worker end-to-end
 //===----------------------------------------------------------------------===//
 
 CoordinatorOptions quickCoordinator() {
@@ -502,6 +581,32 @@ std::string serveWithWorkers(const std::vector<ExperimentSpec> &Specs,
   return resultsToJson(Sink.take());
 }
 
+/// Performs the worker side of the authenticated hello on an already
+/// connected \p Conn, optionally exposing the nonce and proof so tests
+/// can replay them.
+void clientHello(Connection &Conn, const std::string &Token,
+                 AuthNonce *NonceOut = nullptr, uint64_t *ProofOut = nullptr) {
+  std::string Error;
+  ASSERT_EQ(Conn.sendFrame(wire::FrameType::Hello,
+                           wire::encodeHello(wire::HelloInfo())),
+            IoStatus::Ok);
+  wire::Frame Frame;
+  ASSERT_EQ(Conn.recvFrame(Frame, Error), IoStatus::Ok) << Error;
+  ASSERT_EQ(Frame.Type, wire::FrameType::Challenge);
+  AuthNonce Nonce;
+  ASSERT_TRUE(wire::decodeChallenge(Frame.Payload, Nonce.Hi, Nonce.Lo,
+                                    Error))
+      << Error;
+  const uint64_t Proof = proofDigest(Token, Nonce, wire::ProtocolVersion);
+  if (NonceOut)
+    *NonceOut = Nonce;
+  if (ProofOut)
+    *ProofOut = Proof;
+  ASSERT_EQ(Conn.sendFrame(wire::FrameType::AuthProof,
+                           wire::encodeAuthProof(Proof)),
+            IoStatus::Ok);
+}
+
 TEST(Distributed, TwoWorkersMatchLocalJsonByteForByte) {
   const std::vector<ExperimentSpec> Specs = smallMatrix();
   const std::string Local = localJson(Specs, 4);
@@ -521,6 +626,17 @@ TEST(Distributed, UnixSocketTransportIsAlsoByteIdentical) {
   EXPECT_EQ(localJson(Specs, 2), Remote);
 }
 
+TEST(Distributed, MatchingTokensAuthenticateAndMatchLocalBytes) {
+  const std::vector<ExperimentSpec> Specs = smallMatrix();
+  CoordinatorOptions Opts = quickCoordinator();
+  Opts.Token = "fleet-secret";
+  WorkerOptions Tokened;
+  Tokened.Token = "fleet-secret";
+  const std::string Remote =
+      serveWithWorkers(Specs, {Tokened, Tokened}, Opts);
+  EXPECT_EQ(localJson(Specs, 2), Remote);
+}
+
 TEST(Distributed, WorkerKilledMidJobStillYieldsIdenticalBytes) {
   const std::vector<ExperimentSpec> Specs = smallMatrix();
   // One worker drops its connection after running a job *without sending
@@ -531,6 +647,218 @@ TEST(Distributed, WorkerKilledMidJobStillYieldsIdenticalBytes) {
   const std::string Remote = serveWithWorkers(
       Specs, {Faulty, WorkerOptions()}, quickCoordinator());
   EXPECT_EQ(localJson(Specs, 4), Remote);
+}
+
+TEST(Distributed, BadTokenWorkerIsRejectedAtHello) {
+  const std::vector<ExperimentSpec> Specs = smallMatrix();
+  CoordinatorOptions Opts = quickCoordinator();
+  Opts.Token = "fleet-secret";
+  FleetStatsCollector Stats;
+  Opts.Events = &Stats;
+
+  Coordinator Coord(Opts);
+  ASSERT_TRUE(Coord.listen()) << Coord.error();
+  ResultSink Sink(Specs.size());
+  std::jthread Server([&] { Coord.serve(Specs, Sink); });
+
+  // The impostor is rejected at the hello: it never sees an assignment
+  // and its exit is not a clean shutdown.
+  WorkerOptions Impostor;
+  Impostor.Token = "wrong-secret";
+  std::string ImpostorError;
+  const WorkerExit Rejected =
+      runWorker(Coord.boundAddress(), Impostor, &ImpostorError);
+  EXPECT_NE(Rejected, WorkerExit::CleanShutdown);
+  EXPECT_NE(ImpostorError.find("authentication rejected"),
+            std::string::npos)
+      << ImpostorError;
+
+  WorkerOptions Honest;
+  Honest.Token = "fleet-secret";
+  std::string HonestError;
+  EXPECT_EQ(runWorker(Coord.boundAddress(), Honest, &HonestError),
+            WorkerExit::CleanShutdown)
+      << HonestError;
+  Server.join();
+
+  EXPECT_GE(Coord.registry().authFailureCount(), 1u);
+  EXPECT_EQ(Coord.registry().registeredCount(), 1u);
+  EXPECT_GE(Stats.snapshot().AuthFailures, 1u);
+  EXPECT_EQ(Stats.snapshot().WorkersRegistered, 1u);
+  EXPECT_EQ(resultsToJson(Sink.take()), localJson(Specs, 2));
+}
+
+TEST(Distributed, ReplayedProofFromAnotherConnectionIsRejected) {
+  const std::vector<ExperimentSpec> Specs = smallMatrix();
+  CoordinatorOptions Opts = quickCoordinator();
+  Opts.Token = "fleet-secret";
+
+  Coordinator Coord(Opts);
+  ASSERT_TRUE(Coord.listen()) << Coord.error();
+  ResultSink Sink(Specs.size());
+  std::jthread Server([&] { Coord.serve(Specs, Sink); });
+
+  // First connection: complete the hello honestly and capture the proof
+  // an eavesdropper would have seen on the wire.
+  std::string Error;
+  AuthNonce FirstNonce;
+  uint64_t CapturedProof = 0;
+  {
+    Connection First = connectTo(Coord.boundAddress(), Error);
+    ASSERT_TRUE(First.valid()) << Error;
+    ASSERT_TRUE(First.setDeadlines(10000, 10000));
+    clientHello(First, "fleet-secret", &FirstNonce, &CapturedProof);
+    // Drop the authenticated connection without requesting work.
+  }
+
+  // Second connection: replay the captured proof.  The nonce is fresh,
+  // so the stale proof must be rejected and the connection dropped.
+  Connection Replayer = connectTo(Coord.boundAddress(), Error);
+  ASSERT_TRUE(Replayer.valid()) << Error;
+  ASSERT_TRUE(Replayer.setDeadlines(10000, 10000));
+  ASSERT_EQ(Replayer.sendFrame(wire::FrameType::Hello,
+                               wire::encodeHello(wire::HelloInfo())),
+            IoStatus::Ok);
+  wire::Frame Frame;
+  ASSERT_EQ(Replayer.recvFrame(Frame, Error), IoStatus::Ok) << Error;
+  ASSERT_EQ(Frame.Type, wire::FrameType::Challenge);
+  AuthNonce SecondNonce;
+  ASSERT_TRUE(wire::decodeChallenge(Frame.Payload, SecondNonce.Hi,
+                                    SecondNonce.Lo, Error))
+      << Error;
+  EXPECT_TRUE(SecondNonce.Hi != FirstNonce.Hi ||
+              SecondNonce.Lo != FirstNonce.Lo)
+      << "challenge nonce reused across connections";
+  ASSERT_EQ(Replayer.sendFrame(wire::FrameType::AuthProof,
+                               wire::encodeAuthProof(CapturedProof)),
+            IoStatus::Ok);
+  EXPECT_NE(Replayer.recvFrame(Frame, Error), IoStatus::Ok)
+      << "replayed proof was accepted";
+  Replayer.close();
+
+  // A real worker finishes the matrix; the replay attempt left a mark in
+  // the registry but no job ever flowed to it.
+  WorkerOptions Honest;
+  Honest.Token = "fleet-secret";
+  std::string HonestError;
+  EXPECT_EQ(runWorker(Coord.boundAddress(), Honest, &HonestError),
+            WorkerExit::CleanShutdown)
+      << HonestError;
+  Server.join();
+
+  EXPECT_GE(Coord.registry().authFailureCount(), 1u);
+  EXPECT_EQ(resultsToJson(Sink.take()), localJson(Specs, 2));
+}
+
+TEST(Distributed, VersionSkewedHelloIsRejectedBeforeAuth) {
+  const std::vector<ExperimentSpec> Specs = smallMatrix();
+  CoordinatorOptions Opts = quickCoordinator();
+  Opts.Token = "fleet-secret";
+
+  Coordinator Coord(Opts);
+  ASSERT_TRUE(Coord.listen()) << Coord.error();
+  ResultSink Sink(Specs.size());
+  std::jthread Server([&] { Coord.serve(Specs, Sink); });
+
+  // Raw client speaking a future protocol version: patch the version
+  // byte of an otherwise valid Hello.  The CRC covers only the payload,
+  // so the frame fails the version check, not the checksum — exactly the
+  // skew a mixed-version fleet would produce.
+  Address Addr;
+  std::string Error;
+  ASSERT_TRUE(parseAddress(Coord.boundAddress(), Addr, Error)) << Error;
+  const int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  timeval Timeout{5, 0};
+  ASSERT_EQ(::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Timeout,
+                         sizeof(Timeout)),
+            0);
+  sockaddr_in Sin{};
+  Sin.sin_family = AF_INET;
+  Sin.sin_port = htons(Addr.Port);
+  ASSERT_EQ(inet_pton(AF_INET, Addr.Host.c_str(), &Sin.sin_addr), 1);
+  ASSERT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Sin), sizeof(Sin)),
+            0);
+  std::vector<uint8_t> Bytes = wire::encodeFrame(
+      wire::FrameType::Hello, wire::encodeHello(wire::HelloInfo()));
+  Bytes[2] = wire::ProtocolVersion + 1;
+  ASSERT_EQ(::send(Fd, Bytes.data(), Bytes.size(), 0),
+            static_cast<ssize_t>(Bytes.size()));
+  // The coordinator drops the connection without a challenge.
+  uint8_t Scrap = 0;
+  EXPECT_LE(::recv(Fd, &Scrap, 1, 0), 0);
+  ::close(Fd);
+
+  WorkerOptions Honest;
+  Honest.Token = "fleet-secret";
+  std::string HonestError;
+  EXPECT_EQ(runWorker(Coord.boundAddress(), Honest, &HonestError),
+            WorkerExit::CleanShutdown)
+      << HonestError;
+  Server.join();
+
+  EXPECT_GE(Coord.registry().authFailureCount(), 1u);
+  EXPECT_EQ(Coord.registry().registeredCount(), 1u);
+  EXPECT_EQ(resultsToJson(Sink.take()), localJson(Specs, 2));
+}
+
+TEST(Distributed, HeartbeatLossRequeuesTheJobAndBytesStillMatch) {
+  const std::vector<ExperimentSpec> Specs = smallMatrix();
+  CoordinatorOptions Opts = quickCoordinator();
+  Opts.HeartbeatIntervalMs = 50;
+  Opts.HeartbeatMisses = 2;
+  FleetStatsCollector Stats;
+  Opts.Events = &Stats;
+
+  Coordinator Coord(Opts);
+  ASSERT_TRUE(Coord.listen()) << Coord.error();
+  ResultSink Sink(Specs.size());
+  std::jthread Server([&] { Coord.serve(Specs, Sink); });
+
+  // A wedged worker: handshakes, takes an assignment, then goes silent —
+  // no result, no heartbeats, connection held open.  runWorker cannot be
+  // coaxed into this (its beater thread is always honest), so drive the
+  // protocol by hand.
+  std::string Error;
+  Connection Wedged = connectTo(Coord.boundAddress(), Error);
+  ASSERT_TRUE(Wedged.valid()) << Error;
+  ASSERT_TRUE(Wedged.setDeadlines(10000, 10000));
+  clientHello(Wedged, "");
+  ASSERT_EQ(Wedged.sendFrame(wire::FrameType::JobRequest, {}), IoStatus::Ok);
+  wire::Frame Frame;
+  ASSERT_EQ(Wedged.recvFrame(Frame, Error), IoStatus::Ok) << Error;
+  ASSERT_EQ(Frame.Type, wire::FrameType::Assign);
+
+  // Only now start the healthy worker, so the wedged one holds a real
+  // assignment that must be requeued.  It beats faster than the
+  // coordinator's 100 ms silence window so long cells never look dead.
+  WorkerOptions Healthy;
+  Healthy.HeartbeatIntervalMs = 25;
+  std::string HealthyError;
+  std::jthread Runner([&, Addr = Coord.boundAddress()] {
+    EXPECT_EQ(runWorker(Addr, Healthy, &HealthyError),
+              WorkerExit::CleanShutdown)
+        << HealthyError;
+  });
+
+  // The coordinator declares the wedged worker dead after two silent
+  // heartbeat intervals and closes the connection.
+  while (Wedged.recvFrame(Frame, Error) == IoStatus::Ok) {
+  }
+  Wedged.close();
+  Runner.join();
+  Server.join();
+
+  const FleetStats Observed = Stats.snapshot();
+  EXPECT_GE(Observed.HeartbeatsMissed, 1u);
+  EXPECT_GE(Observed.JobsRequeued, 1u);
+  EXPECT_GE(Observed.Heartbeats, 1u);
+  bool SawHeartbeatDeparture = false;
+  for (const WorkerRecord &Row : Coord.registry().snapshot())
+    if (Row.DepartReason.find("heartbeat") != std::string::npos)
+      SawHeartbeatDeparture = true;
+  EXPECT_TRUE(SawHeartbeatDeparture);
+  EXPECT_EQ(resultsToJson(Sink.take()), localJson(Specs, 2));
 }
 
 TEST(Distributed, RetryBudgetExhaustionResolvesAsErrorNotAHang) {
@@ -584,9 +912,16 @@ TEST(Distributed, IdleDeadlineFailsTheMatrixWhenNoWorkerEverConnects) {
 }
 
 TEST(Distributed, InvalidListenAddressResolvesEverySlotAsError) {
-  SocketExecutor::Options Opts;
-  Opts.Coordinator.ListenAddr = "not-an-address";
-  SocketExecutor Exec(Opts);
+  FleetConfig Config;
+  Config.ListenAddr = "not-an-address";
+
+  std::string Bound, Error;
+  EXPECT_EQ(makeFleet(Config, &Bound, &Error), nullptr);
+  EXPECT_FALSE(Error.empty());
+
+  // The exposed executor still honors the never-hang contract: every
+  // slot resolves as an error naming the invalid config.
+  FleetExecutor Exec(Config);
   EXPECT_FALSE(Exec.valid());
   EXPECT_FALSE(Exec.error().empty());
 
@@ -598,8 +933,21 @@ TEST(Distributed, InvalidListenAddressResolvesEverySlotAsError) {
   const std::vector<RunResult> Results = Exec.run(Specs);
   ASSERT_EQ(Results.size(), 1u);
   EXPECT_EQ(Results[0].State, RunResult::Status::Error);
-  EXPECT_NE(Results[0].Error.find("listener"), std::string::npos)
+  EXPECT_NE(Results[0].Error.find("invalid"), std::string::npos)
       << Results[0].Error;
+}
+
+TEST(Distributed, NonLoopbackListenersNeedOptInAndAToken) {
+  FleetConfig Config;
+  Config.ListenAddr = "0.0.0.0:0";
+  std::string Bound, Error;
+  EXPECT_EQ(makeFleet(Config, &Bound, &Error), nullptr);
+  EXPECT_NE(Error.find("non-loopback"), std::string::npos) << Error;
+
+  Config.AllowNonLoopback = true; // opted in, but still no shared secret
+  Error.clear();
+  EXPECT_EQ(makeFleet(Config, &Bound, &Error), nullptr);
+  EXPECT_NE(Error.find("--token"), std::string::npos) << Error;
 }
 
 TEST(Distributed, WorkerAgainstNobodyFailsToConnectCleanly) {
@@ -608,6 +956,316 @@ TEST(Distributed, WorkerAgainstNobodyFailsToConnectCleanly) {
   const WorkerExit Exit = runWorker("127.0.0.1:1", WorkerOptions(), &Error);
   EXPECT_EQ(Exit, WorkerExit::ConnectFailed);
   EXPECT_FALSE(Error.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Worker registry
+//===----------------------------------------------------------------------===//
+
+TEST(Registry, RowsKeepRegistrationOrderAndDepartureReasons) {
+  WorkerRegistry Registry;
+  WorkerCapabilities BigBox;
+  BigBox.Cores = 64;
+  BigBox.MemoryBudgetMB = 262144;
+  const uint64_t First = Registry.add(BigBox);
+  const uint64_t Second = Registry.add(WorkerCapabilities());
+  EXPECT_LT(First, Second);
+
+  Registry.recordHeartbeat(First);
+  Registry.recordHeartbeat(First);
+  Registry.recordJob(First);
+  Registry.markDeparted(First, "worker heartbeats lost");
+  Registry.recordAuthFailure();
+
+  EXPECT_EQ(Registry.registeredCount(), 2u);
+  EXPECT_EQ(Registry.connectedCount(), 1u);
+  EXPECT_EQ(Registry.authFailureCount(), 1u);
+  EXPECT_EQ(Registry.heartbeatCount(), 2u);
+
+  const std::vector<WorkerRecord> Rows = Registry.snapshot();
+  ASSERT_EQ(Rows.size(), 2u);
+  EXPECT_EQ(Rows[0].Id, First);
+  EXPECT_EQ(Rows[0].Caps.Cores, 64u);
+  EXPECT_EQ(Rows[0].Heartbeats, 2u);
+  EXPECT_EQ(Rows[0].JobsCompleted, 1u);
+  EXPECT_FALSE(Rows[0].Connected);
+  EXPECT_EQ(Rows[0].DepartReason, "worker heartbeats lost");
+  EXPECT_TRUE(Rows[1].Connected);
+  EXPECT_TRUE(Rows[1].DepartReason.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint journal
+//===----------------------------------------------------------------------===//
+
+TEST(Checkpoint, WriterReaderRoundTripRestoresExactResultBytes) {
+  const std::vector<ExperimentSpec> Specs = smallMatrix();
+  FleetConfig Local;
+  Local.Jobs = 2;
+  const std::vector<RunResult> Results = makeLocal(Local)->run(Specs);
+
+  const std::string Path = tempPath("roundtrip");
+  std::remove(Path.c_str());
+  CheckpointWriter Writer;
+  std::string Error;
+  ASSERT_TRUE(Writer.create(Path, Specs, Error)) << Error;
+  EXPECT_TRUE(Writer.isOpen());
+  EXPECT_TRUE(Writer.append(1, Results[1]));
+  EXPECT_TRUE(Writer.append(3, Results[3]));
+
+  // Errored cells are never journaled: they must re-run on resume.
+  RunResult Failed;
+  Failed.Spec = Specs[0];
+  Failed.State = RunResult::Status::Error;
+  Failed.Error = "synthetic";
+  EXPECT_FALSE(Writer.append(0, Failed));
+  EXPECT_EQ(Writer.records(), 2u);
+  Writer.close();
+
+  CheckpointContents Saved;
+  ASSERT_TRUE(readCheckpoint(Path, Saved, Error)) << Error;
+  EXPECT_FALSE(Saved.TornTail);
+  EXPECT_EQ(Saved.CompletedCells, 2u);
+  EXPECT_EQ(Saved.Fingerprint, matrixFingerprint(Specs));
+  ASSERT_EQ(Saved.Specs.size(), Specs.size());
+  ASSERT_EQ(Saved.Resolved.size(), Specs.size());
+  for (std::size_t I = 0; I < Specs.size(); ++I)
+    EXPECT_EQ(Saved.Resolved[I], I == 1 || I == 3) << "cell " << I;
+  // The journal stores the Result wire encoding, so restored cells
+  // serialize to exactly the bytes a live worker would have delivered.
+  EXPECT_EQ(jsonFor(Saved.Results[1]), jsonFor(Results[1]));
+  EXPECT_EQ(jsonFor(Saved.Results[3]), jsonFor(Results[3]));
+  std::remove(Path.c_str());
+}
+
+TEST(Checkpoint, TornTailIsDroppedNotFatal) {
+  const std::vector<ExperimentSpec> Specs = smallMatrix();
+  const std::string Path = tempPath("torn");
+  std::remove(Path.c_str());
+  CheckpointWriter Writer;
+  std::string Error;
+  ASSERT_TRUE(Writer.create(Path, Specs, Error)) << Error;
+  RunResult Done = fancyResult();
+  Done.Spec = Specs[2];
+  ASSERT_TRUE(Writer.append(2, Done));
+  Done.Spec = Specs[5];
+  ASSERT_TRUE(Writer.append(5, Done));
+  Writer.close();
+
+  // Chop bytes off the final record: a coordinator killed mid-append.
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  ASSERT_NE(File, nullptr);
+  ASSERT_EQ(std::fseek(File, 0, SEEK_END), 0);
+  const long Size = std::ftell(File);
+  ASSERT_GT(Size, 16);
+  std::fclose(File);
+  ASSERT_EQ(truncate(Path.c_str(), Size - 9), 0);
+
+  CheckpointContents Saved;
+  ASSERT_TRUE(readCheckpoint(Path, Saved, Error)) << Error;
+  EXPECT_TRUE(Saved.TornTail);
+  EXPECT_EQ(Saved.CompletedCells, 1u);
+  EXPECT_TRUE(Saved.Resolved[2]);
+  EXPECT_FALSE(Saved.Resolved[5]); // the torn record re-runs
+  std::remove(Path.c_str());
+}
+
+TEST(Checkpoint, CorruptionAnywhereRejectsTheWholeJournal) {
+  const std::vector<ExperimentSpec> Specs = smallMatrix();
+  const std::string Path = tempPath("corrupt");
+  std::remove(Path.c_str());
+  CheckpointWriter Writer;
+  std::string Error;
+  ASSERT_TRUE(Writer.create(Path, Specs, Error)) << Error;
+  RunResult Done = fancyResult();
+  Done.Spec = Specs[0];
+  ASSERT_TRUE(Writer.append(0, Done));
+  Writer.close();
+
+  // Flip one byte in the middle of the record's payload: the CRC fails,
+  // and unlike a torn tail this must reject the journal outright.
+  std::FILE *File = std::fopen(Path.c_str(), "rb+");
+  ASSERT_NE(File, nullptr);
+  ASSERT_EQ(std::fseek(File, 0, SEEK_END), 0);
+  const long Size = std::ftell(File);
+  ASSERT_GT(Size, 32);
+  ASSERT_EQ(std::fseek(File, Size - 16, SEEK_SET), 0);
+  int Byte = std::fgetc(File);
+  ASSERT_NE(Byte, EOF);
+  ASSERT_EQ(std::fseek(File, Size - 16, SEEK_SET), 0);
+  ASSERT_NE(std::fputc(Byte ^ 0xFF, File), EOF);
+  std::fclose(File);
+
+  CheckpointContents Saved;
+  EXPECT_FALSE(readCheckpoint(Path, Saved, Error));
+  EXPECT_FALSE(Error.empty());
+  std::remove(Path.c_str());
+}
+
+TEST(Checkpoint, DuplicateRecordsAreRejected) {
+  const std::vector<ExperimentSpec> Specs = smallMatrix();
+  const std::string Path = tempPath("duplicate");
+  std::remove(Path.c_str());
+  CheckpointWriter Writer;
+  std::string Error;
+  ASSERT_TRUE(Writer.create(Path, Specs, Error)) << Error;
+  RunResult Done = fancyResult();
+  Done.Spec = Specs[4];
+  ASSERT_TRUE(Writer.append(4, Done));
+  ASSERT_TRUE(Writer.append(4, Done)); // the writer trusts its caller…
+  Writer.close();
+
+  CheckpointContents Saved;
+  EXPECT_FALSE(readCheckpoint(Path, Saved, Error)); // …the reader does not
+  EXPECT_FALSE(Error.empty());
+  std::remove(Path.c_str());
+}
+
+TEST(Checkpoint, FingerprintMismatchRefusesToResume) {
+  std::vector<ExperimentSpec> Journaled = smallMatrix();
+  const std::string Path = tempPath("fingerprint");
+  std::remove(Path.c_str());
+  CheckpointWriter Writer;
+  std::string Error;
+  ASSERT_TRUE(Writer.create(Path, Journaled, Error)) << Error;
+  Writer.close();
+
+  // Same cell count, different matrix: the fingerprint must catch it.
+  std::vector<ExperimentSpec> Different = smallMatrix();
+  Different[0].Iterations += 1;
+  EXPECT_NE(matrixFingerprint(Journaled), matrixFingerprint(Different));
+
+  FleetConfig Config;
+  Config.CheckpointPath = Path;
+  Config.Resume = true;
+  FleetExecutor Exec(Config);
+  ASSERT_TRUE(Exec.valid()) << Exec.error();
+  const std::vector<RunResult> Results = Exec.run(Different);
+  ASSERT_EQ(Results.size(), Different.size());
+  for (const RunResult &Result : Results) {
+    EXPECT_EQ(Result.State, RunResult::Status::Error);
+    EXPECT_NE(Result.Error.find("different matrix"), std::string::npos)
+        << Result.Error;
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(Checkpoint, MissingJournalRefusesToResume) {
+  const std::string Path = tempPath("missing");
+  std::remove(Path.c_str());
+  FleetConfig Config;
+  Config.CheckpointPath = Path;
+  Config.Resume = true;
+  FleetExecutor Exec(Config);
+
+  std::vector<ExperimentSpec> Specs;
+  ExperimentSpec Spec;
+  Spec.Workload = "vpr";
+  Spec.Iterations = 100;
+  Specs.push_back(Spec);
+  const std::vector<RunResult> Results = Exec.run(Specs);
+  ASSERT_EQ(Results.size(), 1u);
+  EXPECT_EQ(Results[0].State, RunResult::Status::Error);
+  EXPECT_NE(Results[0].Error.find("resume"), std::string::npos)
+      << Results[0].Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint/resume end-to-end through the fleet executor
+//===----------------------------------------------------------------------===//
+
+TEST(Distributed, ResumeFromPartialJournalMatchesLocalBytes) {
+  const std::vector<ExperimentSpec> Specs = smallMatrix();
+  FleetConfig LocalConfig;
+  LocalConfig.Jobs = 2;
+  const std::vector<RunResult> Reference =
+      makeLocal(LocalConfig)->run(Specs);
+
+  // A journal a killed coordinator left behind: header plus two finished
+  // cells.  The journaled bytes are exactly what workers would have sent
+  // (the writer reuses the Result wire encoding), so resuming must
+  // reproduce the uninterrupted aggregate byte for byte.
+  const std::string Path = tempPath("resume");
+  std::remove(Path.c_str());
+  CheckpointWriter Writer;
+  std::string Error;
+  ASSERT_TRUE(Writer.create(Path, Specs, Error)) << Error;
+  ASSERT_TRUE(Writer.append(0, Reference[0]));
+  ASSERT_TRUE(Writer.append(3, Reference[3]));
+  Writer.close();
+
+  FleetConfig Config;
+  Config.CheckpointPath = Path;
+  Config.Resume = true;
+  FleetStatsCollector Stats;
+  Config.Events = &Stats;
+  FleetExecutor Exec(Config);
+  ASSERT_TRUE(Exec.valid()) << Exec.error();
+  std::jthread Runner([Addr = Exec.boundAddress()] {
+    WorkerOptions Opts;
+    std::string WorkerError;
+    EXPECT_EQ(runWorker(Addr, Opts, &WorkerError),
+              WorkerExit::CleanShutdown)
+        << WorkerError;
+  });
+  const std::vector<RunResult> Resumed = Exec.run(Specs);
+  Runner.join();
+
+  EXPECT_EQ(resultsToJson(Resumed), resultsToJson(Reference));
+  const FleetStats Observed = Stats.snapshot();
+  EXPECT_EQ(Observed.CellsResumed, 2u);
+  EXPECT_EQ(Observed.CellsCheckpointed, Specs.size() - 2);
+
+  // The journal now covers the whole matrix; a second resume needs no
+  // workers at all and still emits identical bytes.
+  CheckpointContents Saved;
+  ASSERT_TRUE(readCheckpoint(Path, Saved, Error)) << Error;
+  EXPECT_EQ(Saved.CompletedCells, Specs.size());
+
+  FleetConfig Again = Config;
+  Again.Events = nullptr;
+  FleetExecutor Cold(Again);
+  ASSERT_TRUE(Cold.valid()) << Cold.error();
+  EXPECT_EQ(resultsToJson(Cold.run(Specs)), resultsToJson(Reference));
+  std::remove(Path.c_str());
+}
+
+TEST(Distributed, DrainCancelsRemainderAndResumeFinishesTheMatrix) {
+  const std::vector<ExperimentSpec> Specs = smallMatrix();
+  const std::string Path = tempPath("drain");
+  std::remove(Path.c_str());
+
+  // Drain requested before any assignment: every cell resolves as
+  // Cancelled, the journal holds only its header, and nothing hangs.
+  std::atomic<bool> Drain{true};
+  FleetConfig Config;
+  Config.CheckpointPath = Path;
+  Config.CancelRequested = &Drain;
+  Config.IdleTimeoutMs = 10000;
+  FleetExecutor Exec(Config);
+  ASSERT_TRUE(Exec.valid()) << Exec.error();
+  const std::vector<RunResult> Drained = Exec.run(Specs);
+  ASSERT_EQ(Drained.size(), Specs.size());
+  for (const RunResult &Result : Drained)
+    EXPECT_EQ(Result.State, RunResult::Status::Cancelled);
+
+  // The journal a drained run leaves behind is a valid resume point.
+  FleetConfig ResumeConfig;
+  ResumeConfig.CheckpointPath = Path;
+  ResumeConfig.Resume = true;
+  FleetExecutor Resumer(ResumeConfig);
+  ASSERT_TRUE(Resumer.valid()) << Resumer.error();
+  std::jthread Runner([Addr = Resumer.boundAddress()] {
+    WorkerOptions Opts;
+    std::string WorkerError;
+    EXPECT_EQ(runWorker(Addr, Opts, &WorkerError),
+              WorkerExit::CleanShutdown)
+        << WorkerError;
+  });
+  const std::vector<RunResult> Finished = Resumer.run(Specs);
+  Runner.join();
+  EXPECT_EQ(resultsToJson(Finished), localJson(Specs, 2));
+  std::remove(Path.c_str());
 }
 
 //===----------------------------------------------------------------------===//
@@ -630,8 +1288,7 @@ TEST(ResultsDiff, CycleGrowthIsARegressionAndThresholdSilencesIt) {
   Spec.Workload = "vpr";
   Spec.Iterations = 200;
   Specs.push_back(Spec);
-  LocalExecutor Local;
-  std::vector<RunResult> Results = Local.run(Specs);
+  std::vector<RunResult> Results = makeLocal()->run(Specs);
   const std::string Before = resultsToJson(Results);
   Results[0].Cycles += Results[0].Cycles / 100 + 1; // ~1% slower
   const std::string After = resultsToJson(Results);
@@ -653,8 +1310,7 @@ TEST(ResultsDiff, CycleGrowthIsARegressionAndThresholdSilencesIt) {
 
 TEST(ResultsDiff, StatusFlipAndMissingCellsAreReported) {
   std::vector<ExperimentSpec> Specs = smallMatrix();
-  LocalExecutor Local;
-  std::vector<RunResult> Results = Local.run(Specs);
+  std::vector<RunResult> Results = makeLocal()->run(Specs);
   const std::string Before = resultsToJson(Results);
 
   Results[0].State = RunResult::Status::Error;

@@ -12,6 +12,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "engine/Executor.h"
+#include "engine/ExecutorFactory.h"
 #include "engine/ExperimentRunner.h"
 #include "engine/ExperimentSpec.h"
 #include "engine/JobScheduler.h"
@@ -199,7 +200,7 @@ TEST(ExperimentSpec, BadFilterReportsErrorAndLeavesSpecsAlone) {
 }
 
 //===----------------------------------------------------------------------===//
-// LocalExecutor determinism and failure isolation
+// Local executor determinism and failure isolation
 //===----------------------------------------------------------------------===//
 
 std::vector<ExperimentSpec> smallMatrix() {
@@ -223,10 +224,9 @@ std::vector<ExperimentSpec> smallMatrix() {
 
 std::string jsonForJobs(const std::vector<ExperimentSpec> &Specs,
                         unsigned Jobs) {
-  LocalExecutor::Options Opts;
-  Opts.Jobs = Jobs;
-  LocalExecutor Local(Opts);
-  return resultsToJson(Local.run(Specs));
+  FleetConfig Config;
+  Config.Jobs = Jobs;
+  return resultsToJson(makeLocal(Config)->run(Specs));
 }
 
 TEST(RunMatrix, AggregateJsonIsByteIdenticalAcrossJobCounts) {
@@ -249,10 +249,9 @@ TEST(RunMatrix, FailedShardKeepsOrderAndDoesNotPoisonNeighbours) {
   Specs.push_back(Bad);
   Specs.push_back(Good);
 
-  LocalExecutor::Options Opts;
-  Opts.Jobs = 2;
-  LocalExecutor Local(Opts);
-  const std::vector<RunResult> Results = Local.run(Specs);
+  FleetConfig Config;
+  Config.Jobs = 2;
+  const std::vector<RunResult> Results = makeLocal(Config)->run(Specs);
   ASSERT_EQ(Results.size(), 3u);
   EXPECT_TRUE(Results[0].ok());
   EXPECT_EQ(Results[1].State, RunResult::Status::Error);
@@ -267,12 +266,11 @@ TEST(RunMatrix, CancellationKeepsSpecOrderAndJoinsCleanly) {
   const std::vector<ExperimentSpec> Specs = smallMatrix();
   std::atomic<bool> Cancel{false};
 
-  LocalExecutor::Options Opts;
-  Opts.Jobs = 1; // serial: deliveries happen in spec order
-  Opts.CancelRequested = &Cancel;
-  LocalExecutor Local(Opts);
-  const std::vector<RunResult> Results =
-      Local.run(Specs, [&Cancel](std::size_t, const RunResult &) {
+  FleetConfig Config;
+  Config.Jobs = 1; // serial: deliveries happen in spec order
+  Config.CancelRequested = &Cancel;
+  const std::vector<RunResult> Results = makeLocal(Config)->run(
+      Specs, [&Cancel](std::size_t, const RunResult &) {
         Cancel.store(true); // request cancellation after the first delivery
       });
 
@@ -304,7 +302,7 @@ TEST(ResultsJson, OverheadIsRelativeToTheOriginalBaseline) {
   Specs.push_back(Base);
   Specs.push_back(Opt);
 
-  const std::vector<RunResult> Results = LocalExecutor().run(Specs);
+  const std::vector<RunResult> Results = makeLocal()->run(Specs);
   const std::string Json = resultsToJson(Results);
   // The baseline's overhead over itself is exactly zero.
   EXPECT_NE(Json.find("\"overhead_pct\": 0.0000"), std::string::npos);
@@ -320,7 +318,7 @@ TEST(ResultsJson, TimingObjectOnlyAppearsOnRequest) {
   Spec.Workload = "vpr";
   Spec.Iterations = 100;
   Specs.push_back(Spec);
-  const std::vector<RunResult> Results = LocalExecutor().run(Specs);
+  const std::vector<RunResult> Results = makeLocal()->run(Specs);
 
   TimingInfo Timing;
   Timing.IncludeWall = true;

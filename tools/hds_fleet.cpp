@@ -1,0 +1,351 @@
+//===- tools/hds_fleet.cpp - Fleet experiment service front end ------------===//
+//
+// Part of the hds project (PLDI 2002 hot data stream prefetching repro).
+//
+// The full-featured front end for the fleet experiment service
+// (src/fleet/, docs/fleet.md): coordinate a matrix across worker
+// processes, join a fleet as a worker, and inspect or finish checkpoint
+// journals.  `hds_matrix --serve/--worker` are thin wrappers over the
+// same machinery; this tool adds the lifecycle subcommands.
+//
+// Usage:
+//   hds_fleet serve [matrix options] [fleet serve options]
+//       Coordinate the (workload × mode × seed × scale) matrix on
+//       --serve ADDR (default 127.0.0.1:0), forking --workers N local
+//       workers.  With --checkpoint FILE, completed cells are journaled;
+//       SIGINT/SIGTERM drains gracefully (in-flight cells finish and
+//       journal, the rest are cancelled).
+//   hds_fleet worker ADDR [fleet worker options]
+//       Run the worker loop against the coordinator at ADDR.
+//   hds_fleet status --checkpoint FILE
+//       Describe a checkpoint journal: cells completed, fingerprint,
+//       torn tail.
+//   hds_fleet resume --checkpoint FILE [fleet serve options] [--out F]
+//       Finish an interrupted sweep: restore completed cells from the
+//       journal, serve only the remainder, emit the full aggregate —
+//       byte-identical to an uninterrupted run (tier-1 enforced).
+//   hds_fleet summarize --checkpoint FILE [--out F]
+//       Render the journal as aggregate JSON without running anything
+//       (unfinished cells appear as cancelled).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cli/Options.h"
+#include "engine/ExecutorFactory.h"
+#include "engine/ExperimentRunner.h"
+#include "engine/ExperimentSpec.h"
+#include "engine/ResultsJson.h"
+#include "fleet/Checkpoint.h"
+#include "fleet/Events.h"
+#include "fleet/FleetCli.h"
+#include "fleet/Worker.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace hds;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: hds_fleet serve [--scale F] [--seeds N] [--filter key=value]..."
+      "\n"
+      "                       [--out FILE] [--quiet]%s\n"
+      "       hds_fleet worker ADDR%s\n"
+      "       hds_fleet status --checkpoint FILE\n"
+      "       hds_fleet resume --checkpoint FILE [--out FILE] [--quiet]%s\n"
+      "       hds_fleet summarize --checkpoint FILE [--out FILE]\n"
+      "%s"
+      "addresses: host:port (port 0 = ephemeral) or unix:/path\n"
+      "see docs/fleet.md for the registry, heartbeat, checkpoint, and\n"
+      "trust-model details\n",
+      cli::fleetServeOptionsUsage().c_str(),
+      cli::fleetWorkerOptionsUsage().c_str(),
+      cli::fleetServeOptionsUsage().c_str(), engine::filterHelp().c_str());
+  std::exit(2);
+}
+
+/// SIGINT/SIGTERM request a graceful drain; the executor notices via
+/// FleetConfig::CancelRequested.
+std::atomic<bool> DrainRequested{false};
+
+extern "C" void onDrainSignal(int) {
+  DrainRequested.store(true, std::memory_order_relaxed);
+}
+
+struct ServeArgs {
+  double Scale = 1.0;
+  uint64_t Seeds = 0;
+  std::vector<std::string> Filters;
+  std::string OutPath;
+  bool Quiet = false;
+  cli::FleetOptions Fleet;
+};
+
+/// The same spec construction hds_matrix uses, so a fleet sweep and a
+/// local `hds_matrix --jobs N` run agree on the matrix cell for cell.
+std::vector<engine::ExperimentSpec> buildSpecs(const ServeArgs &Args) {
+  std::vector<engine::ExperimentSpec> Specs =
+      engine::defaultMatrix(Args.Scale);
+  if (Args.Seeds > 0) {
+    const std::vector<engine::ExperimentSpec> Base = Specs;
+    for (uint64_t Seed = 1; Seed <= Args.Seeds; ++Seed)
+      for (const engine::ExperimentSpec &Spec : Base) {
+        engine::ExperimentSpec Variant = Spec;
+        Variant.Seed = Seed;
+        Specs.push_back(Variant);
+      }
+  }
+  for (const std::string &Filter : Args.Filters) {
+    std::string Error;
+    if (!engine::applyFilter(Specs, Filter, &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      std::exit(2);
+    }
+  }
+  if (Specs.empty()) {
+    std::fprintf(stderr, "error: filters selected no experiments\n");
+    std::exit(2);
+  }
+  return Specs;
+}
+
+int emitResults(const std::vector<engine::RunResult> &Results,
+                const std::string &OutPath, bool Quiet) {
+  bool AnyError = false;
+  for (const engine::RunResult &Result : Results)
+    if (Result.State == engine::RunResult::Status::Error)
+      AnyError = true;
+  if (!OutPath.empty()) {
+    const std::string Json =
+        engine::resultsToJson(Results, engine::TimingInfo());
+    if (OutPath == "-") {
+      std::fwrite(Json.data(), 1, Json.size(), stdout);
+    } else {
+      std::FILE *Out = std::fopen(OutPath.c_str(), "w");
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                     OutPath.c_str());
+        return 2;
+      }
+      std::fwrite(Json.data(), 1, Json.size(), Out);
+      std::fclose(Out);
+      if (!Quiet)
+        std::fprintf(stderr, "results: %zu experiments -> %s\n",
+                     Results.size(), OutPath.c_str());
+    }
+  }
+  return AnyError ? 1 : 0;
+}
+
+void printFleetStats(const fleet::FleetStatsCollector &Collector) {
+  const fleet::FleetStats Stats = Collector.snapshot();
+  std::fprintf(stderr, "fleet:");
+  fleet::visitFleetStatsMetrics(
+      Stats, [](const obs::MetricDef &Def, uint64_t Value) {
+        std::fprintf(stderr, " %s=%llu", Def.Id,
+                     static_cast<unsigned long long>(Value));
+      });
+  std::fprintf(stderr, "\n");
+}
+
+/// Shared by `serve` (fresh journal) and `resume` (existing journal).
+int runSweep(const ServeArgs &Args,
+             std::vector<engine::ExperimentSpec> Specs, bool Resume) {
+  engine::FleetConfig Config = fleet::fleetConfigFromCli(Args.Fleet);
+  Config.Resume = Resume;
+  Config.CancelRequested = &DrainRequested;
+  fleet::FleetStatsCollector Stats;
+  Config.Events = &Stats;
+
+  std::signal(SIGINT, onDrainSignal);
+  std::signal(SIGTERM, onDrainSignal);
+
+  std::string Bound, Error;
+  std::unique_ptr<engine::Executor> Exec =
+      engine::makeFleet(Config, &Bound, &Error);
+  if (!Exec) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 2;
+  }
+  if (!Args.Quiet)
+    std::fprintf(stderr, "serving %zu experiments on %s (%u local "
+                         "worker(s))\n",
+                 Specs.size(), Bound.c_str(), Args.Fleet.Workers);
+
+  std::function<void(std::size_t, const engine::RunResult &)> OnResult;
+  const std::size_t Total = Specs.size();
+  if (!Args.Quiet)
+    OnResult = [Total, Done = std::size_t{0}](
+                   std::size_t, const engine::RunResult &R) mutable {
+      std::fprintf(stderr, "[%zu/%zu] %s: %s\n", ++Done, Total,
+                   R.Spec.label().c_str(),
+                   R.ok() ? "ok"
+                          : (R.State == engine::RunResult::Status::Error
+                                 ? R.Error.c_str()
+                                 : "cancelled"));
+    };
+
+  const std::vector<engine::RunResult> Results =
+      Exec->run(Specs, std::move(OnResult));
+
+  if (!Args.Quiet)
+    printFleetStats(Stats);
+
+  if (DrainRequested.load(std::memory_order_relaxed)) {
+    std::size_t Finished = 0;
+    for (const engine::RunResult &Result : Results)
+      if (Result.State != engine::RunResult::Status::Cancelled)
+        ++Finished;
+    std::fprintf(stderr,
+                 "drained: %zu/%zu cells resolved%s; resume with "
+                 "`hds_fleet resume --checkpoint FILE`\n",
+                 Finished, Results.size(),
+                 Args.Fleet.CheckpointPath.empty() ? " (no --checkpoint: "
+                                                    "progress not journaled)"
+                                                  : "");
+    return 0;
+  }
+  return emitResults(Results, Args.OutPath, Args.Quiet);
+}
+
+cli::OptionSet makeServeSet(ServeArgs &Args) {
+  cli::OptionSet Set([] { usage(); });
+  Set.positiveDouble("--scale", Args.Scale)
+      .u64("--seeds", Args.Seeds)
+      .strList("--filter", Args.Filters)
+      .str("--out", Args.OutPath)
+      .flag("--quiet", Args.Quiet);
+  cli::addFleetServeOptions(Set, Args.Fleet);
+  return Set;
+}
+
+int mainServe(int Argc, char **Argv) {
+  ServeArgs Args;
+  makeServeSet(Args).parse(Argc, Argv);
+  return runSweep(Args, buildSpecs(Args), /*Resume=*/false);
+}
+
+int mainWorker(int Argc, char **Argv) {
+  cli::FleetOptions Fleet;
+  bool Quiet = false;
+  // Positional coordinator address (`hds_fleet worker unix:/x.sock`);
+  // --worker ADDR works too for symmetry with hds_matrix.
+  int Skip = 0;
+  if (Argc >= 2 && Argv[1][0] != '-') {
+    Fleet.WorkerAddr = Argv[1];
+    Skip = 1;
+  }
+  cli::OptionSet Set([] { usage(); });
+  Set.flag("--quiet", Quiet);
+  cli::addFleetWorkerOptions(Set, Fleet);
+  Set.parse(Argc - Skip, Argv + Skip);
+  if (Fleet.WorkerAddr.empty())
+    usage();
+
+  std::string Error;
+  const fleet::WorkerExit Exit = fleet::runWorker(
+      Fleet.WorkerAddr, fleet::workerOptionsFromCli(Fleet), &Error);
+  if (Exit == fleet::WorkerExit::CleanShutdown) {
+    if (!Quiet)
+      std::fprintf(stderr, "worker: clean shutdown\n");
+    return 0;
+  }
+  std::fprintf(stderr, "worker: %s\n", Error.c_str());
+  return 1;
+}
+
+int mainStatus(int Argc, char **Argv) {
+  cli::FleetOptions Fleet;
+  cli::OptionSet Set([] { usage(); });
+  cli::addFleetServeOptions(Set, Fleet);
+  Set.parse(Argc, Argv);
+  if (Fleet.CheckpointPath.empty())
+    usage();
+
+  fleet::CheckpointContents Saved;
+  std::string Error;
+  if (!fleet::readCheckpoint(Fleet.CheckpointPath, Saved, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 2;
+  }
+  std::printf("checkpoint: %s\n", Fleet.CheckpointPath.c_str());
+  std::printf("cells: %zu/%zu completed\n", Saved.CompletedCells,
+              Saved.Specs.size());
+  std::printf("fingerprint: %016llx\n",
+              static_cast<unsigned long long>(Saved.Fingerprint));
+  std::printf("torn tail: %s\n", Saved.TornTail ? "yes" : "no");
+  return Saved.CompletedCells == Saved.Specs.size() ? 0 : 1;
+}
+
+int mainResume(int Argc, char **Argv) {
+  ServeArgs Args;
+  makeServeSet(Args).parse(Argc, Argv);
+  if (Args.Fleet.CheckpointPath.empty())
+    usage();
+
+  // The journal header is the source of truth for the matrix: resume
+  // never re-derives specs from flags, so it cannot disagree with the
+  // sweep it is finishing.
+  fleet::CheckpointContents Saved;
+  std::string Error;
+  if (!fleet::readCheckpoint(Args.Fleet.CheckpointPath, Saved, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 2;
+  }
+  if (!Args.Quiet)
+    std::fprintf(stderr, "resuming: %zu/%zu cells already completed\n",
+                 Saved.CompletedCells, Saved.Specs.size());
+  return runSweep(Args, std::move(Saved.Specs), /*Resume=*/true);
+}
+
+int mainSummarize(int Argc, char **Argv) {
+  ServeArgs Args;
+  makeServeSet(Args).parse(Argc, Argv);
+  if (Args.Fleet.CheckpointPath.empty())
+    usage();
+
+  fleet::CheckpointContents Saved;
+  std::string Error;
+  if (!fleet::readCheckpoint(Args.Fleet.CheckpointPath, Saved, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 2;
+  }
+  // Unfinished cells render as cancelled, the same shape a drained
+  // in-process run emits, so the JSON is schema-valid either way.
+  std::vector<engine::RunResult> Results = std::move(Saved.Results);
+  for (std::size_t Index = 0; Index < Results.size(); ++Index)
+    if (!Saved.Resolved[Index])
+      Results[Index].Spec = Saved.Specs[Index];
+  if (Args.OutPath.empty())
+    Args.OutPath = "-";
+  return emitResults(Results, Args.OutPath, Args.Quiet);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    usage();
+  const char *Cmd = Argv[1];
+  if (std::strcmp(Cmd, "serve") == 0)
+    return mainServe(Argc - 1, Argv + 1);
+  if (std::strcmp(Cmd, "worker") == 0)
+    return mainWorker(Argc - 1, Argv + 1);
+  if (std::strcmp(Cmd, "status") == 0)
+    return mainStatus(Argc - 1, Argv + 1);
+  if (std::strcmp(Cmd, "resume") == 0)
+    return mainResume(Argc - 1, Argv + 1);
+  if (std::strcmp(Cmd, "summarize") == 0)
+    return mainSummarize(Argc - 1, Argv + 1);
+  usage();
+}

@@ -3,12 +3,17 @@
 // Part of the hds project (PLDI 2002 hot data stream prefetching repro).
 //
 // Runs the (workload × RunMode × seed × scale) experiment matrix through
-// the engine's Executor API (src/engine/Executor.h) and emits
+// the engine's Executor API (src/engine/ExecutorFactory.h) and emits
 // machine-readable results.  The merged output is byte-identical for any
-// execution strategy — local threads (--jobs) or distributed workers
+// execution strategy — local threads (--jobs) or the fleet service
 // (--serve/--workers) — so trajectory files can be diffed across
 // machines, thread counts, and transports (see docs/engine.md for the
 // determinism contract and the JSON schema).
+//
+// The distributed flags here are thin wrappers over the fleet service;
+// `hds_fleet` is the full-featured front end (status, resume,
+// summarize — docs/fleet.md).  Both parse the same cli::FleetOptions
+// fragment, so the vocabularies cannot drift.
 //
 // Usage:
 //   hds_matrix [options]
@@ -25,20 +30,11 @@
 //     --list                print the selected specs and exit
 //     --quiet               suppress the progress lines on stderr
 //
-//   Distributed execution (coordinator/worker over loopback TCP or Unix
-//   sockets):
-//     --serve ADDR          coordinate the matrix on ADDR ("host:port",
-//                           port 0 = ephemeral, or "unix:/path") instead
-//                           of running it in-process
-//     --workers N           fork N local worker processes connecting back
-//                           to the serve address (with no --serve, a
-//                           private Unix socket is used)
-//     --worker ADDR         run as a worker for the coordinator at ADDR;
-//                           exits 0 on clean shutdown
-//     --job-timeout MS      per-job result deadline before the
-//                           coordinator re-queues (default 120000)
-//     --idle-timeout MS     give up when no worker is connected for this
-//                           long (default 30000)
+//   Fleet execution (cli/Options.h fleet fragment; see docs/fleet.md):
+//     --serve ADDR, --workers N, --job-timeout MS, --idle-timeout MS,
+//     --token SECRET, --allow-remote, --heartbeat-interval MS,
+//     --heartbeat-misses N, --checkpoint FILE on the serve side;
+//     --worker ADDR plus the worker-side subset to join a fleet.
 //
 //   Result comparison:
 //     --diff A.json B.json  compare two results files cell-by-cell;
@@ -52,12 +48,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "cli/Options.h"
-#include "engine/Executor.h"
+#include "engine/ExecutorFactory.h"
 #include "engine/ExperimentRunner.h"
 #include "engine/ExperimentSpec.h"
 #include "engine/ResultsDiff.h"
 #include "engine/ResultsJson.h"
-#include "engine/Worker.h"
+#include "fleet/FleetCli.h"
+#include "fleet/Worker.h"
 #include "support/Table.h"
 
 #include <chrono>
@@ -87,12 +84,8 @@ struct Options {
   bool List = false;
   bool Quiet = false;
 
-  // Distributed modes.
-  std::string ServeAddr;  ///< --serve: coordinate on this address
-  unsigned Workers = 0;   ///< --workers: forked local worker processes
-  std::string WorkerAddr; ///< --worker: run the worker loop against this
-  uint32_t JobTimeoutMs = 120000;
-  uint32_t IdleTimeoutMs = 30000;
+  /// Distributed modes: the shared fleet vocabulary.
+  cli::FleetOptions Fleet;
 
   // Diff mode.
   std::string DiffA, DiffB;
@@ -105,15 +98,15 @@ struct Options {
       stderr,
       "usage: %s [--jobs N] [--scale F] [--seeds N] [--filter key=value]...\n"
       "          [--out FILE] [--timing] [--lint-timing FILE] [--list]\n"
-      "          [--quiet]\n"
-      "          [--serve ADDR] [--workers N] [--job-timeout MS]\n"
-      "          [--idle-timeout MS]\n"
-      "       %s --worker ADDR [--job-timeout MS]\n"
+      "          [--quiet]%s\n"
+      "       %s%s\n"
       "       %s --diff A.json B.json [--threshold PCT] "
       "[--wall-threshold PCT]\n"
       "%s"
       "addresses: host:port (port 0 = ephemeral) or unix:/path\n",
-      Binary, Binary, Binary, engine::filterHelp().c_str());
+      Binary, cli::fleetServeOptionsUsage().c_str(), Binary,
+      cli::fleetWorkerOptionsUsage().c_str(), Binary,
+      engine::filterHelp().c_str());
   std::exit(2);
 }
 
@@ -130,17 +123,18 @@ Options parseOptions(int Argc, char **Argv) {
       .str("--lint-timing", Opts.LintTimingPath)
       .flag("--list", Opts.List)
       .flag("--quiet", Opts.Quiet)
-      .str("--serve", Opts.ServeAddr)
-      .uns("--workers", Opts.Workers)
-      .str("--worker", Opts.WorkerAddr)
-      .u32("--job-timeout", Opts.JobTimeoutMs)
-      .u32("--idle-timeout", Opts.IdleTimeoutMs)
       .strPair("--diff", Opts.DiffA, Opts.DiffB)
       .nonNegativeDouble("--threshold", Opts.ThresholdPct)
       .nonNegativeDouble("--wall-threshold", Opts.WallThresholdPct);
+  // Both fleet sides: this tool can coordinate or join.  Rows present on
+  // both sides register twice; the parser takes the first match and both
+  // write the same field, so the duplicate is harmless.
+  cli::addFleetServeOptions(Set, Opts.Fleet);
+  cli::addFleetWorkerOptions(Set, Opts.Fleet);
   Set.parse(Argc, Argv);
-  if (!Opts.WorkerAddr.empty() &&
-      (!Opts.ServeAddr.empty() || Opts.Workers != 0 || !Opts.DiffA.empty())) {
+  if (!Opts.Fleet.WorkerAddr.empty() &&
+      (!Opts.Fleet.ServeAddr.empty() || Opts.Fleet.Workers != 0 ||
+       !Opts.DiffA.empty())) {
     std::fprintf(stderr,
                  "error: --worker excludes --serve/--workers/--diff\n");
     std::exit(2);
@@ -211,12 +205,10 @@ int runDiffMode(const Options &Opts) {
 }
 
 int runWorkerMode(const Options &Opts) {
-  engine::WorkerOptions Worker;
-  Worker.IoTimeoutMs = Opts.JobTimeoutMs;
   std::string Error;
-  const engine::WorkerExit Exit =
-      engine::runWorker(Opts.WorkerAddr, Worker, &Error);
-  if (Exit == engine::WorkerExit::CleanShutdown) {
+  const fleet::WorkerExit Exit = fleet::runWorker(
+      Opts.Fleet.WorkerAddr, fleet::workerOptionsFromCli(Opts.Fleet), &Error);
+  if (Exit == fleet::WorkerExit::CleanShutdown) {
     if (!Opts.Quiet)
       std::fprintf(stderr, "worker: clean shutdown\n");
     return 0;
@@ -232,7 +224,7 @@ int main(int Argc, char **Argv) {
 
   if (!Opts.DiffA.empty())
     return runDiffMode(Opts);
-  if (!Opts.WorkerAddr.empty())
+  if (!Opts.Fleet.WorkerAddr.empty())
     return runWorkerMode(Opts);
 
   std::vector<engine::ExperimentSpec> Specs =
@@ -280,7 +272,8 @@ int main(int Argc, char **Argv) {
     Timing.LintJson = Text;
   }
 
-  const bool Distributed = !Opts.ServeAddr.empty() || Opts.Workers != 0;
+  const bool Distributed =
+      !Opts.Fleet.ServeAddr.empty() || Opts.Fleet.Workers != 0;
   unsigned Jobs = Opts.Jobs != 0 ? Opts.Jobs
                                  : std::thread::hardware_concurrency();
   if (Jobs == 0)
@@ -289,33 +282,28 @@ int main(int Argc, char **Argv) {
   // Pick the executor: same API, different transport.
   std::unique_ptr<engine::Executor> Exec;
   if (Distributed) {
-    engine::SocketExecutor::Options Socket;
-    Socket.Coordinator.ListenAddr =
-        !Opts.ServeAddr.empty()
-            ? Opts.ServeAddr
-            // Workers-only mode: a private Unix socket nobody races on.
-            : "unix:/tmp/hds-matrix-" + std::to_string(getpid()) + ".sock";
-    Socket.Coordinator.JobTimeoutMs = Opts.JobTimeoutMs;
-    Socket.Coordinator.IdleTimeoutMs = Opts.IdleTimeoutMs;
-    Socket.ForkedWorkers = Opts.Workers;
-    Socket.Worker.IoTimeoutMs = Opts.JobTimeoutMs;
-    auto Remote = std::make_unique<engine::SocketExecutor>(Socket);
-    if (!Remote->valid()) {
+    engine::FleetConfig Config = fleet::fleetConfigFromCli(Opts.Fleet);
+    if (Opts.Fleet.ServeAddr.empty())
+      // Workers-only mode: a private Unix socket nobody races on.
+      Config.ListenAddr =
+          "unix:/tmp/hds-matrix-" + std::to_string(getpid()) + ".sock";
+    std::string Bound, Error;
+    std::unique_ptr<engine::Executor> Remote =
+        engine::makeFleet(Config, &Bound, &Error);
+    if (!Remote) {
       std::fprintf(stderr, "error: cannot listen on '%s': %s\n",
-                   Socket.Coordinator.ListenAddr.c_str(),
-                   Remote->error().c_str());
+                   Config.ListenAddr.c_str(), Error.c_str());
       return 2;
     }
     if (!Opts.Quiet)
       std::fprintf(stderr, "serving %zu experiments on %s (%u local "
                            "worker(s))\n",
-                   Specs.size(), Remote->boundAddress().c_str(),
-                   Opts.Workers);
+                   Specs.size(), Bound.c_str(), Opts.Fleet.Workers);
     Exec = std::move(Remote);
   } else {
-    engine::LocalExecutor::Options Local;
-    Local.Jobs = Jobs;
-    Exec = std::make_unique<engine::LocalExecutor>(Local);
+    engine::FleetConfig Config;
+    Config.Jobs = Jobs;
+    Exec = engine::makeLocal(Config);
   }
 
   std::function<void(std::size_t, const engine::RunResult &)> OnResult;
@@ -342,7 +330,7 @@ int main(int Argc, char **Argv) {
     Timing.WallMillis = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::milliseconds>(End - Start)
             .count());
-    Timing.Jobs = Distributed ? Opts.Workers : Jobs;
+    Timing.Jobs = Distributed ? Opts.Fleet.Workers : Jobs;
   }
 
   // With --out - the JSON owns stdout; keep the human table off it.
